@@ -1,0 +1,333 @@
+//! Feedback-loop simulation (paper Section IV.D).
+//!
+//! "If such a system is initially trained on a biased dataset, then its
+//! recommendations will probably reproduce the bias ... these new
+//! recommendations can be used as additional training data, that also
+//! carry bias. Further, continuously rejecting female candidates ...
+//! might discourage individuals from the formerly protected groups from
+//! applying."
+//!
+//! The simulator wires together exactly that loop: an applicant
+//! population with discouragement dynamics (`fairbridge-synth`), a model
+//! retrained each generation on the accumulating record of its *own past
+//! decisions*, and an optional mitigation hook applied per round.
+
+use fairbridge_learn::{EncoderConfig, FeatureEncoder, LogisticTrainer, TrainedModel};
+use fairbridge_metrics::outcome::Outcomes;
+use fairbridge_metrics::parity::demographic_parity;
+use fairbridge_synth::PopulationModel;
+use fairbridge_tabular::{Column, Dataset, Role};
+use rand::Rng;
+
+/// Per-generation record of the loop's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationRecord {
+    /// Generation number (0 = first model application).
+    pub generation: usize,
+    /// Applicant-pool size this round (shrinks under discouragement).
+    pub pool_size: usize,
+    /// Fraction of the pool from the disadvantaged group.
+    pub disadvantaged_share: f64,
+    /// Acceptance rate per group, in group-code order.
+    pub acceptance_rates: Vec<f64>,
+    /// Demographic-parity gap of this round's decisions.
+    pub parity_gap: f64,
+    /// Application propensity per group after observing this round.
+    pub propensities: Vec<f64>,
+}
+
+/// What the simulator applies to each round's freshly labelled data
+/// before it joins the training record.
+pub type MitigationHook = Box<dyn Fn(&Dataset) -> Result<Dataset, String>>;
+
+/// Configuration of the feedback-loop simulation.
+pub struct FeedbackConfig {
+    /// Number of generations to run.
+    pub generations: usize,
+    /// Applicant slots drawn per generation (realized pool may be smaller
+    /// under discouragement).
+    pub pool_size: usize,
+    /// Initial bias: additive penalty on the first (historical) round's
+    /// hire probability for group 1.
+    pub initial_bias: f64,
+    /// Population discouragement speed ∈ \[0,1\].
+    pub discouragement: f64,
+    /// Optional per-round mitigation applied to new training data.
+    pub mitigation: Option<MitigationHook>,
+}
+
+impl std::fmt::Debug for FeedbackConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedbackConfig")
+            .field("generations", &self.generations)
+            .field("pool_size", &self.pool_size)
+            .field("initial_bias", &self.initial_bias)
+            .field("discouragement", &self.discouragement)
+            .field("mitigation", &self.mitigation.is_some())
+            .finish()
+    }
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            generations: 8,
+            pool_size: 1500,
+            initial_bias: 0.35,
+            discouragement: 0.4,
+            mitigation: None,
+        }
+    }
+}
+
+/// The simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackOutcome {
+    /// One record per generation.
+    pub records: Vec<GenerationRecord>,
+}
+
+impl FeedbackOutcome {
+    /// Parity gap of the final generation.
+    pub fn final_gap(&self) -> f64 {
+        self.records.last().map_or(f64::NAN, |r| r.parity_gap)
+    }
+
+    /// Disadvantaged-group pool share of the final generation.
+    pub fn final_disadvantaged_share(&self) -> f64 {
+        self.records
+            .last()
+            .map_or(f64::NAN, |r| r.disadvantaged_share)
+    }
+}
+
+/// Applies an additive group-1 penalty to the pool's *label* column,
+/// modeling the biased historical decision maker that seeds the loop.
+fn bias_labels<R: Rng>(pool: &Dataset, penalty: f64, rng: &mut R) -> Result<Dataset, String> {
+    let (_, codes) = pool.categorical("group").map_err(|e| e.to_string())?;
+    let codes = codes.to_vec();
+    let labels = pool.labels().map_err(|e| e.to_string())?.to_vec();
+    let biased: Vec<bool> = labels
+        .iter()
+        .zip(&codes)
+        .map(|(&l, &g)| {
+            if l && g == 1 {
+                // a hired disadvantaged candidate is retracted with
+                // probability `penalty`
+                rng.gen::<f64>() >= penalty
+            } else {
+                l
+            }
+        })
+        .collect();
+    pool.drop_column("hired")
+        .and_then(|d| d.with_column("hired", Column::Boolean(biased), Role::Label))
+        .map_err(|e| e.to_string())
+}
+
+/// Runs the feedback loop.
+pub fn run_feedback_loop<R: Rng>(
+    config: &FeedbackConfig,
+    rng: &mut R,
+) -> Result<FeedbackOutcome, String> {
+    let mut population = PopulationModel::hiring_default(config.discouragement);
+    // Round 0: historical, biased data.
+    let seed_pool = population.generate_pool(config.pool_size, rng);
+    let seed = bias_labels(&seed_pool, config.initial_bias, rng)?;
+    let mut training = match &config.mitigation {
+        Some(hook) => hook(&seed)?,
+        None => seed,
+    };
+
+    let mut records = Vec::with_capacity(config.generations);
+    for generation in 0..config.generations {
+        // Train on everything recorded so far. The decision maker is
+        // *group-aware* (the realistic worst case the paper describes):
+        // a model free to use the protected attribute reproduces the
+        // historical penalty unless mitigation intervenes.
+        let cfg = EncoderConfig {
+            include_protected: true,
+            ..EncoderConfig::default()
+        };
+        let (enc, x) = FeatureEncoder::fit_transform(&training, cfg)?;
+        let y = training.labels().map_err(|e| e.to_string())?;
+        let weights = training.weights();
+        let model = LogisticTrainer::default().fit_weighted(&x, y, &weights);
+        let trained = TrainedModel::new(enc, Box::new(model));
+
+        // New applicant pool; the model decides.
+        let pool = population.generate_pool(config.pool_size, rng);
+        let decisions = trained.predict_dataset(&pool)?;
+
+        // Measure this round.
+        let annotated = pool
+            .with_predictions("decision", decisions.clone())
+            .map_err(|e| e.to_string())?;
+        let outcomes = Outcomes::from_dataset(&annotated, &["group"])?;
+        let parity = demographic_parity(&outcomes, 0);
+        let (_, codes) = pool.categorical("group").map_err(|e| e.to_string())?;
+        let mut acc: Vec<(usize, usize)> = vec![(0, 0); population.groups().len()];
+        for (&g, &d) in codes.iter().zip(&decisions) {
+            acc[g as usize].1 += 1;
+            if d {
+                acc[g as usize].0 += 1;
+            }
+        }
+        let acceptance_rates: Vec<f64> = acc
+            .iter()
+            .map(|&(p, t)| if t > 0 { p as f64 / t as f64 } else { f64::NAN })
+            .collect();
+        let disadvantaged_share = acc[1].1 as f64 / pool.n_rows().max(1) as f64;
+
+        // Population reacts; the loop's decisions become training data.
+        population.observe(&acceptance_rates);
+        let propensities = (0..population.groups().len())
+            .map(|i| population.propensity(i))
+            .collect();
+        records.push(GenerationRecord {
+            generation,
+            pool_size: pool.n_rows(),
+            disadvantaged_share,
+            acceptance_rates,
+            parity_gap: parity.summary.gap,
+            propensities,
+        });
+
+        // Decisions become the labels of the new training chunk.
+        let new_chunk = pool
+            .drop_column("hired")
+            .and_then(|d| d.with_column("hired", Column::Boolean(decisions), Role::Label))
+            .map_err(|e| e.to_string())?;
+        let new_chunk = match &config.mitigation {
+            Some(hook) => hook(&new_chunk)?,
+            None => new_chunk,
+        };
+        training = concat_training(&training, &new_chunk)?;
+    }
+    Ok(FeedbackOutcome { records })
+}
+
+/// Concatenates training chunks, tolerating weight columns that only one
+/// side has (missing weights are filled with 1.0).
+fn concat_training(a: &Dataset, b: &Dataset) -> Result<Dataset, String> {
+    let ensure_weight = |ds: &Dataset| -> Result<Dataset, String> {
+        if ds.schema().single_with_role(Role::Weight).is_ok() {
+            return Ok(ds.clone());
+        }
+        ds.with_column(
+            "reweigh_weight",
+            Column::Numeric(vec![1.0; ds.n_rows()]),
+            Role::Weight,
+        )
+        .map_err(|e| e.to_string())
+    };
+    let has_weight = a.schema().single_with_role(Role::Weight).is_ok()
+        || b.schema().single_with_role(Role::Weight).is_ok();
+    if has_weight {
+        let a = ensure_weight(a)?;
+        let b = ensure_weight(b)?;
+        a.concat(&b).map_err(|e| e.to_string())
+    } else {
+        a.concat(b).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_mitigate::reweigh;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unmitigated_loop_sustains_bias_and_discourages() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let outcome = run_feedback_loop(&FeedbackConfig::default(), &mut rng).unwrap();
+        assert_eq!(outcome.records.len(), 8);
+        // the parity gap persists through the loop
+        assert!(
+            outcome.final_gap() > 0.1,
+            "final gap {}",
+            outcome.final_gap()
+        );
+        // the disadvantaged group's propensity has dropped
+        let last = outcome.records.last().unwrap();
+        assert!(
+            last.propensities[1] < 0.85,
+            "propensity {:?}",
+            last.propensities
+        );
+        assert!(
+            last.propensities[0] > 0.95,
+            "advantaged propensity {:?}",
+            last.propensities
+        );
+        // and its pool share shrank below the population share (1/3)
+        assert!(
+            outcome.final_disadvantaged_share() < 0.30,
+            "share {}",
+            outcome.final_disadvantaged_share()
+        );
+    }
+
+    #[test]
+    fn reweighing_mitigation_dampens_the_loop() {
+        let run = |mitigated: bool, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = FeedbackConfig {
+                mitigation: mitigated.then(|| {
+                    Box::new(|ds: &Dataset| reweigh(ds, &["group"]).map(|r| r.dataset))
+                        as MitigationHook
+                }),
+                ..FeedbackConfig::default()
+            };
+            run_feedback_loop(&config, &mut rng).unwrap()
+        };
+        let plain = run(false, 72);
+        let mitigated = run(true, 72);
+        assert!(
+            mitigated.final_gap() < plain.final_gap(),
+            "plain {} mitigated {}",
+            plain.final_gap(),
+            mitigated.final_gap()
+        );
+        // discouragement is milder under mitigation
+        assert!(
+            mitigated.records.last().unwrap().propensities[1]
+                >= plain.records.last().unwrap().propensities[1] - 1e-9
+        );
+    }
+
+    #[test]
+    fn no_bias_no_discouragement_is_stable() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let config = FeedbackConfig {
+            initial_bias: 0.0,
+            discouragement: 0.0,
+            generations: 4,
+            ..FeedbackConfig::default()
+        };
+        let outcome = run_feedback_loop(&config, &mut rng).unwrap();
+        assert!(outcome.final_gap() < 0.12, "gap {}", outcome.final_gap());
+        for r in &outcome.records {
+            assert!(r.propensities.iter().all(|&p| (p - 1.0).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn records_are_complete() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let config = FeedbackConfig {
+            generations: 3,
+            pool_size: 400,
+            ..FeedbackConfig::default()
+        };
+        let outcome = run_feedback_loop(&config, &mut rng).unwrap();
+        for (i, r) in outcome.records.iter().enumerate() {
+            assert_eq!(r.generation, i);
+            assert!(r.pool_size > 0);
+            assert_eq!(r.acceptance_rates.len(), 2);
+            assert_eq!(r.propensities.len(), 2);
+        }
+    }
+}

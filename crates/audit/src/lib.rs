@@ -1,0 +1,43 @@
+//! # fairbridge-audit
+//!
+//! The auditing machinery for the Section IV criteria of the ICDE'24
+//! paper:
+//!
+//! * [`association`] — **IV.B, discrimination by association**: the
+//!   spillover audit for individuals who merely share the protected
+//!   group's proxy signature;
+//! * [`proxy`] — **IV.B, proxy discrimination**: association ranking of
+//!   features against protected attributes, a predictability audit (can a
+//!   model recover `A` from the remaining features?), and the
+//!   unawareness experiment showing that dropping `A` does not remove
+//!   bias;
+//! * [`subgroup`] — **IV.C, intersectional / subgroup fairness**:
+//!   exhaustive conjunctive subgroup search with significance testing
+//!   (the fairness-gerrymandering audit of Kearns et al., paper ref \[9\]),
+//!   plus a tree-based heuristic auditor for larger feature spaces;
+//! * [`feedback`] — **IV.D, feedback loops**: a generational simulator
+//!   coupling a learned decision policy to an applicant population with
+//!   discouragement dynamics, with a mitigation hook;
+//! * [`manipulation`] — **IV.E, robustness to manipulation**: permutation
+//!   / coefficient / LOCO explainers, the adversarial masking attack that
+//!   hides a sensitive attribute's contribution (paper ref \[3\]), and the
+//!   detector that cross-checks explanations against outcome audits;
+//! * [`representation`] — **IV.F, sampling requirements**: training vs
+//!   population distribution comparison with the named distances, a
+//!   bootstrap CI and the √(k/n) noise bound;
+//! * [`pipeline`] — the one-call audit that runs metrics, proxy and
+//!   subgroup analyses together and renders a composite report.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod association;
+pub mod feedback;
+pub mod manipulation;
+pub mod pipeline;
+pub mod proxy;
+pub mod representation;
+pub mod subgroup;
+
+pub use pipeline::{AuditConfig, AuditPipeline, AuditReport};
+pub use subgroup::{SubgroupAuditor, SubgroupFinding};

@@ -1,0 +1,398 @@
+//! Robustness to manipulation (paper Section IV.E).
+//!
+//! "The work of \[3\] prominently demonstrates how a classifier can be
+//! retrained in an adversarial way, to maintain the same level of
+//! accuracy, and at the same time suppress the explicit contribution of
+//! sensitive attributes, so that a large set of explainability methods
+//! are tricked into falsely deciding that its outputs are fair."
+//!
+//! This module contains all three sides of that story:
+//!
+//! * **Explainers** — permutation importance, coefficient importance and
+//!   LOCO (leave-one-column-out);
+//! * **The masking attack** — retrain a logistic model with a targeted
+//!   penalty on the protected feature's coefficient; proxies absorb the
+//!   signal, explainers report the attribute as unimportant, and the
+//!   outcome gap persists;
+//! * **The detector** — cross-check explanation-based "fairness" against
+//!   outcome-based audits: low explained importance + high parity gap =
+//!   masking suspicion.
+
+use fairbridge_learn::logistic::{sigmoid, LogisticModel};
+use fairbridge_learn::matrix::{dot, Matrix};
+use fairbridge_learn::model::Scorer;
+use rand::Rng;
+
+/// Per-feature importance scores, aligned with the encoder's feature
+/// names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureImportance {
+    /// Feature names.
+    pub names: Vec<String>,
+    /// Importance per feature (method-specific scale, larger = more
+    /// influential).
+    pub scores: Vec<f64>,
+}
+
+impl FeatureImportance {
+    /// The importance of the named feature (exact match).
+    pub fn of(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.scores[i])
+    }
+
+    /// The rank of the named feature (0 = most important).
+    pub fn rank_of(&self, name: &str) -> Option<usize> {
+        let target = self.of(name)?;
+        Some(self.scores.iter().filter(|&&s| s > target).count())
+    }
+}
+
+/// Coefficient importance of a linear model: |wⱼ| per feature.
+pub fn coefficient_importance(model: &LogisticModel, names: &[String]) -> FeatureImportance {
+    assert_eq!(model.weights.len(), names.len(), "name/weight mismatch");
+    FeatureImportance {
+        names: names.to_vec(),
+        scores: model.weights.iter().map(|w| w.abs()).collect(),
+    }
+}
+
+/// Permutation importance: accuracy drop when feature `j` is shuffled.
+pub fn permutation_importance<S: Scorer, R: Rng>(
+    model: &S,
+    x: &Matrix,
+    y: &[bool],
+    names: &[String],
+    rng: &mut R,
+) -> FeatureImportance {
+    assert_eq!(x.n_rows(), y.len(), "row/label mismatch");
+    assert_eq!(x.n_cols(), names.len(), "name/column mismatch");
+    let base_acc = accuracy_of(model, x, y);
+    let scores = (0..x.n_cols())
+        .map(|j| {
+            let mut shuffled = x.clone();
+            // Fisher–Yates on column j.
+            for i in (1..x.n_rows()).rev() {
+                let k = rng.gen_range(0..=i);
+                let vi = shuffled.get(i, j);
+                let vk = shuffled.get(k, j);
+                shuffled.set(i, j, vk);
+                shuffled.set(k, j, vi);
+            }
+            (base_acc - accuracy_of(model, &shuffled, y)).max(0.0)
+        })
+        .collect();
+    FeatureImportance {
+        names: names.to_vec(),
+        scores,
+    }
+}
+
+/// LOCO importance: accuracy drop when feature `j` is zeroed out (the
+/// refit-free variant — the model stays fixed, the channel is silenced).
+pub fn loco_importance<S: Scorer>(
+    model: &S,
+    x: &Matrix,
+    y: &[bool],
+    names: &[String],
+) -> FeatureImportance {
+    assert_eq!(x.n_cols(), names.len(), "name/column mismatch");
+    let base_acc = accuracy_of(model, x, y);
+    let scores = (0..x.n_cols())
+        .map(|j| {
+            let mut zeroed = x.clone();
+            for i in 0..x.n_rows() {
+                zeroed.set(i, j, 0.0);
+            }
+            (base_acc - accuracy_of(model, &zeroed, y)).max(0.0)
+        })
+        .collect();
+    FeatureImportance {
+        names: names.to_vec(),
+        scores,
+    }
+}
+
+fn accuracy_of<S: Scorer>(model: &S, x: &Matrix, y: &[bool]) -> f64 {
+    let correct = x
+        .rows()
+        .zip(y)
+        .filter(|(row, &label)| (model.score(row) >= 0.5) == label)
+        .count();
+    correct as f64 / y.len().max(1) as f64
+}
+
+/// The adversarial masking attack of Dimanov et al. (paper ref \[3\]):
+/// retrains a logistic model with a heavy quadratic penalty on the
+/// *targeted* coefficients only, so their weight migrates into correlated
+/// proxies while accuracy is preserved.
+#[derive(Debug, Clone)]
+pub struct MaskingAttack {
+    /// Indices of the features to hide (e.g. the protected indicator).
+    pub target_features: Vec<usize>,
+    /// Penalty strength on the targeted coefficients.
+    pub mu: f64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Default for MaskingAttack {
+    fn default() -> Self {
+        MaskingAttack {
+            target_features: Vec::new(),
+            mu: 100.0,
+            learning_rate: 0.5,
+            epochs: 1500,
+        }
+    }
+}
+
+impl MaskingAttack {
+    /// Trains the masked model.
+    pub fn train(&self, x: &Matrix, y: &[bool]) -> LogisticModel {
+        assert_eq!(x.n_rows(), y.len(), "row/label mismatch");
+        assert!(
+            self.target_features.iter().all(|&j| j < x.n_cols()),
+            "target feature out of range"
+        );
+        let n = x.n_rows() as f64;
+        let d = x.n_cols();
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        let mut grad = vec![0.0; d];
+        for _ in 0..self.epochs {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0;
+            for (i, row) in x.rows().enumerate() {
+                let p = sigmoid(dot(&weights, row) + bias);
+                let err = p - if y[i] { 1.0 } else { 0.0 };
+                for (g, &xij) in grad.iter_mut().zip(row) {
+                    *g += err * xij / n;
+                }
+                gb += err / n;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad) {
+                *w -= self.learning_rate * g;
+            }
+            bias -= self.learning_rate * gb;
+            // Proximal step for the targeted penalty: exact minimizer of
+            // (1/2lr)(w − w⁺)² + (μ/2)w², stable for any μ (an explicit
+            // gradient step would diverge once lr·μ > 2).
+            for &j in &self.target_features {
+                weights[j] /= 1.0 + self.learning_rate * self.mu;
+            }
+        }
+        LogisticModel { weights, bias }
+    }
+}
+
+/// Outcome of the masking-detection cross-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskingVerdict {
+    /// Maximum explained importance across the protected features
+    /// (coefficient scale, normalized by the largest coefficient).
+    pub explained_importance: f64,
+    /// The observed demographic-parity gap of the model's decisions.
+    pub parity_gap: f64,
+    /// Whether the combination is suspicious: tiny explained importance
+    /// with a large outcome gap.
+    pub suspicious: bool,
+}
+
+/// Detects explanation masking: an explainer says the protected features
+/// do not matter (`explained_importance < importance_eps`) while the
+/// decisions show a large group gap (`parity_gap > gap_threshold`).
+pub fn detect_masking(
+    importance: &FeatureImportance,
+    protected_features: &[&str],
+    parity_gap: f64,
+    importance_eps: f64,
+    gap_threshold: f64,
+) -> MaskingVerdict {
+    let max_score = importance
+        .scores
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let explained = protected_features
+        .iter()
+        .filter_map(|name| importance.of(name))
+        .fold(0.0f64, f64::max)
+        / max_score;
+    MaskingVerdict {
+        explained_importance: explained,
+        parity_gap,
+        suspicious: explained < importance_eps && parity_gap > gap_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_learn::LogisticTrainer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Features: [protected A, proxy (ρ≈1 with A), merit]. Labels biased
+    /// by A.
+    fn world() -> (Matrix, Vec<bool>, Vec<bool>, Vec<String>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut group = Vec::new();
+        for i in 0..400 {
+            let a = i % 2 == 1;
+            let proxy = if a { 1.0 } else { 0.0 };
+            let merit = (i % 10) as f64 / 10.0;
+            rows.push(vec![if a { 1.0 } else { 0.0 }, proxy, merit]);
+            // biased: group a needs much higher merit
+            y.push(if a { merit > 0.7 } else { merit > 0.3 });
+            group.push(a);
+        }
+        (
+            Matrix::from_rows(&rows),
+            y,
+            group,
+            vec!["sex=female".into(), "uni=metro".into(), "merit".into()],
+        )
+    }
+
+    fn parity_gap<S: Scorer>(model: &S, x: &Matrix, group: &[bool]) -> f64 {
+        let (mut p0, mut n0, mut p1, mut n1) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (i, row) in x.rows().enumerate() {
+            let sel = model.score(row) >= 0.5;
+            if group[i] {
+                n1 += 1.0;
+                if sel {
+                    p1 += 1.0;
+                }
+            } else {
+                n0 += 1.0;
+                if sel {
+                    p0 += 1.0;
+                }
+            }
+        }
+        (p0 / n0 - p1 / n1).abs()
+    }
+
+    #[test]
+    fn honest_model_shows_protected_importance() {
+        let (x, y, _, names) = world();
+        let model = LogisticTrainer {
+            epochs: 2000,
+            ..LogisticTrainer::default()
+        }
+        .fit(&x, &y);
+        let imp = coefficient_importance(&model, &names);
+        // A and its proxy together carry the group signal
+        let a_imp = imp.of("sex=female").unwrap() + imp.of("uni=metro").unwrap();
+        assert!(a_imp > 0.3, "combined importance {a_imp}");
+    }
+
+    #[test]
+    fn masking_attack_hides_attribute_keeps_accuracy_and_bias() {
+        let (x, y, group, names) = world();
+        let honest = LogisticTrainer {
+            epochs: 2000,
+            ..LogisticTrainer::default()
+        }
+        .fit(&x, &y);
+        let attack = MaskingAttack {
+            target_features: vec![0], // hide "sex=female"
+            ..MaskingAttack::default()
+        };
+        let masked = attack.train(&x, &y);
+
+        // (1) coefficient on A collapses
+        assert!(
+            masked.weights[0].abs() < 0.05,
+            "masked w_A = {}",
+            masked.weights[0]
+        );
+        // (2) accuracy is preserved within a point
+        let acc_honest = accuracy_of(&honest, &x, &y);
+        let acc_masked = accuracy_of(&masked, &x, &y);
+        assert!(
+            acc_masked >= acc_honest - 0.02,
+            "honest {acc_honest}, masked {acc_masked}"
+        );
+        // (3) the parity gap persists
+        let gap = parity_gap(&masked, &x, &group);
+        assert!(gap > 0.25, "masked parity gap {gap}");
+        // (4) coefficient explainer is fooled
+        let imp = coefficient_importance(&masked, &names);
+        assert_eq!(imp.rank_of("sex=female"), Some(2)); // least important
+        let _ = names;
+    }
+
+    #[test]
+    fn detector_flags_masked_model() {
+        let (x, y, group, names) = world();
+        let attack = MaskingAttack {
+            target_features: vec![0],
+            ..MaskingAttack::default()
+        };
+        let masked = attack.train(&x, &y);
+        let imp = coefficient_importance(&masked, &names);
+        let gap = parity_gap(&masked, &x, &group);
+        let verdict = detect_masking(&imp, &["sex=female"], gap, 0.1, 0.15);
+        assert!(verdict.suspicious, "{verdict:?}");
+
+        // honest model with the same bias is NOT flagged (importance high)
+        let honest = LogisticTrainer {
+            epochs: 2000,
+            ..LogisticTrainer::default()
+        }
+        .fit(&x, &y);
+        let imp_h = coefficient_importance(&honest, &names);
+        // In this world A and the proxy are interchangeable; an honest
+        // learner may still favor the proxy. The detector only clears the
+        // model if the combined protected channel is visible.
+        let gap_h = parity_gap(&honest, &x, &group);
+        let verdict_h = detect_masking(&imp_h, &["sex=female", "uni=metro"], gap_h, 0.1, 0.15);
+        assert!(!verdict_h.suspicious, "{verdict_h:?}");
+    }
+
+    #[test]
+    fn permutation_importance_detects_merit() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let (x, y, _, names) = world();
+        let model = LogisticTrainer {
+            epochs: 2000,
+            ..LogisticTrainer::default()
+        }
+        .fit(&x, &y);
+        let imp = permutation_importance(&model, &x, &y, &names, &mut rng);
+        assert!(imp.of("merit").unwrap() > 0.1, "{imp:?}");
+    }
+
+    #[test]
+    fn loco_importance_detects_merit() {
+        let (x, y, _, names) = world();
+        let model = LogisticTrainer {
+            epochs: 2000,
+            ..LogisticTrainer::default()
+        }
+        .fit(&x, &y);
+        let imp = loco_importance(&model, &x, &y, &names);
+        assert!(imp.of("merit").unwrap() > 0.1, "{imp:?}");
+        assert_eq!(imp.rank_of("merit"), Some(0));
+    }
+
+    #[test]
+    fn importance_lookup_api() {
+        let imp = FeatureImportance {
+            names: vec!["a".into(), "b".into()],
+            scores: vec![0.1, 0.9],
+        };
+        assert_eq!(imp.of("a"), Some(0.1));
+        assert_eq!(imp.of("zzz"), None);
+        assert_eq!(imp.rank_of("b"), Some(0));
+        assert_eq!(imp.rank_of("a"), Some(1));
+    }
+}

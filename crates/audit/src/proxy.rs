@@ -1,0 +1,324 @@
+//! Proxy-discrimination auditing (paper Section IV.B).
+//!
+//! Three complementary probes:
+//!
+//! 1. **Association ranking** — how strongly each feature associates with
+//!    the protected attribute (Cramér's V / point-biserial / mutual
+//!    information), the paper's "height and maternity leave ... serving as
+//!    proxies for the sex sensitive attribute";
+//! 2. **Predictability audit** — train a classifier to *recover* the
+//!    protected attribute from the remaining features; its held-out AUC is
+//!    the leakage: 0.5 means no proxy channel, 1.0 means the feature set
+//!    fully encodes `A`;
+//! 3. **Unawareness experiment** — train the same model with and without
+//!    the protected attribute and compare parity gaps, reproducing the
+//!    paper's claim that "even if sensitive attributes are removed, the
+//!    bias of the training data can still be transferred into the trained
+//!    model".
+
+use fairbridge_learn::eval::roc_auc;
+use fairbridge_learn::{EncoderConfig, FeatureEncoder, LogisticTrainer, TrainedModel};
+use fairbridge_metrics::outcome::Outcomes;
+use fairbridge_metrics::parity::demographic_parity;
+use fairbridge_stats::correlation::{
+    cramers_v, normalized_mutual_information, point_biserial, Contingency,
+};
+use fairbridge_tabular::{Column, Dataset, Role};
+use rand::Rng;
+
+/// Association of one feature with the protected attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureAssociation {
+    /// Feature name.
+    pub feature: String,
+    /// Cramér's V (categorical/boolean) or |point-biserial| (numeric).
+    pub association: f64,
+    /// Normalized mutual information (categorical/boolean only, else NaN).
+    pub nmi: f64,
+}
+
+/// Ranks every feature by association with the protected column.
+pub fn association_ranking(
+    ds: &Dataset,
+    protected: &str,
+) -> Result<Vec<FeatureAssociation>, String> {
+    let (p_levels, p_codes) = ds.categorical(protected).map_err(|e| e.to_string())?;
+    let k = p_levels.len();
+    let p_codes = p_codes.to_vec();
+    let mut out = Vec::new();
+    for meta in ds.schema().fields() {
+        if meta.role != Role::Feature {
+            continue;
+        }
+        let col = ds.column(&meta.name).map_err(|e| e.to_string())?;
+        let (association, nmi) = match col {
+            Column::Categorical { levels, codes } => {
+                let t = Contingency::from_codes(&p_codes, codes, k, levels.len());
+                (cramers_v(&t), normalized_mutual_information(&t))
+            }
+            Column::Boolean(values) => {
+                let codes: Vec<u32> = values.iter().map(|&b| u32::from(b)).collect();
+                let t = Contingency::from_codes(&p_codes, &codes, k, 2);
+                (cramers_v(&t), normalized_mutual_information(&t))
+            }
+            Column::Numeric(values) => {
+                let a = (0..k)
+                    .map(|level| {
+                        let ind: Vec<bool> = p_codes.iter().map(|&c| c as usize == level).collect();
+                        point_biserial(values, &ind).abs()
+                    })
+                    .fold(0.0f64, f64::max);
+                (a, f64::NAN)
+            }
+        };
+        out.push(FeatureAssociation {
+            feature: meta.name.clone(),
+            association,
+            nmi,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.association
+            .partial_cmp(&a.association)
+            .expect("NaN association")
+    });
+    Ok(out)
+}
+
+/// Result of the predictability audit.
+#[derive(Debug, Clone)]
+pub struct PredictabilityAudit {
+    /// Held-out AUC of the attribute-recovery model (0.5 = no leakage).
+    pub auc: f64,
+    /// Feature coefficients of the recovery model, paired with names,
+    /// sorted by |coefficient| descending — the proxy channels.
+    pub channels: Vec<(String, f64)>,
+}
+
+/// Trains a logistic model to predict membership of `protected_level`
+/// within the protected column from the *feature* columns only, and
+/// reports its held-out AUC plus the leading coefficients.
+pub fn predictability_audit<R: Rng>(
+    ds: &Dataset,
+    protected: &str,
+    protected_level: &str,
+    rng: &mut R,
+) -> Result<PredictabilityAudit, String> {
+    let (levels, codes) = ds.categorical(protected).map_err(|e| e.to_string())?;
+    let target_code = levels
+        .iter()
+        .position(|l| l == protected_level)
+        .ok_or_else(|| format!("level `{protected_level}` not found in `{protected}`"))?
+        as u32;
+    let target: Vec<bool> = codes.iter().map(|&c| c == target_code).collect();
+
+    // Build a shadow dataset whose *label* is the protected indicator.
+    let mut shadow = ds.clone();
+    if let Ok(meta) = shadow.schema().single_with_role(Role::Label) {
+        let name = meta.name.clone();
+        shadow = shadow
+            .with_role(&name, Role::Ignored)
+            .map_err(|e| e.to_string())?;
+    }
+    let shadow = shadow
+        .with_column("__protected_target", Column::Boolean(target), Role::Label)
+        .map_err(|e| e.to_string())?;
+
+    let (train, test) = fairbridge_learn::split::train_test_split(&shadow, 0.3, rng)?;
+    let cfg = EncoderConfig::default(); // excludes protected columns
+    let (enc, x) = FeatureEncoder::fit_transform(&train, cfg)?;
+    let y = train.labels().map_err(|e| e.to_string())?;
+    let model = LogisticTrainer::default().fit(&x, y);
+
+    let channels: Vec<(String, f64)> = {
+        let mut pairs: Vec<(String, f64)> = enc
+            .feature_names()
+            .iter()
+            .cloned()
+            .zip(model.weights.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("NaN weight"));
+        pairs
+    };
+
+    let trained = TrainedModel::new(enc, Box::new(model));
+    let scores = trained.score_dataset(&test)?;
+    let y_test = test.labels().map_err(|e| e.to_string())?;
+    let auc = roc_auc(y_test, &scores);
+    Ok(PredictabilityAudit { auc, channels })
+}
+
+/// Result of the unawareness experiment.
+#[derive(Debug, Clone)]
+pub struct UnawarenessExperiment {
+    /// Demographic-parity gap of the model trained *with* the protected
+    /// attribute.
+    pub gap_aware: f64,
+    /// Gap of the model trained *without* it (fairness through
+    /// unawareness).
+    pub gap_unaware: f64,
+    /// Test accuracy of the aware model.
+    pub acc_aware: f64,
+    /// Test accuracy of the unaware model.
+    pub acc_unaware: f64,
+}
+
+impl UnawarenessExperiment {
+    /// The paper's IV.B claim quantified: how much of the aware model's
+    /// bias survives removing the attribute (1.0 = all of it).
+    pub fn bias_retention(&self) -> f64 {
+        if self.gap_aware <= 0.0 {
+            return f64::NAN;
+        }
+        self.gap_unaware / self.gap_aware
+    }
+}
+
+/// Trains the same logistic model with and without the protected
+/// attribute on a train split and compares held-out parity gaps.
+pub fn unawareness_experiment<R: Rng>(
+    ds: &Dataset,
+    protected: &str,
+    rng: &mut R,
+) -> Result<UnawarenessExperiment, String> {
+    let (train, test) = fairbridge_learn::split::train_test_split(ds, 0.3, rng)?;
+    let run = |include_protected: bool| -> Result<(f64, f64), String> {
+        let cfg = EncoderConfig {
+            include_protected,
+            ..EncoderConfig::default()
+        };
+        let (enc, x) = FeatureEncoder::fit_transform(&train, cfg)?;
+        let y = train.labels().map_err(|e| e.to_string())?;
+        let model = LogisticTrainer::default().fit(&x, y);
+        let trained = TrainedModel::new(enc, Box::new(model));
+        let preds = trained.predict_dataset(&test)?;
+        let y_test = test.labels().map_err(|e| e.to_string())?;
+        let acc = fairbridge_learn::eval::accuracy(y_test, &preds);
+        let annotated = test
+            .with_predictions("__pred", preds)
+            .map_err(|e| e.to_string())?;
+        let o = Outcomes::from_dataset(&annotated, &[protected])?;
+        let gap = demographic_parity(&o, 0).summary.gap;
+        Ok((gap, acc))
+    };
+    let (gap_aware, acc_aware) = run(true)?;
+    let (gap_unaware, acc_unaware) = run(false)?;
+    Ok(UnawarenessExperiment {
+        gap_aware,
+        gap_unaware,
+        acc_aware,
+        acc_unaware,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_synth::hiring::{generate, HiringConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn association_ranking_finds_the_planted_proxy() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let data = generate(
+            &HiringConfig {
+                n: 8000,
+                proxy_strength: 0.9,
+                ..HiringConfig::biased()
+            },
+            &mut rng,
+        );
+        let ranking = association_ranking(&data.dataset, "sex").unwrap();
+        assert_eq!(ranking[0].feature, "university");
+        assert!(ranking[0].association > 0.6);
+        assert!(ranking[0].nmi > 0.2);
+    }
+
+    #[test]
+    fn predictability_audit_quantifies_leakage() {
+        let mut rng = StdRng::seed_from_u64(52);
+        // Strong proxy → high AUC.
+        let strong = generate(
+            &HiringConfig {
+                n: 4000,
+                proxy_strength: 0.95,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let audit_strong =
+            predictability_audit(&strong.dataset, "sex", "female", &mut rng).unwrap();
+        assert!(audit_strong.auc > 0.85, "auc {}", audit_strong.auc);
+        assert!(audit_strong.channels[0].0.starts_with("university"));
+
+        // No proxy → AUC near chance.
+        let none = generate(
+            &HiringConfig {
+                n: 4000,
+                proxy_strength: 0.5,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let audit_none = predictability_audit(&none.dataset, "sex", "female", &mut rng).unwrap();
+        assert!(
+            (audit_none.auc - 0.5).abs() < 0.08,
+            "auc {}",
+            audit_none.auc
+        );
+    }
+
+    #[test]
+    fn unawareness_does_not_remove_bias_with_strong_proxy() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let data = generate(
+            &HiringConfig {
+                n: 8000,
+                bias_against_female: 0.4,
+                proxy_strength: 0.95,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let exp = unawareness_experiment(&data.dataset, "sex", &mut rng).unwrap();
+        assert!(exp.gap_aware > 0.1, "aware gap {}", exp.gap_aware);
+        // the unaware model keeps most of the bias via the proxy
+        assert!(
+            exp.gap_unaware > exp.gap_aware * 0.4,
+            "aware {} unaware {}",
+            exp.gap_aware,
+            exp.gap_unaware
+        );
+        assert!(exp.bias_retention() > 0.4);
+    }
+
+    #[test]
+    fn unawareness_works_when_no_proxy_exists() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let data = generate(
+            &HiringConfig {
+                n: 8000,
+                bias_against_female: 0.4,
+                proxy_strength: 0.5, // no proxy channel
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let exp = unawareness_experiment(&data.dataset, "sex", &mut rng).unwrap();
+        // without a proxy, removing the attribute actually helps a lot
+        assert!(
+            exp.gap_unaware < exp.gap_aware * 0.5 || exp.gap_unaware < 0.05,
+            "aware {} unaware {}",
+            exp.gap_aware,
+            exp.gap_unaware
+        );
+    }
+
+    #[test]
+    fn predictability_audit_validates_level() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let data = generate(&HiringConfig::default(), &mut rng);
+        assert!(predictability_audit(&data.dataset, "sex", "nonbinary", &mut rng).is_err());
+    }
+}

@@ -1,0 +1,442 @@
+//! Intersectional / subgroup fairness auditing (paper Section IV.C,
+//! following Kearns et al.'s fairness-gerrymandering programme, ref \[9\]).
+//!
+//! Two auditors:
+//!
+//! * [`SubgroupAuditor::audit`] — **exhaustive**: enumerates every
+//!   conjunction of `column = level` conditions up to a depth bound,
+//!   computes each subgroup's positive rate against its complement, and
+//!   attaches a two-proportion z-test p-value (Section IV.C's warning
+//!   that sparse-subgroup findings need significance checks). Complexity
+//!   grows exponentially in depth — the paper's "computational issues
+//!   arise when trying to drill down" — hence the depth/support bounds.
+//! * [`tree_audit`] — **learned**: fits a shallow decision tree to the
+//!   decisions over the audit columns and reads disparate regions off the
+//!   leaves; scales past the exhaustive regime at the cost of
+//!   completeness.
+
+use fairbridge_learn::tree::TreeTrainer;
+use fairbridge_learn::{EncoderConfig, FeatureEncoder};
+use fairbridge_stats::hypothesis::two_proportion_z;
+use fairbridge_tabular::{Column, Dataset};
+
+/// One audited subgroup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubgroupFinding {
+    /// Conjunctive conditions defining the subgroup, as `(column, level)`.
+    pub conditions: Vec<(String, String)>,
+    /// Subgroup size.
+    pub size: usize,
+    /// Positive rate inside the subgroup.
+    pub rate: f64,
+    /// Positive rate of the complement.
+    pub complement_rate: f64,
+    /// `rate - complement_rate` (negative = disadvantaged subgroup).
+    pub gap: f64,
+    /// Two-proportion z-test p-value for the gap.
+    pub p_value: f64,
+}
+
+impl SubgroupFinding {
+    /// Renders the conditions as `col=level ∧ col=level`.
+    pub fn describe(&self) -> String {
+        self.conditions
+            .iter()
+            .map(|(c, l)| format!("{c}={l}"))
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+}
+
+/// Configuration for exhaustive subgroup auditing.
+#[derive(Debug, Clone)]
+pub struct SubgroupAuditor {
+    /// Maximum number of conjuncts per subgroup.
+    pub max_depth: usize,
+    /// Minimum subgroup size to report.
+    pub min_support: usize,
+    /// Significance level for the z-test filter (1.0 disables filtering).
+    pub alpha: f64,
+}
+
+impl Default for SubgroupAuditor {
+    fn default() -> Self {
+        SubgroupAuditor {
+            max_depth: 2,
+            min_support: 20,
+            alpha: 0.05,
+        }
+    }
+}
+
+/// Per-column `(name, levels, codes)` view used during enumeration.
+struct ColumnView {
+    name: String,
+    levels: Vec<String>,
+    codes: Vec<u32>,
+}
+
+impl SubgroupAuditor {
+    /// Audits subgroups of the named categorical/boolean columns against
+    /// `decisions`, returning significant findings sorted by |gap|
+    /// descending.
+    pub fn audit(
+        &self,
+        ds: &Dataset,
+        columns: &[&str],
+        decisions: &[bool],
+    ) -> Result<Vec<SubgroupFinding>, String> {
+        if decisions.len() != ds.n_rows() {
+            return Err("decisions length must match dataset rows".to_owned());
+        }
+        if columns.is_empty() {
+            return Err("subgroup audit requires at least one column".to_owned());
+        }
+        let views: Vec<ColumnView> = columns
+            .iter()
+            .map(|&name| {
+                let col = ds.column(name).map_err(|e| e.to_string())?;
+                match col {
+                    Column::Categorical { levels, codes } => Ok(ColumnView {
+                        name: name.to_owned(),
+                        levels: levels.clone(),
+                        codes: codes.clone(),
+                    }),
+                    Column::Boolean(values) => Ok(ColumnView {
+                        name: name.to_owned(),
+                        levels: vec!["false".to_owned(), "true".to_owned()],
+                        codes: values.iter().map(|&b| u32::from(b)).collect(),
+                    }),
+                    Column::Numeric(_) => Err(format!(
+                        "column `{name}` is numeric; bin it before subgroup auditing"
+                    )),
+                }
+            })
+            .collect::<Result<_, String>>()?;
+
+        let total_pos = decisions.iter().filter(|&&d| d).count();
+        let n = decisions.len();
+        let mut findings = Vec::new();
+        // Depth-first enumeration over column index combinations (strictly
+        // increasing to avoid duplicates), with membership masks.
+        type Frame = (usize, Vec<(usize, u32)>, Vec<usize>);
+        let mut stack: Vec<Frame> = Vec::new();
+        // seed: single-column conditions
+        for (ci, view) in views.iter().enumerate() {
+            for level in 0..view.levels.len() as u32 {
+                let rows: Vec<usize> = (0..n).filter(|&i| view.codes[i] == level).collect();
+                stack.push((ci, vec![(ci, level)], rows));
+            }
+        }
+        while let Some((last_ci, conds, rows)) = stack.pop() {
+            if rows.len() >= self.min_support && rows.len() < n {
+                let pos = rows.iter().filter(|&&i| decisions[i]).count();
+                let comp_n = n - rows.len();
+                let comp_pos = total_pos - pos;
+                let test = two_proportion_z(
+                    pos as u64,
+                    rows.len() as u64,
+                    comp_pos as u64,
+                    comp_n as u64,
+                );
+                if test.p_value < self.alpha {
+                    let rate = pos as f64 / rows.len() as f64;
+                    let complement_rate = comp_pos as f64 / comp_n as f64;
+                    findings.push(SubgroupFinding {
+                        conditions: conds
+                            .iter()
+                            .map(|&(ci, lv)| {
+                                (
+                                    views[ci].name.clone(),
+                                    views[ci].levels[lv as usize].clone(),
+                                )
+                            })
+                            .collect(),
+                        size: rows.len(),
+                        rate,
+                        complement_rate,
+                        gap: rate - complement_rate,
+                        p_value: test.p_value,
+                    });
+                }
+            }
+            // Extend with deeper conjunctions.
+            if conds.len() < self.max_depth && rows.len() >= self.min_support {
+                for (ci, view) in views.iter().enumerate().skip(last_ci + 1) {
+                    for level in 0..view.levels.len() as u32 {
+                        let sub: Vec<usize> = rows
+                            .iter()
+                            .copied()
+                            .filter(|&i| view.codes[i] == level)
+                            .collect();
+                        if sub.len() >= self.min_support {
+                            let mut c = conds.clone();
+                            c.push((ci, level));
+                            stack.push((ci, c, sub));
+                        }
+                    }
+                }
+            }
+        }
+        findings.sort_by(|a, b| b.gap.abs().partial_cmp(&a.gap.abs()).expect("NaN gap"));
+        Ok(findings)
+    }
+
+    /// Convenience: audits the dataset's protected columns against its
+    /// labels (historical audit) or predictions.
+    pub fn audit_dataset(
+        &self,
+        ds: &Dataset,
+        columns: &[&str],
+        use_labels: bool,
+    ) -> Result<Vec<SubgroupFinding>, String> {
+        let decisions: Vec<bool> = if use_labels {
+            ds.labels().map_err(|e| e.to_string())?.to_vec()
+        } else {
+            ds.predictions().map_err(|e| e.to_string())?.to_vec()
+        };
+        self.audit(ds, columns, &decisions)
+    }
+}
+
+/// Tree-based heuristic subgroup audit: fits a depth-bounded tree to the
+/// decisions over the audit columns and returns the most disparate leaf
+/// regions. Conditions are rendered over the one-hot encoded features
+/// (`col=level` / `col≠level`).
+pub fn tree_audit(
+    ds: &Dataset,
+    columns: &[&str],
+    decisions: &[bool],
+    max_depth: usize,
+    min_support: usize,
+) -> Result<Vec<SubgroupFinding>, String> {
+    if decisions.len() != ds.n_rows() {
+        return Err("decisions length must match dataset rows".to_owned());
+    }
+    // Project to the audit columns only (all as features).
+    let mut builder = Dataset::builder();
+    for &name in columns {
+        let col = ds.column(name).map_err(|e| e.to_string())?;
+        builder = match col {
+            Column::Categorical { levels, codes } => builder.categorical_with_role(
+                name,
+                levels.clone(),
+                codes.clone(),
+                fairbridge_tabular::Role::Feature,
+            ),
+            Column::Boolean(v) => builder.boolean(name, v.clone()),
+            Column::Numeric(v) => builder.numeric(name, v.clone()),
+        };
+    }
+    let proj = builder.build().map_err(|e| e.to_string())?;
+    let cfg = EncoderConfig {
+        include_protected: true,
+        standardize: false,
+        drop_first_level: false,
+    };
+    let (enc, x) = FeatureEncoder::fit_transform(&proj, cfg)?;
+    let tree = TreeTrainer {
+        max_depth,
+        min_samples_split: min_support.max(2),
+        min_samples_leaf: min_support.max(1),
+    }
+    .fit(&x, decisions);
+
+    // Assign rows to leaves by replaying the paths.
+    let total_pos = decisions.iter().filter(|&&d| d).count();
+    let n = decisions.len();
+    let mut findings = Vec::new();
+    for (path, _) in tree.leaves() {
+        if path.is_empty() {
+            continue;
+        }
+        let member = |row: &[f64]| path.iter().all(|&(f, t, left)| (row[f] < t) == left);
+        let rows: Vec<usize> = x
+            .rows()
+            .enumerate()
+            .filter_map(|(i, row)| member(row).then_some(i))
+            .collect();
+        if rows.len() < min_support || rows.len() == n {
+            continue;
+        }
+        let pos = rows.iter().filter(|&&i| decisions[i]).count();
+        let comp_pos = total_pos - pos;
+        let comp_n = n - rows.len();
+        let test = two_proportion_z(
+            pos as u64,
+            rows.len() as u64,
+            comp_pos as u64,
+            comp_n as u64,
+        );
+        let rate = pos as f64 / rows.len() as f64;
+        let complement_rate = comp_pos as f64 / comp_n as f64;
+        let conditions: Vec<(String, String)> = path
+            .iter()
+            .map(|&(f, _, left)| {
+                let feat = enc.feature_names()[f].clone();
+                // one-hot feature "col=level": < threshold means indicator
+                // 0, i.e. the negation.
+                let (col, level) = feat
+                    .split_once('=')
+                    .map(|(c, l)| (c.to_owned(), l.to_owned()))
+                    .unwrap_or((feat.clone(), "true".to_owned()));
+                if left {
+                    (col, format!("¬{level}"))
+                } else {
+                    (col, level)
+                }
+            })
+            .collect();
+        findings.push(SubgroupFinding {
+            conditions,
+            size: rows.len(),
+            rate,
+            complement_rate,
+            gap: rate - complement_rate,
+            p_value: test.p_value,
+        });
+    }
+    findings.sort_by(|a, b| b.gap.abs().partial_cmp(&a.gap.abs()).expect("NaN gap"));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_synth::intersectional::{generate, IntersectionalConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gerrymandered() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(61);
+        generate(
+            &IntersectionalConfig {
+                n: 8000,
+                ..IntersectionalConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn exhaustive_audit_finds_planted_intersections() {
+        let ds = gerrymandered();
+        let auditor = SubgroupAuditor::default();
+        let findings = auditor
+            .audit_dataset(&ds, &["gender", "race"], true)
+            .unwrap();
+        assert!(!findings.is_empty());
+        // Top finding must be a depth-2 intersection with gap ≈ ±0.4+
+        let top = &findings[0];
+        assert_eq!(top.conditions.len(), 2, "{top:?}");
+        assert!(top.gap.abs() > 0.2, "gap {}", top.gap);
+        assert!(top.p_value < 1e-6);
+        // The disadvantaged intersections are the planted ones.
+        let disadvantaged: Vec<String> = findings
+            .iter()
+            .filter(|f| f.conditions.len() == 2 && f.gap < -0.2)
+            .map(|f| f.describe())
+            .collect();
+        assert!(
+            disadvantaged
+                .iter()
+                .any(|d| d.contains("gender=male") && d.contains("race=non_caucasian")),
+            "{disadvantaged:?}"
+        );
+        assert!(
+            disadvantaged
+                .iter()
+                .any(|d| d.contains("gender=female") && d.contains("race=caucasian")),
+            "{disadvantaged:?}"
+        );
+    }
+
+    #[test]
+    fn marginal_groups_not_flagged_in_gerrymandered_data() {
+        let ds = gerrymandered();
+        let auditor = SubgroupAuditor {
+            max_depth: 1,
+            ..SubgroupAuditor::default()
+        };
+        let findings = auditor
+            .audit_dataset(&ds, &["gender", "race"], true)
+            .unwrap();
+        // single-attribute audits see (almost) nothing
+        for f in &findings {
+            assert!(
+                f.gap.abs() < 0.05,
+                "marginal audit should not find large gaps: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_support_prunes_small_subgroups() {
+        let ds = gerrymandered();
+        let auditor = SubgroupAuditor {
+            min_support: 100_000, // larger than the data
+            ..SubgroupAuditor::default()
+        };
+        let findings = auditor
+            .audit_dataset(&ds, &["gender", "race"], true)
+            .unwrap();
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn alpha_one_disables_significance_filter() {
+        let ds = gerrymandered();
+        let strict = SubgroupAuditor {
+            alpha: 1e-30,
+            ..SubgroupAuditor::default()
+        };
+        let loose = SubgroupAuditor {
+            alpha: 1.0,
+            ..SubgroupAuditor::default()
+        };
+        let n_strict = strict
+            .audit_dataset(&ds, &["gender", "race"], true)
+            .unwrap()
+            .len();
+        let n_loose = loose
+            .audit_dataset(&ds, &["gender", "race"], true)
+            .unwrap()
+            .len();
+        assert!(n_loose >= n_strict);
+        assert!(n_loose >= 8); // all marginal + intersectional cells
+    }
+
+    #[test]
+    fn tree_audit_finds_disparate_region() {
+        let ds = gerrymandered();
+        let decisions = ds.labels().unwrap().to_vec();
+        let findings = tree_audit(&ds, &["gender", "race"], &decisions, 3, 50).unwrap();
+        assert!(!findings.is_empty());
+        assert!(findings[0].gap.abs() > 0.2, "{:?}", findings[0]);
+        assert!(findings[0].p_value < 1e-6);
+    }
+
+    #[test]
+    fn numeric_columns_rejected_by_exhaustive_audit() {
+        let ds = gerrymandered();
+        let auditor = SubgroupAuditor::default();
+        let decisions = ds.labels().unwrap().to_vec();
+        assert!(auditor.audit(&ds, &["score"], &decisions).is_err());
+    }
+
+    #[test]
+    fn describe_renders_conjunction() {
+        let f = SubgroupFinding {
+            conditions: vec![
+                ("gender".into(), "male".into()),
+                ("race".into(), "non_caucasian".into()),
+            ],
+            size: 10,
+            rate: 0.2,
+            complement_rate: 0.6,
+            gap: -0.4,
+            p_value: 0.01,
+        };
+        assert_eq!(f.describe(), "gender=male ∧ race=non_caucasian");
+    }
+}

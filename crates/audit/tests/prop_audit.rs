@@ -1,0 +1,131 @@
+//! Property-based tests for the audit machinery.
+
+use fairbridge_audit::subgroup::SubgroupAuditor;
+use fairbridge_tabular::{Dataset, Role};
+use proptest::prelude::*;
+
+fn audit_data() -> impl Strategy<Value = (Dataset, Vec<bool>)> {
+    proptest::collection::vec((0u32..2, 0u32..2, any::<bool>()), 8..120).prop_map(|v| {
+        let mut g1 = Vec::new();
+        let mut g2 = Vec::new();
+        let mut decisions = Vec::new();
+        for (a, b, d) in v {
+            g1.push(a);
+            g2.push(b);
+            decisions.push(d);
+        }
+        let ds = Dataset::builder()
+            .categorical_with_role("g1", vec!["a", "b"], g1, Role::Protected)
+            .categorical_with_role("g2", vec!["x", "y"], g2, Role::Protected)
+            .boolean_with_role("y", decisions.clone(), Role::Label)
+            .build()
+            .unwrap();
+        (ds, decisions)
+    })
+}
+
+proptest! {
+    /// Every finding respects min_support, has a valid p-value and a gap
+    /// consistent with its reported rates.
+    #[test]
+    fn findings_are_internally_consistent((ds, decisions) in audit_data()) {
+        let auditor = SubgroupAuditor {
+            max_depth: 2,
+            min_support: 3,
+            alpha: 1.0, // keep everything
+        };
+        let findings = auditor.audit(&ds, &["g1", "g2"], &decisions).unwrap();
+        for f in &findings {
+            prop_assert!(f.size >= 3);
+            prop_assert!(f.size < ds.n_rows());
+            prop_assert!((0.0..=1.0).contains(&f.p_value));
+            prop_assert!((0.0..=1.0).contains(&f.rate));
+            prop_assert!((0.0..=1.0).contains(&f.complement_rate));
+            prop_assert!((f.gap - (f.rate - f.complement_rate)).abs() < 1e-12);
+            prop_assert!(!f.conditions.is_empty() && f.conditions.len() <= 2);
+        }
+        // findings are sorted by |gap| descending
+        for w in findings.windows(2) {
+            prop_assert!(w[0].gap.abs() >= w[1].gap.abs() - 1e-12);
+        }
+    }
+
+    /// Tightening alpha can only remove findings, never add them.
+    #[test]
+    fn alpha_monotonicity((ds, decisions) in audit_data()) {
+        let run = |alpha: f64| {
+            SubgroupAuditor {
+                max_depth: 2,
+                min_support: 3,
+                alpha,
+            }
+            .audit(&ds, &["g1", "g2"], &decisions)
+            .unwrap()
+            .len()
+        };
+        prop_assert!(run(0.01) <= run(0.10));
+        prop_assert!(run(0.10) <= run(1.0));
+    }
+
+    /// Raising min_support can only remove findings.
+    #[test]
+    fn support_monotonicity((ds, decisions) in audit_data()) {
+        let run = |min_support: usize| {
+            SubgroupAuditor {
+                max_depth: 2,
+                min_support,
+                alpha: 1.0,
+            }
+            .audit(&ds, &["g1", "g2"], &decisions)
+            .unwrap()
+            .len()
+        };
+        prop_assert!(run(20) <= run(5));
+        prop_assert!(run(5) <= run(1));
+    }
+
+    /// Depth-1 findings are a subset of the conditions seen at depth 2.
+    #[test]
+    fn depth_monotonicity((ds, decisions) in audit_data()) {
+        let run = |depth: usize| {
+            SubgroupAuditor {
+                max_depth: depth,
+                min_support: 3,
+                alpha: 1.0,
+            }
+            .audit(&ds, &["g1", "g2"], &decisions)
+            .unwrap()
+        };
+        let d1 = run(1);
+        let d2 = run(2);
+        prop_assert!(d2.len() >= d1.len());
+        // every depth-1 description reappears at depth 2
+        for f in &d1 {
+            prop_assert!(d2.iter().any(|g| g.describe() == f.describe()));
+        }
+    }
+
+    /// Constant decisions produce no significant findings at any alpha
+    /// below 1 (no gap exists).
+    #[test]
+    fn constant_decisions_no_findings(n in 8usize..80, value in any::<bool>()) {
+        let ds = Dataset::builder()
+            .categorical_with_role(
+                "g1",
+                vec!["a", "b"],
+                (0..n).map(|i| (i % 2) as u32).collect(),
+                Role::Protected,
+            )
+            .boolean_with_role("y", vec![value; n], Role::Label)
+            .build()
+            .unwrap();
+        let findings = SubgroupAuditor {
+            max_depth: 1,
+            min_support: 1,
+            alpha: 0.5,
+        }
+        .audit(&ds, &["g1"], &vec![value; n])
+        .unwrap();
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+}

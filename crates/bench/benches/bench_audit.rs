@@ -1,0 +1,40 @@
+//! Criterion bench for experiment E9: proxy auditing (association
+//! ranking and the composite pipeline) per dataset size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::audit::proxy::association_ranking;
+use fairbridge::audit::{AuditConfig, AuditPipeline};
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(3);
+    fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    )
+    .dataset
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy_audit_e9");
+    for n in [1_000usize, 10_000, 50_000] {
+        let ds = setup(n);
+        group.bench_with_input(BenchmarkId::new("association_ranking", n), &n, |b, _| {
+            b.iter(|| black_box(association_ranking(&ds, "sex").unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("full_pipeline", n), &n, |b, _| {
+            let pipeline = AuditPipeline::new(AuditConfig::default());
+            b.iter(|| black_box(pipeline.run(&ds, &["sex"], true).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

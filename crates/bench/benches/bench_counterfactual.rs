@@ -1,0 +1,47 @@
+//! Criterion bench for experiment E7: counterfactual probing cost per
+//! dataset size and adjustment strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::metrics::counterfactual::{counterfactual_fairness, AdjustStrategy};
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (TrainedModel, Dataset) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+    let cfg = EncoderConfig {
+        include_protected: true,
+        ..EncoderConfig::default()
+    };
+    let (enc, x) = FeatureEncoder::fit_transform(&data.dataset, cfg).unwrap();
+    let model = LogisticTrainer {
+        epochs: 50,
+        ..LogisticTrainer::default()
+    }
+    .fit(&x, data.dataset.labels().unwrap());
+    (TrainedModel::new(enc, Box::new(model)), data.dataset)
+}
+
+fn bench_counterfactual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counterfactual_e7");
+    for n in [500usize, 2_000, 8_000] {
+        let (model, ds) = setup(n);
+        for strategy in [AdjustStrategy::Identity, AdjustStrategy::GroupMeanShift] {
+            group.bench_with_input(BenchmarkId::new(format!("{strategy:?}"), n), &n, |b, _| {
+                b.iter(|| black_box(counterfactual_fairness(&model, &ds, "sex", strategy).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counterfactual);
+criterion_main!(benches);

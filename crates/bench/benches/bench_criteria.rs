@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E15: the criteria engine and legal
+//! catalogue lookups (fast-path guarantees for interactive tooling).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairbridge::prelude::*;
+use std::hint::black_box;
+
+fn bench_criteria(c: &mut Criterion) {
+    c.bench_function("recommend_eu_hiring", |b| {
+        let uc = UseCase::eu_hiring_default();
+        b.iter(|| black_box(recommend(&uc)))
+    });
+    c.bench_function("recommend_us_credit", |b| {
+        let uc = UseCase::us_credit_default();
+        b.iter(|| black_box(recommend(&uc)))
+    });
+    c.bench_function("statute_catalogue", |b| b.iter(|| black_box(statutes())));
+    c.bench_function("statutes_covering_lookup", |b| {
+        b.iter(|| {
+            black_box(statutes_covering(
+                Jurisdiction::Us,
+                ProtectedAttribute::Sex,
+                Sector::Credit,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_criteria);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for experiment E13: the four Section IV.F distances
+//! over sample size (MMD's quadratic cost vs the near-linear others).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::stats::distribution::{Discrete, Empirical};
+use fairbridge::stats::{
+    energy_distance, hellinger, js_divergence, mmd_rbf, total_variation, wasserstein_1d,
+};
+use std::hint::black_box;
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distances_e13");
+
+    // Discrete distances over category count.
+    for k in [2usize, 16, 256] {
+        let p = Discrete::uniform(k);
+        let probs: Vec<f64> = (0..k).map(|i| (i + 1) as f64).collect();
+        let total: f64 = probs.iter().sum();
+        let q = Discrete::new(probs.iter().map(|x| x / total).collect()).unwrap();
+        group.bench_with_input(BenchmarkId::new("total_variation", k), &k, |b, _| {
+            b.iter(|| black_box(total_variation(&p, &q)))
+        });
+        group.bench_with_input(BenchmarkId::new("hellinger", k), &k, |b, _| {
+            b.iter(|| black_box(hellinger(&p, &q)))
+        });
+        group.bench_with_input(BenchmarkId::new("js_divergence", k), &k, |b, _| {
+            b.iter(|| black_box(js_divergence(&p, &q)))
+        });
+    }
+
+    // Sample distances over sample size.
+    for n in [100usize, 1_000, 4_000] {
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.137).sin()).collect();
+        let ys: Vec<f64> = (0..n).map(|i| 0.3 + (i as f64 * 0.251).cos()).collect();
+        let ex = Empirical::new(xs.clone()).unwrap();
+        let ey = Empirical::new(ys.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("wasserstein_1d", n), &n, |b, _| {
+            b.iter(|| black_box(wasserstein_1d(&ex, &ey)))
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("mmd_rbf", n), &n, |b, _| {
+                b.iter(|| black_box(mmd_rbf(&xs, &ys, 1.0)))
+            });
+            group.bench_with_input(BenchmarkId::new("energy_distance", n), &n, |b, _| {
+                b.iter(|| black_box(energy_distance(&xs, &ys)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for experiment E11: feedback-loop simulation cost per
+//! generation count, with and without mitigation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::audit::feedback::{run_feedback_loop, FeedbackConfig, MitigationHook};
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_feedback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_e11");
+    group.sample_size(10);
+    for generations in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("plain", generations),
+            &generations,
+            |b, &g| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    let config = FeedbackConfig {
+                        generations: g,
+                        pool_size: 500,
+                        ..FeedbackConfig::default()
+                    };
+                    black_box(run_feedback_loop(&config, &mut rng).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with_reweighing", generations),
+            &generations,
+            |b, &g| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    let config = FeedbackConfig {
+                        generations: g,
+                        pool_size: 500,
+                        mitigation: Some(Box::new(|ds: &Dataset| {
+                            reweigh(ds, &["group"]).map(|r| r.dataset)
+                        }) as MitigationHook),
+                        ..FeedbackConfig::default()
+                    };
+                    black_box(run_feedback_loop(&config, &mut rng).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feedback);
+criterion_main!(benches);

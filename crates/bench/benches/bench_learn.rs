@@ -1,0 +1,75 @@
+//! Criterion bench for the ML substrate: training cost of each model
+//! family on the hiring workload (contextualizes the audit costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::learn::bayes::GaussianNb;
+use fairbridge::learn::calibrate::{IsotonicCalibrator, PlattScaler};
+use fairbridge::learn::forest::ForestTrainer;
+use fairbridge::learn::knn::KnnModel;
+use fairbridge::learn::tree::TreeTrainer;
+use fairbridge::learn::Scorer;
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (fairbridge::learn::Matrix, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+    let (_, x) = FeatureEncoder::fit_transform(&data.dataset, EncoderConfig::default()).unwrap();
+    (x, data.dataset.labels().unwrap().to_vec())
+}
+
+fn bench_learn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_substrate");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let (x, y) = setup(n);
+        group.bench_with_input(BenchmarkId::new("logistic_fit", n), &n, |b, _| {
+            let trainer = LogisticTrainer {
+                epochs: 100,
+                ..LogisticTrainer::default()
+            };
+            b.iter(|| black_box(trainer.fit(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("tree_fit", n), &n, |b, _| {
+            let trainer = TreeTrainer::default();
+            b.iter(|| black_box(trainer.fit(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_bayes_fit", n), &n, |b, _| {
+            b.iter(|| black_box(GaussianNb::fit(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("forest_fit", n), &n, |b, _| {
+            let trainer = ForestTrainer {
+                n_trees: 10,
+                ..ForestTrainer::default()
+            };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(9);
+                black_box(trainer.fit(&x, &y, &mut rng))
+            })
+        });
+        let scores: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64 / 100.0).collect();
+        group.bench_with_input(BenchmarkId::new("platt_fit", n), &n, |b, _| {
+            b.iter(|| black_box(PlattScaler::fit(&scores, &y).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("isotonic_fit", n), &n, |b, _| {
+            b.iter(|| black_box(IsotonicCalibrator::fit(&scores, &y).unwrap()))
+        });
+        let knn = KnnModel::fit(x.clone(), y.clone(), 5);
+        group.bench_with_input(BenchmarkId::new("knn_score_one", n), &n, |b, _| {
+            let probe = x.row(0).to_vec();
+            b.iter(|| black_box(knn.score(&probe)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learn);
+criterion_main!(benches);

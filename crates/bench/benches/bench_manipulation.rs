@@ -1,0 +1,69 @@
+//! Criterion bench for experiment E12: masking attack training and the
+//! three explainers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::audit::manipulation::{
+    coefficient_importance, loco_importance, permutation_importance, MaskingAttack,
+};
+use fairbridge::learn::matrix::Matrix;
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (Matrix, Vec<bool>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..n {
+        let female = i % 2 == 1;
+        let merit = (i % 10) as f64 / 10.0;
+        rows.push(vec![
+            if female { 1.0 } else { 0.0 },
+            if female { 1.0 } else { 0.0 },
+            merit,
+        ]);
+        y.push(if female { merit > 0.7 } else { merit > 0.3 });
+    }
+    (
+        Matrix::from_rows(&rows),
+        y,
+        vec!["sex".into(), "proxy".into(), "merit".into()],
+    )
+}
+
+fn bench_manipulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manipulation_e12");
+    for n in [500usize, 2_000] {
+        let (x, y, names) = setup(n);
+        group.bench_with_input(BenchmarkId::new("masking_attack", n), &n, |b, _| {
+            let attack = MaskingAttack {
+                target_features: vec![0],
+                mu: 500.0,
+                epochs: 300,
+                ..MaskingAttack::default()
+            };
+            b.iter(|| black_box(attack.train(&x, &y)))
+        });
+        let model = LogisticTrainer {
+            epochs: 200,
+            ..LogisticTrainer::default()
+        }
+        .fit(&x, &y);
+        group.bench_with_input(BenchmarkId::new("coefficient_explainer", n), &n, |b, _| {
+            b.iter(|| black_box(coefficient_importance(&model, &names)))
+        });
+        group.bench_with_input(BenchmarkId::new("loco_explainer", n), &n, |b, _| {
+            b.iter(|| black_box(loco_importance(&model, &x, &y, &names)))
+        });
+        group.bench_with_input(BenchmarkId::new("permutation_explainer", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(6);
+                black_box(permutation_importance(&model, &x, &y, &names, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_manipulation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench for experiment E8's instruments: reweighing, label
+//! massaging, quota selection and group thresholds per dataset size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::mitigate::massage::massage;
+use fairbridge::mitigate::quota::{quota_select, QuotaPolicy};
+use fairbridge::mitigate::reject_option::RejectOptionRule;
+use fairbridge::prelude::*;
+use fairbridge::tabular::GroupKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (Dataset, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+    let scores: Vec<f64> = data.dataset.numeric("skill_score").unwrap().to_vec();
+    (data.dataset, scores)
+}
+
+fn bench_mitigation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigation_e8");
+    for n in [1_000usize, 10_000, 50_000] {
+        let (ds, scores) = setup(n);
+        group.bench_with_input(BenchmarkId::new("reweighing", n), &n, |b, _| {
+            b.iter(|| black_box(reweigh(&ds, &["sex"]).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("massaging", n), &n, |b, _| {
+            b.iter(|| black_box(massage(&ds, "sex", &scores).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("quota_select", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    quota_select(&ds, &["sex"], &scores, n / 3, &QuotaPolicy::Proportional)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reject_option_apply", n), &n, |b, _| {
+            let rule = RejectOptionRule::new(0.2, GroupKey(vec!["female".into()])).unwrap();
+            b.iter(|| black_box(rule.apply(&ds, &["sex"], &scores).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("group_thresholds_fit", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    GroupThresholds::fit(
+                        &ds,
+                        &["sex"],
+                        &scores,
+                        ThresholdObjective::DemographicParity,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mitigation);
+criterion_main!(benches);

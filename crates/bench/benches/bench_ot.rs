@@ -1,0 +1,64 @@
+//! Criterion bench for experiment E14: quantile repair (group-aware) and
+//! group-blind repair over deployment size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::mitigate::group_blind::GroupBlindRepairer;
+use fairbridge::mitigate::ot::QuantileRepairer;
+use fairbridge::stats::distribution::Discrete;
+use fairbridge::stats::sinkhorn::{ordinal_cost, sinkhorn};
+use std::hint::black_box;
+
+fn world(n: usize) -> (Vec<f64>, Vec<u32>) {
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                (i as f64 * 0.731).fract()
+            } else {
+                1.0 + (i as f64 * 0.317).fract()
+            }
+        })
+        .collect();
+    let codes: Vec<u32> = (0..n).map(|i| u32::from(i % 3 == 0)).collect();
+    (values, codes)
+}
+
+fn bench_ot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ot_repair_e14");
+    for n in [1_000usize, 10_000, 50_000] {
+        let (values, codes) = world(n);
+        group.bench_with_input(BenchmarkId::new("quantile_repair_fit", n), &n, |b, _| {
+            b.iter(|| black_box(QuantileRepairer::fit(&values, &codes, 2).unwrap()))
+        });
+        let repairer = QuantileRepairer::fit(&values, &codes, 2).unwrap();
+        group.bench_with_input(BenchmarkId::new("quantile_repair_apply", n), &n, |b, _| {
+            b.iter(|| black_box(repairer.repair_all(&values, &codes, 1.0)))
+        });
+
+        let (research, research_g) = world(500);
+        let gb = GroupBlindRepairer::fit(&research, &research_g, &[2.0 / 3.0, 1.0 / 3.0], &values)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("group_blind_pooled", n), &n, |b, _| {
+            b.iter(|| black_box(gb.repair_all(&values, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("group_blind_soft", n), &n, |b, _| {
+            b.iter(|| black_box(gb.repair_all_soft(&values, 1.0)))
+        });
+    }
+    group.finish();
+
+    let mut sk = c.benchmark_group("sinkhorn_e14");
+    for k in [4usize, 16, 64] {
+        let p: Discrete = Discrete::uniform(k);
+        let raw: Vec<f64> = (1..=k).map(|i| i as f64).collect();
+        let total: f64 = raw.iter().sum();
+        let q = Discrete::new(raw.iter().map(|x| x / total).collect()).unwrap();
+        let cost = ordinal_cost(k, k);
+        sk.bench_with_input(BenchmarkId::new("sinkhorn_eps0.05", k), &k, |b, _| {
+            b.iter(|| black_box(sinkhorn(&p, &q, &cost, 0.05, 500).unwrap()))
+        });
+    }
+    sk.finish();
+}
+
+criterion_group!(benches, bench_ot);
+criterion_main!(benches);

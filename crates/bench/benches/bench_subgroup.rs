@@ -1,0 +1,78 @@
+//! Criterion bench for experiment E10: subgroup auditing — exhaustive
+//! enumeration vs the learned tree auditor, and the exponential cost of
+//! depth (the paper's IV.C "computational issues ... complexity increases
+//! exponentially").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairbridge::audit::subgroup::{tree_audit, SubgroupAuditor};
+use fairbridge::prelude::*;
+use fairbridge::stats::descriptive::bin_codes;
+use fairbridge::tabular::Column;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Gerrymandered data plus extra binned categorical columns so deeper
+/// audits have something to enumerate over.
+fn setup(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(4);
+    let ds = fairbridge::synth::intersectional::generate(
+        &IntersectionalConfig {
+            n,
+            ..IntersectionalConfig::default()
+        },
+        &mut rng,
+    );
+    let score_bins = bin_codes(ds.numeric("score").unwrap(), 3);
+    let tenure_bins = bin_codes(ds.numeric("tenure").unwrap(), 3);
+    ds.with_column(
+        "score_bin",
+        Column::categorical_from_codes(
+            vec!["lo".into(), "mid".into(), "hi".into()],
+            score_bins,
+            "score_bin",
+        )
+        .unwrap(),
+        Role::Feature,
+    )
+    .unwrap()
+    .with_column(
+        "tenure_bin",
+        Column::categorical_from_codes(
+            vec!["lo".into(), "mid".into(), "hi".into()],
+            tenure_bins,
+            "tenure_bin",
+        )
+        .unwrap(),
+        Role::Feature,
+    )
+    .unwrap()
+}
+
+fn bench_subgroup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgroup_e10");
+    let ds = setup(10_000);
+    let decisions = ds.labels().unwrap().to_vec();
+    let cols = ["gender", "race", "score_bin", "tenure_bin"];
+    for depth in [1usize, 2, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_depth", depth),
+            &depth,
+            |b, &d| {
+                let auditor = SubgroupAuditor {
+                    max_depth: d,
+                    min_support: 20,
+                    alpha: 0.05,
+                };
+                b.iter(|| black_box(auditor.audit(&ds, &cols, &decisions).unwrap()))
+            },
+        );
+    }
+    group.bench_function("tree_auditor_depth4", |b| {
+        b.iter(|| black_box(tree_audit(&ds, &cols, &decisions, 4, 20).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subgroup);
+criterion_main!(benches);

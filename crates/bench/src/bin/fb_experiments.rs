@@ -1,0 +1,59 @@
+//! `fb-experiments` — regenerates every reproducible artifact of the
+//! ICDE'24 paper (experiments E1–E15, see DESIGN.md §3).
+//!
+//! Usage:
+//!   fb-experiments              # run everything
+//!   fb-experiments E9 E13       # run selected experiments
+//!   fb-experiments --seed 7 E1  # custom RNG seed
+
+use fairbridge_bench::{run_all, run_one, EXPERIMENT_IDS};
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut seed = 424_242u64;
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        if arg == "--seed" {
+            seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--seed requires an integer");
+                std::process::exit(2);
+            });
+        } else if arg == "--list" {
+            for id in EXPERIMENT_IDS {
+                println!("{id}");
+            }
+            return;
+        } else {
+            ids.push(arg);
+        }
+    }
+
+    let results = if ids.is_empty() {
+        run_all(seed)
+    } else {
+        ids.iter()
+            .map(|id| {
+                run_one(id, seed).unwrap_or_else(|| {
+                    eprintln!("unknown experiment `{id}` (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut failed = 0usize;
+    for result in &results {
+        println!("{result}");
+        if !result.all_passed() {
+            failed += 1;
+        }
+    }
+    println!(
+        "\n{} experiment(s) run, {} with failing checks",
+        results.len(),
+        failed
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

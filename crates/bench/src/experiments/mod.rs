@@ -1,0 +1,136 @@
+//! The experiment registry: E1–E15 from DESIGN.md §3.
+
+mod extended;
+mod sampling;
+mod section3;
+mod section4;
+
+use std::fmt;
+
+/// One verified claim inside an experiment.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being checked (paper-facing phrasing).
+    pub name: String,
+    /// Whether the reproduction confirms it.
+    pub passed: bool,
+    /// Measured numbers backing the verdict.
+    pub detail: String,
+}
+
+impl Check {
+    pub(crate) fn new(name: &str, passed: bool, detail: String) -> Check {
+        Check {
+            name: name.to_owned(),
+            passed,
+            detail,
+        }
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Stable experiment id (E1..E15).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The paper artifact being reproduced.
+    pub paper_claim: &'static str,
+    /// Rendered result table.
+    pub table: String,
+    /// Claim-by-claim verification.
+    pub checks: Vec<Check>,
+}
+
+impl ExperimentResult {
+    /// Whether every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "━━ {} — {} ━━", self.id, self.title)?;
+        writeln!(f, "paper: {}", self.paper_claim)?;
+        writeln!(f, "{}", self.table)?;
+        for c in &self.checks {
+            writeln!(
+                f,
+                "  [{}] {} — {}",
+                if c.passed { "ok" } else { "FAIL" },
+                c.name,
+                c.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// All experiment ids in order.
+pub const EXPERIMENT_IDS: [&str; 18] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
+    "E16", "E17", "E18",
+];
+
+/// Runs one experiment by id.
+pub fn run_one(id: &str, seed: u64) -> Option<ExperimentResult> {
+    match id {
+        "E1" => Some(section3::e1_demographic_parity()),
+        "E2" => Some(section3::e2_conditional_statistical_parity()),
+        "E3" => Some(section3::e3_equal_opportunity()),
+        "E4" => Some(section3::e4_equalized_odds()),
+        "E5" => Some(section3::e5_demographic_disparity()),
+        "E6" => Some(section3::e6_conditional_demographic_disparity()),
+        "E7" => Some(section3::e7_counterfactual_fairness(seed)),
+        "E8" => Some(section4::e8_equality_notions(seed)),
+        "E9" => Some(section4::e9_proxy_discrimination(seed)),
+        "E10" => Some(section4::e10_intersectional(seed)),
+        "E11" => Some(section4::e11_feedback_loops(seed)),
+        "E12" => Some(section4::e12_manipulation(seed)),
+        "E13" => Some(sampling::e13_sample_complexity(seed)),
+        "E14" => Some(sampling::e14_group_blind_repair(seed)),
+        "E15" => Some(sampling::e15_criteria_engine()),
+        "E16" => Some(extended::e16_mitigation_matrix(seed)),
+        "E17" => Some(extended::e17_individual_and_calibration(seed)),
+        "E18" => Some(extended::e18_measurement_bias(seed)),
+        _ => None,
+    }
+}
+
+/// Runs every experiment.
+pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
+    EXPERIMENT_IDS
+        .iter()
+        .map(|id| run_one(id, seed).expect("registered id"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_runs_and_passes() {
+        for id in EXPERIMENT_IDS {
+            let result = run_one(id, 424_242).unwrap();
+            assert_eq!(result.id, id);
+            assert!(
+                result.all_passed(),
+                "{id} failed checks: {:#?}",
+                result
+                    .checks
+                    .iter()
+                    .filter(|c| !c.passed)
+                    .collect::<Vec<_>>()
+            );
+            assert!(!result.table.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_one("E99", 1).is_none());
+    }
+}

@@ -1,0 +1,576 @@
+//! Experiments E1–E7: the Section III worked examples, reproduced with
+//! the paper's exact head-counts.
+
+use super::{Check, ExperimentResult};
+use fairbridge::metrics::conditional::conditional_parity_on_labels;
+use fairbridge::metrics::counterfactual::{counterfactual_fairness, AdjustStrategy};
+use fairbridge::metrics::disparity::{conditional_demographic_disparity, demographic_disparity};
+use fairbridge::metrics::odds::equalized_odds;
+use fairbridge::metrics::opportunity::equal_opportunity;
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fmt_row(cols: &[String]) -> String {
+    cols.iter()
+        .map(|c| format!("{c:<18}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// E1 — §III.A: 20 males (10 hired) / 10 females; sweep female hires.
+pub fn e1_demographic_parity() -> ExperimentResult {
+    let mut table = String::new();
+    table += &fmt_row(&[
+        "females hired".into(),
+        "female rate".into(),
+        "male rate".into(),
+        "gap".into(),
+        "verdict".into(),
+    ]);
+    table.push('\n');
+    let mut checks = Vec::new();
+    for females_hired in 0..=10usize {
+        let mut preds = Vec::new();
+        let mut codes = Vec::new();
+        for i in 0..20 {
+            preds.push(i < 10);
+            codes.push(0u32);
+        }
+        for i in 0..10 {
+            preds.push(i < females_hired);
+            codes.push(1);
+        }
+        let o = Outcomes::from_slices(&preds, None, &codes, &["male", "female"]).unwrap();
+        let report = demographic_parity(&o, 0);
+        let female = report
+            .rates
+            .iter()
+            .find(|r| r.group.levels()[0] == "female")
+            .unwrap();
+        let male = report
+            .rates
+            .iter()
+            .find(|r| r.group.levels()[0] == "male")
+            .unwrap();
+        let verdict = if report.is_fair(1e-9) {
+            "fair"
+        } else if female.rate < male.rate {
+            "biased vs females"
+        } else {
+            "biased vs males"
+        };
+        table += &fmt_row(&[
+            females_hired.to_string(),
+            format!("{:.2}", female.rate),
+            format!("{:.2}", male.rate),
+            format!("{:.2}", report.summary.gap),
+            verdict.into(),
+        ]);
+        table.push('\n');
+        if females_hired == 5 {
+            checks.push(Check::new(
+                "exactly 5 females hired is fair",
+                report.is_fair(1e-9),
+                format!("gap {:.4}", report.summary.gap),
+            ));
+        }
+        if females_hired == 3 {
+            checks.push(Check::new(
+                "fewer than 5 is biased against females",
+                !report.is_fair(1e-9) && female.rate < male.rate,
+                format!("female {:.2} male {:.2}", female.rate, male.rate),
+            ));
+        }
+        if females_hired == 8 {
+            checks.push(Check::new(
+                "more than 5 is biased against males",
+                !report.is_fair(1e-9) && female.rate > male.rate,
+                format!("female {:.2} male {:.2}", female.rate, male.rate),
+            ));
+        }
+    }
+    ExperimentResult {
+        id: "E1",
+        title: "demographic parity (Eq. 1)",
+        paper_claim: "10/20 males hired ⇒ fair iff exactly 5/10 females hired",
+        table,
+        checks,
+    }
+}
+
+/// E2 — §III.B: 10 young males (5 hired), 6 young females; sweep.
+pub fn e2_conditional_statistical_parity() -> ExperimentResult {
+    let cohort = |young_females_hired: usize| {
+        let mut sex = Vec::new();
+        let mut young = Vec::new();
+        let mut hired = Vec::new();
+        for i in 0..10 {
+            sex.push(0u32);
+            young.push(true);
+            hired.push(i < 5);
+        }
+        for _ in 0..10 {
+            sex.push(0);
+            young.push(false);
+            hired.push(false);
+        }
+        for i in 0..6 {
+            sex.push(1);
+            young.push(true);
+            hired.push(i < young_females_hired);
+        }
+        for _ in 0..4 {
+            sex.push(1);
+            young.push(false);
+            hired.push(false);
+        }
+        Dataset::builder()
+            .categorical_with_role("sex", vec!["male", "female"], sex, Role::Protected)
+            .boolean("young", young)
+            .boolean_with_role("hired", hired, Role::Label)
+            .build()
+            .unwrap()
+    };
+    let mut table = String::new();
+    table += &fmt_row(&[
+        "young F hired".into(),
+        "young-stratum gap".into(),
+        "verdict".into(),
+    ]);
+    table.push('\n');
+    let mut checks = Vec::new();
+    for k in 0..=6usize {
+        let report = conditional_parity_on_labels(&cohort(k), &["sex"], &["young"], 0).unwrap();
+        let young = report
+            .strata
+            .iter()
+            .find(|s| s.stratum.levels()[0] == "true")
+            .unwrap();
+        let fair = young.parity.is_fair(1e-9);
+        table += &fmt_row(&[
+            k.to_string(),
+            format!("{:.3}", young.parity.summary.gap),
+            if fair { "fair".into() } else { "unfair".into() },
+        ]);
+        table.push('\n');
+        if k == 3 {
+            checks.push(Check::new(
+                "exactly 3 young females hired is fair in the young stratum",
+                fair,
+                format!("gap {:.4}", young.parity.summary.gap),
+            ));
+        }
+        if k == 1 {
+            checks.push(Check::new(
+                "fewer than 3 is unfair",
+                !fair,
+                format!("gap {:.4}", young.parity.summary.gap),
+            ));
+        }
+    }
+    ExperimentResult {
+        id: "E2",
+        title: "conditional statistical parity (Eq. 2)",
+        paper_claim: "5/10 young males hired ⇒ fair iff exactly 3/6 young females hired",
+        table,
+        checks,
+    }
+}
+
+/// E3 — §III.C: 10 qualified males (5 hired), 6 qualified females; sweep.
+pub fn e3_equal_opportunity() -> ExperimentResult {
+    let cohort = |k: usize| {
+        let mut preds = Vec::new();
+        let mut labels = Vec::new();
+        let mut codes = Vec::new();
+        for i in 0..10 {
+            preds.push(i < 5);
+            labels.push(true);
+            codes.push(0u32);
+        }
+        for _ in 0..10 {
+            preds.push(false);
+            labels.push(false);
+            codes.push(0);
+        }
+        for i in 0..6 {
+            preds.push(i < k);
+            labels.push(true);
+            codes.push(1);
+        }
+        for _ in 0..4 {
+            preds.push(false);
+            labels.push(false);
+            codes.push(1);
+        }
+        Outcomes::from_slices(&preds, Some(&labels), &codes, &["male", "female"]).unwrap()
+    };
+    let mut table = String::new();
+    table += &fmt_row(&[
+        "qualified F hired".into(),
+        "female TPR".into(),
+        "male TPR".into(),
+        "verdict".into(),
+    ]);
+    table.push('\n');
+    let mut checks = Vec::new();
+    for k in 0..=6usize {
+        let report = equal_opportunity(&cohort(k), 0).unwrap();
+        let f = report
+            .tpr
+            .iter()
+            .find(|r| r.group.levels()[0] == "female")
+            .unwrap()
+            .rate;
+        let m = report
+            .tpr
+            .iter()
+            .find(|r| r.group.levels()[0] == "male")
+            .unwrap()
+            .rate;
+        table += &fmt_row(&[
+            k.to_string(),
+            format!("{f:.3}"),
+            format!("{m:.3}"),
+            if report.is_fair(1e-9) {
+                "fair".into()
+            } else {
+                "unfair".into()
+            },
+        ]);
+        table.push('\n');
+        if k == 3 {
+            checks.push(Check::new(
+                "3 of 6 qualified females hired equalizes TPR at 50%",
+                report.is_fair(1e-9) && (f - 0.5).abs() < 1e-12,
+                format!("female TPR {f:.3}, male TPR {m:.3}"),
+            ));
+        }
+    }
+    ExperimentResult {
+        id: "E3",
+        title: "equal opportunity (Eq. 3)",
+        paper_claim: "5/10 qualified males hired ⇒ fair iff 3/6 qualified females hired",
+        table,
+        checks,
+    }
+}
+
+/// E4 — §III.D: 12 males / 6 females, 9 hires; fair split vs inverted.
+pub fn e4_equalized_odds() -> ExperimentResult {
+    let build = |fair: bool| {
+        let mut preds = Vec::new();
+        let mut labels = Vec::new();
+        let mut codes = Vec::new();
+        for _ in 0..6 {
+            preds.push(true);
+            labels.push(true);
+            codes.push(0u32);
+        }
+        for _ in 0..6 {
+            preds.push(false);
+            labels.push(false);
+            codes.push(0);
+        }
+        for i in 0..6 {
+            let good = i < 3;
+            labels.push(good);
+            preds.push(if fair { good } else { !good });
+            codes.push(1);
+        }
+        Outcomes::from_slices(&preds, Some(&labels), &codes, &["male", "female"]).unwrap()
+    };
+    let mut table = String::new();
+    table += &fmt_row(&[
+        "scenario".into(),
+        "TPR gap".into(),
+        "FPR gap".into(),
+        "verdict".into(),
+    ]);
+    table.push('\n');
+    let mut checks = Vec::new();
+    for (name, fair) in [("paper-fair", true), ("inverted", false)] {
+        let report = equalized_odds(&build(fair), 0).unwrap();
+        table += &fmt_row(&[
+            name.into(),
+            format!("{:.3}", report.tpr_summary.gap),
+            format!("{:.3}", report.fpr_summary.gap),
+            if report.is_fair(1e-9) {
+                "fair".into()
+            } else {
+                "unfair".into()
+            },
+        ]);
+        table.push('\n');
+        if fair {
+            checks.push(Check::new(
+                "hiring all 3 good-match females and rejecting the 3 bad ones satisfies \
+                 equalized odds",
+                report.is_fair(1e-9),
+                format!(
+                    "TPR gap {:.4}, FPR gap {:.4}",
+                    report.tpr_summary.gap, report.fpr_summary.gap
+                ),
+            ));
+            let hires = build(true).predictions.iter().filter(|&&p| p).count();
+            checks.push(Check::new(
+                "the example's 9 hires / 9 rejections hold",
+                hires == 9,
+                format!("{hires} hires"),
+            ));
+        } else {
+            checks.push(Check::new(
+                "inverting the female decisions maximally violates both rates",
+                (report.tpr_summary.gap - 1.0).abs() < 1e-12
+                    && (report.fpr_summary.gap - 1.0).abs() < 1e-12,
+                format!(
+                    "TPR gap {:.2}, FPR gap {:.2}",
+                    report.tpr_summary.gap, report.fpr_summary.gap
+                ),
+            ));
+        }
+    }
+    ExperimentResult {
+        id: "E4",
+        title: "equalized odds (Eq. 4)",
+        paper_claim: "fair iff TPR = 100% and FPR = 0% for both groups (9 hires of 18)",
+        table,
+        checks,
+    }
+}
+
+/// E5 — §III.E: 10 females; fair iff more hired than rejected.
+pub fn e5_demographic_disparity() -> ExperimentResult {
+    let mut table = String::new();
+    table += &fmt_row(&["females hired".into(), "rate".into(), "verdict".into()]);
+    table.push('\n');
+    let mut checks = Vec::new();
+    for hired in 0..=10usize {
+        let preds: Vec<bool> = (0..10).map(|i| i < hired).collect();
+        let o = Outcomes::from_slices(&preds, None, &[0; 10], &["female"]).unwrap();
+        let report = demographic_disparity(&o);
+        table += &fmt_row(&[
+            hired.to_string(),
+            format!("{:.1}", hired as f64 / 10.0),
+            if report.is_fair() {
+                "fair".into()
+            } else {
+                "unfair".into()
+            },
+        ]);
+        table.push('\n');
+        match hired {
+            6 => checks.push(Check::new(
+                "6 hires (more accepted than rejected) is fair",
+                report.is_fair(),
+                "rate 0.6 > 0.5".into(),
+            )),
+            5 => checks.push(Check::new(
+                "exactly 5/5 fails the strict inequality",
+                !report.is_fair(),
+                "rate 0.5 is not > 0.5".into(),
+            )),
+            4 => checks.push(Check::new(
+                "more than 5 rejections is unfair",
+                !report.is_fair(),
+                "rate 0.4".into(),
+            )),
+            _ => {}
+        }
+    }
+    ExperimentResult {
+        id: "E5",
+        title: "demographic disparity (Eq. 5)",
+        paper_claim: "fair towards females iff more than 5 of 10 are hired",
+        table,
+        checks,
+    }
+}
+
+/// E6 — §III.F: 100 females over 5 jobs, 40 hired overall.
+pub fn e6_conditional_demographic_disparity() -> ExperimentResult {
+    let mut sex = Vec::new();
+    let mut job = Vec::new();
+    let mut hired = Vec::new();
+    for j in 0..4u32 {
+        for _ in 0..10 {
+            sex.push(0u32);
+            job.push(j);
+            hired.push(true);
+        }
+    }
+    for _ in 0..60 {
+        sex.push(0);
+        job.push(4);
+        hired.push(false);
+    }
+    let ds = Dataset::builder()
+        .categorical_with_role("sex", vec!["female"], sex, Role::Protected)
+        .categorical_with_role(
+            "job",
+            vec!["job1", "job2", "job3", "job4", "job5"],
+            job,
+            Role::Feature,
+        )
+        .boolean_with_role("hired", hired, Role::Label)
+        .build()
+        .unwrap();
+
+    let marginal = Outcomes::from_labels_as_decisions(&ds, &["sex"]).unwrap();
+    let marginal_fair = demographic_disparity(&marginal).is_fair();
+    let cond = conditional_demographic_disparity(&ds, &["sex"], &["job"], true).unwrap();
+
+    let mut table = String::new();
+    table += &fmt_row(&["stratum".into(), "hire rate".into(), "verdict".into()]);
+    table.push('\n');
+    table += &fmt_row(&[
+        "(marginal)".into(),
+        "0.40".into(),
+        if marginal_fair {
+            "fair".into()
+        } else {
+            "unfair".into()
+        },
+    ]);
+    table.push('\n');
+    for s in &cond.strata {
+        let g = &s.groups[0];
+        table += &fmt_row(&[
+            s.stratum.levels()[0].clone(),
+            format!("{:.2}", g.stat.rate),
+            if g.fair {
+                "fair".into()
+            } else {
+                "unfair".into()
+            },
+        ]);
+        table.push('\n');
+    }
+    let unfair: Vec<String> = cond
+        .unfair_strata()
+        .iter()
+        .map(|k| k.levels()[0].clone())
+        .collect();
+    let checks = vec![
+        Check::new(
+            "the marginal check declares the model unfair (40 < 60)",
+            !marginal_fair,
+            "hire rate 0.40".into(),
+        ),
+        Check::new(
+            "conditioning on the job flips the verdict for jobs 1–4",
+            unfair == vec!["job5".to_owned()],
+            format!("unfair strata: {unfair:?}"),
+        ),
+    ];
+    ExperimentResult {
+        id: "E6",
+        title: "conditional demographic disparity (Eq. 6)",
+        paper_claim: "fair for the first 4 jobs, unfair only for the fifth",
+        table,
+        checks,
+    }
+}
+
+/// E7 — §III.G: flip the protected attribute; the decision must hold.
+pub fn e7_counterfactual_fairness(seed: u64) -> ExperimentResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 3000,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+    let fair_data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 3000,
+            bias_against_female: 0.0,
+            proxy_strength: 0.5,
+            ..HiringConfig::default()
+        },
+        &mut rng,
+    );
+    let train = |ds: &Dataset, aware: bool| {
+        let cfg = EncoderConfig {
+            include_protected: aware,
+            ..EncoderConfig::default()
+        };
+        let (enc, x) = FeatureEncoder::fit_transform(ds, cfg).unwrap();
+        let model = LogisticTrainer::default().fit(&x, ds.labels().unwrap());
+        TrainedModel::new(enc, Box::new(model))
+    };
+
+    let mut table = String::new();
+    table += &fmt_row(&[
+        "model".into(),
+        "probe".into(),
+        "flip rate".into(),
+        "mean score shift".into(),
+    ]);
+    table.push('\n');
+    let mut rows = Vec::new();
+    for (name, ds, aware) in [
+        ("biased+aware", &data.dataset, true),
+        ("biased+unaware", &data.dataset, false),
+        ("fair", &fair_data.dataset, false),
+    ] {
+        let model = train(ds, aware);
+        for strategy in [AdjustStrategy::Identity, AdjustStrategy::GroupMeanShift] {
+            let r = counterfactual_fairness(&model, ds, "sex", strategy).unwrap();
+            table += &fmt_row(&[
+                name.into(),
+                format!("{strategy:?}"),
+                format!("{:.3}", r.flip_rate),
+                format!("{:.3}", r.mean_score_shift),
+            ]);
+            table.push('\n');
+            rows.push((name, strategy, r.flip_rate));
+        }
+    }
+    let get = |n: &str, s: AdjustStrategy| {
+        rows.iter()
+            .find(|(name, strat, _)| *name == n && *strat == s)
+            .unwrap()
+            .2
+    };
+    let checks = vec![
+        Check::new(
+            "the aware biased model flips decisions when sex is flipped",
+            get("biased+aware", AdjustStrategy::Identity) > 0.1,
+            format!(
+                "identity flip rate {:.3}",
+                get("biased+aware", AdjustStrategy::Identity)
+            ),
+        ),
+        Check::new(
+            "the unaware biased model passes the naive probe but fails the adjusted one",
+            get("biased+unaware", AdjustStrategy::Identity) < 0.02
+                && get("biased+unaware", AdjustStrategy::GroupMeanShift)
+                    > get("biased+unaware", AdjustStrategy::Identity),
+            format!(
+                "identity {:.3} vs adjusted {:.3}",
+                get("biased+unaware", AdjustStrategy::Identity),
+                get("biased+unaware", AdjustStrategy::GroupMeanShift)
+            ),
+        ),
+        Check::new(
+            "the fair model passes both probes",
+            get("fair", AdjustStrategy::Identity) < 0.05
+                && get("fair", AdjustStrategy::GroupMeanShift) < 0.08,
+            format!(
+                "identity {:.3}, adjusted {:.3}",
+                get("fair", AdjustStrategy::Identity),
+                get("fair", AdjustStrategy::GroupMeanShift)
+            ),
+        ),
+    ];
+    ExperimentResult {
+        id: "E7",
+        title: "counterfactual fairness (§III.G)",
+        paper_claim: "change the sex (adjusting other features); the prediction must not change",
+        table,
+        checks,
+    }
+}

@@ -1,0 +1,427 @@
+//! Experiments E8–E12: the Section IV criterion phenomena.
+
+use super::{Check, ExperimentResult};
+use fairbridge::audit::feedback::{run_feedback_loop, FeedbackConfig, MitigationHook};
+use fairbridge::audit::manipulation::{coefficient_importance, detect_masking, MaskingAttack};
+use fairbridge::audit::proxy::{predictability_audit, unawareness_experiment};
+use fairbridge::audit::subgroup::SubgroupAuditor;
+use fairbridge::learn::eval::accuracy;
+use fairbridge::learn::matrix::Matrix;
+use fairbridge::learn::Scorer;
+use fairbridge::mitigate::quota::{quota_select, QuotaPolicy};
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E8 — §IV.A: the definition↔equality-notion table plus the quota
+/// trade-off sweep (equal outcome costs accuracy against biased labels).
+pub fn e8_equality_notions(seed: u64) -> ExperimentResult {
+    // Part 1: the mapping table.
+    let mut table = String::from("definition classification (paper §IV.A):\n");
+    for d in Definition::PAPER_SECTION_III {
+        table += &format!(
+            "  {:<6} {:<36} → {}\n",
+            d.paper_section().unwrap_or("-"),
+            d.name(),
+            d.equality_notion()
+        );
+    }
+    let mapping_ok = {
+        use fairbridge::metrics::Definition::*;
+        use fairbridge::metrics::EqualityNotion::*;
+        DemographicParity.equality_notion() == EqualOutcome
+            && ConditionalStatisticalParity.equality_notion() == EqualOutcome
+            && EqualOpportunity.equality_notion() == EqualTreatment
+            && EqualizedOdds.equality_notion() == EqualTreatment
+            && DemographicDisparity.equality_notion() == EqualOutcome
+            && ConditionalDemographicDisparity.equality_notion() == EqualOutcome
+            && CounterfactualFairness.equality_notion() == MiddleGround
+    };
+
+    // Part 2: quota sweep on biased hiring data.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 4000,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+    let ds = &data.dataset;
+    let (enc, x) = FeatureEncoder::fit_transform(ds, EncoderConfig::default()).unwrap();
+    let model = LogisticTrainer::default().fit(&x, ds.labels().unwrap());
+    let trained = TrainedModel::new(enc, Box::new(model));
+    let scores = trained.score_dataset(ds).unwrap();
+    let capacity = ds.n_rows() / 3;
+
+    table += "\nquota sweep (capacity = n/3, decisions vs TRUE qualification):\n";
+    table += &format!(
+        "  {:<22} {:>12} {:>14}\n",
+        "policy", "parity gap", "merit accuracy"
+    );
+    let truth = ds.boolean("qualified").unwrap();
+    let mut sweep = Vec::new();
+    for (name, quota) in [("pure ranking", false), ("proportional quota", true)] {
+        let selected = if quota {
+            quota_select(ds, &["sex"], &scores, capacity, &QuotaPolicy::Proportional)
+                .unwrap()
+                .selected
+        } else {
+            let mut order: Vec<usize> = (0..ds.n_rows()).collect();
+            order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+            let mut v = vec![false; ds.n_rows()];
+            for &i in order.iter().take(capacity) {
+                v[i] = true;
+            }
+            v
+        };
+        let annotated = ds.with_predictions("sel", selected.clone()).unwrap();
+        let o = Outcomes::from_dataset(&annotated, &["sex"]).unwrap();
+        let gap = demographic_parity(&o, 0).summary.gap;
+        let merit_acc = accuracy(truth, &selected);
+        table += &format!("  {name:<22} {gap:>12.3} {merit_acc:>14.3}\n");
+        sweep.push((name, gap, merit_acc));
+    }
+    let checks = vec![
+        Check::new(
+            "A,B,E,F → equal outcome; C,D → equal treatment; G → middle ground",
+            mapping_ok,
+            "Definition::equality_notion matches §IV.A".into(),
+        ),
+        Check::new(
+            "the proportional quota shrinks the parity gap of pure ranking",
+            sweep[1].1 < sweep[0].1,
+            format!(
+                "ranking gap {:.3} → quota gap {:.3}",
+                sweep[0].1, sweep[1].1
+            ),
+        ),
+    ];
+    ExperimentResult {
+        id: "E8",
+        title: "equal treatment vs equal outcome (§IV.A)",
+        paper_claim: "the seven definitions partition into outcome/treatment/middle; quotas \
+                      enforce equal outcome",
+        table,
+        checks,
+    }
+}
+
+/// E9 — §IV.B: proxy discrimination / unawareness failure, swept over the
+/// proxy strength ρ.
+pub fn e9_proxy_discrimination(seed: u64) -> ExperimentResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = String::new();
+    table += &format!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14}\n",
+        "ρ", "aware gap", "unaware gap", "retention", "recovery AUC"
+    );
+    let mut rows = Vec::new();
+    for rho in [0.5, 0.7, 0.9, 0.95] {
+        let data = fairbridge::synth::hiring::generate(
+            &HiringConfig {
+                n: 8000,
+                bias_against_female: 0.4,
+                proxy_strength: rho,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let exp = unawareness_experiment(&data.dataset, "sex", &mut rng).unwrap();
+        let audit = predictability_audit(&data.dataset, "sex", "female", &mut rng).unwrap();
+        table += &format!(
+            "{:<8.2} {:>12.3} {:>12.3} {:>12.3} {:>14.3}\n",
+            rho,
+            exp.gap_aware,
+            exp.gap_unaware,
+            exp.bias_retention(),
+            audit.auc
+        );
+        rows.push((rho, exp, audit.auc));
+    }
+    let weak = &rows[0];
+    let strong = &rows[3];
+    let checks = vec![
+        Check::new(
+            "with no proxy (ρ=0.5), unawareness removes most of the bias",
+            weak.1.gap_unaware < weak.1.gap_aware * 0.5 || weak.1.gap_unaware < 0.05,
+            format!(
+                "aware {:.3} → unaware {:.3}",
+                weak.1.gap_aware, weak.1.gap_unaware
+            ),
+        ),
+        Check::new(
+            "with a strong proxy (ρ=0.95), most of the bias survives removal",
+            strong.1.bias_retention() > 0.4,
+            format!("retention {:.2}", strong.1.bias_retention()),
+        ),
+        Check::new(
+            "attribute recovery AUC grows with proxy strength",
+            strong.2 > weak.2 + 0.2,
+            format!("AUC {:.3} (ρ=0.5) vs {:.3} (ρ=0.95)", weak.2, strong.2),
+        ),
+    ];
+    ExperimentResult {
+        id: "E9",
+        title: "proxy discrimination / fairness through unawareness (§IV.B)",
+        paper_claim: "removing the sensitive attribute does not remove the bias when proxies \
+                      exist",
+        table,
+        checks,
+    }
+}
+
+/// E10 — §IV.C: intersectional gerrymandering found only at depth 2.
+pub fn e10_intersectional(seed: u64) -> ExperimentResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = fairbridge::synth::intersectional::generate(
+        &IntersectionalConfig {
+            n: 12_000,
+            ..IntersectionalConfig::default()
+        },
+        &mut rng,
+    );
+    let mut table = String::new();
+    table += "marginal audits:\n";
+    let mut marginal_gaps = Vec::new();
+    for attr in ["gender", "race"] {
+        let o = Outcomes::from_labels_as_decisions(&ds, &[attr]).unwrap();
+        let gap = demographic_parity(&o, 0).summary.gap;
+        table += &format!("  {attr:<8} parity gap {gap:.4}\n");
+        marginal_gaps.push(gap);
+    }
+    table += "depth-2 subgroup audit:\n";
+    let findings = SubgroupAuditor::default()
+        .audit_dataset(&ds, &["gender", "race"], true)
+        .unwrap();
+    for f in findings.iter().take(4) {
+        table += &format!(
+            "  {:<42} gap {:+.3} (n={}, p={:.1e})\n",
+            f.describe(),
+            f.gap,
+            f.size,
+            f.p_value
+        );
+    }
+    let top = findings.first();
+    let checks = vec![
+        Check::new(
+            "both marginal audits pass (gap < 0.05)",
+            marginal_gaps.iter().all(|&g| g < 0.05),
+            format!("{marginal_gaps:?}"),
+        ),
+        Check::new(
+            "the depth-2 audit finds an intersection with a large significant gap",
+            top.is_some_and(|f| f.conditions.len() == 2 && f.gap.abs() > 0.2 && f.p_value < 1e-6),
+            top.map(|f| format!("{} gap {:+.3}", f.describe(), f.gap))
+                .unwrap_or_default(),
+        ),
+        Check::new(
+            "the disadvantaged intersections are the paper's pattern",
+            findings.iter().any(|f| {
+                f.gap < -0.2
+                    && f.describe().contains("gender=male")
+                    && f.describe().contains("race=non_caucasian")
+            }) && findings.iter().any(|f| {
+                f.gap < -0.2
+                    && f.describe().contains("gender=female")
+                    && f.describe().contains("race=caucasian")
+            }),
+            "non-Caucasian males and Caucasian females unfavored".into(),
+        ),
+    ];
+    ExperimentResult {
+        id: "E10",
+        title: "intersectional / subgroup fairness (§IV.C)",
+        paper_claim: "fair on gender and race separately, biased on their intersections",
+        table,
+        checks,
+    }
+}
+
+/// E11 — §IV.D: feedback loop with and without mitigation.
+pub fn e11_feedback_loops(seed: u64) -> ExperimentResult {
+    let run = |mitigated: bool| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = FeedbackConfig {
+            generations: 8,
+            mitigation: mitigated.then(|| {
+                Box::new(|ds: &Dataset| reweigh(ds, &["group"]).map(|r| r.dataset))
+                    as MitigationHook
+            }),
+            ..FeedbackConfig::default()
+        };
+        run_feedback_loop(&config, &mut rng).unwrap()
+    };
+    let plain = run(false);
+    let fixed = run(true);
+
+    let mut table = String::new();
+    table += &format!(
+        "{:<4} {:>14} {:>14} {:>14} {:>14}\n",
+        "gen", "gap (plain)", "gap (fixed)", "share (plain)", "share (fixed)"
+    );
+    for (p, f) in plain.records.iter().zip(&fixed.records) {
+        table += &format!(
+            "{:<4} {:>14.3} {:>14.3} {:>14.3} {:>14.3}\n",
+            p.generation, p.parity_gap, f.parity_gap, p.disadvantaged_share, f.disadvantaged_share
+        );
+    }
+    let checks = vec![
+        Check::new(
+            "the unmitigated loop sustains the parity gap",
+            plain.final_gap() > 0.1,
+            format!("final gap {:.3}", plain.final_gap()),
+        ),
+        Check::new(
+            "discouragement shrinks the disadvantaged applicant share below 1/3",
+            plain.final_disadvantaged_share() < 0.31,
+            format!("share {:.3}", plain.final_disadvantaged_share()),
+        ),
+        Check::new(
+            "per-round reweighing dampens the loop",
+            fixed.final_gap() < plain.final_gap()
+                && fixed.final_disadvantaged_share() > plain.final_disadvantaged_share(),
+            format!(
+                "gap {:.3}→{:.3}, share {:.3}→{:.3}",
+                plain.final_gap(),
+                fixed.final_gap(),
+                plain.final_disadvantaged_share(),
+                fixed.final_disadvantaged_share()
+            ),
+        ),
+    ];
+    ExperimentResult {
+        id: "E11",
+        title: "feedback loops (§IV.D)",
+        paper_claim: "retraining on own decisions perpetuates bias and discourages the \
+                      protected group from applying",
+        table,
+        checks,
+    }
+}
+
+/// E12 — §IV.E: the masking attack and its detection.
+pub fn e12_manipulation(_seed: u64) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    let mut group = Vec::new();
+    for i in 0..600 {
+        let female = i % 2 == 1;
+        let merit = (i % 10) as f64 / 10.0;
+        rows.push(vec![
+            if female { 1.0 } else { 0.0 },
+            if female { 1.0 } else { 0.0 },
+            merit,
+        ]);
+        y.push(if female { merit > 0.7 } else { merit > 0.3 });
+        group.push(female);
+    }
+    let x = Matrix::from_rows(&rows);
+    let names = vec![
+        "sex=female".to_owned(),
+        "university=metro".to_owned(),
+        "merit".to_owned(),
+    ];
+    let honest = LogisticTrainer {
+        epochs: 2000,
+        ..LogisticTrainer::default()
+    }
+    .fit(&x, &y);
+    let masked = MaskingAttack {
+        target_features: vec![0],
+        mu: 500.0,
+        ..MaskingAttack::default()
+    }
+    .train(&x, &y);
+
+    let acc = |m: &fairbridge::learn::LogisticModel| {
+        x.rows()
+            .enumerate()
+            .filter(|(i, row)| (m.score(row) >= 0.5) == y[*i])
+            .count() as f64
+            / y.len() as f64
+    };
+    let gap = |m: &fairbridge::learn::LogisticModel| {
+        let (mut p0, mut n0, mut p1, mut n1) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (i, row) in x.rows().enumerate() {
+            let sel = m.score(row) >= 0.5;
+            if group[i] {
+                n1 += 1.0;
+                if sel {
+                    p1 += 1.0;
+                }
+            } else {
+                n0 += 1.0;
+                if sel {
+                    p0 += 1.0;
+                }
+            }
+        }
+        (p0 / n0 - p1 / n1).abs()
+    };
+    let imp_honest = coefficient_importance(&honest, &names);
+    let imp_masked = coefficient_importance(&masked, &names);
+
+    let mut table = String::new();
+    table += &format!(
+        "{:<10} {:>12} {:>12} {:>16}\n",
+        "model", "accuracy", "parity gap", "|w(sex=female)|"
+    );
+    table += &format!(
+        "{:<10} {:>12.3} {:>12.3} {:>16.4}\n",
+        "honest",
+        acc(&honest),
+        gap(&honest),
+        imp_honest.of("sex=female").unwrap()
+    );
+    table += &format!(
+        "{:<10} {:>12.3} {:>12.3} {:>16.4}\n",
+        "masked",
+        acc(&masked),
+        gap(&masked),
+        imp_masked.of("sex=female").unwrap()
+    );
+
+    let verdict = detect_masking(&imp_masked, &["sex=female"], gap(&masked), 0.1, 0.15);
+    table += &format!(
+        "detector: explained importance {:.3}, gap {:.3} → {}\n",
+        verdict.explained_importance,
+        verdict.parity_gap,
+        if verdict.suspicious {
+            "MASKING SUSPECTED"
+        } else {
+            "consistent"
+        }
+    );
+    let checks = vec![
+        Check::new(
+            "the attack preserves accuracy within 2 points",
+            acc(&masked) >= acc(&honest) - 0.02,
+            format!("honest {:.3}, masked {:.3}", acc(&honest), acc(&masked)),
+        ),
+        Check::new(
+            "the attack zeroes the explained sensitive coefficient",
+            imp_masked.of("sex=female").unwrap() < 0.05,
+            format!("|w| = {:.4}", imp_masked.of("sex=female").unwrap()),
+        ),
+        Check::new(
+            "the parity gap survives the attack",
+            gap(&masked) > 0.2,
+            format!("gap {:.3}", gap(&masked)),
+        ),
+        Check::new(
+            "the outcome-based detector flags the masked model",
+            verdict.suspicious,
+            format!("{verdict:?}"),
+        ),
+    ];
+    ExperimentResult {
+        id: "E12",
+        title: "robustness to manipulation (§IV.E)",
+        paper_claim: "a retrained classifier keeps accuracy and bias while explainers report \
+                      the sensitive attribute as unimportant",
+        table,
+        checks,
+    }
+}

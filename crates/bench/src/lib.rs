@@ -1,0 +1,17 @@
+//! # fairbridge-bench
+//!
+//! The experiment harness regenerating every reproducible artifact of the
+//! ICDE'24 paper (see DESIGN.md §3 for the experiment index) plus the
+//! Criterion micro-benchmarks under `benches/`.
+//!
+//! Each experiment in [`experiments`] prints the paper's artifact as a
+//! table and returns a machine-checkable summary, so the integration
+//! suite can assert the *shape* of every result while `fb-experiments`
+//! renders the human-readable report recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{run_all, run_one, ExperimentResult, EXPERIMENT_IDS};

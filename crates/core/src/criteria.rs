@@ -1,0 +1,598 @@
+//! The Section IV criteria engine: from a structured use-case description
+//! to a reasoned recommendation of fairness definitions, audits and
+//! mitigations.
+//!
+//! Section IV.A poses the questions the engine encodes: *"is structural
+//! bias recognized in the specific use case? If so, are there directives,
+//! in the form of positive actions, that impose specific quota? Are there
+//! specific sensitive attributes that are highly relevant/informative
+//! features ... and, vice versa, other ones that need to be ignored?"* —
+//! and Sections IV.B–F add the proxy, intersectionality, feedback,
+//! manipulation and sampling considerations. Section V's synthesis names
+//! the definitions "distinguished by a handful of prominent studies":
+//! conditional demographic disparity, equal opportunity, equalized odds,
+//! counterfactual fairness and calibration.
+
+use crate::legal::{Doctrine, Jurisdiction, ProtectedAttribute, Sector};
+use fairbridge_metrics::{Definition, EqualityNotion};
+use std::fmt;
+
+/// Which audits the engine can prescribe (beyond metric evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuditKind {
+    /// Proxy association + predictability audit (Section IV.B).
+    ProxyDetection,
+    /// Exhaustive/learned subgroup audit (Section IV.C).
+    SubgroupAudit,
+    /// Feedback-loop simulation before deployment (Section IV.D).
+    FeedbackSimulation,
+    /// Explanation-vs-outcome masking cross-check (Section IV.E).
+    ManipulationCheck,
+    /// Sample-complexity / significance analysis (Section IV.F).
+    SamplingAnalysis,
+    /// Counterfactual probing of the live model (Section III.G).
+    CounterfactualProbe,
+}
+
+impl AuditKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditKind::ProxyDetection => "proxy detection",
+            AuditKind::SubgroupAudit => "subgroup audit",
+            AuditKind::FeedbackSimulation => "feedback-loop simulation",
+            AuditKind::ManipulationCheck => "manipulation check",
+            AuditKind::SamplingAnalysis => "sampling analysis",
+            AuditKind::CounterfactualProbe => "counterfactual probe",
+        }
+    }
+}
+
+/// Which mitigations the engine can prescribe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MitigationKind {
+    /// Kamiran–Calders reweighing (pre-processing).
+    Reweighing,
+    /// Label massaging (pre-processing).
+    Massaging,
+    /// Proxy-aware suppression (pre-processing).
+    Suppression,
+    /// Fairness-regularized training (in-processing).
+    FairRegularization,
+    /// Per-group thresholds (post-processing).
+    GroupThresholds,
+    /// Affirmative-action quotas (post-processing).
+    Quotas,
+    /// Quantile-map OT repair (distributional).
+    OtRepair,
+    /// Group-blind repair from population marginals (distributional).
+    GroupBlindRepair,
+}
+
+impl MitigationKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MitigationKind::Reweighing => "reweighing",
+            MitigationKind::Massaging => "label massaging",
+            MitigationKind::Suppression => "proxy-aware suppression",
+            MitigationKind::FairRegularization => "fairness-regularized training",
+            MitigationKind::GroupThresholds => "per-group thresholds",
+            MitigationKind::Quotas => "affirmative-action quotas",
+            MitigationKind::OtRepair => "optimal-transport repair",
+            MitigationKind::GroupBlindRepair => "group-blind repair",
+        }
+    }
+}
+
+/// A structured description of the deployment, answering Section IV's
+/// questions.
+#[derive(Debug, Clone)]
+pub struct UseCase {
+    /// Jurisdiction governing the deployment.
+    pub jurisdiction: Jurisdiction,
+    /// Regulated sector.
+    pub sector: Sector,
+    /// The protected attribute under scrutiny.
+    pub attribute: ProtectedAttribute,
+    /// The equality notion the deployment must achieve (Section IV.A).
+    pub equality_goal: EqualityNotion,
+    /// Is structural/historical bias recognized in this domain?
+    pub structural_bias_recognized: bool,
+    /// Do positive-action directives impose explicit quotas?
+    pub quota_directives: bool,
+    /// Are the recorded labels trustworthy measurements of the true
+    /// outcome? (False for over-policing-style measurement bias.)
+    pub labels_trustworthy: bool,
+    /// Legitimate stratifying factors (job role, risk tier, ...) that the
+    /// law accepts as grounds for differential rates.
+    pub legitimate_factors: Vec<String>,
+    /// Can the deployed model be queried with counterfactual inputs?
+    pub model_queryable: bool,
+    /// Is more than one protected attribute in play (intersectionality)?
+    pub multiple_protected_attributes: bool,
+    /// Will the system's decisions feed back into future training data or
+    /// applicant behaviour?
+    pub decisions_feed_back: bool,
+    /// Could the model owner be adversarial (masking incentive)?
+    pub adversarial_owner: bool,
+    /// Is the audit sample small (subgroup estimates unstable)?
+    pub small_sample: bool,
+    /// Is the protected attribute recorded per individual? (False →
+    /// group-blind methods only.)
+    pub protected_attribute_recorded: bool,
+}
+
+impl UseCase {
+    /// The paper's running example: EU hiring under the recast gender
+    /// directive, substantive-equality goal, historical bias recognized.
+    pub fn eu_hiring_default() -> UseCase {
+        UseCase {
+            jurisdiction: Jurisdiction::Eu,
+            sector: Sector::Employment,
+            attribute: ProtectedAttribute::Sex,
+            equality_goal: EqualityNotion::MiddleGround,
+            structural_bias_recognized: true,
+            quota_directives: false,
+            labels_trustworthy: false,
+            legitimate_factors: vec!["job".to_owned()],
+            model_queryable: true,
+            multiple_protected_attributes: false,
+            decisions_feed_back: true,
+            adversarial_owner: false,
+            small_sample: false,
+            protected_attribute_recorded: true,
+        }
+    }
+
+    /// A US credit deployment under ECOA: formal equality, trustworthy
+    /// repayment labels.
+    pub fn us_credit_default() -> UseCase {
+        UseCase {
+            jurisdiction: Jurisdiction::Us,
+            sector: Sector::Credit,
+            attribute: ProtectedAttribute::Age,
+            equality_goal: EqualityNotion::EqualTreatment,
+            structural_bias_recognized: false,
+            quota_directives: false,
+            labels_trustworthy: true,
+            legitimate_factors: vec!["credit_tier".to_owned()],
+            model_queryable: true,
+            multiple_protected_attributes: true,
+            decisions_feed_back: false,
+            adversarial_owner: false,
+            small_sample: false,
+            protected_attribute_recorded: false,
+        }
+    }
+
+    /// The applicable doctrine: intent-based when pursuing equal
+    /// treatment, impact-based when pursuing equal outcome.
+    pub fn doctrine(&self) -> Doctrine {
+        match (self.jurisdiction, self.equality_goal) {
+            (Jurisdiction::Eu, EqualityNotion::EqualTreatment) => Doctrine::DirectDiscrimination,
+            (Jurisdiction::Eu, _) => Doctrine::IndirectDiscrimination,
+            (Jurisdiction::Us, EqualityNotion::EqualTreatment) => Doctrine::DisparateTreatment,
+            (Jurisdiction::Us, _) => Doctrine::DisparateImpact,
+        }
+    }
+}
+
+/// One recommended definition with its rationale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendedDefinition {
+    /// The definition.
+    pub definition: Definition,
+    /// Why the engine selected it, citing the paper's criteria.
+    pub rationale: String,
+}
+
+/// The engine's output.
+#[derive(Debug, Clone, Default)]
+pub struct Recommendation {
+    /// Recommended definitions with rationales, strongest first.
+    pub definitions: Vec<RecommendedDefinition>,
+    /// Definitions to avoid, with the reason.
+    pub avoid: Vec<(Definition, String)>,
+    /// Audits to run.
+    pub audits: Vec<AuditKind>,
+    /// Mitigations to consider.
+    pub mitigations: Vec<MitigationKind>,
+    /// Free-text warnings.
+    pub warnings: Vec<String>,
+}
+
+impl Recommendation {
+    /// Whether the recommendation includes the definition.
+    pub fn recommends(&self, d: Definition) -> bool {
+        self.definitions.iter().any(|r| r.definition == d)
+    }
+
+    /// Whether the recommendation advises against the definition.
+    pub fn avoids(&self, d: Definition) -> bool {
+        self.avoid.iter().any(|(a, _)| *a == d)
+    }
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "recommended definitions:")?;
+        for r in &self.definitions {
+            writeln!(f, "  • {} — {}", r.definition.name(), r.rationale)?;
+        }
+        if !self.avoid.is_empty() {
+            writeln!(f, "avoid:")?;
+            for (d, why) in &self.avoid {
+                writeln!(f, "  • {} — {}", d.name(), why)?;
+            }
+        }
+        writeln!(f, "audits:")?;
+        for a in &self.audits {
+            writeln!(f, "  • {}", a.name())?;
+        }
+        writeln!(f, "mitigations:")?;
+        for m in &self.mitigations {
+            writeln!(f, "  • {}", m.name())?;
+        }
+        for w in &self.warnings {
+            writeln!(f, "⚠ {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the criteria engine.
+///
+/// # Examples
+///
+/// ```
+/// use fairbridge::criteria::{recommend, UseCase};
+/// use fairbridge::metrics::Definition;
+///
+/// // The paper's §V verdict for EU substantive equality:
+/// let rec = recommend(&UseCase::eu_hiring_default());
+/// assert!(rec.recommends(Definition::CounterfactualFairness));
+///
+/// // Without per-row protected attributes, counterfactual probing is
+/// // impossible and group-blind repair takes its place (§IV.F):
+/// let rec = recommend(&UseCase::us_credit_default());
+/// assert!(!rec.recommends(Definition::CounterfactualFairness));
+/// ```
+pub fn recommend(uc: &UseCase) -> Recommendation {
+    let mut rec = Recommendation::default();
+    let push = |rec: &mut Recommendation, d: Definition, why: &str| {
+        if !rec.recommends(d) {
+            rec.definitions.push(RecommendedDefinition {
+                definition: d,
+                rationale: why.to_owned(),
+            });
+        }
+    };
+
+    // --- Criterion IV.A: equality notion ---------------------------------
+    match uc.equality_goal {
+        EqualityNotion::EqualOutcome => {
+            if uc.legitimate_factors.is_empty() {
+                push(
+                    &mut rec,
+                    Definition::DemographicParity,
+                    "equal-outcome goal with no accepted stratifying factors (IV.A)",
+                );
+                push(
+                    &mut rec,
+                    Definition::DemographicDisparity,
+                    "per-group acceptance surplus check complements parity (III.E)",
+                );
+            } else {
+                push(
+                    &mut rec,
+                    Definition::ConditionalStatisticalParity,
+                    "equal-outcome goal with legitimate factors: condition on them (III.B)",
+                );
+                push(
+                    &mut rec,
+                    Definition::ConditionalDemographicDisparity,
+                    "the §V shortlist's legally grounded conditional check (III.F)",
+                );
+            }
+            if uc.quota_directives {
+                rec.mitigations.push(MitigationKind::Quotas);
+            } else if uc.structural_bias_recognized {
+                rec.mitigations.push(MitigationKind::Reweighing);
+                rec.mitigations.push(MitigationKind::OtRepair);
+            }
+        }
+        EqualityNotion::EqualTreatment => {
+            if uc.labels_trustworthy {
+                push(
+                    &mut rec,
+                    Definition::EqualOpportunity,
+                    "equal-treatment goal with trustworthy labels: equalize TPR (III.C)",
+                );
+                push(
+                    &mut rec,
+                    Definition::EqualizedOdds,
+                    "stricter error-rate parity when both error types harm (III.D)",
+                );
+                push(
+                    &mut rec,
+                    Definition::Calibration,
+                    "score-based decisions need per-group calibration (§V shortlist)",
+                );
+            } else {
+                rec.avoid.push((
+                    Definition::EqualOpportunity,
+                    "labels carry measurement bias; TPR parity would launder it (IV.A historical bias)"
+                        .to_owned(),
+                ));
+                rec.avoid.push((
+                    Definition::EqualizedOdds,
+                    "error-rate parity against biased labels is meaningless".to_owned(),
+                ));
+                if uc.model_queryable {
+                    push(
+                        &mut rec,
+                        Definition::CounterfactualFairness,
+                        "treatment goal with untrusted labels: probe the decision directly (III.G)",
+                    );
+                }
+                push(
+                    &mut rec,
+                    Definition::ConditionalStatisticalParity,
+                    "fall back to outcome statistics conditioned on legitimate factors",
+                );
+            }
+        }
+        EqualityNotion::MiddleGround => {
+            if uc.model_queryable {
+                push(
+                    &mut rec,
+                    Definition::CounterfactualFairness,
+                    "the paper's §V verdict: sufficiently expressive to represent substantive \
+                     equality in the spirit of EU law (III.G)",
+                );
+            }
+            push(
+                &mut rec,
+                Definition::ConditionalDemographicDisparity,
+                "conditional outcome check aligned with EU indirect-discrimination analysis",
+            );
+            if uc.labels_trustworthy {
+                push(
+                    &mut rec,
+                    Definition::EqualOpportunity,
+                    "merit-conditional equality complements the counterfactual probe",
+                );
+            }
+            if uc.structural_bias_recognized {
+                rec.mitigations.push(MitigationKind::Reweighing);
+                rec.mitigations.push(MitigationKind::GroupThresholds);
+            }
+        }
+    }
+
+    // --- Criterion IV.B: proxies -----------------------------------------
+    rec.audits.push(AuditKind::ProxyDetection);
+    if uc.structural_bias_recognized {
+        rec.warnings.push(
+            "fairness through unawareness is insufficient: audit and repair proxy channels \
+             (IV.B)"
+                .to_owned(),
+        );
+        if !rec.mitigations.contains(&MitigationKind::Suppression) {
+            rec.mitigations.push(MitigationKind::Suppression);
+        }
+        if !rec
+            .mitigations
+            .contains(&MitigationKind::FairRegularization)
+        {
+            rec.mitigations.push(MitigationKind::FairRegularization);
+        }
+    }
+
+    // --- Criterion IV.C: intersectionality --------------------------------
+    if uc.multiple_protected_attributes {
+        rec.audits.push(AuditKind::SubgroupAudit);
+        rec.warnings.push(
+            "audit intersections, not only marginals: marginal fairness can hide subgroup \
+             bias (IV.C)"
+                .to_owned(),
+        );
+    }
+
+    // --- Criterion IV.D: feedback loops -----------------------------------
+    if uc.decisions_feed_back {
+        rec.audits.push(AuditKind::FeedbackSimulation);
+        rec.warnings.push(
+            "decisions re-enter the training data: simulate the loop and re-audit each \
+             retraining cycle (IV.D)"
+                .to_owned(),
+        );
+    }
+
+    // --- Criterion IV.E: manipulation --------------------------------------
+    if uc.adversarial_owner {
+        rec.audits.push(AuditKind::ManipulationCheck);
+        rec.warnings.push(
+            "do not accept explanation-based fairness claims at face value; cross-check \
+             against outcome audits (IV.E)"
+                .to_owned(),
+        );
+    }
+
+    // --- Criterion IV.F: sampling ------------------------------------------
+    if uc.small_sample {
+        rec.audits.push(AuditKind::SamplingAnalysis);
+        rec.warnings.push(
+            "small audit sample: attach confidence intervals and respect the sample \
+             complexity of the chosen distance (IV.F)"
+                .to_owned(),
+        );
+    }
+    if !uc.protected_attribute_recorded {
+        rec.mitigations.push(MitigationKind::GroupBlindRepair);
+        rec.warnings.push(
+            "protected attribute not recorded: only group-blind repair from population \
+             marginals is available, and the residual bias cannot be quantified (IV.F)"
+                .to_owned(),
+        );
+        // Counterfactual probing is impossible without the attribute.
+        rec.definitions
+            .retain(|r| r.definition != Definition::CounterfactualFairness);
+    }
+
+    // Counterfactual probe audit whenever the definition is recommended.
+    if rec.recommends(Definition::CounterfactualFairness) {
+        rec.audits.push(AuditKind::CounterfactualProbe);
+    }
+
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eu_hiring_gets_counterfactual_fairness() {
+        // The paper's §V: counterfactual fairness "optimally represents
+        // substantive equality, in the spirit of the EU law".
+        let rec = recommend(&UseCase::eu_hiring_default());
+        assert!(rec.recommends(Definition::CounterfactualFairness));
+        assert!(rec.recommends(Definition::ConditionalDemographicDisparity));
+        assert!(rec.audits.contains(&AuditKind::CounterfactualProbe));
+        assert!(rec.audits.contains(&AuditKind::FeedbackSimulation));
+        assert!(rec.audits.contains(&AuditKind::ProxyDetection));
+    }
+
+    #[test]
+    fn us_credit_without_attribute_goes_group_blind() {
+        let rec = recommend(&UseCase::us_credit_default());
+        assert!(rec.mitigations.contains(&MitigationKind::GroupBlindRepair));
+        // counterfactual probing impossible without per-row attribute
+        assert!(!rec.recommends(Definition::CounterfactualFairness));
+        assert!(rec.audits.contains(&AuditKind::SubgroupAudit));
+    }
+
+    #[test]
+    fn quota_directives_trigger_quota_mitigation() {
+        let uc = UseCase {
+            equality_goal: EqualityNotion::EqualOutcome,
+            quota_directives: true,
+            legitimate_factors: Vec::new(),
+            ..UseCase::eu_hiring_default()
+        };
+        let rec = recommend(&uc);
+        assert!(rec.mitigations.contains(&MitigationKind::Quotas));
+        assert!(rec.recommends(Definition::DemographicParity));
+    }
+
+    #[test]
+    fn untrusted_labels_block_error_rate_definitions() {
+        let uc = UseCase {
+            equality_goal: EqualityNotion::EqualTreatment,
+            labels_trustworthy: false,
+            ..UseCase::eu_hiring_default()
+        };
+        let rec = recommend(&uc);
+        assert!(rec.avoids(Definition::EqualOpportunity));
+        assert!(rec.avoids(Definition::EqualizedOdds));
+        assert!(rec.recommends(Definition::CounterfactualFairness));
+    }
+
+    #[test]
+    fn trusted_labels_enable_error_rate_definitions() {
+        let uc = UseCase {
+            equality_goal: EqualityNotion::EqualTreatment,
+            labels_trustworthy: true,
+            ..UseCase::us_credit_default()
+        };
+        let rec = recommend(&uc);
+        assert!(rec.recommends(Definition::EqualOpportunity));
+        assert!(rec.recommends(Definition::EqualizedOdds));
+        assert!(rec.recommends(Definition::Calibration));
+        assert!(rec.avoid.is_empty());
+    }
+
+    #[test]
+    fn every_shortlisted_definition_is_reachable() {
+        // Section V: "Conditional Demographic Disparity, Equal Opportunity,
+        // Equalized Odds, Counterfactual Fairness, Calibration can be
+        // considered suitable in different application settings".
+        let mut reachable = std::collections::HashSet::new();
+        let cases = [
+            UseCase::eu_hiring_default(),
+            UseCase::us_credit_default(),
+            UseCase {
+                equality_goal: EqualityNotion::EqualTreatment,
+                labels_trustworthy: true,
+                ..UseCase::eu_hiring_default()
+            },
+            UseCase {
+                equality_goal: EqualityNotion::EqualOutcome,
+                legitimate_factors: Vec::new(),
+                ..UseCase::eu_hiring_default()
+            },
+        ];
+        for uc in &cases {
+            for d in recommend(uc).definitions {
+                reachable.insert(d.definition);
+            }
+        }
+        for d in [
+            Definition::ConditionalDemographicDisparity,
+            Definition::EqualOpportunity,
+            Definition::EqualizedOdds,
+            Definition::CounterfactualFairness,
+            Definition::Calibration,
+        ] {
+            assert!(reachable.contains(&d), "{d:?} unreachable");
+        }
+    }
+
+    #[test]
+    fn risk_flags_add_audits_and_warnings() {
+        let uc = UseCase {
+            multiple_protected_attributes: true,
+            decisions_feed_back: true,
+            adversarial_owner: true,
+            small_sample: true,
+            ..UseCase::eu_hiring_default()
+        };
+        let rec = recommend(&uc);
+        for a in [
+            AuditKind::SubgroupAudit,
+            AuditKind::FeedbackSimulation,
+            AuditKind::ManipulationCheck,
+            AuditKind::SamplingAnalysis,
+            AuditKind::ProxyDetection,
+        ] {
+            assert!(rec.audits.contains(&a), "{a:?} missing");
+        }
+        assert!(rec.warnings.len() >= 4);
+    }
+
+    #[test]
+    fn doctrine_selection_follows_goal_and_jurisdiction() {
+        let eu_treat = UseCase {
+            equality_goal: EqualityNotion::EqualTreatment,
+            ..UseCase::eu_hiring_default()
+        };
+        assert_eq!(eu_treat.doctrine(), Doctrine::DirectDiscrimination);
+        let us_outcome = UseCase {
+            jurisdiction: Jurisdiction::Us,
+            equality_goal: EqualityNotion::EqualOutcome,
+            ..UseCase::us_credit_default()
+        };
+        assert_eq!(us_outcome.doctrine(), Doctrine::DisparateImpact);
+    }
+
+    #[test]
+    fn display_renders_sections() {
+        let rec = recommend(&UseCase::eu_hiring_default());
+        let text = rec.to_string();
+        assert!(text.contains("recommended definitions"));
+        assert!(text.contains("audits:"));
+        assert!(text.contains("mitigations:"));
+    }
+}

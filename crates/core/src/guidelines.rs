@@ -1,0 +1,359 @@
+//! Deployment guidelines generator — the paper's announced next step
+//! ("propose a set of systematic guidelines for the design, deployment
+//! and assessment of fairness methods on AI systems"), implemented as a
+//! checklist compiler over the criteria engine's output.
+//!
+//! Given a [`UseCase`], the generator produces an ordered, phase-tagged
+//! checklist: design-time items (definition selection, data collection),
+//! pre-deployment audits, launch gates and monitoring obligations, each
+//! traceable to the paper section that motivates it.
+
+use crate::criteria::{recommend, AuditKind, MitigationKind, UseCase};
+use crate::legal::statutes_covering;
+use fairbridge_metrics::EqualityNotion;
+use std::fmt;
+
+/// Deployment lifecycle phase an item belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Before any modeling: scoping, legal analysis, data collection.
+    Design,
+    /// Model development: training-time choices and mitigations.
+    Development,
+    /// Pre-launch validation gates.
+    PreDeployment,
+    /// Post-launch obligations.
+    Monitoring,
+}
+
+impl Phase {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Design => "design",
+            Phase::Development => "development",
+            Phase::PreDeployment => "pre-deployment",
+            Phase::Monitoring => "monitoring",
+        }
+    }
+}
+
+/// One checklist item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuidelineItem {
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// What must be done.
+    pub action: String,
+    /// The paper section motivating the item.
+    pub paper_section: &'static str,
+    /// Whether the item blocks launch when unmet.
+    pub launch_blocking: bool,
+}
+
+/// The compiled guideline document.
+#[derive(Debug, Clone, Default)]
+pub struct Guidelines {
+    /// Items in phase order.
+    pub items: Vec<GuidelineItem>,
+}
+
+impl Guidelines {
+    /// Items of one phase.
+    pub fn for_phase(&self, phase: Phase) -> Vec<&GuidelineItem> {
+        self.items.iter().filter(|i| i.phase == phase).collect()
+    }
+
+    /// Launch-blocking items.
+    pub fn launch_gates(&self) -> Vec<&GuidelineItem> {
+        self.items.iter().filter(|i| i.launch_blocking).collect()
+    }
+}
+
+impl fmt::Display for Guidelines {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for phase in [
+            Phase::Design,
+            Phase::Development,
+            Phase::PreDeployment,
+            Phase::Monitoring,
+        ] {
+            let items = self.for_phase(phase);
+            if items.is_empty() {
+                continue;
+            }
+            writeln!(f, "[{}]", phase.name())?;
+            for item in items {
+                writeln!(
+                    f,
+                    "  {} {} (§{})",
+                    if item.launch_blocking { "■" } else { "□" },
+                    item.action,
+                    item.paper_section
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles the guideline checklist for a use case.
+pub fn compile_guidelines(uc: &UseCase) -> Guidelines {
+    let rec = recommend(uc);
+    let mut items = Vec::new();
+    let mut push = |phase: Phase, action: String, section: &'static str, blocking: bool| {
+        items.push(GuidelineItem {
+            phase,
+            action,
+            paper_section: section,
+            launch_blocking: blocking,
+        });
+    };
+
+    // --- Design ----------------------------------------------------------
+    let statutes = statutes_covering(uc.jurisdiction, uc.attribute, uc.sector);
+    push(
+        Phase::Design,
+        format!(
+            "document the applicable legal basis ({} statute(s): {}) and the {} doctrine",
+            statutes.len(),
+            statutes
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join("; "),
+            match uc.doctrine() {
+                d if d.requires_intent() => "intent-based",
+                _ => "impact-based",
+            }
+        ),
+        "II",
+        true,
+    );
+    push(
+        Phase::Design,
+        format!(
+            "record the equality goal ({}) and its justification with domain experts",
+            uc.equality_goal
+        ),
+        "IV.A",
+        true,
+    );
+    for r in &rec.definitions {
+        push(
+            Phase::Design,
+            format!(
+                "adopt `{}` as a primary definition — {}",
+                r.definition.name(),
+                r.rationale
+            ),
+            r.definition.paper_section().unwrap_or("V"),
+            false,
+        );
+    }
+    for (d, why) in &rec.avoid {
+        push(
+            Phase::Design,
+            format!("do NOT rely on `{}` — {}", d.name(), why),
+            "IV.A",
+            false,
+        );
+    }
+    if !uc.protected_attribute_recorded {
+        push(
+            Phase::Design,
+            "obtain population-wide marginals of the protected attribute and a small \
+             research sample for group-blind methods"
+                .to_owned(),
+            "IV.F",
+            true,
+        );
+    }
+
+    // --- Development -------------------------------------------------------
+    for m in &rec.mitigations {
+        let action = match m {
+            MitigationKind::Reweighing => "apply reweighing to the training data",
+            MitigationKind::Massaging => "apply label massaging to the training data",
+            MitigationKind::Suppression => {
+                "suppress the protected attribute and its strongest proxies"
+            }
+            MitigationKind::FairRegularization => {
+                "train with a fairness penalty on the decision boundary"
+            }
+            MitigationKind::GroupThresholds => "fit per-group decision thresholds",
+            MitigationKind::Quotas => "configure the mandated selection quotas",
+            MitigationKind::OtRepair => "repair feature distributions toward the barycenter",
+            MitigationKind::GroupBlindRepair => {
+                "apply group-blind repair from population marginals"
+            }
+        };
+        push(Phase::Development, action.to_owned(), "IV", false);
+    }
+
+    // --- Pre-deployment ------------------------------------------------------
+    for a in &rec.audits {
+        let (action, section, blocking) = match a {
+            AuditKind::ProxyDetection => (
+                "run the proxy audit (association ranking + attribute-recovery AUC)",
+                "IV.B",
+                true,
+            ),
+            AuditKind::SubgroupAudit => (
+                "run the intersectional subgroup audit with significance filtering",
+                "IV.C",
+                true,
+            ),
+            AuditKind::FeedbackSimulation => (
+                "simulate the decision→data feedback loop before launch",
+                "IV.D",
+                false,
+            ),
+            AuditKind::ManipulationCheck => (
+                "cross-check explainer output against outcome audits (masking detection)",
+                "IV.E",
+                true,
+            ),
+            AuditKind::SamplingAnalysis => (
+                "attach confidence intervals sized by the distance's sample complexity",
+                "IV.F",
+                false,
+            ),
+            AuditKind::CounterfactualProbe => (
+                "run counterfactual probes on the production model",
+                "III.G",
+                true,
+            ),
+        };
+        push(Phase::PreDeployment, action.to_owned(), section, blocking);
+    }
+    push(
+        Phase::PreDeployment,
+        "evaluate every adopted definition on a held-out audit set and record the gaps".to_owned(),
+        "III",
+        true,
+    );
+
+    // --- Monitoring -----------------------------------------------------------
+    push(
+        Phase::Monitoring,
+        "re-audit on every retraining cycle; new decisions entering the training data \
+         restart the feedback clock"
+            .to_owned(),
+        "IV.D",
+        false,
+    );
+    push(
+        Phase::Monitoring,
+        "track per-group selection/error rates continuously and alert on gap drift".to_owned(),
+        "III",
+        false,
+    );
+    if uc.equality_goal != EqualityNotion::EqualTreatment {
+        push(
+            Phase::Monitoring,
+            "review quota/repair parameters with supervising authorities as the population \
+             evolves"
+                .to_owned(),
+            "V",
+            false,
+        );
+    }
+
+    Guidelines { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eu_hiring_guidelines_cover_all_phases() {
+        let g = compile_guidelines(&UseCase::eu_hiring_default());
+        for phase in [
+            Phase::Design,
+            Phase::Development,
+            Phase::PreDeployment,
+            Phase::Monitoring,
+        ] {
+            assert!(
+                !g.for_phase(phase).is_empty(),
+                "phase {phase:?} has no items"
+            );
+        }
+        assert!(!g.launch_gates().is_empty());
+    }
+
+    #[test]
+    fn legal_basis_is_always_first_and_blocking() {
+        let g = compile_guidelines(&UseCase::us_credit_default());
+        let first = &g.items[0];
+        assert_eq!(first.phase, Phase::Design);
+        assert!(first.launch_blocking);
+        assert!(first.action.contains("Equal Credit Opportunity Act"));
+    }
+
+    #[test]
+    fn missing_attribute_adds_marginals_item() {
+        let g = compile_guidelines(&UseCase::us_credit_default());
+        assert!(g
+            .items
+            .iter()
+            .any(|i| i.action.contains("population-wide marginals") && i.launch_blocking));
+    }
+
+    #[test]
+    fn counterfactual_probe_gate_follows_recommendation() {
+        let g = compile_guidelines(&UseCase::eu_hiring_default());
+        assert!(g
+            .launch_gates()
+            .iter()
+            .any(|i| i.action.contains("counterfactual probes")));
+        // not present when the attribute is unavailable
+        let g2 = compile_guidelines(&UseCase::us_credit_default());
+        assert!(!g2
+            .items
+            .iter()
+            .any(|i| i.action.contains("counterfactual probes")));
+    }
+
+    #[test]
+    fn adversarial_owner_adds_manipulation_gate() {
+        let uc = UseCase {
+            adversarial_owner: true,
+            ..UseCase::eu_hiring_default()
+        };
+        let g = compile_guidelines(&uc);
+        assert!(g
+            .launch_gates()
+            .iter()
+            .any(|i| i.action.contains("masking detection")));
+        // absent otherwise
+        let g2 = compile_guidelines(&UseCase::eu_hiring_default());
+        assert!(!g2.items.iter().any(|i| i.action.contains("masking detection")));
+    }
+
+    #[test]
+    fn equal_treatment_goal_skips_quota_review_item() {
+        let uc = UseCase {
+            equality_goal: fairbridge_metrics::EqualityNotion::EqualTreatment,
+            labels_trustworthy: true,
+            ..UseCase::us_credit_default()
+        };
+        let g = compile_guidelines(&uc);
+        assert!(!g
+            .items
+            .iter()
+            .any(|i| i.action.contains("quota/repair parameters")));
+    }
+
+    #[test]
+    fn display_renders_phases_and_gates() {
+        let g = compile_guidelines(&UseCase::eu_hiring_default());
+        let text = g.to_string();
+        assert!(text.contains("[design]"));
+        assert!(text.contains("[pre-deployment]"));
+        assert!(text.contains('■'));
+        assert!(text.contains("§IV.B"));
+    }
+}

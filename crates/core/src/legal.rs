@@ -1,0 +1,493 @@
+//! The legal taxonomy of paper Section II: jurisdictions, discrimination
+//! doctrines, protected attributes, sectors and the statute catalogue —
+//! each mapped to the algorithmic machinery that operationalizes it.
+
+use fairbridge_metrics::{Definition, EqualityNotion};
+use std::fmt;
+
+/// Legal system under which a deployment is assessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Jurisdiction {
+    /// European Union (Council of Europe instruments + EU law, §II.A).
+    Eu,
+    /// United States federal law (§II.B).
+    Us,
+}
+
+impl fmt::Display for Jurisdiction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Jurisdiction::Eu => "EU",
+            Jurisdiction::Us => "US",
+        })
+    }
+}
+
+/// The discrimination doctrines the paper distinguishes (§II.A.3, §II.B.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Doctrine {
+    /// EU: less favorable treatment *because of* a protected attribute.
+    DirectDiscrimination,
+    /// EU: neutral provisions that disproportionately disadvantage a
+    /// protected group (subject to the proportionality test).
+    IndirectDiscrimination,
+    /// US: intentional differential treatment (motivating factor /
+    /// but-for causation).
+    DisparateTreatment,
+    /// US: facially neutral practices with disproportionate adverse
+    /// impact; intent not required (burden-shifting framework).
+    DisparateImpact,
+}
+
+impl Doctrine {
+    /// The jurisdiction the doctrine belongs to.
+    pub fn jurisdiction(self) -> Jurisdiction {
+        match self {
+            Doctrine::DirectDiscrimination | Doctrine::IndirectDiscrimination => Jurisdiction::Eu,
+            Doctrine::DisparateTreatment | Doctrine::DisparateImpact => Jurisdiction::Us,
+        }
+    }
+
+    /// Whether the doctrine requires discriminatory *intent*.
+    pub fn requires_intent(self) -> bool {
+        matches!(
+            self,
+            Doctrine::DirectDiscrimination | Doctrine::DisparateTreatment
+        )
+    }
+
+    /// The EU/US counterpart doctrine (direct ↔ treatment, indirect ↔
+    /// impact) — the cross-Atlantic mapping the paper draws.
+    pub fn counterpart(self) -> Doctrine {
+        match self {
+            Doctrine::DirectDiscrimination => Doctrine::DisparateTreatment,
+            Doctrine::IndirectDiscrimination => Doctrine::DisparateImpact,
+            Doctrine::DisparateTreatment => Doctrine::DirectDiscrimination,
+            Doctrine::DisparateImpact => Doctrine::IndirectDiscrimination,
+        }
+    }
+
+    /// The fairness definitions that serve as *evidence* under the
+    /// doctrine. Intent doctrines are probed counterfactually ("would the
+    /// decision change if the protected attribute changed?"); impact
+    /// doctrines are probed with outcome statistics.
+    pub fn evidentiary_definitions(self) -> Vec<Definition> {
+        match self {
+            Doctrine::DirectDiscrimination | Doctrine::DisparateTreatment => vec![
+                Definition::CounterfactualFairness,
+                Definition::EqualOpportunity,
+                Definition::EqualizedOdds,
+            ],
+            Doctrine::IndirectDiscrimination | Doctrine::DisparateImpact => vec![
+                Definition::DemographicParity,
+                Definition::ConditionalStatisticalParity,
+                Definition::ConditionalDemographicDisparity,
+            ],
+        }
+    }
+}
+
+/// Protected attributes named by the instruments in Section II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ProtectedAttribute {
+    Sex,
+    Race,
+    Color,
+    EthnicOrigin,
+    NationalOrigin,
+    Religion,
+    Belief,
+    PoliticalOpinion,
+    Language,
+    Disability,
+    Age,
+    SexualOrientation,
+    GeneticFeatures,
+    Pregnancy,
+    FamilialStatus,
+    Property,
+    Birth,
+}
+
+/// Regulated sectors (the paper's "protected sector": workplace, goods
+/// and services, housing, credit, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Sector {
+    Employment,
+    GoodsAndServices,
+    Housing,
+    Credit,
+    Education,
+    SocialProtection,
+    CriminalJustice,
+    HealthInsurance,
+    Immigration,
+}
+
+/// One statute or instrument from the paper's Section II catalogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statute {
+    /// Short conventional name.
+    pub name: &'static str,
+    /// Jurisdiction it belongs to.
+    pub jurisdiction: Jurisdiction,
+    /// Year of adoption.
+    pub year: u16,
+    /// Sectors it regulates.
+    pub sectors: Vec<Sector>,
+    /// Protected attributes it covers.
+    pub attributes: Vec<ProtectedAttribute>,
+}
+
+/// The statute catalogue of Section II (EU instruments and directives,
+/// US acts), in the order the paper presents them.
+pub fn statutes() -> Vec<Statute> {
+    use ProtectedAttribute as A;
+    use Sector as S;
+    vec![
+        Statute {
+            name: "ECHR Art. 14 (+ Protocol 12)",
+            jurisdiction: Jurisdiction::Eu,
+            year: 1950,
+            sectors: vec![
+                S::Employment,
+                S::GoodsAndServices,
+                S::Housing,
+                S::Education,
+                S::SocialProtection,
+                S::CriminalJustice,
+            ],
+            attributes: vec![
+                A::Sex,
+                A::Race,
+                A::Color,
+                A::Language,
+                A::Religion,
+                A::PoliticalOpinion,
+                A::NationalOrigin,
+                A::Property,
+                A::Birth,
+            ],
+        },
+        Statute {
+            name: "European Social Charter Art. E",
+            jurisdiction: Jurisdiction::Eu,
+            year: 1996,
+            sectors: vec![S::Employment, S::SocialProtection],
+            attributes: vec![
+                A::Race,
+                A::Color,
+                A::Sex,
+                A::Language,
+                A::Religion,
+                A::PoliticalOpinion,
+                A::NationalOrigin,
+                A::Birth,
+            ],
+        },
+        Statute {
+            name: "EU Charter of Fundamental Rights Art. 21",
+            jurisdiction: Jurisdiction::Eu,
+            year: 2000,
+            sectors: vec![
+                S::Employment,
+                S::GoodsAndServices,
+                S::Housing,
+                S::Education,
+                S::SocialProtection,
+            ],
+            attributes: vec![
+                A::Sex,
+                A::Race,
+                A::Color,
+                A::EthnicOrigin,
+                A::GeneticFeatures,
+                A::Language,
+                A::Religion,
+                A::Belief,
+                A::PoliticalOpinion,
+                A::Property,
+                A::Birth,
+                A::Disability,
+                A::Age,
+                A::SexualOrientation,
+            ],
+        },
+        Statute {
+            name: "Racial Equality Directive 2000/43/EC",
+            jurisdiction: Jurisdiction::Eu,
+            year: 2000,
+            sectors: vec![
+                S::Employment,
+                S::GoodsAndServices,
+                S::Education,
+                S::SocialProtection,
+                S::Housing,
+            ],
+            attributes: vec![A::Race, A::EthnicOrigin],
+        },
+        Statute {
+            name: "Employment Equality Directive 2000/78/EC",
+            jurisdiction: Jurisdiction::Eu,
+            year: 2000,
+            sectors: vec![S::Employment],
+            attributes: vec![
+                A::Religion,
+                A::Belief,
+                A::Disability,
+                A::Age,
+                A::SexualOrientation,
+            ],
+        },
+        Statute {
+            name: "Gender Goods & Services Directive 2004/113/EC",
+            jurisdiction: Jurisdiction::Eu,
+            year: 2004,
+            sectors: vec![S::GoodsAndServices],
+            attributes: vec![A::Sex],
+        },
+        Statute {
+            name: "Gender Equality Directive (recast) 2006/54/EC",
+            jurisdiction: Jurisdiction::Eu,
+            year: 2006,
+            sectors: vec![S::Employment],
+            attributes: vec![A::Sex],
+        },
+        Statute {
+            name: "Civil Rights Act Title VII",
+            jurisdiction: Jurisdiction::Us,
+            year: 1964,
+            sectors: vec![S::Employment],
+            attributes: vec![A::Race, A::Color, A::Religion, A::NationalOrigin, A::Sex],
+        },
+        Statute {
+            name: "Equal Credit Opportunity Act",
+            jurisdiction: Jurisdiction::Us,
+            year: 1974,
+            sectors: vec![S::Credit],
+            attributes: vec![
+                A::Race,
+                A::Color,
+                A::Religion,
+                A::NationalOrigin,
+                A::Sex,
+                A::Age,
+                A::FamilialStatus,
+            ],
+        },
+        Statute {
+            name: "Fair Housing Act (Title VIII)",
+            jurisdiction: Jurisdiction::Us,
+            year: 1968,
+            sectors: vec![S::Housing],
+            attributes: vec![
+                A::Race,
+                A::Color,
+                A::Religion,
+                A::Sex,
+                A::FamilialStatus,
+                A::NationalOrigin,
+                A::Disability,
+            ],
+        },
+        Statute {
+            name: "Civil Rights Act Title VI",
+            jurisdiction: Jurisdiction::Us,
+            year: 1964,
+            sectors: vec![S::Education, S::SocialProtection],
+            attributes: vec![A::Race, A::Color, A::NationalOrigin],
+        },
+        Statute {
+            name: "Pregnancy Discrimination Act",
+            jurisdiction: Jurisdiction::Us,
+            year: 1978,
+            sectors: vec![S::Employment],
+            attributes: vec![A::Pregnancy, A::Sex],
+        },
+        Statute {
+            name: "Equal Pay Act",
+            jurisdiction: Jurisdiction::Us,
+            year: 1963,
+            sectors: vec![S::Employment],
+            attributes: vec![A::Sex],
+        },
+        Statute {
+            name: "Age Discrimination in Employment Act",
+            jurisdiction: Jurisdiction::Us,
+            year: 1967,
+            sectors: vec![S::Employment],
+            attributes: vec![A::Age],
+        },
+        Statute {
+            name: "Americans with Disabilities Act Title I",
+            jurisdiction: Jurisdiction::Us,
+            year: 1990,
+            sectors: vec![S::Employment],
+            attributes: vec![A::Disability],
+        },
+        Statute {
+            name: "Rehabilitation Act §§501/505",
+            jurisdiction: Jurisdiction::Us,
+            year: 1973,
+            sectors: vec![S::Employment],
+            attributes: vec![A::Disability],
+        },
+        Statute {
+            name: "Genetic Information Nondiscrimination Act",
+            jurisdiction: Jurisdiction::Us,
+            year: 2008,
+            sectors: vec![S::Employment, S::HealthInsurance],
+            attributes: vec![A::GeneticFeatures],
+        },
+        Statute {
+            name: "Pregnant Workers Fairness Act",
+            jurisdiction: Jurisdiction::Us,
+            year: 2022,
+            sectors: vec![S::Employment],
+            attributes: vec![A::Pregnancy],
+        },
+        Statute {
+            name: "Immigration and Nationality Act",
+            jurisdiction: Jurisdiction::Us,
+            year: 1965,
+            sectors: vec![S::Immigration],
+            attributes: vec![A::NationalOrigin],
+        },
+    ]
+}
+
+/// Statutes of a jurisdiction covering the given attribute and sector —
+/// the sector-specific lookup Section II.B.3 describes ("selecting
+/// legislative safeguards for a specific and targeted right or group").
+pub fn statutes_covering(
+    jurisdiction: Jurisdiction,
+    attribute: ProtectedAttribute,
+    sector: Sector,
+) -> Vec<Statute> {
+    statutes()
+        .into_iter()
+        .filter(|s| {
+            s.jurisdiction == jurisdiction
+                && s.attributes.contains(&attribute)
+                && s.sectors.contains(&sector)
+        })
+        .collect()
+}
+
+/// The equality notion a doctrine pursues, per Section IV.A: intent
+/// doctrines enforce formal equality (equal treatment); impact doctrines
+/// pursue distributive justice (equal outcome).
+pub fn doctrine_equality_notion(doctrine: Doctrine) -> EqualityNotion {
+    if doctrine.requires_intent() {
+        EqualityNotion::EqualTreatment
+    } else {
+        EqualityNotion::EqualOutcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doctrine_jurisdictions_and_counterparts() {
+        assert_eq!(
+            Doctrine::DirectDiscrimination.jurisdiction(),
+            Jurisdiction::Eu
+        );
+        assert_eq!(Doctrine::DisparateImpact.jurisdiction(), Jurisdiction::Us);
+        assert_eq!(
+            Doctrine::DirectDiscrimination.counterpart(),
+            Doctrine::DisparateTreatment
+        );
+        assert_eq!(
+            Doctrine::DisparateImpact.counterpart().counterpart(),
+            Doctrine::DisparateImpact
+        );
+    }
+
+    #[test]
+    fn intent_requirements_follow_the_paper() {
+        assert!(Doctrine::DisparateTreatment.requires_intent());
+        assert!(Doctrine::DirectDiscrimination.requires_intent());
+        assert!(!Doctrine::DisparateImpact.requires_intent());
+        assert!(!Doctrine::IndirectDiscrimination.requires_intent());
+    }
+
+    #[test]
+    fn impact_doctrines_map_to_outcome_definitions() {
+        for d in [Doctrine::DisparateImpact, Doctrine::IndirectDiscrimination] {
+            let defs = d.evidentiary_definitions();
+            assert!(defs.contains(&Definition::DemographicParity));
+            assert!(!defs.contains(&Definition::CounterfactualFairness));
+            assert_eq!(doctrine_equality_notion(d), EqualityNotion::EqualOutcome);
+        }
+    }
+
+    #[test]
+    fn treatment_doctrines_map_to_counterfactual_probing() {
+        for d in [Doctrine::DisparateTreatment, Doctrine::DirectDiscrimination] {
+            let defs = d.evidentiary_definitions();
+            assert!(defs.contains(&Definition::CounterfactualFairness));
+            assert_eq!(doctrine_equality_notion(d), EqualityNotion::EqualTreatment);
+        }
+    }
+
+    #[test]
+    fn catalogue_matches_paper_counts() {
+        let all = statutes();
+        // Section II.B.2 enumerates 13 US items; we catalogue 12 of them
+        // (Title VII's 1991 amendments fold into Title VII) plus 7 EU
+        // instruments.
+        let us = all
+            .iter()
+            .filter(|s| s.jurisdiction == Jurisdiction::Us)
+            .count();
+        let eu = all
+            .iter()
+            .filter(|s| s.jurisdiction == Jurisdiction::Eu)
+            .count();
+        assert_eq!(us, 12);
+        assert_eq!(eu, 7);
+    }
+
+    #[test]
+    fn sector_specific_lookup() {
+        // ECOA is the credit/sex hit in the US.
+        let hits = statutes_covering(Jurisdiction::Us, ProtectedAttribute::Sex, Sector::Credit);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "Equal Credit Opportunity Act");
+
+        // Employment/sex in the EU: Charter + recast directive (2006/54).
+        let hits = statutes_covering(
+            Jurisdiction::Eu,
+            ProtectedAttribute::Sex,
+            Sector::Employment,
+        );
+        assert!(hits.iter().any(|s| s.name.contains("2006/54")));
+
+        // Age in EU employment: 2000/78 + Charter + ...
+        let hits = statutes_covering(
+            Jurisdiction::Eu,
+            ProtectedAttribute::Age,
+            Sector::Employment,
+        );
+        assert!(hits.iter().any(|s| s.name.contains("2000/78")));
+
+        // No US statute covers political opinion in employment.
+        let hits = statutes_covering(
+            Jurisdiction::Us,
+            ProtectedAttribute::PoliticalOpinion,
+            Sector::Employment,
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Jurisdiction::Eu.to_string(), "EU");
+        assert_eq!(Jurisdiction::Us.to_string(), "US");
+    }
+}

@@ -1,0 +1,85 @@
+//! # fairbridge
+//!
+//! Bridging algorithmic fairness and anti-discrimination law — a Rust
+//! implementation of the programme laid out in *"Fairness in AI:
+//! challenges in bridging the gap between algorithms and law"*
+//! (Giannopoulos et al., Fairness in AI Workshop @ ICDE 2024).
+//!
+//! The paper's thesis is that fairness definitions cannot be chosen in a
+//! legal vacuum: the *equality notion* a deployment must satisfy (equal
+//! treatment vs equal outcome, Section IV.A), the risk of proxy and
+//! intersectional discrimination (IV.B–C), feedback dynamics (IV.D),
+//! adversarial masking (IV.E) and sampling limits (IV.F) all constrain
+//! which definitions and mitigations are appropriate. This crate is the
+//! bridge:
+//!
+//! * [`legal`] — the Section II taxonomy: jurisdictions, doctrines
+//!   (direct/indirect discrimination, disparate treatment/impact),
+//!   protected attributes, sectors and the statute catalogue, each mapped
+//!   to the metric families that operationalize it;
+//! * [`report`] — markdown compliance-report compiler combining all of
+//!   the above;
+//! * [`guidelines`] — the §V "next steps" realized: a phase-tagged
+//!   deployment checklist compiled from the criteria engine's output;
+//! * [`criteria`] — the Section IV criteria engine: describe a use case
+//!   (equality goal, label trust, strata, risks) and receive a reasoned
+//!   recommendation of definitions, audits and mitigations;
+//! * re-exports of the full stack: [`tabular`], [`stats`], [`learn`],
+//!   [`metrics`], [`audit`], [`mitigate`], [`synth`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fairbridge::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Generate the paper's running example: biased hiring data.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let data = fairbridge::synth::hiring::generate(
+//!     &HiringConfig { n: 2000, ..HiringConfig::biased() }, &mut rng);
+//!
+//! // Audit it against the Section III definitions.
+//! let report = AuditPipeline::new(AuditConfig::default())
+//!     .run(&data.dataset, &["sex"], true)
+//!     .unwrap();
+//! assert!(report.has_concerns());
+//!
+//! // Ask the criteria engine what a lawful deployment should measure.
+//! let use_case = UseCase::eu_hiring_default();
+//! let rec = recommend(&use_case);
+//! assert!(!rec.definitions.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod criteria;
+pub mod guidelines;
+pub mod legal;
+pub mod prelude;
+pub mod report;
+
+/// The tabular dataset substrate (re-export of `fairbridge-tabular`).
+pub use fairbridge_tabular as tabular;
+
+/// The statistics substrate (re-export of `fairbridge-stats`).
+pub use fairbridge_stats as stats;
+
+/// The ML substrate (re-export of `fairbridge-learn`).
+pub use fairbridge_learn as learn;
+
+/// The fairness metrics (re-export of `fairbridge-metrics`).
+pub use fairbridge_metrics as metrics;
+
+/// The auditing machinery (re-export of `fairbridge-audit`).
+pub use fairbridge_audit as audit;
+
+/// The mitigation algorithms (re-export of `fairbridge-mitigate`).
+pub use fairbridge_mitigate as mitigate;
+
+/// The synthetic scenario generators (re-export of `fairbridge-synth`).
+pub use fairbridge_synth as synth;
+
+pub use criteria::{recommend, Recommendation, UseCase};
+pub use legal::{Doctrine, Jurisdiction, ProtectedAttribute, Sector, Statute};

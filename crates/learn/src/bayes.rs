@@ -1,0 +1,159 @@
+//! Gaussian naive Bayes on encoded (numeric) features.
+
+use crate::matrix::Matrix;
+use crate::model::Scorer;
+
+/// A fitted Gaussian naive Bayes classifier.
+///
+/// Each feature is modeled as class-conditionally normal; one-hot encoded
+/// categoricals work acceptably under this model (it degrades to a
+/// Bernoulli-like likelihood with fixed variance floor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianNb {
+    ln_prior_pos: f64,
+    ln_prior_neg: f64,
+    mean_pos: Vec<f64>,
+    var_pos: Vec<f64>,
+    mean_neg: Vec<f64>,
+    var_neg: Vec<f64>,
+}
+
+/// Variance floor avoiding divide-by-zero on constant features.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fits the model with uniform weights.
+    pub fn fit(x: &Matrix, y: &[bool]) -> GaussianNb {
+        Self::fit_weighted(x, y, &vec![1.0; y.len()])
+    }
+
+    /// Fits with per-sample weights.
+    pub fn fit_weighted(x: &Matrix, y: &[bool], sw: &[f64]) -> GaussianNb {
+        assert_eq!(x.n_rows(), y.len(), "nb fit: row/label mismatch");
+        assert_eq!(y.len(), sw.len(), "nb fit: weight mismatch");
+        let d = x.n_cols();
+        let mut w_pos = 0.0;
+        let mut w_neg = 0.0;
+        let mut mean_pos = vec![0.0; d];
+        let mut mean_neg = vec![0.0; d];
+        for (i, row) in x.rows().enumerate() {
+            let w = sw[i];
+            if y[i] {
+                w_pos += w;
+                for (m, &v) in mean_pos.iter_mut().zip(row) {
+                    *m += w * v;
+                }
+            } else {
+                w_neg += w;
+                for (m, &v) in mean_neg.iter_mut().zip(row) {
+                    *m += w * v;
+                }
+            }
+        }
+        assert!(
+            w_pos > 0.0 && w_neg > 0.0,
+            "naive Bayes requires both classes present with positive weight"
+        );
+        mean_pos.iter_mut().for_each(|m| *m /= w_pos);
+        mean_neg.iter_mut().for_each(|m| *m /= w_neg);
+
+        let mut var_pos = vec![0.0; d];
+        let mut var_neg = vec![0.0; d];
+        for (i, row) in x.rows().enumerate() {
+            let w = sw[i];
+            let (means, vars) = if y[i] {
+                (&mean_pos, &mut var_pos)
+            } else {
+                (&mean_neg, &mut var_neg)
+            };
+            for ((v, &m), &xv) in vars.iter_mut().zip(means).zip(row) {
+                *v += w * (xv - m).powi(2);
+            }
+        }
+        var_pos
+            .iter_mut()
+            .for_each(|v| *v = (*v / w_pos).max(VAR_FLOOR));
+        var_neg
+            .iter_mut()
+            .for_each(|v| *v = (*v / w_neg).max(VAR_FLOOR));
+
+        let total = w_pos + w_neg;
+        GaussianNb {
+            ln_prior_pos: (w_pos / total).ln(),
+            ln_prior_neg: (w_neg / total).ln(),
+            mean_pos,
+            var_pos,
+            mean_neg,
+            var_neg,
+        }
+    }
+
+    fn ln_likelihood(features: &[f64], means: &[f64], vars: &[f64]) -> f64 {
+        features
+            .iter()
+            .zip(means)
+            .zip(vars)
+            .map(|((&x, &m), &v)| {
+                -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + (x - m).powi(2) / v)
+            })
+            .sum()
+    }
+}
+
+impl Scorer for GaussianNb {
+    fn score(&self, features: &[f64]) -> f64 {
+        let lp = self.ln_prior_pos + Self::ln_likelihood(features, &self.mean_pos, &self.var_pos);
+        let ln = self.ln_prior_neg + Self::ln_likelihood(features, &self.mean_neg, &self.var_neg);
+        // P(+|x) = 1 / (1 + exp(ln - lp)), computed stably.
+        crate::logistic::sigmoid(lp - ln)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Classifier;
+
+    #[test]
+    fn separates_shifted_gaussians() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let jitter = (i % 7) as f64 * 0.05;
+            rows.push(vec![0.0 + jitter]);
+            y.push(false);
+            rows.push(vec![5.0 + jitter]);
+            y.push(true);
+        }
+        let x = Matrix::from_rows(&rows);
+        let nb = GaussianNb::fit(&x, &y);
+        assert!(nb.predict(&[5.0]));
+        assert!(!nb.predict(&[0.0]));
+        assert!(nb.score(&[5.0]) > 0.99);
+        assert!(nb.score(&[0.0]) < 0.01);
+    }
+
+    #[test]
+    fn prior_dominates_uninformative_features() {
+        // 90% positive class, constant feature → score ≈ 0.9 anywhere.
+        let rows: Vec<Vec<f64>> = (0..100).map(|_| vec![1.0]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i < 90).collect();
+        let nb = GaussianNb::fit(&Matrix::from_rows(&rows), &y);
+        assert!((nb.score(&[1.0]) - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn weighted_fit_changes_prior() {
+        let rows = vec![vec![0.0], vec![0.0]];
+        let y = vec![true, false];
+        let nb = GaussianNb::fit_weighted(&Matrix::from_rows(&rows), &y, &[4.0, 1.0]);
+        assert!((nb.score(&[0.0]) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes present")]
+    fn single_class_panics() {
+        let x = Matrix::from_rows(&[vec![0.0]]);
+        GaussianNb::fit(&x, &[true]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Score calibration: Platt scaling and isotonic regression.
+//!
+//! Calibration is on the paper's §V shortlist of legally meaningful
+//! definitions; these calibrators are what a deployment applies when the
+//! per-group calibration audit (`fairbridge-metrics`) finds drift —
+//! optionally fitted per group.
+
+use crate::logistic::sigmoid;
+
+/// Platt scaling: fits `p = σ(a·s + b)` to (score, label) pairs by
+/// gradient descent on log-loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlattScaler {
+    /// Slope on the raw score.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the scaler. Uses the Platt label smoothing
+    /// (t⁺ = (n⁺+1)/(n⁺+2), t⁻ = 1/(n⁻+2)) that keeps the fit stable on
+    /// separable data.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Result<PlattScaler, String> {
+        if scores.len() != labels.len() {
+            return Err("scores and labels differ in length".to_owned());
+        }
+        if scores.is_empty() {
+            return Err("cannot calibrate on empty data".to_owned());
+        }
+        let n_pos = labels.iter().filter(|&&y| y).count() as f64;
+        let n_neg = labels.len() as f64 - n_pos;
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&y| if y { t_pos } else { t_neg })
+            .collect();
+
+        let n = scores.len() as f64;
+        let (mut a, mut b) = (1.0, 0.0);
+        let lr = 0.5;
+        for _ in 0..2000 {
+            let mut ga = 0.0;
+            let mut gb = 0.0;
+            for (&s, &t) in scores.iter().zip(&targets) {
+                let p = sigmoid(a * s + b);
+                let err = p - t;
+                ga += err * s / n;
+                gb += err / n;
+            }
+            a -= lr * ga;
+            b -= lr * gb;
+            if ga.abs().max(gb.abs()) < 1e-10 {
+                break;
+            }
+        }
+        Ok(PlattScaler { a, b })
+    }
+
+    /// Calibrated probability for a raw score.
+    pub fn transform(&self, score: f64) -> f64 {
+        sigmoid(self.a * score + self.b)
+    }
+
+    /// Calibrates a whole score slice.
+    pub fn transform_all(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.transform(s)).collect()
+    }
+}
+
+/// Isotonic regression calibrator via the pool-adjacent-violators (PAV)
+/// algorithm: the monotone step function minimizing squared error to the
+/// labels, interpolated linearly between knots at prediction time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsotonicCalibrator {
+    /// Knot scores (ascending).
+    xs: Vec<f64>,
+    /// Calibrated values at the knots (non-decreasing).
+    ys: Vec<f64>,
+}
+
+impl IsotonicCalibrator {
+    /// Fits PAV on (score, label) pairs.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Result<IsotonicCalibrator, String> {
+        if scores.len() != labels.len() {
+            return Err("scores and labels differ in length".to_owned());
+        }
+        if scores.is_empty() {
+            return Err("cannot calibrate on empty data".to_owned());
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).expect("NaN score"));
+
+        // Pool tied scores first: isotonic regression must assign equal
+        // inputs one common value, or the projection property breaks.
+        #[derive(Clone, Copy)]
+        struct Block {
+            w: f64,
+            mean: f64,
+            x_lo: f64,
+            x_hi: f64,
+        }
+        let mut pooled: Vec<Block> = Vec::new();
+        for &i in &order {
+            let y = if labels[i] { 1.0 } else { 0.0 };
+            match pooled.last_mut() {
+                Some(last) if last.x_hi == scores[i] => {
+                    last.mean = (last.mean * last.w + y) / (last.w + 1.0);
+                    last.w += 1.0;
+                }
+                _ => pooled.push(Block {
+                    w: 1.0,
+                    mean: y,
+                    x_lo: scores[i],
+                    x_hi: scores[i],
+                }),
+            }
+        }
+
+        // PAV merge of adjacent violators.
+        let mut blocks: Vec<Block> = Vec::with_capacity(pooled.len());
+        for mut block in pooled {
+            while let Some(prev) = blocks.last() {
+                if prev.mean <= block.mean + 1e-15 {
+                    break;
+                }
+                let prev = blocks.pop().expect("checked non-empty");
+                let w = prev.w + block.w;
+                block = Block {
+                    w,
+                    mean: (prev.w * prev.mean + block.w * block.mean) / w,
+                    x_lo: prev.x_lo,
+                    x_hi: block.x_hi,
+                };
+            }
+            blocks.push(block);
+        }
+        // Piecewise-constant within each block (two knots at its bounds),
+        // linear interpolation between blocks — training scores map to
+        // exactly their block's fitted mean.
+        let mut xs = Vec::with_capacity(blocks.len() * 2);
+        let mut ys = Vec::with_capacity(blocks.len() * 2);
+        for b in &blocks {
+            xs.push(b.x_lo);
+            ys.push(b.mean);
+            if b.x_hi > b.x_lo {
+                xs.push(b.x_hi);
+                ys.push(b.mean);
+            }
+        }
+        Ok(IsotonicCalibrator { xs, ys })
+    }
+
+    /// Calibrated probability via linear interpolation between knots
+    /// (constant extrapolation outside the observed range).
+    pub fn transform(&self, score: f64) -> f64 {
+        let n = self.xs.len();
+        if score <= self.xs[0] {
+            return self.ys[0];
+        }
+        if score >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let hi = self.xs.partition_point(|&x| x < score);
+        let lo = hi - 1;
+        let span = self.xs[hi] - self.xs[lo];
+        if span <= 0.0 {
+            return self.ys[hi];
+        }
+        let t = (score - self.xs[lo]) / span;
+        self.ys[lo] + t * (self.ys[hi] - self.ys[lo])
+    }
+
+    /// Calibrates a whole score slice.
+    pub fn transform_all(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.transform(s)).collect()
+    }
+
+    /// Number of monotone blocks the fit produced.
+    pub fn n_knots(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::expected_calibration_error;
+
+    /// Overconfident scores: true rate is score/2.
+    fn overconfident() -> (Vec<f64>, Vec<bool>) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..400 {
+            let s = (i % 10) as f64 / 10.0 + 0.05;
+            scores.push(s);
+            labels.push((i % 20) as f64 / 20.0 < s / 2.0);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn platt_improves_calibration() {
+        let (scores, labels) = overconfident();
+        let before = expected_calibration_error(&labels, &scores, 10);
+        let platt = PlattScaler::fit(&scores, &labels).unwrap();
+        let after = expected_calibration_error(&labels, &platt.transform_all(&scores), 10);
+        assert!(after < before, "ece {before} -> {after}");
+    }
+
+    #[test]
+    fn isotonic_improves_calibration() {
+        let (scores, labels) = overconfident();
+        let before = expected_calibration_error(&labels, &scores, 10);
+        let iso = IsotonicCalibrator::fit(&scores, &labels).unwrap();
+        let after = expected_calibration_error(&labels, &iso.transform_all(&scores), 10);
+        assert!(after < before * 0.5, "ece {before} -> {after}");
+    }
+
+    #[test]
+    fn isotonic_output_is_monotone() {
+        let (scores, labels) = overconfident();
+        let iso = IsotonicCalibrator::fit(&scores, &labels).unwrap();
+        let mut xs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let out = iso.transform_all(&xs);
+        for w in out.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!(out.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn isotonic_perfectly_sorted_labels_one_step() {
+        // labels already monotone in score → few blocks, exact fit
+        let scores: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let labels: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let iso = IsotonicCalibrator::fit(&scores, &labels).unwrap();
+        assert!(iso.transform(0.0) < 0.01);
+        assert!(iso.transform(19.0) > 0.99);
+        // monotone labels violate nothing → PAV keeps one block per point
+        assert_eq!(iso.n_knots(), 20);
+    }
+
+    #[test]
+    fn platt_handles_constant_labels() {
+        let scores = vec![0.2, 0.8, 0.5];
+        let labels = vec![true, true, true];
+        let platt = PlattScaler::fit(&scores, &labels).unwrap();
+        // smoothing keeps outputs strictly inside (0,1)
+        for &s in &scores {
+            let p = platt.transform(s);
+            assert!(p > 0.0 && p < 1.0);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(PlattScaler::fit(&[0.5], &[]).is_err());
+        assert!(PlattScaler::fit(&[], &[]).is_err());
+        assert!(IsotonicCalibrator::fit(&[0.5], &[true, false]).is_err());
+    }
+}

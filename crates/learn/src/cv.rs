@@ -1,0 +1,172 @@
+//! Cross-validated evaluation of model/metric pairs.
+//!
+//! Audits are only as stable as the evaluation protocol behind them;
+//! k-fold cross-validation gives every fairness gap an honest spread
+//! before anyone stakes a legal claim on it (the Section IV.F sampling
+//! caution applied to model evaluation).
+
+use crate::encode::{EncoderConfig, FeatureEncoder};
+use crate::model::TrainedModel;
+use crate::split::k_fold_indices;
+use fairbridge_tabular::Dataset;
+use rand::Rng;
+
+/// Per-fold and aggregate results of a cross-validated evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// The metric value on each held-out fold.
+    pub fold_values: Vec<f64>,
+    /// Mean across folds.
+    pub mean: f64,
+    /// Sample standard deviation across folds (NaN for < 2 folds).
+    pub std: f64,
+}
+
+/// Runs k-fold cross-validation.
+///
+/// * `train_fn` builds a model from a training fold;
+/// * `eval_fn` scores the model on the held-out fold (any scalar metric:
+///   accuracy, a fairness gap, AUC, ...).
+pub fn cross_validate<R, T, E>(
+    ds: &Dataset,
+    k: usize,
+    rng: &mut R,
+    train_fn: T,
+    eval_fn: E,
+) -> Result<CvResult, String>
+where
+    R: Rng,
+    T: Fn(&Dataset) -> Result<TrainedModel, String>,
+    E: Fn(&TrainedModel, &Dataset) -> Result<f64, String>,
+{
+    if ds.n_rows() < k {
+        return Err(format!("{} rows cannot form {k} folds", ds.n_rows()));
+    }
+    let folds = k_fold_indices(ds.n_rows(), k, rng);
+    let mut fold_values = Vec::with_capacity(k);
+    for (train_idx, test_idx) in folds {
+        let train = ds.select(&train_idx).map_err(|e| e.to_string())?;
+        let test = ds.select(&test_idx).map_err(|e| e.to_string())?;
+        let model = train_fn(&train)?;
+        fold_values.push(eval_fn(&model, &test)?);
+    }
+    let mean = fairbridge_stats::descriptive::mean(&fold_values);
+    let std = fairbridge_stats::descriptive::std_dev(&fold_values);
+    Ok(CvResult {
+        fold_values,
+        mean,
+        std,
+    })
+}
+
+/// Convenience train function: logistic regression with the given encoder
+/// configuration.
+pub fn logistic_trainer(
+    config: EncoderConfig,
+) -> impl Fn(&Dataset) -> Result<TrainedModel, String> {
+    move |train: &Dataset| {
+        let (enc, x) = FeatureEncoder::fit_transform(train, config.clone())?;
+        let y = train.labels().map_err(|e| e.to_string())?;
+        let model =
+            crate::logistic::LogisticTrainer::default().fit_weighted(&x, y, &train.weights());
+        Ok(TrainedModel::new(enc, Box::new(model)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::accuracy;
+    use fairbridge_tabular::Role;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::builder()
+            .numeric("x", (0..n).map(|i| (i % 10) as f64).collect())
+            .boolean_with_role("y", (0..n).map(|i| i % 10 >= 5).collect(), Role::Label)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cv_accuracy_on_learnable_data() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let ds = dataset(300);
+        let result = cross_validate(
+            &ds,
+            5,
+            &mut rng,
+            logistic_trainer(EncoderConfig::default()),
+            |model, test| {
+                let preds = model.predict_dataset(test)?;
+                Ok(accuracy(test.labels().map_err(|e| e.to_string())?, &preds))
+            },
+        )
+        .unwrap();
+        assert_eq!(result.fold_values.len(), 5);
+        assert!(result.mean > 0.95, "cv accuracy {}", result.mean);
+        assert!(result.std < 0.1);
+    }
+
+    #[test]
+    fn cv_can_evaluate_fairness_gaps() {
+        // Use a biased two-group dataset and CV the parity gap itself.
+        let n = 400;
+        let mut codes = Vec::new();
+        let mut merit = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let f = i % 2 == 1;
+            codes.push(u32::from(f));
+            merit.push((i % 10) as f64);
+            // biased: females need higher merit
+            labels.push(if f { i % 10 >= 7 } else { i % 10 >= 3 });
+        }
+        let ds = Dataset::builder()
+            .categorical_with_role("sex", vec!["m", "f"], codes, Role::Protected)
+            .numeric("merit", merit)
+            .boolean_with_role("y", labels, Role::Label)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(112);
+        let result = cross_validate(
+            &ds,
+            4,
+            &mut rng,
+            logistic_trainer(EncoderConfig {
+                include_protected: true,
+                ..EncoderConfig::default()
+            }),
+            |model, test| {
+                let preds = model.predict_dataset(test)?;
+                let (_, sex) = test.categorical("sex").map_err(|e| e.to_string())?;
+                let rate = |c: u32| {
+                    let v: Vec<bool> = sex
+                        .iter()
+                        .zip(&preds)
+                        .filter_map(|(&g, &p)| (g == c).then_some(p))
+                        .collect();
+                    v.iter().filter(|&&p| p).count() as f64 / v.len().max(1) as f64
+                };
+                Ok((rate(0) - rate(1)).abs())
+            },
+        )
+        .unwrap();
+        assert!(result.mean > 0.2, "cv parity gap {}", result.mean);
+    }
+
+    #[test]
+    fn too_few_rows_rejected() {
+        let mut rng = StdRng::seed_from_u64(113);
+        let ds = dataset(3);
+        assert!(cross_validate(
+            &ds,
+            5,
+            &mut rng,
+            logistic_trainer(EncoderConfig::default()),
+            |_, _| Ok(0.0),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Dataset → design-matrix encoding.
+//!
+//! The encoder decides which columns become model features, turning
+//! categoricals into one-hot indicators and optionally standardizing
+//! numerics. Crucially for fairness work, the [`EncoderConfig::include_protected`]
+//! switch controls whether protected attributes enter the feature set —
+//! flipping it off is exactly the "fairness through unawareness" strategy
+//! whose failure Section IV.B of the paper demonstrates.
+
+use crate::matrix::Matrix;
+use fairbridge_tabular::{Column, Dataset, Role};
+
+/// How the encoder maps dataset columns to features.
+#[derive(Debug, Clone)]
+pub struct EncoderConfig {
+    /// Whether columns with [`Role::Protected`] are encoded as features.
+    /// `false` = fairness through unawareness.
+    pub include_protected: bool,
+    /// Whether numeric columns are standardized to zero mean / unit
+    /// variance using training statistics.
+    pub standardize: bool,
+    /// Whether the first level of each categorical is dropped (avoids
+    /// perfect collinearity with an intercept).
+    pub drop_first_level: bool,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig {
+            include_protected: false,
+            standardize: true,
+            drop_first_level: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ColumnEncoding {
+    /// Numeric column with standardization parameters (mean, std).
+    Numeric { name: String, mean: f64, std: f64 },
+    /// Boolean column encoded 0/1.
+    Boolean { name: String },
+    /// Categorical column one-hot encoded over `levels` (already excluding
+    /// a dropped first level if configured).
+    OneHot { name: String, levels: Vec<String> },
+}
+
+/// A fitted encoder: remembers the column set, dictionary levels and
+/// standardization statistics of the training data so that test data is
+/// encoded identically.
+#[derive(Debug, Clone)]
+pub struct FeatureEncoder {
+    config: EncoderConfig,
+    encodings: Vec<ColumnEncoding>,
+    feature_names: Vec<String>,
+}
+
+impl FeatureEncoder {
+    /// Fits an encoder on a training dataset.
+    pub fn fit(ds: &Dataset, config: EncoderConfig) -> Result<FeatureEncoder, String> {
+        let mut encodings = Vec::new();
+        for meta in ds.schema().fields() {
+            let eligible = match meta.role {
+                Role::Feature => true,
+                Role::Protected => config.include_protected,
+                Role::Label | Role::Prediction | Role::Weight | Role::Ignored => false,
+            };
+            if !eligible {
+                continue;
+            }
+            let col = ds.column(&meta.name).map_err(|e| e.to_string())?;
+            match col {
+                Column::Numeric(values) => {
+                    let (mut mean, mut std) = (0.0, 1.0);
+                    if config.standardize {
+                        mean = fairbridge_stats::descriptive::mean(values);
+                        let s = fairbridge_stats::descriptive::std_dev(values);
+                        std = if s.is_finite() && s > 0.0 { s } else { 1.0 };
+                    }
+                    encodings.push(ColumnEncoding::Numeric {
+                        name: meta.name.clone(),
+                        mean,
+                        std,
+                    });
+                }
+                Column::Boolean(_) => {
+                    encodings.push(ColumnEncoding::Boolean {
+                        name: meta.name.clone(),
+                    });
+                }
+                Column::Categorical { levels, .. } => {
+                    let start = usize::from(config.drop_first_level && levels.len() > 1);
+                    encodings.push(ColumnEncoding::OneHot {
+                        name: meta.name.clone(),
+                        levels: levels[start..].to_vec(),
+                    });
+                }
+            }
+        }
+        if encodings.is_empty() {
+            return Err("no eligible feature columns to encode".to_owned());
+        }
+        let mut feature_names = Vec::new();
+        for enc in &encodings {
+            match enc {
+                ColumnEncoding::Numeric { name, .. } | ColumnEncoding::Boolean { name } => {
+                    feature_names.push(name.clone());
+                }
+                ColumnEncoding::OneHot { name, levels } => {
+                    for level in levels {
+                        feature_names.push(format!("{name}={level}"));
+                    }
+                }
+            }
+        }
+        Ok(FeatureEncoder {
+            config,
+            encodings,
+            feature_names,
+        })
+    }
+
+    /// Names of the produced features, in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Number of features this encoder produces.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// The configuration the encoder was fitted with.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Encodes a full dataset into a design matrix.
+    pub fn transform(&self, ds: &Dataset) -> Result<Matrix, String> {
+        let n = ds.n_rows();
+        let mut m = Matrix::zeros(n, self.n_features());
+        let mut j = 0usize;
+        for enc in &self.encodings {
+            match enc {
+                ColumnEncoding::Numeric { name, mean, std } => {
+                    let values = ds.numeric(name).map_err(|e| e.to_string())?;
+                    for (i, &v) in values.iter().enumerate() {
+                        m.set(i, j, (v - mean) / std);
+                    }
+                    j += 1;
+                }
+                ColumnEncoding::Boolean { name } => {
+                    let values = ds.boolean(name).map_err(|e| e.to_string())?;
+                    for (i, &v) in values.iter().enumerate() {
+                        m.set(i, j, if v { 1.0 } else { 0.0 });
+                    }
+                    j += 1;
+                }
+                ColumnEncoding::OneHot { name, levels } => {
+                    let (ds_levels, codes) = ds.categorical(name).map_err(|e| e.to_string())?;
+                    // Map this dataset's codes to training levels by name,
+                    // so datasets with differently ordered dictionaries
+                    // still encode correctly. Unseen levels encode as all
+                    // zeros (the dropped/reference level).
+                    let remap: Vec<Option<usize>> = ds_levels
+                        .iter()
+                        .map(|lv| levels.iter().position(|l| l == lv))
+                        .collect();
+                    for (i, &code) in codes.iter().enumerate() {
+                        if let Some(k) = remap[code as usize] {
+                            m.set(i, j + k, 1.0);
+                        }
+                    }
+                    j += levels.len();
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Fits and transforms in one step.
+    pub fn fit_transform(
+        ds: &Dataset,
+        config: EncoderConfig,
+    ) -> Result<(FeatureEncoder, Matrix), String> {
+        let enc = FeatureEncoder::fit(ds, config)?;
+        let m = enc.transform(ds)?;
+        Ok((enc, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_tabular::Role;
+
+    fn sample() -> Dataset {
+        Dataset::builder()
+            .categorical_with_role(
+                "sex",
+                vec!["male", "female"],
+                vec![0, 1, 1, 0],
+                Role::Protected,
+            )
+            .categorical_strs("city", &["a", "b", "c", "a"])
+            .numeric("exp", vec![0.0, 2.0, 4.0, 6.0])
+            .boolean("cert", vec![true, false, true, false])
+            .boolean_with_role("hired", vec![true, false, true, false], Role::Label)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn excludes_protected_and_label_by_default() {
+        let ds = sample();
+        let enc = FeatureEncoder::fit(&ds, EncoderConfig::default()).unwrap();
+        // city one-hot drops level "a": city=b, city=c; exp; cert
+        assert_eq!(
+            enc.feature_names(),
+            &[
+                "city=b".to_owned(),
+                "city=c".to_owned(),
+                "exp".to_owned(),
+                "cert".to_owned()
+            ]
+        );
+    }
+
+    #[test]
+    fn include_protected_adds_indicator() {
+        let ds = sample();
+        let cfg = EncoderConfig {
+            include_protected: true,
+            ..EncoderConfig::default()
+        };
+        let enc = FeatureEncoder::fit(&ds, cfg).unwrap();
+        assert!(enc.feature_names().iter().any(|n| n == "sex=female"));
+    }
+
+    #[test]
+    fn standardization_is_train_based() {
+        let ds = sample();
+        let cfg = EncoderConfig::default();
+        let (enc, m) = FeatureEncoder::fit_transform(&ds, cfg).unwrap();
+        let exp_col = enc.feature_names().iter().position(|n| n == "exp").unwrap();
+        let col = m.col(exp_col);
+        let mean = fairbridge_stats::descriptive::mean(&col);
+        let std = fairbridge_stats::descriptive::std_dev(&col);
+        assert!(mean.abs() < 1e-12);
+        assert!((std - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_standardize_passes_raw_values() {
+        let ds = sample();
+        let cfg = EncoderConfig {
+            standardize: false,
+            ..EncoderConfig::default()
+        };
+        let (enc, m) = FeatureEncoder::fit_transform(&ds, cfg).unwrap();
+        let exp_col = enc.feature_names().iter().position(|n| n == "exp").unwrap();
+        assert_eq!(m.col(exp_col), vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn one_hot_encoding_values() {
+        let ds = sample();
+        let cfg = EncoderConfig {
+            standardize: false,
+            ..EncoderConfig::default()
+        };
+        let (_, m) = FeatureEncoder::fit_transform(&ds, cfg).unwrap();
+        // rows: city a,b,c,a → city=b col is [0,1,0,0], city=c col [0,0,1,0]
+        assert_eq!(m.col(0), vec![0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(m.col(1), vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn transform_handles_unseen_levels_as_reference() {
+        let train = Dataset::builder()
+            .categorical_strs("city", &["a", "b"])
+            .build()
+            .unwrap();
+        let enc = FeatureEncoder::fit(
+            &train,
+            EncoderConfig {
+                standardize: false,
+                ..EncoderConfig::default()
+            },
+        )
+        .unwrap();
+        let test = Dataset::builder()
+            .categorical_strs("city", &["z", "b"])
+            .build()
+            .unwrap();
+        let m = enc.transform(&test).unwrap();
+        assert_eq!(m.col(0), vec![0.0, 1.0]); // z → reference, b → 1
+    }
+
+    #[test]
+    fn fails_with_no_features() {
+        let ds = Dataset::builder()
+            .boolean_with_role("y", vec![true, false], Role::Label)
+            .build()
+            .unwrap();
+        assert!(FeatureEncoder::fit(&ds, EncoderConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Model evaluation: confusion matrix, threshold metrics, ROC-AUC,
+//! log-loss and calibration.
+//!
+//! The confusion-matrix quantities here (TPR, FPR, precision, ...) are the
+//! same per-group quantities the fairness metrics crate compares across
+//! protected groups — equalized odds (paper Eq. 4) is exactly "equal TPR
+//! and FPR per group".
+
+/// Binary confusion matrix counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels.
+    pub fn from_predictions(labels: &[bool], preds: &[bool]) -> Confusion {
+        assert_eq!(labels.len(), preds.len(), "confusion: length mismatch");
+        let mut c = Confusion::default();
+        for (&y, &r) in labels.iter().zip(preds) {
+            match (y, r) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total count.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Accuracy (TP+TN)/total; `NaN` when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// True positive rate TP/(TP+FN), a.k.a. recall/sensitivity.
+    pub fn tpr(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// False positive rate FP/(FP+TN).
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// True negative rate TN/(TN+FP), a.k.a. specificity.
+    pub fn tnr(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// False negative rate FN/(FN+TP).
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// Precision TP/(TP+FP), a.k.a. positive predictive value.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Negative predictive value TN/(TN+FN).
+    pub fn npv(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fn_)
+    }
+
+    /// F1 score, the harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.tpr();
+        if p.is_nan() || r.is_nan() || p + r == 0.0 {
+            return f64::NAN;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Selection rate (TP+FP)/total: P(R = +), the quantity demographic
+    /// parity (paper Eq. 1) equalizes.
+    pub fn selection_rate(&self) -> f64 {
+        ratio(self.tp + self.fp, self.total())
+    }
+
+    /// Base rate (TP+FN)/total: P(Y = +).
+    pub fn base_rate(&self) -> f64 {
+        ratio(self.tp + self.fn_, self.total())
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Accuracy of hard predictions.
+pub fn accuracy(labels: &[bool], preds: &[bool]) -> f64 {
+    Confusion::from_predictions(labels, preds).accuracy()
+}
+
+/// ROC area under curve via the rank statistic (handles score ties by
+/// mid-ranks). `NaN` when either class is absent.
+pub fn roc_auc(labels: &[bool], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "roc_auc: length mismatch");
+    let n_pos = labels.iter().filter(|&&y| y).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return f64::NAN;
+    }
+    let ranks = fairbridge_stats::correlation::ranks(scores);
+    let rank_sum: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter_map(|(&y, &r)| y.then_some(r))
+        .sum();
+    (rank_sum - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Mean binary cross-entropy of probabilistic scores.
+pub fn log_loss(labels: &[bool], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "log_loss: length mismatch");
+    assert!(!labels.is_empty(), "log_loss: empty input");
+    let total: f64 = labels
+        .iter()
+        .zip(scores)
+        .map(|(&y, &s)| {
+            let p = s.clamp(1e-12, 1.0 - 1e-12);
+            if y {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / labels.len() as f64
+}
+
+/// Brier score: mean squared error of probabilistic scores.
+pub fn brier_score(labels: &[bool], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "brier: length mismatch");
+    assert!(!labels.is_empty(), "brier: empty input");
+    labels
+        .iter()
+        .zip(scores)
+        .map(|(&y, &s)| (s - if y { 1.0 } else { 0.0 }).powi(2))
+        .sum::<f64>()
+        / labels.len() as f64
+}
+
+/// One bin of a calibration curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationBin {
+    /// Inclusive lower score bound of the bin.
+    pub lo: f64,
+    /// Exclusive upper bound (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of instances in the bin.
+    pub count: usize,
+    /// Mean predicted score in the bin.
+    pub mean_score: f64,
+    /// Observed positive fraction in the bin.
+    pub observed_rate: f64,
+}
+
+/// Equal-width calibration curve with `n_bins` bins over \[0, 1\].
+///
+/// Calibration-within-groups is one of the definitions the paper's §V
+/// shortlist names as legally meaningful.
+pub fn calibration_curve(labels: &[bool], scores: &[f64], n_bins: usize) -> Vec<CalibrationBin> {
+    assert_eq!(labels.len(), scores.len(), "calibration: length mismatch");
+    assert!(n_bins > 0, "calibration requires at least one bin");
+    let mut bins: Vec<(usize, f64, usize)> = vec![(0, 0.0, 0); n_bins]; // (count, score_sum, pos)
+    for (&y, &s) in labels.iter().zip(scores) {
+        let idx = ((s * n_bins as f64).floor() as usize).min(n_bins - 1);
+        bins[idx].0 += 1;
+        bins[idx].1 += s;
+        if y {
+            bins[idx].2 += 1;
+        }
+    }
+    bins.into_iter()
+        .enumerate()
+        .map(|(i, (count, score_sum, pos))| CalibrationBin {
+            lo: i as f64 / n_bins as f64,
+            hi: (i + 1) as f64 / n_bins as f64,
+            count,
+            mean_score: if count > 0 {
+                score_sum / count as f64
+            } else {
+                f64::NAN
+            },
+            observed_rate: if count > 0 {
+                pos as f64 / count as f64
+            } else {
+                f64::NAN
+            },
+        })
+        .collect()
+}
+
+/// Expected calibration error: count-weighted mean |observed − predicted|
+/// over non-empty bins.
+pub fn expected_calibration_error(labels: &[bool], scores: &[f64], n_bins: usize) -> f64 {
+    let bins = calibration_curve(labels, scores, n_bins);
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    bins.iter()
+        .filter(|b| b.count > 0)
+        .map(|b| (b.count as f64 / total as f64) * (b.observed_rate - b.mean_score).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let y = [true, true, false, false, true];
+        let r = [true, false, true, false, true];
+        let c = Confusion::from_predictions(&y, &r);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.tpr() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.fpr() - 0.5).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.selection_rate() - 0.6).abs() < 1e-12);
+        assert!((c.base_rate() - 0.6).abs() < 1e-12);
+        assert!((c.tpr() + c.fnr() - 1.0).abs() < 1e-12);
+        assert!((c.fpr() + c.tnr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_denominators_are_nan() {
+        let c = Confusion::from_predictions(&[false], &[false]);
+        assert!(c.tpr().is_nan());
+        assert!(c.precision().is_nan());
+        assert!(c.f1().is_nan());
+        assert!(!c.accuracy().is_nan());
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let y = [false, false, true, true];
+        assert!((roc_auc(&y, &[0.1, 0.2, 0.8, 0.9]) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&y, &[0.9, 0.8, 0.2, 0.1])).abs() < 1e-12);
+        // constant scores → 0.5 by mid-rank convention
+        assert!((roc_auc(&y, &[0.5; 4]) - 0.5).abs() < 1e-12);
+        // single class → NaN
+        assert!(roc_auc(&[true, true], &[0.1, 0.9]).is_nan());
+    }
+
+    #[test]
+    fn log_loss_and_brier() {
+        let y = [true, false];
+        let perfect = [1.0, 0.0];
+        assert!(log_loss(&y, &perfect) < 1e-10);
+        assert!(brier_score(&y, &perfect) < 1e-12);
+        let uninformative = [0.5, 0.5];
+        assert!((log_loss(&y, &uninformative) - 2.0_f64.ln().min(1.0)).abs() < 1e-9);
+        assert!((brier_score(&y, &uninformative) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_of_perfect_calibrator() {
+        // scores equal to observed rates per bin → ECE ≈ 0
+        let mut labels = Vec::new();
+        let mut scores = Vec::new();
+        for i in 0..10 {
+            let p = (i as f64 + 0.5) / 10.0;
+            for j in 0..100 {
+                labels.push((j as f64) < p * 100.0);
+                scores.push(p);
+            }
+        }
+        let ece = expected_calibration_error(&labels, &scores, 10);
+        assert!(ece < 0.01, "ece = {ece}");
+        let bins = calibration_curve(&labels, &scores, 10);
+        assert_eq!(bins.len(), 10);
+        assert!(bins.iter().all(|b| b.count == 100));
+    }
+
+    #[test]
+    fn calibration_detects_overconfidence() {
+        // always predict 0.95, true rate 0.5
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let scores = vec![0.95; 100];
+        let ece = expected_calibration_error(&labels, &scores, 10);
+        assert!((ece - 0.45).abs() < 0.01);
+    }
+
+    #[test]
+    fn calibration_score_one_lands_in_last_bin() {
+        let bins = calibration_curve(&[true], &[1.0], 5);
+        assert_eq!(bins[4].count, 1);
+    }
+}

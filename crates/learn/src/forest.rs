@@ -1,0 +1,222 @@
+//! Random forest: bagged CART trees with per-split feature subsampling.
+//!
+//! Provides an ensemble regime for the audit experiments — proxy leakage
+//! and masking behave differently in ensembles than in linear models, and
+//! the forest's smoother scores exercise the calibration and threshold
+//! machinery more realistically.
+
+use crate::matrix::Matrix;
+use crate::model::Scorer;
+use crate::tree::{DecisionTree, TreeTrainer};
+use rand::Rng;
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<(DecisionTree, Vec<usize>)>, // (tree, feature indices used)
+}
+
+/// Random-forest trainer configuration.
+#[derive(Debug, Clone)]
+pub struct ForestTrainer {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree base learner settings.
+    pub tree: TreeTrainer,
+    /// Features sampled per tree (0 = √d heuristic).
+    pub max_features: usize,
+    /// Bootstrap sample size as a fraction of the training size.
+    pub sample_fraction: f64,
+}
+
+impl Default for ForestTrainer {
+    fn default() -> Self {
+        ForestTrainer {
+            n_trees: 25,
+            tree: TreeTrainer {
+                max_depth: 8,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+            },
+            max_features: 0,
+            sample_fraction: 1.0,
+        }
+    }
+}
+
+impl ForestTrainer {
+    /// Fits the forest.
+    pub fn fit<R: Rng>(&self, x: &Matrix, y: &[bool], rng: &mut R) -> RandomForest {
+        assert_eq!(x.n_rows(), y.len(), "forest fit: row/label mismatch");
+        assert!(x.n_rows() > 0, "forest fit: empty training set");
+        assert!(self.n_trees > 0, "forest needs at least one tree");
+        assert!(
+            self.sample_fraction > 0.0 && self.sample_fraction <= 1.0,
+            "sample_fraction must be in (0,1]"
+        );
+        let d = x.n_cols();
+        let m = if self.max_features == 0 {
+            ((d as f64).sqrt().ceil() as usize).clamp(1, d)
+        } else {
+            self.max_features.clamp(1, d)
+        };
+        let n_sample = ((x.n_rows() as f64) * self.sample_fraction).ceil() as usize;
+
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for _ in 0..self.n_trees {
+            // Bootstrap rows.
+            let rows: Vec<usize> = (0..n_sample)
+                .map(|_| rng.gen_range(0..x.n_rows()))
+                .collect();
+            // Feature subset (without replacement).
+            let mut features: Vec<usize> = (0..d).collect();
+            for i in (1..d).rev() {
+                let j = rng.gen_range(0..=i);
+                features.swap(i, j);
+            }
+            features.truncate(m);
+            features.sort_unstable();
+
+            // Project the bootstrap sample onto the feature subset.
+            let mut proj_rows = Vec::with_capacity(rows.len());
+            let mut labels = Vec::with_capacity(rows.len());
+            for &r in &rows {
+                let row = x.row(r);
+                proj_rows.push(features.iter().map(|&f| row[f]).collect::<Vec<f64>>());
+                labels.push(y[r]);
+            }
+            let tree = self.tree.fit(&Matrix::from_rows(&proj_rows), &labels);
+            trees.push((tree, features));
+        }
+        RandomForest { trees }
+    }
+}
+
+impl RandomForest {
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Scorer for RandomForest {
+    fn score(&self, features: &[f64]) -> f64 {
+        let mut total = 0.0;
+        let mut buf: Vec<f64> = Vec::new();
+        for (tree, subset) in &self.trees {
+            buf.clear();
+            buf.extend(subset.iter().map(|&f| features[f]));
+            total += tree.score(&buf);
+        }
+        total / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Classifier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_data(n: usize) -> (Matrix, Vec<bool>) {
+        // Nonlinear decision boundary: inside vs outside a circle.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 * 0.618).fract() * 2.0 - 1.0;
+            let b = (i as f64 * 0.414).fract() * 2.0 - 1.0;
+            rows.push(vec![a, b]);
+            y.push(a * a + b * b < 0.5);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn forest_learns_nonlinear_boundary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = ring_data(600);
+        let forest = ForestTrainer::default().fit(&x, &y, &mut rng);
+        let correct = x
+            .rows()
+            .zip(&y)
+            .filter(|(row, &label)| forest.predict(row) == label)
+            .count();
+        let acc = correct as f64 / y.len() as f64;
+        assert!(acc > 0.9, "forest accuracy {acc}");
+        assert_eq!(forest.n_trees(), 25);
+    }
+
+    #[test]
+    fn forest_scores_are_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = ring_data(200);
+        let forest = ForestTrainer {
+            n_trees: 7,
+            ..ForestTrainer::default()
+        }
+        .fit(&x, &y, &mut rng);
+        for row in x.rows() {
+            let s = forest.score(row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn forest_beats_single_shallow_tree_on_ring() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, y) = ring_data(600);
+        let shallow = TreeTrainer {
+            max_depth: 2,
+            ..TreeTrainer::default()
+        };
+        let single = shallow.fit(&x, &y);
+        let forest = ForestTrainer {
+            n_trees: 40,
+            tree: shallow,
+            sample_fraction: 0.8,
+            ..ForestTrainer::default()
+        }
+        .fit(&x, &y, &mut rng);
+        let acc = |score: &dyn Fn(&[f64]) -> f64| {
+            x.rows()
+                .zip(&y)
+                .filter(|(row, &label)| (score(row) >= 0.5) == label)
+                .count() as f64
+                / y.len() as f64
+        };
+        let acc_single = acc(&|r| single.score(r));
+        let acc_forest = acc(&|r| forest.score(r));
+        assert!(
+            acc_forest >= acc_single - 0.02,
+            "single {acc_single}, forest {acc_forest}"
+        );
+    }
+
+    #[test]
+    fn max_features_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (x, y) = ring_data(100);
+        let forest = ForestTrainer {
+            n_trees: 5,
+            max_features: 1,
+            ..ForestTrainer::default()
+        }
+        .fit(&x, &y, &mut rng);
+        for (_, subset) in &forest.trees {
+            assert_eq!(subset.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (x, y) = ring_data(10);
+        ForestTrainer {
+            n_trees: 0,
+            ..ForestTrainer::default()
+        }
+        .fit(&x, &y, &mut rng);
+    }
+}

@@ -1,0 +1,99 @@
+//! k-nearest-neighbours classifier.
+//!
+//! Included as the instance-based regime: discrimination by association
+//! (Section IV.B) is especially visible in nearest-neighbour models, which
+//! propagate a biased neighbourhood's labels to anyone who resembles it.
+
+use crate::matrix::{sq_dist, Matrix};
+use crate::model::Scorer;
+
+/// A fitted (memorizing) k-NN model.
+#[derive(Debug, Clone)]
+pub struct KnnModel {
+    x: Matrix,
+    y: Vec<bool>,
+    k: usize,
+}
+
+impl KnnModel {
+    /// Stores the training data. `k` is clamped to the training size.
+    pub fn fit(x: Matrix, y: Vec<bool>, k: usize) -> KnnModel {
+        assert_eq!(x.n_rows(), y.len(), "knn fit: row/label mismatch");
+        assert!(x.n_rows() > 0, "knn fit: empty training set");
+        assert!(k > 0, "knn requires k > 0");
+        let k = k.min(x.n_rows());
+        KnnModel { x, y, k }
+    }
+
+    /// The effective neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Scorer for KnnModel {
+    fn score(&self, features: &[f64]) -> f64 {
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, bool)> = self
+            .x
+            .rows()
+            .zip(&self.y)
+            .map(|(row, &label)| (sq_dist(row, features), label))
+            .collect();
+        dists.select_nth_unstable_by(self.k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("NaN distance")
+        });
+        let pos = dists[..self.k].iter().filter(|(_, l)| *l).count();
+        pos as f64 / self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Classifier;
+
+    fn clusters() -> (Matrix, Vec<bool>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            y.push(false);
+            rows.push(vec![5.0 + i as f64 * 0.01, 5.0]);
+            y.push(true);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let (x, y) = clusters();
+        let knn = KnnModel::fit(x, y, 3);
+        assert!(knn.predict(&[5.0, 5.0]));
+        assert!(!knn.predict(&[0.0, 0.0]));
+        assert_eq!(knn.score(&[5.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn k_clamped_to_training_size() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let knn = KnnModel::fit(x, vec![true, false], 10);
+        assert_eq!(knn.k(), 2);
+        assert_eq!(knn.score(&[0.5]), 0.5);
+    }
+
+    #[test]
+    fn k_one_memorizes() {
+        let (x, y) = clusters();
+        let knn = KnnModel::fit(x.clone(), y.clone(), 1);
+        for (row, &label) in x.rows().zip(&y) {
+            assert_eq!(knn.predict(row), label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn zero_k_panics() {
+        KnnModel::fit(Matrix::from_rows(&[vec![0.0]]), vec![true], 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # fairbridge-learn
+//!
+//! From-scratch machine-learning substrate for the fairbridge toolkit.
+//!
+//! The ICDE'24 paper analyses how *trained classifiers* behave under biased
+//! data — proxy leakage (IV.B), subgroup disparity (IV.C), feedback loops
+//! (IV.D) and explainer manipulation (IV.E) are all properties of a model
+//! fit to data. This crate supplies those models without external ML
+//! dependencies:
+//!
+//! * [`matrix`] — a minimal dense row-major matrix;
+//! * [`encode`] — dataset → design-matrix encoding (one-hot categoricals,
+//!   standardized numerics) with explicit control over whether protected
+//!   attributes enter the feature set (the "fairness through unawareness"
+//!   switch of Section IV.B);
+//! * [`logistic`] — L2-regularized logistic regression by gradient descent
+//!   with per-sample weights (the vehicle for reweighing mitigation);
+//! * [`tree`] — CART decision tree with Gini impurity;
+//! * [`bayes`] — Gaussian naive Bayes;
+//! * [`forest`] — bagged random forest;
+//! * [`calibrate`] — Platt scaling and isotonic (PAV) calibration;
+//! * [`knn`] — k-nearest-neighbours;
+//! * [`eval`] — accuracy/precision/recall/F1, ROC-AUC, log-loss,
+//!   calibration;
+//! * [`split`] — train/test and stratified splits, k-fold CV;
+//! * [`cv`] — cross-validated evaluation of any scalar metric;
+//! * [`model`] — the [`model::Scorer`]/[`model::Classifier`] traits and the
+//!   [`model::TrainedModel`] bundle of encoder + scorer that predicts
+//!   directly on datasets.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bayes;
+pub mod calibrate;
+pub mod cv;
+pub mod encode;
+pub mod eval;
+pub mod forest;
+pub mod knn;
+pub mod logistic;
+pub mod matrix;
+pub mod model;
+pub mod split;
+pub mod tree;
+
+pub use encode::{EncoderConfig, FeatureEncoder};
+pub use logistic::{LogisticModel, LogisticTrainer};
+pub use matrix::Matrix;
+pub use model::{Classifier, Scorer, TrainedModel};

@@ -1,0 +1,180 @@
+//! A minimal dense row-major matrix.
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    pub fn new(data: Vec<f64>, n_rows: usize, n_cols: usize) -> Matrix {
+        assert_eq!(
+            data.len(),
+            n_rows * n_cols,
+            "matrix data length {} != {n_rows}x{n_cols}",
+            data.len()
+        );
+        Matrix {
+            data,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; n_rows * n_cols],
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Builds a matrix from row slices.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let n_cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == n_cols),
+            "ragged rows in from_rows"
+        );
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            data,
+            n_rows: rows.len(),
+            n_cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The row at `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let start = i * self.n_cols;
+        &self.data[start..start + self.n_cols]
+    }
+
+    /// Mutable row access.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        let start = i * self.n_cols;
+        &mut self.data[start..start + self.n_cols]
+    }
+
+    /// Element access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Element mutation.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n_cols + j] = v;
+    }
+
+    /// Extracts column `j` as a vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.n_rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Matrix–vector product `X · w`.
+    pub fn matvec(&self, w: &[f64]) -> Vec<f64> {
+        assert_eq!(w.len(), self.n_cols, "matvec dimension mismatch");
+        (0..self.n_rows).map(|i| dot(self.row(i), w)).collect()
+    }
+
+    /// A new matrix containing the given rows (indices may repeat).
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.n_cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            data,
+            n_rows: indices.len(),
+            n_cols: self.n_cols,
+        }
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.n_cols)
+    }
+}
+
+/// Dot product of equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix data length")]
+    fn bad_dimensions_panic() {
+        Matrix::new(vec![1.0], 2, 3);
+    }
+
+    #[test]
+    fn from_rows_matches_new() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m, Matrix::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2));
+    }
+
+    #[test]
+    fn matvec_correct() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![2.0, 1.0]]);
+        assert_eq!(m.matvec(&[3.0, 4.0]), vec![3.0, 10.0]);
+    }
+
+    #[test]
+    fn take_rows_duplicates() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let t = m.take_rows(&[2, 2, 0]);
+        assert_eq!(t.col(0), vec![3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn set_and_row_mut() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 1, 5.0);
+        m.row_mut(0)[0] = -1.0;
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(0, 0), -1.0);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Model traits and the dataset-level [`TrainedModel`] bundle.
+
+use crate::encode::FeatureEncoder;
+use crate::matrix::Matrix;
+use fairbridge_tabular::Dataset;
+
+/// A model that scores feature vectors with P(Y = +).
+pub trait Scorer {
+    /// Probability of the positive class for one encoded feature vector.
+    fn score(&self, features: &[f64]) -> f64;
+
+    /// Scores every row of a design matrix.
+    fn score_matrix(&self, x: &Matrix) -> Vec<f64> {
+        x.rows().map(|r| self.score(r)).collect()
+    }
+}
+
+/// A model that produces hard binary decisions.
+pub trait Classifier {
+    /// Predicted class for one encoded feature vector.
+    fn predict(&self, features: &[f64]) -> bool;
+
+    /// Predicts every row of a design matrix.
+    fn predict_matrix(&self, x: &Matrix) -> Vec<bool> {
+        x.rows().map(|r| self.predict(r)).collect()
+    }
+}
+
+/// Any scorer is a classifier by thresholding at 0.5.
+impl<S: Scorer> Classifier for S {
+    fn predict(&self, features: &[f64]) -> bool {
+        self.score(features) >= 0.5
+    }
+}
+
+/// A fitted encoder + scorer pair that operates directly on datasets.
+///
+/// This is the unit the audit crates manipulate: it predicts on raw
+/// [`Dataset`]s (encoding internally), exposes scores for threshold-based
+/// post-processing, and supports per-group decision thresholds (the
+/// Hardt et al. post-processing repair).
+pub struct TrainedModel {
+    encoder: FeatureEncoder,
+    scorer: Box<dyn Scorer + Send + Sync>,
+    threshold: f64,
+}
+
+impl std::fmt::Debug for TrainedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedModel")
+            .field("n_features", &self.encoder.n_features())
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+impl TrainedModel {
+    /// Bundles a fitted encoder with a scorer, thresholding at 0.5.
+    pub fn new(encoder: FeatureEncoder, scorer: Box<dyn Scorer + Send + Sync>) -> TrainedModel {
+        TrainedModel {
+            encoder,
+            scorer,
+            threshold: 0.5,
+        }
+    }
+
+    /// The decision threshold on the score.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Returns a copy-on-write view with a different global threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> TrainedModel {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0,1]"
+        );
+        self.threshold = threshold;
+        self
+    }
+
+    /// The encoder used for feature construction.
+    pub fn encoder(&self) -> &FeatureEncoder {
+        &self.encoder
+    }
+
+    /// Scores every row of a dataset.
+    pub fn score_dataset(&self, ds: &Dataset) -> Result<Vec<f64>, String> {
+        let x = self.encoder.transform(ds)?;
+        Ok(self.scorer.score_matrix(&x))
+    }
+
+    /// Hard predictions for every row of a dataset.
+    pub fn predict_dataset(&self, ds: &Dataset) -> Result<Vec<bool>, String> {
+        Ok(self
+            .score_dataset(ds)?
+            .into_iter()
+            .map(|s| s >= self.threshold)
+            .collect())
+    }
+
+    /// Scores a single-row dataset (used by counterfactual probing).
+    pub fn score_row(&self, ds: &Dataset, row: usize) -> Result<f64, String> {
+        let single = ds.select(&[row]).map_err(|e| e.to_string())?;
+        Ok(self.score_dataset(&single)?[0])
+    }
+
+    /// Appends this model's predictions to the dataset as column `name`.
+    pub fn annotate(&self, ds: &Dataset, name: &str) -> Result<Dataset, String> {
+        let preds = self.predict_dataset(ds)?;
+        ds.with_predictions(name, preds).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::EncoderConfig;
+    use fairbridge_tabular::Role;
+
+    /// Scores by the first feature alone: score = clamp(x0, 0, 1).
+    struct FirstFeature;
+    impl Scorer for FirstFeature {
+        fn score(&self, features: &[f64]) -> f64 {
+            features[0].clamp(0.0, 1.0)
+        }
+    }
+
+    fn ds() -> Dataset {
+        Dataset::builder()
+            .numeric("x", vec![0.1, 0.6, 0.9])
+            .boolean_with_role("y", vec![false, true, true], Role::Label)
+            .build()
+            .unwrap()
+    }
+
+    fn model() -> TrainedModel {
+        let enc = FeatureEncoder::fit(
+            &ds(),
+            EncoderConfig {
+                standardize: false,
+                ..EncoderConfig::default()
+            },
+        )
+        .unwrap();
+        TrainedModel::new(enc, Box::new(FirstFeature))
+    }
+
+    #[test]
+    fn scorer_thresholds_to_classifier() {
+        let s = FirstFeature;
+        assert!(!s.predict(&[0.4]));
+        assert!(s.predict(&[0.5]));
+    }
+
+    #[test]
+    fn predict_dataset_uses_threshold() {
+        let m = model();
+        assert_eq!(m.predict_dataset(&ds()).unwrap(), vec![false, true, true]);
+        let strict = model().with_threshold(0.7);
+        assert_eq!(
+            strict.predict_dataset(&ds()).unwrap(),
+            vec![false, false, true]
+        );
+    }
+
+    #[test]
+    fn score_row_matches_full_scoring() {
+        let m = model();
+        let all = m.score_dataset(&ds()).unwrap();
+        for (row, &expected) in all.iter().enumerate() {
+            assert_eq!(m.score_row(&ds(), row).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn annotate_appends_prediction_column() {
+        let m = model();
+        let out = m.annotate(&ds(), "pred").unwrap();
+        assert_eq!(out.predictions().unwrap(), &[false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in [0,1]")]
+    fn bad_threshold_panics() {
+        model().with_threshold(1.5);
+    }
+}

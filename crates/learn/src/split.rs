@@ -1,0 +1,172 @@
+//! Train/test and cross-validation splitting.
+
+use fairbridge_tabular::Dataset;
+use rand::Rng;
+
+/// A random permutation of `0..n` (Fisher–Yates).
+pub fn permutation<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Splits a dataset into (train, test) with `test_fraction` of rows in the
+/// test set, shuffled by `rng`.
+pub fn train_test_split<R: Rng>(
+    ds: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<(Dataset, Dataset), String> {
+    assert!(
+        (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
+        "test_fraction must be in (0,1)"
+    );
+    let n = ds.n_rows();
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    let n_test = n_test.clamp(1, n.saturating_sub(1).max(1));
+    let perm = permutation(n, rng);
+    let test_idx = &perm[..n_test];
+    let train_idx = &perm[n_test..];
+    if train_idx.is_empty() {
+        return Err("dataset too small to split".to_owned());
+    }
+    let train = ds.select(train_idx).map_err(|e| e.to_string())?;
+    let test = ds.select(test_idx).map_err(|e| e.to_string())?;
+    Ok((train, test))
+}
+
+/// Stratified split preserving the label proportion in both halves.
+pub fn stratified_split<R: Rng>(
+    ds: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<(Dataset, Dataset), String> {
+    assert!(
+        (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
+        "test_fraction must be in (0,1)"
+    );
+    let labels = ds.labels().map_err(|e| e.to_string())?;
+    let mut pos: Vec<usize> = Vec::new();
+    let mut neg: Vec<usize> = Vec::new();
+    for (i, &y) in labels.iter().enumerate() {
+        if y {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    let mut test_idx = Vec::new();
+    let mut train_idx = Vec::new();
+    for class in [&mut pos, &mut neg] {
+        // shuffle class indices
+        for i in (1..class.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            class.swap(i, j);
+        }
+        let n_test = ((class.len() as f64) * test_fraction).round() as usize;
+        test_idx.extend_from_slice(&class[..n_test]);
+        train_idx.extend_from_slice(&class[n_test..]);
+    }
+    if train_idx.is_empty() || test_idx.is_empty() {
+        return Err("dataset too small for a stratified split".to_owned());
+    }
+    let train = ds.select(&train_idx).map_err(|e| e.to_string())?;
+    let test = ds.select(&test_idx).map_err(|e| e.to_string())?;
+    Ok((train, test))
+}
+
+/// Produces `k` (train-indices, test-indices) folds over `n` rows.
+pub fn k_fold_indices<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold requires k >= 2");
+    assert!(n >= k, "k-fold requires n >= k");
+    let perm = permutation(n, rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let start = f * n / k;
+        let end = (f + 1) * n / k;
+        let test: Vec<usize> = perm[start..end].to_vec();
+        let train: Vec<usize> = perm[..start].iter().chain(&perm[end..]).copied().collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_tabular::Role;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds(n: usize) -> Dataset {
+        Dataset::builder()
+            .numeric("x", (0..n).map(|i| i as f64).collect())
+            .boolean_with_role("y", (0..n).map(|i| i % 4 == 0).collect(), Role::Label)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = permutation(100, &mut rng);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = ds(100);
+        let (train, test) = train_test_split(&data, 0.3, &mut rng).unwrap();
+        assert_eq!(test.n_rows(), 30);
+        assert_eq!(train.n_rows(), 70);
+        // disjoint by construction: x values are unique ids
+        let mut seen: Vec<f64> = train
+            .numeric("x")
+            .unwrap()
+            .iter()
+            .chain(test.numeric("x").unwrap())
+            .copied()
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratified_split_preserves_rates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = ds(200); // 25% positive
+        let (train, test) = stratified_split(&data, 0.25, &mut rng).unwrap();
+        let rate = |d: &Dataset| {
+            let l = d.labels().unwrap();
+            l.iter().filter(|&&y| y).count() as f64 / l.len() as f64
+        };
+        assert!((rate(&train) - 0.25).abs() < 0.02);
+        assert!((rate(&test) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let folds = k_fold_indices(53, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..53).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 53);
+            assert!(test.iter().all(|i| !train.contains(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k-fold requires k >= 2")]
+    fn k_fold_rejects_k1() {
+        let mut rng = StdRng::seed_from_u64(5);
+        k_fold_indices(10, 1, &mut rng);
+    }
+}

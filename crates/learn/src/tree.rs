@@ -1,0 +1,342 @@
+//! CART decision tree with Gini impurity.
+//!
+//! Trees matter for fairness analysis because they pick up proxy splits
+//! readily: a tree trained on biased labels will route individuals by
+//! university or postcode exactly as Section IV.B describes.
+
+use crate::matrix::Matrix;
+use crate::model::Scorer;
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Probability of the positive class among training rows here.
+        p_positive: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,  // node index, feature < threshold
+        right: usize, // node index, feature >= threshold
+    },
+}
+
+/// A root-to-leaf path: `(feature, threshold, went_left)` per split.
+pub type LeafPath = Vec<(usize, f64, bool)>;
+
+/// A fitted CART decision tree (binary classification).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+/// Decision-tree trainer configuration.
+#[derive(Debug, Clone)]
+pub struct TreeTrainer {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of rows required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum rows in each child for a split to be accepted.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeTrainer {
+    fn default() -> Self {
+        TreeTrainer {
+            max_depth: 6,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+        }
+    }
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total == 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+impl TreeTrainer {
+    /// Fits a tree with uniform sample weights.
+    pub fn fit(&self, x: &Matrix, y: &[bool]) -> DecisionTree {
+        self.fit_weighted(x, y, &vec![1.0; y.len()])
+    }
+
+    /// Fits a tree with per-sample weights.
+    pub fn fit_weighted(&self, x: &Matrix, y: &[bool], sw: &[f64]) -> DecisionTree {
+        assert_eq!(x.n_rows(), y.len(), "tree fit: row/label mismatch");
+        assert_eq!(y.len(), sw.len(), "tree fit: weight mismatch");
+        assert!(x.n_rows() > 0, "tree fit: empty training set");
+        let mut nodes = Vec::new();
+        let rows: Vec<usize> = (0..x.n_rows()).collect();
+        self.build(x, y, sw, &rows, 0, &mut nodes);
+        DecisionTree { nodes }
+    }
+
+    /// Recursively builds the subtree for `rows`; returns its node index.
+    fn build(
+        &self,
+        x: &Matrix,
+        y: &[bool],
+        sw: &[f64],
+        rows: &[usize],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let total_w: f64 = rows.iter().map(|&i| sw[i]).sum();
+        let pos_w: f64 = rows.iter().filter(|&&i| y[i]).map(|&i| sw[i]).sum();
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            let p = if total_w > 0.0 { pos_w / total_w } else { 0.5 };
+            nodes.push(Node::Leaf { p_positive: p });
+            nodes.len() - 1
+        };
+
+        if depth >= self.max_depth
+            || rows.len() < self.min_samples_split
+            || pos_w == 0.0
+            || pos_w == total_w
+        {
+            return make_leaf(nodes);
+        }
+
+        // Find the best (feature, threshold) split by weighted Gini gain.
+        let parent_gini = gini(pos_w, total_w);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for feature in 0..x.n_cols() {
+            // Sort row indices by this feature.
+            let mut order: Vec<usize> = rows.to_vec();
+            order.sort_by(|&a, &b| {
+                x.get(a, feature)
+                    .partial_cmp(&x.get(b, feature))
+                    .expect("NaN feature")
+            });
+            let mut left_w = 0.0;
+            let mut left_pos = 0.0;
+            for k in 0..order.len() - 1 {
+                let i = order[k];
+                left_w += sw[i];
+                if y[i] {
+                    left_pos += sw[i];
+                }
+                let a = x.get(order[k], feature);
+                let b = x.get(order[k + 1], feature);
+                if a == b {
+                    continue; // can't split between equal values
+                }
+                let n_left = k + 1;
+                let n_right = order.len() - n_left;
+                if n_left < self.min_samples_leaf || n_right < self.min_samples_leaf {
+                    continue;
+                }
+                let right_w = total_w - left_w;
+                let right_pos = pos_w - left_pos;
+                let child = (left_w * gini(left_pos, left_w) + right_w * gini(right_pos, right_w))
+                    / total_w;
+                // Accept any valid split (including zero-gain ones — needed
+                // for XOR-like patterns where the gain only appears a level
+                // deeper), preferring the largest gain.
+                let gain = parent_gini - child;
+                if best.map_or(true, |(_, _, g)| gain > g) {
+                    best = Some((feature, (a + b) / 2.0, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            return make_leaf(nodes);
+        };
+
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&i| x.get(i, feature) < threshold);
+        // Reserve this node's slot before children so the root is index 0.
+        nodes.push(Node::Leaf { p_positive: 0.0 });
+        let me = nodes.len() - 1;
+        let left = self.build(x, y, sw, &left_rows, depth + 1, nodes);
+        let right = self.build(x, y, sw, &right_rows, depth + 1, nodes);
+        nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+}
+
+impl DecisionTree {
+    /// Number of nodes in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        // The root is the first node pushed for the full row set. When the
+        // root is a split its slot was reserved first, so it is index 0;
+        // a leaf-only tree also has its single leaf at index 0.
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, self.root())
+        }
+    }
+
+    fn root(&self) -> usize {
+        0
+    }
+
+    /// Enumerates all leaves as `(path, p_positive)`, where each path step
+    /// is `(feature, threshold, went_left)` (`went_left` = feature <
+    /// threshold). Used by subgroup auditors to read regions out of a
+    /// fitted tree.
+    pub fn leaves(&self) -> Vec<(LeafPath, f64)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, LeafPath)> = vec![(self.root(), Vec::new())];
+        while let Some((idx, path)) = stack.pop() {
+            match &self.nodes[idx] {
+                Node::Leaf { p_positive } => out.push((path, *p_positive)),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let mut lp = path.clone();
+                    lp.push((*feature, *threshold, true));
+                    stack.push((*left, lp));
+                    let mut rp = path;
+                    rp.push((*feature, *threshold, false));
+                    stack.push((*right, rp));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Scorer for DecisionTree {
+    fn score(&self, features: &[f64]) -> f64 {
+        let mut idx = self.root();
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { p_positive } => return *p_positive,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Classifier;
+
+    #[test]
+    fn fits_axis_aligned_data_perfectly() {
+        // y = x0 > 0.5 XOR-free, single split suffices.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<bool> = rows.iter().map(|r| r[0] > 0.5).collect();
+        let x = Matrix::from_rows(&rows);
+        let tree = TreeTrainer::default().fit(&x, &y);
+        for (r, &t) in rows.iter().zip(&y) {
+            assert_eq!(tree.predict(r), t);
+        }
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn fits_xor_with_depth_two() {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        // replicate each corner a few times to satisfy min_samples
+        let mut big_rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..5 {
+            for r in &rows {
+                big_rows.push(r.clone());
+                y.push((r[0] > 0.5) != (r[1] > 0.5));
+            }
+        }
+        let x = Matrix::from_rows(&big_rows);
+        let tree = TreeTrainer {
+            max_depth: 3,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+        }
+        .fit(&x, &y);
+        for (r, &t) in big_rows.iter().zip(&y) {
+            assert_eq!(tree.predict(r), t, "row {r:?}");
+        }
+    }
+
+    #[test]
+    fn pure_leaves_stop_splitting() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![true, true, true];
+        let tree = TreeTrainer::default().fit(&x, &y);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.score(&[99.0]), 1.0);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_prior() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![true, false, false, false];
+        let tree = TreeTrainer {
+            max_depth: 0,
+            ..TreeTrainer::default()
+        }
+        .fit(&x, &y);
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.score(&[0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_change_leaf_probabilities() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0]]);
+        let y = vec![true, false];
+        let tree = TreeTrainer::default().fit_weighted(&x, &y, &[3.0, 1.0]);
+        assert!((tree.score(&[0.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        // With min_samples_leaf = 3 a 4-row set can only split 3/1 → refused.
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![false, false, true, true];
+        let tree = TreeTrainer {
+            max_depth: 5,
+            min_samples_split: 2,
+            min_samples_leaf: 3,
+        }
+        .fit(&x, &y);
+        assert_eq!(tree.n_nodes(), 1);
+    }
+}

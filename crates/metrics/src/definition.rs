@@ -1,0 +1,246 @@
+//! The paper's definition taxonomy — Section III catalogue plus the
+//! Section IV.A classification into equal treatment vs equal outcome.
+
+use std::fmt;
+
+/// The legal equality notion a fairness definition operationalizes
+/// (paper Section IV.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EqualityNotion {
+    /// "All individuals are given the same chances to achieve a favorable
+    /// outcome" — formal equality / the merit principle.
+    EqualTreatment,
+    /// "All protected (sub)groups equally/proportionally obtain the
+    /// favorable outcome" — substantive equality, affirmative action.
+    EqualOutcome,
+    /// "A middle ground between the two concepts" that "if appropriately
+    /// applied, could achieve substantive equality" — the paper's verdict
+    /// on counterfactual fairness.
+    MiddleGround,
+}
+
+impl EqualityNotion {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EqualityNotion::EqualTreatment => "equal treatment",
+            EqualityNotion::EqualOutcome => "equal outcome",
+            EqualityNotion::MiddleGround => "middle ground",
+        }
+    }
+}
+
+impl fmt::Display for EqualityNotion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The fairness definitions of Section III (A–G) plus the §V additions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Definition {
+    /// III.A, Eq. (1).
+    DemographicParity,
+    /// III.B, Eq. (2).
+    ConditionalStatisticalParity,
+    /// III.C, Eq. (3).
+    EqualOpportunity,
+    /// III.D, Eq. (4).
+    EqualizedOdds,
+    /// III.E, Eq. (5).
+    DemographicDisparity,
+    /// III.F, Eq. (6).
+    ConditionalDemographicDisparity,
+    /// III.G.
+    CounterfactualFairness,
+    /// §V shortlist addition: calibration within groups.
+    Calibration,
+    /// Extended canon: predictive parity (equal precision).
+    PredictiveParity,
+    /// Extended canon: accuracy equality (equal error rate overall).
+    AccuracyEquality,
+}
+
+impl Definition {
+    /// All definitions in paper order.
+    pub const ALL: [Definition; 10] = [
+        Definition::DemographicParity,
+        Definition::ConditionalStatisticalParity,
+        Definition::EqualOpportunity,
+        Definition::EqualizedOdds,
+        Definition::DemographicDisparity,
+        Definition::ConditionalDemographicDisparity,
+        Definition::CounterfactualFairness,
+        Definition::Calibration,
+        Definition::PredictiveParity,
+        Definition::AccuracyEquality,
+    ];
+
+    /// The seven definitions presented in Section III.
+    pub const PAPER_SECTION_III: [Definition; 7] = [
+        Definition::DemographicParity,
+        Definition::ConditionalStatisticalParity,
+        Definition::EqualOpportunity,
+        Definition::EqualizedOdds,
+        Definition::DemographicDisparity,
+        Definition::ConditionalDemographicDisparity,
+        Definition::CounterfactualFairness,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Definition::DemographicParity => "demographic parity",
+            Definition::ConditionalStatisticalParity => "conditional statistical parity",
+            Definition::EqualOpportunity => "equal opportunity",
+            Definition::EqualizedOdds => "equalized odds",
+            Definition::DemographicDisparity => "demographic disparity",
+            Definition::ConditionalDemographicDisparity => "conditional demographic disparity",
+            Definition::CounterfactualFairness => "counterfactual fairness",
+            Definition::Calibration => "calibration within groups",
+            Definition::PredictiveParity => "predictive parity",
+            Definition::AccuracyEquality => "accuracy equality",
+        }
+    }
+
+    /// The paper section presenting the definition (where applicable).
+    pub fn paper_section(self) -> Option<&'static str> {
+        match self {
+            Definition::DemographicParity => Some("III.A"),
+            Definition::ConditionalStatisticalParity => Some("III.B"),
+            Definition::EqualOpportunity => Some("III.C"),
+            Definition::EqualizedOdds => Some("III.D"),
+            Definition::DemographicDisparity => Some("III.E"),
+            Definition::ConditionalDemographicDisparity => Some("III.F"),
+            Definition::CounterfactualFairness => Some("III.G"),
+            Definition::Calibration
+            | Definition::PredictiveParity
+            | Definition::AccuracyEquality => None,
+        }
+    }
+
+    /// The Section IV.A classification: "definitions A, B, E and F align
+    /// with equal outcome, while C and D with equal treatment. Definition
+    /// G comprises a middle ground."
+    pub fn equality_notion(self) -> EqualityNotion {
+        match self {
+            Definition::DemographicParity
+            | Definition::ConditionalStatisticalParity
+            | Definition::DemographicDisparity
+            | Definition::ConditionalDemographicDisparity => EqualityNotion::EqualOutcome,
+            Definition::EqualOpportunity
+            | Definition::EqualizedOdds
+            | Definition::Calibration
+            | Definition::PredictiveParity
+            | Definition::AccuracyEquality => EqualityNotion::EqualTreatment,
+            Definition::CounterfactualFairness => EqualityNotion::MiddleGround,
+        }
+    }
+
+    /// Whether the definition needs ground-truth labels `Y`.
+    pub fn requires_labels(self) -> bool {
+        matches!(
+            self,
+            Definition::EqualOpportunity
+                | Definition::EqualizedOdds
+                | Definition::Calibration
+                | Definition::PredictiveParity
+                | Definition::AccuracyEquality
+        )
+    }
+
+    /// Whether the definition needs a queryable model (not just recorded
+    /// decisions).
+    pub fn requires_model(self) -> bool {
+        matches!(self, Definition::CounterfactualFairness)
+    }
+
+    /// Whether the definition conditions on legitimate factors `S`.
+    pub fn conditions_on_strata(self) -> bool {
+        matches!(
+            self,
+            Definition::ConditionalStatisticalParity | Definition::ConditionalDemographicDisparity
+        )
+    }
+
+    /// The formula as stated in the paper (ASCII rendering).
+    pub fn formula(self) -> &'static str {
+        match self {
+            Definition::DemographicParity => "Pr(R=+|A=a) = Pr(R=+|A=b)",
+            Definition::ConditionalStatisticalParity => "Pr(R=+|S=s,A=a) = Pr(R=+|S=s,A=b)",
+            Definition::EqualOpportunity => "Pr(R=+|Y=+,A=a) = Pr(R=+|Y=+,A=b)",
+            Definition::EqualizedOdds => "Pr(R=+|Y=y,A=a) = Pr(R=+|Y=y,A=b), y in {+,-}",
+            Definition::DemographicDisparity => "Pr(R=+|A=a) > Pr(R=-|A=a)",
+            Definition::ConditionalDemographicDisparity => "Pr(R=+|S=s,A=a) >= Pr(R=-|S=s,A=a)",
+            Definition::CounterfactualFairness => {
+                "R(x) unchanged under do(A=a') with downstream adjustment"
+            }
+            Definition::Calibration => "Pr(Y=+|score=s,A=a) = s for all groups",
+            Definition::PredictiveParity => "Pr(Y=+|R=+,A=a) = Pr(Y=+|R=+,A=b)",
+            Definition::AccuracyEquality => "Pr(R=Y|A=a) = Pr(R=Y|A=b)",
+        }
+    }
+}
+
+impl fmt::Display for Definition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_iv_a_classification() {
+        // "definitions A, B, E and F align with equal outcome, while C and
+        // D with equal treatment. Definition G comprises a middle ground."
+        use Definition::*;
+        use EqualityNotion::*;
+        assert_eq!(DemographicParity.equality_notion(), EqualOutcome); // A
+        assert_eq!(ConditionalStatisticalParity.equality_notion(), EqualOutcome); // B
+        assert_eq!(EqualOpportunity.equality_notion(), EqualTreatment); // C
+        assert_eq!(EqualizedOdds.equality_notion(), EqualTreatment); // D
+        assert_eq!(DemographicDisparity.equality_notion(), EqualOutcome); // E
+        assert_eq!(
+            ConditionalDemographicDisparity.equality_notion(),
+            EqualOutcome
+        ); // F
+        assert_eq!(CounterfactualFairness.equality_notion(), MiddleGround); // G
+    }
+
+    #[test]
+    fn section_iii_sections_are_ordered() {
+        let sections: Vec<&str> = Definition::PAPER_SECTION_III
+            .iter()
+            .map(|d| d.paper_section().unwrap())
+            .collect();
+        assert_eq!(
+            sections,
+            vec!["III.A", "III.B", "III.C", "III.D", "III.E", "III.F", "III.G"]
+        );
+    }
+
+    #[test]
+    fn requirements_match_formulas() {
+        assert!(!Definition::DemographicParity.requires_labels());
+        assert!(Definition::EqualOpportunity.requires_labels());
+        assert!(Definition::EqualizedOdds.requires_labels());
+        assert!(Definition::CounterfactualFairness.requires_model());
+        assert!(!Definition::DemographicParity.requires_model());
+        assert!(Definition::ConditionalStatisticalParity.conditions_on_strata());
+        assert!(Definition::ConditionalDemographicDisparity.conditions_on_strata());
+        assert!(!Definition::EqualizedOdds.conditions_on_strata());
+    }
+
+    #[test]
+    fn names_and_formulas_nonempty() {
+        for d in Definition::ALL {
+            assert!(!d.name().is_empty());
+            assert!(!d.formula().is_empty());
+            assert_eq!(d.to_string(), d.name());
+        }
+        assert_eq!(EqualityNotion::EqualOutcome.to_string(), "equal outcome");
+    }
+}

@@ -1,0 +1,216 @@
+//! Individual fairness — "fairness through awareness" (Dwork et al.,
+//! the paper's reference \[4\] behind Eq. (1)).
+//!
+//! The original formulation: similar individuals should receive similar
+//! decisions — a Lipschitz condition `d(R(x), R(x')) ≤ L·d(x, x')` on the
+//! decision map. Two auditable instantiations are provided:
+//!
+//! * [`consistency`] — the kNN consistency score used by fairness
+//!   toolkits: 1 − mean |R(x) − mean R(neighbours(x))|; 1.0 means every
+//!   individual is treated like their nearest peers;
+//! * [`lipschitz_violations`] — pairs of individuals whose score
+//!   difference exceeds `L · distance`, with the worst offenders listed.
+
+use fairbridge_learn::matrix::{sq_dist, Matrix};
+
+/// The kNN consistency score ∈ \[0, 1\].
+///
+/// For each individual, compares their decision with the mean decision of
+/// their `k` nearest neighbours in feature space (excluding themselves).
+pub fn consistency(x: &Matrix, decisions: &[bool], k: usize) -> f64 {
+    assert_eq!(x.n_rows(), decisions.len(), "consistency: length mismatch");
+    assert!(k > 0, "consistency requires k > 0");
+    let n = x.n_rows();
+    assert!(n > 1, "consistency requires at least two individuals");
+    let k = k.min(n - 1);
+    let mut total = 0.0;
+    for i in 0..n {
+        // distances to all others
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (sq_dist(x.row(i), x.row(j)), j))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        let neighbour_mean = dists[..k]
+            .iter()
+            .map(|&(_, j)| if decisions[j] { 1.0 } else { 0.0 })
+            .sum::<f64>()
+            / k as f64;
+        let own = if decisions[i] { 1.0 } else { 0.0 };
+        total += (own - neighbour_mean).abs();
+    }
+    1.0 - total / n as f64
+}
+
+/// One Lipschitz violation: a pair treated too differently for how
+/// similar they are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LipschitzViolation {
+    /// First row index.
+    pub i: usize,
+    /// Second row index.
+    pub j: usize,
+    /// Feature-space distance.
+    pub distance: f64,
+    /// |score_i − score_j|.
+    pub score_gap: f64,
+    /// `score_gap − L·distance` (how far over the budget).
+    pub excess: f64,
+}
+
+/// Lipschitz audit report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LipschitzReport {
+    /// Number of pairs audited.
+    pub n_pairs: usize,
+    /// Number of violating pairs.
+    pub n_violations: usize,
+    /// Fraction of pairs violating.
+    pub violation_rate: f64,
+    /// The worst violations, by excess descending (up to the cap given).
+    pub worst: Vec<LipschitzViolation>,
+}
+
+/// Audits the Lipschitz condition `|s_i − s_j| ≤ L·‖x_i − x_j‖` over all
+/// pairs, reporting up to `max_reported` worst violations.
+pub fn lipschitz_violations(
+    x: &Matrix,
+    scores: &[f64],
+    lipschitz: f64,
+    max_reported: usize,
+) -> LipschitzReport {
+    assert_eq!(x.n_rows(), scores.len(), "lipschitz: length mismatch");
+    assert!(lipschitz >= 0.0, "lipschitz constant must be non-negative");
+    let n = x.n_rows();
+    let mut worst: Vec<LipschitzViolation> = Vec::new();
+    let mut n_pairs = 0usize;
+    let mut n_violations = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            n_pairs += 1;
+            let distance = sq_dist(x.row(i), x.row(j)).sqrt();
+            let score_gap = (scores[i] - scores[j]).abs();
+            let excess = score_gap - lipschitz * distance;
+            if excess > 1e-12 {
+                n_violations += 1;
+                worst.push(LipschitzViolation {
+                    i,
+                    j,
+                    distance,
+                    score_gap,
+                    excess,
+                });
+            }
+        }
+    }
+    worst.sort_by(|a, b| b.excess.partial_cmp(&a.excess).expect("NaN excess"));
+    worst.truncate(max_reported);
+    LipschitzReport {
+        n_pairs,
+        n_violations,
+        violation_rate: if n_pairs > 0 {
+            n_violations as f64 / n_pairs as f64
+        } else {
+            0.0
+        },
+        worst,
+    }
+}
+
+/// The smallest Lipschitz constant under which the score map has no
+/// violations: max over pairs of score_gap / distance (ignoring
+/// zero-distance pairs with differing scores, which are reported as
+/// `f64::INFINITY`).
+pub fn empirical_lipschitz_constant(x: &Matrix, scores: &[f64]) -> f64 {
+    assert_eq!(x.n_rows(), scores.len(), "lipschitz: length mismatch");
+    let n = x.n_rows();
+    let mut max_ratio = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sq_dist(x.row(i), x.row(j)).sqrt();
+            let gap = (scores[i] - scores[j]).abs();
+            if d <= 1e-15 {
+                if gap > 1e-12 {
+                    return f64::INFINITY;
+                }
+                continue;
+            }
+            max_ratio = max_ratio.max(gap / d);
+        }
+    }
+    max_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Matrix {
+        Matrix::from_rows(&(0..10).map(|i| vec![i as f64]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn consistency_perfect_for_smooth_decisions() {
+        // threshold rule aligned with feature order
+        let x = grid();
+        let decisions: Vec<bool> = (0..10).map(|i| i >= 5).collect();
+        let c = consistency(&x, &decisions, 2);
+        // boundary individuals disagree with one neighbour each;
+        // everyone else agrees fully
+        assert!(c > 0.85, "consistency {c}");
+        // alternating decisions are maximally inconsistent
+        let alternating: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let c_alt = consistency(&x, &alternating, 2);
+        assert!(c_alt < 0.2, "alternating consistency {c_alt}");
+    }
+
+    #[test]
+    fn consistency_is_one_for_constant_decisions() {
+        let x = grid();
+        assert!((consistency(&x, &[true; 10], 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lipschitz_flags_similar_pairs_treated_differently() {
+        // two identical individuals with opposite scores
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![5.0]]);
+        let scores = [0.9, 0.1, 0.5];
+        let report = lipschitz_violations(&x, &scores, 1.0, 10);
+        assert_eq!(report.n_pairs, 3);
+        assert_eq!(report.n_violations, 1);
+        let v = &report.worst[0];
+        assert_eq!((v.i, v.j), (0, 1));
+        assert!((v.score_gap - 0.8).abs() < 1e-12);
+        assert!(v.distance < 1e-12);
+    }
+
+    #[test]
+    fn smooth_scores_satisfy_generous_constant() {
+        let x = grid();
+        let scores: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+        let report = lipschitz_violations(&x, &scores, 0.2, 10);
+        assert_eq!(report.n_violations, 0);
+        assert_eq!(report.violation_rate, 0.0);
+        let l = empirical_lipschitz_constant(&x, &scores);
+        assert!((l - 0.1).abs() < 1e-12, "L = {l}");
+    }
+
+    #[test]
+    fn identical_inputs_different_scores_is_infinite() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        assert_eq!(empirical_lipschitz_constant(&x, &[0.2, 0.8]), f64::INFINITY);
+        // same scores → no constraint from the tied pair
+        assert_eq!(empirical_lipschitz_constant(&x, &[0.4, 0.4]), 0.0);
+    }
+
+    #[test]
+    fn max_reported_caps_output() {
+        let x = Matrix::from_rows(&(0..6).map(|_| vec![0.0]).collect::<Vec<_>>());
+        let scores = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let report = lipschitz_violations(&x, &scores, 0.0, 2);
+        assert!(report.n_violations > 2);
+        assert_eq!(report.worst.len(), 2);
+        // sorted by excess descending
+        assert!(report.worst[0].excess >= report.worst[1].excess);
+    }
+}

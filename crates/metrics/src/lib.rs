@@ -1,0 +1,46 @@
+//! # fairbridge-metrics
+//!
+//! The algorithmic fairness definitions of the ICDE'24 paper, implemented
+//! exactly as Section III states them, plus the extended canon the §V
+//! discussion references (calibration, predictive parity, ...).
+//!
+//! | Paper section | Definition | Module |
+//! |---------------|------------|--------|
+//! | III.A, Eq. (1) | Demographic parity | [`parity`] |
+//! | III.B, Eq. (2) | Conditional statistical parity | [`conditional`] |
+//! | III.C, Eq. (3) | Equal opportunity | [`opportunity`] |
+//! | III.D, Eq. (4) | Equalized odds | [`odds`] |
+//! | III.E, Eq. (5) | Demographic disparity | [`disparity`] |
+//! | III.F, Eq. (6) | Conditional demographic disparity | [`disparity`] |
+//! | III.G | Counterfactual fairness | [`counterfactual`] |
+//! | §V shortlist | Calibration, predictive parity, ... | [`extended`] |
+//! | ref \[4\] (Dwork) | Individual fairness / Lipschitz | [`individual`] |
+//!
+//! Every group metric is computed from an [`outcome::Outcomes`] view that
+//! binds predictions `R`, labels `Y` and the protected attribute `A` in
+//! the paper's notation, and returns a report carrying per-group rates,
+//! the worst-case gap, the disparate-impact ratio and a thresholded
+//! verdict. The [`definition::Definition`] enum carries the paper's
+//! taxonomy (equal treatment vs equal outcome, Section IV.A) used by the
+//! criteria engine in the `fairbridge` core crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binned;
+pub mod conditional;
+pub mod counterfactual;
+pub mod definition;
+pub mod disparity;
+pub mod extended;
+pub mod individual;
+pub mod odds;
+pub mod opportunity;
+pub mod outcome;
+pub mod parity;
+pub mod report;
+
+pub use definition::{Definition, EqualityNotion};
+pub use outcome::Outcomes;
+pub use parity::{demographic_parity, four_fifths, ParityReport};
+pub use report::FairnessReport;

@@ -1,0 +1,145 @@
+//! Property-based tests for the fairness metrics: gap/ratio invariants.
+
+use fairbridge_metrics::disparity::demographic_disparity;
+use fairbridge_metrics::odds::equalized_odds;
+use fairbridge_metrics::opportunity::equal_opportunity;
+use fairbridge_metrics::outcome::{GapSummary, Outcomes, RateStat};
+use fairbridge_metrics::parity::{demographic_parity, disparate_impact};
+use fairbridge_tabular::GroupKey;
+use proptest::prelude::*;
+
+/// Strategy: predictions + labels + binary group codes of equal length.
+fn outcome_data() -> impl Strategy<Value = (Vec<bool>, Vec<bool>, Vec<u32>)> {
+    proptest::collection::vec((any::<bool>(), any::<bool>(), 0u32..2), 2..80).prop_map(|v| {
+        let mut preds = Vec::new();
+        let mut labels = Vec::new();
+        let mut codes = Vec::new();
+        for (p, l, c) in v {
+            preds.push(p);
+            labels.push(l);
+            codes.push(c);
+        }
+        (preds, labels, codes)
+    })
+}
+
+proptest! {
+    /// Gap is in [0,1]; ratio in [0,1]; gap 0 iff ratio 1 (when defined).
+    #[test]
+    fn parity_gap_ratio_bounds((preds, _labels, codes) in outcome_data()) {
+        let o = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
+        let r = demographic_parity(&o, 0);
+        if !r.summary.gap.is_nan() {
+            prop_assert!((0.0..=1.0).contains(&r.summary.gap));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&r.summary.ratio));
+            if r.summary.gap < 1e-12 {
+                prop_assert!((r.summary.ratio - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Relabeling the groups (swapping codes) leaves the gap unchanged.
+    #[test]
+    fn parity_invariant_under_group_relabel((preds, _labels, codes) in outcome_data()) {
+        let swapped: Vec<u32> = codes.iter().map(|&c| 1 - c).collect();
+        let o1 = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
+        let o2 = Outcomes::from_slices(&preds, None, &swapped, &["a", "b"]).unwrap();
+        let g1 = demographic_parity(&o1, 0).summary.gap;
+        let g2 = demographic_parity(&o2, 0).summary.gap;
+        if g1.is_nan() {
+            prop_assert!(g2.is_nan());
+        } else {
+            prop_assert!((g1 - g2).abs() < 1e-12);
+        }
+    }
+
+    /// Flipping every prediction maps selection rate r to 1−r, so the
+    /// parity gap is preserved.
+    #[test]
+    fn parity_invariant_under_outcome_flip((preds, _labels, codes) in outcome_data()) {
+        let flipped: Vec<bool> = preds.iter().map(|&p| !p).collect();
+        let o1 = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
+        let o2 = Outcomes::from_slices(&flipped, None, &codes, &["a", "b"]).unwrap();
+        let g1 = demographic_parity(&o1, 0).summary.gap;
+        let g2 = demographic_parity(&o2, 0).summary.gap;
+        if !g1.is_nan() && !g2.is_nan() {
+            prop_assert!((g1 - g2).abs() < 1e-12);
+        }
+    }
+
+    /// Duplicating every row leaves all rates, gaps and verdicts intact.
+    #[test]
+    fn metrics_invariant_under_duplication((preds, labels, codes) in outcome_data()) {
+        let doubled = |v: &[bool]| -> Vec<bool> { v.iter().chain(v.iter()).copied().collect() };
+        let codes2: Vec<u32> = codes.iter().chain(codes.iter()).copied().collect();
+        let o1 = Outcomes::from_slices(&preds, Some(&labels), &codes, &["a", "b"]).unwrap();
+        let o2 = Outcomes::from_slices(
+            &doubled(&preds),
+            Some(&doubled(&labels)),
+            &codes2,
+            &["a", "b"],
+        )
+        .unwrap();
+        let p1 = demographic_parity(&o1, 0).summary.gap;
+        let p2 = demographic_parity(&o2, 0).summary.gap;
+        if !p1.is_nan() {
+            prop_assert!((p1 - p2).abs() < 1e-12);
+        }
+        let e1 = equal_opportunity(&o1, 0).unwrap().summary.gap;
+        let e2 = equal_opportunity(&o2, 0).unwrap().summary.gap;
+        if !e1.is_nan() {
+            prop_assert!((e1 - e2).abs() < 1e-12);
+        }
+    }
+
+    /// The four-fifths verdict is monotone in the threshold.
+    #[test]
+    fn four_fifths_monotone_in_threshold((preds, _labels, codes) in outcome_data(),
+                                         t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let o = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let easy = disparate_impact(&o, 0, lo);
+        let hard = disparate_impact(&o, 0, hi);
+        // passing the harder threshold implies passing the easier one
+        if hard.passes {
+            prop_assert!(easy.passes);
+        }
+    }
+
+    /// Equalized odds' worst gap dominates the equal-opportunity gap.
+    #[test]
+    fn odds_dominates_opportunity((preds, labels, codes) in outcome_data()) {
+        let o = Outcomes::from_slices(&preds, Some(&labels), &codes, &["a", "b"]).unwrap();
+        let eo = equal_opportunity(&o, 0).unwrap();
+        let odds = equalized_odds(&o, 0).unwrap();
+        if !eo.summary.gap.is_nan() && !odds.worst_gap().is_nan() {
+            prop_assert!(odds.worst_gap() >= eo.summary.gap - 1e-12);
+        }
+    }
+
+    /// Demographic disparity verdict matches the rate definition exactly.
+    #[test]
+    fn disparity_matches_rate_rule((preds, _labels, codes) in outcome_data()) {
+        let o = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
+        let report = demographic_disparity(&o);
+        for g in &report.groups {
+            prop_assert_eq!(g.fair, g.stat.rate > 0.5);
+        }
+    }
+
+    /// GapSummary over a single qualifying group reports zero gap.
+    #[test]
+    fn single_group_gap_is_zero(n in 1usize..50, pos in 0usize..50) {
+        let pos = pos.min(n);
+        let key = GroupKey(vec!["only".into()]);
+        let stat = RateStat {
+            group: key,
+            n,
+            positives: pos,
+            rate: pos as f64 / n as f64,
+        };
+        let s = GapSummary::from_rates(&[stat], 0);
+        prop_assert!(s.gap.abs() < 1e-12);
+        prop_assert!((s.ratio - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,437 @@
+//! Group-blind distributional repair (paper references \[13\] Langbridge,
+//! Quinn & Shorten and \[24\] Zhou & Marecek).
+//!
+//! Section IV.F: "there exist novel methods for so-called fairness repair
+//! that do not require the protected attribute in the training data, but
+//! rather only the population-wide marginals of the protected attribute,
+//! which are widely available. While it may be impossible to quantify the
+//! amount of bias without access to the protected attribute, it may be
+//! possible to guarantee that any amount of bias has been compensated
+//! for."
+//!
+//! Concretely: a small *research* sample (with protected attributes)
+//! supplies per-group reference quantiles; the public marginals π supply
+//! barycenter weights; the *deployment* data — which never reveals any
+//! row's group — is repaired by the single monotone map
+//! `T = G⁻¹ ∘ F_pooled`, where `F_pooled` is the deployment pooled CDF and
+//! `G` the π-weighted barycenter of the research groups. Because `T` is
+//! one map applied to every row, no per-row protected attribute is needed.
+
+use fairbridge_stats::descriptive::quantile_sorted;
+
+/// A fitted group-blind repairer.
+///
+/// Two maps are provided:
+///
+/// * [`GroupBlindRepairer::repair_value`] — the *pooled* map
+///   `T = G⁻¹ ∘ F_pooled`: strictly rank-preserving, so it repairs the
+///   overall scale but cannot re-order individuals; appropriate when group
+///   distributions overlap heavily or when rank preservation is itself a
+///   legal requirement.
+/// * [`GroupBlindRepairer::repair_value_soft`] — the *posterior-weighted*
+///   map `T(v) = Σ_g P(g|v) · G⁻¹(F_g(v))`: uses the research sample's
+///   group-conditional densities and the public marginals to estimate
+///   which group a value likely came from, then applies the corresponding
+///   per-group quantile map in expectation. When group distributions are
+///   well separated the posteriors are near-certain and this matches the
+///   oracle (group-aware) repair — without ever seeing a row's group. The
+///   guarantee degrades gracefully with overlap, exactly the caveat the
+///   paper states ("it may be impossible to quantify the amount of bias
+///   without access to the protected attribute").
+#[derive(Debug, Clone)]
+pub struct GroupBlindRepairer {
+    /// Sorted per-group reference values from the research sample.
+    research_sorted: Vec<Vec<f64>>,
+    /// Population marginals π of the protected attribute.
+    marginals: Vec<f64>,
+    /// Sorted pooled deployment values (the domain of the pooled map).
+    pooled_sorted: Vec<f64>,
+    /// Histogram bin edges over the research range (for posteriors).
+    bin_lo: f64,
+    bin_width: f64,
+    n_bins: usize,
+    /// Per-group bin densities from the research sample.
+    group_density: Vec<Vec<f64>>,
+}
+
+impl GroupBlindRepairer {
+    /// Fits the repairer.
+    ///
+    /// * `research_values` / `research_groups` — the small sample *with*
+    ///   protected attributes (archival or survey data);
+    /// * `marginals` — population-wide group shares (must sum to 1);
+    /// * `deployment_values` — the protected-attribute-free data to be
+    ///   repaired (defines the pooled CDF).
+    pub fn fit(
+        research_values: &[f64],
+        research_groups: &[u32],
+        marginals: &[f64],
+        deployment_values: &[f64],
+    ) -> Result<GroupBlindRepairer, String> {
+        if research_values.len() != research_groups.len() {
+            return Err("research values/groups differ in length".to_owned());
+        }
+        if deployment_values.is_empty() {
+            return Err("deployment data must be non-empty".to_owned());
+        }
+        let k = marginals.len();
+        if k == 0 {
+            return Err("need at least one group marginal".to_owned());
+        }
+        let total: f64 = marginals.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(format!("marginals sum to {total}, expected 1"));
+        }
+        if marginals.iter().any(|&m| m < 0.0) {
+            return Err("marginals must be non-negative".to_owned());
+        }
+        let mut research_sorted: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for (&v, &g) in research_values.iter().zip(research_groups) {
+            let g = g as usize;
+            if g >= k {
+                return Err(format!("research group code {g} out of range"));
+            }
+            if v.is_nan() {
+                return Err("research values must not contain NaN".to_owned());
+            }
+            research_sorted[g].push(v);
+        }
+        if research_sorted
+            .iter()
+            .zip(marginals)
+            .any(|(g, &m)| m > 0.0 && g.is_empty())
+        {
+            return Err("every group with positive marginal needs research samples".to_owned());
+        }
+        for g in &mut research_sorted {
+            g.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        }
+        let mut pooled_sorted = deployment_values.to_vec();
+        if pooled_sorted.iter().any(|v| v.is_nan()) {
+            return Err("deployment values must not contain NaN".to_owned());
+        }
+        pooled_sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+
+        // Research-sample histogram densities per group (shared bins over
+        // the research range), with add-one smoothing so posteriors stay
+        // defined everywhere.
+        let lo = research_values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let hi = research_values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let n_bins = 20usize;
+        let (bin_lo, bin_width) = if hi > lo {
+            (lo, (hi - lo) / n_bins as f64)
+        } else {
+            (lo - 0.5, 1.0 / n_bins as f64)
+        };
+        let mut group_density = vec![vec![1.0; n_bins]; k]; // smoothing
+        for (&v, &g) in research_values.iter().zip(research_groups) {
+            let idx =
+                (((v - bin_lo) / bin_width).floor() as i64).clamp(0, n_bins as i64 - 1) as usize;
+            group_density[g as usize][idx] += 1.0;
+        }
+        for dens in &mut group_density {
+            let total: f64 = dens.iter().sum();
+            dens.iter_mut().for_each(|d| *d /= total);
+        }
+
+        Ok(GroupBlindRepairer {
+            research_sorted,
+            marginals: marginals.to_vec(),
+            pooled_sorted,
+            bin_lo,
+            bin_width,
+            n_bins,
+            group_density,
+        })
+    }
+
+    /// Posterior group probabilities P(g | v) ∝ π_g · f̂_g(v) from the
+    /// research histogram densities.
+    pub fn posterior(&self, v: f64) -> Vec<f64> {
+        let idx = (((v - self.bin_lo) / self.bin_width).floor() as i64)
+            .clamp(0, self.n_bins as i64 - 1) as usize;
+        let mut post: Vec<f64> = self
+            .group_density
+            .iter()
+            .zip(&self.marginals)
+            .map(|(dens, &m)| m * dens[idx])
+            .collect();
+        let total: f64 = post.iter().sum();
+        if total > 0.0 {
+            post.iter_mut().for_each(|p| *p /= total);
+        }
+        post
+    }
+
+    /// Quantile level of `v` within research group `g` (mid-rank).
+    fn research_level(&self, g: usize, v: f64) -> f64 {
+        let sorted = &self.research_sorted[g];
+        if sorted.is_empty() {
+            return 0.5;
+        }
+        let below = sorted.partition_point(|&s| s < v);
+        let not_above = sorted.partition_point(|&s| s <= v);
+        (((below + not_above) as f64 / 2.0) / sorted.len() as f64).clamp(0.0, 1.0)
+    }
+
+    /// Posterior-weighted repair: `T(v) = Σ_g P(g|v) · G⁻¹(F_g(v))`,
+    /// blended with the original value at strength `lambda`.
+    pub fn repair_value_soft(&self, v: f64, lambda: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        let post = self.posterior(v);
+        let target: f64 = post
+            .iter()
+            .enumerate()
+            .filter(|(g, &p)| p > 0.0 && !self.research_sorted[*g].is_empty())
+            .map(|(g, &p)| {
+                let t = self.research_level(g, v);
+                p * self.barycenter_quantile(t)
+            })
+            .sum();
+        (1.0 - lambda) * v + lambda * target
+    }
+
+    /// Soft-repairs a full deployment column.
+    pub fn repair_all_soft(&self, values: &[f64], lambda: f64) -> Vec<f64> {
+        values
+            .iter()
+            .map(|&v| self.repair_value_soft(v, lambda))
+            .collect()
+    }
+
+    /// The barycenter quantile G⁻¹(t) under the population marginals.
+    pub fn barycenter_quantile(&self, t: f64) -> f64 {
+        self.research_sorted
+            .iter()
+            .zip(&self.marginals)
+            .filter(|(g, &m)| m > 0.0 && !g.is_empty())
+            .map(|(g, &m)| m * quantile_sorted(g, t))
+            .sum()
+    }
+
+    /// Repairs a single deployment value (no group needed) at strength
+    /// `lambda` ∈ \[0,1\].
+    pub fn repair_value(&self, v: f64, lambda: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        // t = F_pooled(v) with mid-rank handling of ties.
+        let below = self.pooled_sorted.partition_point(|&s| s < v);
+        let not_above = self.pooled_sorted.partition_point(|&s| s <= v);
+        let t = ((below + not_above) as f64 / 2.0) / self.pooled_sorted.len() as f64;
+        let target = self.barycenter_quantile(t.clamp(0.0, 1.0));
+        (1.0 - lambda) * v + lambda * target
+    }
+
+    /// Repairs a full deployment column.
+    pub fn repair_all(&self, values: &[f64], lambda: f64) -> Vec<f64> {
+        values
+            .iter()
+            .map(|&v| self.repair_value(v, lambda))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_stats::distribution::Empirical;
+    use fairbridge_stats::wasserstein_1d;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two groups with shifted score distributions; deployment data drawn
+    /// from the π-mixture. Groups of deployment rows are KNOWN to the test
+    /// (for evaluation) but NEVER given to the repairer.
+    struct World {
+        research_values: Vec<f64>,
+        research_groups: Vec<u32>,
+        deployment_values: Vec<f64>,
+        deployment_groups: Vec<u32>, // evaluation-only
+        marginals: Vec<f64>,
+    }
+
+    fn world(seed: u64) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let marginals = vec![0.7, 0.3];
+        let draw = |g: u32, rng: &mut StdRng| -> f64 {
+            // group 0 ~ U[1, 2], group 1 ~ U[0, 1] (disadvantaged)
+            if g == 0 {
+                1.0 + rng.gen::<f64>()
+            } else {
+                rng.gen::<f64>()
+            }
+        };
+        let mut research_values = Vec::new();
+        let mut research_groups = Vec::new();
+        for _ in 0..150 {
+            let g = u32::from(rng.gen::<f64>() < marginals[1]);
+            research_groups.push(g);
+            research_values.push(draw(g, &mut rng));
+        }
+        let mut deployment_values = Vec::new();
+        let mut deployment_groups = Vec::new();
+        for _ in 0..3000 {
+            let g = u32::from(rng.gen::<f64>() < marginals[1]);
+            deployment_groups.push(g);
+            deployment_values.push(draw(g, &mut rng));
+        }
+        World {
+            research_values,
+            research_groups,
+            deployment_values,
+            deployment_groups,
+            marginals,
+        }
+    }
+
+    fn group_gap(values: &[f64], groups: &[u32]) -> f64 {
+        let g0: Vec<f64> = values
+            .iter()
+            .zip(groups)
+            .filter_map(|(&v, &g)| (g == 0).then_some(v))
+            .collect();
+        let g1: Vec<f64> = values
+            .iter()
+            .zip(groups)
+            .filter_map(|(&v, &g)| (g == 1).then_some(v))
+            .collect();
+        wasserstein_1d(&Empirical::new(g0).unwrap(), &Empirical::new(g1).unwrap())
+    }
+
+    #[test]
+    fn repair_reduces_group_gap_without_seeing_groups() {
+        let w = world(7);
+        let before = group_gap(&w.deployment_values, &w.deployment_groups);
+        assert!(before > 0.9, "planted gap {before}");
+
+        let repairer = GroupBlindRepairer::fit(
+            &w.research_values,
+            &w.research_groups,
+            &w.marginals,
+            &w.deployment_values,
+        )
+        .unwrap();
+        let repaired = repairer.repair_all(&w.deployment_values, 1.0);
+        let after = group_gap(&repaired, &w.deployment_groups);
+        assert!(after < before * 0.5, "gap before {before}, after {after}");
+    }
+
+    #[test]
+    fn repair_shrinks_selection_rate_gap_at_absolute_cutoff() {
+        // A fixed qualification cutoff on the barycenter scale (the
+        // repaired feature feeds a downstream rule with an absolute
+        // threshold). The repair map is monotone, so rank-based selection
+        // is untouched by design; absolute-cutoff selection equalizes.
+        let w = world(8);
+        let repairer = GroupBlindRepairer::fit(
+            &w.research_values,
+            &w.research_groups,
+            &w.marginals,
+            &w.deployment_values,
+        )
+        .unwrap();
+        let thr = repairer.barycenter_quantile(0.6);
+        let rate = |vals: &[f64], groups: &[u32], g: u32| {
+            let sel: Vec<bool> = vals
+                .iter()
+                .zip(groups)
+                .filter_map(|(&v, &gg)| (gg == g).then_some(v >= thr))
+                .collect();
+            sel.iter().filter(|&&s| s).count() as f64 / sel.len() as f64
+        };
+        let gap_before = (rate(&w.deployment_values, &w.deployment_groups, 0)
+            - rate(&w.deployment_values, &w.deployment_groups, 1))
+        .abs();
+        let repaired = repairer.repair_all_soft(&w.deployment_values, 1.0);
+        let gap_after = (rate(&repaired, &w.deployment_groups, 0)
+            - rate(&repaired, &w.deployment_groups, 1))
+        .abs();
+        assert!(gap_before > 0.5, "planted gap {gap_before}");
+        assert!(
+            gap_after < gap_before * 0.3,
+            "before {gap_before}, after {gap_after}"
+        );
+    }
+
+    #[test]
+    fn soft_repair_collapses_group_gap_like_oracle() {
+        let w = world(12);
+        let repairer = GroupBlindRepairer::fit(
+            &w.research_values,
+            &w.research_groups,
+            &w.marginals,
+            &w.deployment_values,
+        )
+        .unwrap();
+        let before = group_gap(&w.deployment_values, &w.deployment_groups);
+        let repaired = repairer.repair_all_soft(&w.deployment_values, 1.0);
+        let after = group_gap(&repaired, &w.deployment_groups);
+        assert!(after < before * 0.2, "W1 before {before}, after {after}");
+    }
+
+    #[test]
+    fn posterior_identifies_separated_groups() {
+        let w = world(13);
+        let repairer = GroupBlindRepairer::fit(
+            &w.research_values,
+            &w.research_groups,
+            &w.marginals,
+            &w.deployment_values,
+        )
+        .unwrap();
+        // deep inside group 1's support ([0,1]) the posterior favors 1
+        let p = repairer.posterior(0.2);
+        assert!(p[1] > 0.8, "posterior {p:?}");
+        // deep inside group 0's support ([1,2]) it favors 0
+        let p = repairer.posterior(1.8);
+        assert!(p[0] > 0.8, "posterior {p:?}");
+        // posteriors always sum to 1
+        let p = repairer.posterior(1.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_zero_is_identity() {
+        let w = world(9);
+        let repairer = GroupBlindRepairer::fit(
+            &w.research_values,
+            &w.research_groups,
+            &w.marginals,
+            &w.deployment_values,
+        )
+        .unwrap();
+        let repaired = repairer.repair_all(&w.deployment_values, 0.0);
+        assert_eq!(repaired, w.deployment_values);
+    }
+
+    #[test]
+    fn map_is_monotone() {
+        let w = world(10);
+        let repairer = GroupBlindRepairer::fit(
+            &w.research_values,
+            &w.research_groups,
+            &w.marginals,
+            &w.deployment_values,
+        )
+        .unwrap();
+        let mut vals = w.deployment_values.clone();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let repaired = repairer.repair_all(&vals, 1.0);
+        for pair in repaired.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(GroupBlindRepairer::fit(&[1.0], &[0, 1], &[1.0], &[1.0]).is_err());
+        assert!(GroupBlindRepairer::fit(&[1.0], &[0], &[0.5, 0.4], &[1.0]).is_err()); // bad marginals
+        assert!(GroupBlindRepairer::fit(&[1.0], &[0], &[0.5, 0.5], &[1.0]).is_err()); // empty group 1
+        assert!(GroupBlindRepairer::fit(&[1.0], &[0], &[1.0], &[]).is_err()); // empty deployment
+    }
+}

@@ -1,0 +1,240 @@
+//! In-processing mitigation: logistic regression with a decision-boundary
+//! covariance penalty (Zafar-style constraint, relaxed to a penalty).
+//!
+//! The penalty term is λ·Cov(Â, w·x+b)², the squared empirical covariance
+//! between the protected-group indicator and the linear score. Driving it
+//! to zero decorrelates decisions from group membership — demographic
+//! parity in-processing — while the log-loss term retains accuracy.
+
+use fairbridge_learn::logistic::{sigmoid, LogisticModel};
+use fairbridge_learn::matrix::{dot, Matrix};
+
+/// Trainer for fairness-penalized logistic regression.
+#[derive(Debug, Clone)]
+pub struct FairLogisticTrainer {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// L2 regularization on weights.
+    pub l2: f64,
+    /// Fairness penalty strength λ (0 = plain logistic regression).
+    pub fairness_weight: f64,
+}
+
+impl Default for FairLogisticTrainer {
+    fn default() -> Self {
+        FairLogisticTrainer {
+            learning_rate: 0.5,
+            epochs: 800,
+            l2: 1e-4,
+            fairness_weight: 1.0,
+        }
+    }
+}
+
+impl FairLogisticTrainer {
+    /// Fits on a design matrix; `group_indicator[i]` ∈ {0,1} marks
+    /// protected-group membership (must not be a column of `x` for the
+    /// penalty to make sense — use an unaware encoder).
+    pub fn fit(&self, x: &Matrix, y: &[bool], group_indicator: &[bool]) -> LogisticModel {
+        assert_eq!(x.n_rows(), y.len(), "fit: row/label mismatch");
+        assert_eq!(y.len(), group_indicator.len(), "fit: indicator mismatch");
+        assert!(x.n_rows() > 1, "fit: need at least two rows");
+        let n = x.n_rows() as f64;
+        let d = x.n_cols();
+        let g: Vec<f64> = group_indicator
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect();
+        let g_mean = g.iter().sum::<f64>() / n;
+        let g_centered: Vec<f64> = g.iter().map(|&gi| gi - g_mean).collect();
+
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        let mut grad_w = vec![0.0; d];
+
+        for _ in 0..self.epochs {
+            grad_w.iter_mut().for_each(|v| *v = 0.0);
+            let mut grad_b = 0.0;
+
+            // Log-loss gradient.
+            for (i, row) in x.rows().enumerate() {
+                let p = sigmoid(dot(&weights, row) + bias);
+                let err = p - if y[i] { 1.0 } else { 0.0 };
+                for (gw, &xij) in grad_w.iter_mut().zip(row) {
+                    *gw += err * xij / n;
+                }
+                grad_b += err / n;
+            }
+
+            // Covariance penalty gradient: cov = (1/n) Σ ĝᵢ (w·xᵢ + b);
+            // note Σ ĝᵢ = 0 kills the bias term. d(cov²)/dw = 2·cov·(1/n)Σ ĝᵢ xᵢ.
+            let mut cov = 0.0;
+            for (i, row) in x.rows().enumerate() {
+                cov += g_centered[i] * (dot(&weights, row) + bias);
+            }
+            cov /= n;
+            if self.fairness_weight > 0.0 {
+                let scale = 2.0 * self.fairness_weight * cov / n;
+                for (i, row) in x.rows().enumerate() {
+                    for (gw, &xij) in grad_w.iter_mut().zip(row) {
+                        *gw += scale * g_centered[i] * xij;
+                    }
+                }
+            }
+
+            for (w, gw) in weights.iter_mut().zip(grad_w.iter()) {
+                *w -= self.learning_rate * (gw + self.l2 * *w);
+            }
+            bias -= self.learning_rate * grad_b;
+        }
+        LogisticModel { weights, bias }
+    }
+
+    /// The empirical covariance between the group indicator and the
+    /// linear score of `model` — the quantity the penalty suppresses.
+    pub fn boundary_covariance(model: &LogisticModel, x: &Matrix, group_indicator: &[bool]) -> f64 {
+        let n = x.n_rows() as f64;
+        let g_mean = group_indicator.iter().filter(|&&b| b).count() as f64 / n;
+        let mut cov = 0.0;
+        for (i, row) in x.rows().enumerate() {
+            let g = if group_indicator[i] { 1.0 } else { 0.0 };
+            cov += (g - g_mean) * model.linear(row);
+        }
+        cov / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_learn::model::Scorer;
+
+    /// Data where a proxy feature carries both merit and group signal:
+    /// the unpenalized model discriminates, the penalized one cannot.
+    fn proxy_data() -> (Matrix, Vec<bool>, Vec<bool>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut group = Vec::new();
+        for i in 0..200 {
+            let g = i % 2 == 1;
+            let merit = (i % 10) as f64 / 10.0;
+            // proxy = merit plus a strong group offset
+            let proxy = merit + if g { -0.8 } else { 0.0 };
+            rows.push(vec![proxy, merit * 0.1]);
+            // biased labels: group g rarely positive
+            y.push(if g { merit > 0.8 } else { merit > 0.3 });
+            group.push(g);
+        }
+        (Matrix::from_rows(&rows), y, group)
+    }
+
+    fn selection_rates(model: &LogisticModel, x: &Matrix, group: &[bool]) -> (f64, f64) {
+        let (mut p0, mut n0, mut p1, mut n1) = (0.0, 0.0, 0.0, 0.0);
+        for (i, row) in x.rows().enumerate() {
+            let sel = model.score(row) >= 0.5;
+            if group[i] {
+                n1 += 1.0;
+                if sel {
+                    p1 += 1.0;
+                }
+            } else {
+                n0 += 1.0;
+                if sel {
+                    p0 += 1.0;
+                }
+            }
+        }
+        (p0 / n0, p1 / n1)
+    }
+
+    #[test]
+    fn penalty_shrinks_parity_gap() {
+        let (x, y, group) = proxy_data();
+        let plain = FairLogisticTrainer {
+            fairness_weight: 0.0,
+            ..FairLogisticTrainer::default()
+        }
+        .fit(&x, &y, &group);
+        let fair = FairLogisticTrainer {
+            fairness_weight: 30.0,
+            ..FairLogisticTrainer::default()
+        }
+        .fit(&x, &y, &group);
+
+        let (r0_plain, r1_plain) = selection_rates(&plain, &x, &group);
+        let (r0_fair, r1_fair) = selection_rates(&fair, &x, &group);
+        let gap_plain = (r0_plain - r1_plain).abs();
+        let gap_fair = (r0_fair - r1_fair).abs();
+        assert!(
+            gap_fair < gap_plain * 0.5,
+            "plain gap {gap_plain}, fair gap {gap_fair}"
+        );
+    }
+
+    #[test]
+    fn penalty_shrinks_boundary_covariance() {
+        let (x, y, group) = proxy_data();
+        let plain = FairLogisticTrainer {
+            fairness_weight: 0.0,
+            ..FairLogisticTrainer::default()
+        }
+        .fit(&x, &y, &group);
+        let fair = FairLogisticTrainer {
+            fairness_weight: 30.0,
+            ..FairLogisticTrainer::default()
+        }
+        .fit(&x, &y, &group);
+        let cov_plain = FairLogisticTrainer::boundary_covariance(&plain, &x, &group).abs();
+        let cov_fair = FairLogisticTrainer::boundary_covariance(&fair, &x, &group).abs();
+        assert!(
+            cov_fair < cov_plain * 0.3,
+            "plain cov {cov_plain}, fair cov {cov_fair}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_matches_plain_logistic_shape() {
+        let (x, y, group) = proxy_data();
+        let model = FairLogisticTrainer {
+            fairness_weight: 0.0,
+            learning_rate: 2.0,
+            epochs: 3000,
+            ..FairLogisticTrainer::default()
+        }
+        .fit(&x, &y, &group);
+        // still learns: accuracy above chance
+        let correct = x
+            .rows()
+            .enumerate()
+            .filter(|(i, row)| (model.score(row) >= 0.5) == y[*i])
+            .count();
+        assert!(correct as f64 / y.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn fairness_costs_some_accuracy() {
+        // The equal treatment / equal outcome trade-off of Section IV.A:
+        // suppressing the group signal can only reduce fit to biased labels.
+        let (x, y, group) = proxy_data();
+        let acc = |m: &LogisticModel| {
+            x.rows()
+                .enumerate()
+                .filter(|(i, row)| (m.score(row) >= 0.5) == y[*i])
+                .count() as f64
+                / y.len() as f64
+        };
+        let plain = FairLogisticTrainer {
+            fairness_weight: 0.0,
+            ..FairLogisticTrainer::default()
+        }
+        .fit(&x, &y, &group);
+        let fair = FairLogisticTrainer {
+            fairness_weight: 30.0,
+            ..FairLogisticTrainer::default()
+        }
+        .fit(&x, &y, &group);
+        assert!(acc(&plain) >= acc(&fair) - 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Attribute suppression: remove protected attributes and, optionally,
+//! their strongest proxies.
+//!
+//! Plain suppression is "fairness through unawareness" — the strategy the
+//! paper's Section IV.B shows to be insufficient, because "there most
+//! probably exist other attributes that are correlated with it". The
+//! proxy-aware variant therefore also drops (or flags) features whose
+//! association with the protected attribute exceeds a threshold.
+
+use fairbridge_stats::correlation::{cramers_v, point_biserial, Contingency};
+use fairbridge_tabular::{Column, Dataset, Role};
+
+/// Association of one feature with a protected attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProxyScore {
+    /// Feature column name.
+    pub feature: String,
+    /// Association strength ∈ \[0, 1\]: Cramér's V for categorical/boolean
+    /// features, |point-biserial| (vs. a two-level protected attribute)
+    /// for numeric ones.
+    pub association: f64,
+}
+
+/// Measures every feature's association with the named protected column.
+///
+/// Works for categorical protected attributes of any arity; numeric
+/// features are scored against each level indicator and the max is taken.
+pub fn proxy_scores(ds: &Dataset, protected: &str) -> Result<Vec<ProxyScore>, String> {
+    let (p_levels, p_codes) = ds.categorical(protected).map_err(|e| e.to_string())?;
+    let p_levels = p_levels.to_vec();
+    let p_codes = p_codes.to_vec();
+    let k = p_levels.len();
+    let mut out = Vec::new();
+    for meta in ds.schema().fields() {
+        if meta.role != Role::Feature {
+            continue;
+        }
+        let col = ds.column(&meta.name).map_err(|e| e.to_string())?;
+        let association = match col {
+            Column::Categorical { levels, codes } => {
+                let t = Contingency::from_codes(&p_codes, codes, k, levels.len());
+                cramers_v(&t)
+            }
+            Column::Boolean(values) => {
+                let codes: Vec<u32> = values.iter().map(|&b| u32::from(b)).collect();
+                let t = Contingency::from_codes(&p_codes, &codes, k, 2);
+                cramers_v(&t)
+            }
+            Column::Numeric(values) => {
+                // max over level indicators
+                (0..k)
+                    .map(|level| {
+                        let indicator: Vec<bool> =
+                            p_codes.iter().map(|&c| c as usize == level).collect();
+                        point_biserial(values, &indicator).abs()
+                    })
+                    .fold(0.0f64, f64::max)
+            }
+        };
+        out.push(ProxyScore {
+            feature: meta.name.clone(),
+            association,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.association
+            .partial_cmp(&a.association)
+            .expect("NaN association")
+    });
+    Ok(out)
+}
+
+/// The suppression result.
+#[derive(Debug, Clone)]
+pub struct SuppressResult {
+    /// Dataset with the protected column demoted to [`Role::Ignored`] and
+    /// the selected proxies dropped.
+    pub dataset: Dataset,
+    /// Features dropped as proxies, with their associations.
+    pub dropped: Vec<ProxyScore>,
+}
+
+/// Suppresses a protected attribute and every feature whose association
+/// with it is at least `proxy_threshold` (set it above 1.0 for plain
+/// unawareness that keeps all proxies).
+pub fn suppress(
+    ds: &Dataset,
+    protected: &str,
+    proxy_threshold: f64,
+) -> Result<SuppressResult, String> {
+    let scores = proxy_scores(ds, protected)?;
+    let mut dataset = ds
+        .with_role(protected, Role::Ignored)
+        .map_err(|e| e.to_string())?;
+    let mut dropped = Vec::new();
+    for s in scores {
+        if s.association >= proxy_threshold {
+            dataset = dataset.drop_column(&s.feature).map_err(|e| e.to_string())?;
+            dropped.push(s);
+        }
+    }
+    Ok(SuppressResult { dataset, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_tabular::Role;
+
+    fn ds() -> Dataset {
+        // proxy duplicates sex; merit is independent of it.
+        let n = 40;
+        let sex: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let proxy: Vec<u32> = sex.clone();
+        let merit: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        Dataset::builder()
+            .categorical_with_role("sex", vec!["m", "f"], sex, Role::Protected)
+            .categorical_with_role("proxy_uni", vec!["u1", "u2"], proxy, Role::Feature)
+            .numeric("merit", merit)
+            .boolean_with_role("y", (0..n).map(|i| i % 5 > 1).collect(), Role::Label)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn proxy_scores_rank_the_duplicate_first() {
+        let scores = proxy_scores(&ds(), "sex").unwrap();
+        assert_eq!(scores[0].feature, "proxy_uni");
+        assert!((scores[0].association - 1.0).abs() < 1e-9);
+        let merit = scores.iter().find(|s| s.feature == "merit").unwrap();
+        assert!(merit.association < 0.1);
+    }
+
+    #[test]
+    fn suppress_drops_strong_proxies() {
+        let result = suppress(&ds(), "sex", 0.5).unwrap();
+        assert_eq!(result.dropped.len(), 1);
+        assert_eq!(result.dropped[0].feature, "proxy_uni");
+        assert!(result.dataset.column("proxy_uni").is_err());
+        // protected column demoted, not dropped (audits still need it)
+        assert_eq!(
+            result.dataset.schema().field("sex").unwrap().role,
+            Role::Ignored
+        );
+        assert!(result.dataset.column("merit").is_ok());
+    }
+
+    #[test]
+    fn plain_unawareness_keeps_proxies() {
+        let result = suppress(&ds(), "sex", 1.1).unwrap();
+        assert!(result.dropped.is_empty());
+        assert!(result.dataset.column("proxy_uni").is_ok());
+    }
+
+    #[test]
+    fn numeric_proxy_detected() {
+        let n = 40;
+        let sex: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let height: Vec<f64> = sex.iter().map(|&s| 160.0 + 15.0 * s as f64).collect();
+        let ds = Dataset::builder()
+            .categorical_with_role("sex", vec!["m", "f"], sex, Role::Protected)
+            .numeric("height", height)
+            .boolean_with_role("y", vec![true; n], Role::Label)
+            .build()
+            .unwrap();
+        let scores = proxy_scores(&ds, "sex").unwrap();
+        assert!((scores[0].association - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boolean_feature_scored() {
+        let ds = Dataset::builder()
+            .categorical_with_role("sex", vec!["m", "f"], vec![0, 0, 1, 1], Role::Protected)
+            .boolean("maternity_leave", vec![false, false, true, true])
+            .boolean_with_role("y", vec![true, false, true, false], Role::Label)
+            .build()
+            .unwrap();
+        let scores = proxy_scores(&ds, "sex").unwrap();
+        assert_eq!(scores[0].feature, "maternity_leave");
+        assert!((scores[0].association - 1.0).abs() < 1e-9);
+    }
+}

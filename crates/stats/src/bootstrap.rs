@@ -1,0 +1,170 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Fairness gaps measured on finite audit samples are point estimates;
+//! Section IV.C/IV.F call for quantified uncertainty. The percentile
+//! bootstrap is the distribution-free workhorse used here.
+
+use rand::Rng;
+
+/// A bootstrap estimate with its confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapEstimate {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+    /// Number of resamples drawn.
+    pub n_resamples: usize,
+}
+
+impl BootstrapEstimate {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether the interval excludes `value` (e.g. 0 for "no gap").
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lower || value > self.upper
+    }
+}
+
+/// Percentile bootstrap CI for `statistic` over one sample.
+pub fn bootstrap_ci<R, F>(
+    data: &[f64],
+    statistic: F,
+    n_resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> BootstrapEstimate
+where
+    R: Rng,
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!data.is_empty(), "bootstrap_ci: empty data");
+    assert!(n_resamples > 1, "bootstrap_ci requires n_resamples > 1");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let point = statistic(data);
+    let mut stats = Vec::with_capacity(n_resamples);
+    let mut buf = vec![0.0; data.len()];
+    for _ in 0..n_resamples {
+        for slot in buf.iter_mut() {
+            *slot = data[rng.gen_range(0..data.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    let alpha = 1.0 - confidence;
+    let lower = crate::descriptive::quantile_sorted(&stats, alpha / 2.0);
+    let upper = crate::descriptive::quantile_sorted(&stats, 1.0 - alpha / 2.0);
+    BootstrapEstimate {
+        point,
+        lower,
+        upper,
+        n_resamples,
+    }
+}
+
+/// Percentile bootstrap CI for a two-sample statistic (resampling each
+/// sample independently), e.g. a rate difference between groups.
+pub fn bootstrap_ci_two_sample<R, F>(
+    a: &[f64],
+    b: &[f64],
+    statistic: F,
+    n_resamples: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> BootstrapEstimate
+where
+    R: Rng,
+    F: Fn(&[f64], &[f64]) -> f64,
+{
+    assert!(!a.is_empty() && !b.is_empty(), "bootstrap: empty sample");
+    assert!(n_resamples > 1, "bootstrap requires n_resamples > 1");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let point = statistic(a, b);
+    let mut stats = Vec::with_capacity(n_resamples);
+    let mut ba = vec![0.0; a.len()];
+    let mut bb = vec![0.0; b.len()];
+    for _ in 0..n_resamples {
+        for slot in ba.iter_mut() {
+            *slot = a[rng.gen_range(0..a.len())];
+        }
+        for slot in bb.iter_mut() {
+            *slot = b[rng.gen_range(0..b.len())];
+        }
+        stats.push(statistic(&ba, &bb));
+    }
+    stats.sort_by(|x, y| x.partial_cmp(y).expect("NaN bootstrap statistic"));
+    let alpha = 1.0 - confidence;
+    BootstrapEstimate {
+        point,
+        lower: crate::descriptive::quantile_sorted(&stats, alpha / 2.0),
+        upper: crate::descriptive::quantile_sorted(&stats, 1.0 - alpha / 2.0),
+        n_resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ci_contains_true_mean_for_well_behaved_data() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect(); // mean 4.5
+        let est = bootstrap_ci(&data, mean, 500, 0.95, &mut rng);
+        assert!((est.point - 4.5).abs() < 1e-12);
+        assert!(est.lower < 4.5 && 4.5 < est.upper);
+        assert!(est.width() < 1.0);
+        assert_eq!(est.n_resamples, 500);
+    }
+
+    #[test]
+    fn two_sample_gap_detected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // 30% vs 60% positive rates as 0/1 data
+        let a: Vec<f64> = (0..100)
+            .map(|i| if i % 10 < 3 { 1.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f64> = (0..100)
+            .map(|i| if i % 10 < 6 { 1.0 } else { 0.0 })
+            .collect();
+        let est = bootstrap_ci_two_sample(&a, &b, |x, y| mean(y) - mean(x), 500, 0.95, &mut rng);
+        assert!((est.point - 0.3).abs() < 1e-12);
+        assert!(est.excludes(0.0), "CI {:?} should exclude 0", est);
+    }
+
+    #[test]
+    fn identical_samples_interval_covers_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<f64> = (0..80).map(|i| (i % 2) as f64).collect();
+        let est = bootstrap_ci_two_sample(
+            &a,
+            &a.clone(),
+            |x, y| mean(y) - mean(x),
+            400,
+            0.95,
+            &mut rng,
+        );
+        assert!(!est.excludes(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        bootstrap_ci(&[], mean, 10, 0.9, &mut rng);
+    }
+}

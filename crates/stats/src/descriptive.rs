@@ -1,0 +1,211 @@
+//! Descriptive statistics: means, variances, quantiles, weighted variants.
+
+/// Arithmetic mean. Returns `NaN` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Weighted mean Σwᵢxᵢ / Σwᵢ. Returns `NaN` if the weight sum is zero.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ws.len(), "weighted_mean: length mismatch");
+    let wsum: f64 = ws.iter().sum();
+    if wsum == 0.0 {
+        return f64::NAN;
+    }
+    xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / wsum
+}
+
+/// Sample variance (n−1 denominator). Returns `NaN` for fewer than 2 values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population variance (n denominator). Returns `NaN` for empty input.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile (type 7, the numpy/R default).
+/// `q` must be in \[0, 1\]. Returns `NaN` for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Quantile of an already ascending-sorted slice (type 7).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Minimum of a slice; `NaN` for empty input.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::min)
+}
+
+/// Maximum of a slice; `NaN` for empty input.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::max)
+}
+
+/// Proportion of `true` values. Returns `NaN` for empty input.
+pub fn proportion(bs: &[bool]) -> f64 {
+    if bs.is_empty() {
+        return f64::NAN;
+    }
+    bs.iter().filter(|&&b| b).count() as f64 / bs.len() as f64
+}
+
+/// Weighted proportion of `true` values: Σ{wᵢ : bᵢ} / Σwᵢ.
+pub fn weighted_proportion(bs: &[bool], ws: &[f64]) -> f64 {
+    assert_eq!(bs.len(), ws.len(), "weighted_proportion: length mismatch");
+    let wsum: f64 = ws.iter().sum();
+    if wsum == 0.0 {
+        return f64::NAN;
+    }
+    bs.iter()
+        .zip(ws)
+        .filter_map(|(&b, &w)| b.then_some(w))
+        .sum::<f64>()
+        / wsum
+}
+
+/// Histogram with equal-width bins over `\[lo, hi\]`; values outside are
+/// clamped into the boundary bins. Returns per-bin counts.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, n_bins: usize) -> Vec<usize> {
+    assert!(n_bins > 0, "histogram requires at least one bin");
+    assert!(hi > lo, "histogram requires hi > lo");
+    let mut counts = vec![0usize; n_bins];
+    let width = (hi - lo) / n_bins as f64;
+    for &x in xs {
+        let idx = ((x - lo) / width).floor();
+        let idx = idx.clamp(0.0, (n_bins - 1) as f64) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Equal-width binning of a numeric slice into `n_bins` categorical codes
+/// using the slice's own min/max range. Constant slices map to bin 0.
+pub fn bin_codes(xs: &[f64], n_bins: usize) -> Vec<u32> {
+    assert!(n_bins > 0, "bin_codes requires at least one bin");
+    let (lo, hi) = (min(xs), max(xs));
+    if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+        return vec![0; xs.len()];
+    }
+    let width = (hi - lo) / n_bins as f64;
+    xs.iter()
+        .map(|&x| {
+            let idx = ((x - lo) / width).floor();
+            idx.clamp(0.0, (n_bins - 1) as f64) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn weighted_mean_matches_replication() {
+        // weight 2 on 3.0 == replicating 3.0 twice
+        let wm = weighted_mean(&[3.0, 6.0], &[2.0, 1.0]);
+        assert!((wm - mean(&[3.0, 3.0, 6.0])).abs() < 1e-12);
+        assert!(weighted_mean(&[1.0], &[0.0]).is_nan());
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires q in [0,1]")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn proportions() {
+        assert!((proportion(&[true, false, true, true]) - 0.75).abs() < 1e-12);
+        assert!(proportion(&[]).is_nan());
+        let wp = weighted_proportion(&[true, false], &[1.0, 3.0]);
+        assert!((wp - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let xs = [-1.0, 0.1, 0.5, 0.9, 2.0];
+        let h = histogram(&xs, 0.0, 1.0, 2);
+        // -1.0 clamps into bin 0; 0.5, 0.9 and the clamped 2.0 land in bin 1
+        assert_eq!(h, vec![2, 3]);
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+    }
+
+    #[test]
+    fn bin_codes_ranges() {
+        let xs = [0.0, 2.5, 5.0, 7.5, 10.0];
+        let codes = bin_codes(&xs, 4);
+        assert_eq!(codes, vec![0, 1, 2, 3, 3]);
+        // constant input
+        assert_eq!(bin_codes(&[3.0, 3.0], 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min(&[3.0, -1.0, 2.0]), -1.0);
+        assert_eq!(max(&[3.0, -1.0, 2.0]), 3.0);
+        assert!(min(&[]).is_nan());
+    }
+}

@@ -1,0 +1,344 @@
+//! Distances between probability distributions.
+//!
+//! Section IV.F names Hellinger, Total Variation, Wasserstein (optimal
+//! transport) and Maximum Mean Discrepancy as the instruments for
+//! quantifying how far a training sample drifts from the population.
+//! Discrete distances operate on [`Discrete`]; Wasserstein-1, energy
+//! distance and MMD operate on raw real-valued samples.
+
+use crate::distribution::{Discrete, Empirical};
+
+fn check_same_support(p: &Discrete, q: &Discrete) {
+    assert_eq!(
+        p.k(),
+        q.k(),
+        "distributions must share support: {} vs {} categories",
+        p.k(),
+        q.k()
+    );
+}
+
+/// Total variation distance: ½ Σ|pᵢ − qᵢ| ∈ \[0, 1\].
+pub fn total_variation(p: &Discrete, q: &Discrete) -> f64 {
+    check_same_support(p, q);
+    0.5 * p
+        .probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// Hellinger distance: (1/√2)·‖√p − √q‖₂ ∈ \[0, 1\].
+pub fn hellinger(p: &Discrete, q: &Discrete) -> f64 {
+    check_same_support(p, q);
+    let s: f64 = p
+        .probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(a, b)| (a.sqrt() - b.sqrt()).powi(2))
+        .sum();
+    (s / 2.0).sqrt().min(1.0)
+}
+
+/// Kullback–Leibler divergence KL(p‖q) in nats. Infinite when p puts mass
+/// where q has none.
+pub fn kl_divergence(p: &Discrete, q: &Discrete) -> f64 {
+    check_same_support(p, q);
+    p.probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(&a, &b)| {
+            if a == 0.0 {
+                0.0
+            } else if b == 0.0 {
+                f64::INFINITY
+            } else {
+                a * (a / b).ln()
+            }
+        })
+        .sum()
+}
+
+/// Jensen–Shannon divergence (symmetrized, bounded KL) in nats ∈ [0, ln 2].
+pub fn js_divergence(p: &Discrete, q: &Discrete) -> f64 {
+    check_same_support(p, q);
+    let m: Vec<f64> = p
+        .probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(a, b)| 0.5 * (a + b))
+        .collect();
+    let m = Discrete::new(m).expect("midpoint is a valid distribution");
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Pearson χ² distance Σ (pᵢ−qᵢ)²/qᵢ, treating 0/0 terms as 0.
+pub fn chi_square_distance(p: &Discrete, q: &Discrete) -> f64 {
+    check_same_support(p, q);
+    p.probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(&a, &b)| {
+            if b == 0.0 {
+                if a == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (a - b).powi(2) / b
+            }
+        })
+        .sum()
+}
+
+/// Exact 1-D Wasserstein-1 (earth mover's) distance between two empirical
+/// distributions, via the quantile-function integral
+/// W₁ = ∫₀¹ |F⁻¹(t) − G⁻¹(t)| dt, computed exactly on the merged grid of
+/// sample CDF jump points.
+pub fn wasserstein_1d(x: &Empirical, y: &Empirical) -> f64 {
+    let xs = x.sorted();
+    let ys = y.sorted();
+    let n = xs.len();
+    let m = ys.len();
+    // Walk both quantile functions over the merged partition of [0,1].
+    let mut total = 0.0;
+    let mut t = 0.0f64;
+    let mut i = 0usize; // xs[i] is the current x-quantile segment value
+    let mut j = 0usize;
+    while t < 1.0 - 1e-15 {
+        let next_x = (i + 1) as f64 / n as f64;
+        let next_y = (j + 1) as f64 / m as f64;
+        let next_t = next_x.min(next_y).min(1.0);
+        total += (next_t - t) * (xs[i] - ys[j]).abs();
+        t = next_t;
+        if (next_x - t).abs() < 1e-15 && i + 1 < n {
+            i += 1;
+        }
+        if (next_y - t).abs() < 1e-15 && j + 1 < m {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Energy distance between two samples:
+/// 2·E|X−Y| − E|X−X′| − E|Y−Y′| (non-negative, 0 iff same distribution).
+pub fn energy_distance(x: &[f64], y: &[f64]) -> f64 {
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "energy_distance: empty sample"
+    );
+    let exy = mean_abs_cross(x, y);
+    let exx = mean_abs_cross(x, x);
+    let eyy = mean_abs_cross(y, y);
+    (2.0 * exy - exx - eyy).max(0.0)
+}
+
+fn mean_abs_cross(a: &[f64], b: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &ai in a {
+        for &bi in b {
+            s += (ai - bi).abs();
+        }
+    }
+    s / (a.len() * b.len()) as f64
+}
+
+/// Squared Maximum Mean Discrepancy with an RBF kernel of bandwidth `sigma`
+/// (biased V-statistic estimator, always ≥ 0).
+///
+/// MMD²(X,Y) = E k(x,x′) + E k(y,y′) − 2 E k(x,y),
+/// k(a,b) = exp(−(a−b)²/(2σ²)).
+pub fn mmd_rbf(x: &[f64], y: &[f64], sigma: f64) -> f64 {
+    assert!(sigma > 0.0, "mmd_rbf requires sigma > 0");
+    assert!(!x.is_empty() && !y.is_empty(), "mmd_rbf: empty sample");
+    let k = |a: f64, b: f64| (-(a - b).powi(2) / (2.0 * sigma * sigma)).exp();
+    let mean_k = |a: &[f64], b: &[f64]| {
+        let mut s = 0.0;
+        for &ai in a {
+            for &bi in b {
+                s += k(ai, bi);
+            }
+        }
+        s / (a.len() * b.len()) as f64
+    };
+    (mean_k(x, x) + mean_k(y, y) - 2.0 * mean_k(x, y)).max(0.0)
+}
+
+/// Median-heuristic bandwidth for [`mmd_rbf`]: the median pairwise absolute
+/// difference across the pooled sample (positive fallback of 1.0 when the
+/// pooled sample is constant).
+pub fn mmd_median_bandwidth(x: &[f64], y: &[f64]) -> f64 {
+    let pooled: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
+    let mut dists = Vec::with_capacity(pooled.len() * (pooled.len() - 1) / 2);
+    for i in 0..pooled.len() {
+        for j in (i + 1)..pooled.len() {
+            dists.push((pooled[i] - pooled[j]).abs());
+        }
+    }
+    let m = crate::descriptive::median(&dists);
+    if m.is_nan() || m <= 0.0 {
+        1.0
+    } else {
+        m
+    }
+}
+
+/// Wasserstein-1 between two discrete distributions on the ordered support
+/// `0..k`: Σᵢ |CDF_p(i) − CDF_q(i)| (unit spacing between categories).
+pub fn wasserstein_discrete(p: &Discrete, q: &Discrete) -> f64 {
+    check_same_support(p, q);
+    let mut cp = 0.0;
+    let mut cq = 0.0;
+    let mut total = 0.0;
+    for i in 0..p.k() - 1 {
+        cp += p.p(i);
+        cq += q.p(i);
+        total += (cp - cq).abs();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(p: &[f64]) -> Discrete {
+        Discrete::new(p.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn tv_reference() {
+        let p = d(&[0.5, 0.5]);
+        let q = d(&[0.8, 0.2]);
+        assert!((total_variation(&p, &q) - 0.3).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+        // disjoint support → 1
+        let a = d(&[1.0, 0.0]);
+        let b = d(&[0.0, 1.0]);
+        assert!((total_variation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_reference() {
+        let a = d(&[1.0, 0.0]);
+        let b = d(&[0.0, 1.0]);
+        assert!((hellinger(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(hellinger(&a, &a), 0.0);
+        // hellinger^2 <= TV (standard inequality)
+        let p = d(&[0.3, 0.7]);
+        let q = d(&[0.6, 0.4]);
+        assert!(hellinger(&p, &q).powi(2) <= total_variation(&p, &q) + 1e-12);
+    }
+
+    #[test]
+    fn kl_properties() {
+        let p = d(&[0.5, 0.5]);
+        let q = d(&[0.9, 0.1]);
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        let point = d(&[1.0, 0.0]);
+        let other = d(&[0.0, 1.0]);
+        assert!(kl_divergence(&point, &other).is_infinite());
+    }
+
+    #[test]
+    fn js_bounded_and_symmetric() {
+        let p = d(&[1.0, 0.0]);
+        let q = d(&[0.0, 1.0]);
+        assert!((js_divergence(&p, &q) - 2.0_f64.ln().min(1.0)).abs() < 1e-9);
+        let a = d(&[0.3, 0.7]);
+        let b = d(&[0.5, 0.5]);
+        assert!((js_divergence(&a, &b) - js_divergence(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_reference() {
+        let p = d(&[0.5, 0.5]);
+        let q = d(&[0.25, 0.75]);
+        // (0.25)^2/0.25 + (0.25)^2/0.75 = 0.25 + 0.0833...
+        assert!((chi_square_distance(&p, &q) - (0.25 + 0.0625 / 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_1d_translation() {
+        // W1 between X and X+c is exactly |c|
+        let x = Empirical::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let y = Empirical::new(vec![1.5, 2.5, 3.5, 4.5]).unwrap();
+        assert!((wasserstein_1d(&x, &y) - 1.5).abs() < 1e-12);
+        assert_eq!(wasserstein_1d(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn wasserstein_1d_unequal_sizes() {
+        // X = {0, 1}, Y = {0, 0, 1, 1} have identical empirical CDFs at the
+        // quantile level → W1 = 0.
+        let x = Empirical::new(vec![0.0, 1.0]).unwrap();
+        let y = Empirical::new(vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        assert!(wasserstein_1d(&x, &y).abs() < 1e-12);
+        // X = {0}, Y = {0, 1}: quantile functions differ on t ∈ (0.5, 1] by 1.
+        let x = Empirical::new(vec![0.0]).unwrap();
+        let y = Empirical::new(vec![0.0, 1.0]).unwrap();
+        assert!((wasserstein_1d(&x, &y) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_1d_brute_force_cross_check() {
+        // For equal-size samples W1 = (1/n) Σ |x_(i) − y_(i)|.
+        let xs = vec![0.3, -1.2, 4.0, 2.2, 0.0];
+        let ys = vec![1.0, 1.5, -0.5, 3.0, 2.0];
+        let x = Empirical::new(xs.clone()).unwrap();
+        let y = Empirical::new(ys.clone()).unwrap();
+        let mut xs_s = xs;
+        let mut ys_s = ys;
+        xs_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ys_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let brute: f64 = xs_s
+            .iter()
+            .zip(&ys_s)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / xs_s.len() as f64;
+        assert!((wasserstein_1d(&x, &y) - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_distance_properties() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [10.0, 11.0, 12.0];
+        assert!(energy_distance(&x, &y) > 0.0);
+        assert!(energy_distance(&x, &x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmd_properties() {
+        let x = [0.0, 0.5, 1.0, 0.2];
+        let y = [5.0, 5.5, 6.0, 5.2];
+        let sigma = mmd_median_bandwidth(&x, &y);
+        assert!(sigma > 0.0);
+        assert!(mmd_rbf(&x, &y, sigma) > 0.1);
+        assert!(mmd_rbf(&x, &x, sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmd_median_bandwidth_constant_fallback() {
+        assert_eq!(mmd_median_bandwidth(&[1.0, 1.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn wasserstein_discrete_cdf_formula() {
+        let p = d(&[1.0, 0.0, 0.0]);
+        let q = d(&[0.0, 0.0, 1.0]);
+        // moving all mass across 2 unit steps
+        assert!((wasserstein_discrete(&p, &q) - 2.0).abs() < 1e-12);
+        assert_eq!(wasserstein_discrete(&p, &p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must share support")]
+    fn mismatched_support_panics() {
+        total_variation(&d(&[1.0]), &d(&[0.5, 0.5]));
+    }
+}

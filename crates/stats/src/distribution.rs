@@ -1,0 +1,196 @@
+//! Probability distribution representations.
+
+/// A discrete probability distribution over `k` categories.
+///
+/// This is the object Section IV.F compares: "the distribution of a
+/// protected attribute in the general population against the distribution
+/// of the protected attribute in the training data".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    probs: Vec<f64>,
+}
+
+impl Discrete {
+    /// Creates a distribution from probabilities, validating that they are
+    /// non-negative and sum to 1 (within 1e-9).
+    pub fn new(probs: Vec<f64>) -> Result<Discrete, String> {
+        if probs.is_empty() {
+            return Err("distribution must have at least one category".to_owned());
+        }
+        if probs.iter().any(|&p| !(0.0..=1.0 + 1e-12).contains(&p)) {
+            return Err("probabilities must be in [0,1]".to_owned());
+        }
+        let total: f64 = probs.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(format!("probabilities sum to {total}, expected 1"));
+        }
+        Ok(Discrete { probs })
+    }
+
+    /// Creates a distribution from raw counts, normalizing them.
+    pub fn from_counts(counts: &[usize]) -> Result<Discrete, String> {
+        let total: usize = counts.iter().sum();
+        if counts.is_empty() || total == 0 {
+            return Err("counts must be non-empty with positive total".to_owned());
+        }
+        Ok(Discrete {
+            probs: counts.iter().map(|&c| c as f64 / total as f64).collect(),
+        })
+    }
+
+    /// Creates the empirical distribution of categorical codes over
+    /// `n_categories` categories (codes ≥ n_categories are rejected).
+    pub fn from_codes(codes: &[u32], n_categories: usize) -> Result<Discrete, String> {
+        if codes.is_empty() || n_categories == 0 {
+            return Err("from_codes requires non-empty codes and categories".to_owned());
+        }
+        let mut counts = vec![0usize; n_categories];
+        for &c in codes {
+            let c = c as usize;
+            if c >= n_categories {
+                return Err(format!(
+                    "code {c} out of range for {n_categories} categories"
+                ));
+            }
+            counts[c] += 1;
+        }
+        Discrete::from_counts(&counts)
+    }
+
+    /// Uniform distribution over `k` categories.
+    pub fn uniform(k: usize) -> Discrete {
+        assert!(k > 0, "uniform requires k > 0");
+        Discrete {
+            probs: vec![1.0 / k as f64; k],
+        }
+    }
+
+    /// The probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of categories.
+    pub fn k(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Probability of category `i` (0 if out of range).
+    pub fn p(&self, i: usize) -> f64 {
+        self.probs.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Shannon entropy in nats.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+}
+
+/// An empirical distribution of real-valued samples, stored sorted.
+///
+/// Supports CDF/quantile evaluation and is the input to 1-D Wasserstein
+/// distance and quantile-based repair (Section IV.F).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution from samples (NaNs rejected).
+    pub fn new(mut samples: Vec<f64>) -> Result<Empirical, String> {
+        if samples.is_empty() {
+            return Err("empirical distribution requires at least one sample".to_owned());
+        }
+        if samples.iter().any(|x| x.is_nan()) {
+            return Err("samples must not contain NaN".to_owned());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        Ok(Empirical { sorted: samples })
+    }
+
+    /// The sorted samples.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Number of samples.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Empirical CDF: fraction of samples ≤ x.
+    pub fn cdf(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x on a sorted slice.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile (type-7 interpolation).
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::descriptive::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        crate::descriptive::mean(&self.sorted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_validation() {
+        assert!(Discrete::new(vec![0.5, 0.5]).is_ok());
+        assert!(Discrete::new(vec![0.6, 0.6]).is_err());
+        assert!(Discrete::new(vec![-0.1, 1.1]).is_err());
+        assert!(Discrete::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_counts_normalizes() {
+        let d = Discrete::from_counts(&[3, 1]).unwrap();
+        assert_eq!(d.probs(), &[0.75, 0.25]);
+        assert!(Discrete::from_counts(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn from_codes_counts() {
+        let d = Discrete::from_codes(&[0, 1, 1, 1], 2).unwrap();
+        assert_eq!(d.probs(), &[0.25, 0.75]);
+        assert!(Discrete::from_codes(&[2], 2).is_err());
+    }
+
+    #[test]
+    fn uniform_and_entropy() {
+        let u = Discrete::uniform(4);
+        assert!((u.entropy() - 4.0_f64.ln()).abs() < 1e-12);
+        let point = Discrete::new(vec![1.0, 0.0]).unwrap();
+        assert_eq!(point.entropy(), 0.0);
+        assert_eq!(u.p(3), 0.25);
+        assert_eq!(u.p(4), 0.0);
+    }
+
+    #[test]
+    fn empirical_cdf_and_quantile() {
+        let e = Empirical::new(vec![3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(e.sorted(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(2.0), 0.5);
+        assert_eq!(e.cdf(10.0), 1.0);
+        assert!((e.quantile(0.5) - 2.5).abs() < 1e-12);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_rejects_bad_input() {
+        assert!(Empirical::new(vec![]).is_err());
+        assert!(Empirical::new(vec![1.0, f64::NAN]).is_err());
+    }
+}

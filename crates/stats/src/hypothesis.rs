@@ -1,0 +1,393 @@
+//! Hypothesis tests for bias findings.
+//!
+//! Section IV.C warns that subgroup findings from sparse data can be
+//! statistically questionable ("the significance of the findings can be
+//! questionable"). These tests attach p-values to rate-gap findings:
+//! the two-proportion z-test and Fisher's exact test for a single
+//! group-vs-group comparison, the χ² independence test for full
+//! attribute-vs-outcome tables, and a generic permutation test.
+
+use crate::correlation::{ln_hypergeometric_prob, Contingency};
+use crate::special::{chi_square_sf, normal_sf};
+use rand::Rng;
+
+/// Result of a significance test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Value of the test statistic.
+    pub statistic: f64,
+    /// Two-sided p-value (one-sided where documented).
+    pub p_value: f64,
+    /// Degrees of freedom where applicable.
+    pub dof: Option<f64>,
+}
+
+impl TestResult {
+    /// Whether the null is rejected at significance level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-proportion z-test (two-sided), pooled standard error.
+///
+/// Tests H₀: p₁ = p₂ given `x1` successes of `n1` trials vs `x2` of `n2`.
+/// This is the canonical test for a demographic-parity gap.
+pub fn two_proportion_z(x1: u64, n1: u64, x2: u64, n2: u64) -> TestResult {
+    assert!(n1 > 0 && n2 > 0, "two_proportion_z requires positive n");
+    assert!(x1 <= n1 && x2 <= n2, "successes exceed trials");
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    if se == 0.0 {
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            dof: None,
+        };
+    }
+    let z = (p1 - p2) / se;
+    TestResult {
+        statistic: z,
+        p_value: (2.0 * normal_sf(z.abs())).min(1.0),
+        dof: None,
+    }
+}
+
+/// Pearson χ² test of independence on a contingency table (two-sided).
+pub fn chi_square_independence(table: &Contingency) -> TestResult {
+    let stat = table.chi_square_stat();
+    let dof = table.dof();
+    let p = if dof <= 0.0 {
+        1.0
+    } else {
+        chi_square_sf(stat, dof)
+    };
+    TestResult {
+        statistic: stat,
+        p_value: p,
+        dof: Some(dof),
+    }
+}
+
+/// Fisher's exact test on a 2×2 table `[[a, b], [c, d]]` (two-sided, by the
+/// standard "sum of probabilities ≤ observed" rule).
+pub fn fisher_exact(a: u64, b: u64, c: u64, d: u64) -> TestResult {
+    let p_obs = ln_hypergeometric_prob(a, b, c, d).exp();
+    let row1 = a + b;
+    let col1 = a + c;
+    let n = a + b + c + d;
+    let a_min = col1.saturating_sub(n - row1);
+    let a_max = row1.min(col1);
+    let mut p_total = 0.0;
+    for aa in a_min..=a_max {
+        let bb = row1 - aa;
+        let cc = col1 - aa;
+        let dd = n - row1 - cc;
+        let p = ln_hypergeometric_prob(aa, bb, cc, dd).exp();
+        if p <= p_obs * (1.0 + 1e-9) {
+            p_total += p;
+        }
+    }
+    TestResult {
+        statistic: p_obs,
+        p_value: p_total.min(1.0),
+        dof: None,
+    }
+}
+
+/// Two-sided permutation test for a difference in means between two
+/// samples, with `n_perm` random label permutations.
+pub fn permutation_mean_diff<R: Rng>(
+    x: &[f64],
+    y: &[f64],
+    n_perm: usize,
+    rng: &mut R,
+) -> TestResult {
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "permutation test: empty sample"
+    );
+    assert!(n_perm > 0, "permutation test requires n_perm > 0");
+    let observed = x.iter().sum::<f64>() / x.len() as f64 - y.iter().sum::<f64>() / y.len() as f64;
+    let pooled: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
+    let nx = x.len();
+    let mut extreme = 0usize;
+    let mut buf = pooled.clone();
+    for _ in 0..n_perm {
+        // Fisher–Yates shuffle of the pooled sample.
+        for i in (1..buf.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            buf.swap(i, j);
+        }
+        let mx = buf[..nx].iter().sum::<f64>() / nx as f64;
+        let my = buf[nx..].iter().sum::<f64>() / (buf.len() - nx) as f64;
+        if (mx - my).abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    // Add-one smoothing keeps the p-value strictly positive.
+    let p = (extreme + 1) as f64 / (n_perm + 1) as f64;
+    TestResult {
+        statistic: observed,
+        p_value: p.min(1.0),
+        dof: None,
+    }
+}
+
+/// Odds ratio of a 2×2 outcome table with its Woolf (log-normal)
+/// confidence interval — the effect size US discrimination litigation
+/// reports alongside the four-fifths screen.
+///
+/// Table layout: group 1 has `x1` positives of `n1`; group 2 has `x2` of
+/// `n2`. Returns `(odds_ratio, lo, hi)` at the given confidence. Uses the
+/// Haldane–Anscombe 0.5 correction when any cell is zero.
+pub fn odds_ratio(x1: u64, n1: u64, x2: u64, n2: u64, confidence: f64) -> (f64, f64, f64) {
+    assert!(x1 <= n1 && x2 <= n2, "successes exceed trials");
+    assert!(n1 > 0 && n2 > 0, "odds_ratio requires positive n");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let (mut a, mut b) = (x1 as f64, (n1 - x1) as f64);
+    let (mut c, mut d) = (x2 as f64, (n2 - x2) as f64);
+    if a == 0.0 || b == 0.0 || c == 0.0 || d == 0.0 {
+        a += 0.5;
+        b += 0.5;
+        c += 0.5;
+        d += 0.5;
+    }
+    let or = (a * d) / (b * c);
+    let se = (1.0 / a + 1.0 / b + 1.0 / c + 1.0 / d).sqrt();
+    let z = crate::special::normal_quantile(0.5 + confidence / 2.0);
+    let lo = (or.ln() - z * se).exp();
+    let hi = (or.ln() + z * se).exp();
+    (or, lo, hi)
+}
+
+/// Wilson score confidence interval for a binomial proportion.
+///
+/// Preferable to the Wald interval for the small subgroup counts that
+/// intersectional audits produce.
+pub fn wilson_interval(successes: u64, n: u64, confidence: f64) -> (f64, f64) {
+    assert!(n > 0, "wilson_interval requires n > 0");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence must be in (0,1)"
+    );
+    let z = crate::special::normal_quantile(0.5 + confidence / 2.0);
+    let n = n as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Two-sample Kolmogorov–Smirnov test: compares the empirical CDFs of two
+/// real-valued samples (the continuous-feature drift check that
+/// complements the discrete representation audit of Section IV.F).
+///
+/// The p-value uses the asymptotic Kolmogorov distribution
+/// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}; accurate for n, m ≳ 25.
+pub fn ks_two_sample(x: &[f64], y: &[f64]) -> TestResult {
+    assert!(!x.is_empty() && !y.is_empty(), "ks test: empty sample");
+    let mut xs = x.to_vec();
+    let mut ys = y.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
+    let (n, m) = (xs.len(), ys.len());
+    // Walk the merged order tracking the CDF gap.
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < n && j < m {
+        let xv = xs[i];
+        let yv = ys[j];
+        if xv <= yv {
+            i += 1;
+        }
+        if yv <= xv {
+            j += 1;
+        }
+        let gap = (i as f64 / n as f64 - j as f64 / m as f64).abs();
+        if gap > d {
+            d = gap;
+        }
+    }
+    // Asymptotic p-value.
+    let ne = (n as f64 * m as f64) / (n as f64 + m as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    let p_value = kolmogorov_sf(lambda);
+    TestResult {
+        statistic: d,
+        p_value,
+        dof: None,
+    }
+}
+
+/// Kolmogorov survival function Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_proportion_z_reference() {
+        // Classic example: 60/100 vs 40/100 → z ≈ 2.828, p ≈ 0.0047
+        let r = two_proportion_z(60, 100, 40, 100);
+        assert!((r.statistic - 2.828_427).abs() < 1e-3);
+        assert!((r.p_value - 0.004_678).abs() < 1e-4);
+        assert!(r.significant_at(0.05));
+    }
+
+    #[test]
+    fn two_proportion_z_equal_rates() {
+        let r = two_proportion_z(50, 100, 50, 100);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        // degenerate all-success case
+        let r = two_proportion_z(10, 10, 10, 10);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn chi_square_independence_reference() {
+        // Independent table → p ≈ 1
+        let indep = Contingency::from_counts(vec![vec![25.0, 25.0], vec![25.0, 25.0]]);
+        let r = chi_square_independence(&indep);
+        assert!(r.statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+        // Strong association → tiny p
+        let dep = Contingency::from_counts(vec![vec![45.0, 5.0], vec![5.0, 45.0]]);
+        let r = chi_square_independence(&dep);
+        assert!(r.p_value < 1e-10);
+        assert_eq!(r.dof, Some(1.0));
+    }
+
+    #[test]
+    fn fisher_exact_reference() {
+        // Fisher's tea-tasting: [[3,1],[1,3]] → two-sided p ≈ 0.4857
+        let r = fisher_exact(3, 1, 1, 3);
+        assert!((r.p_value - 0.485_714_285).abs() < 1e-6);
+        // Extreme table
+        let r = fisher_exact(10, 0, 0, 10);
+        assert!(r.p_value < 1e-4);
+    }
+
+    #[test]
+    fn fisher_agrees_with_chi_square_on_large_tables() {
+        let r_f = fisher_exact(300, 200, 200, 300);
+        let t = Contingency::from_counts(vec![vec![300.0, 200.0], vec![200.0, 300.0]]);
+        let r_c = chi_square_independence(&t);
+        assert!(r_f.p_value < 0.01 && r_c.p_value < 0.01);
+    }
+
+    #[test]
+    fn permutation_test_detects_shift() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x: Vec<f64> = (0..40).map(|i| i as f64 * 0.01).collect();
+        let y: Vec<f64> = (0..40).map(|i| 3.0 + i as f64 * 0.01).collect();
+        let r = permutation_mean_diff(&x, &y, 500, &mut rng);
+        assert!(r.p_value < 0.01);
+        // identical samples → not significant
+        let r0 = permutation_mean_diff(&x, &x.clone(), 200, &mut rng);
+        assert!(r0.p_value > 0.5);
+    }
+
+    #[test]
+    fn ks_identical_samples_not_significant() {
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin()).collect();
+        let r = ks_two_sample(&x, &x.clone());
+        assert!(r.statistic.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn ks_detects_location_shift() {
+        let x: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let y: Vec<f64> = (0..200).map(|i| 0.3 + i as f64 / 200.0).collect();
+        let r = ks_two_sample(&x, &y);
+        assert!((r.statistic - 0.3).abs() < 0.02, "D = {}", r.statistic);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn ks_same_distribution_different_draws() {
+        // interleaved halves of the same grid — tiny D, large p
+        let x: Vec<f64> = (0..100).map(|i| (2 * i) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| (2 * i + 1) as f64).collect();
+        let r = ks_two_sample(&x, &y);
+        assert!(r.statistic < 0.05);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ks_unequal_sizes() {
+        let x: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..300).map(|i| i as f64 / 5.0).collect();
+        let r = ks_two_sample(&x, &y);
+        assert!((0.0..=1.0).contains(&r.p_value));
+        assert!(r.statistic < 0.15);
+    }
+
+    #[test]
+    fn odds_ratio_reference_values() {
+        // equal rates → OR 1, CI straddles 1
+        let (or, lo, hi) = odds_ratio(30, 100, 30, 100, 0.95);
+        assert!((or - 1.0).abs() < 1e-12);
+        assert!(lo < 1.0 && 1.0 < hi);
+        // strong effect: 80/100 vs 20/100 → OR = (80·80)/(20·20) = 16
+        let (or, lo, _) = odds_ratio(80, 100, 20, 100, 0.95);
+        assert!((or - 16.0).abs() < 1e-9);
+        assert!(lo > 1.0, "CI should exclude 1, lo = {lo}");
+    }
+
+    #[test]
+    fn odds_ratio_zero_cells_use_correction() {
+        let (or, lo, hi) = odds_ratio(10, 10, 0, 10, 0.95);
+        assert!(or.is_finite() && or > 1.0);
+        assert!(lo.is_finite() && hi.is_finite());
+        // symmetric case flips the ratio
+        let (or2, _, _) = odds_ratio(0, 10, 10, 10, 0.95);
+        assert!((or * or2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odds_ratio_widens_with_confidence() {
+        let (_, lo95, hi95) = odds_ratio(40, 100, 25, 100, 0.95);
+        let (_, lo99, hi99) = odds_ratio(40, 100, 25, 100, 0.99);
+        assert!(lo99 < lo95);
+        assert!(hi99 > hi95);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100, 0.95);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(lo > 0.2 && hi < 0.41);
+        // extremes stay in [0,1]
+        let (lo, hi) = wilson_interval(0, 5, 0.95);
+        assert!(lo.abs() < 1e-12);
+        assert!(hi > 0.0 && hi < 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # fairbridge-stats
+//!
+//! Statistics substrate for the fairbridge fairness toolkit.
+//!
+//! Section IV.F of the ICDE'24 paper ("Sampling requirements") frames bias
+//! detection as *distance estimation between probability distributions* —
+//! comparing the distribution of a protected attribute in the population
+//! against its distribution in training data — and names Hellinger, Total
+//! Variation, Wasserstein and Maximum Mean Discrepancy explicitly. This
+//! crate implements those distances plus the supporting machinery every
+//! audit needs:
+//!
+//! * [`descriptive`] — means, variances, quantiles, weighted statistics;
+//! * [`distribution`] — discrete and empirical distributions;
+//! * [`distance`] — TV, Hellinger, KL, JS, χ², Wasserstein-1, energy, MMD;
+//! * [`correlation`] — Pearson, Spearman, point-biserial, Cramér's V,
+//!   mutual information (proxy-discrimination detection, Section IV.B);
+//! * [`hypothesis`] — two-proportion z, χ² independence, Fisher exact,
+//!   permutation tests (significance of subgroup findings, Section IV.C);
+//! * [`bootstrap`] — percentile bootstrap confidence intervals;
+//! * [`sampling`] — empirical sample-complexity studies of bias detection
+//!   (Section IV.F / experiment E13);
+//! * [`sinkhorn`] — entropic optimal transport on discrete supports;
+//! * [`special`] — erf, ln-gamma, incomplete gamma/beta, normal CDF.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod descriptive;
+pub mod distance;
+pub mod distribution;
+pub mod hypothesis;
+pub mod sampling;
+pub mod sinkhorn;
+pub mod special;
+
+pub use distance::{
+    chi_square_distance, energy_distance, hellinger, js_divergence, kl_divergence, mmd_rbf,
+    total_variation, wasserstein_1d,
+};
+pub use distribution::{Discrete, Empirical};

@@ -1,0 +1,281 @@
+//! Sample complexity of bias detection (paper Section IV.F).
+//!
+//! "The relationship between the number of samples, and the error in
+//! estimating the bias is known as the sample complexity of bias
+//! detection." This module runs that study empirically: draw `n` samples
+//! from a known ground-truth distribution, estimate a distance against the
+//! known population distribution, and record how the estimation error
+//! shrinks with `n`. The classical plug-in rates are O(√(k/n)) for TV and
+//! Hellinger on `k` categories and O(n^{−1/2}) for MMD; the empirical
+//! log–log slope should be ≈ −1/2.
+
+use crate::distance::{hellinger, mmd_rbf, total_variation, wasserstein_1d};
+use crate::distribution::{Discrete, Empirical};
+use rand::Rng;
+
+/// Which distance a convergence study estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceKind {
+    /// Total variation on discrete support.
+    TotalVariation,
+    /// Hellinger on discrete support.
+    Hellinger,
+    /// 1-D Wasserstein on samples.
+    Wasserstein1,
+    /// RBF-kernel MMD on samples (unit bandwidth).
+    MmdRbf,
+}
+
+impl DistanceKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistanceKind::TotalVariation => "TV",
+            DistanceKind::Hellinger => "Hellinger",
+            DistanceKind::Wasserstein1 => "Wasserstein-1",
+            DistanceKind::MmdRbf => "MMD(RBF)",
+        }
+    }
+}
+
+/// One row of a convergence study: error statistics at a sample size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceRow {
+    /// Number of samples drawn per trial.
+    pub n: usize,
+    /// Mean absolute estimation error over the trials.
+    pub mean_abs_error: f64,
+    /// Standard deviation of the absolute error over the trials.
+    pub std_abs_error: f64,
+}
+
+/// The outcome of a convergence study for one distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceStudy {
+    /// Which distance was studied.
+    pub kind: DistanceKind,
+    /// The true distance between the two ground-truth distributions.
+    pub true_value: f64,
+    /// Per-sample-size error rows, in increasing `n`.
+    pub rows: Vec<ConvergenceRow>,
+}
+
+impl ConvergenceStudy {
+    /// Fits the empirical convergence rate: the slope of
+    /// log(error) ~ log(n) by least squares. A plug-in estimator obeying a
+    /// n^(−1/2) rate yields a slope near −0.5.
+    pub fn loglog_slope(&self) -> f64 {
+        let pts: Vec<(f64, f64)> = self
+            .rows
+            .iter()
+            .filter(|r| r.mean_abs_error > 0.0)
+            .map(|r| ((r.n as f64).ln(), r.mean_abs_error.ln()))
+            .collect();
+        if pts.len() < 2 {
+            return f64::NAN;
+        }
+        let n = pts.len() as f64;
+        let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let sxx: f64 = pts.iter().map(|p| (p.0 - mx).powi(2)).sum();
+        if sxx == 0.0 {
+            f64::NAN
+        } else {
+            sxy / sxx
+        }
+    }
+}
+
+/// Draws `n` category codes from a discrete distribution.
+pub fn sample_discrete<R: Rng>(dist: &Discrete, n: usize, rng: &mut R) -> Vec<u32> {
+    // Build the CDF once, then binary-search per draw.
+    let mut cdf = Vec::with_capacity(dist.k());
+    let mut acc = 0.0;
+    for &p in dist.probs() {
+        acc += p;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            cdf.partition_point(|&c| c < u).min(dist.k() - 1) as u32
+        })
+        .collect()
+}
+
+/// Runs a convergence study for a *discrete* distance (TV or Hellinger):
+/// the population is `p`, the sampled data come from `q`, the true value is
+/// d(q, p), and the per-trial estimate is d(q̂ₙ, p).
+pub fn discrete_convergence<R: Rng>(
+    kind: DistanceKind,
+    p: &Discrete,
+    q: &Discrete,
+    sample_sizes: &[usize],
+    trials: usize,
+    rng: &mut R,
+) -> ConvergenceStudy {
+    assert!(trials > 0, "discrete_convergence requires trials > 0");
+    let dist_fn = |a: &Discrete, b: &Discrete| match kind {
+        DistanceKind::TotalVariation => total_variation(a, b),
+        DistanceKind::Hellinger => hellinger(a, b),
+        _ => panic!("discrete_convergence supports only TV/Hellinger"),
+    };
+    let true_value = dist_fn(q, p);
+    let rows = sample_sizes
+        .iter()
+        .map(|&n| {
+            let errs: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let codes = sample_discrete(q, n, rng);
+                    let q_hat =
+                        Discrete::from_codes(&codes, q.k()).expect("sampled codes within support");
+                    (dist_fn(&q_hat, p) - true_value).abs()
+                })
+                .collect();
+            ConvergenceRow {
+                n,
+                mean_abs_error: crate::descriptive::mean(&errs),
+                std_abs_error: crate::descriptive::std_dev(&errs),
+            }
+        })
+        .collect();
+    ConvergenceStudy {
+        kind,
+        true_value,
+        rows,
+    }
+}
+
+/// Runs a convergence study for a *continuous* distance (Wasserstein-1 or
+/// MMD) between two samplers given as closures producing i.i.d. draws.
+///
+/// The "true" value is computed once from large reference samples
+/// (`reference_n` draws each).
+pub fn continuous_convergence<R, FX, FY>(
+    kind: DistanceKind,
+    mut sample_x: FX,
+    mut sample_y: FY,
+    sample_sizes: &[usize],
+    trials: usize,
+    reference_n: usize,
+    rng: &mut R,
+) -> ConvergenceStudy
+where
+    R: Rng,
+    FX: FnMut(&mut R) -> f64,
+    FY: FnMut(&mut R) -> f64,
+{
+    assert!(trials > 0 && reference_n > 1, "invalid study parameters");
+    let dist_fn = |xs: &[f64], ys: &[f64]| match kind {
+        DistanceKind::Wasserstein1 => {
+            let ex = Empirical::new(xs.to_vec()).expect("non-empty");
+            let ey = Empirical::new(ys.to_vec()).expect("non-empty");
+            wasserstein_1d(&ex, &ey)
+        }
+        DistanceKind::MmdRbf => mmd_rbf(xs, ys, 1.0),
+        _ => panic!("continuous_convergence supports only W1/MMD"),
+    };
+    let ref_x: Vec<f64> = (0..reference_n).map(|_| sample_x(rng)).collect();
+    let ref_y: Vec<f64> = (0..reference_n).map(|_| sample_y(rng)).collect();
+    let true_value = dist_fn(&ref_x, &ref_y);
+    let rows = sample_sizes
+        .iter()
+        .map(|&n| {
+            let errs: Vec<f64> = (0..trials)
+                .map(|_| {
+                    let xs: Vec<f64> = (0..n).map(|_| sample_x(rng)).collect();
+                    let ys: Vec<f64> = (0..n).map(|_| sample_y(rng)).collect();
+                    (dist_fn(&xs, &ys) - true_value).abs()
+                })
+                .collect();
+            ConvergenceRow {
+                n,
+                mean_abs_error: crate::descriptive::mean(&errs),
+                std_abs_error: crate::descriptive::std_dev(&errs),
+            }
+        })
+        .collect();
+    ConvergenceStudy {
+        kind,
+        true_value,
+        rows,
+    }
+}
+
+/// The theoretical plug-in error bound √(k / n) for TV on `k` categories
+/// (up to constants) — plotted next to empirical errors in experiment E13.
+pub fn tv_plugin_bound(k: usize, n: usize) -> f64 {
+    (k as f64 / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_discrete_matches_distribution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Discrete::new(vec![0.2, 0.8]).unwrap();
+        let codes = sample_discrete(&d, 20_000, &mut rng);
+        let ones = codes.iter().filter(|&&c| c == 1).count() as f64 / 20_000.0;
+        assert!((ones - 0.8).abs() < 0.02);
+        assert!(codes.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn discrete_convergence_error_shrinks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Discrete::new(vec![0.5, 0.5]).unwrap();
+        let q = Discrete::new(vec![0.7, 0.3]).unwrap();
+        let study = discrete_convergence(
+            DistanceKind::TotalVariation,
+            &p,
+            &q,
+            &[50, 500, 5000],
+            30,
+            &mut rng,
+        );
+        assert!((study.true_value - 0.2).abs() < 1e-12);
+        assert!(study.rows[0].mean_abs_error > study.rows[2].mean_abs_error);
+        let slope = study.loglog_slope();
+        assert!(
+            slope < -0.3 && slope > -0.8,
+            "expected ~ -1/2 rate, got {slope}"
+        );
+    }
+
+    #[test]
+    fn continuous_convergence_w1() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Uniform(0,1) vs Uniform(0.5, 1.5): true W1 = 0.5
+        let study = continuous_convergence(
+            DistanceKind::Wasserstein1,
+            |r: &mut StdRng| r.gen::<f64>(),
+            |r: &mut StdRng| 0.5 + r.gen::<f64>(),
+            &[20, 200],
+            20,
+            20_000,
+            &mut rng,
+        );
+        assert!((study.true_value - 0.5).abs() < 0.02);
+        assert!(study.rows[0].mean_abs_error > study.rows[1].mean_abs_error);
+    }
+
+    #[test]
+    fn tv_plugin_bound_shape() {
+        assert!((tv_plugin_bound(2, 200) - 0.1).abs() < 1e-12);
+        assert!(tv_plugin_bound(4, 100) > tv_plugin_bound(2, 100));
+        assert!(tv_plugin_bound(2, 400) < tv_plugin_bound(2, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "supports only TV/Hellinger")]
+    fn discrete_study_rejects_continuous_kind() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Discrete::uniform(2);
+        discrete_convergence(DistanceKind::MmdRbf, &p, &p, &[10], 1, &mut rng);
+    }
+}

@@ -1,0 +1,362 @@
+//! The paper's running example: a hiring scenario with configurable sex
+//! bias and a university proxy.
+//!
+//! Section IV.B, paraphrased: "a training dataset on hiring that is
+//! significantly biased against female individuals ... even if sensitive
+//! attributes are removed, the bias of the training data can still be
+//! transferred into the trained model" via "other attributes that are
+//! correlated with it, such as university name or years of experience
+//! after graduation". This generator plants exactly that structure:
+//!
+//! * `qualified` — the true merit signal, drawn per group;
+//! * `skill_score`, `experience` — observable merit-correlated features;
+//! * `university` — a *proxy*: correlated with sex at a configurable
+//!   strength and otherwise uninformative about merit;
+//! * `hired` — the (possibly biased) label: qualified candidates are hired
+//!   at a base rate, females suffer an additive penalty.
+
+use crate::bernoulli;
+use fairbridge_tabular::{Dataset, Role};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Configuration for the hiring generator.
+#[derive(Debug, Clone)]
+pub struct HiringConfig {
+    /// Number of applicants.
+    pub n: usize,
+    /// Fraction of female applicants (the paper's worked examples use
+    /// 10 female / 20 male ⇒ 1/3).
+    pub female_fraction: f64,
+    /// P(qualified | male).
+    pub qualified_rate_male: f64,
+    /// P(qualified | female).
+    pub qualified_rate_female: f64,
+    /// P(hired | qualified) before any bias.
+    pub hire_rate_qualified: f64,
+    /// P(hired | unqualified) before any bias.
+    pub hire_rate_unqualified: f64,
+    /// Additive penalty on the hire probability of female applicants —
+    /// the planted direct discrimination. 0 = unbiased labels.
+    pub bias_against_female: f64,
+    /// P(university matches the sex-typical one): 0.5 = no proxy signal,
+    /// 1.0 = university fully reveals sex.
+    pub proxy_strength: f64,
+}
+
+impl Default for HiringConfig {
+    fn default() -> Self {
+        HiringConfig {
+            n: 2000,
+            female_fraction: 1.0 / 3.0,
+            qualified_rate_male: 0.5,
+            qualified_rate_female: 0.5,
+            hire_rate_qualified: 0.85,
+            hire_rate_unqualified: 0.10,
+            bias_against_female: 0.0,
+            proxy_strength: 0.5,
+        }
+    }
+}
+
+impl HiringConfig {
+    /// A strongly biased variant used by the Section IV.B experiments:
+    /// identical merit across groups, a 0.35 hiring penalty for women and
+    /// a 0.9-strength university proxy.
+    pub fn biased() -> Self {
+        HiringConfig {
+            bias_against_female: 0.35,
+            proxy_strength: 0.9,
+            ..HiringConfig::default()
+        }
+    }
+}
+
+/// The generated dataset plus its planted ground truth.
+#[derive(Debug, Clone)]
+pub struct HiringData {
+    /// The generated dataset: `sex` protected, `hired` label,
+    /// `university`/`experience`/`skill_score` features, `qualified`
+    /// retained with [`Role::Ignored`] as ground truth.
+    pub dataset: Dataset,
+    /// Per-row true qualification (same order as the dataset).
+    pub qualified: Vec<bool>,
+    /// The config the data was drawn from.
+    pub config: HiringConfig,
+}
+
+/// Level names used by the generator.
+pub mod levels {
+    /// Protected attribute levels, index 0 and 1 respectively.
+    pub const SEX: [&str; 2] = ["male", "female"];
+    /// University levels: index 0 is the male-typical institution.
+    pub const UNIVERSITY: [&str; 2] = ["tech_institute", "metro_college"];
+}
+
+/// Generates a hiring dataset.
+pub fn generate<R: Rng>(config: &HiringConfig, rng: &mut R) -> HiringData {
+    assert!(config.n > 0, "hiring generator requires n > 0");
+    assert!(
+        (0.0..=1.0).contains(&config.female_fraction),
+        "female_fraction must be in [0,1]"
+    );
+    let exp_noise: Normal<f64> = Normal::new(0.0, 1.5).expect("valid normal");
+    let skill_noise: Normal<f64> = Normal::new(0.0, 0.12).expect("valid normal");
+
+    let n = config.n;
+    let mut sex_codes = Vec::with_capacity(n);
+    let mut uni_codes = Vec::with_capacity(n);
+    let mut experience = Vec::with_capacity(n);
+    let mut skill = Vec::with_capacity(n);
+    let mut qualified = Vec::with_capacity(n);
+    let mut hired = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let female = bernoulli(config.female_fraction, rng);
+        let q_rate = if female {
+            config.qualified_rate_female
+        } else {
+            config.qualified_rate_male
+        };
+        let q = bernoulli(q_rate, rng);
+        // Merit-correlated observables.
+        let exp = (3.0 + if q { 4.0 } else { 0.0 } + exp_noise.sample(rng)).max(0.0);
+        let sk = (0.45 + if q { 0.3 } else { 0.0 } + skill_noise.sample(rng)).clamp(0.0, 1.0);
+        // Proxy: sex-typical university with probability proxy_strength.
+        let typical = bernoulli(config.proxy_strength, rng);
+        let uni = match (female, typical) {
+            (true, true) | (false, false) => 1u32, // metro_college
+            (false, true) | (true, false) => 0u32, // tech_institute
+        };
+        // Label: merit-based rate minus the planted penalty for women.
+        let base = if q {
+            config.hire_rate_qualified
+        } else {
+            config.hire_rate_unqualified
+        };
+        let p_hire = if female {
+            base - config.bias_against_female
+        } else {
+            base
+        };
+        sex_codes.push(u32::from(female));
+        uni_codes.push(uni);
+        experience.push(exp);
+        skill.push(sk);
+        qualified.push(q);
+        hired.push(bernoulli(p_hire, rng));
+    }
+
+    let dataset = Dataset::builder()
+        .categorical_with_role(
+            "sex",
+            levels::SEX.iter().map(|s| s.to_string()).collect(),
+            sex_codes,
+            Role::Protected,
+        )
+        .categorical_with_role(
+            "university",
+            levels::UNIVERSITY.iter().map(|s| s.to_string()).collect(),
+            uni_codes,
+            Role::Feature,
+        )
+        .numeric("experience", experience)
+        .numeric("skill_score", skill)
+        .boolean_with_role("qualified", qualified.clone(), Role::Ignored)
+        .boolean_with_role("hired", hired, Role::Label)
+        .build()
+        .expect("generator produces a consistent dataset");
+
+    HiringData {
+        dataset,
+        qualified,
+        config: config.clone(),
+    }
+}
+
+/// Builds the paper's fixed Section III worked-example cohort: counts of
+/// (sex, qualified, hired) are planted *exactly*, not sampled, so metric
+/// outputs can be compared against the paper's numbers digit-for-digit.
+///
+/// `spec` lists `(female, qualified, hired, count)` blocks.
+pub fn exact_cohort(spec: &[(bool, bool, bool, usize)]) -> Dataset {
+    let mut sex_codes = Vec::new();
+    let mut qualified = Vec::new();
+    let mut hired = Vec::new();
+    for &(female, q, h, count) in spec {
+        for _ in 0..count {
+            sex_codes.push(u32::from(female));
+            qualified.push(q);
+            hired.push(h);
+        }
+    }
+    assert!(
+        !sex_codes.is_empty(),
+        "exact_cohort requires at least one row"
+    );
+    Dataset::builder()
+        .categorical_with_role(
+            "sex",
+            levels::SEX.iter().map(|s| s.to_string()).collect(),
+            sex_codes,
+            Role::Protected,
+        )
+        .boolean_with_role("qualified", qualified, Role::Feature)
+        .boolean_with_role("hired", hired, Role::Label)
+        .build()
+        .expect("exact cohort is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_stats::correlation::{cramers_v, Contingency};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unbiased_config_has_no_hire_gap() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = generate(
+            &HiringConfig {
+                n: 20_000,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let ds = &data.dataset;
+        let (_, sex) = ds.categorical("sex").unwrap();
+        let hired = ds.labels().unwrap();
+        let rate = |code: u32| -> f64 {
+            let (mut pos, mut tot) = (0.0f64, 0.0f64);
+            for (&s, &h) in sex.iter().zip(hired) {
+                if s == code {
+                    tot += 1.0;
+                    if h {
+                        pos += 1.0;
+                    }
+                }
+            }
+            pos / tot
+        };
+        assert!(
+            (rate(0) - rate(1)).abs() < 0.03,
+            "{} vs {}",
+            rate(0),
+            rate(1)
+        );
+    }
+
+    #[test]
+    fn biased_config_plants_the_gap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = generate(
+            &HiringConfig {
+                n: 20_000,
+                ..HiringConfig::biased()
+            },
+            &mut rng,
+        );
+        let ds = &data.dataset;
+        let (_, sex) = ds.categorical("sex").unwrap();
+        let hired = ds.labels().unwrap();
+        let mut rates = [(0.0, 0.0); 2];
+        for (&s, &h) in sex.iter().zip(hired) {
+            rates[s as usize].1 += 1.0;
+            if h {
+                rates[s as usize].0 += 1.0;
+            }
+        }
+        let male = rates[0].0 / rates[0].1;
+        let female = rates[1].0 / rates[1].1;
+        // Penalty of 0.35 applies to every female applicant (clamped at 0
+        // for unqualified ones whose base is 0.10) → observed gap ≈ 0.225.
+        assert!(male - female > 0.15, "male {male} female {female}");
+    }
+
+    #[test]
+    fn proxy_strength_drives_university_sex_association() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weak = generate(
+            &HiringConfig {
+                n: 10_000,
+                proxy_strength: 0.5,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let strong = generate(
+            &HiringConfig {
+                n: 10_000,
+                proxy_strength: 0.95,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let assoc = |data: &HiringData| {
+            let (_, sex) = data.dataset.categorical("sex").unwrap();
+            let (_, uni) = data.dataset.categorical("university").unwrap();
+            cramers_v(&Contingency::from_codes(sex, uni, 2, 2))
+        };
+        assert!(assoc(&weak) < 0.05);
+        assert!(assoc(&strong) > 0.8);
+    }
+
+    #[test]
+    fn features_track_qualification() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = generate(
+            &HiringConfig {
+                n: 5000,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let exp = data.dataset.numeric("experience").unwrap();
+        let mean_q = fairbridge_stats::descriptive::mean(
+            &exp.iter()
+                .zip(&data.qualified)
+                .filter_map(|(&e, &q)| q.then_some(e))
+                .collect::<Vec<_>>(),
+        );
+        let mean_u = fairbridge_stats::descriptive::mean(
+            &exp.iter()
+                .zip(&data.qualified)
+                .filter_map(|(&e, &q)| (!q).then_some(e))
+                .collect::<Vec<_>>(),
+        );
+        assert!(mean_q - mean_u > 3.0);
+    }
+
+    #[test]
+    fn exact_cohort_paper_counts() {
+        // Section III.A: 20 males (10 hired), 10 females (5 hired).
+        let ds = exact_cohort(&[
+            (false, true, true, 10),
+            (false, false, false, 10),
+            (true, true, true, 5),
+            (true, false, false, 5),
+        ]);
+        assert_eq!(ds.n_rows(), 30);
+        let (_, sex) = ds.categorical("sex").unwrap();
+        assert_eq!(sex.iter().filter(|&&s| s == 1).count(), 10);
+        let hired = ds.labels().unwrap();
+        assert_eq!(hired.iter().filter(|&&h| h).count(), 15);
+    }
+
+    #[test]
+    fn female_fraction_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = generate(
+            &HiringConfig {
+                n: 30_000,
+                female_fraction: 1.0 / 3.0,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let (_, sex) = data.dataset.categorical("sex").unwrap();
+        let f = sex.iter().filter(|&&s| s == 1).count() as f64 / sex.len() as f64;
+        assert!((f - 1.0 / 3.0).abs() < 0.01);
+    }
+}

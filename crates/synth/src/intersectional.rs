@@ -1,0 +1,192 @@
+//! The fairness-gerrymandering pattern (paper Section IV.C).
+//!
+//! The paper's example: auditing gender and race separately finds the
+//! system fair, yet "non-Caucasian males and Caucasian females are
+//! disproportionally unfavored compared to the other two subgroups". This
+//! generator plants exactly that checkerboard: each (gender × race)
+//! intersection gets its own positive rate, chosen so that the marginal
+//! rates of every single attribute are identical — invisible to
+//! single-attribute audits, glaring to subgroup audits.
+
+use crate::bernoulli;
+use fairbridge_tabular::{Dataset, Role};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Configuration for the intersectional generator.
+#[derive(Debug, Clone)]
+pub struct IntersectionalConfig {
+    /// Number of individuals.
+    pub n: usize,
+    /// Positive rate for favored intersections (Caucasian males,
+    /// non-Caucasian females in the paper's example).
+    pub favored_rate: f64,
+    /// Positive rate for unfavored intersections (non-Caucasian males,
+    /// Caucasian females).
+    pub unfavored_rate: f64,
+    /// Fraction female; 0.5 keeps marginals exactly balanced.
+    pub female_fraction: f64,
+    /// Fraction non-Caucasian; 0.5 keeps marginals exactly balanced.
+    pub non_caucasian_fraction: f64,
+}
+
+impl Default for IntersectionalConfig {
+    fn default() -> Self {
+        IntersectionalConfig {
+            n: 4000,
+            favored_rate: 0.7,
+            unfavored_rate: 0.3,
+            female_fraction: 0.5,
+            non_caucasian_fraction: 0.5,
+        }
+    }
+}
+
+/// Level names used by the generator.
+pub mod levels {
+    /// Gender levels.
+    pub const GENDER: [&str; 2] = ["male", "female"];
+    /// Race levels.
+    pub const RACE: [&str; 2] = ["caucasian", "non_caucasian"];
+}
+
+/// Whether an intersection is planted as favored:
+/// Caucasian males and non-Caucasian females (the paper's pattern).
+pub fn is_favored(female: bool, non_caucasian: bool) -> bool {
+    female == non_caucasian
+}
+
+/// Generates the gerrymandered dataset: `gender` and `race` protected,
+/// `score`/`tenure` weakly informative features, `promoted` label.
+pub fn generate<R: Rng>(config: &IntersectionalConfig, rng: &mut R) -> Dataset {
+    assert!(config.n > 0, "intersectional generator requires n > 0");
+    let score_noise: Normal<f64> = Normal::new(0.0, 0.1).expect("valid normal");
+    let tenure_noise: Normal<f64> = Normal::new(0.0, 2.0).expect("valid normal");
+
+    let n = config.n;
+    let mut gender_codes = Vec::with_capacity(n);
+    let mut race_codes = Vec::with_capacity(n);
+    let mut score = Vec::with_capacity(n);
+    let mut tenure = Vec::with_capacity(n);
+    let mut promoted = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let female = bernoulli(config.female_fraction, rng);
+        let non_cauc = bernoulli(config.non_caucasian_fraction, rng);
+        let rate = if is_favored(female, non_cauc) {
+            config.favored_rate
+        } else {
+            config.unfavored_rate
+        };
+        let y = bernoulli(rate, rng);
+        // Features correlate with the outcome but not with the groups, so
+        // models *can* be accurate without the planted pattern mattering.
+        let s = (0.4 + if y { 0.25 } else { 0.0 } + score_noise.sample(rng)).clamp(0.0, 1.0);
+        let t = (5.0 + if y { 2.0 } else { 0.0 } + tenure_noise.sample(rng)).max(0.0);
+
+        gender_codes.push(u32::from(female));
+        race_codes.push(u32::from(non_cauc));
+        score.push(s);
+        tenure.push(t);
+        promoted.push(y);
+    }
+
+    Dataset::builder()
+        .categorical_with_role(
+            "gender",
+            levels::GENDER.iter().map(|s| s.to_string()).collect(),
+            gender_codes,
+            Role::Protected,
+        )
+        .categorical_with_role(
+            "race",
+            levels::RACE.iter().map(|s| s.to_string()).collect(),
+            race_codes,
+            Role::Protected,
+        )
+        .numeric("score", score)
+        .numeric("tenure", tenure)
+        .boolean_with_role("promoted", promoted, Role::Label)
+        .build()
+        .expect("intersectional generator produces a consistent dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rates(ds: &Dataset) -> ([f64; 2], [f64; 2], [[f64; 2]; 2]) {
+        let (_, gender) = ds.categorical("gender").unwrap();
+        let (_, race) = ds.categorical("race").unwrap();
+        let y = ds.labels().unwrap();
+        let mut marg_g = [(0.0, 0.0); 2];
+        let mut marg_r = [(0.0, 0.0); 2];
+        let mut inter = [[(0.0, 0.0); 2]; 2];
+        for ((&g, &r), &label) in gender.iter().zip(race).zip(y) {
+            let v = if label { 1.0 } else { 0.0 };
+            marg_g[g as usize].0 += v;
+            marg_g[g as usize].1 += 1.0;
+            marg_r[r as usize].0 += v;
+            marg_r[r as usize].1 += 1.0;
+            inter[g as usize][r as usize].0 += v;
+            inter[g as usize][r as usize].1 += 1.0;
+        }
+        let f = |(p, t): (f64, f64)| p / t;
+        (
+            [f(marg_g[0]), f(marg_g[1])],
+            [f(marg_r[0]), f(marg_r[1])],
+            [
+                [f(inter[0][0]), f(inter[0][1])],
+                [f(inter[1][0]), f(inter[1][1])],
+            ],
+        )
+    }
+
+    #[test]
+    fn marginals_fair_intersections_biased() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let ds = generate(
+            &IntersectionalConfig {
+                n: 40_000,
+                ..IntersectionalConfig::default()
+            },
+            &mut rng,
+        );
+        let (g, r, inter) = rates(&ds);
+        // marginal gaps are tiny
+        assert!((g[0] - g[1]).abs() < 0.02, "gender marginal gap {:?}", g);
+        assert!((r[0] - r[1]).abs() < 0.02, "race marginal gap {:?}", r);
+        // intersections split 0.7 vs 0.3
+        // favored: male/caucasian [0][0] and female/non_caucasian [1][1]
+        assert!((inter[0][0] - 0.7).abs() < 0.03);
+        assert!((inter[1][1] - 0.7).abs() < 0.03);
+        assert!((inter[0][1] - 0.3).abs() < 0.03);
+        assert!((inter[1][0] - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn is_favored_matches_paper_pattern() {
+        assert!(is_favored(false, false)); // caucasian male
+        assert!(is_favored(true, true)); // non-caucasian female
+        assert!(!is_favored(false, true)); // non-caucasian male
+        assert!(!is_favored(true, false)); // caucasian female
+    }
+
+    #[test]
+    fn features_predict_outcome() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let ds = generate(
+            &IntersectionalConfig {
+                n: 10_000,
+                ..IntersectionalConfig::default()
+            },
+            &mut rng,
+        );
+        let score = ds.numeric("score").unwrap();
+        let y = ds.labels().unwrap();
+        let r = fairbridge_stats::correlation::point_biserial(score, y);
+        assert!(r > 0.5, "score/outcome correlation {r}");
+    }
+}

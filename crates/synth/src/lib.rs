@@ -1,0 +1,43 @@
+//! # fairbridge-synth
+//!
+//! Synthetic scenario generators for the fairbridge toolkit.
+//!
+//! The paper's running example is a hiring pipeline; its cited literature
+//! evaluates on HR, credit (ECOA) and recidivism data that we cannot ship.
+//! These generators are the documented substitution (see DESIGN.md): every
+//! bias mechanism the paper discusses is a *distributional* property —
+//! label bias, proxy correlation, intersectional patterns, feedback
+//! dynamics — and each generator exposes it as an explicit dial, so
+//! experiments can plant a known ground truth and check that audits
+//! recover it.
+//!
+//! * [`hiring`] — the paper's running example: sex-biased hiring with a
+//!   university proxy (Sections III, IV.A, IV.B);
+//! * [`credit`] — an ECOA-style credit scenario with an age-protected
+//!   attribute and a residence proxy for race (Section II.B);
+//! * [`recidivism`] — a COMPAS-like recidivism scenario with differential
+//!   label observation;
+//! * [`intersectional`] — the fairness-gerrymandering pattern: fair
+//!   marginals hiding biased intersections (Section IV.C);
+//! * [`population`] — an applicant-population model with discouragement
+//!   dynamics for feedback-loop studies (Section IV.D).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod credit;
+pub mod hiring;
+pub mod intersectional;
+pub mod population;
+pub mod recidivism;
+
+pub use hiring::{HiringConfig, HiringData};
+pub use intersectional::IntersectionalConfig;
+pub use population::PopulationModel;
+
+use rand::Rng;
+
+/// Draws a Bernoulli with probability clamped to \[0, 1\].
+pub(crate) fn bernoulli<R: Rng>(p: f64, rng: &mut R) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}

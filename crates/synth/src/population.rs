@@ -1,0 +1,270 @@
+//! An applicant-population model with discouragement dynamics.
+//!
+//! Section IV.D: "applying the system in real-world domains and
+//! continuously rejecting female candidates ... might discourage
+//! individuals from the formerly protected groups from applying". The
+//! model keeps a per-group *application propensity* that responds to the
+//! acceptance rates the group experienced in previous rounds; the
+//! feedback-loop simulator in `fairbridge-audit` drives it.
+
+use crate::bernoulli;
+use fairbridge_tabular::{Dataset, Role};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Per-group state of the applicant population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupState {
+    /// Group level name (e.g. "female").
+    pub name: String,
+    /// Share of the *underlying* population in this group.
+    pub population_share: f64,
+    /// True qualification rate of the group.
+    pub qualified_rate: f64,
+    /// Current propensity to apply ∈ [min_propensity, 1].
+    pub propensity: f64,
+}
+
+/// A two-or-more-group applicant population with discouragement dynamics.
+#[derive(Debug, Clone)]
+pub struct PopulationModel {
+    groups: Vec<GroupState>,
+    /// How strongly acceptance-rate experience moves propensity (0 = no
+    /// feedback; 1 = propensity chases the acceptance rate aggressively).
+    discouragement: f64,
+    /// Floor below which propensity cannot fall (nobody disappears
+    /// entirely).
+    min_propensity: f64,
+}
+
+impl PopulationModel {
+    /// Creates a population. `groups` supplies `(name, population_share,
+    /// qualified_rate)`; shares must sum to 1.
+    pub fn new(
+        groups: &[(&str, f64, f64)],
+        discouragement: f64,
+    ) -> Result<PopulationModel, String> {
+        if groups.len() < 2 {
+            return Err("population needs at least two groups".to_owned());
+        }
+        let total: f64 = groups.iter().map(|g| g.1).sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(format!("population shares sum to {total}, expected 1"));
+        }
+        if !(0.0..=1.0).contains(&discouragement) {
+            return Err("discouragement must be in [0,1]".to_owned());
+        }
+        Ok(PopulationModel {
+            groups: groups
+                .iter()
+                .map(|&(name, share, q)| GroupState {
+                    name: name.to_owned(),
+                    population_share: share,
+                    qualified_rate: q,
+                    propensity: 1.0,
+                })
+                .collect(),
+            discouragement,
+            min_propensity: 0.05,
+        })
+    }
+
+    /// The paper's two-group hiring population with equal merit.
+    pub fn hiring_default(discouragement: f64) -> PopulationModel {
+        PopulationModel::new(
+            &[("male", 2.0 / 3.0, 0.5), ("female", 1.0 / 3.0, 0.5)],
+            discouragement,
+        )
+        .expect("valid default population")
+    }
+
+    /// Current group states.
+    pub fn groups(&self) -> &[GroupState] {
+        &self.groups
+    }
+
+    /// Current application propensity of group `idx`.
+    pub fn propensity(&self, idx: usize) -> f64 {
+        self.groups[idx].propensity
+    }
+
+    /// Draws an applicant pool of (up to) `n` candidates. Each slot picks a
+    /// group by population share, then the candidate actually applies with
+    /// the group's current propensity — so discouraged groups shrink in
+    /// the realized pool.
+    ///
+    /// Columns: `group` protected; `experience`, `skill_score` features;
+    /// `qualified` hidden truth ([`Role::Ignored`]); `hired` label drawn
+    /// from merit alone at rates (0.85 / 0.10) *before* any system bias —
+    /// the simulator overwrites labels when modeling a biased decision
+    /// maker.
+    pub fn generate_pool<R: Rng>(&self, n: usize, rng: &mut R) -> Dataset {
+        assert!(n > 0, "generate_pool requires n > 0");
+        let exp_noise: Normal<f64> = Normal::new(0.0, 1.5).expect("valid normal");
+        let skill_noise: Normal<f64> = Normal::new(0.0, 0.12).expect("valid normal");
+        let mut group_codes = Vec::new();
+        let mut experience = Vec::new();
+        let mut skill = Vec::new();
+        let mut qualified = Vec::new();
+        let mut hired = Vec::new();
+
+        for _ in 0..n {
+            // Pick the underlying individual's group.
+            let mut u: f64 = rng.gen();
+            let mut gi = self.groups.len() - 1;
+            for (i, g) in self.groups.iter().enumerate() {
+                if u < g.population_share {
+                    gi = i;
+                    break;
+                }
+                u -= g.population_share;
+            }
+            // They apply only with the group's current propensity.
+            if !bernoulli(self.groups[gi].propensity, rng) {
+                continue;
+            }
+            let q = bernoulli(self.groups[gi].qualified_rate, rng);
+            let exp = (3.0 + if q { 4.0 } else { 0.0 } + exp_noise.sample(rng)).max(0.0);
+            let sk = (0.45 + if q { 0.3 } else { 0.0 } + skill_noise.sample(rng)).clamp(0.0, 1.0);
+            let h = bernoulli(if q { 0.85 } else { 0.10 }, rng);
+            group_codes.push(gi as u32);
+            experience.push(exp);
+            skill.push(sk);
+            qualified.push(q);
+            hired.push(h);
+        }
+        // Guarantee a non-empty pool even under extreme discouragement.
+        if group_codes.is_empty() {
+            group_codes.push(0);
+            experience.push(3.0);
+            skill.push(0.45);
+            qualified.push(false);
+            hired.push(false);
+        }
+
+        Dataset::builder()
+            .categorical_with_role(
+                "group",
+                self.groups.iter().map(|g| g.name.clone()).collect(),
+                group_codes,
+                Role::Protected,
+            )
+            .numeric("experience", experience)
+            .numeric("skill_score", skill)
+            .boolean_with_role("qualified", qualified, Role::Ignored)
+            .boolean_with_role("hired", hired, Role::Label)
+            .build()
+            .expect("population pool is consistent")
+    }
+
+    /// Updates propensities after a round: each group's propensity moves
+    /// toward its experienced acceptance rate (normalized by the overall
+    /// acceptance rate) at speed `discouragement`.
+    ///
+    /// `acceptance_rates[i]` is the fraction of group `i`'s applicants that
+    /// were accepted this round (`NaN` allowed for absent groups — skipped).
+    pub fn observe(&mut self, acceptance_rates: &[f64]) {
+        assert_eq!(
+            acceptance_rates.len(),
+            self.groups.len(),
+            "observe: group count mismatch"
+        );
+        let valid: Vec<f64> = acceptance_rates
+            .iter()
+            .copied()
+            .filter(|r| r.is_finite())
+            .collect();
+        if valid.is_empty() {
+            return;
+        }
+        let overall = valid.iter().sum::<f64>() / valid.len() as f64;
+        for (g, &rate) in self.groups.iter_mut().zip(acceptance_rates) {
+            if !rate.is_finite() {
+                continue;
+            }
+            // Relative experience: 1.0 = treated like average.
+            let relative = if overall > 0.0 { rate / overall } else { 1.0 };
+            let target = relative.clamp(0.0, 1.0);
+            g.propensity = (g.propensity * (1.0 - self.discouragement)
+                + target * self.discouragement)
+                .clamp(self.min_propensity, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(PopulationModel::new(&[("a", 0.5, 0.5)], 0.5).is_err());
+        assert!(PopulationModel::new(&[("a", 0.6, 0.5), ("b", 0.6, 0.5)], 0.5).is_err());
+        assert!(PopulationModel::new(&[("a", 0.5, 0.5), ("b", 0.5, 0.5)], 2.0).is_err());
+        assert!(PopulationModel::new(&[("a", 0.5, 0.5), ("b", 0.5, 0.5)], 0.5).is_ok());
+    }
+
+    #[test]
+    fn pool_reflects_population_shares() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let model = PopulationModel::hiring_default(0.0);
+        let pool = model.generate_pool(30_000, &mut rng);
+        let (_, codes) = pool.categorical("group").unwrap();
+        let female = codes.iter().filter(|&&c| c == 1).count() as f64 / codes.len() as f64;
+        assert!((female - 1.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn discouragement_shrinks_rejected_group() {
+        let mut model = PopulationModel::hiring_default(0.5);
+        // Group 1 experiences zero acceptance repeatedly.
+        for _ in 0..5 {
+            model.observe(&[0.6, 0.0]);
+        }
+        assert!(model.propensity(1) < 0.2);
+        assert!(model.propensity(0) > 0.8);
+    }
+
+    #[test]
+    fn propensity_recovers_under_fair_treatment() {
+        let mut model = PopulationModel::hiring_default(0.5);
+        for _ in 0..5 {
+            model.observe(&[0.6, 0.0]);
+        }
+        let low = model.propensity(1);
+        for _ in 0..10 {
+            model.observe(&[0.5, 0.5]);
+        }
+        assert!(model.propensity(1) > low);
+        assert!(model.propensity(1) > 0.9);
+    }
+
+    #[test]
+    fn zero_discouragement_is_static() {
+        let mut model = PopulationModel::hiring_default(0.0);
+        model.observe(&[1.0, 0.0]);
+        assert_eq!(model.propensity(0), 1.0);
+        assert_eq!(model.propensity(1), 1.0);
+    }
+
+    #[test]
+    fn nan_rates_skipped() {
+        let mut model = PopulationModel::hiring_default(0.5);
+        model.observe(&[0.5, f64::NAN]);
+        assert_eq!(model.propensity(1), 1.0);
+    }
+
+    #[test]
+    fn pool_never_empty() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut model = PopulationModel::hiring_default(1.0);
+        // Crush both groups' propensity to the floor.
+        for _ in 0..20 {
+            model.observe(&[0.0, 0.0]);
+        }
+        let pool = model.generate_pool(5, &mut rng);
+        assert!(pool.n_rows() >= 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! A COMPAS-like recidivism scenario with differential label observation.
+//!
+//! Risk-assessment data exhibits *measurement bias*: the label is not
+//! "reoffended" but "was re-arrested", and differential policing inflates
+//! observed recidivism for over-policed groups — the canonical instance of
+//! historical bias baked into labels (paper Sections II, IV.A). The
+//! generator separates the true latent behaviour from the observed label
+//! so experiments can quantify how much injustice the observation process
+//! alone creates.
+
+use crate::bernoulli;
+use fairbridge_tabular::{Dataset, Role};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Configuration for the recidivism generator.
+#[derive(Debug, Clone)]
+pub struct RecidivismConfig {
+    /// Number of defendants.
+    pub n: usize,
+    /// Fraction belonging to the over-policed (protected) group.
+    pub protected_fraction: f64,
+    /// P(observed | truly reoffended) for the reference group.
+    pub detection_rate_reference: f64,
+    /// P(observed | truly reoffended) for the protected group — set higher
+    /// to model over-policing.
+    pub detection_rate_protected: f64,
+    /// P(false arrest | did not reoffend) for the protected group (0 for
+    /// the reference group).
+    pub false_arrest_rate_protected: f64,
+}
+
+impl Default for RecidivismConfig {
+    fn default() -> Self {
+        RecidivismConfig {
+            n: 4000,
+            protected_fraction: 0.4,
+            detection_rate_reference: 0.6,
+            detection_rate_protected: 0.6,
+            false_arrest_rate_protected: 0.0,
+        }
+    }
+}
+
+impl RecidivismConfig {
+    /// An over-policing variant: protected-group reoffending detected at
+    /// 0.9 vs 0.6, plus a 5% false-arrest rate.
+    pub fn over_policed() -> Self {
+        RecidivismConfig {
+            detection_rate_protected: 0.9,
+            false_arrest_rate_protected: 0.05,
+            ..RecidivismConfig::default()
+        }
+    }
+}
+
+/// Level names for the protected attribute.
+pub mod levels {
+    /// Race levels used by the generator.
+    pub const RACE: [&str; 2] = ["reference", "protected"];
+}
+
+/// Generated recidivism data with the latent truth retained.
+#[derive(Debug, Clone)]
+pub struct RecidivismData {
+    /// Columns: `race` protected; `priors_count`, `age`, `charge_severity`
+    /// features; `rearrested` label; `reoffended` ([`Role::Ignored`])
+    /// the latent truth.
+    pub dataset: Dataset,
+    /// Per-row latent truth.
+    pub reoffended: Vec<bool>,
+    /// Config used.
+    pub config: RecidivismConfig,
+}
+
+/// Generates a recidivism dataset.
+pub fn generate<R: Rng>(config: &RecidivismConfig, rng: &mut R) -> RecidivismData {
+    assert!(config.n > 0, "recidivism generator requires n > 0");
+    let age_dist: Normal<f64> = Normal::new(32.0, 9.0).expect("valid normal");
+
+    let n = config.n;
+    let mut race_codes = Vec::with_capacity(n);
+    let mut priors = Vec::with_capacity(n);
+    let mut ages = Vec::with_capacity(n);
+    let mut severity = Vec::with_capacity(n);
+    let mut reoffended = Vec::with_capacity(n);
+    let mut rearrested = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let protected = bernoulli(config.protected_fraction, rng);
+        // Priors: geometric-ish count, identical across groups (true
+        // behaviour is group-independent by construction).
+        let mut p_count = 0.0;
+        while bernoulli(0.45, rng) && p_count < 15.0 {
+            p_count += 1.0;
+        }
+        let age = age_dist.sample(rng).clamp(18.0, 75.0);
+        let sev = if bernoulli(0.35, rng) { 1.0 } else { 0.0 };
+
+        // Latent reoffense risk from behaviourally meaningful features only.
+        let z = 0.35 * p_count - 0.06 * (age - 32.0) + 0.4 * sev - 1.0;
+        let p_true = 1.0 / (1.0 + (-z).exp());
+        let truth = bernoulli(p_true, rng);
+
+        // Observation process differs by group.
+        let (detect, false_arrest) = if protected {
+            (
+                config.detection_rate_protected,
+                config.false_arrest_rate_protected,
+            )
+        } else {
+            (config.detection_rate_reference, 0.0)
+        };
+        let observed = if truth {
+            bernoulli(detect, rng)
+        } else {
+            bernoulli(false_arrest, rng)
+        };
+
+        race_codes.push(u32::from(protected));
+        priors.push(p_count);
+        ages.push(age);
+        severity.push(sev);
+        reoffended.push(truth);
+        rearrested.push(observed);
+    }
+
+    let dataset = Dataset::builder()
+        .categorical_with_role(
+            "race",
+            levels::RACE.iter().map(|s| s.to_string()).collect(),
+            race_codes,
+            Role::Protected,
+        )
+        .numeric("priors_count", priors)
+        .numeric("age", ages)
+        .numeric("charge_severity", severity)
+        .boolean_with_role("reoffended", reoffended.clone(), Role::Ignored)
+        .boolean_with_role("rearrested", rearrested, Role::Label)
+        .build()
+        .expect("recidivism generator produces a consistent dataset");
+
+    RecidivismData {
+        dataset,
+        reoffended,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn observed_rate(data: &RecidivismData, code: u32) -> f64 {
+        let (_, race) = data.dataset.categorical("race").unwrap();
+        let labels = data.dataset.labels().unwrap();
+        let (mut pos, mut tot) = (0.0, 0.0);
+        for (&c, &y) in race.iter().zip(labels) {
+            if c == code {
+                tot += 1.0;
+                if y {
+                    pos += 1.0;
+                }
+            }
+        }
+        pos / tot
+    }
+
+    fn true_rate(data: &RecidivismData, code: u32) -> f64 {
+        let (_, race) = data.dataset.categorical("race").unwrap();
+        let (mut pos, mut tot) = (0.0, 0.0);
+        for (&c, &y) in race.iter().zip(&data.reoffended) {
+            if c == code {
+                tot += 1.0;
+                if y {
+                    pos += 1.0;
+                }
+            }
+        }
+        pos / tot
+    }
+
+    #[test]
+    fn default_config_observes_groups_equally() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = generate(
+            &RecidivismConfig {
+                n: 30_000,
+                ..RecidivismConfig::default()
+            },
+            &mut rng,
+        );
+        assert!((true_rate(&data, 0) - true_rate(&data, 1)).abs() < 0.03);
+        assert!((observed_rate(&data, 0) - observed_rate(&data, 1)).abs() < 0.03);
+    }
+
+    #[test]
+    fn over_policing_inflates_observed_rate_only() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let data = generate(
+            &RecidivismConfig {
+                n: 30_000,
+                ..RecidivismConfig::over_policed()
+            },
+            &mut rng,
+        );
+        // true behaviour identical across groups...
+        assert!((true_rate(&data, 0) - true_rate(&data, 1)).abs() < 0.03);
+        // ...but the observed labels differ sharply.
+        assert!(observed_rate(&data, 1) - observed_rate(&data, 0) > 0.08);
+    }
+
+    #[test]
+    fn priors_predict_latent_truth() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = generate(
+            &RecidivismConfig {
+                n: 10_000,
+                ..RecidivismConfig::default()
+            },
+            &mut rng,
+        );
+        let priors = data.dataset.numeric("priors_count").unwrap();
+        let reoff: Vec<f64> = priors
+            .iter()
+            .zip(&data.reoffended)
+            .filter_map(|(&p, &r)| r.then_some(p))
+            .collect();
+        let no_reoff: Vec<f64> = priors
+            .iter()
+            .zip(&data.reoffended)
+            .filter_map(|(&p, &r)| (!r).then_some(p))
+            .collect();
+        assert!(
+            fairbridge_stats::descriptive::mean(&reoff)
+                > fairbridge_stats::descriptive::mean(&no_reoff) + 0.2,
+            "reoffenders {} vs non {}",
+            fairbridge_stats::descriptive::mean(&reoff),
+            fairbridge_stats::descriptive::mean(&no_reoff)
+        );
+    }
+}

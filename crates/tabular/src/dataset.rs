@@ -1,0 +1,518 @@
+//! The [`Dataset`] type and its builder.
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::schema::{FieldMeta, Role, Schema};
+use crate::value::Value;
+
+/// An immutable, column-oriented table with fairness-aware schema roles.
+///
+/// Rows are instances (individuals); columns are attributes. Columns carry a
+/// [`Role`] so that metric and audit code can locate the protected attribute
+/// `A`, the label `Y` and the prediction `R` without string conventions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// Starts building a dataset column by column.
+    pub fn builder() -> DatasetBuilder {
+        DatasetBuilder::default()
+    }
+
+    /// Number of rows (instances).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (attributes).
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The column with the given name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Numeric data of the named column.
+    pub fn numeric(&self, name: &str) -> Result<&[f64]> {
+        self.column(name)?.as_numeric(name)
+    }
+
+    /// Boolean data of the named column.
+    pub fn boolean(&self, name: &str) -> Result<&[bool]> {
+        self.column(name)?.as_boolean(name)
+    }
+
+    /// Categorical `(levels, codes)` of the named column.
+    pub fn categorical(&self, name: &str) -> Result<(&[String], &[u32])> {
+        self.column(name)?.as_categorical(name)
+    }
+
+    /// Names of all protected columns, in column order.
+    pub fn protected_columns(&self) -> Vec<&str> {
+        self.schema.names_with_role(Role::Protected)
+    }
+
+    /// Names of all feature columns, in column order.
+    pub fn feature_columns(&self) -> Vec<&str> {
+        self.schema.names_with_role(Role::Feature)
+    }
+
+    /// The unique label column as booleans (`Y` in the paper).
+    pub fn labels(&self) -> Result<&[bool]> {
+        let meta = self.schema.single_with_role(Role::Label)?;
+        let name = meta.name.clone();
+        self.boolean(&name)
+    }
+
+    /// The unique prediction column as booleans (`R` in the paper).
+    pub fn predictions(&self) -> Result<&[bool]> {
+        let meta = self.schema.single_with_role(Role::Prediction)?;
+        let name = meta.name.clone();
+        self.boolean(&name)
+    }
+
+    /// The unique weight column, if any; defaults to uniform weights of 1.
+    pub fn weights(&self) -> Vec<f64> {
+        match self.schema.single_with_role(Role::Weight) {
+            Ok(meta) => {
+                let name = meta.name.clone();
+                self.numeric(&name)
+                    .map(<[f64]>::to_vec)
+                    .unwrap_or_else(|_| vec![1.0; self.n_rows])
+            }
+            Err(_) => vec![1.0; self.n_rows],
+        }
+    }
+
+    /// The full row at `row`, with categorical codes resolved to levels.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.n_rows {
+            return Err(Error::RowOutOfRange {
+                row,
+                n_rows: self.n_rows,
+            });
+        }
+        Ok(self
+            .columns
+            .iter()
+            .map(|c| c.value(row).expect("validated length"))
+            .collect())
+    }
+
+    /// A new dataset with an extra column appended.
+    pub fn with_column(&self, name: &str, column: Column, role: Role) -> Result<Dataset> {
+        if column.len() != self.n_rows {
+            return Err(Error::LengthMismatch {
+                column: name.to_owned(),
+                expected: self.n_rows,
+                actual: column.len(),
+            });
+        }
+        let mut schema = self.schema.clone();
+        schema.push(FieldMeta {
+            name: name.to_owned(),
+            dtype: column.dtype(),
+            role,
+        })?;
+        let mut columns = self.columns.clone();
+        columns.push(column);
+        Ok(Dataset {
+            schema,
+            columns,
+            n_rows: self.n_rows,
+        })
+    }
+
+    /// Convenience: appends boolean predictions under the given name.
+    ///
+    /// If a prediction column already exists its role is demoted to
+    /// [`Role::Ignored`], so the new column becomes *the* prediction.
+    pub fn with_predictions(&self, name: &str, preds: Vec<bool>) -> Result<Dataset> {
+        let mut ds = self.clone();
+        if let Ok(old) = ds.schema.single_with_role(Role::Prediction) {
+            let old_name = old.name.clone();
+            ds.schema.set_role(&old_name, Role::Ignored)?;
+        }
+        ds.with_column(name, Column::Boolean(preds), Role::Prediction)
+    }
+
+    /// A new dataset without the named column.
+    pub fn drop_column(&self, name: &str) -> Result<Dataset> {
+        let idx = self.schema.index_of(name)?;
+        let mut schema = Schema::new();
+        let mut columns = Vec::with_capacity(self.columns.len() - 1);
+        for (i, (meta, col)) in self
+            .schema
+            .fields()
+            .iter()
+            .zip(self.columns.iter())
+            .enumerate()
+        {
+            if i != idx {
+                schema.push(meta.clone())?;
+                columns.push(col.clone());
+            }
+        }
+        Ok(Dataset {
+            schema,
+            columns,
+            n_rows: self.n_rows,
+        })
+    }
+
+    /// A new dataset with the named column's role changed.
+    pub fn with_role(&self, name: &str, role: Role) -> Result<Dataset> {
+        let mut ds = self.clone();
+        ds.schema.set_role(name, role)?;
+        Ok(ds)
+    }
+
+    /// A new dataset containing only the rows in `indices`, in that order.
+    /// Indices may repeat (bootstrap resampling).
+    pub fn select(&self, indices: &[usize]) -> Result<Dataset> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.n_rows) {
+            return Err(Error::RowOutOfRange {
+                row: bad,
+                n_rows: self.n_rows,
+            });
+        }
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            n_rows: indices.len(),
+        })
+    }
+
+    /// A new dataset containing only rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<Dataset> {
+        if mask.len() != self.n_rows {
+            return Err(Error::LengthMismatch {
+                column: "<mask>".to_owned(),
+                expected: self.n_rows,
+                actual: mask.len(),
+            });
+        }
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        self.select(&indices)
+    }
+
+    /// Vertically concatenates two datasets with identical schemas.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset> {
+        if self.schema != other.schema {
+            return Err(Error::Invalid(
+                "cannot concat datasets with different schemas".to_owned(),
+            ));
+        }
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for ((a, b), meta) in self
+            .columns
+            .iter()
+            .zip(other.columns.iter())
+            .zip(self.schema.fields())
+        {
+            let merged = match (a, b) {
+                (Column::Numeric(x), Column::Numeric(y)) => {
+                    let mut v = x.clone();
+                    v.extend_from_slice(y);
+                    Column::Numeric(v)
+                }
+                (Column::Boolean(x), Column::Boolean(y)) => {
+                    let mut v = x.clone();
+                    v.extend_from_slice(y);
+                    Column::Boolean(v)
+                }
+                (
+                    Column::Categorical { levels, codes },
+                    Column::Categorical {
+                        levels: l2,
+                        codes: c2,
+                    },
+                ) => {
+                    // Remap other's codes into this dictionary, extending it
+                    // with unseen levels.
+                    let mut levels = levels.clone();
+                    let mut codes = codes.clone();
+                    let remap: Vec<u32> = l2
+                        .iter()
+                        .map(|lv| match levels.iter().position(|l| l == lv) {
+                            Some(i) => i as u32,
+                            None => {
+                                levels.push(lv.clone());
+                                (levels.len() - 1) as u32
+                            }
+                        })
+                        .collect();
+                    codes.extend(c2.iter().map(|&c| remap[c as usize]));
+                    Column::Categorical { levels, codes }
+                }
+                _ => {
+                    return Err(Error::TypeMismatch {
+                        column: meta.name.clone(),
+                        expected: a.dtype().name(),
+                        actual: b.dtype().name(),
+                    })
+                }
+            };
+            columns.push(merged);
+        }
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: self.n_rows + other.n_rows,
+        })
+    }
+}
+
+/// Incremental, validating constructor for [`Dataset`].
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    error: Option<Error>,
+}
+
+impl DatasetBuilder {
+    fn push(mut self, name: &str, column: Column, role: Role) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let meta = FieldMeta {
+            name: name.to_owned(),
+            dtype: column.dtype(),
+            role,
+        };
+        if let Err(e) = self.schema.push(meta) {
+            self.error = Some(e);
+            return self;
+        }
+        self.columns.push(column);
+        self
+    }
+
+    /// Adds a numeric feature column.
+    pub fn numeric(self, name: &str, values: Vec<f64>) -> Self {
+        self.push(name, Column::Numeric(values), Role::Feature)
+    }
+
+    /// Adds a numeric column with an explicit role.
+    pub fn numeric_with_role(self, name: &str, values: Vec<f64>, role: Role) -> Self {
+        self.push(name, Column::Numeric(values), role)
+    }
+
+    /// Adds a boolean feature column.
+    pub fn boolean(self, name: &str, values: Vec<bool>) -> Self {
+        self.push(name, Column::Boolean(values), Role::Feature)
+    }
+
+    /// Adds a boolean column with an explicit role (e.g. [`Role::Label`]).
+    pub fn boolean_with_role(self, name: &str, values: Vec<bool>, role: Role) -> Self {
+        self.push(name, Column::Boolean(values), role)
+    }
+
+    /// Adds a categorical feature column from raw strings, building the
+    /// dictionary in first-appearance order.
+    pub fn categorical_strs<S: AsRef<str>>(self, name: &str, values: &[S]) -> Self {
+        self.push(name, Column::categorical_from_strs(values), Role::Feature)
+    }
+
+    /// Adds a categorical column with a fixed dictionary, explicit codes and
+    /// an explicit role. This is the usual way to add a protected attribute.
+    pub fn categorical_with_role<S: Into<String>>(
+        mut self,
+        name: &str,
+        levels: Vec<S>,
+        codes: Vec<u32>,
+        role: Role,
+    ) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let levels: Vec<String> = levels.into_iter().map(Into::into).collect();
+        match Column::categorical_from_codes(levels, codes, name) {
+            Ok(col) => self.push(name, col, role),
+            Err(e) => {
+                self.error = Some(e);
+                self
+            }
+        }
+    }
+
+    /// Validates column lengths and produces the dataset.
+    pub fn build(self) -> Result<Dataset> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.columns.is_empty() {
+            return Err(Error::Invalid(
+                "dataset must have at least one column".into(),
+            ));
+        }
+        let n_rows = self.columns[0].len();
+        for (meta, col) in self.schema.fields().iter().zip(self.columns.iter()) {
+            if col.len() != n_rows {
+                return Err(Error::LengthMismatch {
+                    column: meta.name.clone(),
+                    expected: n_rows,
+                    actual: col.len(),
+                });
+            }
+        }
+        Ok(Dataset {
+            schema: self.schema,
+            columns: self.columns,
+            n_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::builder()
+            .categorical_with_role(
+                "sex",
+                vec!["male", "female"],
+                vec![0, 0, 1, 1],
+                Role::Protected,
+            )
+            .numeric("exp", vec![5.0, 3.0, 4.0, 2.0])
+            .boolean_with_role("hired", vec![true, false, true, false], Role::Label)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_dataset() {
+        let ds = sample();
+        assert_eq!(ds.n_rows(), 4);
+        assert_eq!(ds.n_cols(), 3);
+        assert_eq!(ds.protected_columns(), vec!["sex"]);
+        assert_eq!(ds.feature_columns(), vec!["exp"]);
+        assert_eq!(ds.labels().unwrap(), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn builder_rejects_length_mismatch() {
+        let err = Dataset::builder()
+            .numeric("a", vec![1.0, 2.0])
+            .numeric("b", vec![1.0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(Dataset::builder().build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names() {
+        let err = Dataset::builder()
+            .numeric("a", vec![1.0])
+            .numeric("a", vec![2.0])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn select_and_filter() {
+        let ds = sample();
+        let sub = ds.select(&[3, 1]).unwrap();
+        assert_eq!(sub.n_rows(), 2);
+        assert_eq!(sub.numeric("exp").unwrap(), &[2.0, 3.0]);
+
+        let females = ds.filter(&[false, false, true, true]).unwrap();
+        assert_eq!(females.n_rows(), 2);
+        let (_, codes) = females.categorical("sex").unwrap();
+        assert_eq!(codes, &[1, 1]);
+
+        assert!(ds.select(&[9]).is_err());
+        assert!(ds.filter(&[true]).is_err());
+    }
+
+    #[test]
+    fn with_predictions_demotes_old() {
+        let ds = sample();
+        let ds = ds
+            .with_predictions("pred_a", vec![true, true, false, false])
+            .unwrap();
+        assert_eq!(ds.predictions().unwrap(), &[true, true, false, false]);
+        let ds = ds
+            .with_predictions("pred_b", vec![false, false, true, true])
+            .unwrap();
+        assert_eq!(ds.predictions().unwrap(), &[false, false, true, true]);
+        // old column still present, but ignored
+        assert_eq!(ds.schema().field("pred_a").unwrap().role, Role::Ignored);
+    }
+
+    #[test]
+    fn drop_column_removes() {
+        let ds = sample().drop_column("exp").unwrap();
+        assert_eq!(ds.n_cols(), 2);
+        assert!(ds.column("exp").is_err());
+        assert_eq!(ds.n_rows(), 4);
+    }
+
+    #[test]
+    fn row_resolves_values() {
+        let ds = sample();
+        let row = ds.row(2).unwrap();
+        assert_eq!(row[0], Value::Cat("female".into()));
+        assert_eq!(row[1], Value::Num(4.0));
+        assert_eq!(row[2], Value::Bool(true));
+        assert!(ds.row(4).is_err());
+    }
+
+    #[test]
+    fn concat_merges_dictionaries() {
+        let a = Dataset::builder()
+            .categorical_strs("city", &["a", "b"])
+            .build()
+            .unwrap();
+        let b = Dataset::builder()
+            .categorical_strs("city", &["c", "a"])
+            .build()
+            .unwrap();
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.n_rows(), 4);
+        let (levels, codes) = c.categorical("city").unwrap();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(codes[3], 0); // "a" again
+    }
+
+    #[test]
+    fn concat_rejects_schema_mismatch() {
+        let a = sample();
+        let b = sample().drop_column("exp").unwrap();
+        assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn weights_default_to_uniform() {
+        let ds = sample();
+        assert_eq!(ds.weights(), vec![1.0; 4]);
+        let ds = ds
+            .with_column("w", Column::Numeric(vec![0.5, 1.5, 1.0, 1.0]), Role::Weight)
+            .unwrap();
+        assert_eq!(ds.weights(), vec![0.5, 1.5, 1.0, 1.0]);
+    }
+}

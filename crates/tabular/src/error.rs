@@ -1,0 +1,148 @@
+//! Error type shared by all tabular operations.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by dataset construction, access and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A column with this name already exists in the dataset.
+    DuplicateColumn(String),
+    /// No column with this name exists.
+    UnknownColumn(String),
+    /// Column lengths disagree: `(column, expected, actual)`.
+    LengthMismatch {
+        /// Offending column name.
+        column: String,
+        /// Number of rows the dataset expects.
+        expected: usize,
+        /// Number of rows the column actually has.
+        actual: usize,
+    },
+    /// The column exists but has a different type: `(column, expected, actual)`.
+    TypeMismatch {
+        /// Offending column name.
+        column: String,
+        /// Type the caller asked for.
+        expected: &'static str,
+        /// Type the column actually has.
+        actual: &'static str,
+    },
+    /// A categorical code is out of range for its dictionary.
+    CodeOutOfRange {
+        /// Offending column name.
+        column: String,
+        /// The invalid code.
+        code: u32,
+        /// Number of levels in the dictionary.
+        n_levels: usize,
+    },
+    /// A categorical level name was not found in the dictionary.
+    UnknownLevel {
+        /// Offending column name.
+        column: String,
+        /// The level that was looked up.
+        level: String,
+    },
+    /// A row index is out of bounds.
+    RowOutOfRange {
+        /// The invalid row index.
+        row: usize,
+        /// Number of rows in the dataset.
+        n_rows: usize,
+    },
+    /// The dataset has no column with the requested role.
+    MissingRole(&'static str),
+    /// Malformed CSV input: `(line, message)`.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Any other invalid-argument condition.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
+            Error::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            Error::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has {actual} rows, expected {expected}"
+            ),
+            Error::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has type {actual}, expected {expected}"
+            ),
+            Error::CodeOutOfRange {
+                column,
+                code,
+                n_levels,
+            } => write!(
+                f,
+                "categorical code {code} out of range for column `{column}` with {n_levels} levels"
+            ),
+            Error::UnknownLevel { column, level } => {
+                write!(f, "level `{level}` not found in column `{column}`")
+            }
+            Error::RowOutOfRange { row, n_rows } => {
+                write!(
+                    f,
+                    "row index {row} out of range for dataset with {n_rows} rows"
+                )
+            }
+            Error::MissingRole(role) => write!(f, "dataset has no {role} column"),
+            Error::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            Error::Invalid(message) => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::LengthMismatch {
+            column: "age".into(),
+            expected: 10,
+            actual: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("age") && s.contains("10") && s.contains('7'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::UnknownColumn("x".into()),
+            Error::UnknownColumn("x".into())
+        );
+        assert_ne!(
+            Error::UnknownColumn("x".into()),
+            Error::DuplicateColumn("x".into())
+        );
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::MissingRole("label"));
+    }
+}

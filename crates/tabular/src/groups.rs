@@ -1,0 +1,240 @@
+//! Grouping rows by (combinations of) categorical attributes.
+//!
+//! Group fairness metrics compare outcome statistics across the groups
+//! induced by one or more protected attributes; intersectional auditing
+//! (paper Section IV.C) needs groups induced by *combinations* of
+//! attributes. [`GroupIndex`] materializes those partitions once so metric
+//! code can iterate over `(key, row-indices)` pairs.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which columns to group by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// Names of the (categorical or boolean) columns defining groups.
+    pub columns: Vec<String>,
+}
+
+impl GroupSpec {
+    /// Groups by a single column.
+    pub fn single(column: &str) -> Self {
+        GroupSpec {
+            columns: vec![column.to_owned()],
+        }
+    }
+
+    /// Groups by the intersection of several columns.
+    pub fn intersection<S: Into<String>>(columns: Vec<S>) -> Self {
+        GroupSpec {
+            columns: columns.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// A resolved group key: one level name per grouping column.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupKey(pub Vec<String>);
+
+impl GroupKey {
+    /// The key's levels in grouping-column order.
+    pub fn levels(&self) -> &[String] {
+        &self.0
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.join("×"))
+    }
+}
+
+/// A partition of dataset rows into groups.
+#[derive(Debug, Clone)]
+pub struct GroupIndex {
+    spec: GroupSpec,
+    groups: BTreeMap<GroupKey, Vec<usize>>,
+    n_rows: usize,
+}
+
+impl GroupIndex {
+    /// Builds the partition for `spec` over `ds`.
+    ///
+    /// Boolean columns are treated as two-level categoricals with levels
+    /// `"false"` and `"true"`. Numeric columns are rejected — bin them first.
+    pub fn build(ds: &Dataset, spec: &GroupSpec) -> Result<GroupIndex> {
+        if spec.columns.is_empty() {
+            return Err(Error::Invalid(
+                "group spec must name at least one column".into(),
+            ));
+        }
+        // Per-column (levels, codes) views.
+        let mut views: Vec<(Vec<String>, Vec<u32>)> = Vec::with_capacity(spec.columns.len());
+        for name in &spec.columns {
+            let col = ds.column(name)?;
+            match col {
+                crate::column::Column::Categorical { levels, codes } => {
+                    views.push((levels.clone(), codes.clone()));
+                }
+                crate::column::Column::Boolean(v) => {
+                    let levels = vec!["false".to_owned(), "true".to_owned()];
+                    let codes = v.iter().map(|&b| u32::from(b)).collect();
+                    views.push((levels, codes));
+                }
+                crate::column::Column::Numeric(_) => {
+                    return Err(Error::TypeMismatch {
+                        column: name.clone(),
+                        expected: "categorical or boolean",
+                        actual: "numeric",
+                    });
+                }
+            }
+        }
+        let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+        for row in 0..ds.n_rows() {
+            let key = GroupKey(
+                views
+                    .iter()
+                    .map(|(levels, codes)| levels[codes[row] as usize].clone())
+                    .collect(),
+            );
+            groups.entry(key).or_default().push(row);
+        }
+        Ok(GroupIndex {
+            spec: spec.clone(),
+            groups,
+            n_rows: ds.n_rows(),
+        })
+    }
+
+    /// The spec this index was built from.
+    pub fn spec(&self) -> &GroupSpec {
+        &self.spec
+    }
+
+    /// Number of non-empty groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of rows in the underlying dataset.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Iterates over `(key, row-indices)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &[usize])> {
+        self.groups.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// The row indices of a specific group, if present.
+    pub fn rows(&self, key: &GroupKey) -> Option<&[usize]> {
+        self.groups.get(key).map(Vec::as_slice)
+    }
+
+    /// All group keys in order.
+    pub fn keys(&self) -> Vec<&GroupKey> {
+        self.groups.keys().collect()
+    }
+
+    /// The size of each group in key order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.groups.values().map(Vec::len).collect()
+    }
+
+    /// The fraction of rows in each group, in key order.
+    pub fn proportions(&self) -> Vec<f64> {
+        let n = self.n_rows.max(1) as f64;
+        self.groups.values().map(|v| v.len() as f64 / n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Role;
+
+    fn sample() -> Dataset {
+        Dataset::builder()
+            .categorical_with_role(
+                "sex",
+                vec!["male", "female"],
+                vec![0, 0, 1, 1, 0, 1],
+                Role::Protected,
+            )
+            .categorical_with_role(
+                "race",
+                vec!["a", "b"],
+                vec![0, 1, 0, 1, 0, 0],
+                Role::Protected,
+            )
+            .boolean_with_role(
+                "hired",
+                vec![true, false, true, false, true, false],
+                Role::Label,
+            )
+            .numeric("exp", vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_column_grouping() {
+        let ds = sample();
+        let gi = GroupIndex::build(&ds, &GroupSpec::single("sex")).unwrap();
+        assert_eq!(gi.n_groups(), 2);
+        let male = gi.rows(&GroupKey(vec!["male".into()])).unwrap();
+        assert_eq!(male, &[0, 1, 4]);
+        let female = gi.rows(&GroupKey(vec!["female".into()])).unwrap();
+        assert_eq!(female, &[2, 3, 5]);
+    }
+
+    #[test]
+    fn intersectional_grouping() {
+        let ds = sample();
+        let gi = GroupIndex::build(&ds, &GroupSpec::intersection(vec!["sex", "race"])).unwrap();
+        assert_eq!(gi.n_groups(), 4);
+        let key = GroupKey(vec!["female".into(), "a".into()]);
+        assert_eq!(gi.rows(&key).unwrap(), &[2, 5]);
+        assert_eq!(gi.sizes().iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn boolean_columns_group_as_two_levels() {
+        let ds = sample();
+        let gi = GroupIndex::build(&ds, &GroupSpec::single("hired")).unwrap();
+        assert_eq!(gi.n_groups(), 2);
+        assert_eq!(gi.rows(&GroupKey(vec!["true".into()])).unwrap(), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn numeric_columns_rejected() {
+        let ds = sample();
+        assert!(GroupIndex::build(&ds, &GroupSpec::single("exp")).is_err());
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let ds = sample();
+        let gi = GroupIndex::build(&ds, &GroupSpec::single("sex")).unwrap();
+        let total: f64 = gi.proportions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let ds = sample();
+        let spec = GroupSpec {
+            columns: Vec::new(),
+        };
+        assert!(GroupIndex::build(&ds, &spec).is_err());
+    }
+
+    #[test]
+    fn group_key_display() {
+        let k = GroupKey(vec!["female".into(), "non-caucasian".into()]);
+        assert_eq!(k.to_string(), "female×non-caucasian");
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal CSV reading and writing.
+//!
+//! Supports the subset of CSV that fairness datasets in the wild use:
+//! comma-separated, optional double-quoting, a mandatory header row.
+//! Column types are inferred (numeric if every value parses as `f64`,
+//! boolean if every value is `true`/`false`, categorical otherwise) and can
+//! be refined with roles afterwards via [`Dataset::with_role`].
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use std::io::{BufRead, Write};
+
+/// Parses one CSV record, honouring double quotes.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(Error::Csv {
+                    line: line_no,
+                    message: "unexpected quote inside unquoted field".to_owned(),
+                })
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(Error::Csv {
+            line: line_no,
+            message: "unterminated quoted field".to_owned(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Quotes a field if it contains a comma, quote or newline.
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Reads a dataset from CSV text. All columns get [`crate::Role::Feature`];
+/// adjust roles afterwards.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Dataset> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(line))) => parse_record(&line, 1)?,
+        Some((_, Err(e))) => {
+            return Err(Error::Csv {
+                line: 1,
+                message: e.to_string(),
+            })
+        }
+        None => {
+            return Err(Error::Csv {
+                line: 1,
+                message: "empty input".to_owned(),
+            })
+        }
+    };
+    let n_cols = header.len();
+    let mut raw: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| Error::Csv {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+        if line.is_empty() {
+            continue;
+        }
+        let record = parse_record(&line, line_no)?;
+        if record.len() != n_cols {
+            return Err(Error::Csv {
+                line: line_no,
+                message: format!("expected {n_cols} fields, found {}", record.len()),
+            });
+        }
+        for (col, value) in raw.iter_mut().zip(record) {
+            col.push(value);
+        }
+    }
+
+    let mut builder = Dataset::builder();
+    for (name, values) in header.iter().zip(raw.iter()) {
+        builder = builder_push_inferred(builder, name, values);
+    }
+    builder.build()
+}
+
+fn builder_push_inferred(
+    builder: crate::dataset::DatasetBuilder,
+    name: &str,
+    values: &[String],
+) -> crate::dataset::DatasetBuilder {
+    if !values.is_empty() && values.iter().all(|v| v == "true" || v == "false") {
+        return builder.boolean(name, values.iter().map(|v| v == "true").collect());
+    }
+    let nums: Option<Vec<f64>> = values.iter().map(|v| v.trim().parse().ok()).collect();
+    match nums {
+        Some(nums) if !values.is_empty() => builder.numeric(name, nums),
+        _ => builder.categorical_strs(name, values),
+    }
+}
+
+/// Reads a dataset from a CSV string.
+pub fn read_csv_str(text: &str) -> Result<Dataset> {
+    read_csv(std::io::BufReader::new(text.as_bytes()))
+}
+
+/// Writes a dataset as CSV.
+pub fn write_csv<W: Write>(ds: &Dataset, mut writer: W) -> Result<()> {
+    let header: Vec<String> = ds
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| quote_field(&f.name))
+        .collect();
+    writeln!(writer, "{}", header.join(",")).map_err(|e| Error::Csv {
+        line: 1,
+        message: e.to_string(),
+    })?;
+    for row in 0..ds.n_rows() {
+        let values = ds.row(row)?;
+        let fields: Vec<String> = values.iter().map(|v| quote_field(&v.to_string())).collect();
+        writeln!(writer, "{}", fields.join(",")).map_err(|e| Error::Csv {
+            line: row + 2,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(())
+}
+
+/// Writes a dataset to a CSV string.
+pub fn write_csv_string(ds: &Dataset) -> Result<String> {
+    let mut out = Vec::new();
+    write_csv(ds, &mut out)?;
+    String::from_utf8(out).map_err(|e| Error::Invalid(e.to_string()))
+}
+
+/// Re-export for role adjustment after reading.
+pub use crate::schema::Role as CsvRole;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_inferred_types() {
+        let csv = "sex,age,hired\nmale,34,true\nfemale,29,false\nfemale,41,true\n";
+        let ds = read_csv_str(csv).unwrap();
+        assert_eq!(ds.n_rows(), 3);
+        assert_eq!(ds.numeric("age").unwrap(), &[34.0, 29.0, 41.0]);
+        assert_eq!(ds.boolean("hired").unwrap(), &[true, false, true]);
+        let (levels, codes) = ds.categorical("sex").unwrap();
+        assert_eq!(levels, &["male".to_owned(), "female".to_owned()]);
+        assert_eq!(codes, &[0, 1, 1]);
+
+        let out = write_csv_string(&ds).unwrap();
+        let ds2 = read_csv_str(&out).unwrap();
+        assert_eq!(ds2.numeric("age").unwrap(), ds.numeric("age").unwrap());
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "name,score\n\"Doe, Jane\",1\n\"say \"\"hi\"\"\",2\n";
+        let ds = read_csv_str(csv).unwrap();
+        let (levels, _) = ds.categorical("name").unwrap();
+        assert_eq!(levels[0], "Doe, Jane");
+        assert_eq!(levels[1], "say \"hi\"");
+        // roundtrip keeps quoting valid
+        let out = write_csv_string(&ds).unwrap();
+        let ds2 = read_csv_str(&out).unwrap();
+        let (levels2, _) = ds2.categorical("name").unwrap();
+        assert_eq!(levels2, levels);
+    }
+
+    #[test]
+    fn field_count_mismatch_is_error() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = read_csv_str(csv).unwrap_err();
+        assert!(matches!(err, Error::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(read_csv_str("").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let csv = "a\n\"oops\n";
+        assert!(read_csv_str(csv).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "a\n1\n\n2\n";
+        let ds = read_csv_str(csv).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+    }
+
+    #[test]
+    fn all_numeric_column_with_empty_rows_is_categorical() {
+        // a blank cell forces categorical fallback
+        let csv = "a\n1\nx\n";
+        let ds = read_csv_str(csv).unwrap();
+        assert!(ds.categorical("a").is_ok());
+    }
+}

@@ -1,0 +1,258 @@
+//! Dataset profiling: per-column summaries auditors read before any
+//! metric runs (sizes, level frequencies, numeric ranges, label balance).
+
+use crate::column::Column;
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::schema::Role;
+use std::fmt;
+
+/// Per-column profile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnProfile {
+    /// Categorical column: `(level, count)` pairs in level order.
+    Categorical {
+        /// Column name.
+        name: String,
+        /// Fairness role.
+        role: Role,
+        /// Level frequencies.
+        levels: Vec<(String, usize)>,
+    },
+    /// Numeric column summary.
+    Numeric {
+        /// Column name.
+        name: String,
+        /// Fairness role.
+        role: Role,
+        /// Minimum value.
+        min: f64,
+        /// Maximum value.
+        max: f64,
+        /// Mean.
+        mean: f64,
+        /// Sample standard deviation.
+        std: f64,
+    },
+    /// Boolean column: count of `true`.
+    Boolean {
+        /// Column name.
+        name: String,
+        /// Fairness role.
+        role: Role,
+        /// Number of `true` values.
+        positives: usize,
+        /// Total rows.
+        total: usize,
+    },
+}
+
+impl ColumnProfile {
+    /// Column name.
+    pub fn name(&self) -> &str {
+        match self {
+            ColumnProfile::Categorical { name, .. }
+            | ColumnProfile::Numeric { name, .. }
+            | ColumnProfile::Boolean { name, .. } => name,
+        }
+    }
+}
+
+/// The full dataset profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Per-column profiles in schema order.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl DatasetProfile {
+    /// Profile of the named column, if present.
+    pub fn column(&self, name: &str) -> Option<&ColumnProfile> {
+        self.columns.iter().find(|c| c.name() == name)
+    }
+
+    /// The smallest protected-group share across all protected columns —
+    /// the first number an intersectionality-aware auditor checks.
+    pub fn min_protected_share(&self) -> Option<f64> {
+        let mut min: Option<f64> = None;
+        for c in &self.columns {
+            if let ColumnProfile::Categorical { role, levels, .. } = c {
+                if *role == Role::Protected {
+                    for &(_, count) in levels {
+                        let share = count as f64 / self.n_rows.max(1) as f64;
+                        min = Some(min.map_or(share, |m: f64| m.min(share)));
+                    }
+                }
+            }
+        }
+        min
+    }
+}
+
+impl fmt::Display for DatasetProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} rows, {} columns", self.n_rows, self.columns.len())?;
+        for c in &self.columns {
+            match c {
+                ColumnProfile::Categorical { name, role, levels } => {
+                    let parts: Vec<String> =
+                        levels.iter().map(|(l, n)| format!("{l}: {n}")).collect();
+                    writeln!(f, "  {name} [{}] {{{}}}", role.name(), parts.join(", "))?;
+                }
+                ColumnProfile::Numeric {
+                    name,
+                    role,
+                    min,
+                    max,
+                    mean,
+                    std,
+                } => {
+                    writeln!(
+                        f,
+                        "  {name} [{}] range [{min:.3}, {max:.3}], mean {mean:.3} ± {std:.3}",
+                        role.name()
+                    )?;
+                }
+                ColumnProfile::Boolean {
+                    name,
+                    role,
+                    positives,
+                    total,
+                } => {
+                    writeln!(
+                        f,
+                        "  {name} [{}] {positives}/{total} true ({:.1}%)",
+                        role.name(),
+                        100.0 * *positives as f64 / (*total).max(1) as f64
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Profiles a dataset.
+pub fn profile(ds: &Dataset) -> Result<DatasetProfile> {
+    let mut columns = Vec::new();
+    for meta in ds.schema().fields() {
+        let col = ds.column(&meta.name)?;
+        let profile = match col {
+            Column::Categorical { levels, codes } => {
+                let mut counts = vec![0usize; levels.len()];
+                for &c in codes {
+                    counts[c as usize] += 1;
+                }
+                ColumnProfile::Categorical {
+                    name: meta.name.clone(),
+                    role: meta.role,
+                    levels: levels.iter().cloned().zip(counts).collect(),
+                }
+            }
+            Column::Numeric(values) => {
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                for &v in values {
+                    min = min.min(v);
+                    max = max.max(v);
+                    sum += v;
+                }
+                let n = values.len().max(1) as f64;
+                let mean = sum / n;
+                let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                    / (values.len().saturating_sub(1)).max(1) as f64;
+                ColumnProfile::Numeric {
+                    name: meta.name.clone(),
+                    role: meta.role,
+                    min,
+                    max,
+                    mean,
+                    std: var.sqrt(),
+                }
+            }
+            Column::Boolean(values) => ColumnProfile::Boolean {
+                name: meta.name.clone(),
+                role: meta.role,
+                positives: values.iter().filter(|&&b| b).count(),
+                total: values.len(),
+            },
+        };
+        columns.push(profile);
+    }
+    Ok(DatasetProfile {
+        n_rows: ds.n_rows(),
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::builder()
+            .categorical_with_role(
+                "sex",
+                vec!["male", "female"],
+                vec![0, 0, 0, 1],
+                Role::Protected,
+            )
+            .numeric("age", vec![20.0, 30.0, 40.0, 50.0])
+            .boolean_with_role("hired", vec![true, true, false, false], Role::Label)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn profile_summarizes_each_column() {
+        let p = profile(&ds()).unwrap();
+        assert_eq!(p.n_rows, 4);
+        match p.column("sex").unwrap() {
+            ColumnProfile::Categorical { levels, role, .. } => {
+                assert_eq!(*role, Role::Protected);
+                assert_eq!(levels, &[("male".to_owned(), 3), ("female".to_owned(), 1)]);
+            }
+            other => panic!("wrong profile: {other:?}"),
+        }
+        match p.column("age").unwrap() {
+            ColumnProfile::Numeric { min, max, mean, .. } => {
+                assert_eq!(*min, 20.0);
+                assert_eq!(*max, 50.0);
+                assert!((mean - 35.0).abs() < 1e-12);
+            }
+            other => panic!("wrong profile: {other:?}"),
+        }
+        match p.column("hired").unwrap() {
+            ColumnProfile::Boolean {
+                positives, total, ..
+            } => {
+                assert_eq!((*positives, *total), (2, 4));
+            }
+            other => panic!("wrong profile: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_protected_share() {
+        let p = profile(&ds()).unwrap();
+        assert!((p.min_protected_share().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_every_column() {
+        let text = profile(&ds()).unwrap().to_string();
+        assert!(text.contains("sex [protected]"));
+        assert!(text.contains("age [feature]"));
+        assert!(text.contains("hired [label]"));
+        assert!(text.contains("female: 1"));
+    }
+
+    #[test]
+    fn missing_column_is_none() {
+        let p = profile(&ds()).unwrap();
+        assert!(p.column("zzz").is_none());
+    }
+}

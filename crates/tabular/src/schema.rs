@@ -1,0 +1,189 @@
+//! Schema: column names, types and fairness roles.
+
+use crate::error::{Error, Result};
+use crate::value::DType;
+
+/// The role a column plays in fairness analysis.
+///
+/// The paper's notation (Section III): the protected attribute `A`
+/// ([`Role::Protected`]), other attributes `S` ([`Role::Feature`]), the
+/// actual class `Y` ([`Role::Label`]) and the classifier output `R`
+/// ([`Role::Prediction`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Ordinary model input (the paper's `S`).
+    Feature,
+    /// Legally protected attribute (the paper's `A`), e.g. sex, race, age.
+    Protected,
+    /// Ground-truth outcome (the paper's `Y`).
+    Label,
+    /// Model output (the paper's `R`).
+    Prediction,
+    /// Per-instance weight (produced e.g. by reweighing mitigation).
+    Weight,
+    /// Present in the data but excluded from modeling and metrics.
+    Ignored,
+}
+
+impl Role {
+    /// Static name for error messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Feature => "feature",
+            Role::Protected => "protected",
+            Role::Label => "label",
+            Role::Prediction => "prediction",
+            Role::Weight => "weight",
+            Role::Ignored => "ignored",
+        }
+    }
+}
+
+/// Metadata for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldMeta {
+    /// Column name, unique within a dataset.
+    pub name: String,
+    /// Data type of the column.
+    pub dtype: DType,
+    /// Fairness role of the column.
+    pub role: Role,
+}
+
+/// An ordered collection of [`FieldMeta`], one per column.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    fields: Vec<FieldMeta>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field, rejecting duplicate names.
+    pub fn push(&mut self, meta: FieldMeta) -> Result<()> {
+        if self.fields.iter().any(|f| f.name == meta.name) {
+            return Err(Error::DuplicateColumn(meta.name));
+        }
+        self.fields.push(meta);
+        Ok(())
+    }
+
+    /// All fields in column order.
+    pub fn fields(&self) -> &[FieldMeta] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_owned()))
+    }
+
+    /// Metadata for a column by name.
+    pub fn field(&self, name: &str) -> Result<&FieldMeta> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Names of all columns with the given role, in column order.
+    pub fn names_with_role(&self, role: Role) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.role == role)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// The unique column with the given role, if exactly one exists.
+    pub fn single_with_role(&self, role: Role) -> Result<&FieldMeta> {
+        let mut matches = self.fields.iter().filter(|f| f.role == role);
+        match (matches.next(), matches.next()) {
+            (Some(f), None) => Ok(f),
+            (None, _) => Err(Error::MissingRole(role.name())),
+            (Some(_), Some(_)) => Err(Error::Invalid(format!(
+                "multiple columns have role {}",
+                role.name()
+            ))),
+        }
+    }
+
+    /// Changes the role of an existing column.
+    pub fn set_role(&mut self, name: &str, role: Role) -> Result<()> {
+        let idx = self.index_of(name)?;
+        self.fields[idx].role = role;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str, role: Role) -> FieldMeta {
+        FieldMeta {
+            name: name.into(),
+            dtype: DType::Numeric,
+            role,
+        }
+    }
+
+    #[test]
+    fn push_rejects_duplicates() {
+        let mut s = Schema::new();
+        s.push(meta("a", Role::Feature)).unwrap();
+        assert_eq!(
+            s.push(meta("a", Role::Label)).unwrap_err(),
+            Error::DuplicateColumn("a".into())
+        );
+    }
+
+    #[test]
+    fn role_queries() {
+        let mut s = Schema::new();
+        s.push(meta("a", Role::Feature)).unwrap();
+        s.push(meta("sex", Role::Protected)).unwrap();
+        s.push(meta("race", Role::Protected)).unwrap();
+        s.push(meta("y", Role::Label)).unwrap();
+        assert_eq!(s.names_with_role(Role::Protected), vec!["sex", "race"]);
+        assert_eq!(s.single_with_role(Role::Label).unwrap().name, "y");
+        assert!(matches!(
+            s.single_with_role(Role::Prediction).unwrap_err(),
+            Error::MissingRole("prediction")
+        ));
+        assert!(s.single_with_role(Role::Protected).is_err());
+    }
+
+    #[test]
+    fn set_role_updates() {
+        let mut s = Schema::new();
+        s.push(meta("a", Role::Feature)).unwrap();
+        s.set_role("a", Role::Ignored).unwrap();
+        assert_eq!(s.field("a").unwrap().role, Role::Ignored);
+        assert!(s.set_role("zz", Role::Label).is_err());
+    }
+
+    #[test]
+    fn index_lookup() {
+        let mut s = Schema::new();
+        s.push(meta("a", Role::Feature)).unwrap();
+        s.push(meta("b", Role::Feature)).unwrap();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("c").is_err());
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Scalar values and data types.
+
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Dictionary-encoded categorical data.
+    Categorical,
+    /// 64-bit floating point data.
+    Numeric,
+    /// Boolean data (used for binary labels and predictions).
+    Boolean,
+}
+
+impl DType {
+    /// Static name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Categorical => "categorical",
+            DType::Numeric => "numeric",
+            DType::Boolean => "boolean",
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single cell value, produced when reading a dataset row-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A categorical level (the resolved level name, not the code).
+    Cat(String),
+    /// A numeric value.
+    Num(f64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Value::Cat(_) => DType::Categorical,
+            Value::Num(_) => DType::Numeric,
+            Value::Bool(_) => DType::Boolean,
+        }
+    }
+
+    /// Returns the categorical level if this is a `Cat` value.
+    pub fn as_cat(&self) -> Option<&str> {
+        match self {
+            Value::Cat(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value if this is a `Num` value.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean value if this is a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Cat(s) => f.write_str(s),
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Num(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Cat(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Cat(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_names() {
+        assert_eq!(DType::Categorical.name(), "categorical");
+        assert_eq!(DType::Numeric.to_string(), "numeric");
+        assert_eq!(DType::Boolean.name(), "boolean");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::from("female");
+        assert_eq!(v.dtype(), DType::Categorical);
+        assert_eq!(v.as_cat(), Some("female"));
+        assert_eq!(v.as_num(), None);
+
+        let v = Value::from(3.5);
+        assert_eq!(v.as_num(), Some(3.5));
+        assert_eq!(v.as_bool(), None);
+
+        let v = Value::from(true);
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(v.as_cat(), None);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::from(2.0).to_string(), "2");
+        assert_eq!(Value::from(false).to_string(), "false");
+    }
+}

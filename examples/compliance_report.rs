@@ -1,0 +1,32 @@
+//! Compliance report: the single markdown document a review board reads —
+//! statutory basis, metric audit, definition selection and the phase-
+//! tagged deployment checklist.
+//!
+//! Run with: `cargo run --example compliance_report`
+
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 5000,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+
+    let report = compliance_report(
+        &data.dataset,
+        &["sex"],
+        &UseCase::eu_hiring_default(),
+        &ReportOptions {
+            system_name: "acme-recruiting-v2".to_owned(),
+            ..ReportOptions::default()
+        },
+    )?;
+    println!("{report}");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Mitigation tour on an ECOA credit scenario: reweighing, group
+//! thresholds and quantile repair, with the accuracy/fairness trade-off
+//! printed for each (the Section IV.A equal-treatment vs equal-outcome
+//! tension made concrete).
+//!
+//! Run with: `cargo run --example credit_mitigation`
+
+use fairbridge::learn::eval::accuracy;
+use fairbridge::learn::split::train_test_split;
+use fairbridge::mitigate::ot::repair_dataset;
+use fairbridge::prelude::*;
+use fairbridge::synth::credit::{generate, CreditConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gap_and_acc(test: &Dataset, preds: Vec<bool>, protected: &str) -> Result<(f64, f64), String> {
+    let acc = accuracy(test.labels().map_err(|e| e.to_string())?, &preds);
+    let annotated = test
+        .with_predictions("pred", preds)
+        .map_err(|e| e.to_string())?;
+    let o = Outcomes::from_dataset(&annotated, &[protected])?;
+    Ok((demographic_parity(&o, 0).summary.gap, acc))
+}
+
+fn train_model(train: &Dataset, weighted: bool) -> Result<TrainedModel, String> {
+    let (enc, x) = FeatureEncoder::fit_transform(train, EncoderConfig::default())?;
+    let y = train.labels().map_err(|e| e.to_string())?;
+    let model = if weighted {
+        LogisticTrainer::default().fit_weighted(&x, y, &train.weights())
+    } else {
+        LogisticTrainer::default().fit(&x, y)
+    };
+    Ok(TrainedModel::new(enc, Box::new(model)))
+}
+
+fn main() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = generate(
+        &CreditConfig {
+            n: 12_000,
+            ..CreditConfig::biased()
+        },
+        &mut rng,
+    );
+    let (train, test) = train_test_split(&data.dataset, 0.3, &mut rng)?;
+    let protected = "age_group";
+
+    println!("{:<28} {:>10} {:>10}", "strategy", "parity gap", "accuracy");
+
+    // Baseline: plain training on biased approvals.
+    let base = train_model(&train, false)?;
+    let (gap, acc) = gap_and_acc(&test, base.predict_dataset(&test)?, protected)?;
+    println!("{:<28} {gap:>10.3} {acc:>10.3}", "baseline");
+
+    // Pre-processing: reweighing.
+    let reweighed = reweigh(&train, &[protected])?;
+    let rw_model = train_model(&reweighed.dataset, true)?;
+    let (gap, acc) = gap_and_acc(&test, rw_model.predict_dataset(&test)?, protected)?;
+    println!("{:<28} {gap:>10.3} {acc:>10.3}", "reweighing (pre)");
+
+    // Post-processing: per-group thresholds for demographic parity.
+    let scores = base.score_dataset(&train)?;
+    let thresholds = GroupThresholds::fit(
+        &train,
+        &[protected],
+        &scores,
+        ThresholdObjective::DemographicParity,
+    )?;
+    let test_scores = base.score_dataset(&test)?;
+    let preds = thresholds.apply(&test, &[protected], &test_scores)?;
+    let (gap, acc) = gap_and_acc(&test, preds, protected)?;
+    println!("{:<28} {gap:>10.3} {acc:>10.3}", "group thresholds (post)");
+
+    // Distributional: quantile repair of the financial features.
+    let repaired_train = repair_dataset(&train, protected, &["income", "employment_years"], 1.0)?;
+    let repaired_test = repair_dataset(&test, protected, &["income", "employment_years"], 1.0)?;
+    let ot_model = train_model(&repaired_train, false)?;
+    let (gap, acc) = gap_and_acc(
+        &repaired_test,
+        ot_model.predict_dataset(&repaired_test)?,
+        protected,
+    )?;
+    println!("{:<28} {gap:>10.3} {acc:>10.3}", "quantile repair (dist)");
+
+    println!(
+        "\nEvery mitigation trades accuracy against the biased labels for a \
+         smaller group gap — the Section IV.A equal-treatment/equal-outcome \
+         tension in numbers."
+    );
+    Ok(())
+}

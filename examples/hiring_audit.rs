@@ -1,0 +1,61 @@
+//! The full Section IV.B story on the paper's hiring example: fairness
+//! through unawareness fails because the university proxy carries the sex
+//! signal.
+//!
+//! Run with: `cargo run --example hiring_audit`
+
+use fairbridge::audit::proxy::{association_ranking, predictability_audit, unawareness_experiment};
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 8000,
+            bias_against_female: 0.35,
+            proxy_strength: 0.92,
+            ..HiringConfig::default()
+        },
+        &mut rng,
+    );
+    let ds = &data.dataset;
+
+    println!("== 1. association ranking (which features leak sex?) ==");
+    for assoc in association_ranking(ds, "sex")? {
+        println!(
+            "  {:<16} association {:.3}  nmi {:.3}",
+            assoc.feature, assoc.association, assoc.nmi
+        );
+    }
+
+    println!("\n== 2. predictability audit (can a model recover sex?) ==");
+    let audit = predictability_audit(ds, "sex", "female", &mut rng)?;
+    println!("  held-out AUC for recovering `sex`: {:.3}", audit.auc);
+    println!("  leading channels:");
+    for (name, w) in audit.channels.iter().take(3) {
+        println!("    {name:<24} coefficient {w:+.3}");
+    }
+
+    println!("\n== 3. unawareness experiment (drop sex, keep bias?) ==");
+    let exp = unawareness_experiment(ds, "sex", &mut rng)?;
+    println!(
+        "  aware model:   parity gap {:.3}, accuracy {:.3}",
+        exp.gap_aware, exp.acc_aware
+    );
+    println!(
+        "  unaware model: parity gap {:.3}, accuracy {:.3}",
+        exp.gap_unaware, exp.acc_unaware
+    );
+    println!(
+        "  bias retention after removing the attribute: {:.0}%",
+        100.0 * exp.bias_retention()
+    );
+    println!(
+        "\nSection IV.B, reproduced: removing the sensitive attribute kept \
+         {:.0}% of the bias — the university proxy carries it.",
+        100.0 * exp.bias_retention()
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Fairness gerrymandering (paper Section IV.C): a system fair on every
+//! marginal protected attribute but biased on intersections, and the
+//! subgroup audit that exposes it.
+//!
+//! Run with: `cargo run --example intersectional_audit`
+
+use fairbridge::audit::subgroup::tree_audit;
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(23);
+    let ds = fairbridge::synth::intersectional::generate(
+        &IntersectionalConfig {
+            n: 12_000,
+            ..IntersectionalConfig::default()
+        },
+        &mut rng,
+    );
+    let decisions = ds.labels().map_err(|e| e.to_string())?.to_vec();
+
+    println!("== marginal audits (what a naive check sees) ==");
+    for attr in ["gender", "race"] {
+        let o = Outcomes::from_labels_as_decisions(&ds, &[attr])?;
+        let parity = demographic_parity(&o, 0);
+        println!(
+            "  {attr:<8} parity gap {:.4} → {}",
+            parity.summary.gap,
+            if parity.is_fair(0.05) {
+                "looks fair"
+            } else {
+                "UNFAIR"
+            }
+        );
+    }
+
+    println!("\n== exhaustive subgroup audit (depth 2, z-test filtered) ==");
+    let auditor = SubgroupAuditor {
+        max_depth: 2,
+        min_support: 50,
+        alpha: 0.01,
+    };
+    let findings = auditor.audit(&ds, &["gender", "race"], &decisions)?;
+    for f in findings.iter().take(6) {
+        println!(
+            "  {:<40} n={:<6} rate {:.3} vs complement {:.3} (gap {:+.3}, p={:.1e})",
+            f.describe(),
+            f.size,
+            f.rate,
+            f.complement_rate,
+            f.gap,
+            f.p_value
+        );
+    }
+
+    println!("\n== learned (tree) subgroup audit ==");
+    for f in tree_audit(&ds, &["gender", "race"], &decisions, 3, 50)?
+        .iter()
+        .take(4)
+    {
+        println!(
+            "  {:<40} n={:<6} gap {:+.3} (p={:.1e})",
+            f.describe(),
+            f.size,
+            f.gap,
+            f.p_value
+        );
+    }
+
+    println!(
+        "\nSection IV.C, reproduced: both marginal audits pass while \
+         non-Caucasian males and Caucasian females are disproportionally \
+         unfavored — only the intersectional audit sees it."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Legal navigator: from a deployment description to its statutory basis,
+//! applicable doctrine, recommended definitions and a phase-tagged
+//! deployment checklist — the paper's Sections II, IV and V end to end.
+//!
+//! Run with: `cargo run --example legal_navigator`
+
+use fairbridge::legal::doctrine_equality_notion;
+use fairbridge::prelude::*;
+
+fn navigate(title: &str, uc: &UseCase) {
+    println!("════ {title} ════");
+    println!(
+        "jurisdiction {}, sector {:?}, attribute {:?}",
+        uc.jurisdiction, uc.sector, uc.attribute
+    );
+
+    // Section II: statutes and doctrine.
+    let statutes = statutes_covering(uc.jurisdiction, uc.attribute, uc.sector);
+    println!("\nstatutory basis ({}):", statutes.len());
+    for s in &statutes {
+        println!("  • {} ({})", s.name, s.year);
+    }
+    let doctrine = uc.doctrine();
+    println!(
+        "doctrine: {:?} (intent required: {}, pursues {})",
+        doctrine,
+        doctrine.requires_intent(),
+        doctrine_equality_notion(doctrine)
+    );
+    println!("evidentiary definitions under this doctrine:");
+    for d in doctrine.evidentiary_definitions() {
+        println!("  • {} — {}", d.name(), d.formula());
+    }
+
+    // Section IV: the criteria engine.
+    println!("\ncriteria-engine recommendation:");
+    print!("{}", recommend(uc));
+
+    // Section V (future work realized): the deployment checklist.
+    println!("\ndeployment checklist:");
+    print!("{}", compile_guidelines(uc));
+    println!();
+}
+
+fn main() {
+    navigate(
+        "EU hiring system (substantive equality)",
+        &UseCase::eu_hiring_default(),
+    );
+    navigate(
+        "US credit scoring (no protected attribute recorded)",
+        &UseCase::us_credit_default(),
+    );
+
+    // A third profile: US employment with trusted labels and an
+    // adversarial vendor.
+    let vendor = UseCase {
+        jurisdiction: Jurisdiction::Us,
+        sector: Sector::Employment,
+        attribute: ProtectedAttribute::Race,
+        equality_goal: EqualityNotion::EqualTreatment,
+        labels_trustworthy: true,
+        adversarial_owner: true,
+        multiple_protected_attributes: true,
+        protected_attribute_recorded: true,
+        ..UseCase::us_credit_default()
+    };
+    navigate("US employment via third-party vendor (Title VII)", &vendor);
+}

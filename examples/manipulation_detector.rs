@@ -1,0 +1,118 @@
+//! Robustness to manipulation (paper Section IV.E): the masking attack
+//! that hides a sensitive attribute from explainers while keeping the
+//! discriminatory behaviour, and the outcome-based detector that
+//! catches it.
+//!
+//! Run with: `cargo run --example manipulation_detector`
+
+use fairbridge::audit::manipulation::{
+    coefficient_importance, detect_masking, loco_importance, MaskingAttack,
+};
+use fairbridge::learn::matrix::Matrix;
+use fairbridge::learn::Scorer;
+use fairbridge::prelude::*;
+
+fn parity_gap<S: Scorer>(model: &S, x: &Matrix, group: &[bool]) -> f64 {
+    let (mut p0, mut n0, mut p1, mut n1) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (i, row) in x.rows().enumerate() {
+        let sel = model.score(row) >= 0.5;
+        if group[i] {
+            n1 += 1.0;
+            if sel {
+                p1 += 1.0;
+            }
+        } else {
+            n0 += 1.0;
+            if sel {
+                p0 += 1.0;
+            }
+        }
+    }
+    (p0 / n0 - p1 / n1).abs()
+}
+
+fn main() {
+    // Features: [sex=female, university=metro (proxy), merit]; labels
+    // biased against the protected group.
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    let mut group = Vec::new();
+    for i in 0..600 {
+        let female = i % 2 == 1;
+        let merit = (i % 10) as f64 / 10.0;
+        rows.push(vec![
+            if female { 1.0 } else { 0.0 },
+            if female { 1.0 } else { 0.0 },
+            merit,
+        ]);
+        y.push(if female { merit > 0.7 } else { merit > 0.3 });
+        group.push(female);
+    }
+    let x = Matrix::from_rows(&rows);
+    let names = vec![
+        "sex=female".to_owned(),
+        "university=metro".to_owned(),
+        "merit".to_owned(),
+    ];
+
+    // Honest model.
+    let honest = LogisticTrainer {
+        epochs: 2000,
+        ..LogisticTrainer::default()
+    }
+    .fit(&x, &y);
+    let honest_imp = coefficient_importance(&honest, &names);
+
+    // Adversarially masked model (Dimanov-style, paper ref [3]): the
+    // attack suppresses the *explicit* sensitive coefficient; the proxy
+    // silently absorbs the signal.
+    let masked = MaskingAttack {
+        target_features: vec![0], // hide "sex=female"
+        mu: 500.0,
+        ..MaskingAttack::default()
+    }
+    .train(&x, &y);
+    let masked_imp = coefficient_importance(&masked, &names);
+
+    println!(
+        "{:<20} {:>10} {:>10}",
+        "feature", "honest |w|", "masked |w|"
+    );
+    for (i, name) in names.iter().enumerate() {
+        println!(
+            "{:<20} {:>10.3} {:>10.3}",
+            name, honest_imp.scores[i], masked_imp.scores[i]
+        );
+    }
+
+    let gap_honest = parity_gap(&honest, &x, &group);
+    let gap_masked = parity_gap(&masked, &x, &group);
+    println!("\nparity gap: honest {gap_honest:.3}, masked {gap_masked:.3}");
+
+    // LOCO agrees with the coefficients that the channel looks silent.
+    let loco = loco_importance(&masked, &x, &y, &names);
+    println!(
+        "masked LOCO importance of sex: {:.4}",
+        loco.of("sex=female").unwrap()
+    );
+
+    // The detector cross-checks explanations against outcomes. The
+    // auditor only knows the declared sensitive attribute — exactly the
+    // information asymmetry the attack exploits.
+    let verdict = detect_masking(&masked_imp, &["sex=female"], gap_masked, 0.1, 0.15);
+    println!(
+        "\ndetector verdict: explained importance {:.3}, parity gap {:.3} → {}",
+        verdict.explained_importance,
+        verdict.parity_gap,
+        if verdict.suspicious {
+            "MASKING SUSPECTED"
+        } else {
+            "consistent"
+        }
+    );
+    println!(
+        "Section IV.E, reproduced: the attack keeps accuracy and bias while \
+         zeroing the explained contribution of the sensitive channel; only \
+         outcome-based auditing exposes it."
+    );
+}

@@ -1,0 +1,96 @@
+//! Measurement bias (paper §IV.A "historical bias", §V on label trust):
+//! a COMPAS-like world where true behaviour is identical across groups
+//! but over-policing inflates the protected group's observed labels — and
+//! every metric computed against those labels launders the injustice.
+//!
+//! Run with: `cargo run --example measurement_bias`
+
+use fairbridge::metrics::odds::equalized_odds;
+use fairbridge::prelude::*;
+use fairbridge::synth::recidivism::{generate, RecidivismConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn group_rate(codes: &[u32], values: &[bool], code: u32) -> f64 {
+    let v: Vec<bool> = codes
+        .iter()
+        .zip(values)
+        .filter_map(|(&c, &y)| (c == code).then_some(y))
+        .collect();
+    v.iter().filter(|&&y| y).count() as f64 / v.len().max(1) as f64
+}
+
+fn main() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(55);
+    let data = generate(
+        &RecidivismConfig {
+            n: 20_000,
+            ..RecidivismConfig::over_policed()
+        },
+        &mut rng,
+    );
+    let ds = &data.dataset;
+    let (_, race) = ds.categorical("race").map_err(|e| e.to_string())?;
+    let observed = ds.labels().map_err(|e| e.to_string())?;
+
+    println!("== the world ==");
+    println!(
+        "true reoffense rate:      reference {:.3} | protected {:.3}",
+        group_rate(race, &data.reoffended, 0),
+        group_rate(race, &data.reoffended, 1)
+    );
+    println!(
+        "observed re-arrest rate:  reference {:.3} | protected {:.3}",
+        group_rate(race, observed, 0),
+        group_rate(race, observed, 1)
+    );
+
+    // Train the risk tool on what the data says (re-arrests).
+    let cfg = EncoderConfig {
+        include_protected: true,
+        ..EncoderConfig::default()
+    };
+    let (enc, x) = FeatureEncoder::fit_transform(ds, cfg)?;
+    let model = LogisticTrainer::default().fit(&x, observed);
+    let trained = TrainedModel::new(enc, Box::new(model));
+    let preds = trained.predict_dataset(ds)?;
+
+    println!("\n== the risk tool (trained on re-arrests) ==");
+    println!(
+        "flag rate:                reference {:.3} | protected {:.3}",
+        group_rate(race, &preds, 0),
+        group_rate(race, &preds, 1)
+    );
+
+    let annotated = ds
+        .with_predictions("pred", preds)
+        .map_err(|e| e.to_string())?;
+    let o = Outcomes::from_dataset(&annotated, &["race"])?;
+    let vs_observed = equalized_odds(&o, 0)?;
+    let o_truth = Outcomes {
+        labels: Some(data.reoffended.clone()),
+        ..o.clone()
+    };
+    let vs_truth = equalized_odds(&o_truth, 0)?;
+    println!(
+        "FPR gap vs observed labels: {:.3}",
+        vs_observed.fpr_summary.gap
+    );
+    println!(
+        "FPR gap vs LATENT TRUTH:    {:.3}  ← innocents in the protected group",
+        vs_truth.fpr_summary.gap
+    );
+
+    // What the criteria engine says about this deployment.
+    let uc = UseCase {
+        jurisdiction: Jurisdiction::Us,
+        sector: Sector::CriminalJustice,
+        attribute: ProtectedAttribute::Race,
+        equality_goal: EqualityNotion::EqualTreatment,
+        labels_trustworthy: false,
+        ..UseCase::us_credit_default()
+    };
+    println!("\n== criteria engine verdict (labels_trustworthy = false) ==");
+    print!("{}", recommend(&uc));
+    Ok(())
+}

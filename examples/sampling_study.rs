@@ -1,0 +1,99 @@
+//! Sampling requirements (paper §IV.F): how many samples does bias
+//! detection need? Runs the convergence study for the paper's four named
+//! distances and prints the empirical error decay against the √(k/n)
+//! plug-in bound, plus a representation audit showing the noise bound in
+//! action.
+//!
+//! Run with: `cargo run --release --example sampling_study`
+
+use fairbridge::audit::representation::representation_audit;
+use fairbridge::prelude::*;
+use fairbridge::stats::sampling::{
+    continuous_convergence, discrete_convergence, tv_plugin_bound, DistanceKind,
+};
+use fairbridge::stats::Discrete;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Population 50/50, training data 65/35 — the paper's setting: "compare
+    // the distribution of a protected attribute in the general population
+    // against the distribution ... in the training data".
+    let population = Discrete::new(vec![0.5, 0.5]).map_err(|e| e.to_string())?;
+    let training = Discrete::new(vec![0.65, 0.35]).map_err(|e| e.to_string())?;
+    let sizes = [100usize, 1_000, 10_000];
+
+    println!("== estimation error vs sample size (30 trials each) ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>8}",
+        "distance", "n=100", "n=1000", "n=10000", "slope"
+    );
+    for kind in [DistanceKind::TotalVariation, DistanceKind::Hellinger] {
+        let study = discrete_convergence(kind, &population, &training, &sizes, 30, &mut rng);
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>10.4} {:>8.2}",
+            kind.name(),
+            study.rows[0].mean_abs_error,
+            study.rows[1].mean_abs_error,
+            study.rows[2].mean_abs_error,
+            study.loglog_slope()
+        );
+    }
+    for kind in [DistanceKind::Wasserstein1, DistanceKind::MmdRbf] {
+        let study = continuous_convergence(
+            kind,
+            |r: &mut StdRng| r.gen::<f64>(),
+            |r: &mut StdRng| 0.3 + r.gen::<f64>(),
+            &[100, 1_000, 4_000],
+            15,
+            20_000,
+            &mut rng,
+        );
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>10.4} {:>8.2}",
+            kind.name(),
+            study.rows[0].mean_abs_error,
+            study.rows[1].mean_abs_error,
+            study.rows[2].mean_abs_error,
+            study.loglog_slope()
+        );
+    }
+    println!(
+        "√(k/n) plug-in bound:  {:.4} / {:.4} / {:.4}",
+        tv_plugin_bound(2, 100),
+        tv_plugin_bound(2, 1_000),
+        tv_plugin_bound(2, 10_000)
+    );
+
+    println!("\n== representation audit at two sample sizes ==");
+    for n in [40usize, 4_000] {
+        let data = fairbridge::synth::hiring::generate(
+            &HiringConfig {
+                n,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
+        let audit = representation_audit(&data.dataset, "sex", &[0.5, 0.5], 200, &mut rng)?;
+        println!(
+            "n={n:<6} TV {:.3} (CI [{:.3},{:.3}], noise bound {:.3}) → {}",
+            audit.tv,
+            audit.tv_ci.0,
+            audit.tv_ci.1,
+            audit.sampling_bound,
+            if audit.drift_detected() {
+                "DRIFT: female under-representation detected"
+            } else {
+                "within sampling noise — collect more data before concluding"
+            }
+        );
+    }
+    println!(
+        "\n§IV.F, reproduced: the same 1/3-female training distribution is\n\
+         statistically invisible at n=40 and unambiguous at n=4000 — the\n\
+         sample complexity of bias detection in action."
+    );
+    Ok(())
+}

@@ -1,0 +1,252 @@
+//! Integration tests for the extension layer: representation audit,
+//! association spillover, individual fairness, calibration, forests,
+//! reject-option repair, cross-validation, Sinkhorn OT, guidelines and
+//! the compliance report — all through the `fairbridge` facade.
+
+use fairbridge::audit::association::association_audit;
+use fairbridge::audit::representation::representation_audit;
+use fairbridge::learn::calibrate::IsotonicCalibrator;
+use fairbridge::learn::cv::{cross_validate, logistic_trainer};
+use fairbridge::learn::eval::{accuracy, expected_calibration_error};
+use fairbridge::learn::forest::ForestTrainer;
+use fairbridge::metrics::individual::consistency;
+use fairbridge::mitigate::reject_option::fit_margin;
+use fairbridge::prelude::*;
+use fairbridge::stats::sinkhorn::{ordinal_cost, sinkhorn};
+use fairbridge::stats::Discrete;
+use fairbridge::tabular::profile::profile;
+use fairbridge::tabular::GroupKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn biased_hiring(seed: u64, n: usize) -> fairbridge::synth::hiring::HiringData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    )
+}
+
+/// IV.F representation: the hiring generator's 1/3 female fraction is
+/// detected as under-representation against a 50/50 population.
+#[test]
+fn representation_audit_on_hiring_data() {
+    let mut rng = StdRng::seed_from_u64(401);
+    let data = biased_hiring(401, 6000);
+    let audit = representation_audit(&data.dataset, "sex", &[0.5, 0.5], 200, &mut rng).unwrap();
+    assert!(
+        audit.drift_detected(),
+        "tv {} bound {}",
+        audit.tv,
+        audit.sampling_bound
+    );
+    let under = audit.under_represented(0.8);
+    assert_eq!(under.len(), 1);
+    assert_eq!(under[0].level, "female");
+
+    // profile agrees on the minimum protected share
+    let p = profile(&data.dataset).unwrap();
+    assert!((p.min_protected_share().unwrap() - 1.0 / 3.0).abs() < 0.03);
+}
+
+/// A model trained on biased data discriminates by association: males
+/// from the female-typical university inherit part of the penalty.
+#[test]
+fn association_spillover_from_trained_model() {
+    let data = biased_hiring(402, 12_000);
+    let ds = &data.dataset;
+    // Train an unaware model — it leans on the university proxy.
+    let (enc, x) = FeatureEncoder::fit_transform(ds, EncoderConfig::default()).unwrap();
+    let model = LogisticTrainer::default().fit(&x, ds.labels().unwrap());
+    let trained = TrainedModel::new(enc, Box::new(model));
+    let annotated = trained.annotate(ds, "pred").unwrap();
+
+    let findings = association_audit(&annotated, "sex", "female", "university", true).unwrap();
+    let metro = findings
+        .iter()
+        .find(|f| f.protected_typical_level == "metro_college")
+        .expect("metro_college finding");
+    assert!(
+        metro.spillover_gap < -0.05,
+        "model-decided spillover {}",
+        metro.spillover_gap
+    );
+    assert!(metro.test.significant_at(0.05));
+}
+
+/// Forests slot into the TrainedModel pipeline and inherit the label bias
+/// just like linear models.
+#[test]
+fn forest_in_the_audit_pipeline() {
+    let mut rng = StdRng::seed_from_u64(403);
+    let data = biased_hiring(403, 4000);
+    let ds = &data.dataset;
+    let cfg = EncoderConfig {
+        include_protected: true,
+        ..EncoderConfig::default()
+    };
+    let (enc, x) = FeatureEncoder::fit_transform(ds, cfg).unwrap();
+    let forest = ForestTrainer {
+        n_trees: 15,
+        ..ForestTrainer::default()
+    }
+    .fit(&x, ds.labels().unwrap(), &mut rng);
+    let trained = TrainedModel::new(enc, Box::new(forest));
+    let annotated = trained.annotate(ds, "pred").unwrap();
+    let o = Outcomes::from_dataset(&annotated, &["sex"]).unwrap();
+    let gap = demographic_parity(&o, 0).summary.gap;
+    assert!(gap > 0.08, "forest parity gap {gap}");
+}
+
+/// Reject-option repair works on forest scores too, and individual
+/// consistency stays high after repair.
+#[test]
+fn reject_option_on_forest_scores() {
+    let mut rng = StdRng::seed_from_u64(404);
+    let data = biased_hiring(404, 4000);
+    let ds = &data.dataset;
+    let (enc, x) = FeatureEncoder::fit_transform(ds, EncoderConfig::default()).unwrap();
+    let forest = ForestTrainer::default().fit(&x, ds.labels().unwrap(), &mut rng);
+    let trained = TrainedModel::new(enc, Box::new(forest));
+    let scores = trained.score_dataset(ds).unwrap();
+
+    let rule = fit_margin(
+        ds,
+        &["sex"],
+        &scores,
+        GroupKey(vec!["female".into()]),
+        &[0.05, 0.1, 0.2, 0.3],
+        0.05,
+    )
+    .unwrap();
+    let result = rule.apply(ds, &["sex"], &scores).unwrap();
+    let annotated = ds
+        .with_predictions("pred", result.decisions.clone())
+        .unwrap();
+    let o = Outcomes::from_dataset(&annotated, &["sex"]).unwrap();
+    assert!(demographic_parity(&o, 0).summary.gap < 0.1);
+
+    // sex-blind consistency of the repaired decisions remains reasonable
+    let blind = FeatureEncoder::fit(ds, EncoderConfig::default()).unwrap();
+    let xb = blind.transform(ds).unwrap();
+    let c = consistency(&xb, &result.decisions, 5);
+    assert!(c > 0.7, "consistency after repair {c}");
+}
+
+/// Per-group isotonic calibration reduces ECE within every group.
+#[test]
+fn per_group_calibration_improves_every_group() {
+    let data = biased_hiring(405, 8000);
+    let ds = &data.dataset;
+    let (enc, x) = FeatureEncoder::fit_transform(ds, EncoderConfig::default()).unwrap();
+    let model = LogisticTrainer {
+        epochs: 60, // deliberately undertrained → miscalibrated
+        ..LogisticTrainer::default()
+    }
+    .fit(&x, ds.labels().unwrap());
+    let trained = TrainedModel::new(enc, Box::new(model));
+    let scores = trained.score_dataset(ds).unwrap();
+    let labels = ds.labels().unwrap();
+    let (_, sex) = ds.categorical("sex").unwrap();
+
+    for g in 0..2u32 {
+        let (gs, gl): (Vec<f64>, Vec<bool>) = scores
+            .iter()
+            .zip(labels)
+            .zip(sex)
+            .filter_map(|((&s, &l), &c)| (c == g).then_some((s, l)))
+            .unzip();
+        let before = expected_calibration_error(&gl, &gs, 10);
+        let iso = IsotonicCalibrator::fit(&gs, &gl).unwrap();
+        let after = expected_calibration_error(&gl, &iso.transform_all(&gs), 10);
+        assert!(after <= before + 1e-9, "group {g}: {before} -> {after}");
+    }
+}
+
+/// Cross-validated parity gap of the biased model is stable across folds.
+#[test]
+fn cross_validated_parity_gap() {
+    let data = biased_hiring(406, 6000);
+    let mut rng = StdRng::seed_from_u64(406);
+    let result = cross_validate(
+        &data.dataset,
+        5,
+        &mut rng,
+        logistic_trainer(EncoderConfig::default()),
+        |model, test| {
+            let preds = model.predict_dataset(test)?;
+            let annotated = test
+                .with_predictions("pred", preds)
+                .map_err(|e| e.to_string())?;
+            let o = Outcomes::from_dataset(&annotated, &["sex"])?;
+            Ok(demographic_parity(&o, 0).summary.gap)
+        },
+    )
+    .unwrap();
+    assert!(result.mean > 0.05, "cv gap {}", result.mean);
+    assert!(result.std < 0.08, "cv gap spread {}", result.std);
+
+    // accuracy CV too
+    let mut rng = StdRng::seed_from_u64(407);
+    let acc = cross_validate(
+        &data.dataset,
+        5,
+        &mut rng,
+        logistic_trainer(EncoderConfig::default()),
+        |model, test| {
+            let preds = model.predict_dataset(test)?;
+            Ok(accuracy(test.labels().map_err(|e| e.to_string())?, &preds))
+        },
+    )
+    .unwrap();
+    assert!(acc.mean > 0.7);
+}
+
+/// Sinkhorn agrees with the exact ordinal OT used by the repair stack.
+#[test]
+fn sinkhorn_cross_checks_exact_ot() {
+    let p = Discrete::new(vec![0.6, 0.3, 0.1]).unwrap();
+    let q = Discrete::new(vec![0.2, 0.2, 0.6]).unwrap();
+    let exact = fairbridge::stats::distance::wasserstein_discrete(&p, &q);
+    let approx = sinkhorn(&p, &q, &ordinal_cost(3, 3), 0.01, 5000).unwrap();
+    assert!(
+        (approx.cost - exact).abs() < 0.03,
+        "sinkhorn {} vs exact {exact}",
+        approx.cost
+    );
+}
+
+/// Guidelines + compliance report compile for the paper's use case and
+/// reflect the audit findings.
+#[test]
+fn compliance_report_end_to_end() {
+    let data = biased_hiring(408, 3000);
+    let uc = UseCase::eu_hiring_default();
+    let report = compliance_report(
+        &data.dataset,
+        &["sex"],
+        &uc,
+        &ReportOptions {
+            system_name: "integration-test".to_owned(),
+            ..ReportOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(report.contains("integration-test"));
+    assert!(report.contains("Legal basis"));
+    assert!(report.contains("raised concerns"));
+    assert!(report.contains("Deployment checklist"));
+
+    let guidelines = compile_guidelines(&uc);
+    assert!(!guidelines.launch_gates().is_empty());
+    for gate in guidelines.launch_gates() {
+        assert!(
+            report.contains(&gate.action),
+            "gate missing: {}",
+            gate.action
+        );
+    }
+}

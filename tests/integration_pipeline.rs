@@ -1,0 +1,204 @@
+//! End-to-end pipeline tests: generator → model → audit → criteria
+//! engine, spanning every crate through the `fairbridge` facade.
+
+use fairbridge::audit::pipeline::{AuditConfig, AuditPipeline};
+use fairbridge::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Train a logistic model on a hiring dataset and audit its *predictions*
+/// (not the historical labels): the model inherits the planted bias.
+#[test]
+fn model_predictions_inherit_label_bias() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 6000,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+    let ds = &data.dataset;
+    let (train, test) = fairbridge::learn::split::train_test_split(ds, 0.3, &mut rng).unwrap();
+
+    let (enc, x) = FeatureEncoder::fit_transform(&train, EncoderConfig::default()).unwrap();
+    let model = LogisticTrainer::default().fit(&x, train.labels().unwrap());
+    let trained = TrainedModel::new(enc, Box::new(model));
+
+    let annotated = trained.annotate(&test, "pred").unwrap();
+    let report = AuditPipeline::new(AuditConfig::default())
+        .run(&annotated, &["sex"], false)
+        .unwrap();
+    assert!(report.has_concerns());
+    let parity_line = report
+        .metrics
+        .lines
+        .iter()
+        .find(|l| l.definition == Definition::DemographicParity)
+        .unwrap();
+    assert!(
+        parity_line.gap > 0.08,
+        "model parity gap {}",
+        parity_line.gap
+    );
+}
+
+/// CSV round trip feeds the same audit as the in-memory dataset.
+#[test]
+fn csv_roundtrip_preserves_audit_results() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 1000,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+    let ds = &data.dataset;
+    let csv = fairbridge::tabular::io::write_csv_string(ds).unwrap();
+    let back = fairbridge::tabular::io::read_csv_str(&csv).unwrap();
+    // Roles are not serialized; restore them.
+    let back = back
+        .with_role("sex", Role::Protected)
+        .unwrap()
+        .with_role("hired", Role::Label)
+        .unwrap()
+        .with_role("qualified", Role::Ignored)
+        .unwrap();
+
+    let o1 = Outcomes::from_labels_as_decisions(ds, &["sex"]).unwrap();
+    let o2 = Outcomes::from_labels_as_decisions(&back, &["sex"]).unwrap();
+    let g1 = demographic_parity(&o1, 0).summary.gap;
+    let g2 = demographic_parity(&o2, 0).summary.gap;
+    assert!((g1 - g2).abs() < 1e-12);
+}
+
+/// The criteria engine's recommendation is actionable: every recommended
+/// definition can actually be evaluated with the data at hand.
+#[test]
+fn recommendation_is_executable_on_the_data() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let data = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 2000,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    );
+    let ds = &data.dataset;
+    let uc = UseCase::eu_hiring_default();
+    let rec = recommend(&uc);
+    let o = Outcomes::from_labels_as_decisions(ds, &["sex"]).unwrap();
+
+    for r in &rec.definitions {
+        match r.definition {
+            Definition::DemographicParity => {
+                let _ = demographic_parity(&o, 0);
+            }
+            Definition::ConditionalDemographicDisparity => {
+                // condition on the university as the available stratum
+                let _ = fairbridge::metrics::disparity::conditional_demographic_disparity(
+                    ds,
+                    &["sex"],
+                    &["university"],
+                    true,
+                )
+                .unwrap();
+            }
+            Definition::CounterfactualFairness => {
+                let (enc, x) = FeatureEncoder::fit_transform(ds, EncoderConfig::default()).unwrap();
+                let model = LogisticTrainer::default().fit(&x, ds.labels().unwrap());
+                let trained = TrainedModel::new(enc, Box::new(model));
+                let _ = fairbridge::metrics::counterfactual::counterfactual_fairness(
+                    &trained,
+                    ds,
+                    "sex",
+                    fairbridge::metrics::counterfactual::AdjustStrategy::GroupMeanShift,
+                )
+                .unwrap();
+            }
+            other => {
+                // every other definition is label-based and computable
+                assert!(
+                    !other.requires_model(),
+                    "unexpected model-based rec {other:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Multi-attribute intersectional pipeline through the facade.
+#[test]
+fn intersectional_pipeline_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let ds = fairbridge::synth::intersectional::generate(
+        &IntersectionalConfig {
+            n: 6000,
+            ..IntersectionalConfig::default()
+        },
+        &mut rng,
+    );
+    // Auditing each attribute alone looks fine...
+    for attr in ["gender", "race"] {
+        let single = AuditPipeline::new(AuditConfig::default())
+            .run(&ds, &[attr], true)
+            .unwrap();
+        let parity = single
+            .metrics
+            .lines
+            .iter()
+            .find(|l| l.definition == Definition::DemographicParity)
+            .unwrap();
+        assert!(parity.gap < 0.05, "{attr} marginal gap {}", parity.gap);
+    }
+    // ...while the intersectional run groups by (gender × race) and sees
+    // the planted 0.4 gap, corroborated by the subgroup findings.
+    let report = AuditPipeline::new(AuditConfig::default())
+        .run(&ds, &["gender", "race"], true)
+        .unwrap();
+    let parity = report
+        .metrics
+        .lines
+        .iter()
+        .find(|l| l.definition == Definition::DemographicParity)
+        .unwrap();
+    assert!(parity.gap > 0.3, "intersection parity gap {}", parity.gap);
+    assert!(!report.subgroups.is_empty());
+    assert_eq!(report.subgroups[0].conditions.len(), 2);
+}
+
+/// Group-blind repair through the facade: no per-row protected attribute.
+#[test]
+fn group_blind_repair_via_facade() {
+    use fairbridge::mitigate::group_blind::GroupBlindRepairer;
+    let mut rng = StdRng::seed_from_u64(105);
+    use rand::Rng;
+    let draw = |g: u32, rng: &mut StdRng| -> f64 {
+        if g == 0 {
+            1.0 + rng.gen::<f64>()
+        } else {
+            rng.gen::<f64>()
+        }
+    };
+    let mut research_v = Vec::new();
+    let mut research_g = Vec::new();
+    for _ in 0..200 {
+        let g = u32::from(rng.gen::<f64>() < 0.3);
+        research_g.push(g);
+        research_v.push(draw(g, &mut rng));
+    }
+    let deployment: Vec<f64> = (0..2000)
+        .map(|_| {
+            let g = u32::from(rng.gen::<f64>() < 0.3);
+            draw(g, &mut rng)
+        })
+        .collect();
+    let repairer =
+        GroupBlindRepairer::fit(&research_v, &research_g, &[0.7, 0.3], &deployment).unwrap();
+    let repaired = repairer.repair_all_soft(&deployment, 1.0);
+    assert_eq!(repaired.len(), deployment.len());
+    // repaired values concentrate on the barycenter's support
+    let mean: f64 = repaired.iter().sum::<f64>() / repaired.len() as f64;
+    assert!(mean > 0.5 && mean < 2.0, "mean {mean}");
+}
