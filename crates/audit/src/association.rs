@@ -146,16 +146,15 @@ pub fn association_audit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_synth::hiring::{generate, HiringConfig};
     use fairbridge_tabular::Role;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// World where the decision depends directly on the proxy (a learned
     /// model's behaviour): males from the female-typical university are
     /// hit by the same penalty.
     fn proxy_decided_world() -> Dataset {
-        use rand::Rng;
+        use fairbridge_stats::rng::Rng;
         let mut rng = StdRng::seed_from_u64(70);
         let n = 4000;
         let mut sex = Vec::new();

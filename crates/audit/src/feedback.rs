@@ -15,9 +15,9 @@
 use fairbridge_learn::{EncoderConfig, FeatureEncoder, LogisticTrainer, TrainedModel};
 use fairbridge_metrics::outcome::Outcomes;
 use fairbridge_metrics::parity::demographic_parity;
+use fairbridge_stats::rng::Rng;
 use fairbridge_synth::PopulationModel;
 use fairbridge_tabular::{Column, Dataset, Role};
-use rand::Rng;
 
 /// Per-generation record of the loop's state.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +99,25 @@ impl FeedbackOutcome {
             .last()
             .map_or(f64::NAN, |r| r.disadvantaged_share)
     }
+
+    /// Mean parity gap over the whole trajectory. Single generations are
+    /// noisy (the pool is resampled every round); the mean is the stable
+    /// summary of whether the loop sustains the gap.
+    pub fn mean_gap(&self) -> f64 {
+        if self.records.is_empty() {
+            return f64::NAN;
+        }
+        self.records.iter().map(|r| r.parity_gap).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Smallest disadvantaged-group pool share reached across the
+    /// trajectory — the depth of the discouragement dip.
+    pub fn min_disadvantaged_share(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.disadvantaged_share)
+            .fold(f64::NAN, f64::min)
+    }
 }
 
 /// Applies an additive group-1 penalty to the pool's *label* column,
@@ -130,6 +149,26 @@ pub fn run_feedback_loop<R: Rng>(
     config: &FeedbackConfig,
     rng: &mut R,
 ) -> Result<FeedbackOutcome, String> {
+    run_feedback_loop_observed(config, rng, |_, _, _| {})
+}
+
+/// Runs the feedback loop, invoking `observe(generation, group_codes,
+/// decisions)` with every round's raw decision stream before the
+/// population reacts.
+///
+/// This is the hook a streaming fairness monitor attaches to: it sees the
+/// same per-candidate decisions the loop feeds back into its own training
+/// data, so windowed disparity metrics track the loop live instead of
+/// post-hoc from [`GenerationRecord`] aggregates.
+pub fn run_feedback_loop_observed<R, F>(
+    config: &FeedbackConfig,
+    rng: &mut R,
+    mut observe: F,
+) -> Result<FeedbackOutcome, String>
+where
+    R: Rng,
+    F: FnMut(usize, &[u32], &[bool]),
+{
     let mut population = PopulationModel::hiring_default(config.discouragement);
     // Round 0: historical, biased data.
     let seed_pool = population.generate_pool(config.pool_size, rng);
@@ -166,6 +205,7 @@ pub fn run_feedback_loop<R: Rng>(
         let outcomes = Outcomes::from_dataset(&annotated, &["group"])?;
         let parity = demographic_parity(&outcomes, 0);
         let (_, codes) = pool.categorical("group").map_err(|e| e.to_string())?;
+        observe(generation, codes, &decisions);
         let mut acc: Vec<(usize, usize)> = vec![(0, 0); population.groups().len()];
         for (&g, &d) in codes.iter().zip(&decisions) {
             acc[g as usize].1 += 1;
@@ -236,8 +276,7 @@ fn concat_training(a: &Dataset, b: &Dataset) -> Result<Dataset, String> {
 mod tests {
     use super::*;
     use fairbridge_mitigate::reweigh;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fairbridge_stats::rng::StdRng;
 
     #[test]
     fn unmitigated_loop_sustains_bias_and_discourages() {

@@ -39,5 +39,5 @@ pub mod proxy;
 pub mod representation;
 pub mod subgroup;
 
-pub use pipeline::{AuditConfig, AuditPipeline, AuditReport};
+pub use pipeline::{AuditConfig, AuditPipeline, AuditReport, SupportStages};
 pub use subgroup::{SubgroupAuditor, SubgroupFinding};

@@ -21,7 +21,7 @@
 use fairbridge_learn::logistic::{sigmoid, LogisticModel};
 use fairbridge_learn::matrix::{dot, Matrix};
 use fairbridge_learn::model::Scorer;
-use rand::Rng;
+use fairbridge_stats::rng::Rng;
 
 /// Per-feature importance scores, aligned with the encoder's feature
 /// names.
@@ -235,8 +235,7 @@ pub fn detect_masking(
 mod tests {
     use super::*;
     use fairbridge_learn::LogisticTrainer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fairbridge_stats::rng::StdRng;
 
     /// Features: [protected A, proxy (ρ≈1 with A), merit]. Labels biased
     /// by A.

@@ -163,7 +163,23 @@ impl AuditPipeline {
         };
         let metrics =
             FairnessReport::evaluate(&outcomes, self.config.tolerance, self.config.min_group_size);
+        let stages = self.support_stages(ds, protected, &outcomes.predictions)?;
+        Ok(stages.into_report(metrics))
+    }
 
+    /// Runs every non-metric stage — proxy ranking, subgroup audit and
+    /// (when configured) the representation audit — over precomputed
+    /// `decisions`.
+    ///
+    /// Exposed so alternative executors (such as the sharded
+    /// `fairbridge-engine`) can supply their own metric evaluation while
+    /// reusing the exact stage behaviour of this pipeline.
+    pub fn support_stages(
+        &self,
+        ds: &Dataset,
+        protected: &[&str],
+        decisions: &[bool],
+    ) -> Result<SupportStages, String> {
         // Proxy ranking against the first protected column (extend per
         // column when auditing several).
         let mut proxies = Vec::new();
@@ -182,23 +198,20 @@ impl AuditPipeline {
             min_support: self.config.min_group_size,
             alpha: self.config.alpha,
         };
-        let decisions = outcomes.predictions.clone();
-        let subgroups = auditor.audit(ds, protected, &decisions)?;
+        let subgroups = auditor.audit(ds, protected, decisions)?;
 
         // Representation audit against configured population marginals
         // (fixed internal seed: the bootstrap CI must be reproducible in
         // a compliance document).
         let representation = match (&self.config.population_marginals, protected.first()) {
             (Some(marginals), Some(&first)) => {
-                use rand::SeedableRng;
-                let mut rng = rand::rngs::StdRng::seed_from_u64(0xFA1B);
+                let mut rng = fairbridge_stats::rng::StdRng::seed_from_u64(0xFA1B);
                 Some(representation_audit(ds, first, marginals, 300, &mut rng)?)
             }
             _ => None,
         };
 
-        Ok(AuditReport {
-            metrics,
+        Ok(SupportStages {
             proxies,
             flagged_proxies: flagged,
             subgroups,
@@ -207,13 +220,38 @@ impl AuditPipeline {
     }
 }
 
+/// The non-metric stage results of [`AuditPipeline::support_stages`].
+#[derive(Debug, Clone)]
+pub struct SupportStages {
+    /// Proxy association ranking, sorted descending.
+    pub proxies: Vec<FeatureAssociation>,
+    /// Features exceeding the proxy threshold.
+    pub flagged_proxies: Vec<String>,
+    /// Subgroup findings, sorted by |gap|.
+    pub subgroups: Vec<SubgroupFinding>,
+    /// Representation audit, when population marginals were configured.
+    pub representation: Option<RepresentationAudit>,
+}
+
+impl SupportStages {
+    /// Combines the stages with a metric evaluation into a full report.
+    pub fn into_report(self, metrics: FairnessReport) -> AuditReport {
+        AuditReport {
+            metrics,
+            proxies: self.proxies,
+            flagged_proxies: self.flagged_proxies,
+            subgroups: self.subgroups,
+            representation: self.representation,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_synth::hiring::{generate, HiringConfig};
     use fairbridge_synth::intersectional::{self, IntersectionalConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn pipeline_flags_biased_hiring_data() {

@@ -23,8 +23,8 @@ use fairbridge_metrics::parity::demographic_parity;
 use fairbridge_stats::correlation::{
     cramers_v, normalized_mutual_information, point_biserial, Contingency,
 };
+use fairbridge_stats::rng::Rng;
 use fairbridge_tabular::{Column, Dataset, Role};
-use rand::Rng;
 
 /// Association of one feature with the protected attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -214,9 +214,8 @@ pub fn unawareness_experiment<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_synth::hiring::{generate, HiringConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn association_ranking_finds_the_planted_proxy() {

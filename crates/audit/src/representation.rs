@@ -14,9 +14,9 @@
 
 use fairbridge_stats::distance::{hellinger, js_divergence, total_variation};
 use fairbridge_stats::distribution::Discrete;
+use fairbridge_stats::rng::Rng;
 use fairbridge_stats::sampling::tv_plugin_bound;
 use fairbridge_tabular::Dataset;
-use rand::Rng;
 
 /// Per-group representation comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,9 +135,8 @@ pub fn representation_audit<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_tabular::Role;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn dataset(female_count: usize, male_count: usize) -> Dataset {
         let mut codes = vec![0u32; male_count];

@@ -303,9 +303,8 @@ pub fn tree_audit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_synth::intersectional::{generate, IntersectionalConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn gerrymandered() -> Dataset {
         let mut rng = StdRng::seed_from_u64(61);

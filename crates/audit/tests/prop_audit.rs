@@ -1,34 +1,33 @@
-//! Property-based tests for the audit machinery.
+//! Randomized property tests for the audit machinery, driven by the
+//! workspace's deterministic PRNG (no proptest: the build is offline).
 
 use fairbridge_audit::subgroup::SubgroupAuditor;
+use fairbridge_stats::rng::{Rng, StdRng};
 use fairbridge_tabular::{Dataset, Role};
-use proptest::prelude::*;
 
-fn audit_data() -> impl Strategy<Value = (Dataset, Vec<bool>)> {
-    proptest::collection::vec((0u32..2, 0u32..2, any::<bool>()), 8..120).prop_map(|v| {
-        let mut g1 = Vec::new();
-        let mut g2 = Vec::new();
-        let mut decisions = Vec::new();
-        for (a, b, d) in v {
-            g1.push(a);
-            g2.push(b);
-            decisions.push(d);
-        }
-        let ds = Dataset::builder()
-            .categorical_with_role("g1", vec!["a", "b"], g1, Role::Protected)
-            .categorical_with_role("g2", vec!["x", "y"], g2, Role::Protected)
-            .boolean_with_role("y", decisions.clone(), Role::Label)
-            .build()
-            .unwrap();
-        (ds, decisions)
-    })
+const CASES: usize = 32;
+
+fn audit_data<R: Rng>(rng: &mut R) -> (Dataset, Vec<bool>) {
+    let n = rng.gen_range(8..120usize);
+    let g1: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2usize) as u32).collect();
+    let g2: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2usize) as u32).collect();
+    let decisions: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let ds = Dataset::builder()
+        .categorical_with_role("g1", vec!["a", "b"], g1, Role::Protected)
+        .categorical_with_role("g2", vec!["x", "y"], g2, Role::Protected)
+        .boolean_with_role("y", decisions.clone(), Role::Label)
+        .build()
+        .unwrap();
+    (ds, decisions)
 }
 
-proptest! {
-    /// Every finding respects min_support, has a valid p-value and a gap
-    /// consistent with its reported rates.
-    #[test]
-    fn findings_are_internally_consistent((ds, decisions) in audit_data()) {
+/// Every finding respects min_support, has a valid p-value and a gap
+/// consistent with its reported rates.
+#[test]
+fn findings_are_internally_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xA0_01);
+    for _ in 0..CASES {
+        let (ds, decisions) = audit_data(&mut rng);
         let auditor = SubgroupAuditor {
             max_depth: 2,
             min_support: 3,
@@ -36,23 +35,27 @@ proptest! {
         };
         let findings = auditor.audit(&ds, &["g1", "g2"], &decisions).unwrap();
         for f in &findings {
-            prop_assert!(f.size >= 3);
-            prop_assert!(f.size < ds.n_rows());
-            prop_assert!((0.0..=1.0).contains(&f.p_value));
-            prop_assert!((0.0..=1.0).contains(&f.rate));
-            prop_assert!((0.0..=1.0).contains(&f.complement_rate));
-            prop_assert!((f.gap - (f.rate - f.complement_rate)).abs() < 1e-12);
-            prop_assert!(!f.conditions.is_empty() && f.conditions.len() <= 2);
+            assert!(f.size >= 3);
+            assert!(f.size < ds.n_rows());
+            assert!((0.0..=1.0).contains(&f.p_value));
+            assert!((0.0..=1.0).contains(&f.rate));
+            assert!((0.0..=1.0).contains(&f.complement_rate));
+            assert!((f.gap - (f.rate - f.complement_rate)).abs() < 1e-12);
+            assert!(!f.conditions.is_empty() && f.conditions.len() <= 2);
         }
         // findings are sorted by |gap| descending
         for w in findings.windows(2) {
-            prop_assert!(w[0].gap.abs() >= w[1].gap.abs() - 1e-12);
+            assert!(w[0].gap.abs() >= w[1].gap.abs() - 1e-12);
         }
     }
+}
 
-    /// Tightening alpha can only remove findings, never add them.
-    #[test]
-    fn alpha_monotonicity((ds, decisions) in audit_data()) {
+/// Tightening alpha can only remove findings, never add them.
+#[test]
+fn alpha_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(0xA0_02);
+    for _ in 0..CASES {
+        let (ds, decisions) = audit_data(&mut rng);
         let run = |alpha: f64| {
             SubgroupAuditor {
                 max_depth: 2,
@@ -63,13 +66,17 @@ proptest! {
             .unwrap()
             .len()
         };
-        prop_assert!(run(0.01) <= run(0.10));
-        prop_assert!(run(0.10) <= run(1.0));
+        assert!(run(0.01) <= run(0.10));
+        assert!(run(0.10) <= run(1.0));
     }
+}
 
-    /// Raising min_support can only remove findings.
-    #[test]
-    fn support_monotonicity((ds, decisions) in audit_data()) {
+/// Raising min_support can only remove findings.
+#[test]
+fn support_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(0xA0_03);
+    for _ in 0..CASES {
+        let (ds, decisions) = audit_data(&mut rng);
         let run = |min_support: usize| {
             SubgroupAuditor {
                 max_depth: 2,
@@ -80,13 +87,17 @@ proptest! {
             .unwrap()
             .len()
         };
-        prop_assert!(run(20) <= run(5));
-        prop_assert!(run(5) <= run(1));
+        assert!(run(20) <= run(5));
+        assert!(run(5) <= run(1));
     }
+}
 
-    /// Depth-1 findings are a subset of the conditions seen at depth 2.
-    #[test]
-    fn depth_monotonicity((ds, decisions) in audit_data()) {
+/// Depth-1 findings are a subset of the conditions seen at depth 2.
+#[test]
+fn depth_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(0xA0_04);
+    for _ in 0..CASES {
+        let (ds, decisions) = audit_data(&mut rng);
         let run = |depth: usize| {
             SubgroupAuditor {
                 max_depth: depth,
@@ -98,17 +109,22 @@ proptest! {
         };
         let d1 = run(1);
         let d2 = run(2);
-        prop_assert!(d2.len() >= d1.len());
+        assert!(d2.len() >= d1.len());
         // every depth-1 description reappears at depth 2
         for f in &d1 {
-            prop_assert!(d2.iter().any(|g| g.describe() == f.describe()));
+            assert!(d2.iter().any(|g| g.describe() == f.describe()));
         }
     }
+}
 
-    /// Constant decisions produce no significant findings at any alpha
-    /// below 1 (no gap exists).
-    #[test]
-    fn constant_decisions_no_findings(n in 8usize..80, value in any::<bool>()) {
+/// Constant decisions produce no significant findings at any alpha
+/// below 1 (no gap exists).
+#[test]
+fn constant_decisions_no_findings() {
+    let mut rng = StdRng::seed_from_u64(0xA0_05);
+    for _ in 0..CASES {
+        let n = rng.gen_range(8..80usize);
+        let value = rng.gen_bool(0.5);
         let ds = Dataset::builder()
             .categorical_with_role(
                 "g1",
@@ -126,6 +142,6 @@ proptest! {
         }
         .audit(&ds, &["g1"], &vec![value; n])
         .unwrap();
-        prop_assert!(findings.is_empty(), "{findings:?}");
+        assert!(findings.is_empty(), "{findings:?}");
     }
 }

@@ -1,12 +1,12 @@
-//! Criterion bench for experiment E9: proxy auditing (association
+//! Bench for experiment E9: proxy auditing (association
 //! ranking and the composite pipeline) per dataset size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::audit::proxy::association_ranking;
 use fairbridge::audit::{AuditConfig, AuditPipeline};
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_stats::rng::StdRng;
 use std::hint::black_box;
 
 fn setup(n: usize) -> Dataset {

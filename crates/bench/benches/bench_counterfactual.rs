@@ -1,11 +1,11 @@
-//! Criterion bench for experiment E7: counterfactual probing cost per
+//! Bench for experiment E7: counterfactual probing cost per
 //! dataset size and adjustment strategy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::metrics::counterfactual::{counterfactual_fairness, AdjustStrategy};
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_stats::rng::StdRng;
 use std::hint::black_box;
 
 fn setup(n: usize) -> (TrainedModel, Dataset) {

@@ -1,8 +1,9 @@
-//! Criterion bench for experiment E15: the criteria engine and legal
+//! Bench for experiment E15: the criteria engine and legal
 //! catalogue lookups (fast-path guarantees for interactive tooling).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fairbridge::prelude::*;
+use fairbridge_bench::harness::Criterion;
+use fairbridge_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_criteria(c: &mut Criterion) {

@@ -1,11 +1,12 @@
-//! Criterion bench for experiment E13: the four Section IV.F distances
+//! Bench for experiment E13: the four Section IV.F distances
 //! over sample size (MMD's quadratic cost vs the near-linear others).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::stats::distribution::{Discrete, Empirical};
 use fairbridge::stats::{
     energy_distance, hellinger, js_divergence, mmd_rbf, total_variation, wasserstein_1d,
 };
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_distances(c: &mut Criterion) {

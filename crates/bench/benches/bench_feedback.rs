@@ -1,11 +1,11 @@
-//! Criterion bench for experiment E11: feedback-loop simulation cost per
+//! Bench for experiment E11: feedback-loop simulation cost per
 //! generation count, with and without mitigation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::audit::feedback::{run_feedback_loop, FeedbackConfig, MitigationHook};
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_stats::rng::StdRng;
 use std::hint::black_box;
 
 fn bench_feedback(c: &mut Criterion) {

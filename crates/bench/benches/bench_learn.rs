@@ -1,7 +1,6 @@
-//! Criterion bench for the ML substrate: training cost of each model
+//! Bench for the ML substrate: training cost of each model
 //! family on the hiring workload (contextualizes the audit costs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::learn::bayes::GaussianNb;
 use fairbridge::learn::calibrate::{IsotonicCalibrator, PlattScaler};
 use fairbridge::learn::forest::ForestTrainer;
@@ -9,8 +8,9 @@ use fairbridge::learn::knn::KnnModel;
 use fairbridge::learn::tree::TreeTrainer;
 use fairbridge::learn::Scorer;
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_stats::rng::StdRng;
 use std::hint::black_box;
 
 fn setup(n: usize) -> (fairbridge::learn::Matrix, Vec<bool>) {

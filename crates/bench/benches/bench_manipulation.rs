@@ -1,14 +1,14 @@
-//! Criterion bench for experiment E12: masking attack training and the
+//! Bench for experiment E12: masking attack training and the
 //! three explainers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::audit::manipulation::{
     coefficient_importance, loco_importance, permutation_importance, MaskingAttack,
 };
 use fairbridge::learn::matrix::Matrix;
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_stats::rng::StdRng;
 use std::hint::black_box;
 
 fn setup(n: usize) -> (Matrix, Vec<bool>, Vec<String>) {

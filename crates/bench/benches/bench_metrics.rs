@@ -1,7 +1,6 @@
-//! Criterion bench for experiments E1–E6: the Section III group metrics
+//! Bench for experiments E1–E6: the Section III group metrics
 //! over growing cohort sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::learn::matrix::Matrix;
 use fairbridge::metrics::conditional::conditional_parity_slices;
 use fairbridge::metrics::disparity::demographic_disparity;
@@ -9,6 +8,8 @@ use fairbridge::metrics::individual::{consistency, lipschitz_violations};
 use fairbridge::metrics::odds::equalized_odds;
 use fairbridge::metrics::opportunity::equal_opportunity;
 use fairbridge::prelude::*;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn cohort(n: usize) -> (Outcomes, Vec<u32>) {

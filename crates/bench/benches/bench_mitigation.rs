@@ -1,14 +1,14 @@
-//! Criterion bench for experiment E8's instruments: reweighing, label
+//! Bench for experiment E8's instruments: reweighing, label
 //! massaging, quota selection and group thresholds per dataset size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::mitigate::massage::massage;
 use fairbridge::mitigate::quota::{quota_select, QuotaPolicy};
 use fairbridge::mitigate::reject_option::RejectOptionRule;
 use fairbridge::prelude::*;
 use fairbridge::tabular::GroupKey;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_stats::rng::StdRng;
 use std::hint::black_box;
 
 fn setup(n: usize) -> (Dataset, Vec<f64>) {

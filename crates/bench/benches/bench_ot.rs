@@ -1,11 +1,12 @@
-//! Criterion bench for experiment E14: quantile repair (group-aware) and
+//! Bench for experiment E14: quantile repair (group-aware) and
 //! group-blind repair over deployment size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::mitigate::group_blind::GroupBlindRepairer;
 use fairbridge::mitigate::ot::QuantileRepairer;
 use fairbridge::stats::distribution::Discrete;
 use fairbridge::stats::sinkhorn::{ordinal_cost, sinkhorn};
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn world(n: usize) -> (Vec<f64>, Vec<u32>) {

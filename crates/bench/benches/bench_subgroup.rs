@@ -1,15 +1,15 @@
-//! Criterion bench for experiment E10: subgroup auditing — exhaustive
+//! Bench for experiment E10: subgroup auditing — exhaustive
 //! enumeration vs the learned tree auditor, and the exponential cost of
 //! depth (the paper's IV.C "computational issues ... complexity increases
 //! exponentially").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairbridge::audit::subgroup::{tree_audit, SubgroupAuditor};
 use fairbridge::prelude::*;
 use fairbridge::stats::descriptive::bin_codes;
 use fairbridge::tabular::Column;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_stats::rng::StdRng;
 use std::hint::black_box;
 
 /// Gerrymandered data plus extra binned categorical columns so deeper

@@ -15,8 +15,7 @@ use fairbridge::mitigate::ot::repair_dataset;
 use fairbridge::mitigate::reject_option::fit_margin;
 use fairbridge::prelude::*;
 use fairbridge::tabular::GroupKey;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn parity_gap(test: &Dataset, preds: &[bool]) -> f64 {
     let annotated = test.with_predictions("pred", preds.to_vec()).unwrap();

@@ -1,5 +1,6 @@
-//! The experiment registry: E1–E15 from DESIGN.md §3.
+//! The experiment registry: E1–E19 from DESIGN.md §3.
 
+mod engine;
 mod extended;
 mod sampling;
 mod section3;
@@ -31,7 +32,7 @@ impl Check {
 /// The outcome of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
-    /// Stable experiment id (E1..E15).
+    /// Stable experiment id (E1..E19).
     pub id: &'static str,
     /// Human-readable title.
     pub title: &'static str,
@@ -69,9 +70,9 @@ impl fmt::Display for ExperimentResult {
 }
 
 /// All experiment ids in order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
-    "E16", "E17", "E18",
+    "E16", "E17", "E18", "E19",
 ];
 
 /// Runs one experiment by id.
@@ -95,6 +96,7 @@ pub fn run_one(id: &str, seed: u64) -> Option<ExperimentResult> {
         "E16" => Some(extended::e16_mitigation_matrix(seed)),
         "E17" => Some(extended::e17_individual_and_calibration(seed)),
         "E18" => Some(extended::e18_measurement_bias(seed)),
+        "E19" => Some(engine::e19_execution_engine(seed)),
         _ => None,
     }
 }

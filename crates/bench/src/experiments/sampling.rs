@@ -9,8 +9,8 @@ use fairbridge::stats::sampling::{
     continuous_convergence, discrete_convergence, tv_plugin_bound, DistanceKind,
 };
 use fairbridge::stats::{wasserstein_1d, Discrete};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fairbridge_stats::rng::Rng;
+use fairbridge_stats::rng::StdRng;
 
 /// E13 — §IV.F: sample complexity of bias detection for the four named
 /// distances (TV, Hellinger, Wasserstein-1, MMD).

@@ -8,8 +8,7 @@ use fairbridge::metrics::disparity::{conditional_demographic_disparity, demograp
 use fairbridge::metrics::odds::equalized_odds;
 use fairbridge::metrics::opportunity::equal_opportunity;
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn fmt_row(cols: &[String]) -> String {
     cols.iter()

@@ -10,8 +10,7 @@ use fairbridge::learn::matrix::Matrix;
 use fairbridge::learn::Scorer;
 use fairbridge::mitigate::quota::{quota_select, QuotaPolicy};
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 /// E8 — §IV.A: the definition↔equality-notion table plus the quota
 /// trade-off sweep (equal outcome costs accuracy against biased labels).
@@ -270,24 +269,24 @@ pub fn e11_feedback_loops(seed: u64) -> ExperimentResult {
     let checks = vec![
         Check::new(
             "the unmitigated loop sustains the parity gap",
-            plain.final_gap() > 0.1,
-            format!("final gap {:.3}", plain.final_gap()),
+            plain.mean_gap() > 0.1,
+            format!("mean gap {:.3}", plain.mean_gap()),
         ),
         Check::new(
             "discouragement shrinks the disadvantaged applicant share below 1/3",
-            plain.final_disadvantaged_share() < 0.31,
-            format!("share {:.3}", plain.final_disadvantaged_share()),
+            plain.min_disadvantaged_share() < 0.31,
+            format!("min share {:.3}", plain.min_disadvantaged_share()),
         ),
         Check::new(
             "per-round reweighing dampens the loop",
-            fixed.final_gap() < plain.final_gap()
-                && fixed.final_disadvantaged_share() > plain.final_disadvantaged_share(),
+            fixed.mean_gap() < plain.mean_gap()
+                && fixed.min_disadvantaged_share() > plain.min_disadvantaged_share(),
             format!(
-                "gap {:.3}→{:.3}, share {:.3}→{:.3}",
-                plain.final_gap(),
-                fixed.final_gap(),
-                plain.final_disadvantaged_share(),
-                fixed.final_disadvantaged_share()
+                "mean gap {:.3}→{:.3}, min share {:.3}→{:.3}",
+                plain.mean_gap(),
+                fixed.mean_gap(),
+                plain.min_disadvantaged_share(),
+                fixed.min_disadvantaged_share()
             ),
         ),
     ];

@@ -1,0 +1,264 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the `benches/` binaries run on
+//! this hand-rolled harness instead of an external framework. It exposes
+//! the small API slice the bench files use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `b.iter(..)` and the
+//! `criterion_group!`/`criterion_main!` macros — so a bench file
+//! reads the same whether it targets this harness or the upstream crate.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples. A sample runs the closure enough times for the
+//! wall-clock to be meaningfully above timer resolution and records the
+//! mean nanoseconds per iteration; the harness reports min / median /
+//! mean over samples. Passing `--test` (as `cargo bench -- --test` does)
+//! switches to a smoke-test mode that executes every body exactly once.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall-clock time per measurement sample.
+const SAMPLE_TARGET_NANOS: u128 = 2_000_000; // 2 ms
+/// Default number of samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Identifier for one benchmark: a function name plus an optional
+/// parameter rendered into the printed label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id like `"demographic_parity_e1/100000"`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// mean nanoseconds per iteration, one entry per sample
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, calling it repeatedly and recording nanoseconds per
+    /// call. In `--test` mode the closure runs exactly once, untimed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: how many calls does one sample need to reach the
+        // target duration?
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= SAMPLE_TARGET_NANOS || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            // grow geometrically toward the target
+            iters_per_sample = if elapsed == 0 {
+                iters_per_sample * 8
+            } else {
+                let scale = SAMPLE_TARGET_NANOS.div_ceil(elapsed) as u64;
+                (iters_per_sample * scale.clamp(2, 8)).max(iters_per_sample + 1)
+            };
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:9.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:9.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:9.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:9.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level harness state: owns the output and the `--test` flag.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Construct from the process arguments. Recognises `--test`
+    /// (smoke-test mode); every other flag cargo forwards is ignored.
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_one(self.test_mode, DEFAULT_SAMPLE_SIZE, name, f);
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.test_mode, self.sample_size, &label, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a plain closure under this group's name.
+    pub fn bench_function<B: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: B,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(self.criterion.test_mode, self.sample_size, &label, f);
+        self
+    }
+
+    /// Close the group (kept for API parity; output is already flushed).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, sample_size: usize, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        test_mode,
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{label}: ok (test mode)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    if sorted.is_empty() {
+        // the closure never called b.iter — nothing to report
+        println!("{label}: no measurement");
+        return;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{label:<60} min {} | median {} | mean {}",
+        format_nanos(min),
+        format_nanos(median),
+        format_nanos(mean)
+    );
+}
+
+/// Bundle benchmark functions into a group runner, mirroring the
+/// upstream `criterion_group!` macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `fn main` running every listed group, mirroring the upstream
+/// `criterion_main!` macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_label() {
+        let id = BenchmarkId::new("metric", 1000);
+        assert_eq!(id.label, "metric/1000");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 50,
+            samples: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+}

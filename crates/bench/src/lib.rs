@@ -2,16 +2,21 @@
 //!
 //! The experiment harness regenerating every reproducible artifact of the
 //! ICDE'24 paper (see DESIGN.md §3 for the experiment index) plus the
-//! Criterion micro-benchmarks under `benches/`.
+//! micro-benchmarks under `benches/`.
 //!
 //! Each experiment in [`experiments`] prints the paper's artifact as a
 //! table and returns a machine-checkable summary, so the integration
 //! suite can assert the *shape* of every result while `fb-experiments`
 //! renders the human-readable report recorded in EXPERIMENTS.md.
+//!
+//! The micro-benchmarks run on the offline-friendly [`harness`] module,
+//! which mirrors the external framework's API surface without pulling in
+//! any registry dependency.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{run_all, run_one, ExperimentResult, EXPERIMENT_IDS};

@@ -330,7 +330,10 @@ mod tests {
             .any(|i| i.action.contains("masking detection")));
         // absent otherwise
         let g2 = compile_guidelines(&UseCase::eu_hiring_default());
-        assert!(!g2.items.iter().any(|i| i.action.contains("masking detection")));
+        assert!(!g2
+            .items
+            .iter()
+            .any(|i| i.action.contains("masking detection")));
     }
 
     #[test]

@@ -31,8 +31,7 @@
 //!
 //! ```
 //! use fairbridge::prelude::*;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use fairbridge::stats::rng::StdRng;
 //!
 //! // Generate the paper's running example: biased hiring data.
 //! let mut rng = StdRng::seed_from_u64(1);
@@ -74,6 +73,10 @@ pub use fairbridge_metrics as metrics;
 
 /// The auditing machinery (re-export of `fairbridge-audit`).
 pub use fairbridge_audit as audit;
+
+/// The parallel/streaming execution engine (re-export of
+/// `fairbridge-engine`).
+pub use fairbridge_engine as engine;
 
 /// The mitigation algorithms (re-export of `fairbridge-mitigate`).
 pub use fairbridge_mitigate as mitigate;

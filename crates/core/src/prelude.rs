@@ -7,6 +7,7 @@ pub use crate::legal::{
 };
 pub use crate::report::{compliance_report, ReportOptions};
 pub use fairbridge_audit::{AuditConfig, AuditPipeline, AuditReport, SubgroupAuditor};
+pub use fairbridge_engine::{AuditSpec, Engine, EngineConfig, MonitorConfig, StreamingMonitor};
 pub use fairbridge_learn::{
     Classifier, EncoderConfig, FeatureEncoder, LogisticTrainer, Scorer, TrainedModel,
 };

@@ -145,9 +145,8 @@ pub fn compliance_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_synth::hiring::{generate, HiringConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn report_contains_all_sections() {
@@ -221,7 +220,13 @@ mod tests {
     #[test]
     fn us_report_names_us_statutes_only() {
         let mut rng = StdRng::seed_from_u64(105);
-        let data = generate(&HiringConfig { n: 1000, ..HiringConfig::default() }, &mut rng);
+        let data = generate(
+            &HiringConfig {
+                n: 1000,
+                ..HiringConfig::default()
+            },
+            &mut rng,
+        );
         let uc = UseCase {
             jurisdiction: crate::legal::Jurisdiction::Us,
             sector: crate::legal::Sector::Employment,

@@ -1,0 +1,279 @@
+//! The sharded parallel audit executor.
+//!
+//! [`Engine::audit`] produces the same [`AuditReport`] as
+//! [`AuditPipeline::run`], but computes the Section III group metrics by
+//! fanning contiguous row shards out over scoped threads. Each shard
+//! fills its own [`GroupAccumulator`]; the shards are merged **in shard
+//! index order**, so the merged counts — and therefore every metric —
+//! are identical for any thread count (the counts are integers, and the
+//! finalize divides once per group in sorted key order, exactly like the
+//! sequential path).
+//!
+//! Shard boundaries depend only on the row count and the configured
+//! shard size, never on the number of workers: determinism is structural,
+//! not scheduled.
+
+use crate::partition::{Partition, PartitionCache};
+use fairbridge_audit::{AuditConfig, AuditPipeline, AuditReport};
+use fairbridge_metrics::{from_accumulator, GroupAccumulator};
+use fairbridge_tabular::Dataset;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Execution parameters of the [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    pub num_threads: usize,
+    /// Rows per shard. Boundaries depend only on this and the row count,
+    /// so results are identical across thread counts.
+    pub shard_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_threads: 0,
+            shard_size: 8192,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config pinned to `n` worker threads.
+    pub fn with_threads(n: usize) -> EngineConfig {
+        EngineConfig {
+            num_threads: n,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// What to audit: the pipeline configuration plus the outcome binding.
+#[derive(Debug, Clone)]
+pub struct AuditSpec {
+    /// Stage configuration (tolerance, subgroup depth, proxy threshold…).
+    pub config: AuditConfig,
+    /// Protected columns whose intersection defines the groups.
+    pub protected: Vec<String>,
+    /// Audit the historical labels (`true`) or the prediction column.
+    pub use_labels: bool,
+}
+
+impl AuditSpec {
+    /// A spec with the default [`AuditConfig`].
+    pub fn new(protected: &[&str], use_labels: bool) -> AuditSpec {
+        AuditSpec {
+            config: AuditConfig::default(),
+            protected: protected.iter().map(|s| (*s).to_owned()).collect(),
+            use_labels,
+        }
+    }
+}
+
+/// The sharded audit executor with a partition cache.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: PartitionCache,
+}
+
+impl Engine {
+    /// Creates an engine with the given execution config.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            cache: PartitionCache::new(),
+        }
+    }
+
+    /// The resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        if self.config.num_threads > 0 {
+            self.config.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Cached partitions accumulated so far.
+    pub fn cached_partitions(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The partition for `(ds, protected)` — cached, building on first
+    /// use. Exposed so callers can drive [`Engine::accumulate`] directly
+    /// (e.g. to time the scan without the non-metric pipeline stages).
+    pub fn partition(&self, ds: &Dataset, protected: &[&str]) -> Result<Arc<Partition>, String> {
+        self.cache.get_or_build(ds, protected)
+    }
+
+    /// Runs the full audit, sharding the metric scan across workers.
+    ///
+    /// The result matches [`AuditPipeline::run`] with the same
+    /// [`AuditConfig`] exactly — including bitwise-identical metric gaps —
+    /// for every thread count.
+    pub fn audit(&self, ds: &Dataset, spec: &AuditSpec) -> Result<AuditReport, String> {
+        let protected: Vec<&str> = spec.protected.iter().map(String::as_str).collect();
+        let partition = self.cache.get_or_build(ds, &protected)?;
+
+        // Bind outcomes the way the sequential pipeline does: auditing
+        // historical labels treats them as the decisions (and leaves no
+        // ground truth), auditing predictions attaches labels if present.
+        let (decisions, labels): (Vec<bool>, Option<Vec<bool>>) = if spec.use_labels {
+            (ds.labels().map_err(|e| e.to_string())?.to_vec(), None)
+        } else {
+            (
+                ds.predictions().map_err(|e| e.to_string())?.to_vec(),
+                ds.labels().ok().map(<[bool]>::to_vec),
+            )
+        };
+
+        let acc = self.accumulate(&partition, &decisions, labels.as_deref())?;
+        let metrics = from_accumulator(&acc, spec.config.tolerance, spec.config.min_group_size);
+
+        // The non-metric stages (proxy ranking, subgroup search,
+        // representation audit) run sequentially through the exact
+        // pipeline code path.
+        let stages =
+            AuditPipeline::new(spec.config.clone()).support_stages(ds, &protected, &decisions)?;
+        Ok(stages.into_report(metrics))
+    }
+
+    /// Scans `decisions` (and optional `labels`) into one merged
+    /// accumulator by fanning shards out over scoped worker threads.
+    pub fn accumulate(
+        &self,
+        partition: &Arc<Partition>,
+        decisions: &[bool],
+        labels: Option<&[bool]>,
+    ) -> Result<GroupAccumulator, String> {
+        let n = decisions.len();
+        if n != partition.n_rows() {
+            return Err("decisions length must match the partitioned dataset".to_owned());
+        }
+        if labels.is_some_and(|l| l.len() != n) {
+            return Err("labels length must match decisions".to_owned());
+        }
+        let has_labels = labels.is_some();
+        let shard_size = self.config.shard_size.max(1);
+        let n_shards = n.div_ceil(shard_size).max(1);
+        let workers = self.threads().min(n_shards);
+
+        let fill = |acc: &mut GroupAccumulator, range: std::ops::Range<usize>| {
+            for row in range {
+                acc.observe(
+                    partition.group_of(row),
+                    decisions[row],
+                    labels.map(|l| l[row]),
+                );
+            }
+        };
+
+        if workers <= 1 {
+            let mut acc = partition.empty_accumulator(has_labels);
+            fill(&mut acc, 0..n);
+            return Ok(acc);
+        }
+
+        // Workers pull shard indices from a shared counter; each returns
+        // its (shard index, accumulator) pairs and the merge happens on
+        // this thread in ascending shard order.
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<GroupAccumulator>> = vec![None; n_shards];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, GroupAccumulator)> = Vec::new();
+                        loop {
+                            let s = next.fetch_add(1, Ordering::Relaxed);
+                            if s >= n_shards {
+                                break;
+                            }
+                            let mut acc = partition.empty_accumulator(has_labels);
+                            let start = s * shard_size;
+                            let end = (start + shard_size).min(n);
+                            fill(&mut acc, start..end);
+                            done.push((s, acc));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (s, acc) in h.join().expect("shard worker panicked") {
+                    slots[s] = Some(acc);
+                }
+            }
+        });
+
+        let mut merged = partition.empty_accumulator(has_labels);
+        for slot in slots {
+            merged.merge(&slot.expect("every shard filled"))?;
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_metrics::outcome::Outcomes;
+    use fairbridge_tabular::Role;
+
+    fn dataset(n: usize) -> Dataset {
+        let codes: Vec<u32> = (0..n).map(|i| (i % 3 == 0) as u32).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let preds: Vec<bool> = (0..n).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        Dataset::builder()
+            .categorical_with_role("g", vec!["a", "b"], codes, Role::Protected)
+            .boolean_with_role("y", labels, Role::Label)
+            .boolean_with_role("r", preds, Role::Prediction)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_accumulation_matches_sequential_for_any_thread_count() {
+        let ds = dataset(1003); // not a multiple of the shard size
+        let outcomes = Outcomes::from_dataset(&ds, &["g"]).unwrap();
+        let reference = GroupAccumulator::from_outcomes(&outcomes);
+        for threads in [1, 2, 3, 8] {
+            let engine = Engine::new(EngineConfig {
+                num_threads: threads,
+                shard_size: 64,
+            });
+            let partition = engine.cache.get_or_build(&ds, &["g"]).unwrap();
+            let labels = ds.labels().unwrap().to_vec();
+            let acc = engine
+                .accumulate(&partition, ds.predictions().unwrap(), Some(&labels))
+                .unwrap();
+            assert_eq!(acc, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn audit_reuses_the_partition_cache() {
+        let ds = dataset(200);
+        let engine = Engine::new(EngineConfig::with_threads(2));
+        let spec = AuditSpec::new(&["g"], false);
+        engine.audit(&ds, &spec).unwrap();
+        assert_eq!(engine.cached_partitions(), 1);
+        engine.audit(&ds, &spec).unwrap();
+        assert_eq!(engine.cached_partitions(), 1);
+    }
+
+    #[test]
+    fn accumulate_validates_lengths() {
+        let ds = dataset(50);
+        let engine = Engine::new(EngineConfig::default());
+        let partition = engine.cache.get_or_build(&ds, &["g"]).unwrap();
+        assert!(engine.accumulate(&partition, &[true; 3], None).is_err());
+        assert!(engine
+            .accumulate(&partition, &[true; 50], Some(&[false; 3]))
+            .is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Group partitions and the partition cache.
+//!
+//! Sharded execution needs a *row → group* map rather than the
+//! *group → rows* map that [`GroupIndex`] materializes: a shard walks a
+//! contiguous row range and must resolve each row's group in O(1).
+//! [`Partition`] inverts the index once (preserving the sorted key order
+//! every metric iterates in), and [`PartitionCache`] memoizes partitions
+//! keyed by a dataset fingerprint plus the protected-attribute set, so
+//! repeated audits of the same dataset skip the `GroupIndex` build.
+
+use fairbridge_metrics::GroupAccumulator;
+use fairbridge_tabular::{Column, Dataset, GroupIndex, GroupKey, GroupSpec};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A row-addressable group partition: sorted keys plus a dense
+/// `row → group-id` map (ids index into [`Partition::keys`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    keys: Vec<GroupKey>,
+    row_groups: Vec<u32>,
+}
+
+impl Partition {
+    /// Builds the partition for the intersection of `protected` columns.
+    pub fn build(ds: &Dataset, protected: &[&str]) -> Result<Partition, String> {
+        let spec = GroupSpec::intersection(protected.to_vec());
+        let index = GroupIndex::build(ds, &spec).map_err(|e| e.to_string())?;
+        let keys: Vec<GroupKey> = index.iter().map(|(k, _)| k.clone()).collect();
+        let mut row_groups = vec![0u32; index.n_rows()];
+        for (gid, (_, rows)) in index.iter().enumerate() {
+            for &r in rows {
+                row_groups[r] = gid as u32;
+            }
+        }
+        Ok(Partition { keys, row_groups })
+    }
+
+    /// The group keys, sorted (the order metrics iterate in).
+    pub fn keys(&self) -> &[GroupKey] {
+        &self.keys
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of rows in the partitioned dataset.
+    pub fn n_rows(&self) -> usize {
+        self.row_groups.len()
+    }
+
+    /// The group id of a row (index into [`Partition::keys`]).
+    pub fn group_of(&self, row: usize) -> usize {
+        self.row_groups[row] as usize
+    }
+
+    /// An empty accumulator structurally compatible with this partition.
+    pub fn empty_accumulator(&self, has_labels: bool) -> GroupAccumulator {
+        GroupAccumulator::with_keys(self.keys.clone(), has_labels)
+            .expect("partition keys are sorted and unique")
+    }
+}
+
+/// 64-bit FNV-1a fingerprint of the columns that determine a partition:
+/// row count plus each protected column's name, kind and codes. Two
+/// datasets with identical protected columns collide on purpose — they
+/// induce the same partition.
+pub fn dataset_fingerprint(ds: &Dataset, protected: &[&str]) -> Result<u64, String> {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(ds.n_rows() as u64).to_le_bytes());
+    for name in protected {
+        eat(name.as_bytes());
+        eat(&[0xff]);
+        let col = ds.column(name).map_err(|e| e.to_string())?;
+        match col {
+            Column::Categorical { levels, codes } => {
+                eat(&[1]);
+                for l in levels {
+                    eat(l.as_bytes());
+                    eat(&[0xff]);
+                }
+                for &c in codes {
+                    eat(&c.to_le_bytes());
+                }
+            }
+            Column::Boolean(v) => {
+                eat(&[2]);
+                for &b in v {
+                    eat(&[u8::from(b)]);
+                }
+            }
+            Column::Numeric(v) => {
+                eat(&[3]);
+                for &x in v {
+                    eat(&x.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    Ok(h)
+}
+
+/// Cache key: `(dataset fingerprint, protected-attribute set)`.
+type CacheKey = (u64, Vec<String>);
+
+/// A thread-safe memo of [`Partition`]s keyed by
+/// `(dataset fingerprint, protected-attribute set)`.
+#[derive(Debug, Default)]
+pub struct PartitionCache {
+    entries: Mutex<HashMap<CacheKey, Arc<Partition>>>,
+}
+
+impl PartitionCache {
+    /// Creates an empty cache.
+    pub fn new() -> PartitionCache {
+        PartitionCache::default()
+    }
+
+    /// Returns the cached partition for `(ds, protected)`, building and
+    /// inserting it on first use.
+    pub fn get_or_build(&self, ds: &Dataset, protected: &[&str]) -> Result<Arc<Partition>, String> {
+        let fp = dataset_fingerprint(ds, protected)?;
+        let key = (
+            fp,
+            protected
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<_>>(),
+        );
+        if let Some(hit) = self.entries.lock().expect("cache lock").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let built = Arc::new(Partition::build(ds, protected)?);
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairbridge_tabular::Role;
+
+    fn sample() -> Dataset {
+        Dataset::builder()
+            .categorical_with_role(
+                "sex",
+                vec!["male", "female"],
+                vec![0, 1, 0, 1, 1, 0],
+                Role::Protected,
+            )
+            .boolean_with_role(
+                "hired",
+                vec![true, false, true, false, true, false],
+                Role::Label,
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn partition_inverts_the_group_index() {
+        let ds = sample();
+        let p = Partition::build(&ds, &["sex"]).unwrap();
+        assert_eq!(p.n_groups(), 2);
+        assert_eq!(p.n_rows(), 6);
+        // keys are sorted: "female" < "male"
+        assert_eq!(p.keys()[0], GroupKey(vec!["female".into()]));
+        for (row, expected) in [(0, 1), (1, 0), (2, 1), (3, 0), (4, 0), (5, 1)] {
+            assert_eq!(p.group_of(row), expected, "row {row}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let ds = sample();
+        let a = dataset_fingerprint(&ds, &["sex"]).unwrap();
+        let b = dataset_fingerprint(&ds, &["sex"]).unwrap();
+        assert_eq!(a, b);
+        let other = Dataset::builder()
+            .categorical_with_role(
+                "sex",
+                vec!["male", "female"],
+                vec![0, 1, 0, 1, 1, 1], // one code differs
+                Role::Protected,
+            )
+            .boolean_with_role(
+                "hired",
+                vec![true, false, true, false, true, false],
+                Role::Label,
+            )
+            .build()
+            .unwrap();
+        assert_ne!(a, dataset_fingerprint(&other, &["sex"]).unwrap());
+        assert_ne!(
+            dataset_fingerprint(&ds, &["sex"]).unwrap(),
+            dataset_fingerprint(&ds, &["hired"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_partition() {
+        let ds = sample();
+        let cache = PartitionCache::new();
+        assert!(cache.is_empty());
+        let first = cache.get_or_build(&ds, &["sex"]).unwrap();
+        let second = cache.get_or_build(&ds, &["sex"]).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+        let _ = cache.get_or_build(&ds, &["hired"]).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+}

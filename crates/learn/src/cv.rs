@@ -8,8 +8,8 @@
 use crate::encode::{EncoderConfig, FeatureEncoder};
 use crate::model::TrainedModel;
 use crate::split::k_fold_indices;
+use fairbridge_stats::rng::Rng;
 use fairbridge_tabular::Dataset;
-use rand::Rng;
 
 /// Per-fold and aggregate results of a cross-validated evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,9 +77,8 @@ pub fn logistic_trainer(
 mod tests {
     use super::*;
     use crate::eval::accuracy;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_tabular::Role;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn dataset(n: usize) -> Dataset {
         Dataset::builder()

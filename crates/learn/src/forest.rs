@@ -8,7 +8,7 @@
 use crate::matrix::Matrix;
 use crate::model::Scorer;
 use crate::tree::{DecisionTree, TreeTrainer};
-use rand::Rng;
+use fairbridge_stats::rng::Rng;
 
 /// A fitted random forest.
 #[derive(Debug, Clone)]
@@ -116,8 +116,7 @@ impl Scorer for RandomForest {
 mod tests {
     use super::*;
     use crate::model::Classifier;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fairbridge_stats::rng::StdRng;
 
     fn ring_data(n: usize) -> (Matrix, Vec<bool>) {
         // Nonlinear decision boundary: inside vs outside a circle.

@@ -1,7 +1,7 @@
 //! Train/test and cross-validation splitting.
 
+use fairbridge_stats::rng::Rng;
 use fairbridge_tabular::Dataset;
-use rand::Rng;
 
 /// A random permutation of `0..n` (Fisher–Yates).
 pub fn permutation<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
@@ -97,9 +97,8 @@ pub fn k_fold_indices<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<(Vec<usize
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_tabular::Role;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn ds(n: usize) -> Dataset {
         Dataset::builder()

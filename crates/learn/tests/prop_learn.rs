@@ -1,133 +1,171 @@
-//! Property-based tests for the ML substrate.
+//! Randomized property tests for the ML substrate, driven by the
+//! workspace's deterministic PRNG (no proptest: the build is offline).
 
+use fairbridge_learn::calibrate::{IsotonicCalibrator, PlattScaler};
 use fairbridge_learn::eval::{brier_score, log_loss, roc_auc, Confusion};
 use fairbridge_learn::logistic::sigmoid;
 use fairbridge_learn::matrix::{dot, Matrix};
 use fairbridge_learn::model::Scorer;
 use fairbridge_learn::tree::TreeTrainer;
 use fairbridge_learn::LogisticTrainer;
-use proptest::prelude::*;
+use fairbridge_stats::rng::{Rng, StdRng};
 
-fn labeled_scores() -> impl Strategy<Value = Vec<(bool, f64)>> {
-    proptest::collection::vec((any::<bool>(), 0.0f64..=1.0), 2..60)
+const CASES: usize = 32;
+
+fn labeled_scores<R: Rng>(rng: &mut R) -> Vec<(bool, f64)> {
+    let n = rng.gen_range(2..60usize);
+    (0..n)
+        .map(|_| (rng.gen_bool(0.5), rng.gen_range(0.0..1.0)))
+        .collect()
 }
 
-proptest! {
-    /// Confusion rates obey the complement identities and row sums.
-    #[test]
-    fn confusion_identities(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..80)) {
-        let (labels, preds): (Vec<bool>, Vec<bool>) = pairs.into_iter().unzip();
+/// Confusion rates obey the complement identities and row sums.
+#[test]
+fn confusion_identities() {
+    let mut rng = StdRng::seed_from_u64(0x1E_01);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..80usize);
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let preds: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let c = Confusion::from_predictions(&labels, &preds);
-        prop_assert_eq!(c.total() as usize, labels.len());
+        assert_eq!(c.total() as usize, labels.len());
         if !c.tpr().is_nan() {
-            prop_assert!((c.tpr() + c.fnr() - 1.0).abs() < 1e-12);
+            assert!((c.tpr() + c.fnr() - 1.0).abs() < 1e-12);
         }
         if !c.fpr().is_nan() {
-            prop_assert!((c.fpr() + c.tnr() - 1.0).abs() < 1e-12);
+            assert!((c.fpr() + c.tnr() - 1.0).abs() < 1e-12);
         }
         if !c.accuracy().is_nan() {
-            prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+            assert!((0.0..=1.0).contains(&c.accuracy()));
         }
         // selection rate equals P(pred=true)
         let sel = preds.iter().filter(|&&p| p).count() as f64 / preds.len() as f64;
-        prop_assert!((c.selection_rate() - sel).abs() < 1e-12);
+        assert!((c.selection_rate() - sel).abs() < 1e-12);
     }
+}
 
-    /// AUC ∈ [0,1] (when defined) and is invariant under strictly
-    /// monotone transforms of the scores.
-    #[test]
-    fn auc_properties(data in labeled_scores()) {
-        let (labels, scores): (Vec<bool>, Vec<f64>) = data.into_iter().unzip();
+/// AUC ∈ [0,1] (when defined) and is invariant under strictly
+/// monotone transforms of the scores.
+#[test]
+fn auc_properties() {
+    let mut rng = StdRng::seed_from_u64(0x1E_02);
+    for _ in 0..CASES {
+        let (labels, scores): (Vec<bool>, Vec<f64>) = labeled_scores(&mut rng).into_iter().unzip();
         let auc = roc_auc(&labels, &scores);
         if auc.is_nan() {
             // one class absent — legal
         } else {
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&auc));
+            assert!((0.0..=1.0 + 1e-12).contains(&auc));
             let transformed: Vec<f64> = scores.iter().map(|s| (s * 3.0).exp()).collect();
             let auc2 = roc_auc(&labels, &transformed);
-            prop_assert!((auc - auc2).abs() < 1e-9, "{auc} vs {auc2}");
+            assert!((auc - auc2).abs() < 1e-9, "{auc} vs {auc2}");
             // complementing predictions flips AUC around 0.5
             let flipped: Vec<f64> = scores.iter().map(|s| 1.0 - s).collect();
             let auc3 = roc_auc(&labels, &flipped);
-            prop_assert!((auc + auc3 - 1.0).abs() < 1e-9);
+            assert!((auc + auc3 - 1.0).abs() < 1e-9);
         }
     }
+}
 
-    /// Log-loss and Brier score are minimized by the true labels.
-    #[test]
-    fn perfect_scores_minimize_losses(labels in proptest::collection::vec(any::<bool>(), 1..50)) {
+/// Log-loss and Brier score are minimized by the true labels.
+#[test]
+fn perfect_scores_minimize_losses() {
+    let mut rng = StdRng::seed_from_u64(0x1E_03);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..50usize);
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let perfect: Vec<f64> = labels.iter().map(|&y| if y { 1.0 } else { 0.0 }).collect();
         let uniform = vec![0.5; labels.len()];
-        prop_assert!(log_loss(&labels, &perfect) <= log_loss(&labels, &uniform) + 1e-12);
-        prop_assert!(brier_score(&labels, &perfect) <= brier_score(&labels, &uniform) + 1e-12);
-        prop_assert!(brier_score(&labels, &perfect) < 1e-12);
+        assert!(log_loss(&labels, &perfect) <= log_loss(&labels, &uniform) + 1e-12);
+        assert!(brier_score(&labels, &perfect) <= brier_score(&labels, &uniform) + 1e-12);
+        assert!(brier_score(&labels, &perfect) < 1e-12);
     }
+}
 
-    /// Sigmoid is bounded, monotone and satisfies σ(−z) = 1 − σ(z).
-    #[test]
-    fn sigmoid_axioms(z1 in -700f64..700.0, z2 in -700f64..700.0) {
+/// Sigmoid is bounded, monotone and satisfies σ(−z) = 1 − σ(z).
+#[test]
+fn sigmoid_axioms() {
+    let mut rng = StdRng::seed_from_u64(0x1E_04);
+    for _ in 0..CASES {
+        let z1 = rng.gen_range(-700.0..700.0);
+        let z2 = rng.gen_range(-700.0..700.0);
         let s1 = sigmoid(z1);
-        prop_assert!((0.0..=1.0).contains(&s1));
-        prop_assert!((sigmoid(-z1) + s1 - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&s1));
+        assert!((sigmoid(-z1) + s1 - 1.0).abs() < 1e-12);
         if z1 < z2 {
-            prop_assert!(s1 <= sigmoid(z2));
+            assert!(s1 <= sigmoid(z2));
         }
     }
+}
 
-    /// Matrix matvec matches the naive definition.
-    #[test]
-    fn matvec_matches_naive(rows in proptest::collection::vec(
-        proptest::collection::vec(-10f64..10.0, 3), 1..20)) {
+/// Matrix matvec matches the naive definition.
+#[test]
+fn matvec_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(0x1E_05);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20usize);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
         let m = Matrix::from_rows(&rows);
         let w = [1.5, -2.0, 0.25];
         let out = m.matvec(&w);
         for (i, row) in rows.iter().enumerate() {
-            prop_assert!((out[i] - dot(row, &w)).abs() < 1e-12);
+            assert!((out[i] - dot(row, &w)).abs() < 1e-12);
         }
     }
+}
 
-    /// Tree leaf probabilities stay in [0,1] and score is a leaf value.
-    #[test]
-    fn tree_scores_are_probabilities(data in proptest::collection::vec(
-        ((-10f64..10.0), any::<bool>()), 4..50)) {
-        let rows: Vec<Vec<f64>> = data.iter().map(|(x, _)| vec![*x]).collect();
-        let y: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+/// Tree leaf probabilities stay in [0,1] and score is a leaf value.
+#[test]
+fn tree_scores_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(0x1E_06);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4..50usize);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(-10.0..10.0)]).collect();
+        let y: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let tree = TreeTrainer::default().fit(&Matrix::from_rows(&rows), &y);
         for row in &rows {
             let s = tree.score(row);
-            prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+            assert!((0.0..=1.0).contains(&s), "score {s}");
         }
         for (path, p) in tree.leaves() {
-            prop_assert!((0.0..=1.0).contains(&p));
-            prop_assert!(path.len() <= 6); // max_depth default
+            assert!((0.0..=1.0).contains(&p));
+            assert!(path.len() <= 6); // max_depth default
         }
     }
+}
 
-    /// Logistic training never produces NaN weights on clean data.
-    #[test]
-    fn logistic_weights_finite(data in proptest::collection::vec(
-        ((-5f64..5.0), any::<bool>()), 2..40)) {
-        let rows: Vec<Vec<f64>> = data.iter().map(|(x, _)| vec![*x]).collect();
-        let y: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+/// Logistic training never produces NaN weights on clean data.
+#[test]
+fn logistic_weights_finite() {
+    let mut rng = StdRng::seed_from_u64(0x1E_07);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..40usize);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(-5.0..5.0)]).collect();
+        let y: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let model = LogisticTrainer {
             epochs: 50,
             ..LogisticTrainer::default()
         }
         .fit(&Matrix::from_rows(&rows), &y);
-        prop_assert!(model.weights.iter().all(|w| w.is_finite()));
-        prop_assert!(model.bias.is_finite());
+        assert!(model.weights.iter().all(|w| w.is_finite()));
+        assert!(model.bias.is_finite());
         for row in &rows {
             let s = model.score(row);
-            prop_assert!((0.0..=1.0).contains(&s));
+            assert!((0.0..=1.0).contains(&s));
         }
     }
+}
 
-    /// Doubling a training point's weight equals duplicating the point.
-    #[test]
-    fn weight_two_equals_duplication(data in proptest::collection::vec(
-        ((-3f64..3.0), any::<bool>()), 2..15)) {
-        let rows: Vec<Vec<f64>> = data.iter().map(|(x, _)| vec![*x]).collect();
-        let y: Vec<bool> = data.iter().map(|(_, l)| *l).collect();
+/// Doubling a training point's weight equals duplicating the point.
+#[test]
+fn weight_two_equals_duplication() {
+    let mut rng = StdRng::seed_from_u64(0x1E_08);
+    for _ in 0..16 {
+        let n = rng.gen_range(2..15usize);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(-3.0..3.0)]).collect();
+        let y: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let trainer = LogisticTrainer {
             epochs: 120,
             ..LogisticTrainer::default()
@@ -145,62 +183,75 @@ proptest! {
         y2.push(y[0]);
         let duplicated = trainer.fit(&Matrix::from_rows(&rows2), &y2);
 
-        prop_assert!((weighted.weights[0] - duplicated.weights[0]).abs() < 1e-9,
-            "{} vs {}", weighted.weights[0], duplicated.weights[0]);
-        prop_assert!((weighted.bias - duplicated.bias).abs() < 1e-9);
+        assert!(
+            (weighted.weights[0] - duplicated.weights[0]).abs() < 1e-9,
+            "{} vs {}",
+            weighted.weights[0],
+            duplicated.weights[0]
+        );
+        assert!((weighted.bias - duplicated.bias).abs() < 1e-9);
     }
 }
 
-use fairbridge_learn::calibrate::{IsotonicCalibrator, PlattScaler};
-
-proptest! {
-    /// Isotonic calibration output is monotone in the input score and
-    /// bounded by [0,1] for arbitrary training data.
-    #[test]
-    fn isotonic_monotone_and_bounded(data in proptest::collection::vec(
-        (0.0f64..1.0, any::<bool>()), 2..60)) {
-        let (scores, labels): (Vec<f64>, Vec<bool>) = data.into_iter().unzip();
+/// Isotonic calibration output is monotone in the input score and
+/// bounded by [0,1] for arbitrary training data.
+#[test]
+fn isotonic_monotone_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x1E_09);
+    for _ in 0..CASES {
+        let (labels, scores): (Vec<bool>, Vec<f64>) = labeled_scores(&mut rng).into_iter().unzip();
         let iso = IsotonicCalibrator::fit(&scores, &labels).unwrap();
         let probes: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
         let outs = iso.transform_all(&probes);
         for w in outs.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-12);
+            assert!(w[1] >= w[0] - 1e-12);
         }
         for &p in &outs {
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
         }
     }
+}
 
-    /// Isotonic calibration never increases the squared error to the
-    /// labels relative to the raw scores (it is the L2 projection onto
-    /// monotone functions of the score order).
-    #[test]
-    fn isotonic_weakly_improves_brier(data in proptest::collection::vec(
-        (0.0f64..1.0, any::<bool>()), 2..60)) {
-        let (scores, labels): (Vec<f64>, Vec<bool>) = data.into_iter().unzip();
+/// Isotonic calibration never increases the squared error to the
+/// labels relative to the raw scores (it is the L2 projection onto
+/// monotone functions of the score order).
+#[test]
+fn isotonic_weakly_improves_brier() {
+    let mut rng = StdRng::seed_from_u64(0x1E_0A);
+    for _ in 0..CASES {
+        let (labels, scores): (Vec<bool>, Vec<f64>) = labeled_scores(&mut rng).into_iter().unzip();
         let iso = IsotonicCalibrator::fit(&scores, &labels).unwrap();
         let calibrated = iso.transform_all(&scores);
         let brier = |probs: &[f64]| -> f64 {
-            probs.iter().zip(&labels)
+            probs
+                .iter()
+                .zip(&labels)
                 .map(|(&p, &y)| (p - if y { 1.0 } else { 0.0 }).powi(2))
-                .sum::<f64>() / labels.len() as f64
+                .sum::<f64>()
+                / labels.len() as f64
         };
         // exact: PAV is the L2 projection onto monotone fits, and
         // training scores map to exactly their block means
-        prop_assert!(brier(&calibrated) <= brier(&scores) + 1e-9,
-            "brier {} -> {}", brier(&scores), brier(&calibrated));
+        assert!(
+            brier(&calibrated) <= brier(&scores) + 1e-9,
+            "brier {} -> {}",
+            brier(&scores),
+            brier(&calibrated)
+        );
     }
+}
 
-    /// Platt scaling is monotone when the fitted slope is non-negative and
-    /// always outputs probabilities.
-    #[test]
-    fn platt_outputs_probabilities(data in proptest::collection::vec(
-        (0.0f64..1.0, any::<bool>()), 2..60)) {
-        let (scores, labels): (Vec<f64>, Vec<bool>) = data.into_iter().unzip();
+/// Platt scaling is monotone when the fitted slope is non-negative and
+/// always outputs probabilities.
+#[test]
+fn platt_outputs_probabilities() {
+    let mut rng = StdRng::seed_from_u64(0x1E_0B);
+    for _ in 0..CASES {
+        let (labels, scores): (Vec<bool>, Vec<f64>) = labeled_scores(&mut rng).into_iter().unzip();
         let platt = PlattScaler::fit(&scores, &labels).unwrap();
         for &s in &scores {
             let p = platt.transform(s);
-            prop_assert!(p > 0.0 && p < 1.0, "p = {p}");
+            assert!(p > 0.0 && p < 1.0, "p = {p}");
         }
     }
 }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod accumulator;
 pub mod binned;
 pub mod conditional;
 pub mod counterfactual;
@@ -40,6 +41,7 @@ pub mod outcome;
 pub mod parity;
 pub mod report;
 
+pub use accumulator::{from_accumulator, GroupAccumulator, GroupCounts};
 pub use definition::{Definition, EqualityNotion};
 pub use outcome::Outcomes;
 pub use parity::{demographic_parity, four_fifths, ParityReport};

@@ -1,75 +1,87 @@
-//! Property-based tests for the fairness metrics: gap/ratio invariants.
+//! Randomized property tests for the fairness metrics: gap/ratio
+//! invariants, driven by the workspace's deterministic PRNG (no proptest:
+//! the build is offline).
 
 use fairbridge_metrics::disparity::demographic_disparity;
 use fairbridge_metrics::odds::equalized_odds;
 use fairbridge_metrics::opportunity::equal_opportunity;
 use fairbridge_metrics::outcome::{GapSummary, Outcomes, RateStat};
 use fairbridge_metrics::parity::{demographic_parity, disparate_impact};
+use fairbridge_stats::rng::{Rng, StdRng};
 use fairbridge_tabular::GroupKey;
-use proptest::prelude::*;
 
-/// Strategy: predictions + labels + binary group codes of equal length.
-fn outcome_data() -> impl Strategy<Value = (Vec<bool>, Vec<bool>, Vec<u32>)> {
-    proptest::collection::vec((any::<bool>(), any::<bool>(), 0u32..2), 2..80).prop_map(|v| {
-        let mut preds = Vec::new();
-        let mut labels = Vec::new();
-        let mut codes = Vec::new();
-        for (p, l, c) in v {
-            preds.push(p);
-            labels.push(l);
-            codes.push(c);
-        }
-        (preds, labels, codes)
-    })
+const CASES: usize = 64;
+
+/// Random predictions + labels + binary group codes of equal length.
+fn outcome_data<R: Rng>(rng: &mut R) -> (Vec<bool>, Vec<bool>, Vec<u32>) {
+    let n = rng.gen_range(2..80usize);
+    let preds: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2usize) as u32).collect();
+    (preds, labels, codes)
 }
 
-proptest! {
-    /// Gap is in [0,1]; ratio in [0,1]; gap 0 iff ratio 1 (when defined).
-    #[test]
-    fn parity_gap_ratio_bounds((preds, _labels, codes) in outcome_data()) {
+/// Gap is in [0,1]; ratio in [0,1]; gap 0 iff ratio 1 (when defined).
+#[test]
+fn parity_gap_ratio_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x3E_01);
+    for _ in 0..CASES {
+        let (preds, _labels, codes) = outcome_data(&mut rng);
         let o = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
         let r = demographic_parity(&o, 0);
         if !r.summary.gap.is_nan() {
-            prop_assert!((0.0..=1.0).contains(&r.summary.gap));
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&r.summary.ratio));
+            assert!((0.0..=1.0).contains(&r.summary.gap));
+            assert!((0.0..=1.0 + 1e-12).contains(&r.summary.ratio));
             if r.summary.gap < 1e-12 {
-                prop_assert!((r.summary.ratio - 1.0).abs() < 1e-9);
+                assert!((r.summary.ratio - 1.0).abs() < 1e-9);
             }
         }
     }
+}
 
-    /// Relabeling the groups (swapping codes) leaves the gap unchanged.
-    #[test]
-    fn parity_invariant_under_group_relabel((preds, _labels, codes) in outcome_data()) {
+/// Relabeling the groups (swapping codes) leaves the gap unchanged.
+#[test]
+fn parity_invariant_under_group_relabel() {
+    let mut rng = StdRng::seed_from_u64(0x3E_02);
+    for _ in 0..CASES {
+        let (preds, _labels, codes) = outcome_data(&mut rng);
         let swapped: Vec<u32> = codes.iter().map(|&c| 1 - c).collect();
         let o1 = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
         let o2 = Outcomes::from_slices(&preds, None, &swapped, &["a", "b"]).unwrap();
         let g1 = demographic_parity(&o1, 0).summary.gap;
         let g2 = demographic_parity(&o2, 0).summary.gap;
         if g1.is_nan() {
-            prop_assert!(g2.is_nan());
+            assert!(g2.is_nan());
         } else {
-            prop_assert!((g1 - g2).abs() < 1e-12);
+            assert!((g1 - g2).abs() < 1e-12);
         }
     }
+}
 
-    /// Flipping every prediction maps selection rate r to 1−r, so the
-    /// parity gap is preserved.
-    #[test]
-    fn parity_invariant_under_outcome_flip((preds, _labels, codes) in outcome_data()) {
+/// Flipping every prediction maps selection rate r to 1−r, so the
+/// parity gap is preserved.
+#[test]
+fn parity_invariant_under_outcome_flip() {
+    let mut rng = StdRng::seed_from_u64(0x3E_03);
+    for _ in 0..CASES {
+        let (preds, _labels, codes) = outcome_data(&mut rng);
         let flipped: Vec<bool> = preds.iter().map(|&p| !p).collect();
         let o1 = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
         let o2 = Outcomes::from_slices(&flipped, None, &codes, &["a", "b"]).unwrap();
         let g1 = demographic_parity(&o1, 0).summary.gap;
         let g2 = demographic_parity(&o2, 0).summary.gap;
         if !g1.is_nan() && !g2.is_nan() {
-            prop_assert!((g1 - g2).abs() < 1e-12);
+            assert!((g1 - g2).abs() < 1e-12);
         }
     }
+}
 
-    /// Duplicating every row leaves all rates, gaps and verdicts intact.
-    #[test]
-    fn metrics_invariant_under_duplication((preds, labels, codes) in outcome_data()) {
+/// Duplicating every row leaves all rates, gaps and verdicts intact.
+#[test]
+fn metrics_invariant_under_duplication() {
+    let mut rng = StdRng::seed_from_u64(0x3E_04);
+    for _ in 0..CASES {
+        let (preds, labels, codes) = outcome_data(&mut rng);
         let doubled = |v: &[bool]| -> Vec<bool> { v.iter().chain(v.iter()).copied().collect() };
         let codes2: Vec<u32> = codes.iter().chain(codes.iter()).copied().collect();
         let o1 = Outcomes::from_slices(&preds, Some(&labels), &codes, &["a", "b"]).unwrap();
@@ -83,54 +95,71 @@ proptest! {
         let p1 = demographic_parity(&o1, 0).summary.gap;
         let p2 = demographic_parity(&o2, 0).summary.gap;
         if !p1.is_nan() {
-            prop_assert!((p1 - p2).abs() < 1e-12);
+            assert!((p1 - p2).abs() < 1e-12);
         }
         let e1 = equal_opportunity(&o1, 0).unwrap().summary.gap;
         let e2 = equal_opportunity(&o2, 0).unwrap().summary.gap;
         if !e1.is_nan() {
-            prop_assert!((e1 - e2).abs() < 1e-12);
+            assert!((e1 - e2).abs() < 1e-12);
         }
     }
+}
 
-    /// The four-fifths verdict is monotone in the threshold.
-    #[test]
-    fn four_fifths_monotone_in_threshold((preds, _labels, codes) in outcome_data(),
-                                         t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+/// The four-fifths verdict is monotone in the threshold.
+#[test]
+fn four_fifths_monotone_in_threshold() {
+    let mut rng = StdRng::seed_from_u64(0x3E_05);
+    for _ in 0..CASES {
+        let (preds, _labels, codes) = outcome_data(&mut rng);
+        let t1 = rng.gen_range(0.0..1.0);
+        let t2 = rng.gen_range(0.0..1.0);
         let o = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
         let easy = disparate_impact(&o, 0, lo);
         let hard = disparate_impact(&o, 0, hi);
         // passing the harder threshold implies passing the easier one
         if hard.passes {
-            prop_assert!(easy.passes);
+            assert!(easy.passes);
         }
     }
+}
 
-    /// Equalized odds' worst gap dominates the equal-opportunity gap.
-    #[test]
-    fn odds_dominates_opportunity((preds, labels, codes) in outcome_data()) {
+/// Equalized odds' worst gap dominates the equal-opportunity gap.
+#[test]
+fn odds_dominates_opportunity() {
+    let mut rng = StdRng::seed_from_u64(0x3E_06);
+    for _ in 0..CASES {
+        let (preds, labels, codes) = outcome_data(&mut rng);
         let o = Outcomes::from_slices(&preds, Some(&labels), &codes, &["a", "b"]).unwrap();
         let eo = equal_opportunity(&o, 0).unwrap();
         let odds = equalized_odds(&o, 0).unwrap();
         if !eo.summary.gap.is_nan() && !odds.worst_gap().is_nan() {
-            prop_assert!(odds.worst_gap() >= eo.summary.gap - 1e-12);
+            assert!(odds.worst_gap() >= eo.summary.gap - 1e-12);
         }
     }
+}
 
-    /// Demographic disparity verdict matches the rate definition exactly.
-    #[test]
-    fn disparity_matches_rate_rule((preds, _labels, codes) in outcome_data()) {
+/// Demographic disparity verdict matches the rate definition exactly.
+#[test]
+fn disparity_matches_rate_rule() {
+    let mut rng = StdRng::seed_from_u64(0x3E_07);
+    for _ in 0..CASES {
+        let (preds, _labels, codes) = outcome_data(&mut rng);
         let o = Outcomes::from_slices(&preds, None, &codes, &["a", "b"]).unwrap();
         let report = demographic_disparity(&o);
         for g in &report.groups {
-            prop_assert_eq!(g.fair, g.stat.rate > 0.5);
+            assert_eq!(g.fair, g.stat.rate > 0.5);
         }
     }
+}
 
-    /// GapSummary over a single qualifying group reports zero gap.
-    #[test]
-    fn single_group_gap_is_zero(n in 1usize..50, pos in 0usize..50) {
-        let pos = pos.min(n);
+/// GapSummary over a single qualifying group reports zero gap.
+#[test]
+fn single_group_gap_is_zero() {
+    let mut rng = StdRng::seed_from_u64(0x3E_08);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..50usize);
+        let pos = rng.gen_range(0..50usize).min(n);
         let key = GroupKey(vec!["only".into()]);
         let stat = RateStat {
             group: key,
@@ -139,7 +168,7 @@ proptest! {
             rate: pos as f64 / n as f64,
         };
         let s = GapSummary::from_rates(&[stat], 0);
-        prop_assert!(s.gap.abs() < 1e-12);
-        prop_assert!((s.ratio - 1.0).abs() < 1e-12);
+        assert!(s.gap.abs() < 1e-12);
+        assert!((s.ratio - 1.0).abs() < 1e-12);
     }
 }

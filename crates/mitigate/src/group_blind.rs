@@ -240,9 +240,9 @@ impl GroupBlindRepairer {
 mod tests {
     use super::*;
     use fairbridge_stats::distribution::Empirical;
+    use fairbridge_stats::rng::Rng;
+    use fairbridge_stats::rng::StdRng;
     use fairbridge_stats::wasserstein_1d;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     /// Two groups with shifted score distributions; deployment data drawn
     /// from the π-mixture. Groups of deployment rows are KNOWN to the test
@@ -268,7 +268,9 @@ mod tests {
         };
         let mut research_values = Vec::new();
         let mut research_groups = Vec::new();
-        for _ in 0..150 {
+        // large enough that the per-group density estimates are stable —
+        // the assertions below probe estimator quality, not sample noise
+        for _ in 0..500 {
             let g = u32::from(rng.gen::<f64>() < marginals[1]);
             research_groups.push(g);
             research_values.push(draw(g, &mut rng));
@@ -318,7 +320,12 @@ mod tests {
         .unwrap();
         let repaired = repairer.repair_all(&w.deployment_values, 1.0);
         let after = group_gap(&repaired, &w.deployment_groups);
-        assert!(after < before * 0.5, "gap before {before}, after {after}");
+        // For these disjoint uniforms the rank-preserving pooled map
+        // yields exactly half the original W1 gap in the population limit
+        // (groups land on U[0.7,1.0] and U[1.0,1.7]), so test just above
+        // that boundary; the posterior-weighted map (tested separately)
+        // is what collapses the gap further.
+        assert!(after < before * 0.55, "gap before {before}, after {after}");
     }
 
     #[test]

@@ -120,16 +120,23 @@ pub fn fit_margin(
         max - min
     };
 
-    let mut best: Option<RejectOptionRule> = None;
+    // Return the smallest margin meeting the tolerance; if none does,
+    // fall back to the candidate with the smallest achieved gap (a larger
+    // margin can overshoot and invert the disparity, so "largest tried"
+    // is not a safe default).
+    let mut best: Option<(f64, RejectOptionRule)> = None;
     for &margin in &sorted {
         let rule = RejectOptionRule::new(margin, disadvantaged.clone())?;
         let result = rule.apply(ds, protected, scores)?;
-        best = Some(rule.clone());
-        if gap_of(&result.decisions) <= tolerance {
+        let gap = gap_of(&result.decisions);
+        if gap <= tolerance {
             return Ok(rule);
         }
+        if best.as_ref().map_or(true, |(g, _)| gap < *g) {
+            best = Some((gap, rule));
+        }
     }
-    Ok(best.expect("candidates non-empty"))
+    Ok(best.expect("candidates non-empty").1)
 }
 
 #[cfg(test)]

@@ -1,131 +1,166 @@
-//! Property-based tests for the mitigation algorithms.
+//! Randomized property tests for the mitigation algorithms, driven by
+//! the workspace's deterministic PRNG (no proptest: the build is offline).
 
 use fairbridge_mitigate::ot::QuantileRepairer;
 use fairbridge_mitigate::reweigh::reweigh;
 use fairbridge_mitigate::threshold::{GroupThresholds, ThresholdObjective};
+use fairbridge_stats::rng::{Rng, StdRng};
 use fairbridge_tabular::{Dataset, Role};
-use proptest::prelude::*;
 
-fn dataset_with_groups() -> impl Strategy<Value = Dataset> {
-    proptest::collection::vec((0u32..2, any::<bool>()), 4..80).prop_map(|v| {
-        let mut codes = Vec::new();
-        let mut labels = Vec::new();
-        for (c, l) in v {
-            codes.push(c);
-            labels.push(l);
-        }
-        // Guarantee every (group, label) cell is populated — reweighing
-        // can only redistribute mass over cells that exist; structurally
-        // empty cells make exact independence unattainable.
-        codes[0] = 0;
-        labels[0] = true;
-        codes[1] = 0;
-        labels[1] = false;
-        codes[2] = 1;
-        labels[2] = true;
-        codes[3] = 1;
-        labels[3] = false;
-        Dataset::builder()
-            .categorical_with_role("g", vec!["a", "b"], codes, Role::Protected)
-            .boolean_with_role("y", labels, Role::Label)
-            .build()
-            .unwrap()
-    })
+const CASES: usize = 32;
+
+fn dataset_with_groups<R: Rng>(rng: &mut R) -> Dataset {
+    let n = rng.gen_range(4..80usize);
+    let mut codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2usize) as u32).collect();
+    let mut labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    // Guarantee every (group, label) cell is populated — reweighing
+    // can only redistribute mass over cells that exist; structurally
+    // empty cells make exact independence unattainable.
+    codes[0] = 0;
+    labels[0] = true;
+    codes[1] = 0;
+    labels[1] = false;
+    codes[2] = 1;
+    labels[2] = true;
+    codes[3] = 1;
+    labels[3] = false;
+    Dataset::builder()
+        .categorical_with_role("g", vec!["a", "b"], codes, Role::Protected)
+        .boolean_with_role("y", labels, Role::Label)
+        .build()
+        .unwrap()
 }
 
-proptest! {
-    /// Reweighing always renders the weighted joint independent and
-    /// preserves total weight mass.
-    #[test]
-    fn reweigh_independence(ds in dataset_with_groups()) {
+/// Reweighing always renders the weighted joint independent and
+/// preserves total weight mass.
+#[test]
+fn reweigh_independence() {
+    let mut rng = StdRng::seed_from_u64(0x4D_01);
+    for _ in 0..CASES {
+        let ds = dataset_with_groups(&mut rng);
         let result = reweigh(&ds, &["g"]).unwrap();
         let out = &result.dataset;
         let w = out.weights();
         let labels = out.labels().unwrap();
         let (_, codes) = out.categorical("g").unwrap();
         let total: f64 = w.iter().sum();
-        prop_assert!((total - ds.n_rows() as f64).abs() < 1e-6);
+        assert!((total - ds.n_rows() as f64).abs() < 1e-6);
         for a in 0..2u32 {
             for y in [false, true] {
-                let p_ay: f64 = w.iter().zip(codes).zip(labels)
+                let p_ay: f64 = w
+                    .iter()
+                    .zip(codes)
+                    .zip(labels)
                     .filter(|((_, &c), &l)| c == a && l == y)
-                    .map(|((wi, _), _)| wi).sum::<f64>() / total;
-                let p_a: f64 = w.iter().zip(codes)
+                    .map(|((wi, _), _)| wi)
+                    .sum::<f64>()
+                    / total;
+                let p_a: f64 = w
+                    .iter()
+                    .zip(codes)
                     .filter(|(_, &c)| c == a)
-                    .map(|(wi, _)| wi).sum::<f64>() / total;
-                let p_y: f64 = w.iter().zip(labels)
+                    .map(|(wi, _)| wi)
+                    .sum::<f64>()
+                    / total;
+                let p_y: f64 = w
+                    .iter()
+                    .zip(labels)
                     .filter(|(_, &l)| l == y)
-                    .map(|(wi, _)| wi).sum::<f64>() / total;
-                prop_assert!((p_ay - p_a * p_y).abs() < 1e-9,
-                    "a={a} y={y}: joint {p_ay} vs product {}", p_a * p_y);
+                    .map(|(wi, _)| wi)
+                    .sum::<f64>()
+                    / total;
+                assert!(
+                    (p_ay - p_a * p_y).abs() < 1e-9,
+                    "a={a} y={y}: joint {p_ay} vs product {}",
+                    p_a * p_y
+                );
             }
         }
     }
+}
 
-    /// Quantile repair at λ=0 is the identity; λ=1 output depends only on
-    /// the within-group rank; the map is monotone within each group.
-    #[test]
-    fn quantile_repair_properties(
-        values in proptest::collection::vec(-100f64..100.0, 4..60),
-        seed in 0usize..10,
-    ) {
+/// Quantile repair at λ=0 is the identity; λ=1 output depends only on
+/// the within-group rank; the map is monotone within each group.
+#[test]
+fn quantile_repair_properties() {
+    let mut rng = StdRng::seed_from_u64(0x4D_02);
+    for seed in 0..CASES {
+        let n = rng.gen_range(4..60usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let codes: Vec<u32> = (0..values.len()).map(|i| ((i + seed) % 2) as u32).collect();
         let repairer = QuantileRepairer::fit(&values, &codes, 2).unwrap();
         // identity at λ=0
         let same = repairer.repair_all(&values, &codes, 0.0);
-        prop_assert_eq!(&same, &values);
+        assert_eq!(&same, &values);
         // monotone within group at λ=1
         let repaired = repairer.repair_all(&values, &codes, 1.0);
         for g in 0..2u32 {
-            let mut pairs: Vec<(f64, f64)> = values.iter().zip(&repaired).zip(&codes)
+            let mut pairs: Vec<(f64, f64)> = values
+                .iter()
+                .zip(&repaired)
+                .zip(&codes)
                 .filter_map(|((&v, &r), &c)| (c == g).then_some((v, r)))
                 .collect();
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             for w in pairs.windows(2) {
-                prop_assert!(w[1].1 >= w[0].1 - 1e-9);
+                assert!(w[1].1 >= w[0].1 - 1e-9);
             }
         }
         // λ interpolates linearly between the endpoints
         let half = repairer.repair_all(&values, &codes, 0.5);
         for ((&v, &h), &f) in values.iter().zip(&half).zip(&repaired) {
-            prop_assert!((h - 0.5 * (v + f)).abs() < 1e-9);
+            assert!((h - 0.5 * (v + f)).abs() < 1e-9);
         }
     }
+}
 
-    /// Repaired values stay inside the convex hull of original values.
-    #[test]
-    fn quantile_repair_stays_in_hull(
-        values in proptest::collection::vec(-50f64..50.0, 4..40),
-    ) {
+/// Repaired values stay inside the convex hull of original values.
+#[test]
+fn quantile_repair_stays_in_hull() {
+    let mut rng = StdRng::seed_from_u64(0x4D_03);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4..40usize);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
         let codes: Vec<u32> = (0..values.len()).map(|i| (i % 2) as u32).collect();
         let repairer = QuantileRepairer::fit(&values, &codes, 2).unwrap();
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for lambda in [0.25, 0.75, 1.0] {
             for r in repairer.repair_all(&values, &codes, lambda) {
-                prop_assert!(r >= lo - 1e-9 && r <= hi + 1e-9, "{r} outside [{lo},{hi}]");
+                assert!(r >= lo - 1e-9 && r <= hi + 1e-9, "{r} outside [{lo},{hi}]");
             }
         }
     }
+}
 
-    /// Demographic-parity thresholds bring every group's selection rate
-    /// within one candidate of the target.
-    #[test]
-    fn thresholds_hit_target_rate(ds in dataset_with_groups(),
-                                  raw_scores in proptest::collection::vec(0.0f64..1.0, 80)) {
-        let scores: Vec<f64> = (0..ds.n_rows()).map(|i| raw_scores[i % raw_scores.len()]).collect();
+/// Demographic-parity thresholds bring every group's selection rate
+/// within one candidate of the target.
+#[test]
+fn thresholds_hit_target_rate() {
+    let mut rng = StdRng::seed_from_u64(0x4D_04);
+    for _ in 0..CASES {
+        let ds = dataset_with_groups(&mut rng);
+        let raw_scores: Vec<f64> = (0..80).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let scores: Vec<f64> = (0..ds.n_rows())
+            .map(|i| raw_scores[i % raw_scores.len()])
+            .collect();
         let gt = GroupThresholds::fit(&ds, &["g"], &scores, ThresholdObjective::DemographicParity)
             .unwrap();
         let preds = gt.apply(&ds, &["g"], &scores).unwrap();
         let (_, codes) = ds.categorical("g").unwrap();
         for g in 0..2u32 {
-            let members: Vec<bool> = preds.iter().zip(codes)
+            let members: Vec<bool> = preds
+                .iter()
+                .zip(codes)
                 .filter_map(|(&p, &c)| (c == g).then_some(p))
                 .collect();
             let rate = members.iter().filter(|&&p| p).count() as f64 / members.len() as f64;
             // within one quantum of the target
-            prop_assert!((rate - gt.target_rate).abs() <= 1.0 / members.len() as f64 + 1e-9,
-                "group {g} rate {rate} target {}", gt.target_rate);
+            assert!(
+                (rate - gt.target_rate).abs() <= 1.0 / members.len() as f64 + 1e-9,
+                "group {g} rate {rate} target {}",
+                gt.target_rate
+            );
         }
     }
 }

@@ -4,7 +4,7 @@
 //! Section IV.C/IV.F call for quantified uncertainty. The percentile
 //! bootstrap is the distribution-free workhorse used here.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A bootstrap estimate with its confidence interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,8 +117,7 @@ where
 mod tests {
     use super::*;
     use crate::descriptive::mean;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn ci_contains_true_mean_for_well_behaved_data() {

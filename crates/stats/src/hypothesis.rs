@@ -8,8 +8,8 @@
 //! attribute-vs-outcome tables, and a generic permutation test.
 
 use crate::correlation::{ln_hypergeometric_prob, Contingency};
+use crate::rng::Rng;
 use crate::special::{chi_square_sf, normal_sf};
-use rand::Rng;
 
 /// Result of a significance test.
 #[derive(Debug, Clone, PartialEq)]
@@ -248,8 +248,7 @@ fn kolmogorov_sf(lambda: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn two_proportion_z_reference() {

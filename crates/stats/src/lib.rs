@@ -21,7 +21,10 @@
 //! * [`sampling`] — empirical sample-complexity studies of bias detection
 //!   (Section IV.F / experiment E13);
 //! * [`sinkhorn`] — entropic optimal transport on discrete supports;
-//! * [`special`] — erf, ln-gamma, incomplete gamma/beta, normal CDF.
+//! * [`special`] — erf, ln-gamma, incomplete gamma/beta, normal CDF;
+//! * [`rng`] — deterministic SplitMix64/xoshiro256++ generators and the
+//!   normal/log-normal samplers the synthetic cohorts draw from (the
+//!   workspace builds offline, so it vendors its own PRNG).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +35,7 @@ pub mod descriptive;
 pub mod distance;
 pub mod distribution;
 pub mod hypothesis;
+pub mod rng;
 pub mod sampling;
 pub mod sinkhorn;
 pub mod special;

@@ -1,0 +1,457 @@
+//! Deterministic pseudo-random number generation, dependency-free.
+//!
+//! The workspace builds in offline environments, so it cannot pull the
+//! `rand` / `rand_distr` crates. This module is the replacement: a
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c) seeder feeding a
+//! [xoshiro256++](https://prng.di.unimi.it/) generator, plus the handful
+//! of distributions the toolkit actually draws from (uniform, Bernoulli,
+//! normal, log-normal).
+//!
+//! Everything is seeded explicitly — there is no entropy source — because
+//! every synthetic cohort, bootstrap interval and permutation test in a
+//! compliance document must be reproducible (paper Section IV.F).
+//!
+//! The generic entry point mirrors the `rand` idiom the codebase already
+//! uses: functions take `rng: &mut R` with `R:`[`Rng`], and callers seed a
+//! concrete [`StdRng`] via [`StdRng::seed_from_u64`].
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer used to expand one `u64`
+/// seed into the 256-bit xoshiro state (the seeding procedure its authors
+/// recommend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the mixer from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// xoshiro256++ — the workspace's standard generator: 256 bits of state,
+/// period 2²⁵⁶ − 1, passes BigCrush, four additions and a rotation per
+/// output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+/// The workspace's standard deterministic generator (a seeded
+/// [`Xoshiro256PlusPlus`]). The alias keeps call sites short:
+/// `StdRng::seed_from_u64(42)`.
+pub type StdRng = Xoshiro256PlusPlus;
+
+impl Xoshiro256PlusPlus {
+    /// Seeds the full 256-bit state from one `u64` via [`SplitMix64`].
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256PlusPlus {
+        let mut mix = SplitMix64::new(seed);
+        Xoshiro256PlusPlus {
+            s: [
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+            ],
+        }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The long-jump function: advances the stream by 2¹⁹² outputs,
+    /// yielding an independent substream. Used to hand each shard or
+    /// worker its own non-overlapping stream from one seed.
+    pub fn long_jump(&mut self) {
+        const LONG_JUMP: [u64; 4] = [
+            0x7674_3211_5b40_3b5e,
+            0x7335_09f7_88aa_fbc5,
+            0x1944_3b80_4196_b6a4,
+            0x3959_6d0f_7c93_7304,
+        ];
+        let mut s = [0u64; 4];
+        for jump in LONG_JUMP {
+            for bit in 0..64 {
+                if (jump >> bit) & 1 == 1 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+}
+
+/// The generator interface all stochastic code in the workspace is
+/// generic over.
+///
+/// Only [`Rng::next_u64`] is required; every sampling helper is derived
+/// from it, so alternative generators (e.g. a counting fake in tests)
+/// only implement one method.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A sample from the given range, e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(0.0..1.0)`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A sample of a type drawable from the unit interval / raw bits:
+    /// `rng.gen::<f64>()` is uniform on `[0, 1)`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable "from the standard distribution": uniform bits for
+/// integers, uniform `[0, 1)` for floats, a fair coin for `bool`.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn from_rng<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform on `[0, 1)` with 53 random mantissa bits.
+    fn from_rng<R: Rng>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Ranges samplable uniformly. Implemented for the `Range` /
+/// `RangeInclusive` shapes the codebase draws from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer sampling on `[0, bound)` by rejection (Lemire-style
+/// threshold on the low word).
+fn uniform_below<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample<R: Rng>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + uniform_below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample<R: Rng>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = (hi - lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as usize;
+        }
+        lo + uniform_below(rng, span + 1) as usize
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + uniform_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(uniform_below(rng, span) as i64)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + f64::from_rng(rng) * (self.end - self.start)
+    }
+}
+
+/// A normal (Gaussian) distribution, sampled by Marsaglia's polar method.
+///
+/// The spare variate is deliberately discarded so that sampling is a pure
+/// function of the generator state — caching a spare in `&self` would
+/// make draw sequences depend on sharing patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; fails on a negative or non-finite
+    /// standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, &'static str> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err("Normal requires finite mean and std_dev >= 0");
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        loop {
+            let u = 2.0 * f64::from_rng(rng) - 1.0;
+            let v = 2.0 * f64::from_rng(rng) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// A log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the mean/std-dev of the underlying
+    /// normal on the log scale.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, &'static str> {
+        Ok(LogNormal {
+            normal: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c implementation.
+        let mut sm = SplitMix64::new(0);
+        let first = sm.next_u64();
+        // seed 0 first output is a fixed constant of the algorithm
+        assert_eq!(first, 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_uniform_ish() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let mut seen_incl = [false; 3];
+        for _ in 0..1000 {
+            seen_incl[rng.gen_range(0..=2usize)] = true;
+        }
+        assert!(seen_incl.iter().all(|&s| s));
+        for _ in 0..100 {
+            let x = rng.gen_range(-3.0..7.0);
+            assert!((-3.0..7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let dist = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.25, "var {var}");
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert_eq!(Normal::new(5.0, 0.0).unwrap().sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_right_median() {
+        let dist = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[10_000];
+        // median of LogNormal(mu, sigma) = exp(mu)
+        assert!((median - 1f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn long_jump_decorrelates_streams() {
+        let mut a = StdRng::seed_from_u64(13);
+        let mut b = a;
+        b.long_jump();
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniform_below_is_unbiased_over_small_bound() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[uniform_below(&mut rng, 3) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac {frac}");
+        }
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::distance::{hellinger, mmd_rbf, total_variation, wasserstein_1d};
 use crate::distribution::{Discrete, Empirical};
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Which distance a convergence study estimates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -212,8 +212,7 @@ pub fn tv_plugin_bound(k: usize, n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn sample_discrete_matches_distribution() {

@@ -1,250 +1,321 @@
-//! Property-based tests for the statistics substrate: metric axioms,
-//! bounds and identities.
+//! Randomized property tests for the statistics substrate: metric axioms,
+//! bounds and identities, driven by the workspace's deterministic PRNG
+//! (no proptest: the build is offline).
 
 use fairbridge_stats::correlation::{pearson, ranks, spearman};
 use fairbridge_stats::descriptive::{mean, quantile_sorted, std_dev};
 use fairbridge_stats::distribution::{Discrete, Empirical};
-use fairbridge_stats::hypothesis::{two_proportion_z, wilson_interval};
+use fairbridge_stats::hypothesis::{ks_two_sample, two_proportion_z, wilson_interval};
+use fairbridge_stats::rng::{Rng, StdRng};
+use fairbridge_stats::sinkhorn::{ordinal_cost, sinkhorn};
 use fairbridge_stats::special::{normal_cdf, normal_quantile, reg_gamma_p, reg_gamma_q};
 use fairbridge_stats::{
     energy_distance, hellinger, js_divergence, mmd_rbf, total_variation, wasserstein_1d,
 };
-use proptest::prelude::*;
 
-/// Two distributions over the SAME support size.
-fn discrete_pair() -> impl Strategy<Value = (Discrete, Discrete)> {
-    (2usize..6).prop_flat_map(|k| {
-        let one = move || {
-            proptest::collection::vec(0.01f64..1.0, k).prop_map(|raw| {
-                let total: f64 = raw.iter().sum();
-                Discrete::new(raw.iter().map(|x| x / total).collect()).unwrap()
-            })
-        };
-        (one(), one())
-    })
+const CASES: usize = 48;
+
+/// A random discrete distribution over `k` categories.
+fn discrete<R: Rng>(rng: &mut R, k: usize) -> Discrete {
+    let raw: Vec<f64> = (0..k).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    Discrete::new(raw.iter().map(|x| x / total).collect()).unwrap()
 }
 
-fn samples() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-100.0f64..100.0, 1..50)
+/// Two random distributions over the SAME support size.
+fn discrete_pair<R: Rng>(rng: &mut R) -> (Discrete, Discrete) {
+    let k = rng.gen_range(2..6usize);
+    (discrete(rng, k), discrete(rng, k))
 }
 
-proptest! {
-    /// TV and Hellinger are metrics bounded by [0,1]: identity, symmetry,
-    /// triangle inequality.
-    #[test]
-    fn tv_hellinger_metric_axioms((p, q) in discrete_pair(), r_raw in proptest::collection::vec(0.01f64..1.0, 2..6)) {
-        // Build r on the same support as p/q by truncation or padding.
-        let k = p.k();
-        let mut raw = r_raw;
-        raw.resize(k, 0.05);
-        let total: f64 = raw.iter().sum();
-        let r = Discrete::new(raw.iter().map(|x| x / total).collect()).unwrap();
+fn samples<R: Rng>(rng: &mut R, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let n = rng.gen_range(min_len..max_len);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
+/// TV and Hellinger are metrics bounded by [0,1]: identity, symmetry,
+/// triangle inequality.
+#[test]
+fn tv_hellinger_metric_axioms() {
+    let mut rng = StdRng::seed_from_u64(0x57_01);
+    for _ in 0..CASES {
+        let (p, q) = discrete_pair(&mut rng);
+        let r = discrete(&mut rng, p.k());
         for d in [total_variation, hellinger] {
             let dpq = d(&p, &q);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&dpq));
-            prop_assert!((d(&p, &p)).abs() < 1e-12);
-            prop_assert!((dpq - d(&q, &p)).abs() < 1e-12);
-            prop_assert!(d(&p, &r) <= dpq + d(&q, &r) + 1e-9, "triangle violated");
+            assert!((0.0..=1.0 + 1e-12).contains(&dpq));
+            assert!((d(&p, &p)).abs() < 1e-12);
+            assert!((dpq - d(&q, &p)).abs() < 1e-12);
+            assert!(d(&p, &r) <= dpq + d(&q, &r) + 1e-9, "triangle violated");
         }
     }
+}
 
-    /// Hellinger² ≤ TV ≤ √2·Hellinger (standard inequalities).
-    #[test]
-    fn hellinger_tv_sandwich((p, q) in discrete_pair()) {
+/// Hellinger² ≤ TV ≤ √2·Hellinger (standard inequalities).
+#[test]
+fn hellinger_tv_sandwich() {
+    let mut rng = StdRng::seed_from_u64(0x57_02);
+    for _ in 0..CASES {
+        let (p, q) = discrete_pair(&mut rng);
         let h = hellinger(&p, &q);
         let tv = total_variation(&p, &q);
-        prop_assert!(h * h <= tv + 1e-9);
-        prop_assert!(tv <= std::f64::consts::SQRT_2 * h + 1e-9);
+        assert!(h * h <= tv + 1e-9);
+        assert!(tv <= std::f64::consts::SQRT_2 * h + 1e-9);
     }
+}
 
-    /// JS divergence is symmetric, bounded by ln 2, zero iff equal.
-    #[test]
-    fn js_properties((p, q) in discrete_pair()) {
+/// JS divergence is symmetric, bounded by ln 2, zero iff equal.
+#[test]
+fn js_properties() {
+    let mut rng = StdRng::seed_from_u64(0x57_03);
+    for _ in 0..CASES {
+        let (p, q) = discrete_pair(&mut rng);
         let js = js_divergence(&p, &q);
-        prop_assert!(js >= -1e-12);
-        prop_assert!(js <= std::f64::consts::LN_2 + 1e-9);
-        prop_assert!((js - js_divergence(&q, &p)).abs() < 1e-12);
-        prop_assert!(js_divergence(&p, &p).abs() < 1e-12);
+        assert!(js >= -1e-12);
+        assert!(js <= std::f64::consts::LN_2 + 1e-9);
+        assert!((js - js_divergence(&q, &p)).abs() < 1e-12);
+        assert!(js_divergence(&p, &p).abs() < 1e-12);
     }
+}
 
-    /// Wasserstein-1: non-negative, symmetric, zero on identical samples,
-    /// translation-covariant.
-    #[test]
-    fn wasserstein_axioms(xs in samples(), ys in samples(), shift in -50.0f64..50.0) {
+/// Wasserstein-1: non-negative, symmetric, zero on identical samples,
+/// translation-covariant.
+#[test]
+fn wasserstein_axioms() {
+    let mut rng = StdRng::seed_from_u64(0x57_04);
+    for _ in 0..CASES {
+        let xs = samples(&mut rng, -100.0, 100.0, 1, 50);
+        let ys = samples(&mut rng, -100.0, 100.0, 1, 50);
+        let shift = rng.gen_range(-50.0..50.0);
         let ex = Empirical::new(xs.clone()).unwrap();
-        let ey = Empirical::new(ys.clone()).unwrap();
+        let ey = Empirical::new(ys).unwrap();
         let w = wasserstein_1d(&ex, &ey);
-        prop_assert!(w >= 0.0);
-        prop_assert!((w - wasserstein_1d(&ey, &ex)).abs() < 1e-9);
-        prop_assert!(wasserstein_1d(&ex, &ex).abs() < 1e-12);
+        assert!(w >= 0.0);
+        assert!((w - wasserstein_1d(&ey, &ex)).abs() < 1e-9);
+        assert!(wasserstein_1d(&ex, &ex).abs() < 1e-12);
         // W1(X + c, X) = |c|
         let shifted = Empirical::new(xs.iter().map(|v| v + shift).collect()).unwrap();
-        prop_assert!((wasserstein_1d(&ex, &shifted) - shift.abs()).abs() < 1e-7);
+        assert!((wasserstein_1d(&ex, &shifted) - shift.abs()).abs() < 1e-7);
     }
+}
 
-    /// MMD² and energy distance: non-negative, zero on identical samples.
-    #[test]
-    fn mmd_energy_nonneg(xs in proptest::collection::vec(-10f64..10.0, 2..25),
-                         ys in proptest::collection::vec(-10f64..10.0, 2..25)) {
-        prop_assert!(mmd_rbf(&xs, &ys, 1.0) >= 0.0);
-        prop_assert!(mmd_rbf(&xs, &xs, 1.0).abs() < 1e-10);
-        prop_assert!(energy_distance(&xs, &ys) >= 0.0);
-        prop_assert!(energy_distance(&xs, &xs).abs() < 1e-9);
+/// MMD² and energy distance: non-negative, zero on identical samples.
+#[test]
+fn mmd_energy_nonneg() {
+    let mut rng = StdRng::seed_from_u64(0x57_05);
+    for _ in 0..CASES {
+        let xs = samples(&mut rng, -10.0, 10.0, 2, 25);
+        let ys = samples(&mut rng, -10.0, 10.0, 2, 25);
+        assert!(mmd_rbf(&xs, &ys, 1.0) >= 0.0);
+        assert!(mmd_rbf(&xs, &xs, 1.0).abs() < 1e-10);
+        assert!(energy_distance(&xs, &ys) >= 0.0);
+        assert!(energy_distance(&xs, &xs).abs() < 1e-9);
     }
+}
 
-    /// Quantiles of sorted data are monotone in q and bounded by extremes.
-    #[test]
-    fn quantile_monotone(mut xs in samples(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+/// Quantiles of sorted data are monotone in q and bounded by extremes.
+#[test]
+fn quantile_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x57_06);
+    for _ in 0..CASES {
+        let mut xs = samples(&mut rng, -100.0, 100.0, 1, 50);
+        let q1 = rng.gen_range(0.0..1.0);
+        let q2 = rng.gen_range(0.0..1.0);
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let a = quantile_sorted(&xs, lo);
         let b = quantile_sorted(&xs, hi);
-        prop_assert!(a <= b + 1e-12);
-        prop_assert!(a >= xs[0] - 1e-12);
-        prop_assert!(b <= xs[xs.len() - 1] + 1e-12);
+        assert!(a <= b + 1e-12);
+        assert!(a >= xs[0] - 1e-12);
+        assert!(b <= xs[xs.len() - 1] + 1e-12);
     }
+}
 
-    /// Pearson is bounded and scale/shift invariant.
-    #[test]
-    fn pearson_invariances(xs in proptest::collection::vec(-100f64..100.0, 3..30),
-                           scale in 0.1f64..10.0, shift in -50f64..50.0) {
+/// Pearson is bounded and scale/shift invariant.
+#[test]
+fn pearson_invariances() {
+    let mut rng = StdRng::seed_from_u64(0x57_07);
+    for _ in 0..CASES {
+        let xs = samples(&mut rng, -100.0, 100.0, 3, 30);
+        let scale = rng.gen_range(0.1..10.0);
+        let shift = rng.gen_range(-50.0..50.0);
         let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
         let r = pearson(&xs, &ys);
-        prop_assert!(r.abs() <= 1.0 + 1e-12);
+        assert!(r.abs() <= 1.0 + 1e-12);
         // invariance under positive affine transform of one side
         let xs2: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
         let r2 = pearson(&xs2, &ys);
-        prop_assert!((r - r2).abs() < 1e-6, "r={r} r2={r2}");
+        assert!((r - r2).abs() < 1e-6, "r={r} r2={r2}");
     }
+}
 
-    /// ranks() produce a permutation-weighted sum: Σ ranks = n(n+1)/2.
-    #[test]
-    fn ranks_sum_invariant(xs in samples()) {
+/// ranks() produce a permutation-weighted sum: Σ ranks = n(n+1)/2.
+#[test]
+fn ranks_sum_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x57_08);
+    for _ in 0..CASES {
+        let xs = samples(&mut rng, -100.0, 100.0, 1, 50);
         let r = ranks(&xs);
         let n = xs.len() as f64;
         let total: f64 = r.iter().sum();
-        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-9);
     }
+}
 
-    /// Spearman is invariant under strictly monotone transforms.
-    #[test]
-    fn spearman_monotone_invariance(pairs in proptest::collection::vec(
-        (-20f64..20.0, -20f64..20.0), 3..30)) {
-        let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+/// Spearman is invariant under strictly monotone transforms.
+#[test]
+fn spearman_monotone_invariance() {
+    let mut rng = StdRng::seed_from_u64(0x57_09);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..30usize);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-20.0..20.0)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_range(-20.0..20.0)).collect();
         let s1 = spearman(&xs, &ys);
         let xs_t: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
         let s2 = spearman(&xs_t, &ys);
         if s1.is_nan() {
-            prop_assert!(s2.is_nan());
+            assert!(s2.is_nan());
         } else {
-            prop_assert!((s1 - s2).abs() < 1e-9);
-        }
-    }
-
-    /// normal_quantile inverts normal_cdf across the open interval.
-    #[test]
-    fn normal_quantile_inverse(p in 0.001f64..0.999) {
-        let z = normal_quantile(p);
-        prop_assert!((normal_cdf(z) - p).abs() < 1e-9);
-    }
-
-    /// Incomplete gamma halves sum to one.
-    #[test]
-    fn gamma_pq_complement(a in 0.1f64..20.0, x in 0.0f64..40.0) {
-        prop_assert!((reg_gamma_p(a, x) + reg_gamma_q(a, x) - 1.0).abs() < 1e-10);
-    }
-
-    /// Wilson interval contains the point estimate and stays in [0,1].
-    #[test]
-    fn wilson_contains_estimate(successes in 0u64..100, extra in 1u64..100) {
-        let n = successes + extra;
-        let (lo, hi) = wilson_interval(successes, n, 0.95);
-        let p = successes as f64 / n as f64;
-        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&lo));
-        prop_assert!((0.0..=1.0).contains(&hi));
-    }
-
-    /// Two-proportion z-test p-values are valid probabilities and the
-    /// test is symmetric in its arguments.
-    #[test]
-    fn z_test_symmetry(x1 in 0u64..50, n1e in 1u64..50, x2 in 0u64..50, n2e in 1u64..50) {
-        let n1 = x1 + n1e;
-        let n2 = x2 + n2e;
-        let a = two_proportion_z(x1, n1, x2, n2);
-        let b = two_proportion_z(x2, n2, x1, n1);
-        prop_assert!((0.0..=1.0).contains(&a.p_value));
-        prop_assert!((a.p_value - b.p_value).abs() < 1e-12);
-        prop_assert!((a.statistic + b.statistic).abs() < 1e-12);
-    }
-
-    /// mean/std on constant-shifted data behave linearly.
-    #[test]
-    fn mean_std_shift(xs in proptest::collection::vec(-100f64..100.0, 2..40), c in -50f64..50.0) {
-        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
-        prop_assert!((mean(&shifted) - (mean(&xs) + c)).abs() < 1e-8);
-        prop_assert!((std_dev(&shifted) - std_dev(&xs)).abs() < 1e-8);
-    }
-
-    /// Discrete::from_codes matches manual counting.
-    #[test]
-    fn from_codes_counts(codes in proptest::collection::vec(0u32..4, 1..60)) {
-        let d = Discrete::from_codes(&codes, 4).unwrap();
-        for cat in 0..4u32 {
-            let expected = codes.iter().filter(|&&c| c == cat).count() as f64 / codes.len() as f64;
-            prop_assert!((d.p(cat as usize) - expected).abs() < 1e-12);
+            assert!((s1 - s2).abs() < 1e-9);
         }
     }
 }
 
-use fairbridge_stats::sinkhorn::{ordinal_cost, sinkhorn};
+/// normal_quantile inverts normal_cdf across the open interval.
+#[test]
+fn normal_quantile_inverse() {
+    let mut rng = StdRng::seed_from_u64(0x57_0A);
+    for _ in 0..CASES {
+        let p = rng.gen_range(0.001..0.999);
+        let z = normal_quantile(p);
+        assert!((normal_cdf(z) - p).abs() < 1e-9);
+    }
+}
 
-proptest! {
-    /// Sinkhorn plans are non-negative, total mass 1, marginal-consistent,
-    /// and the entropic cost upper-bounds the exact ordinal OT cost (the
-    /// entropy term biases toward more diffuse, costlier plans).
-    #[test]
-    fn sinkhorn_plan_properties(raw_p in proptest::collection::vec(0.05f64..1.0, 2..5),
-                                raw_q in proptest::collection::vec(0.05f64..1.0, 2..5)) {
-        let norm = |raw: &[f64]| {
-            let t: f64 = raw.iter().sum();
-            Discrete::new(raw.iter().map(|x| x / t).collect()).unwrap()
-        };
-        let p = norm(&raw_p);
-        let q = norm(&raw_q);
+/// Incomplete gamma halves sum to one.
+#[test]
+fn gamma_pq_complement() {
+    let mut rng = StdRng::seed_from_u64(0x57_0B);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0.1..20.0);
+        let x = rng.gen_range(0.0..40.0);
+        assert!((reg_gamma_p(a, x) + reg_gamma_q(a, x) - 1.0).abs() < 1e-10);
+    }
+}
+
+/// Wilson interval contains the point estimate and stays in [0,1].
+#[test]
+fn wilson_contains_estimate() {
+    let mut rng = StdRng::seed_from_u64(0x57_0C);
+    for _ in 0..CASES {
+        let successes = rng.gen_range(0..100u64);
+        let n = successes + rng.gen_range(1..100u64);
+        let (lo, hi) = wilson_interval(successes, n, 0.95);
+        let p = successes as f64 / n as f64;
+        assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        assert!((0.0..=1.0).contains(&lo));
+        assert!((0.0..=1.0).contains(&hi));
+    }
+}
+
+/// Two-proportion z-test p-values are valid probabilities and the
+/// test is symmetric in its arguments.
+#[test]
+fn z_test_symmetry() {
+    let mut rng = StdRng::seed_from_u64(0x57_0D);
+    for _ in 0..CASES {
+        let x1 = rng.gen_range(0..50u64);
+        let n1 = x1 + rng.gen_range(1..50u64);
+        let x2 = rng.gen_range(0..50u64);
+        let n2 = x2 + rng.gen_range(1..50u64);
+        let a = two_proportion_z(x1, n1, x2, n2);
+        let b = two_proportion_z(x2, n2, x1, n1);
+        assert!((0.0..=1.0).contains(&a.p_value));
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+        assert!((a.statistic + b.statistic).abs() < 1e-12);
+    }
+}
+
+/// mean/std on constant-shifted data behave linearly.
+#[test]
+fn mean_std_shift() {
+    let mut rng = StdRng::seed_from_u64(0x57_0E);
+    for _ in 0..CASES {
+        let xs = samples(&mut rng, -100.0, 100.0, 2, 40);
+        let c = rng.gen_range(-50.0..50.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        assert!((mean(&shifted) - (mean(&xs) + c)).abs() < 1e-8);
+        assert!((std_dev(&shifted) - std_dev(&xs)).abs() < 1e-8);
+    }
+}
+
+/// Discrete::from_codes matches manual counting.
+#[test]
+fn from_codes_counts() {
+    let mut rng = StdRng::seed_from_u64(0x57_0F);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..60usize);
+        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..4usize) as u32).collect();
+        let d = Discrete::from_codes(&codes, 4).unwrap();
+        for cat in 0..4u32 {
+            let expected = codes.iter().filter(|&&c| c == cat).count() as f64 / codes.len() as f64;
+            assert!((d.p(cat as usize) - expected).abs() < 1e-12);
+        }
+    }
+}
+
+/// Sinkhorn plans are non-negative, total mass 1, marginal-consistent,
+/// and the entropic cost upper-bounds the exact ordinal OT cost (the
+/// entropy term biases toward more diffuse, costlier plans).
+#[test]
+fn sinkhorn_plan_properties() {
+    let mut rng = StdRng::seed_from_u64(0x57_10);
+    for _ in 0..24 {
+        let kp = rng.gen_range(2..5usize);
+        let p = discrete(&mut rng, kp);
+        let kq = rng.gen_range(2..5usize);
+        let q = discrete(&mut rng, kq);
         let cost = ordinal_cost(p.k(), q.k());
         // moderate regularization: Sinkhorn's linear convergence rate
         // degrades as exp(-osc(C)/eps), so tiny eps needs huge iteration
         // counts — this is the documented trade-off, not a bug.
         let result = sinkhorn(&p, &q, &cost, 0.25, 5000).unwrap();
-        prop_assert!(result.plan.iter().all(|&x| x >= 0.0));
+        assert!(result.plan.iter().all(|&x| x >= 0.0));
         let total: f64 = result.plan.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-4);
-        prop_assert!(result.marginal_error < 1e-3, "marginal error {}", result.marginal_error);
+        assert!((total - 1.0).abs() < 1e-4);
+        assert!(
+            result.marginal_error < 1e-3,
+            "marginal error {}",
+            result.marginal_error
+        );
         // cost >= exact ordinal OT (up to solver tolerance), when supports match
         if p.k() == q.k() {
             let exact = fairbridge_stats::distance::wasserstein_discrete(&p, &q);
-            prop_assert!(result.cost >= exact - 0.05, "sinkhorn {} < exact {}", result.cost, exact);
+            assert!(
+                result.cost >= exact - 0.05,
+                "sinkhorn {} < exact {}",
+                result.cost,
+                exact
+            );
         }
     }
 }
 
-use fairbridge_stats::hypothesis::ks_two_sample;
-
-proptest! {
-    /// The KS statistic is a valid distance-like quantity: in [0,1],
-    /// symmetric, zero on identical samples; p-values are probabilities.
-    #[test]
-    fn ks_axioms(xs in proptest::collection::vec(-50f64..50.0, 2..60),
-                 ys in proptest::collection::vec(-50f64..50.0, 2..60)) {
+/// The KS statistic is a valid distance-like quantity: in [0,1],
+/// symmetric, zero on identical samples; p-values are probabilities.
+#[test]
+fn ks_axioms() {
+    let mut rng = StdRng::seed_from_u64(0x57_11);
+    for _ in 0..CASES {
+        let xs = samples(&mut rng, -50.0, 50.0, 2, 60);
+        let ys = samples(&mut rng, -50.0, 50.0, 2, 60);
         let r = ks_two_sample(&xs, &ys);
-        prop_assert!((0.0..=1.0).contains(&r.statistic));
-        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        assert!((0.0..=1.0).contains(&r.statistic));
+        assert!((0.0..=1.0).contains(&r.p_value));
         let r2 = ks_two_sample(&ys, &xs);
-        prop_assert!((r.statistic - r2.statistic).abs() < 1e-12);
-        prop_assert!((r.p_value - r2.p_value).abs() < 1e-12);
+        assert!((r.statistic - r2.statistic).abs() < 1e-12);
+        assert!((r.p_value - r2.p_value).abs() < 1e-12);
         let same = ks_two_sample(&xs, &xs.clone());
-        prop_assert!(same.statistic.abs() < 1e-12);
+        assert!(same.statistic.abs() < 1e-12);
     }
 }

@@ -8,9 +8,9 @@
 //! the race sensitive attribute" (Section IV.B).
 
 use crate::bernoulli;
+use fairbridge_stats::rng::Rng;
+use fairbridge_stats::rng::{LogNormal, Normal};
 use fairbridge_tabular::{Dataset, Role};
-use rand::Rng;
-use rand_distr::{Distribution, LogNormal, Normal};
 
 /// Configuration for the credit generator.
 #[derive(Debug, Clone)]
@@ -83,9 +83,9 @@ pub struct CreditData {
 /// Generates a credit dataset.
 pub fn generate<R: Rng>(config: &CreditConfig, rng: &mut R) -> CreditData {
     assert!(config.n > 0, "credit generator requires n > 0");
-    let income_dist: LogNormal<f64> = LogNormal::new(10.5, 0.5).expect("valid lognormal");
-    let debt_noise: Normal<f64> = Normal::new(0.0, 0.08).expect("valid normal");
-    let emp_noise: Normal<f64> = Normal::new(0.0, 2.0).expect("valid normal");
+    let income_dist: LogNormal = LogNormal::new(10.5, 0.5).expect("valid lognormal");
+    let debt_noise: Normal = Normal::new(0.0, 0.08).expect("valid normal");
+    let emp_noise: Normal = Normal::new(0.0, 2.0).expect("valid normal");
 
     let n = config.n;
     let mut age_codes = Vec::with_capacity(n);
@@ -172,8 +172,7 @@ pub fn generate<R: Rng>(config: &CreditConfig, rng: &mut R) -> CreditData {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fairbridge_stats::rng::StdRng;
 
     fn group_rate(ds: &Dataset, col: &str, code: u32) -> f64 {
         let (_, codes) = ds.categorical(col).unwrap();

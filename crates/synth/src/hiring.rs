@@ -16,9 +16,9 @@
 //!   at a base rate, females suffer an additive penalty.
 
 use crate::bernoulli;
+use fairbridge_stats::rng::Normal;
+use fairbridge_stats::rng::Rng;
 use fairbridge_tabular::{Dataset, Role};
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
 
 /// Configuration for the hiring generator.
 #[derive(Debug, Clone)]
@@ -100,8 +100,8 @@ pub fn generate<R: Rng>(config: &HiringConfig, rng: &mut R) -> HiringData {
         (0.0..=1.0).contains(&config.female_fraction),
         "female_fraction must be in [0,1]"
     );
-    let exp_noise: Normal<f64> = Normal::new(0.0, 1.5).expect("valid normal");
-    let skill_noise: Normal<f64> = Normal::new(0.0, 0.12).expect("valid normal");
+    let exp_noise: Normal = Normal::new(0.0, 1.5).expect("valid normal");
+    let skill_noise: Normal = Normal::new(0.0, 0.12).expect("valid normal");
 
     let n = config.n;
     let mut sex_codes = Vec::with_capacity(n);
@@ -211,8 +211,7 @@ pub fn exact_cohort(spec: &[(bool, bool, bool, usize)]) -> Dataset {
 mod tests {
     use super::*;
     use fairbridge_stats::correlation::{cramers_v, Contingency};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fairbridge_stats::rng::StdRng;
 
     #[test]
     fn unbiased_config_has_no_hire_gap() {

@@ -9,9 +9,9 @@
 //! single-attribute audits, glaring to subgroup audits.
 
 use crate::bernoulli;
+use fairbridge_stats::rng::Normal;
+use fairbridge_stats::rng::Rng;
 use fairbridge_tabular::{Dataset, Role};
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
 
 /// Configuration for the intersectional generator.
 #[derive(Debug, Clone)]
@@ -60,8 +60,8 @@ pub fn is_favored(female: bool, non_caucasian: bool) -> bool {
 /// `score`/`tenure` weakly informative features, `promoted` label.
 pub fn generate<R: Rng>(config: &IntersectionalConfig, rng: &mut R) -> Dataset {
     assert!(config.n > 0, "intersectional generator requires n > 0");
-    let score_noise: Normal<f64> = Normal::new(0.0, 0.1).expect("valid normal");
-    let tenure_noise: Normal<f64> = Normal::new(0.0, 2.0).expect("valid normal");
+    let score_noise: Normal = Normal::new(0.0, 0.1).expect("valid normal");
+    let tenure_noise: Normal = Normal::new(0.0, 2.0).expect("valid normal");
 
     let n = config.n;
     let mut gender_codes = Vec::with_capacity(n);
@@ -114,8 +114,7 @@ pub fn generate<R: Rng>(config: &IntersectionalConfig, rng: &mut R) -> Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fairbridge_stats::rng::StdRng;
 
     fn rates(ds: &Dataset) -> ([f64; 2], [f64; 2], [[f64; 2]; 2]) {
         let (_, gender) = ds.categorical("gender").unwrap();

@@ -35,7 +35,7 @@ pub use hiring::{HiringConfig, HiringData};
 pub use intersectional::IntersectionalConfig;
 pub use population::PopulationModel;
 
-use rand::Rng;
+use fairbridge_stats::rng::Rng;
 
 /// Draws a Bernoulli with probability clamped to \[0, 1\].
 pub(crate) fn bernoulli<R: Rng>(p: f64, rng: &mut R) -> bool {

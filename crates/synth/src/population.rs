@@ -8,9 +8,9 @@
 //! feedback-loop simulator in `fairbridge-audit` drives it.
 
 use crate::bernoulli;
+use fairbridge_stats::rng::Normal;
+use fairbridge_stats::rng::Rng;
 use fairbridge_tabular::{Dataset, Role};
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
 
 /// Per-group state of the applicant population.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,8 +100,8 @@ impl PopulationModel {
     /// maker.
     pub fn generate_pool<R: Rng>(&self, n: usize, rng: &mut R) -> Dataset {
         assert!(n > 0, "generate_pool requires n > 0");
-        let exp_noise: Normal<f64> = Normal::new(0.0, 1.5).expect("valid normal");
-        let skill_noise: Normal<f64> = Normal::new(0.0, 0.12).expect("valid normal");
+        let exp_noise: Normal = Normal::new(0.0, 1.5).expect("valid normal");
+        let skill_noise: Normal = Normal::new(0.0, 0.12).expect("valid normal");
         let mut group_codes = Vec::new();
         let mut experience = Vec::new();
         let mut skill = Vec::new();
@@ -195,8 +195,7 @@ impl PopulationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fairbridge_stats::rng::StdRng;
 
     #[test]
     fn construction_validates() {

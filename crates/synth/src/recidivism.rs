@@ -9,9 +9,9 @@
 //! alone creates.
 
 use crate::bernoulli;
+use fairbridge_stats::rng::Normal;
+use fairbridge_stats::rng::Rng;
 use fairbridge_tabular::{Dataset, Role};
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
 
 /// Configuration for the recidivism generator.
 #[derive(Debug, Clone)]
@@ -76,7 +76,7 @@ pub struct RecidivismData {
 /// Generates a recidivism dataset.
 pub fn generate<R: Rng>(config: &RecidivismConfig, rng: &mut R) -> RecidivismData {
     assert!(config.n > 0, "recidivism generator requires n > 0");
-    let age_dist: Normal<f64> = Normal::new(32.0, 9.0).expect("valid normal");
+    let age_dist: Normal = Normal::new(32.0, 9.0).expect("valid normal");
 
     let n = config.n;
     let mut race_codes = Vec::with_capacity(n);
@@ -150,8 +150,7 @@ pub fn generate<R: Rng>(config: &RecidivismConfig, rng: &mut R) -> RecidivismDat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use fairbridge_stats::rng::StdRng;
 
     fn observed_rate(data: &RecidivismData, code: u32) -> f64 {
         let (_, race) = data.dataset.categorical("race").unwrap();

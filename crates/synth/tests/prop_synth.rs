@@ -1,21 +1,20 @@
-//! Property-based tests for the synthetic generators: configuration
-//! parameters are honoured within sampling tolerance.
+//! Randomized property tests for the synthetic generators: configuration
+//! parameters are honoured within sampling tolerance. Driven by the
+//! workspace's deterministic PRNG (no proptest: the build is offline).
 
+use fairbridge_stats::rng::{Rng, StdRng};
 use fairbridge_synth::hiring::{exact_cohort, generate as gen_hiring, HiringConfig};
 use fairbridge_synth::intersectional::{generate as gen_inter, IntersectionalConfig};
 use fairbridge_synth::PopulationModel;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The hiring generator hits its female fraction and hire rates.
-    #[test]
-    fn hiring_respects_config(female_fraction in 0.2f64..0.8,
-                              bias in 0.0f64..0.4, seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// The hiring generator hits its female fraction and hire rates.
+#[test]
+fn hiring_respects_config() {
+    let mut meta = StdRng::seed_from_u64(0x5E_01);
+    for case in 0..16u64 {
+        let female_fraction = meta.gen_range(0.2..0.8);
+        let bias = meta.gen_range(0.0..0.4);
+        let mut rng = StdRng::seed_from_u64(case);
         let config = HiringConfig {
             n: 6000,
             female_fraction,
@@ -24,48 +23,64 @@ proptest! {
         };
         let data = gen_hiring(&config, &mut rng);
         let ds = &data.dataset;
-        prop_assert_eq!(ds.n_rows(), 6000);
+        assert_eq!(ds.n_rows(), 6000);
         let (_, sex) = ds.categorical("sex").unwrap();
         let observed = sex.iter().filter(|&&c| c == 1).count() as f64 / 6000.0;
-        prop_assert!((observed - female_fraction).abs() < 0.04,
-            "female fraction {observed} vs {female_fraction}");
+        assert!(
+            (observed - female_fraction).abs() < 0.04,
+            "female fraction {observed} vs {female_fraction}"
+        );
         // the planted hire-rate gap tracks the configured bias
         let hired = ds.labels().unwrap();
         let rate = |code: u32| -> f64 {
-            let v: Vec<bool> = sex.iter().zip(hired)
-                .filter_map(|(&c, &h)| (c == code).then_some(h)).collect();
+            let v: Vec<bool> = sex
+                .iter()
+                .zip(hired)
+                .filter_map(|(&c, &h)| (c == code).then_some(h))
+                .collect();
             v.iter().filter(|&&h| h).count() as f64 / v.len() as f64
         };
         let gap = rate(0) - rate(1);
         // penalty applies in full to qualified women (base 0.85) and is
         // clamped for unqualified ones (base 0.10) → observed gap is
         // between bias/2 and bias, plus noise.
-        prop_assert!(gap >= bias * 0.3 - 0.05 && gap <= bias + 0.05,
-            "gap {gap} for bias {bias}");
+        assert!(
+            gap >= bias * 0.3 - 0.05 && gap <= bias + 0.05,
+            "gap {gap} for bias {bias}"
+        );
     }
+}
 
-    /// Exact cohorts reproduce their spec literally.
-    #[test]
-    fn exact_cohort_counts(m_hired in 0usize..20, f_hired in 0usize..10) {
+/// Exact cohorts reproduce their spec literally.
+#[test]
+fn exact_cohort_counts() {
+    let mut rng = StdRng::seed_from_u64(0x5E_02);
+    for _ in 0..32 {
+        let m_hired = rng.gen_range(0..20usize);
+        let f_hired = rng.gen_range(0..10usize);
         let ds = exact_cohort(&[
             (false, true, true, m_hired.max(1)),
             (false, false, false, 20 - m_hired.max(1)),
             (true, true, true, f_hired.max(1)),
             (true, false, false, 10 - f_hired.max(1)),
         ]);
-        prop_assert_eq!(ds.n_rows(), 30);
+        assert_eq!(ds.n_rows(), 30);
         let hired = ds.labels().unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             hired.iter().filter(|&&h| h).count(),
             m_hired.max(1) + f_hired.max(1)
         );
     }
+}
 
-    /// The intersectional generator keeps marginals within tolerance of
-    /// each other regardless of the planted intersection rates.
-    #[test]
-    fn intersectional_marginals_balanced(favored in 0.55f64..0.9, seed in 0u64..500) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// The intersectional generator keeps marginals within tolerance of
+/// each other regardless of the planted intersection rates.
+#[test]
+fn intersectional_marginals_balanced() {
+    let mut meta = StdRng::seed_from_u64(0x5E_03);
+    for case in 0..16u64 {
+        let favored = meta.gen_range(0.55..0.9);
+        let mut rng = StdRng::seed_from_u64(1000 + case);
         let ds = gen_inter(
             &IntersectionalConfig {
                 n: 12_000,
@@ -79,25 +94,33 @@ proptest! {
         for attr in ["gender", "race"] {
             let (_, codes) = ds.categorical(attr).unwrap();
             let rate = |c: u32| -> f64 {
-                let v: Vec<bool> = codes.iter().zip(labels)
-                    .filter_map(|(&code, &l)| (code == c).then_some(l)).collect();
+                let v: Vec<bool> = codes
+                    .iter()
+                    .zip(labels)
+                    .filter_map(|(&code, &l)| (code == c).then_some(l))
+                    .collect();
                 v.iter().filter(|&&l| l).count() as f64 / v.len() as f64
             };
-            prop_assert!((rate(0) - rate(1)).abs() < 0.05, "{attr} marginals diverge");
+            assert!((rate(0) - rate(1)).abs() < 0.05, "{attr} marginals diverge");
         }
     }
+}
 
-    /// Population propensities stay in [0.05, 1] under arbitrary
-    /// observation sequences.
-    #[test]
-    fn population_propensity_bounds(observations in proptest::collection::vec(
-        (0.0f64..1.0, 0.0f64..1.0), 1..30)) {
+/// Population propensities stay in [0.05, 1] under arbitrary
+/// observation sequences.
+#[test]
+fn population_propensity_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x5E_04);
+    for _ in 0..32 {
+        let n_obs = rng.gen_range(1..30usize);
         let mut model = PopulationModel::hiring_default(0.7);
-        for (r0, r1) in observations {
+        for _ in 0..n_obs {
+            let r0 = rng.gen_range(0.0..1.0);
+            let r1 = rng.gen_range(0.0..1.0);
             model.observe(&[r0, r1]);
             for i in 0..2 {
                 let p = model.propensity(i);
-                prop_assert!((0.05..=1.0).contains(&p), "propensity {p}");
+                assert!((0.05..=1.0).contains(&p), "propensity {p}");
             }
         }
     }

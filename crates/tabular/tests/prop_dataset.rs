@@ -1,127 +1,156 @@
-//! Property-based tests for the dataset substrate.
+//! Randomized property tests for the dataset substrate, driven by the
+//! workspace's deterministic PRNG (no proptest: the build is offline).
 
+use fairbridge_stats::rng::{Rng, StdRng};
 use fairbridge_tabular::{io, Column, Dataset, GroupIndex, GroupSpec, Role};
-use proptest::prelude::*;
 
-/// Strategy: a small dataset with one categorical (protected), one
-/// numeric, one boolean label column.
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (1usize..60).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0u32..3, n),
-            proptest::collection::vec(-1e6f64..1e6, n),
-            proptest::collection::vec(any::<bool>(), n),
-        )
-            .prop_map(|(codes, nums, labels)| {
-                Dataset::builder()
-                    .categorical_with_role("group", vec!["a", "b", "c"], codes, Role::Protected)
-                    .numeric("x", nums)
-                    .boolean_with_role("y", labels, Role::Label)
-                    .build()
-                    .expect("valid dataset")
-            })
-    })
+/// A small random dataset with one categorical (protected), one numeric,
+/// one boolean label column.
+fn random_dataset<R: Rng>(rng: &mut R) -> Dataset {
+    let n = rng.gen_range(1..60usize);
+    let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3usize) as u32).collect();
+    let nums: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6..1e6)).collect();
+    let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    Dataset::builder()
+        .categorical_with_role("group", vec!["a", "b", "c"], codes, Role::Protected)
+        .numeric("x", nums)
+        .boolean_with_role("y", labels, Role::Label)
+        .build()
+        .expect("valid dataset")
 }
 
-proptest! {
-    /// `select` preserves per-row content at the selected indices.
-    #[test]
-    fn select_preserves_rows(ds in dataset_strategy(), seed in 0usize..1000) {
+const CASES: usize = 48;
+
+/// `select` preserves per-row content at the selected indices.
+#[test]
+fn select_preserves_rows() {
+    let mut rng = StdRng::seed_from_u64(0xD5_01);
+    for case in 0..CASES {
+        let ds = random_dataset(&mut rng);
         let n = ds.n_rows();
-        let indices: Vec<usize> = (0..n).map(|i| (i * 7 + seed) % n).collect();
+        let indices: Vec<usize> = (0..n).map(|i| (i * 7 + case) % n).collect();
         let sub = ds.select(&indices).unwrap();
-        prop_assert_eq!(sub.n_rows(), indices.len());
+        assert_eq!(sub.n_rows(), indices.len());
         for (new_row, &old_row) in indices.iter().enumerate() {
-            prop_assert_eq!(sub.row(new_row).unwrap(), ds.row(old_row).unwrap());
+            assert_eq!(sub.row(new_row).unwrap(), ds.row(old_row).unwrap());
         }
     }
+}
 
-    /// `filter(all-true)` is the identity; `filter(all-false)` is empty.
-    #[test]
-    fn filter_extremes(ds in dataset_strategy()) {
+/// `filter(all-true)` is the identity; `filter(all-false)` is empty.
+#[test]
+fn filter_extremes() {
+    let mut rng = StdRng::seed_from_u64(0xD5_02);
+    for _ in 0..CASES {
+        let ds = random_dataset(&mut rng);
         let all = ds.filter(&vec![true; ds.n_rows()]).unwrap();
-        prop_assert_eq!(all.n_rows(), ds.n_rows());
-        prop_assert_eq!(all.labels().unwrap(), ds.labels().unwrap());
+        assert_eq!(all.n_rows(), ds.n_rows());
+        assert_eq!(all.labels().unwrap(), ds.labels().unwrap());
         let none = ds.filter(&vec![false; ds.n_rows()]).unwrap();
-        prop_assert_eq!(none.n_rows(), 0);
+        assert_eq!(none.n_rows(), 0);
     }
+}
 
-    /// Group sizes partition the rows exactly.
-    #[test]
-    fn groups_partition_rows(ds in dataset_strategy()) {
+/// Group sizes partition the rows exactly.
+#[test]
+fn groups_partition_rows() {
+    let mut rng = StdRng::seed_from_u64(0xD5_03);
+    for _ in 0..CASES {
+        let ds = random_dataset(&mut rng);
         let gi = GroupIndex::build(&ds, &GroupSpec::single("group")).unwrap();
         let total: usize = gi.sizes().iter().sum();
-        prop_assert_eq!(total, ds.n_rows());
+        assert_eq!(total, ds.n_rows());
         let prop_sum: f64 = gi.proportions().iter().sum();
-        prop_assert!((prop_sum - 1.0).abs() < 1e-9);
+        assert!((prop_sum - 1.0).abs() < 1e-9);
         // every row appears exactly once
         let mut seen = vec![false; ds.n_rows()];
         for (_, rows) in gi.iter() {
             for &r in rows {
-                prop_assert!(!seen[r], "row {} appears twice", r);
+                assert!(!seen[r], "row {r} appears twice");
                 seen[r] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
+}
 
-    /// concat(a, b) has a's rows then b's rows.
-    #[test]
-    fn concat_appends(a in dataset_strategy(), b in dataset_strategy()) {
+/// concat(a, b) has a's rows then b's rows.
+#[test]
+fn concat_appends() {
+    let mut rng = StdRng::seed_from_u64(0xD5_04);
+    for _ in 0..CASES {
+        let a = random_dataset(&mut rng);
+        let b = random_dataset(&mut rng);
         let c = a.concat(&b).unwrap();
-        prop_assert_eq!(c.n_rows(), a.n_rows() + b.n_rows());
+        assert_eq!(c.n_rows(), a.n_rows() + b.n_rows());
         for i in 0..a.n_rows() {
-            prop_assert_eq!(c.row(i).unwrap(), a.row(i).unwrap());
+            assert_eq!(c.row(i).unwrap(), a.row(i).unwrap());
         }
         for j in 0..b.n_rows() {
-            prop_assert_eq!(c.row(a.n_rows() + j).unwrap(), b.row(j).unwrap());
+            assert_eq!(c.row(a.n_rows() + j).unwrap(), b.row(j).unwrap());
         }
     }
+}
 
-    /// CSV write→read is lossless for label and group columns (floats can
-    /// change representation; we compare their parsed values).
-    #[test]
-    fn csv_roundtrip(ds in dataset_strategy()) {
+/// CSV write→read is lossless for label and group columns (floats can
+/// change representation; we compare their parsed values).
+#[test]
+fn csv_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xD5_05);
+    for _ in 0..CASES {
+        let ds = random_dataset(&mut rng);
         let text = io::write_csv_string(&ds).unwrap();
         let back = io::read_csv_str(&text).unwrap();
-        prop_assert_eq!(back.n_rows(), ds.n_rows());
-        prop_assert_eq!(back.boolean("y").unwrap(), ds.labels().unwrap());
+        assert_eq!(back.n_rows(), ds.n_rows());
+        assert_eq!(back.boolean("y").unwrap(), ds.labels().unwrap());
         // group round-trips through level names
         let (levels_a, codes_a) = ds.categorical("group").unwrap();
         let (levels_b, codes_b) = back.categorical("group").unwrap();
         for (ca, cb) in codes_a.iter().zip(codes_b) {
-            prop_assert_eq!(&levels_a[*ca as usize], &levels_b[*cb as usize]);
+            assert_eq!(&levels_a[*ca as usize], &levels_b[*cb as usize]);
         }
         // numeric values survive via Display/parse
         let xa = ds.numeric("x").unwrap();
         let xb = back.numeric("x").unwrap();
         for (a, b) in xa.iter().zip(xb) {
-            prop_assert!((a - b).abs() <= a.abs() * 1e-12 + 1e-12);
+            assert!((a - b).abs() <= a.abs() * 1e-12 + 1e-12);
         }
     }
+}
 
-    /// Adding then dropping a column returns to the original schema size.
-    #[test]
-    fn add_drop_inverse(ds in dataset_strategy()) {
+/// Adding then dropping a column returns to the original schema size.
+#[test]
+fn add_drop_inverse() {
+    let mut rng = StdRng::seed_from_u64(0xD5_06);
+    for _ in 0..CASES {
+        let ds = random_dataset(&mut rng);
         let with = ds
-            .with_column("extra", Column::Numeric(vec![0.5; ds.n_rows()]), Role::Feature)
+            .with_column(
+                "extra",
+                Column::Numeric(vec![0.5; ds.n_rows()]),
+                Role::Feature,
+            )
             .unwrap();
-        prop_assert_eq!(with.n_cols(), ds.n_cols() + 1);
+        assert_eq!(with.n_cols(), ds.n_cols() + 1);
         let back = with.drop_column("extra").unwrap();
-        prop_assert_eq!(back.n_cols(), ds.n_cols());
-        prop_assert_eq!(back.labels().unwrap(), ds.labels().unwrap());
+        assert_eq!(back.n_cols(), ds.n_cols());
+        assert_eq!(back.labels().unwrap(), ds.labels().unwrap());
     }
+}
 
-    /// Column::take then to_f64 commutes with to_f64 then manual gather.
-    #[test]
-    fn take_commutes_with_to_f64(
-        values in proptest::collection::vec(-1e3f64..1e3, 1..40),
-        seed in 0usize..100,
-    ) {
+/// Column::take then to_f64 commutes with to_f64 then manual gather.
+#[test]
+fn take_commutes_with_to_f64() {
+    let mut rng = StdRng::seed_from_u64(0xD5_07);
+    for seed in 0..CASES {
+        let len = rng.gen_range(1..40usize);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e3..1e3)).collect();
         let col = Column::Numeric(values.clone());
-        let idx: Vec<usize> = (0..values.len()).map(|i| (i + seed) % values.len()).collect();
+        let idx: Vec<usize> = (0..values.len())
+            .map(|i| (i + seed) % values.len())
+            .collect();
         let a = col.take(&idx).to_f64();
         let b: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --example compliance_report`
 
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn main() -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(99);

@@ -10,8 +10,7 @@ use fairbridge::learn::split::train_test_split;
 use fairbridge::mitigate::ot::repair_dataset;
 use fairbridge::prelude::*;
 use fairbridge::synth::credit::{generate, CreditConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn gap_and_acc(test: &Dataset, preds: Vec<bool>, protected: &str) -> Result<(f64, f64), String> {
     let acc = accuracy(test.labels().map_err(|e| e.to_string())?, &preds);

@@ -1,0 +1,78 @@
+//! The execution engine: the same audit, three ways — the classic
+//! sequential pipeline, the sharded parallel engine (bitwise-identical
+//! report), and a streaming monitor watching the Section IV.D feedback
+//! loop drift live.
+//!
+//! Run with: `cargo run --example engine_monitor`
+
+use fairbridge::audit::feedback::{run_feedback_loop_observed, FeedbackConfig};
+use fairbridge::engine::{AuditSpec, Engine, EngineConfig, MonitorConfig, StreamingMonitor};
+use fairbridge::prelude::*;
+use fairbridge_stats::rng::StdRng;
+
+fn main() -> Result<(), String> {
+    // A biased hiring cohort, as in the paper's running example.
+    let mut rng = StdRng::seed_from_u64(7);
+    let ds = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n: 50_000,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    )
+    .dataset;
+
+    // 1. The classic one-shot pipeline.
+    let sequential = AuditPipeline::new(AuditConfig::default()).run(&ds, &["sex"], true)?;
+
+    // 2. The sharded engine: same spec, fanned out over worker threads,
+    //    merged in shard order — the report is bitwise-identical.
+    let engine = Engine::new(EngineConfig::with_threads(4));
+    let spec = AuditSpec::new(&["sex"], true);
+    let parallel = engine.audit(&ds, &spec)?;
+    println!(
+        "parallel == sequential: {} ({} threads, {} cached partition(s))",
+        parallel.to_string() == sequential.to_string(),
+        engine.threads(),
+        engine.cached_partitions(),
+    );
+    println!("{parallel}");
+
+    // 3. Streaming: watch the feedback loop's decisions as they happen.
+    let mut monitor = StreamingMonitor::over_levels(
+        &["male", "female"],
+        false,
+        MonitorConfig {
+            window_size: 400,
+            retained_windows: 64,
+            drift_threshold: 0.10,
+            ..MonitorConfig::default()
+        },
+    )?;
+    let mut rng = StdRng::seed_from_u64(31);
+    run_feedback_loop_observed(
+        &FeedbackConfig {
+            generations: 10,
+            ..FeedbackConfig::default()
+        },
+        &mut rng,
+        |_, codes, decisions| {
+            monitor
+                .ingest_batch(codes, decisions, None)
+                .expect("codes match monitor levels");
+        },
+    )?;
+
+    let snap = monitor.snapshot();
+    println!(
+        "streamed {} window(s); latest parity gap {:.3}; drift flag: {}",
+        snap.windows.len(),
+        snap.latest_gap(),
+        snap.drift,
+    );
+    println!(
+        "Section IV.D, monitored live: the loop's self-sustaining disparity \
+         trips the two-consecutive-window drift alarm without a post-hoc audit."
+    );
+    Ok(())
+}

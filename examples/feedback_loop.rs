@@ -6,8 +6,7 @@
 
 use fairbridge::audit::feedback::{run_feedback_loop, FeedbackConfig, MitigationHook};
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn print_run(title: &str, outcome: &fairbridge::audit::feedback::FeedbackOutcome) {
     println!("{title}");

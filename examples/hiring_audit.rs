@@ -6,8 +6,7 @@
 
 use fairbridge::audit::proxy::{association_ranking, predictability_audit, unawareness_experiment};
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn main() -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(7);

@@ -6,8 +6,7 @@
 
 use fairbridge::audit::subgroup::tree_audit;
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn main() -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(23);

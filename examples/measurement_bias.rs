@@ -8,8 +8,7 @@
 use fairbridge::metrics::odds::equalized_odds;
 use fairbridge::prelude::*;
 use fairbridge::synth::recidivism::{generate, RecidivismConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn group_rate(codes: &[u32], values: &[bool], code: u32) -> f64 {
     let v: Vec<bool> = codes

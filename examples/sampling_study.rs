@@ -12,8 +12,8 @@ use fairbridge::stats::sampling::{
     continuous_convergence, discrete_convergence, tv_plugin_bound, DistanceKind,
 };
 use fairbridge::stats::Discrete;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fairbridge_stats::rng::Rng;
+use fairbridge_stats::rng::StdRng;
 
 fn main() -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(77);

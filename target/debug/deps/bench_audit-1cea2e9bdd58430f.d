@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_audit-1cea2e9bdd58430f.d: crates/bench/benches/bench_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_audit-1cea2e9bdd58430f.rmeta: crates/bench/benches/bench_audit.rs Cargo.toml
+
+crates/bench/benches/bench_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

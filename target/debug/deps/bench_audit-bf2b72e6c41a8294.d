@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_audit-bf2b72e6c41a8294.d: crates/bench/benches/bench_audit.rs
+
+/root/repo/target/debug/deps/bench_audit-bf2b72e6c41a8294: crates/bench/benches/bench_audit.rs
+
+crates/bench/benches/bench_audit.rs:

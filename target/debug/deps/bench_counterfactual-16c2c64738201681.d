@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_counterfactual-16c2c64738201681.d: crates/bench/benches/bench_counterfactual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_counterfactual-16c2c64738201681.rmeta: crates/bench/benches/bench_counterfactual.rs Cargo.toml
+
+crates/bench/benches/bench_counterfactual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

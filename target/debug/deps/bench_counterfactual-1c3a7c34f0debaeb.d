@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_counterfactual-1c3a7c34f0debaeb.d: crates/bench/benches/bench_counterfactual.rs
+
+/root/repo/target/debug/deps/bench_counterfactual-1c3a7c34f0debaeb: crates/bench/benches/bench_counterfactual.rs
+
+crates/bench/benches/bench_counterfactual.rs:

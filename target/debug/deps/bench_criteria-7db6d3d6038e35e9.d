@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_criteria-7db6d3d6038e35e9.d: crates/bench/benches/bench_criteria.rs
+
+/root/repo/target/debug/deps/bench_criteria-7db6d3d6038e35e9: crates/bench/benches/bench_criteria.rs
+
+crates/bench/benches/bench_criteria.rs:

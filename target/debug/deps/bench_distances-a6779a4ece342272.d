@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_distances-a6779a4ece342272.d: crates/bench/benches/bench_distances.rs
+
+/root/repo/target/debug/deps/bench_distances-a6779a4ece342272: crates/bench/benches/bench_distances.rs
+
+crates/bench/benches/bench_distances.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_feedback-322c7d6f5c1ee7ed.d: crates/bench/benches/bench_feedback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_feedback-322c7d6f5c1ee7ed.rmeta: crates/bench/benches/bench_feedback.rs Cargo.toml
+
+crates/bench/benches/bench_feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_feedback-560205dbd64b55e0.d: crates/bench/benches/bench_feedback.rs
+
+/root/repo/target/debug/deps/bench_feedback-560205dbd64b55e0: crates/bench/benches/bench_feedback.rs
+
+crates/bench/benches/bench_feedback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_learn-0b11213e6d3486d9.d: crates/bench/benches/bench_learn.rs
+
+/root/repo/target/debug/deps/bench_learn-0b11213e6d3486d9: crates/bench/benches/bench_learn.rs
+
+crates/bench/benches/bench_learn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_manipulation-089717750e7f6b28.d: crates/bench/benches/bench_manipulation.rs
+
+/root/repo/target/debug/deps/bench_manipulation-089717750e7f6b28: crates/bench/benches/bench_manipulation.rs
+
+crates/bench/benches/bench_manipulation.rs:

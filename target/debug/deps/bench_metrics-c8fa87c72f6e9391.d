@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_metrics-c8fa87c72f6e9391.d: crates/bench/benches/bench_metrics.rs
+
+/root/repo/target/debug/deps/bench_metrics-c8fa87c72f6e9391: crates/bench/benches/bench_metrics.rs
+
+crates/bench/benches/bench_metrics.rs:

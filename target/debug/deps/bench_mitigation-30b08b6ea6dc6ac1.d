@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_mitigation-30b08b6ea6dc6ac1.d: crates/bench/benches/bench_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_mitigation-30b08b6ea6dc6ac1.rmeta: crates/bench/benches/bench_mitigation.rs Cargo.toml
+
+crates/bench/benches/bench_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_mitigation-f853da7e4af00b1b.d: crates/bench/benches/bench_mitigation.rs
+
+/root/repo/target/debug/deps/bench_mitigation-f853da7e4af00b1b: crates/bench/benches/bench_mitigation.rs
+
+crates/bench/benches/bench_mitigation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_ot-6860952112f226ab.d: crates/bench/benches/bench_ot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_ot-6860952112f226ab.rmeta: crates/bench/benches/bench_ot.rs Cargo.toml
+
+crates/bench/benches/bench_ot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_ot-d86d63f77363a2e7.d: crates/bench/benches/bench_ot.rs
+
+/root/repo/target/debug/deps/bench_ot-d86d63f77363a2e7: crates/bench/benches/bench_ot.rs
+
+crates/bench/benches/bench_ot.rs:

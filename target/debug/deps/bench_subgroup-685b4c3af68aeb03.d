@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_subgroup-685b4c3af68aeb03.d: crates/bench/benches/bench_subgroup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_subgroup-685b4c3af68aeb03.rmeta: crates/bench/benches/bench_subgroup.rs Cargo.toml
+
+crates/bench/benches/bench_subgroup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_subgroup-fce11019c363e240.d: crates/bench/benches/bench_subgroup.rs
+
+/root/repo/target/debug/deps/bench_subgroup-fce11019c363e240: crates/bench/benches/bench_subgroup.rs
+
+crates/bench/benches/bench_subgroup.rs:

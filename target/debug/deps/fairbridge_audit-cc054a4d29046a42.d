@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fairbridge_audit-cc054a4d29046a42.d: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+/root/repo/target/debug/deps/libfairbridge_audit-cc054a4d29046a42.rlib: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+/root/repo/target/debug/deps/libfairbridge_audit-cc054a4d29046a42.rmeta: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/association.rs:
+crates/audit/src/feedback.rs:
+crates/audit/src/manipulation.rs:
+crates/audit/src/pipeline.rs:
+crates/audit/src/proxy.rs:
+crates/audit/src/representation.rs:
+crates/audit/src/subgroup.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairbridge_engine-bdf575bccc4c82a8.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_engine-bdf575bccc4c82a8.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

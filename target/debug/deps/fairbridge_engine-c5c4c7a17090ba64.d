@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fairbridge_engine-c5c4c7a17090ba64.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/debug/deps/libfairbridge_engine-c5c4c7a17090ba64.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fairbridge_engine-d75416101be89500.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/debug/deps/libfairbridge_engine-d75416101be89500.rlib: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/debug/deps/libfairbridge_engine-d75416101be89500.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fairbridge_learn-2454be94022f6f42.d: crates/learn/src/lib.rs crates/learn/src/bayes.rs crates/learn/src/calibrate.rs crates/learn/src/cv.rs crates/learn/src/encode.rs crates/learn/src/eval.rs crates/learn/src/forest.rs crates/learn/src/knn.rs crates/learn/src/logistic.rs crates/learn/src/matrix.rs crates/learn/src/model.rs crates/learn/src/split.rs crates/learn/src/tree.rs
+
+/root/repo/target/debug/deps/libfairbridge_learn-2454be94022f6f42.rmeta: crates/learn/src/lib.rs crates/learn/src/bayes.rs crates/learn/src/calibrate.rs crates/learn/src/cv.rs crates/learn/src/encode.rs crates/learn/src/eval.rs crates/learn/src/forest.rs crates/learn/src/knn.rs crates/learn/src/logistic.rs crates/learn/src/matrix.rs crates/learn/src/model.rs crates/learn/src/split.rs crates/learn/src/tree.rs
+
+crates/learn/src/lib.rs:
+crates/learn/src/bayes.rs:
+crates/learn/src/calibrate.rs:
+crates/learn/src/cv.rs:
+crates/learn/src/encode.rs:
+crates/learn/src/eval.rs:
+crates/learn/src/forest.rs:
+crates/learn/src/knn.rs:
+crates/learn/src/logistic.rs:
+crates/learn/src/matrix.rs:
+crates/learn/src/model.rs:
+crates/learn/src/split.rs:
+crates/learn/src/tree.rs:

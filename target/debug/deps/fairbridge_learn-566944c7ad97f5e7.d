@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/fairbridge_learn-566944c7ad97f5e7.d: crates/learn/src/lib.rs crates/learn/src/bayes.rs crates/learn/src/calibrate.rs crates/learn/src/cv.rs crates/learn/src/encode.rs crates/learn/src/eval.rs crates/learn/src/forest.rs crates/learn/src/knn.rs crates/learn/src/logistic.rs crates/learn/src/matrix.rs crates/learn/src/model.rs crates/learn/src/split.rs crates/learn/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_learn-566944c7ad97f5e7.rmeta: crates/learn/src/lib.rs crates/learn/src/bayes.rs crates/learn/src/calibrate.rs crates/learn/src/cv.rs crates/learn/src/encode.rs crates/learn/src/eval.rs crates/learn/src/forest.rs crates/learn/src/knn.rs crates/learn/src/logistic.rs crates/learn/src/matrix.rs crates/learn/src/model.rs crates/learn/src/split.rs crates/learn/src/tree.rs Cargo.toml
+
+crates/learn/src/lib.rs:
+crates/learn/src/bayes.rs:
+crates/learn/src/calibrate.rs:
+crates/learn/src/cv.rs:
+crates/learn/src/encode.rs:
+crates/learn/src/eval.rs:
+crates/learn/src/forest.rs:
+crates/learn/src/knn.rs:
+crates/learn/src/logistic.rs:
+crates/learn/src/matrix.rs:
+crates/learn/src/model.rs:
+crates/learn/src/split.rs:
+crates/learn/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

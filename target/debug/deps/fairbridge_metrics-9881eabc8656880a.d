@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fairbridge_metrics-9881eabc8656880a.d: crates/metrics/src/lib.rs crates/metrics/src/accumulator.rs crates/metrics/src/binned.rs crates/metrics/src/conditional.rs crates/metrics/src/counterfactual.rs crates/metrics/src/definition.rs crates/metrics/src/disparity.rs crates/metrics/src/extended.rs crates/metrics/src/individual.rs crates/metrics/src/odds.rs crates/metrics/src/opportunity.rs crates/metrics/src/outcome.rs crates/metrics/src/parity.rs crates/metrics/src/report.rs
+
+/root/repo/target/debug/deps/libfairbridge_metrics-9881eabc8656880a.rlib: crates/metrics/src/lib.rs crates/metrics/src/accumulator.rs crates/metrics/src/binned.rs crates/metrics/src/conditional.rs crates/metrics/src/counterfactual.rs crates/metrics/src/definition.rs crates/metrics/src/disparity.rs crates/metrics/src/extended.rs crates/metrics/src/individual.rs crates/metrics/src/odds.rs crates/metrics/src/opportunity.rs crates/metrics/src/outcome.rs crates/metrics/src/parity.rs crates/metrics/src/report.rs
+
+/root/repo/target/debug/deps/libfairbridge_metrics-9881eabc8656880a.rmeta: crates/metrics/src/lib.rs crates/metrics/src/accumulator.rs crates/metrics/src/binned.rs crates/metrics/src/conditional.rs crates/metrics/src/counterfactual.rs crates/metrics/src/definition.rs crates/metrics/src/disparity.rs crates/metrics/src/extended.rs crates/metrics/src/individual.rs crates/metrics/src/odds.rs crates/metrics/src/opportunity.rs crates/metrics/src/outcome.rs crates/metrics/src/parity.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/accumulator.rs:
+crates/metrics/src/binned.rs:
+crates/metrics/src/conditional.rs:
+crates/metrics/src/counterfactual.rs:
+crates/metrics/src/definition.rs:
+crates/metrics/src/disparity.rs:
+crates/metrics/src/extended.rs:
+crates/metrics/src/individual.rs:
+crates/metrics/src/odds.rs:
+crates/metrics/src/opportunity.rs:
+crates/metrics/src/outcome.rs:
+crates/metrics/src/parity.rs:
+crates/metrics/src/report.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fairbridge_metrics-c3b137cab7ae7494.d: crates/metrics/src/lib.rs crates/metrics/src/accumulator.rs crates/metrics/src/binned.rs crates/metrics/src/conditional.rs crates/metrics/src/counterfactual.rs crates/metrics/src/definition.rs crates/metrics/src/disparity.rs crates/metrics/src/extended.rs crates/metrics/src/individual.rs crates/metrics/src/odds.rs crates/metrics/src/opportunity.rs crates/metrics/src/outcome.rs crates/metrics/src/parity.rs crates/metrics/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_metrics-c3b137cab7ae7494.rmeta: crates/metrics/src/lib.rs crates/metrics/src/accumulator.rs crates/metrics/src/binned.rs crates/metrics/src/conditional.rs crates/metrics/src/counterfactual.rs crates/metrics/src/definition.rs crates/metrics/src/disparity.rs crates/metrics/src/extended.rs crates/metrics/src/individual.rs crates/metrics/src/odds.rs crates/metrics/src/opportunity.rs crates/metrics/src/outcome.rs crates/metrics/src/parity.rs crates/metrics/src/report.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/accumulator.rs:
+crates/metrics/src/binned.rs:
+crates/metrics/src/conditional.rs:
+crates/metrics/src/counterfactual.rs:
+crates/metrics/src/definition.rs:
+crates/metrics/src/disparity.rs:
+crates/metrics/src/extended.rs:
+crates/metrics/src/individual.rs:
+crates/metrics/src/odds.rs:
+crates/metrics/src/opportunity.rs:
+crates/metrics/src/outcome.rs:
+crates/metrics/src/parity.rs:
+crates/metrics/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

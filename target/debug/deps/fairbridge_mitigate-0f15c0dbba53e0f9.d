@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fairbridge_mitigate-0f15c0dbba53e0f9.d: crates/mitigate/src/lib.rs crates/mitigate/src/group_blind.rs crates/mitigate/src/inprocess.rs crates/mitigate/src/massage.rs crates/mitigate/src/ot.rs crates/mitigate/src/quota.rs crates/mitigate/src/reject_option.rs crates/mitigate/src/reweigh.rs crates/mitigate/src/suppress.rs crates/mitigate/src/threshold.rs
+
+/root/repo/target/debug/deps/libfairbridge_mitigate-0f15c0dbba53e0f9.rlib: crates/mitigate/src/lib.rs crates/mitigate/src/group_blind.rs crates/mitigate/src/inprocess.rs crates/mitigate/src/massage.rs crates/mitigate/src/ot.rs crates/mitigate/src/quota.rs crates/mitigate/src/reject_option.rs crates/mitigate/src/reweigh.rs crates/mitigate/src/suppress.rs crates/mitigate/src/threshold.rs
+
+/root/repo/target/debug/deps/libfairbridge_mitigate-0f15c0dbba53e0f9.rmeta: crates/mitigate/src/lib.rs crates/mitigate/src/group_blind.rs crates/mitigate/src/inprocess.rs crates/mitigate/src/massage.rs crates/mitigate/src/ot.rs crates/mitigate/src/quota.rs crates/mitigate/src/reject_option.rs crates/mitigate/src/reweigh.rs crates/mitigate/src/suppress.rs crates/mitigate/src/threshold.rs
+
+crates/mitigate/src/lib.rs:
+crates/mitigate/src/group_blind.rs:
+crates/mitigate/src/inprocess.rs:
+crates/mitigate/src/massage.rs:
+crates/mitigate/src/ot.rs:
+crates/mitigate/src/quota.rs:
+crates/mitigate/src/reject_option.rs:
+crates/mitigate/src/reweigh.rs:
+crates/mitigate/src/suppress.rs:
+crates/mitigate/src/threshold.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fairbridge_mitigate-bd9d72e6a6ad2d7e.d: crates/mitigate/src/lib.rs crates/mitigate/src/group_blind.rs crates/mitigate/src/inprocess.rs crates/mitigate/src/massage.rs crates/mitigate/src/ot.rs crates/mitigate/src/quota.rs crates/mitigate/src/reject_option.rs crates/mitigate/src/reweigh.rs crates/mitigate/src/suppress.rs crates/mitigate/src/threshold.rs
+
+/root/repo/target/debug/deps/fairbridge_mitigate-bd9d72e6a6ad2d7e: crates/mitigate/src/lib.rs crates/mitigate/src/group_blind.rs crates/mitigate/src/inprocess.rs crates/mitigate/src/massage.rs crates/mitigate/src/ot.rs crates/mitigate/src/quota.rs crates/mitigate/src/reject_option.rs crates/mitigate/src/reweigh.rs crates/mitigate/src/suppress.rs crates/mitigate/src/threshold.rs
+
+crates/mitigate/src/lib.rs:
+crates/mitigate/src/group_blind.rs:
+crates/mitigate/src/inprocess.rs:
+crates/mitigate/src/massage.rs:
+crates/mitigate/src/ot.rs:
+crates/mitigate/src/quota.rs:
+crates/mitigate/src/reject_option.rs:
+crates/mitigate/src/reweigh.rs:
+crates/mitigate/src/suppress.rs:
+crates/mitigate/src/threshold.rs:

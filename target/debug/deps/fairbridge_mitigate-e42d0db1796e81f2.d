@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fairbridge_mitigate-e42d0db1796e81f2.d: crates/mitigate/src/lib.rs crates/mitigate/src/group_blind.rs crates/mitigate/src/inprocess.rs crates/mitigate/src/massage.rs crates/mitigate/src/ot.rs crates/mitigate/src/quota.rs crates/mitigate/src/reject_option.rs crates/mitigate/src/reweigh.rs crates/mitigate/src/suppress.rs crates/mitigate/src/threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_mitigate-e42d0db1796e81f2.rmeta: crates/mitigate/src/lib.rs crates/mitigate/src/group_blind.rs crates/mitigate/src/inprocess.rs crates/mitigate/src/massage.rs crates/mitigate/src/ot.rs crates/mitigate/src/quota.rs crates/mitigate/src/reject_option.rs crates/mitigate/src/reweigh.rs crates/mitigate/src/suppress.rs crates/mitigate/src/threshold.rs Cargo.toml
+
+crates/mitigate/src/lib.rs:
+crates/mitigate/src/group_blind.rs:
+crates/mitigate/src/inprocess.rs:
+crates/mitigate/src/massage.rs:
+crates/mitigate/src/ot.rs:
+crates/mitigate/src/quota.rs:
+crates/mitigate/src/reject_option.rs:
+crates/mitigate/src/reweigh.rs:
+crates/mitigate/src/suppress.rs:
+crates/mitigate/src/threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

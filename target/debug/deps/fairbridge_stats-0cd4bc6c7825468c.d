@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fairbridge_stats-0cd4bc6c7825468c.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+/root/repo/target/debug/deps/libfairbridge_stats-0cd4bc6c7825468c.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+/root/repo/target/debug/deps/libfairbridge_stats-0cd4bc6c7825468c.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/distribution.rs:
+crates/stats/src/hypothesis.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/sinkhorn.rs:
+crates/stats/src/special.rs:

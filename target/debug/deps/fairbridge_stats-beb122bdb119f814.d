@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fairbridge_stats-beb122bdb119f814.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+/root/repo/target/debug/deps/libfairbridge_stats-beb122bdb119f814.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/distribution.rs:
+crates/stats/src/hypothesis.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/sinkhorn.rs:
+crates/stats/src/special.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairbridge_synth-187941f48b230d3e.d: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+/root/repo/target/debug/deps/libfairbridge_synth-187941f48b230d3e.rlib: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+/root/repo/target/debug/deps/libfairbridge_synth-187941f48b230d3e.rmeta: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/credit.rs:
+crates/synth/src/hiring.rs:
+crates/synth/src/intersectional.rs:
+crates/synth/src/population.rs:
+crates/synth/src/recidivism.rs:

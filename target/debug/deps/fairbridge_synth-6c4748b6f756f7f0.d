@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fairbridge_synth-6c4748b6f756f7f0.d: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+/root/repo/target/debug/deps/libfairbridge_synth-6c4748b6f756f7f0.rmeta: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/credit.rs:
+crates/synth/src/hiring.rs:
+crates/synth/src/intersectional.rs:
+crates/synth/src/population.rs:
+crates/synth/src/recidivism.rs:

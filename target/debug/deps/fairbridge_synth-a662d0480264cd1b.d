@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fairbridge_synth-a662d0480264cd1b.d: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_synth-a662d0480264cd1b.rmeta: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/credit.rs:
+crates/synth/src/hiring.rs:
+crates/synth/src/intersectional.rs:
+crates/synth/src/population.rs:
+crates/synth/src/recidivism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

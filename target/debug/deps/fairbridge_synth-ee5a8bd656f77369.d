@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fairbridge_synth-ee5a8bd656f77369.d: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+/root/repo/target/debug/deps/fairbridge_synth-ee5a8bd656f77369: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/credit.rs:
+crates/synth/src/hiring.rs:
+crates/synth/src/intersectional.rs:
+crates/synth/src/population.rs:
+crates/synth/src/recidivism.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fairbridge_tabular-4c143692d6f4a917.d: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+/root/repo/target/debug/deps/libfairbridge_tabular-4c143692d6f4a917.rmeta: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/column.rs:
+crates/tabular/src/dataset.rs:
+crates/tabular/src/error.rs:
+crates/tabular/src/groups.rs:
+crates/tabular/src/io.rs:
+crates/tabular/src/profile.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/value.rs:

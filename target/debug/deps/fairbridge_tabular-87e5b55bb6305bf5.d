@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fairbridge_tabular-87e5b55bb6305bf5.d: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_tabular-87e5b55bb6305bf5.rmeta: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs Cargo.toml
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/column.rs:
+crates/tabular/src/dataset.rs:
+crates/tabular/src/error.rs:
+crates/tabular/src/groups.rs:
+crates/tabular/src/io.rs:
+crates/tabular/src/profile.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fairbridge_tabular-a5f5b342e4938bfc.d: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+/root/repo/target/debug/deps/libfairbridge_tabular-a5f5b342e4938bfc.rlib: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+/root/repo/target/debug/deps/libfairbridge_tabular-a5f5b342e4938bfc.rmeta: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/column.rs:
+crates/tabular/src/dataset.rs:
+crates/tabular/src/error.rs:
+crates/tabular/src/groups.rs:
+crates/tabular/src/io.rs:
+crates/tabular/src/profile.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/value.rs:

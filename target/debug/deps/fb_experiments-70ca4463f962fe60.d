@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fb_experiments-70ca4463f962fe60.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/debug/deps/fb_experiments-70ca4463f962fe60: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fb_experiments-deab6190df076f80.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/debug/deps/fb_experiments-deab6190df076f80: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

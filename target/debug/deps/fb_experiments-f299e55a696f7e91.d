@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fb_experiments-f299e55a696f7e91.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/debug/deps/fb_experiments-f299e55a696f7e91: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

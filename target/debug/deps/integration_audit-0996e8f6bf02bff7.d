@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_audit-0996e8f6bf02bff7.d: crates/core/../../tests/integration_audit.rs
+
+/root/repo/target/debug/deps/integration_audit-0996e8f6bf02bff7: crates/core/../../tests/integration_audit.rs
+
+crates/core/../../tests/integration_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_audit-59a6a4753c303ec7.d: crates/core/../../tests/integration_audit.rs
+
+/root/repo/target/debug/deps/integration_audit-59a6a4753c303ec7: crates/core/../../tests/integration_audit.rs
+
+crates/core/../../tests/integration_audit.rs:

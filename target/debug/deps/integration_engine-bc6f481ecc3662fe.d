@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_engine-bc6f481ecc3662fe.d: crates/core/../../tests/integration_engine.rs
+
+/root/repo/target/debug/deps/integration_engine-bc6f481ecc3662fe: crates/core/../../tests/integration_engine.rs
+
+crates/core/../../tests/integration_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-299939adbc2fdd87.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-299939adbc2fdd87: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_extensions-cd1b14e005a0bbcb.d: crates/core/../../tests/integration_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_extensions-cd1b14e005a0bbcb.rmeta: crates/core/../../tests/integration_extensions.rs Cargo.toml
+
+crates/core/../../tests/integration_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-e834cf3cc4d90273.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-e834cf3cc4d90273: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

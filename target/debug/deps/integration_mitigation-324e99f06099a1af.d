@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_mitigation-324e99f06099a1af.d: crates/core/../../tests/integration_mitigation.rs
+
+/root/repo/target/debug/deps/integration_mitigation-324e99f06099a1af: crates/core/../../tests/integration_mitigation.rs
+
+crates/core/../../tests/integration_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_mitigation-b40276c4c5289a1f.d: crates/core/../../tests/integration_mitigation.rs
+
+/root/repo/target/debug/deps/integration_mitigation-b40276c4c5289a1f: crates/core/../../tests/integration_mitigation.rs
+
+crates/core/../../tests/integration_mitigation.rs:

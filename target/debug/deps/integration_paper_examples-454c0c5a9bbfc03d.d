@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_examples-454c0c5a9bbfc03d.d: crates/core/../../tests/integration_paper_examples.rs
+
+/root/repo/target/debug/deps/integration_paper_examples-454c0c5a9bbfc03d: crates/core/../../tests/integration_paper_examples.rs
+
+crates/core/../../tests/integration_paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_examples-a4532cfdc621c46d.d: crates/core/../../tests/integration_paper_examples.rs
+
+/root/repo/target/debug/deps/integration_paper_examples-a4532cfdc621c46d: crates/core/../../tests/integration_paper_examples.rs
+
+crates/core/../../tests/integration_paper_examples.rs:

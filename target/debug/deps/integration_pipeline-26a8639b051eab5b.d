@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-26a8639b051eab5b.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-26a8639b051eab5b: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

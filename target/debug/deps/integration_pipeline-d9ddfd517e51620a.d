@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-d9ddfd517e51620a.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-d9ddfd517e51620a: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_audit-a8881eb9f4687989.d: crates/audit/tests/prop_audit.rs
+
+/root/repo/target/debug/deps/prop_audit-a8881eb9f4687989: crates/audit/tests/prop_audit.rs
+
+crates/audit/tests/prop_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_dataset-ac03dc9e9924a416.d: crates/tabular/tests/prop_dataset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_dataset-ac03dc9e9924a416.rmeta: crates/tabular/tests/prop_dataset.rs Cargo.toml
+
+crates/tabular/tests/prop_dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

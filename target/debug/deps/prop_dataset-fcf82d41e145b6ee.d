@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_dataset-fcf82d41e145b6ee.d: crates/tabular/tests/prop_dataset.rs
+
+/root/repo/target/debug/deps/prop_dataset-fcf82d41e145b6ee: crates/tabular/tests/prop_dataset.rs
+
+crates/tabular/tests/prop_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_learn-14475fcc4b3e1a3f.d: crates/learn/tests/prop_learn.rs
+
+/root/repo/target/debug/deps/prop_learn-14475fcc4b3e1a3f: crates/learn/tests/prop_learn.rs
+
+crates/learn/tests/prop_learn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_learn-7d8b4333070ba77b.d: crates/learn/tests/prop_learn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_learn-7d8b4333070ba77b.rmeta: crates/learn/tests/prop_learn.rs Cargo.toml
+
+crates/learn/tests/prop_learn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

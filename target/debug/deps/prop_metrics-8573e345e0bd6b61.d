@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_metrics-8573e345e0bd6b61.d: crates/metrics/tests/prop_metrics.rs
+
+/root/repo/target/debug/deps/prop_metrics-8573e345e0bd6b61: crates/metrics/tests/prop_metrics.rs
+
+crates/metrics/tests/prop_metrics.rs:

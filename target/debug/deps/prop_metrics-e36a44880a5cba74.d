@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_metrics-e36a44880a5cba74.d: crates/metrics/tests/prop_metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_metrics-e36a44880a5cba74.rmeta: crates/metrics/tests/prop_metrics.rs Cargo.toml
+
+crates/metrics/tests/prop_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

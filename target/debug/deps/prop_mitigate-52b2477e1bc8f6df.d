@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_mitigate-52b2477e1bc8f6df.d: crates/mitigate/tests/prop_mitigate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_mitigate-52b2477e1bc8f6df.rmeta: crates/mitigate/tests/prop_mitigate.rs Cargo.toml
+
+crates/mitigate/tests/prop_mitigate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

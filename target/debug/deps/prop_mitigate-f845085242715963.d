@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mitigate-f845085242715963.d: crates/mitigate/tests/prop_mitigate.rs
+
+/root/repo/target/debug/deps/prop_mitigate-f845085242715963: crates/mitigate/tests/prop_mitigate.rs
+
+crates/mitigate/tests/prop_mitigate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_stats-e7702d6254c364fd.d: crates/stats/tests/prop_stats.rs
+
+/root/repo/target/debug/deps/prop_stats-e7702d6254c364fd: crates/stats/tests/prop_stats.rs
+
+crates/stats/tests/prop_stats.rs:

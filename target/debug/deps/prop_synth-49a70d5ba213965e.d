@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_synth-49a70d5ba213965e.d: crates/synth/tests/prop_synth.rs
+
+/root/repo/target/debug/deps/prop_synth-49a70d5ba213965e: crates/synth/tests/prop_synth.rs
+
+crates/synth/tests/prop_synth.rs:

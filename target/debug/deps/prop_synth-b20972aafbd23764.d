@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_synth-b20972aafbd23764.d: crates/synth/tests/prop_synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_synth-b20972aafbd23764.rmeta: crates/synth/tests/prop_synth.rs Cargo.toml
+
+crates/synth/tests/prop_synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

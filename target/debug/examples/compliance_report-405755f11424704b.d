@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compliance_report-405755f11424704b.d: crates/core/../../examples/compliance_report.rs
+
+/root/repo/target/debug/examples/compliance_report-405755f11424704b: crates/core/../../examples/compliance_report.rs
+
+crates/core/../../examples/compliance_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compliance_report-6de312b4951598ee.d: crates/core/../../examples/compliance_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompliance_report-6de312b4951598ee.rmeta: crates/core/../../examples/compliance_report.rs Cargo.toml
+
+crates/core/../../examples/compliance_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compliance_report-feacf14eaac8420b.d: crates/core/../../examples/compliance_report.rs
+
+/root/repo/target/debug/examples/compliance_report-feacf14eaac8420b: crates/core/../../examples/compliance_report.rs
+
+crates/core/../../examples/compliance_report.rs:

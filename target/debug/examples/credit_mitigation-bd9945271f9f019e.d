@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/credit_mitigation-bd9945271f9f019e.d: crates/core/../../examples/credit_mitigation.rs
+
+/root/repo/target/debug/examples/credit_mitigation-bd9945271f9f019e: crates/core/../../examples/credit_mitigation.rs
+
+crates/core/../../examples/credit_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/credit_mitigation-cb545553d2bf3a14.d: crates/core/../../examples/credit_mitigation.rs
+
+/root/repo/target/debug/examples/credit_mitigation-cb545553d2bf3a14: crates/core/../../examples/credit_mitigation.rs
+
+crates/core/../../examples/credit_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_monitor-457e0d096789fa36.d: crates/core/../../examples/engine_monitor.rs
+
+/root/repo/target/debug/examples/engine_monitor-457e0d096789fa36: crates/core/../../examples/engine_monitor.rs
+
+crates/core/../../examples/engine_monitor.rs:

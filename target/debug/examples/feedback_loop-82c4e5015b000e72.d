@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feedback_loop-82c4e5015b000e72.d: crates/core/../../examples/feedback_loop.rs
+
+/root/repo/target/debug/examples/feedback_loop-82c4e5015b000e72: crates/core/../../examples/feedback_loop.rs
+
+crates/core/../../examples/feedback_loop.rs:

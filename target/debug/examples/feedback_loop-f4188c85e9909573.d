@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feedback_loop-f4188c85e9909573.d: crates/core/../../examples/feedback_loop.rs
+
+/root/repo/target/debug/examples/feedback_loop-f4188c85e9909573: crates/core/../../examples/feedback_loop.rs
+
+crates/core/../../examples/feedback_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hiring_audit-27fb99c3d01adab6.d: crates/core/../../examples/hiring_audit.rs
+
+/root/repo/target/debug/examples/hiring_audit-27fb99c3d01adab6: crates/core/../../examples/hiring_audit.rs
+
+crates/core/../../examples/hiring_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hiring_audit-9670ddee7e4a99f5.d: crates/core/../../examples/hiring_audit.rs
+
+/root/repo/target/debug/examples/hiring_audit-9670ddee7e4a99f5: crates/core/../../examples/hiring_audit.rs
+
+crates/core/../../examples/hiring_audit.rs:

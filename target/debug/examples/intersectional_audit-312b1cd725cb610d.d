@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intersectional_audit-312b1cd725cb610d.d: crates/core/../../examples/intersectional_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintersectional_audit-312b1cd725cb610d.rmeta: crates/core/../../examples/intersectional_audit.rs Cargo.toml
+
+crates/core/../../examples/intersectional_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intersectional_audit-770aebf8ed1ada64.d: crates/core/../../examples/intersectional_audit.rs
+
+/root/repo/target/debug/examples/intersectional_audit-770aebf8ed1ada64: crates/core/../../examples/intersectional_audit.rs
+
+crates/core/../../examples/intersectional_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intersectional_audit-cf4676bdf43b4e74.d: crates/core/../../examples/intersectional_audit.rs
+
+/root/repo/target/debug/examples/intersectional_audit-cf4676bdf43b4e74: crates/core/../../examples/intersectional_audit.rs
+
+crates/core/../../examples/intersectional_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/legal_navigator-1a3f736fe10b4aae.d: crates/core/../../examples/legal_navigator.rs
+
+/root/repo/target/debug/examples/legal_navigator-1a3f736fe10b4aae: crates/core/../../examples/legal_navigator.rs
+
+crates/core/../../examples/legal_navigator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/legal_navigator-80021b79ee2cefc4.d: crates/core/../../examples/legal_navigator.rs
+
+/root/repo/target/debug/examples/legal_navigator-80021b79ee2cefc4: crates/core/../../examples/legal_navigator.rs
+
+crates/core/../../examples/legal_navigator.rs:

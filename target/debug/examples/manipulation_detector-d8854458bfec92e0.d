@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/manipulation_detector-d8854458bfec92e0.d: crates/core/../../examples/manipulation_detector.rs
+
+/root/repo/target/debug/examples/manipulation_detector-d8854458bfec92e0: crates/core/../../examples/manipulation_detector.rs
+
+crates/core/../../examples/manipulation_detector.rs:

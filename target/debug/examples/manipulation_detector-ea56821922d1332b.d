@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/manipulation_detector-ea56821922d1332b.d: crates/core/../../examples/manipulation_detector.rs
+
+/root/repo/target/debug/examples/manipulation_detector-ea56821922d1332b: crates/core/../../examples/manipulation_detector.rs
+
+crates/core/../../examples/manipulation_detector.rs:

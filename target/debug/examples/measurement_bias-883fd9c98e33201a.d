@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/measurement_bias-883fd9c98e33201a.d: crates/core/../../examples/measurement_bias.rs
+
+/root/repo/target/debug/examples/measurement_bias-883fd9c98e33201a: crates/core/../../examples/measurement_bias.rs
+
+crates/core/../../examples/measurement_bias.rs:

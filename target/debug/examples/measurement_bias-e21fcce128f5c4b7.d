@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/measurement_bias-e21fcce128f5c4b7.d: crates/core/../../examples/measurement_bias.rs
+
+/root/repo/target/debug/examples/measurement_bias-e21fcce128f5c4b7: crates/core/../../examples/measurement_bias.rs
+
+crates/core/../../examples/measurement_bias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6ab7fd8b9e625db4.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6ab7fd8b9e625db4: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d8ebd340dc90ae94.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d8ebd340dc90ae94: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

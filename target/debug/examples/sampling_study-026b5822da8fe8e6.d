@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sampling_study-026b5822da8fe8e6.d: crates/core/../../examples/sampling_study.rs
+
+/root/repo/target/debug/examples/sampling_study-026b5822da8fe8e6: crates/core/../../examples/sampling_study.rs
+
+crates/core/../../examples/sampling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sampling_study-719dd14bf7ac05b1.d: crates/core/../../examples/sampling_study.rs
+
+/root/repo/target/debug/examples/sampling_study-719dd14bf7ac05b1: crates/core/../../examples/sampling_study.rs
+
+crates/core/../../examples/sampling_study.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["fairbridge",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"enum\" href=\"fairbridge/guidelines/enum.Phase.html\" title=\"enum fairbridge::guidelines::Phase\">Phase</a>",0]]],["fairbridge_tabular",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"fairbridge_tabular/groups/struct.GroupKey.html\" title=\"struct fairbridge_tabular::groups::GroupKey\">GroupKey</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[296,328]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_audit-220b99cbdab70ab5.d: crates/bench/benches/bench_audit.rs
+
+/root/repo/target/release/deps/bench_audit-220b99cbdab70ab5: crates/bench/benches/bench_audit.rs
+
+crates/bench/benches/bench_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_counterfactual-41fa0803ce57c593.d: crates/bench/benches/bench_counterfactual.rs
+
+/root/repo/target/release/deps/bench_counterfactual-41fa0803ce57c593: crates/bench/benches/bench_counterfactual.rs
+
+crates/bench/benches/bench_counterfactual.rs:

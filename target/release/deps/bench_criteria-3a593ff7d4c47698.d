@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_criteria-3a593ff7d4c47698.d: crates/bench/benches/bench_criteria.rs
+
+/root/repo/target/release/deps/bench_criteria-3a593ff7d4c47698: crates/bench/benches/bench_criteria.rs
+
+crates/bench/benches/bench_criteria.rs:

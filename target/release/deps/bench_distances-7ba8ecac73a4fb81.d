@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_distances-7ba8ecac73a4fb81.d: crates/bench/benches/bench_distances.rs
+
+/root/repo/target/release/deps/bench_distances-7ba8ecac73a4fb81: crates/bench/benches/bench_distances.rs
+
+crates/bench/benches/bench_distances.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_engine-ad7fc271ea18d903.d: crates/bench/benches/bench_engine.rs
+
+/root/repo/target/release/deps/bench_engine-ad7fc271ea18d903: crates/bench/benches/bench_engine.rs
+
+crates/bench/benches/bench_engine.rs:

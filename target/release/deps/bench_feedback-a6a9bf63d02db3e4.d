@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_feedback-a6a9bf63d02db3e4.d: crates/bench/benches/bench_feedback.rs
+
+/root/repo/target/release/deps/bench_feedback-a6a9bf63d02db3e4: crates/bench/benches/bench_feedback.rs
+
+crates/bench/benches/bench_feedback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_learn-7f26703e76d67c8c.d: crates/bench/benches/bench_learn.rs
+
+/root/repo/target/release/deps/bench_learn-7f26703e76d67c8c: crates/bench/benches/bench_learn.rs
+
+crates/bench/benches/bench_learn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_manipulation-1f8d55bf4b20ad91.d: crates/bench/benches/bench_manipulation.rs
+
+/root/repo/target/release/deps/bench_manipulation-1f8d55bf4b20ad91: crates/bench/benches/bench_manipulation.rs
+
+crates/bench/benches/bench_manipulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_metrics-24a0effcc007bc81.d: crates/bench/benches/bench_metrics.rs
+
+/root/repo/target/release/deps/bench_metrics-24a0effcc007bc81: crates/bench/benches/bench_metrics.rs
+
+crates/bench/benches/bench_metrics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_mitigation-05b11cff4fd001de.d: crates/bench/benches/bench_mitigation.rs
+
+/root/repo/target/release/deps/bench_mitigation-05b11cff4fd001de: crates/bench/benches/bench_mitigation.rs
+
+crates/bench/benches/bench_mitigation.rs:

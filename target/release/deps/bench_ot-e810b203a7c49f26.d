@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_ot-e810b203a7c49f26.d: crates/bench/benches/bench_ot.rs
+
+/root/repo/target/release/deps/bench_ot-e810b203a7c49f26: crates/bench/benches/bench_ot.rs
+
+crates/bench/benches/bench_ot.rs:

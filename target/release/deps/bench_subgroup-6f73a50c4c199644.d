@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_subgroup-6f73a50c4c199644.d: crates/bench/benches/bench_subgroup.rs
+
+/root/repo/target/release/deps/bench_subgroup-6f73a50c4c199644: crates/bench/benches/bench_subgroup.rs
+
+crates/bench/benches/bench_subgroup.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fairbridge_engine-11eb241796a4816f.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/release/deps/libfairbridge_engine-11eb241796a4816f.rlib: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/release/deps/libfairbridge_engine-11eb241796a4816f.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fairbridge_engine-f3210809ed4e5b58.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/release/deps/fairbridge_engine-f3210809ed4e5b58: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fairbridge_learn-9271198901cd1b32.d: crates/learn/src/lib.rs crates/learn/src/bayes.rs crates/learn/src/calibrate.rs crates/learn/src/cv.rs crates/learn/src/encode.rs crates/learn/src/eval.rs crates/learn/src/forest.rs crates/learn/src/knn.rs crates/learn/src/logistic.rs crates/learn/src/matrix.rs crates/learn/src/model.rs crates/learn/src/split.rs crates/learn/src/tree.rs
+
+/root/repo/target/release/deps/libfairbridge_learn-9271198901cd1b32.rlib: crates/learn/src/lib.rs crates/learn/src/bayes.rs crates/learn/src/calibrate.rs crates/learn/src/cv.rs crates/learn/src/encode.rs crates/learn/src/eval.rs crates/learn/src/forest.rs crates/learn/src/knn.rs crates/learn/src/logistic.rs crates/learn/src/matrix.rs crates/learn/src/model.rs crates/learn/src/split.rs crates/learn/src/tree.rs
+
+/root/repo/target/release/deps/libfairbridge_learn-9271198901cd1b32.rmeta: crates/learn/src/lib.rs crates/learn/src/bayes.rs crates/learn/src/calibrate.rs crates/learn/src/cv.rs crates/learn/src/encode.rs crates/learn/src/eval.rs crates/learn/src/forest.rs crates/learn/src/knn.rs crates/learn/src/logistic.rs crates/learn/src/matrix.rs crates/learn/src/model.rs crates/learn/src/split.rs crates/learn/src/tree.rs
+
+crates/learn/src/lib.rs:
+crates/learn/src/bayes.rs:
+crates/learn/src/calibrate.rs:
+crates/learn/src/cv.rs:
+crates/learn/src/encode.rs:
+crates/learn/src/eval.rs:
+crates/learn/src/forest.rs:
+crates/learn/src/knn.rs:
+crates/learn/src/logistic.rs:
+crates/learn/src/matrix.rs:
+crates/learn/src/model.rs:
+crates/learn/src/split.rs:
+crates/learn/src/tree.rs:

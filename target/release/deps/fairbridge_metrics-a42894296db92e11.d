@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/fairbridge_metrics-a42894296db92e11.d: crates/metrics/src/lib.rs crates/metrics/src/accumulator.rs crates/metrics/src/binned.rs crates/metrics/src/conditional.rs crates/metrics/src/counterfactual.rs crates/metrics/src/definition.rs crates/metrics/src/disparity.rs crates/metrics/src/extended.rs crates/metrics/src/individual.rs crates/metrics/src/odds.rs crates/metrics/src/opportunity.rs crates/metrics/src/outcome.rs crates/metrics/src/parity.rs crates/metrics/src/report.rs
+
+/root/repo/target/release/deps/fairbridge_metrics-a42894296db92e11: crates/metrics/src/lib.rs crates/metrics/src/accumulator.rs crates/metrics/src/binned.rs crates/metrics/src/conditional.rs crates/metrics/src/counterfactual.rs crates/metrics/src/definition.rs crates/metrics/src/disparity.rs crates/metrics/src/extended.rs crates/metrics/src/individual.rs crates/metrics/src/odds.rs crates/metrics/src/opportunity.rs crates/metrics/src/outcome.rs crates/metrics/src/parity.rs crates/metrics/src/report.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/accumulator.rs:
+crates/metrics/src/binned.rs:
+crates/metrics/src/conditional.rs:
+crates/metrics/src/counterfactual.rs:
+crates/metrics/src/definition.rs:
+crates/metrics/src/disparity.rs:
+crates/metrics/src/extended.rs:
+crates/metrics/src/individual.rs:
+crates/metrics/src/odds.rs:
+crates/metrics/src/opportunity.rs:
+crates/metrics/src/outcome.rs:
+crates/metrics/src/parity.rs:
+crates/metrics/src/report.rs:

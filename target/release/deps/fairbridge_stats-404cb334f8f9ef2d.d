@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fairbridge_stats-404cb334f8f9ef2d.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libfairbridge_stats-404cb334f8f9ef2d.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libfairbridge_stats-404cb334f8f9ef2d.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/distribution.rs:
+crates/stats/src/hypothesis.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/sinkhorn.rs:
+crates/stats/src/special.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fairbridge_stats-7bac6b91dc66170d.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/fairbridge_stats-7bac6b91dc66170d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/distribution.rs:
+crates/stats/src/hypothesis.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/sinkhorn.rs:
+crates/stats/src/special.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fairbridge_stats-d671c7f6a04415c3.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libfairbridge_stats-d671c7f6a04415c3.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libfairbridge_stats-d671c7f6a04415c3.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/correlation.rs crates/stats/src/descriptive.rs crates/stats/src/distance.rs crates/stats/src/distribution.rs crates/stats/src/hypothesis.rs crates/stats/src/rng.rs crates/stats/src/sampling.rs crates/stats/src/sinkhorn.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/distribution.rs:
+crates/stats/src/hypothesis.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/sampling.rs:
+crates/stats/src/sinkhorn.rs:
+crates/stats/src/special.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fairbridge_synth-69d7e42075781bc1.d: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+/root/repo/target/release/deps/fairbridge_synth-69d7e42075781bc1: crates/synth/src/lib.rs crates/synth/src/credit.rs crates/synth/src/hiring.rs crates/synth/src/intersectional.rs crates/synth/src/population.rs crates/synth/src/recidivism.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/credit.rs:
+crates/synth/src/hiring.rs:
+crates/synth/src/intersectional.rs:
+crates/synth/src/population.rs:
+crates/synth/src/recidivism.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fairbridge_tabular-0a627952d97e5a1d.d: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+/root/repo/target/release/deps/libfairbridge_tabular-0a627952d97e5a1d.rlib: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+/root/repo/target/release/deps/libfairbridge_tabular-0a627952d97e5a1d.rmeta: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/column.rs:
+crates/tabular/src/dataset.rs:
+crates/tabular/src/error.rs:
+crates/tabular/src/groups.rs:
+crates/tabular/src/io.rs:
+crates/tabular/src/profile.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/value.rs:

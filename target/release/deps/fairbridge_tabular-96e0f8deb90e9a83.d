@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fairbridge_tabular-96e0f8deb90e9a83.d: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+/root/repo/target/release/deps/libfairbridge_tabular-96e0f8deb90e9a83.rlib: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+/root/repo/target/release/deps/libfairbridge_tabular-96e0f8deb90e9a83.rmeta: crates/tabular/src/lib.rs crates/tabular/src/column.rs crates/tabular/src/dataset.rs crates/tabular/src/error.rs crates/tabular/src/groups.rs crates/tabular/src/io.rs crates/tabular/src/profile.rs crates/tabular/src/schema.rs crates/tabular/src/value.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/column.rs:
+crates/tabular/src/dataset.rs:
+crates/tabular/src/error.rs:
+crates/tabular/src/groups.rs:
+crates/tabular/src/io.rs:
+crates/tabular/src/profile.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fb_experiments-0881826cdcb26c5e.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/release/deps/fb_experiments-0881826cdcb26c5e: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fb_experiments-8e8d2a0c2236be5b.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/release/deps/fb_experiments-8e8d2a0c2236be5b: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fb_experiments-e89ba0a3d42047df.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/release/deps/fb_experiments-e89ba0a3d42047df: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-27c3663391c6a41f.d: crates/core/../../examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-27c3663391c6a41f: crates/core/../../examples/_probe.rs
+
+crates/core/../../examples/_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_monitor-4be55fb2b1450798.d: crates/core/../../examples/engine_monitor.rs
+
+/root/repo/target/release/examples/engine_monitor-4be55fb2b1450798: crates/core/../../examples/engine_monitor.rs
+
+crates/core/../../examples/engine_monitor.rs:

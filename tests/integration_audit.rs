@@ -10,8 +10,7 @@ use fairbridge::learn::Scorer;
 use fairbridge::prelude::*;
 use fairbridge::stats::sampling::{discrete_convergence, DistanceKind};
 use fairbridge::stats::Discrete;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 /// IV.B: the proxy channel keeps the bias alive after attribute removal.
 #[test]

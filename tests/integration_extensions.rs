@@ -16,8 +16,7 @@ use fairbridge::stats::sinkhorn::{ordinal_cost, sinkhorn};
 use fairbridge::stats::Discrete;
 use fairbridge::tabular::profile::profile;
 use fairbridge::tabular::GroupKey;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn biased_hiring(seed: u64, n: usize) -> fairbridge::synth::hiring::HiringData {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -9,8 +9,7 @@ use fairbridge::mitigate::massage::massage;
 use fairbridge::mitigate::ot::repair_dataset;
 use fairbridge::mitigate::quota::{quota_select, QuotaPolicy};
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 fn hiring(seed: u64, n: usize) -> (Dataset, Dataset) {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -3,8 +3,7 @@
 
 use fairbridge::audit::pipeline::{AuditConfig, AuditPipeline};
 use fairbridge::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fairbridge_stats::rng::StdRng;
 
 /// Train a logistic model on a hiring dataset and audit its *predictions*
 /// (not the historical labels): the model inherits the planted bias.
@@ -173,7 +172,7 @@ fn intersectional_pipeline_end_to_end() {
 fn group_blind_repair_via_facade() {
     use fairbridge::mitigate::group_blind::GroupBlindRepairer;
     let mut rng = StdRng::seed_from_u64(105);
-    use rand::Rng;
+    use fairbridge_stats::rng::Rng;
     let draw = |g: u32, rng: &mut StdRng| -> f64 {
         if g == 0 {
             1.0 + rng.gen::<f64>()
