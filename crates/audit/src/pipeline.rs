@@ -6,6 +6,7 @@ use crate::representation::{representation_audit, RepresentationAudit};
 use crate::subgroup::{SubgroupAuditor, SubgroupFinding};
 use fairbridge_metrics::outcome::Outcomes;
 use fairbridge_metrics::FairnessReport;
+use fairbridge_obs::Telemetry;
 use fairbridge_tabular::Dataset;
 use std::fmt;
 
@@ -137,12 +138,29 @@ impl fmt::Display for AuditReport {
 pub struct AuditPipeline {
     /// Configuration used for every stage.
     pub config: AuditConfig,
+    telemetry: Telemetry,
 }
 
 impl AuditPipeline {
-    /// Creates a pipeline with the given configuration.
+    /// Creates a pipeline with the given configuration and telemetry
+    /// disabled.
     pub fn new(config: AuditConfig) -> AuditPipeline {
-        AuditPipeline { config }
+        AuditPipeline {
+            config,
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Records each stage of this pipeline as a span through `telemetry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> AuditPipeline {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle this pipeline records through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Runs the full audit.
@@ -156,6 +174,8 @@ impl AuditPipeline {
         protected: &[&str],
         use_labels: bool,
     ) -> Result<AuditReport, String> {
+        let _span = self.telemetry.span("pipeline.run");
+        let metrics_span = self.telemetry.span("pipeline.metrics");
         let outcomes = if use_labels {
             Outcomes::from_labels_as_decisions(ds, protected)?
         } else {
@@ -163,6 +183,7 @@ impl AuditPipeline {
         };
         let metrics =
             FairnessReport::evaluate(&outcomes, self.config.tolerance, self.config.min_group_size);
+        drop(metrics_span);
         let stages = self.support_stages(ds, protected, &outcomes.predictions)?;
         Ok(stages.into_report(metrics))
     }
@@ -182,6 +203,7 @@ impl AuditPipeline {
     ) -> Result<SupportStages, String> {
         // Proxy ranking against the first protected column (extend per
         // column when auditing several).
+        let proxy_span = self.telemetry.span("pipeline.proxy");
         let mut proxies = Vec::new();
         let mut flagged = Vec::new();
         if let Some(&first) = protected.first() {
@@ -192,17 +214,21 @@ impl AuditPipeline {
                 .map(|p| p.feature.clone())
                 .collect();
         }
+        drop(proxy_span);
 
+        let subgroup_span = self.telemetry.span("pipeline.subgroup");
         let auditor = SubgroupAuditor {
             max_depth: self.config.subgroup_depth,
             min_support: self.config.min_group_size,
             alpha: self.config.alpha,
         };
         let subgroups = auditor.audit(ds, protected, decisions)?;
+        drop(subgroup_span);
 
         // Representation audit against configured population marginals
         // (fixed internal seed: the bootstrap CI must be reproducible in
         // a compliance document).
+        let _rep_span = self.telemetry.span("pipeline.representation");
         let representation = match (&self.config.population_marginals, protected.first()) {
             (Some(marginals), Some(&first)) => {
                 let mut rng = fairbridge_stats::rng::StdRng::seed_from_u64(0xFA1B);

@@ -1,23 +1,78 @@
 //! `fb-experiments` — regenerates every reproducible artifact of the
-//! ICDE'24 paper (experiments E1–E15, see DESIGN.md §3).
+//! ICDE'24 paper (experiments E1–E19, see DESIGN.md §3).
 //!
 //! Usage:
-//!   fb-experiments              # run everything
-//!   fb-experiments E9 E13       # run selected experiments
-//!   fb-experiments --seed 7 E1  # custom RNG seed
+//!   fb-experiments                        # run everything
+//!   fb-experiments E9 E13                 # run selected experiments
+//!   fb-experiments --seed 7 E1            # custom RNG seed
+//!   fb-experiments --telemetry out.jsonl  # record the telemetry trail
+//!   fb-experiments --check-telemetry out.jsonl  # validate a trail
+//!
+//! With `--telemetry <path>` every experiment runs under a span and the
+//! engine/monitor experiments emit their full fairness-event trail
+//! (per-shard scans, cache hits, window seals, drift alarms) as JSON
+//! lines to `<path>`. `--check-telemetry <path>` re-parses such a file
+//! and fails if it is empty or any line is not valid JSON — the CI
+//! smoke-check for the evidential trail.
 
-use fairbridge_bench::{run_all, run_one, EXPERIMENT_IDS};
+use fairbridge_bench::{run_all_traced, run_one_traced, EXPERIMENT_IDS};
+use fairbridge_obs::{json, JsonlSink, Telemetry};
+use std::sync::Arc;
+
+fn check_telemetry(path: &str) -> ! {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let lines: Vec<&str> = raw.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        eprintln!("{path}: no telemetry events");
+        std::process::exit(1);
+    }
+    let mut kinds: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        let value = json::parse(line).unwrap_or_else(|e| {
+            eprintln!("{path}:{}: invalid JSON: {e}", i + 1);
+            std::process::exit(1);
+        });
+        let kind = value
+            .get("kind")
+            .and_then(json::Value::as_str)
+            .unwrap_or_else(|| {
+                eprintln!("{path}:{}: event has no \"kind\" field", i + 1);
+                std::process::exit(1);
+            });
+        *kinds.entry(kind.to_owned()).or_default() += 1;
+    }
+    println!("{path}: {} events, all parseable", lines.len());
+    for (kind, n) in &kinds {
+        println!("  {kind:<24} {n}");
+    }
+    std::process::exit(0);
+}
 
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut seed = 424_242u64;
     let mut ids: Vec<String> = Vec::new();
+    let mut telemetry_path: Option<String> = None;
     while let Some(arg) = args.next() {
         if arg == "--seed" {
             seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                 eprintln!("--seed requires an integer");
                 std::process::exit(2);
             });
+        } else if arg == "--telemetry" {
+            telemetry_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--telemetry requires a path");
+                std::process::exit(2);
+            }));
+        } else if arg == "--check-telemetry" {
+            let path = args.next().unwrap_or_else(|| {
+                eprintln!("--check-telemetry requires a path");
+                std::process::exit(2);
+            });
+            check_telemetry(&path);
         } else if arg == "--list" {
             for id in EXPERIMENT_IDS {
                 println!("{id}");
@@ -28,12 +83,23 @@ fn main() {
         }
     }
 
+    let telemetry = match &telemetry_path {
+        Some(path) => {
+            let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot open telemetry file {path}: {e}");
+                std::process::exit(2);
+            });
+            Telemetry::new(Arc::new(sink))
+        }
+        None => Telemetry::off(),
+    };
+
     let results = if ids.is_empty() {
-        run_all(seed)
+        run_all_traced(seed, &telemetry)
     } else {
         ids.iter()
             .map(|id| {
-                run_one(id, seed).unwrap_or_else(|| {
+                run_one_traced(id, seed, &telemetry).unwrap_or_else(|| {
                     eprintln!("unknown experiment `{id}` (try --list)");
                     std::process::exit(2);
                 })
@@ -53,6 +119,13 @@ fn main() {
         results.len(),
         failed
     );
+    if let Some(path) = &telemetry_path {
+        telemetry.flush();
+        println!(
+            "telemetry: {} event(s) written to {path}",
+            telemetry.events_emitted()
+        );
+    }
     if failed > 0 {
         std::process::exit(1);
     }

@@ -6,11 +6,18 @@
 //! the merged result is *bitwise-identical* to the sequential evaluation
 //! for every thread count, and on large inputs the multi-shard scan is
 //! faster than the single-threaded one.
+//!
+//! When run with an enabled telemetry (`fb-experiments --telemetry`),
+//! E19 additionally replays a fully traced audit (per-shard scan events,
+//! cache hit/miss, pipeline stage spans) and a drifting decision stream
+//! whose sustained disparity raises the monitor's `drift_flagged` event —
+//! and verifies that tracing does not perturb the audit result.
 
 use super::{Check, ExperimentResult};
-use fairbridge::engine::{Engine, EngineConfig, MonitorConfig, StreamingMonitor};
+use fairbridge::engine::{AuditSpec, Engine, EngineConfig, MonitorConfig, StreamingMonitor};
 use fairbridge::metrics::{from_accumulator, FairnessReport, Outcomes};
 use fairbridge::synth::hiring::{generate, HiringConfig};
+use fairbridge_obs::Telemetry;
 use fairbridge_stats::rng::StdRng;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -29,7 +36,11 @@ fn best_ms<F: FnMut()>(mut f: F) -> f64 {
     best
 }
 
-pub(crate) fn e19_execution_engine(seed: u64) -> ExperimentResult {
+/// Rows for the traced full-audit replay: small enough that the
+/// sequential support stages (subgroup search) stay fast.
+const TRACED_ROWS: usize = 50_000;
+
+pub(crate) fn e19_execution_engine(seed: u64, telemetry: &Telemetry) -> ExperimentResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let ds = generate(
         &HiringConfig {
@@ -72,6 +83,7 @@ pub(crate) fn e19_execution_engine(seed: u64) -> ExperimentResult {
         let engine = Engine::new(EngineConfig {
             num_threads: threads,
             shard_size: 16_384,
+            ..EngineConfig::default()
         });
         let partition = engine.partition(&ds, &["sex"]).expect("partition");
         let report = {
@@ -131,6 +143,75 @@ pub(crate) fn e19_execution_engine(seed: u64) -> ExperimentResult {
         ROWS as f64 / monitor_ms / 1e3
     );
 
+    // Traced replay: a full audit (pipeline stages included) on a
+    // smaller sample, run twice so the second pass exercises the
+    // partition-cache hit path, plus a decision stream whose disparity
+    // widens until the monitor's drift alarm fires. With `--telemetry`
+    // every one of these steps lands in the JSONL trail; without it the
+    // same code runs against the disabled handle, asserting the
+    // instrumentation itself is inert.
+    let mut traced_rng = StdRng::seed_from_u64(seed ^ 0x0b5);
+    let traced_ds = generate(
+        &HiringConfig {
+            n: TRACED_ROWS,
+            ..HiringConfig::biased()
+        },
+        &mut traced_rng,
+    )
+    .dataset;
+    let spec = AuditSpec::new(&["sex"], true);
+    let untraced_report = Engine::new(EngineConfig::default())
+        .audit(&traced_ds, &spec)
+        .expect("untraced audit")
+        .to_string();
+    let traced_engine = Engine::with_telemetry(
+        EngineConfig {
+            shard_size: 4096,
+            ..EngineConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let traced_report = traced_engine
+        .audit(&traced_ds, &spec)
+        .expect("traced audit")
+        .to_string();
+    traced_engine
+        .audit(&traced_ds, &spec)
+        .expect("cached audit");
+    let cache = traced_engine.cache_stats();
+    let trace_ok = traced_report == untraced_report && cache.hits == 1 && cache.misses == 1;
+
+    // Drift stream: parity for 3 windows, then sustained 0.3 → 0.6 gap.
+    let mut drift_monitor = StreamingMonitor::over_levels(
+        &["male", "female"],
+        false,
+        MonitorConfig {
+            window_size: 1_000,
+            retained_windows: 8,
+            min_group_size: 10,
+            ..MonitorConfig::default()
+        },
+    )
+    .expect("drift monitor")
+    .with_telemetry(telemetry.clone());
+    for window in 0..8usize {
+        let gap = 0.1 * (window.saturating_sub(2)) as f64;
+        for i in 0..500usize {
+            let t = i as f64 / 500.0;
+            drift_monitor.ingest_indexed(0, t < 0.5 + gap / 2.0, None);
+            drift_monitor.ingest_indexed(1, t < 0.5 - gap / 2.0, None);
+        }
+    }
+    let drift_snap = drift_monitor.snapshot();
+    let _ = writeln!(
+        table,
+        "{:<28} windows {}, final gap {:.2}, drift {}",
+        "traced drift stream",
+        drift_monitor.windows_sealed(),
+        drift_snap.latest_gap(),
+        drift_snap.drift
+    );
+
     let single = scan_ms[0].1;
     let best_multi =
         scan_ms[1..].iter().cloned().fold(
@@ -159,6 +240,25 @@ pub(crate) fn e19_execution_engine(seed: u64) -> ExperimentResult {
                 format!(
                     "1 thread {:.2}ms, best multi {:.2}ms ({} threads, host cores {})",
                     single, best_multi.1, best_multi.0, cores
+                ),
+            ),
+            Check::new(
+                "the traced audit matches the untraced audit and reuses the partition cache",
+                trace_ok,
+                format!(
+                    "telemetry {}, cache hits {}, misses {}",
+                    if telemetry.is_enabled() { "on" } else { "off" },
+                    cache.hits,
+                    cache.misses
+                ),
+            ),
+            Check::new(
+                "sustained disparity in the decision stream raises the drift flag",
+                drift_snap.drift,
+                format!(
+                    "{} windows sealed, final gap {:.2}",
+                    drift_monitor.windows_sealed(),
+                    drift_snap.latest_gap()
                 ),
             ),
         ],

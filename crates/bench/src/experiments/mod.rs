@@ -6,6 +6,7 @@ mod sampling;
 mod section3;
 mod section4;
 
+use fairbridge_obs::Telemetry;
 use std::fmt;
 
 /// One verified claim inside an experiment.
@@ -77,35 +78,54 @@ pub const EXPERIMENT_IDS: [&str; 19] = [
 
 /// Runs one experiment by id.
 pub fn run_one(id: &str, seed: u64) -> Option<ExperimentResult> {
-    match id {
-        "E1" => Some(section3::e1_demographic_parity()),
-        "E2" => Some(section3::e2_conditional_statistical_parity()),
-        "E3" => Some(section3::e3_equal_opportunity()),
-        "E4" => Some(section3::e4_equalized_odds()),
-        "E5" => Some(section3::e5_demographic_disparity()),
-        "E6" => Some(section3::e6_conditional_demographic_disparity()),
-        "E7" => Some(section3::e7_counterfactual_fairness(seed)),
-        "E8" => Some(section4::e8_equality_notions(seed)),
-        "E9" => Some(section4::e9_proxy_discrimination(seed)),
-        "E10" => Some(section4::e10_intersectional(seed)),
-        "E11" => Some(section4::e11_feedback_loops(seed)),
-        "E12" => Some(section4::e12_manipulation(seed)),
-        "E13" => Some(sampling::e13_sample_complexity(seed)),
-        "E14" => Some(sampling::e14_group_blind_repair(seed)),
-        "E15" => Some(sampling::e15_criteria_engine()),
-        "E16" => Some(extended::e16_mitigation_matrix(seed)),
-        "E17" => Some(extended::e17_individual_and_calibration(seed)),
-        "E18" => Some(extended::e18_measurement_bias(seed)),
-        "E19" => Some(engine::e19_execution_engine(seed)),
-        _ => None,
+    run_one_traced(id, seed, &Telemetry::off())
+}
+
+/// Runs one experiment by id, recording a per-experiment span (e.g.
+/// `experiment.E19`) and — for the experiments that exercise the engine —
+/// the full engine/monitor event trail through `telemetry`.
+pub fn run_one_traced(id: &str, seed: u64, telemetry: &Telemetry) -> Option<ExperimentResult> {
+    let known = EXPERIMENT_IDS.contains(&id);
+    if !known {
+        return None;
     }
+    let _span = telemetry.span(format!("experiment.{id}"));
+    telemetry.counter("experiments.run").incr();
+    let result = match id {
+        "E1" => section3::e1_demographic_parity(),
+        "E2" => section3::e2_conditional_statistical_parity(),
+        "E3" => section3::e3_equal_opportunity(),
+        "E4" => section3::e4_equalized_odds(),
+        "E5" => section3::e5_demographic_disparity(),
+        "E6" => section3::e6_conditional_demographic_disparity(),
+        "E7" => section3::e7_counterfactual_fairness(seed),
+        "E8" => section4::e8_equality_notions(seed),
+        "E9" => section4::e9_proxy_discrimination(seed),
+        "E10" => section4::e10_intersectional(seed),
+        "E11" => section4::e11_feedback_loops(seed),
+        "E12" => section4::e12_manipulation(seed),
+        "E13" => sampling::e13_sample_complexity(seed),
+        "E14" => sampling::e14_group_blind_repair(seed),
+        "E15" => sampling::e15_criteria_engine(),
+        "E16" => extended::e16_mitigation_matrix(seed),
+        "E17" => extended::e17_individual_and_calibration(seed),
+        "E18" => extended::e18_measurement_bias(seed),
+        "E19" => engine::e19_execution_engine(seed, telemetry),
+        _ => unreachable!("id membership checked above"),
+    };
+    Some(result)
 }
 
 /// Runs every experiment.
 pub fn run_all(seed: u64) -> Vec<ExperimentResult> {
+    run_all_traced(seed, &Telemetry::off())
+}
+
+/// Runs every experiment with telemetry (see [`run_one_traced`]).
+pub fn run_all_traced(seed: u64, telemetry: &Telemetry) -> Vec<ExperimentResult> {
     EXPERIMENT_IDS
         .iter()
-        .map(|id| run_one(id, seed).expect("registered id"))
+        .map(|id| run_one_traced(id, seed, telemetry).expect("registered id"))
         .collect()
 }
 

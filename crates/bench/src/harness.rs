@@ -13,9 +13,17 @@
 //! mean nanoseconds per iteration; the harness reports min / median /
 //! mean over samples. Passing `--test` (as `cargo bench -- --test` does)
 //! switches to a smoke-test mode that executes every body exactly once.
+//!
+//! Setting `FB_BENCH_JSON=<path>` additionally appends one JSON line per
+//! benchmark (`label`, `mode`, `samples`, `min_ns`, `median_ns`,
+//! `mean_ns`) to that file, so CI can diff timings across runs without
+//! scraping the human-readable table.
 
 use std::fmt::Display;
+use std::fs::OpenOptions;
 use std::hint::black_box;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Target wall-clock time per measurement sample.
@@ -90,6 +98,58 @@ impl Bencher {
             self.samples.push(elapsed / iters_per_sample as f64);
         }
     }
+}
+
+/// The `FB_BENCH_JSON` sidecar, opened (append mode) on first use.
+fn json_out() -> Option<&'static Mutex<std::fs::File>> {
+    static OUT: OnceLock<Option<Mutex<std::fs::File>>> = OnceLock::new();
+    OUT.get_or_init(|| {
+        let path = std::env::var("FB_BENCH_JSON").ok()?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| eprintln!("FB_BENCH_JSON: cannot open {path}: {e}"))
+            .ok()?;
+        Some(Mutex::new(file))
+    })
+    .as_ref()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one benchmark record to the `FB_BENCH_JSON` sidecar, if
+/// configured. Timing fields are `null` in test mode.
+fn write_json_record(label: &str, mode: &str, stats: Option<(usize, f64, f64, f64)>) {
+    let Some(out) = json_out() else {
+        return;
+    };
+    let tail = match stats {
+        Some((samples, min, median, mean)) => format!(
+            "\"samples\":{samples},\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1}"
+        ),
+        None => "\"samples\":0,\"min_ns\":null,\"median_ns\":null,\"mean_ns\":null".to_owned(),
+    };
+    let line = format!(
+        "{{\"label\":\"{}\",\"mode\":\"{mode}\",{tail}}}\n",
+        json_escape(label)
+    );
+    // Telemetry must never fail the benchmark: IO errors are dropped.
+    let _ = out
+        .lock()
+        .expect("bench json lock")
+        .write_all(line.as_bytes());
 }
 
 fn format_nanos(ns: f64) -> String {
@@ -184,6 +244,7 @@ fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, sample_size: usize, label: &
     f(&mut bencher);
     if test_mode {
         println!("{label}: ok (test mode)");
+        write_json_record(label, "test", None);
         return;
     }
     let mut sorted = bencher.samples.clone();
@@ -202,6 +263,7 @@ fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, sample_size: usize, label: &
         format_nanos(median),
         format_nanos(mean)
     );
+    write_json_record(label, "measure", Some((sorted.len(), min, median, mean)));
 }
 
 /// Bundle benchmark functions into a group runner, mirroring the
@@ -230,6 +292,13 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("plain/label"), "plain/label");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
 
     #[test]
     fn benchmark_id_formats_label() {

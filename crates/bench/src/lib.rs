@@ -19,4 +19,6 @@
 pub mod experiments;
 pub mod harness;
 
-pub use experiments::{run_all, run_one, ExperimentResult, EXPERIMENT_IDS};
+pub use experiments::{
+    run_all, run_all_traced, run_one, run_one_traced, ExperimentResult, EXPERIMENT_IDS,
+};

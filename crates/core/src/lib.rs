@@ -59,6 +59,10 @@ pub mod legal;
 pub mod prelude;
 pub mod report;
 
+/// The telemetry subsystem — spans, counters, sinks and typed fairness
+/// events (re-export of `fairbridge-obs`).
+pub use fairbridge_obs as obs;
+
 /// The tabular dataset substrate (re-export of `fairbridge-tabular`).
 pub use fairbridge_tabular as tabular;
 

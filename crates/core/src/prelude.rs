@@ -15,6 +15,7 @@ pub use fairbridge_metrics::{
     demographic_parity, four_fifths, Definition, EqualityNotion, FairnessReport, Outcomes,
 };
 pub use fairbridge_mitigate::{reweigh, GroupThresholds, ThresholdObjective};
+pub use fairbridge_obs::{FairnessEvent, JsonlSink, RingSink, Telemetry};
 pub use fairbridge_synth::{HiringConfig, IntersectionalConfig, PopulationModel};
 pub use fairbridge_tabular::{Dataset, GroupKey, GroupSpec, Role};
 

@@ -1,0 +1,98 @@
+//! The engine's typed error, replacing the stringly `Result<_, String>`
+//! the executor used to return.
+//!
+//! Three failure families cover everything the engine can hit: the
+//! dataset refused an access (missing column/role, type mismatch —
+//! wrapped [`fairbridge_tabular::Error`] with full context), the caller
+//! handed in slices whose lengths disagree with the partition, or a
+//! downstream stage (accumulator merge, pipeline support stages)
+//! reported a failure.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the sharded audit executor and partition cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The dataset rejected an access (unknown column, missing role,
+    /// type mismatch, ...).
+    Dataset(fairbridge_tabular::Error),
+    /// Caller-supplied slices disagree in length with the partitioned
+    /// dataset.
+    LengthMismatch {
+        /// What was mis-sized (e.g. `"decisions"`).
+        what: &'static str,
+        /// The length the partition requires.
+        expected: usize,
+        /// The length actually supplied.
+        got: usize,
+    },
+    /// A downstream stage failed (accumulator merge, pipeline support
+    /// stages, partition build).
+    Stage(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Dataset(e) => write!(f, "dataset access failed: {e}"),
+            EngineError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} length {got} does not match the partitioned dataset ({expected} rows)"
+            ),
+            EngineError::Stage(msg) => write!(f, "audit stage failed: {msg}"),
+        }
+    }
+}
+
+impl StdError for EngineError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            EngineError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fairbridge_tabular::Error> for EngineError {
+    fn from(e: fairbridge_tabular::Error) -> EngineError {
+        EngineError::Dataset(e)
+    }
+}
+
+impl From<String> for EngineError {
+    fn from(msg: String) -> EngineError {
+        EngineError::Stage(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_each_family() {
+        let d = EngineError::from(fairbridge_tabular::Error::UnknownColumn("sex".into()));
+        assert!(d.to_string().contains("dataset access failed"));
+        assert!(d.to_string().contains("sex"));
+        assert!(StdError::source(&d).is_some());
+
+        let l = EngineError::LengthMismatch {
+            what: "decisions",
+            expected: 10,
+            got: 3,
+        };
+        assert_eq!(
+            l.to_string(),
+            "decisions length 3 does not match the partitioned dataset (10 rows)"
+        );
+        assert!(StdError::source(&l).is_none());
+
+        let s = EngineError::from("merge failed".to_owned());
+        assert_eq!(s.to_string(), "audit stage failed: merge failed");
+    }
+}

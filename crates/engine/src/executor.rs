@@ -12,13 +12,26 @@
 //! Shard boundaries depend only on the row count and the configured
 //! shard size, never on the number of workers: determinism is structural,
 //! not scheduled.
+//!
+//! The executor is **instrumented**: attach a
+//! [`Telemetry`] via [`Engine::with_telemetry`]
+//! and every audit leaves an evidential trail — an `audit_started` event,
+//! `engine.partition` / `engine.scan` / `engine.merge` /
+//! `engine.finalize` / `engine.support_stages` spans, a
+//! `shard_scanned` event per shard (with per-shard wall time, emitted
+//! from the worker that scanned it), and cache hit/miss events with the
+//! dataset fingerprint. With the default disabled telemetry the
+//! instrumentation costs one branch per record point.
 
-use crate::partition::{Partition, PartitionCache};
+use crate::error::EngineError;
+use crate::partition::{CacheStats, Partition, PartitionCache};
 use fairbridge_audit::{AuditConfig, AuditPipeline, AuditReport};
 use fairbridge_metrics::{from_accumulator, GroupAccumulator};
+use fairbridge_obs::{FairnessEvent, Telemetry};
 use fairbridge_tabular::Dataset;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Execution parameters of the [`Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +41,8 @@ pub struct EngineConfig {
     /// Rows per shard. Boundaries depend only on this and the row count,
     /// so results are identical across thread counts.
     pub shard_size: usize,
+    /// Partitions the [`PartitionCache`] retains before LRU eviction.
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +50,7 @@ impl Default for EngineConfig {
         EngineConfig {
             num_threads: 0,
             shard_size: 8192,
+            cache_capacity: crate::partition::DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -76,15 +92,30 @@ impl AuditSpec {
 pub struct Engine {
     config: EngineConfig,
     cache: PartitionCache,
+    telemetry: Telemetry,
 }
 
 impl Engine {
-    /// Creates an engine with the given execution config.
+    /// Creates an engine with the given execution config and telemetry
+    /// disabled.
     pub fn new(config: EngineConfig) -> Engine {
+        Engine::with_telemetry(config, Telemetry::off())
+    }
+
+    /// Creates an engine whose audits record spans, counters and
+    /// fairness events through `telemetry`.
+    pub fn with_telemetry(config: EngineConfig, telemetry: Telemetry) -> Engine {
+        let cache = PartitionCache::with_capacity(config.cache_capacity);
         Engine {
             config,
-            cache: PartitionCache::new(),
+            cache,
+            telemetry,
         }
+    }
+
+    /// The telemetry handle this engine records through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The resolved worker-thread count.
@@ -103,11 +134,47 @@ impl Engine {
         self.cache.len()
     }
 
+    /// Hit/miss/insert/eviction statistics of the partition cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// The partition for `(ds, protected)` — cached, building on first
     /// use. Exposed so callers can drive [`Engine::accumulate`] directly
     /// (e.g. to time the scan without the non-metric pipeline stages).
-    pub fn partition(&self, ds: &Dataset, protected: &[&str]) -> Result<Arc<Partition>, String> {
-        self.cache.get_or_build(ds, protected)
+    pub fn partition(
+        &self,
+        ds: &Dataset,
+        protected: &[&str],
+    ) -> Result<Arc<Partition>, EngineError> {
+        self.partition_traced(ds, protected)
+    }
+
+    /// Cache lookup plus hit/miss telemetry.
+    fn partition_traced(
+        &self,
+        ds: &Dataset,
+        protected: &[&str],
+    ) -> Result<Arc<Partition>, EngineError> {
+        let _span = self.telemetry.span("engine.partition");
+        let lookup = self.cache.fetch(ds, protected)?;
+        if self.telemetry.is_enabled() {
+            let event = if lookup.hit {
+                self.telemetry.counter("engine.partition_cache.hits").incr();
+                FairnessEvent::PartitionCacheHit {
+                    fingerprint: lookup.fingerprint,
+                }
+            } else {
+                self.telemetry
+                    .counter("engine.partition_cache.misses")
+                    .incr();
+                FairnessEvent::PartitionCacheMiss {
+                    fingerprint: lookup.fingerprint,
+                }
+            };
+            self.telemetry.emit(event);
+        }
+        Ok(lookup.partition)
     }
 
     /// Runs the full audit, sharding the metric scan across workers.
@@ -115,30 +182,47 @@ impl Engine {
     /// The result matches [`AuditPipeline::run`] with the same
     /// [`AuditConfig`] exactly — including bitwise-identical metric gaps —
     /// for every thread count.
-    pub fn audit(&self, ds: &Dataset, spec: &AuditSpec) -> Result<AuditReport, String> {
+    pub fn audit(&self, ds: &Dataset, spec: &AuditSpec) -> Result<AuditReport, EngineError> {
+        let _audit_span = self.telemetry.span("engine.audit");
+        if self.telemetry.is_enabled() {
+            self.telemetry.emit(FairnessEvent::AuditStarted {
+                rows: ds.n_rows(),
+                protected: spec.protected.clone(),
+                use_labels: spec.use_labels,
+            });
+            self.telemetry.counter("engine.audits").incr();
+        }
         let protected: Vec<&str> = spec.protected.iter().map(String::as_str).collect();
-        let partition = self.cache.get_or_build(ds, &protected)?;
+        let partition = self.partition_traced(ds, &protected)?;
 
         // Bind outcomes the way the sequential pipeline does: auditing
         // historical labels treats them as the decisions (and leaves no
         // ground truth), auditing predictions attaches labels if present.
         let (decisions, labels): (Vec<bool>, Option<Vec<bool>>) = if spec.use_labels {
-            (ds.labels().map_err(|e| e.to_string())?.to_vec(), None)
+            (ds.labels()?.to_vec(), None)
         } else {
             (
-                ds.predictions().map_err(|e| e.to_string())?.to_vec(),
+                ds.predictions()?.to_vec(),
                 ds.labels().ok().map(<[bool]>::to_vec),
             )
         };
 
         let acc = self.accumulate(&partition, &decisions, labels.as_deref())?;
-        let metrics = from_accumulator(&acc, spec.config.tolerance, spec.config.min_group_size);
+        let metrics = {
+            let _span = self.telemetry.span("engine.finalize");
+            from_accumulator(&acc, spec.config.tolerance, spec.config.min_group_size)
+        };
 
         // The non-metric stages (proxy ranking, subgroup search,
         // representation audit) run sequentially through the exact
-        // pipeline code path.
-        let stages =
-            AuditPipeline::new(spec.config.clone()).support_stages(ds, &protected, &decisions)?;
+        // pipeline code path — traced under their own span so the trail
+        // shows where audit time actually goes.
+        let stages = {
+            let _span = self.telemetry.span("engine.support_stages");
+            AuditPipeline::new(spec.config.clone())
+                .with_telemetry(self.telemetry.clone())
+                .support_stages(ds, &protected, &decisions)?
+        };
         Ok(stages.into_report(metrics))
     }
 
@@ -149,18 +233,38 @@ impl Engine {
         partition: &Arc<Partition>,
         decisions: &[bool],
         labels: Option<&[bool]>,
-    ) -> Result<GroupAccumulator, String> {
+    ) -> Result<GroupAccumulator, EngineError> {
         let n = decisions.len();
         if n != partition.n_rows() {
-            return Err("decisions length must match the partitioned dataset".to_owned());
+            return Err(EngineError::LengthMismatch {
+                what: "decisions",
+                expected: partition.n_rows(),
+                got: n,
+            });
         }
-        if labels.is_some_and(|l| l.len() != n) {
-            return Err("labels length must match decisions".to_owned());
+        if let Some(l) = labels {
+            if l.len() != n {
+                return Err(EngineError::LengthMismatch {
+                    what: "labels",
+                    expected: n,
+                    got: l.len(),
+                });
+            }
         }
         let has_labels = labels.is_some();
         let shard_size = self.config.shard_size.max(1);
         let n_shards = n.div_ceil(shard_size).max(1);
         let workers = self.threads().min(n_shards);
+        let recording = self.telemetry.is_enabled();
+
+        let scan_span = self.telemetry.span("engine.scan");
+        let scan_span_id = scan_span.id();
+        if recording {
+            self.telemetry.counter("engine.rows_scanned").add(n as u64);
+            self.telemetry
+                .counter("engine.shards_scanned")
+                .add(n_shards as u64);
+        }
 
         let fill = |acc: &mut GroupAccumulator, range: std::ops::Range<usize>| {
             for row in range {
@@ -171,10 +275,33 @@ impl Engine {
                 );
             }
         };
+        // Worker-side per-shard scan with the optional `shard_scanned`
+        // record; the event is attributed to the coordinator's scan span.
+        let scan_shard = |s: usize, acc: &mut GroupAccumulator| {
+            let start = s * shard_size;
+            let end = (start + shard_size).min(n);
+            if recording {
+                let t0 = Instant::now();
+                fill(acc, start..end);
+                self.telemetry.emit_in_span(
+                    scan_span_id,
+                    FairnessEvent::ShardScanned {
+                        shard: s,
+                        rows: end - start,
+                        elapsed_ns: t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    },
+                );
+            } else {
+                fill(acc, start..end);
+            }
+        };
 
         if workers <= 1 {
             let mut acc = partition.empty_accumulator(has_labels);
-            fill(&mut acc, 0..n);
+            for s in 0..n_shards {
+                scan_shard(s, &mut acc);
+            }
+            drop(scan_span);
             return Ok(acc);
         }
 
@@ -194,9 +321,7 @@ impl Engine {
                                 break;
                             }
                             let mut acc = partition.empty_accumulator(has_labels);
-                            let start = s * shard_size;
-                            let end = (start + shard_size).min(n);
-                            fill(&mut acc, start..end);
+                            scan_shard(s, &mut acc);
                             done.push((s, acc));
                         }
                         done
@@ -209,7 +334,9 @@ impl Engine {
                 }
             }
         });
+        drop(scan_span);
 
+        let _merge_span = self.telemetry.span("engine.merge");
         let mut merged = partition.empty_accumulator(has_labels);
         for slot in slots {
             merged.merge(&slot.expect("every shard filled"))?;
@@ -222,6 +349,7 @@ impl Engine {
 mod tests {
     use super::*;
     use fairbridge_metrics::outcome::Outcomes;
+    use fairbridge_obs::{EventKind, RingSink};
     use fairbridge_tabular::Role;
 
     fn dataset(n: usize) -> Dataset {
@@ -245,6 +373,7 @@ mod tests {
             let engine = Engine::new(EngineConfig {
                 num_threads: threads,
                 shard_size: 64,
+                ..EngineConfig::default()
             });
             let partition = engine.cache.get_or_build(&ds, &["g"]).unwrap();
             let labels = ds.labels().unwrap().to_vec();
@@ -264,16 +393,92 @@ mod tests {
         assert_eq!(engine.cached_partitions(), 1);
         engine.audit(&ds, &spec).unwrap();
         assert_eq!(engine.cached_partitions(), 1);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]
-    fn accumulate_validates_lengths() {
+    fn accumulate_validates_lengths_with_typed_errors() {
         let ds = dataset(50);
         let engine = Engine::new(EngineConfig::default());
         let partition = engine.cache.get_or_build(&ds, &["g"]).unwrap();
-        assert!(engine.accumulate(&partition, &[true; 3], None).is_err());
-        assert!(engine
+        let err = engine.accumulate(&partition, &[true; 3], None).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::LengthMismatch {
+                what: "decisions",
+                expected: 50,
+                got: 3
+            }
+        );
+        let err = engine
             .accumulate(&partition, &[true; 50], Some(&[false; 3]))
-            .is_err());
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::LengthMismatch {
+                what: "labels",
+                expected: 50,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn traced_audit_emits_the_shard_trail_and_matches_untraced() {
+        let ds = dataset(1000);
+        let spec = AuditSpec::new(&["g"], false);
+        let untraced = Engine::new(EngineConfig {
+            num_threads: 2,
+            shard_size: 128,
+            ..EngineConfig::default()
+        })
+        .audit(&ds, &spec)
+        .unwrap();
+
+        let ring = Arc::new(RingSink::with_capacity(4096));
+        let telemetry = Telemetry::new(ring.clone());
+        let engine = Engine::with_telemetry(
+            EngineConfig {
+                num_threads: 2,
+                shard_size: 128,
+                ..EngineConfig::default()
+            },
+            telemetry,
+        );
+        let traced = engine.audit(&ds, &spec).unwrap();
+        assert_eq!(
+            traced.to_string(),
+            untraced.to_string(),
+            "telemetry must not perturb the audit"
+        );
+
+        let events = ring.events();
+        let shard_events = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Fairness(FairnessEvent::ShardScanned { .. })
+                )
+            })
+            .count();
+        assert_eq!(shard_events, 1000usize.div_ceil(128), "one event per shard");
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Fairness(FairnessEvent::AuditStarted { rows: 1000, .. })
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Fairness(FairnessEvent::PartitionCacheMiss { .. })
+        )));
+    }
+
+    #[test]
+    fn disabled_telemetry_emits_nothing_during_audit() {
+        let ds = dataset(300);
+        let engine = Engine::new(EngineConfig::with_threads(2));
+        engine.audit(&ds, &AuditSpec::new(&["g"], false)).unwrap();
+        assert_eq!(engine.telemetry().events_emitted(), 0);
     }
 }

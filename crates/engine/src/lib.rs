@@ -19,7 +19,18 @@
 //!   disparity stays across a threshold in consecutive windows — the
 //!   runtime counterpart to the paper's Section IV.D feedback-loop
 //!   warning;
-//! * [`partition`] — the shared row-addressable group partition.
+//! * [`partition`] — the shared row-addressable group partition behind a
+//!   bounded, LRU-evicting, statistics-counting [`PartitionCache`];
+//! * [`error`] — the typed [`EngineError`] every fallible engine entry
+//!   point returns.
+//!
+//! The engine is fully instrumented through `fairbridge-obs`: construct
+//! with [`Engine::with_telemetry`] (or
+//! [`StreamingMonitor::with_telemetry`]) and audits emit spans for each
+//! phase, per-shard scan events, partition-cache hit/miss events and
+//! windowed drift alarms — an evidential trail a compliance review can
+//! replay. The default telemetry is disabled and costs one branch per
+//! record point.
 //!
 //! The mergeable accumulator itself lives in `fairbridge-metrics`
 //! ([`GroupAccumulator`]), next to the definitions it summarizes.
@@ -27,11 +38,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod executor;
 pub mod monitor;
 pub mod partition;
 
+pub use error::EngineError;
 pub use executor::{AuditSpec, Engine, EngineConfig};
 pub use fairbridge_metrics::{from_accumulator, GroupAccumulator, GroupCounts};
 pub use monitor::{MonitorConfig, MonitorSnapshot, StreamingMonitor, WindowSummary};
-pub use partition::{dataset_fingerprint, Partition, PartitionCache};
+pub use partition::{
+    dataset_fingerprint, CacheLookup, CacheStats, Partition, PartitionCache, DEFAULT_CACHE_CAPACITY,
+};

@@ -18,6 +18,7 @@
 
 use fairbridge_metrics::outcome::GapSummary;
 use fairbridge_metrics::{from_accumulator, FairnessReport, GroupAccumulator};
+use fairbridge_obs::{FairnessEvent, Telemetry};
 use fairbridge_tabular::GroupKey;
 use std::collections::VecDeque;
 
@@ -95,6 +96,13 @@ pub struct StreamingMonitor {
     /// [`StreamingMonitor::over_levels`], whose levels arrive in code
     /// order, not sorted order).
     code_map: Vec<usize>,
+    telemetry: Telemetry,
+    /// Consecutive just-sealed windows whose gap breached the threshold
+    /// (drives the live `drift_flagged` event).
+    breach_run: usize,
+    /// Whether the drift flag has already been raised for the current
+    /// breach run (the alarm fires once per sustained episode).
+    in_drift: bool,
 }
 
 impl StreamingMonitor {
@@ -121,7 +129,19 @@ impl StreamingMonitor {
             current,
             sealed: 0,
             code_map,
+            telemetry: Telemetry::off(),
+            breach_run: 0,
+            in_drift: false,
         })
+    }
+
+    /// Emits a `window_closed` event per sealed window and a
+    /// `drift_flagged` event the moment a breach is sustained for two
+    /// consecutive windows, through `telemetry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> StreamingMonitor {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Convenience: a monitor whose groups are the level names of a
@@ -225,6 +245,33 @@ impl StreamingMonitor {
             let fresh = GroupAccumulator::with_keys(self.keys.clone(), self.has_labels)
                 .expect("keys validated at construction");
             let full = std::mem::replace(&mut self.current, fresh);
+            if self.telemetry.is_enabled() {
+                // The gap is recomputed in `snapshot` anyway; paying it
+                // here only when recording keeps the untraced ingest path
+                // byte-for-byte what it was.
+                let gap =
+                    GapSummary::from_rates(&full.selection_rates(), self.config.min_group_size).gap;
+                self.telemetry.emit(FairnessEvent::WindowClosed {
+                    window: self.sealed,
+                    n: full.total(),
+                    parity_gap: gap,
+                });
+                if gap > self.config.drift_threshold {
+                    self.breach_run += 1;
+                    if self.breach_run >= 2 && !self.in_drift {
+                        self.in_drift = true;
+                        self.telemetry.emit(FairnessEvent::DriftFlagged {
+                            window: self.sealed,
+                            parity_gap: gap,
+                            threshold: self.config.drift_threshold,
+                        });
+                    }
+                } else {
+                    self.breach_run = 0;
+                    self.in_drift = false;
+                }
+                self.telemetry.counter("monitor.windows_sealed").incr();
+            }
             self.completed.push_back((self.sealed, full));
             self.sealed += 1;
             while self.completed.len() > self.config.retained_windows {
@@ -402,6 +449,59 @@ mod tests {
             "detail: {}",
             snap.windows[0].report.lines[0].detail
         );
+    }
+
+    #[test]
+    fn telemetry_records_window_seals_and_flags_sustained_drift_once() {
+        use fairbridge_obs::{EventKind, RingSink, Telemetry};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingSink::with_capacity(256));
+        let mut m = monitor(40, 4).with_telemetry(Telemetry::new(ring.clone()));
+        stream_window(&mut m, 0.5, 0.5);
+        stream_window(&mut m, 0.8, 0.2); // breach 1
+        stream_window(&mut m, 0.8, 0.3); // breach 2 → drift fires here
+        stream_window(&mut m, 0.9, 0.2); // still breached → no second alarm
+        stream_window(&mut m, 0.5, 0.5); // recovery resets the alarm
+
+        let events = ring.events();
+        let closed: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Fairness(FairnessEvent::WindowClosed { window, .. }) => Some(*window),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(closed, vec![0, 1, 2, 3, 4]);
+        let drift: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Fairness(FairnessEvent::DriftFlagged {
+                    window, threshold, ..
+                }) => {
+                    assert!((threshold - 0.10).abs() < 1e-12);
+                    Some(*window)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drift, vec![2], "alarm fires once, at the second breach");
+    }
+
+    #[test]
+    fn telemetry_ignores_a_single_window_blip() {
+        use fairbridge_obs::{EventKind, RingSink, Telemetry};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingSink::with_capacity(64));
+        let mut m = monitor(40, 4).with_telemetry(Telemetry::new(ring.clone()));
+        stream_window(&mut m, 0.5, 0.5);
+        stream_window(&mut m, 0.8, 0.2); // isolated breach
+        stream_window(&mut m, 0.5, 0.5);
+        assert!(!ring.events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::Fairness(FairnessEvent::DriftFlagged { .. })
+        )));
     }
 
     #[test]

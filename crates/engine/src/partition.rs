@@ -7,10 +7,17 @@
 //! every metric iterates in), and [`PartitionCache`] memoizes partitions
 //! keyed by a dataset fingerprint plus the protected-attribute set, so
 //! repeated audits of the same dataset skip the `GroupIndex` build.
+//!
+//! The cache is **bounded**: at most `capacity` partitions are retained,
+//! with least-recently-used eviction, and every hit/miss/insert/eviction
+//! is counted — [`PartitionCache::stats`] exposes the [`CacheStats`]
+//! snapshot the telemetry layer and capacity tuning rely on.
 
+use crate::error::EngineError;
 use fairbridge_metrics::GroupAccumulator;
 use fairbridge_tabular::{Column, Dataset, GroupIndex, GroupKey, GroupSpec};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A row-addressable group partition: sorted keys plus a dense
@@ -23,9 +30,9 @@ pub struct Partition {
 
 impl Partition {
     /// Builds the partition for the intersection of `protected` columns.
-    pub fn build(ds: &Dataset, protected: &[&str]) -> Result<Partition, String> {
+    pub fn build(ds: &Dataset, protected: &[&str]) -> Result<Partition, EngineError> {
         let spec = GroupSpec::intersection(protected.to_vec());
-        let index = GroupIndex::build(ds, &spec).map_err(|e| e.to_string())?;
+        let index = GroupIndex::build(ds, &spec)?;
         let keys: Vec<GroupKey> = index.iter().map(|(k, _)| k.clone()).collect();
         let mut row_groups = vec![0u32; index.n_rows()];
         for (gid, (_, rows)) in index.iter().enumerate() {
@@ -67,7 +74,7 @@ impl Partition {
 /// row count plus each protected column's name, kind and codes. Two
 /// datasets with identical protected columns collide on purpose — they
 /// induce the same partition.
-pub fn dataset_fingerprint(ds: &Dataset, protected: &[&str]) -> Result<u64, String> {
+pub fn dataset_fingerprint(ds: &Dataset, protected: &[&str]) -> Result<u64, EngineError> {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -81,7 +88,7 @@ pub fn dataset_fingerprint(ds: &Dataset, protected: &[&str]) -> Result<u64, Stri
     for name in protected {
         eat(name.as_bytes());
         eat(&[0xff]);
-        let col = ds.column(name).map_err(|e| e.to_string())?;
+        let col = ds.column(name)?;
         match col {
             Column::Categorical { levels, codes } => {
                 eat(&[1]);
@@ -113,39 +120,177 @@ pub fn dataset_fingerprint(ds: &Dataset, protected: &[&str]) -> Result<u64, Stri
 /// Cache key: `(dataset fingerprint, protected-attribute set)`.
 type CacheKey = (u64, Vec<String>);
 
-/// A thread-safe memo of [`Partition`]s keyed by
+/// The outcome of one cache lookup, as the telemetry layer records it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLookup {
+    /// The partition (served or freshly built).
+    pub partition: Arc<Partition>,
+    /// Whether the cache already held it.
+    pub hit: bool,
+    /// The dataset fingerprint that keyed the lookup.
+    pub fingerprint: u64,
+}
+
+/// A point-in-time summary of the cache's effectiveness and occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a partition.
+    pub misses: u64,
+    /// Partitions inserted (== misses, kept separate for clarity).
+    pub inserts: u64,
+    /// Partitions evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Partitions currently retained.
+    pub len: usize,
+    /// The configured retention bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (NaN when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+}
+
+/// Default retention bound: generous for realistic audit fleets, small
+/// enough that a pathological caller cannot hold every dataset alive.
+pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+struct CacheEntry {
+    partition: Arc<Partition>,
+    last_used: u64,
+}
+
+/// A thread-safe, bounded, LRU-evicting memo of [`Partition`]s keyed by
 /// `(dataset fingerprint, protected-attribute set)`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PartitionCache {
-    entries: Mutex<HashMap<CacheKey, Arc<Partition>>>,
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    entries: Mutex<HashMap<CacheKey, CacheEntry>>,
+}
+
+impl std::fmt::Debug for CacheEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheEntry")
+            .field("last_used", &self.last_used)
+            .finish()
+    }
+}
+
+impl Default for PartitionCache {
+    fn default() -> Self {
+        PartitionCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl PartitionCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity
+    /// ([`DEFAULT_CACHE_CAPACITY`]).
     pub fn new() -> PartitionCache {
         PartitionCache::default()
     }
 
-    /// Returns the cached partition for `(ds, protected)`, building and
-    /// inserting it on first use.
-    pub fn get_or_build(&self, ds: &Dataset, protected: &[&str]) -> Result<Arc<Partition>, String> {
-        let fp = dataset_fingerprint(ds, protected)?;
+    /// Creates an empty cache retaining at most `capacity` partitions
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> PartitionCache {
+        PartitionCache {
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Looks up (building on miss) the partition for `(ds, protected)`
+    /// and reports whether it was a hit — the traced entry point.
+    pub fn fetch(&self, ds: &Dataset, protected: &[&str]) -> Result<CacheLookup, EngineError> {
+        let fingerprint = dataset_fingerprint(ds, protected)?;
         let key = (
-            fp,
+            fingerprint,
             protected
                 .iter()
                 .map(|s| (*s).to_owned())
                 .collect::<Vec<_>>(),
         );
-        if let Some(hit) = self.entries.lock().expect("cache lock").get(&key) {
-            return Ok(Arc::clone(hit));
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(entry) = self.entries.lock().expect("cache lock").get_mut(&key) {
+            entry.last_used = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CacheLookup {
+                partition: Arc::clone(&entry.partition),
+                hit: true,
+                fingerprint,
+            });
         }
+        // Build outside the lock: partition construction is the
+        // expensive part and must not serialize other lookups.
         let built = Arc::new(Partition::build(ds, protected)?);
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&built));
-        Ok(built)
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("cache lock");
+        // A racing builder may have inserted meanwhile; keep the first.
+        if let Some(entry) = entries.get_mut(&key) {
+            entry.last_used = stamp;
+            return Ok(CacheLookup {
+                partition: Arc::clone(&entry.partition),
+                hit: false,
+                fingerprint,
+            });
+        }
+        while entries.len() >= self.capacity {
+            let oldest = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.insert(
+            key,
+            CacheEntry {
+                partition: Arc::clone(&built),
+                last_used: stamp,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(CacheLookup {
+            partition: built,
+            hit: false,
+            fingerprint,
+        })
+    }
+
+    /// Returns the cached partition for `(ds, protected)`, building and
+    /// inserting it on first use.
+    pub fn get_or_build(
+        &self,
+        ds: &Dataset,
+        protected: &[&str],
+    ) -> Result<Arc<Partition>, EngineError> {
+        self.fetch(ds, protected).map(|lookup| lookup.partition)
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
     }
 
     /// Number of cached partitions.
@@ -177,6 +322,21 @@ mod tests {
                 vec![true, false, true, false, true, false],
                 Role::Label,
             )
+            .build()
+            .unwrap()
+    }
+
+    /// A dataset with `n` rows whose protected column content varies
+    /// with `variant`, so each variant fingerprints differently.
+    fn variant(variant: u32) -> Dataset {
+        Dataset::builder()
+            .categorical_with_role(
+                "g",
+                vec!["a", "b", "c"],
+                vec![0, 1, 2, variant % 3],
+                Role::Protected,
+            )
+            .boolean_with_role("y", vec![true, false, true, false], Role::Label)
             .build()
             .unwrap()
     }
@@ -222,15 +382,55 @@ mod tests {
     }
 
     #[test]
-    fn cache_hits_return_the_same_partition() {
+    fn unknown_column_is_a_typed_dataset_error() {
+        let err = dataset_fingerprint(&sample(), &["nope"]).unwrap_err();
+        assert!(matches!(err, EngineError::Dataset(_)), "{err:?}");
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_partition_and_count() {
         let ds = sample();
         let cache = PartitionCache::new();
         assert!(cache.is_empty());
-        let first = cache.get_or_build(&ds, &["sex"]).unwrap();
-        let second = cache.get_or_build(&ds, &["sex"]).unwrap();
-        assert!(Arc::ptr_eq(&first, &second));
+        let first = cache.fetch(&ds, &["sex"]).unwrap();
+        assert!(!first.hit);
+        let second = cache.fetch(&ds, &["sex"]).unwrap();
+        assert!(second.hit);
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert!(Arc::ptr_eq(&first.partition, &second.partition));
         assert_eq!(cache.len(), 1);
         let _ = cache.get_or_build(&ds, &["hired"]).unwrap();
         assert_eq!(cache.len(), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 2, 2));
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.capacity, DEFAULT_CACHE_CAPACITY);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_the_least_recently_used() {
+        let cache = PartitionCache::with_capacity(2);
+        let (a, b, c) = (variant(0), variant(1), variant(2));
+        cache.get_or_build(&a, &["g"]).unwrap();
+        cache.get_or_build(&b, &["g"]).unwrap();
+        // touch `a` so `b` becomes the LRU entry
+        assert!(cache.fetch(&a, &["g"]).unwrap().hit);
+        cache.get_or_build(&c, &["g"]).unwrap(); // evicts `b`
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.fetch(&a, &["g"]).unwrap().hit, "a survived");
+        assert!(cache.fetch(&c, &["g"]).unwrap().hit, "c survived");
+        assert!(!cache.fetch(&b, &["g"]).unwrap().hit, "b was evicted");
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let cache = PartitionCache::with_capacity(0);
+        assert_eq!(cache.stats().capacity, 1);
+        cache.get_or_build(&variant(0), &["g"]).unwrap();
+        cache.get_or_build(&variant(1), &["g"]).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
     }
 }

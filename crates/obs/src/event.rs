@@ -1,0 +1,386 @@
+//! The telemetry event model and its JSON-lines rendering.
+//!
+//! Every record a [`Sink`](crate::sink::Sink) receives is an [`Event`]: a
+//! small envelope (monotonic timestamp, thread, span context) around an
+//! [`EventKind`]. The kinds split into the *mechanical* vocabulary every
+//! tracing layer has (span start/end, counter and histogram summaries)
+//! and the *fairness* vocabulary ([`FairnessEvent`]) that makes an audit
+//! trail legally legible: a drift alarm is a structured, replayable
+//! record with the window index, the measured gap and the threshold it
+//! breached — not a boolean that evaporates once printed.
+//!
+//! Serialization is hand-rolled JSON (one object per line, stable
+//! `"kind"` discriminator) so the crate stays dependency-free; the
+//! matching parser lives in [`crate::json`].
+
+use std::fmt::Write as _;
+
+/// The envelope around one telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the owning `Telemetry` was created (monotonic).
+    pub t_ns: u64,
+    /// Telemetry-assigned id of the emitting thread (dense, stable within
+    /// a process — not the OS thread id).
+    pub thread: u64,
+    /// The span this record belongs to, when one was open.
+    pub span: Option<u64>,
+    /// The parent of that span, when it had one.
+    pub parent: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The record payload: mechanical tracing kinds plus the typed fairness
+/// vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart {
+        /// Span name (e.g. `engine.audit`).
+        name: String,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span name, repeated so a single line is self-describing.
+        name: String,
+        /// Wall-clock nanoseconds the span stayed open.
+        elapsed_ns: u64,
+    },
+    /// A counter's value at flush time.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// A histogram's summary at flush time.
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// Number of recorded values.
+        count: u64,
+        /// Sum of recorded values.
+        sum: u64,
+        /// Smallest recorded value (0 when empty).
+        min: u64,
+        /// Largest recorded value (0 when empty).
+        max: u64,
+    },
+    /// A typed fairness event.
+    Fairness(FairnessEvent),
+}
+
+/// The structured fairness vocabulary: each variant is one step of the
+/// evidential trail a legal review of an audit needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FairnessEvent {
+    /// An audit began.
+    AuditStarted {
+        /// Rows in the audited dataset.
+        rows: usize,
+        /// Protected columns whose intersection defines the groups.
+        protected: Vec<String>,
+        /// Whether historical labels (rather than predictions) are audited.
+        use_labels: bool,
+    },
+    /// One shard of the parallel metric scan completed.
+    ShardScanned {
+        /// Shard index (ascending, merge order).
+        shard: usize,
+        /// Rows the shard covered.
+        rows: usize,
+        /// Wall-clock nanoseconds the scan of this shard took.
+        elapsed_ns: u64,
+    },
+    /// The partition cache served a memoized row→group partition.
+    PartitionCacheHit {
+        /// The dataset fingerprint that keyed the hit.
+        fingerprint: u64,
+    },
+    /// The partition cache had to build (and insert) a partition.
+    PartitionCacheMiss {
+        /// The dataset fingerprint that keyed the miss.
+        fingerprint: u64,
+    },
+    /// A streaming-monitor tumbling window sealed.
+    WindowClosed {
+        /// Window index (0 = first window ever sealed).
+        window: usize,
+        /// Events the window accumulated.
+        n: u64,
+        /// Demographic-parity gap of the sealed window.
+        parity_gap: f64,
+    },
+    /// Sustained drift: the parity gap breached the threshold in
+    /// consecutive sealed windows.
+    DriftFlagged {
+        /// Index of the window that completed the sustained breach.
+        window: usize,
+        /// The gap measured in that window.
+        parity_gap: f64,
+        /// The configured breach threshold.
+        threshold: f64,
+    },
+    /// A mitigation technique was applied to the decision process.
+    MitigationApplied {
+        /// Technique name (e.g. `reweighing`).
+        technique: String,
+        /// Free-form description of scope and parameters.
+        detail: String,
+    },
+}
+
+impl EventKind {
+    /// The stable `"kind"` discriminator used in the JSON rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SpanStart { .. } => "span_start",
+            EventKind::SpanEnd { .. } => "span_end",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Histogram { .. } => "histogram",
+            EventKind::Fairness(f) => f.name(),
+        }
+    }
+}
+
+impl FairnessEvent {
+    /// The stable `"kind"` discriminator used in the JSON rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FairnessEvent::AuditStarted { .. } => "audit_started",
+            FairnessEvent::ShardScanned { .. } => "shard_scanned",
+            FairnessEvent::PartitionCacheHit { .. } => "partition_cache_hit",
+            FairnessEvent::PartitionCacheMiss { .. } => "partition_cache_miss",
+            FairnessEvent::WindowClosed { .. } => "window_closed",
+            FairnessEvent::DriftFlagged { .. } => "drift_flagged",
+            FairnessEvent::MitigationApplied { .. } => "mitigation_applied",
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number, or `null` when not finite (JSON has
+/// no NaN/Infinity).
+fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+impl Event {
+    /// Renders the event as one self-contained JSON object (no trailing
+    /// newline). Field order is stable; `u64` fingerprints are rendered
+    /// as hex strings so they survive f64-based JSON readers intact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(s, "{{\"t_ns\":{},\"thread\":{},", self.t_ns, self.thread);
+        s.push_str("\"span\":");
+        push_opt_u64(&mut s, self.span);
+        s.push_str(",\"parent\":");
+        push_opt_u64(&mut s, self.parent);
+        s.push_str(",\"kind\":\"");
+        s.push_str(self.kind.name());
+        s.push('"');
+        match &self.kind {
+            EventKind::SpanStart { name } => {
+                s.push_str(",\"name\":");
+                push_str_lit(&mut s, name);
+            }
+            EventKind::SpanEnd { name, elapsed_ns } => {
+                s.push_str(",\"name\":");
+                push_str_lit(&mut s, name);
+                let _ = write!(s, ",\"elapsed_ns\":{elapsed_ns}");
+            }
+            EventKind::Counter { name, value } => {
+                s.push_str(",\"name\":");
+                push_str_lit(&mut s, name);
+                let _ = write!(s, ",\"value\":{value}");
+            }
+            EventKind::Histogram {
+                name,
+                count,
+                sum,
+                min,
+                max,
+            } => {
+                s.push_str(",\"name\":");
+                push_str_lit(&mut s, name);
+                let _ = write!(
+                    s,
+                    ",\"count\":{count},\"sum\":{sum},\"min\":{min},\"max\":{max}"
+                );
+            }
+            EventKind::Fairness(f) => match f {
+                FairnessEvent::AuditStarted {
+                    rows,
+                    protected,
+                    use_labels,
+                } => {
+                    let _ = write!(s, ",\"rows\":{rows},\"protected\":[");
+                    for (i, p) in protected.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        push_str_lit(&mut s, p);
+                    }
+                    let _ = write!(s, "],\"use_labels\":{use_labels}");
+                }
+                FairnessEvent::ShardScanned {
+                    shard,
+                    rows,
+                    elapsed_ns,
+                } => {
+                    let _ = write!(
+                        s,
+                        ",\"shard\":{shard},\"rows\":{rows},\"elapsed_ns\":{elapsed_ns}"
+                    );
+                }
+                FairnessEvent::PartitionCacheHit { fingerprint }
+                | FairnessEvent::PartitionCacheMiss { fingerprint } => {
+                    let _ = write!(s, ",\"fingerprint\":\"{fingerprint:#018x}\"");
+                }
+                FairnessEvent::WindowClosed {
+                    window,
+                    n,
+                    parity_gap,
+                } => {
+                    let _ = write!(s, ",\"window\":{window},\"n\":{n},\"parity_gap\":");
+                    push_f64(&mut s, *parity_gap);
+                }
+                FairnessEvent::DriftFlagged {
+                    window,
+                    parity_gap,
+                    threshold,
+                } => {
+                    let _ = write!(s, ",\"window\":{window},\"parity_gap\":");
+                    push_f64(&mut s, *parity_gap);
+                    s.push_str(",\"threshold\":");
+                    push_f64(&mut s, *threshold);
+                }
+                FairnessEvent::MitigationApplied { technique, detail } => {
+                    s.push_str(",\"technique\":");
+                    push_str_lit(&mut s, technique);
+                    s.push_str(",\"detail\":");
+                    push_str_lit(&mut s, detail);
+                }
+            },
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(kind: EventKind) -> Event {
+        Event {
+            t_ns: 42,
+            thread: 1,
+            span: Some(3),
+            parent: None,
+            kind,
+        }
+    }
+
+    #[test]
+    fn json_envelope_and_discriminator() {
+        let e = envelope(EventKind::SpanStart {
+            name: "engine.audit".into(),
+        });
+        assert_eq!(
+            e.to_json(),
+            "{\"t_ns\":42,\"thread\":1,\"span\":3,\"parent\":null,\
+             \"kind\":\"span_start\",\"name\":\"engine.audit\"}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = envelope(EventKind::Fairness(FairnessEvent::MitigationApplied {
+            technique: "quote\"back\\slash".into(),
+            detail: "line\nbreak\ttab\u{1}ctl".into(),
+        }));
+        let json = e.to_json();
+        assert!(json.contains("quote\\\"back\\\\slash"));
+        assert!(json.contains("line\\nbreak\\ttab\\u0001ctl"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = envelope(EventKind::Fairness(FairnessEvent::WindowClosed {
+            window: 0,
+            n: 10,
+            parity_gap: f64::NAN,
+        }));
+        assert!(e.to_json().contains("\"parity_gap\":null"));
+    }
+
+    #[test]
+    fn fingerprints_render_as_hex_strings() {
+        let e = envelope(EventKind::Fairness(FairnessEvent::PartitionCacheHit {
+            fingerprint: 0xDEAD_BEEF,
+        }));
+        assert!(e
+            .to_json()
+            .contains("\"fingerprint\":\"0x00000000deadbeef\""));
+    }
+
+    #[test]
+    fn every_kind_has_a_stable_name() {
+        let kinds = [
+            EventKind::SpanStart { name: "s".into() }.name(),
+            EventKind::SpanEnd {
+                name: "s".into(),
+                elapsed_ns: 1,
+            }
+            .name(),
+            EventKind::Counter {
+                name: "c".into(),
+                value: 1,
+            }
+            .name(),
+            EventKind::Fairness(FairnessEvent::DriftFlagged {
+                window: 1,
+                parity_gap: 0.2,
+                threshold: 0.1,
+            })
+            .name(),
+        ];
+        assert_eq!(
+            kinds,
+            ["span_start", "span_end", "counter", "drift_flagged"]
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! # fairbridge-obs
+//!
+//! Zero-dependency telemetry for the fairbridge stack: lightweight RAII
+//! **spans**, atomic **counters/histograms**, pluggable **sinks**, and a
+//! typed vocabulary of **fairness events**.
+//!
+//! The motivation is Wachter et al.'s observation (see PAPERS.md) that
+//! legal review of an automated decision system needs an *evidential
+//! trail*: not just a disparity figure, but a replayable record of how
+//! it was produced — which data was scanned, what the cache served, when
+//! each monitoring window closed, and exactly when the drift alarm went
+//! off. [`FairnessEvent`] is that record; the JSON-lines rendering
+//! ([`Event::to_json`], parsed back by [`json`]) is its durable form.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled means free.** Every recording entry point on
+//!    [`Telemetry`] checks one flag first. A disabled handle performs no
+//!    clock reads, no allocation and no event construction, so the
+//!    engine's instrumentation stays compiled in unconditionally.
+//! 2. **No dependencies.** JSON is written and parsed in-tree; sinks use
+//!    only `std`.
+//! 3. **Thread-friendly.** Handles are `Arc` clones; counters are single
+//!    relaxed atomics; the ring sink's write path is an atomic cursor
+//!    plus a per-slot lock, so shard workers never serialize behind one
+//!    global mutex.
+//!
+//! ```
+//! use fairbridge_obs::{FairnessEvent, RingSink, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingSink::with_capacity(128));
+//! let telemetry = Telemetry::new(ring.clone());
+//! {
+//!     let _audit = telemetry.span("engine.audit");
+//!     telemetry.emit(FairnessEvent::AuditStarted {
+//!         rows: 1000,
+//!         protected: vec!["sex".into()],
+//!         use_labels: true,
+//!     });
+//!     telemetry.counter("rows_scanned").add(1000);
+//! }
+//! telemetry.flush();
+//! assert!(ring.events().len() >= 3); // start, audit_started, end, counter
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod json;
+pub mod registry;
+pub mod sink;
+pub mod span;
+pub mod telemetry;
+
+pub use event::{Event, EventKind, FairnessEvent};
+pub use registry::{Counter, Histogram, HistogramStats};
+pub use sink::{JsonlSink, NoopSink, RingSink, Sink};
+pub use span::SpanGuard;
+pub use telemetry::Telemetry;

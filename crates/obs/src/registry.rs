@@ -1,0 +1,290 @@
+//! Monotonic counters and log₂-bucketed histograms behind a cheap
+//! name-keyed registry.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are `Arc`-backed and can be
+//! cloned into worker threads; updates are single relaxed atomic
+//! operations, so instrumenting a hot loop costs nanoseconds. A handle
+//! obtained from a *disabled* telemetry carries no cell at all — its
+//! update methods are a branch on `None` and compile down to nothing
+//! observable, which is what keeps the disabled path negligible.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonic counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A handle that ignores every update (the disabled-telemetry path).
+    pub fn disabled() -> Counter {
+        Counter::default()
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Counter {
+        Counter { cell: Some(cell) }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram storage: power-of-two buckets over `u64` values plus
+/// count/sum/min/max.
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64, // stores value + 1 so 0 can mean "empty"
+    max: AtomicU64,
+    /// `buckets[i]` counts values whose bit length is `i` (i.e. in
+    /// `[2^(i-1), 2^i)`; bucket 0 counts zeros).
+    buckets: [AtomicU64; 65],
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A histogram handle recording `u64` observations (typically
+/// nanoseconds).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    cell: Option<Arc<HistogramCell>>,
+}
+
+/// A point-in-time histogram summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramStats {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramStats {
+    /// Mean of the recorded values (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+}
+
+impl Histogram {
+    /// A handle that ignores every update (the disabled-telemetry path).
+    pub fn disabled() -> Histogram {
+        Histogram::default()
+    }
+
+    pub(crate) fn live(cell: Arc<HistogramCell>) -> Histogram {
+        Histogram { cell: Some(cell) }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(value, Ordering::Relaxed);
+            cell.max.fetch_max(value, Ordering::Relaxed);
+            let shifted = value.saturating_add(1);
+            // min stores value+1; 0 means "no observation yet"
+            cell.min
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                    if cur == 0 || shifted < cur {
+                        Some(shifted)
+                    } else {
+                        None
+                    }
+                })
+                .ok();
+            let bucket = (u64::BITS - value.leading_zeros()) as usize;
+            cell.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The current summary (all zeros for a disabled or empty handle).
+    pub fn snapshot(&self) -> HistogramStats {
+        match &self.cell {
+            None => HistogramStats {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+            },
+            Some(cell) => HistogramStats {
+                count: cell.count.load(Ordering::Relaxed),
+                sum: cell.sum.load(Ordering::Relaxed),
+                min: cell.min.load(Ordering::Relaxed).saturating_sub(1),
+                max: cell.max.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// The log₂ bucket counts: entry `i` counts values with bit length
+    /// `i` (entry 0 counts zeros). Empty for a disabled handle.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.cell.as_ref().map_or_else(Vec::new, |cell| {
+            cell.buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect()
+        })
+    }
+}
+
+/// Name-keyed storage behind a `Telemetry`.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter registry lock");
+        let cell = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter::live(Arc::clone(cell))
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram registry lock");
+        let cell = map
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(HistogramCell::default()));
+        Histogram::live(Arc::clone(cell))
+    }
+
+    pub(crate) fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("counter registry lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub(crate) fn histogram_values(&self) -> Vec<(String, HistogramStats)> {
+        self.histograms
+            .lock()
+            .expect("histogram registry lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), Histogram::live(Arc::clone(cell)).snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_atomic_under_scoped_contention() {
+        let registry = Registry::default();
+        let counter = registry.counter("contended");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let handle = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        handle.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+        assert_eq!(
+            registry.counter_values(),
+            vec![("contended".into(), 80_000)]
+        );
+    }
+
+    #[test]
+    fn same_name_shares_the_cell() {
+        let registry = Registry::default();
+        registry.counter("x").add(3);
+        registry.counter("x").add(4);
+        assert_eq!(registry.counter("x").get(), 7);
+    }
+
+    #[test]
+    fn disabled_handles_ignore_updates() {
+        let c = Counter::disabled();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let h = Histogram::disabled();
+        h.record(10);
+        assert_eq!(h.snapshot().count, 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn histogram_tracks_summary_and_buckets() {
+        let registry = Registry::default();
+        let h = registry.histogram("ns");
+        for v in [0u64, 1, 2, 3, 900] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 906);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 900);
+        assert!((snap.mean() - 181.2).abs() < 1e-9);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // the zero
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2, 3
+        assert_eq!(buckets[10], 1); // 900 ∈ [512, 1024)
+    }
+
+    #[test]
+    fn histogram_is_atomic_under_scoped_contention() {
+        let registry = Registry::default();
+        let h = registry.histogram("contended");
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let handle = h.clone();
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        handle.record(t * 5_000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 20_000);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 19_999);
+        assert_eq!(snap.sum, (0..20_000u64).sum::<u64>());
+    }
+}

@@ -1,0 +1,212 @@
+//! Where telemetry goes: the [`Sink`] trait and its three built-ins.
+//!
+//! * [`NoopSink`] — discards everything; paired with a disabled
+//!   `Telemetry` it makes the instrumented hot paths effectively free.
+//! * [`RingSink`] — a bounded in-memory ring. The write cursor is a
+//!   single atomic fetch-add and writers only contend on the *slot* they
+//!   land in, so concurrent emitters (e.g. shard workers) do not
+//!   serialize behind one global lock.
+//! * [`JsonlSink`] — appends one JSON object per event to a file, the
+//!   durable evidential-trail format (`fb-experiments --telemetry`).
+
+use crate::event::Event;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A destination for telemetry events. Implementations must tolerate
+/// concurrent `emit` calls from many threads.
+pub trait Sink: Send + Sync + fmt::Debug {
+    /// Records one event.
+    fn emit(&self, event: &Event);
+
+    /// Makes buffered events durable (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// A bounded in-memory ring of the most recent events.
+pub struct RingSink {
+    slots: Vec<Mutex<Option<(u64, Event)>>>,
+    head: AtomicU64,
+}
+
+impl RingSink {
+    /// Creates a ring retaining the most recent `capacity` events
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// How many events were ever emitted (including overwritten ones).
+    pub fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// The retained events in emission order (oldest first).
+    pub fn events(&self) -> Vec<Event> {
+        let mut tagged: Vec<(u64, Event)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("ring slot lock").clone())
+            .collect();
+        tagged.sort_by_key(|(seq, _)| *seq);
+        tagged.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+impl fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RingSink")
+            .field("capacity", &self.slots.len())
+            .field("emitted", &self.emitted())
+            .finish()
+    }
+}
+
+impl Sink for RingSink {
+    fn emit(&self, event: &Event) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *slot.lock().expect("ring slot lock") = Some((seq, event.clone()));
+    }
+}
+
+/// Appends events as JSON lines to a file.
+pub struct JsonlSink {
+    path: PathBuf,
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            path,
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The file the sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut out = self.out.lock().expect("jsonl writer lock");
+        // An I/O error here must not poison the audited computation;
+        // telemetry is an observer, never a failure source.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl writer lock").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::json;
+
+    fn event(i: u64) -> Event {
+        Event {
+            t_ns: i,
+            thread: 0,
+            span: None,
+            parent: None,
+            kind: EventKind::Counter {
+                name: format!("c{i}"),
+                value: i,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_retains_the_most_recent_events_in_order() {
+        let ring = RingSink::with_capacity(4);
+        for i in 0..10 {
+            ring.emit(&event(i));
+        }
+        assert_eq!(ring.emitted(), 10);
+        let kept: Vec<u64> = ring.events().iter().map(|e| e.t_ns).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_survives_concurrent_emitters() {
+        let ring = RingSink::with_capacity(64);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        ring.emit(&event(t * 100 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.emitted(), 800);
+        assert_eq!(ring.events().len(), 64);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let path = std::env::temp_dir().join(format!(
+            "fairbridge_obs_jsonl_{}_{}.jsonl",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let sink = JsonlSink::create(&path).unwrap();
+        for i in 0..5 {
+            sink.emit(&event(i));
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let values = json::parse_lines(&text).unwrap();
+        assert_eq!(values.len(), 5);
+        assert_eq!(
+            values[3].get("name").and_then(json::Value::as_str),
+            Some("c3")
+        );
+        assert_eq!(
+            values[3].get("value").and_then(json::Value::as_u64),
+            Some(3)
+        );
+        drop(sink);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,141 @@
+//! RAII spans with thread-local parenting.
+//!
+//! A span is opened by [`Telemetry::span`](crate::Telemetry::span) and
+//! closed by dropping the returned [`SpanGuard`]; the guard records the
+//! wall-clock nanoseconds in between and emits matching
+//! `span_start`/`span_end` events. Each thread keeps its own stack of
+//! open spans, so a span opened while another is open becomes its child
+//! — nesting falls out of scoping with no explicit context passing.
+
+use crate::event::EventKind;
+use crate::telemetry::Telemetry;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The telemetry-assigned id of the calling thread (dense, process-local).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// The innermost open span on the calling thread, if any.
+pub fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+fn push_span(id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+fn pop_span(id: u64) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        // Guards normally drop innermost-first; tolerate out-of-order
+        // drops (e.g. a guard moved across an early return) by removing
+        // the id wherever it sits.
+        if stack.last() == Some(&id) {
+            stack.pop();
+        } else if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+            stack.remove(pos);
+        }
+    });
+}
+
+pub(crate) struct ActiveSpan {
+    pub(crate) telemetry: Telemetry,
+    pub(crate) id: u64,
+    pub(crate) parent: Option<u64>,
+    pub(crate) name: String,
+    pub(crate) start: Instant,
+}
+
+/// An open span; dropping it closes the span and emits `span_end`.
+///
+/// A guard from a disabled `Telemetry` is inert: no allocation, no
+/// events, no clock reads.
+#[must_use = "a span measures the scope it is alive in; bind it to a variable"]
+pub struct SpanGuard {
+    pub(crate) active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// An inert guard (what a disabled telemetry hands out).
+    pub(crate) fn inert() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+
+    pub(crate) fn open(telemetry: Telemetry, id: u64, name: String) -> SpanGuard {
+        let parent = current_span();
+        telemetry.emit_raw(
+            Some(id),
+            parent,
+            EventKind::SpanStart { name: name.clone() },
+        );
+        push_span(id);
+        SpanGuard {
+            active: Some(ActiveSpan {
+                telemetry,
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Whether this guard records anything.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// The span id (None for an inert guard).
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let elapsed_ns = active.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            pop_span(active.id);
+            active.telemetry.emit_raw(
+                Some(active.id),
+                active.parent,
+                EventKind::SpanEnd {
+                    name: active.name,
+                    elapsed_ns,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ids_are_stable_within_and_distinct_across_threads() {
+        let here = thread_id();
+        assert_eq!(here, thread_id());
+        let there = std::thread::scope(|s| s.spawn(thread_id).join().unwrap());
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    fn inert_guard_records_nothing() {
+        let g = SpanGuard::inert();
+        assert!(!g.is_recording());
+        assert_eq!(g.id(), None);
+        assert_eq!(current_span(), None);
+        drop(g);
+    }
+}

@@ -10,7 +10,7 @@ use fairbridge::engine::{AuditSpec, Engine, EngineConfig, MonitorConfig, Streami
 use fairbridge::prelude::*;
 use fairbridge_stats::rng::StdRng;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A biased hiring cohort, as in the paper's running example.
     let mut rng = StdRng::seed_from_u64(7);
     let ds = fairbridge::synth::hiring::generate(

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_audit-2a1fb1494fb21ae3.d: crates/bench/benches/bench_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_audit-2a1fb1494fb21ae3.rmeta: crates/bench/benches/bench_audit.rs Cargo.toml
+
+crates/bench/benches/bench_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

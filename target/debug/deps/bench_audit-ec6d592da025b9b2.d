@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_audit-ec6d592da025b9b2.d: crates/bench/benches/bench_audit.rs
+
+/root/repo/target/debug/deps/bench_audit-ec6d592da025b9b2: crates/bench/benches/bench_audit.rs
+
+crates/bench/benches/bench_audit.rs:

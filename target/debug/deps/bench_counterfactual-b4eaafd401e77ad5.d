@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_counterfactual-b4eaafd401e77ad5.d: crates/bench/benches/bench_counterfactual.rs
+
+/root/repo/target/debug/deps/bench_counterfactual-b4eaafd401e77ad5: crates/bench/benches/bench_counterfactual.rs
+
+crates/bench/benches/bench_counterfactual.rs:

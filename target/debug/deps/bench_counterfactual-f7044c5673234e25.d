@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_counterfactual-f7044c5673234e25.d: crates/bench/benches/bench_counterfactual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_counterfactual-f7044c5673234e25.rmeta: crates/bench/benches/bench_counterfactual.rs Cargo.toml
+
+crates/bench/benches/bench_counterfactual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_criteria-6ac8cbe8de429671.d: crates/bench/benches/bench_criteria.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_criteria-6ac8cbe8de429671.rmeta: crates/bench/benches/bench_criteria.rs Cargo.toml
+
+crates/bench/benches/bench_criteria.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_criteria-ae7be4abd1a0d45d.d: crates/bench/benches/bench_criteria.rs
+
+/root/repo/target/debug/deps/bench_criteria-ae7be4abd1a0d45d: crates/bench/benches/bench_criteria.rs
+
+crates/bench/benches/bench_criteria.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_distances-dddb3cc03e4c65be.d: crates/bench/benches/bench_distances.rs
+
+/root/repo/target/debug/deps/bench_distances-dddb3cc03e4c65be: crates/bench/benches/bench_distances.rs
+
+crates/bench/benches/bench_distances.rs:

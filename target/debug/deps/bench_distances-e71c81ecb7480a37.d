@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_distances-e71c81ecb7480a37.d: crates/bench/benches/bench_distances.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_distances-e71c81ecb7480a37.rmeta: crates/bench/benches/bench_distances.rs Cargo.toml
+
+crates/bench/benches/bench_distances.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

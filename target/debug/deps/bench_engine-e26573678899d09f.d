@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_engine-e26573678899d09f.d: crates/bench/benches/bench_engine.rs
+
+/root/repo/target/debug/deps/bench_engine-e26573678899d09f: crates/bench/benches/bench_engine.rs
+
+crates/bench/benches/bench_engine.rs:

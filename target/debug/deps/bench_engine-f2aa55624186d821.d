@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_engine-f2aa55624186d821.d: crates/bench/benches/bench_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_engine-f2aa55624186d821.rmeta: crates/bench/benches/bench_engine.rs Cargo.toml
+
+crates/bench/benches/bench_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_feedback-273dfa23e40335a8.d: crates/bench/benches/bench_feedback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_feedback-273dfa23e40335a8.rmeta: crates/bench/benches/bench_feedback.rs Cargo.toml
+
+crates/bench/benches/bench_feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_feedback-f34394379c932daa.d: crates/bench/benches/bench_feedback.rs
+
+/root/repo/target/debug/deps/bench_feedback-f34394379c932daa: crates/bench/benches/bench_feedback.rs
+
+crates/bench/benches/bench_feedback.rs:

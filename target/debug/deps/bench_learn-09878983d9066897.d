@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_learn-09878983d9066897.d: crates/bench/benches/bench_learn.rs
+
+/root/repo/target/debug/deps/bench_learn-09878983d9066897: crates/bench/benches/bench_learn.rs
+
+crates/bench/benches/bench_learn.rs:

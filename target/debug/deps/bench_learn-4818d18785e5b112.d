@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_learn-4818d18785e5b112.d: crates/bench/benches/bench_learn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_learn-4818d18785e5b112.rmeta: crates/bench/benches/bench_learn.rs Cargo.toml
+
+crates/bench/benches/bench_learn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_manipulation-2b1bc1c130fc541c.d: crates/bench/benches/bench_manipulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_manipulation-2b1bc1c130fc541c.rmeta: crates/bench/benches/bench_manipulation.rs Cargo.toml
+
+crates/bench/benches/bench_manipulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_manipulation-b7333d0ebaec49a6.d: crates/bench/benches/bench_manipulation.rs
+
+/root/repo/target/debug/deps/bench_manipulation-b7333d0ebaec49a6: crates/bench/benches/bench_manipulation.rs
+
+crates/bench/benches/bench_manipulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_metrics-12c822dca82a35a0.d: crates/bench/benches/bench_metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_metrics-12c822dca82a35a0.rmeta: crates/bench/benches/bench_metrics.rs Cargo.toml
+
+crates/bench/benches/bench_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_metrics-60d91c2968bb883d.d: crates/bench/benches/bench_metrics.rs
+
+/root/repo/target/debug/deps/bench_metrics-60d91c2968bb883d: crates/bench/benches/bench_metrics.rs
+
+crates/bench/benches/bench_metrics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_mitigation-80384d843b6e3443.d: crates/bench/benches/bench_mitigation.rs
+
+/root/repo/target/debug/deps/bench_mitigation-80384d843b6e3443: crates/bench/benches/bench_mitigation.rs
+
+crates/bench/benches/bench_mitigation.rs:

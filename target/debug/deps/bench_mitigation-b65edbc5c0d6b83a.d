@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_mitigation-b65edbc5c0d6b83a.d: crates/bench/benches/bench_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_mitigation-b65edbc5c0d6b83a.rmeta: crates/bench/benches/bench_mitigation.rs Cargo.toml
+
+crates/bench/benches/bench_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

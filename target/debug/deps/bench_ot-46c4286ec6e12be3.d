@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_ot-46c4286ec6e12be3.d: crates/bench/benches/bench_ot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_ot-46c4286ec6e12be3.rmeta: crates/bench/benches/bench_ot.rs Cargo.toml
+
+crates/bench/benches/bench_ot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

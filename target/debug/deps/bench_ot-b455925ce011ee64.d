@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_ot-b455925ce011ee64.d: crates/bench/benches/bench_ot.rs
+
+/root/repo/target/debug/deps/bench_ot-b455925ce011ee64: crates/bench/benches/bench_ot.rs
+
+crates/bench/benches/bench_ot.rs:

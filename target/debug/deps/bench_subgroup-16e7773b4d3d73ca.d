@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_subgroup-16e7773b4d3d73ca.d: crates/bench/benches/bench_subgroup.rs
+
+/root/repo/target/debug/deps/bench_subgroup-16e7773b4d3d73ca: crates/bench/benches/bench_subgroup.rs
+
+crates/bench/benches/bench_subgroup.rs:

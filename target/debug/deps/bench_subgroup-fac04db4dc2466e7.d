@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_subgroup-fac04db4dc2466e7.d: crates/bench/benches/bench_subgroup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_subgroup-fac04db4dc2466e7.rmeta: crates/bench/benches/bench_subgroup.rs Cargo.toml
+
+crates/bench/benches/bench_subgroup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fairbridge-1025f663afd5219a.d: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge-1025f663afd5219a.rmeta: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/criteria.rs:
+crates/core/src/guidelines.rs:
+crates/core/src/legal.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

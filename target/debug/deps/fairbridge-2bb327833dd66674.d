@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairbridge-2bb327833dd66674.d: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libfairbridge-2bb327833dd66674.rlib: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libfairbridge-2bb327833dd66674.rmeta: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/criteria.rs:
+crates/core/src/guidelines.rs:
+crates/core/src/legal.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fairbridge-2e4d14c8f4741d84.d: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge-2e4d14c8f4741d84.rmeta: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/criteria.rs:
+crates/core/src/guidelines.rs:
+crates/core/src/legal.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fairbridge_audit-89aa3b377e2d1b57.d: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+/root/repo/target/debug/deps/libfairbridge_audit-89aa3b377e2d1b57.rlib: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+/root/repo/target/debug/deps/libfairbridge_audit-89aa3b377e2d1b57.rmeta: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/association.rs:
+crates/audit/src/feedback.rs:
+crates/audit/src/manipulation.rs:
+crates/audit/src/pipeline.rs:
+crates/audit/src/proxy.rs:
+crates/audit/src/representation.rs:
+crates/audit/src/subgroup.rs:

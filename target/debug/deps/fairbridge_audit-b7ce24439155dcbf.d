@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fairbridge_audit-b7ce24439155dcbf.d: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_audit-b7ce24439155dcbf.rmeta: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/association.rs:
+crates/audit/src/feedback.rs:
+crates/audit/src/manipulation.rs:
+crates/audit/src/pipeline.rs:
+crates/audit/src/proxy.rs:
+crates/audit/src/representation.rs:
+crates/audit/src/subgroup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairbridge_audit-ebe3292edac72648.d: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+/root/repo/target/debug/deps/libfairbridge_audit-ebe3292edac72648.rmeta: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/association.rs:
+crates/audit/src/feedback.rs:
+crates/audit/src/manipulation.rs:
+crates/audit/src/pipeline.rs:
+crates/audit/src/proxy.rs:
+crates/audit/src/representation.rs:
+crates/audit/src/subgroup.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fairbridge_bench-63423380983119cf.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_bench-63423380983119cf.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/extended.rs:
+crates/bench/src/experiments/sampling.rs:
+crates/bench/src/experiments/section3.rs:
+crates/bench/src/experiments/section4.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairbridge_bench-9ee93e22d2991c14.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/fairbridge_bench-9ee93e22d2991c14: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/extended.rs:
+crates/bench/src/experiments/sampling.rs:
+crates/bench/src/experiments/section3.rs:
+crates/bench/src/experiments/section4.rs:
+crates/bench/src/harness.rs:

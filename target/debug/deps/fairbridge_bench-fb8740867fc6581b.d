@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fairbridge_bench-fb8740867fc6581b.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libfairbridge_bench-fb8740867fc6581b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/extended.rs:
+crates/bench/src/experiments/sampling.rs:
+crates/bench/src/experiments/section3.rs:
+crates/bench/src/experiments/section4.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairbridge_engine-7996da735b8f0bd4.d: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/debug/deps/libfairbridge_engine-7996da735b8f0bd4.rmeta: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/error.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairbridge_engine-a868f2da44bdb8d0.d: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/debug/deps/fairbridge_engine-a868f2da44bdb8d0: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/error.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fairbridge_engine-b312cd28fcdb4f16.d: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_engine-b312cd28fcdb4f16.rmeta: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/error.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

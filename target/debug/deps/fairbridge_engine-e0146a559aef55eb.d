@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fairbridge_engine-e0146a559aef55eb.d: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/debug/deps/libfairbridge_engine-e0146a559aef55eb.rlib: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/debug/deps/libfairbridge_engine-e0146a559aef55eb.rmeta: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/error.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:

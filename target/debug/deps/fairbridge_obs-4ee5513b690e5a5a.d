@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fairbridge_obs-4ee5513b690e5a5a.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/debug/deps/libfairbridge_obs-4ee5513b690e5a5a.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/telemetry.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fairbridge_obs-5559d2eeba1b8659.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairbridge_obs-5559d2eeba1b8659.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

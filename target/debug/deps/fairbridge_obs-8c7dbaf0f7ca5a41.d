@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fairbridge_obs-8c7dbaf0f7ca5a41.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/debug/deps/libfairbridge_obs-8c7dbaf0f7ca5a41.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/debug/deps/libfairbridge_obs-8c7dbaf0f7ca5a41.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/telemetry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fb_experiments-52e5db302b2c3f36.d: crates/bench/src/bin/fb_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfb_experiments-52e5db302b2c3f36.rmeta: crates/bench/src/bin/fb_experiments.rs Cargo.toml
+
+crates/bench/src/bin/fb_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fb_experiments-920e12f6763e2296.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/debug/deps/fb_experiments-920e12f6763e2296: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

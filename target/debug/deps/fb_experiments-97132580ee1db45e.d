@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fb_experiments-97132580ee1db45e.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/debug/deps/fb_experiments-97132580ee1db45e: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

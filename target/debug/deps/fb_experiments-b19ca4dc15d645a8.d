@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fb_experiments-b19ca4dc15d645a8.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/debug/deps/fb_experiments-b19ca4dc15d645a8: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_audit-33ec7450f08d3007.d: crates/core/../../tests/integration_audit.rs
+
+/root/repo/target/debug/deps/integration_audit-33ec7450f08d3007: crates/core/../../tests/integration_audit.rs
+
+crates/core/../../tests/integration_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_audit-c5bdd98c7bdcc049.d: crates/core/../../tests/integration_audit.rs
+
+/root/repo/target/debug/deps/integration_audit-c5bdd98c7bdcc049: crates/core/../../tests/integration_audit.rs
+
+crates/core/../../tests/integration_audit.rs:

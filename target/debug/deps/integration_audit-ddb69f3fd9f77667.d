@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_audit-ddb69f3fd9f77667.d: crates/core/../../tests/integration_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_audit-ddb69f3fd9f77667.rmeta: crates/core/../../tests/integration_audit.rs Cargo.toml
+
+crates/core/../../tests/integration_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_engine-0141436694e35ef4.d: crates/core/../../tests/integration_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_engine-0141436694e35ef4.rmeta: crates/core/../../tests/integration_engine.rs Cargo.toml
+
+crates/core/../../tests/integration_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

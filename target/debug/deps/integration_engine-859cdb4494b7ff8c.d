@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_engine-859cdb4494b7ff8c.d: crates/core/../../tests/integration_engine.rs
+
+/root/repo/target/debug/deps/integration_engine-859cdb4494b7ff8c: crates/core/../../tests/integration_engine.rs
+
+crates/core/../../tests/integration_engine.rs:

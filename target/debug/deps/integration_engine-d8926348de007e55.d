@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_engine-d8926348de007e55.d: crates/core/../../tests/integration_engine.rs
+
+/root/repo/target/debug/deps/integration_engine-d8926348de007e55: crates/core/../../tests/integration_engine.rs
+
+crates/core/../../tests/integration_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-340a99fe3e1928e0.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-340a99fe3e1928e0: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_extensions-872e3a4b9e52fce3.d: crates/core/../../tests/integration_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_extensions-872e3a4b9e52fce3.rmeta: crates/core/../../tests/integration_extensions.rs Cargo.toml
+
+crates/core/../../tests/integration_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-90c19db78f3e8f46.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-90c19db78f3e8f46: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

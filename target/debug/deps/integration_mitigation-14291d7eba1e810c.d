@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_mitigation-14291d7eba1e810c.d: crates/core/../../tests/integration_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_mitigation-14291d7eba1e810c.rmeta: crates/core/../../tests/integration_mitigation.rs Cargo.toml
+
+crates/core/../../tests/integration_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

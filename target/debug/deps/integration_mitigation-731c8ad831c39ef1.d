@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_mitigation-731c8ad831c39ef1.d: crates/core/../../tests/integration_mitigation.rs
+
+/root/repo/target/debug/deps/integration_mitigation-731c8ad831c39ef1: crates/core/../../tests/integration_mitigation.rs
+
+crates/core/../../tests/integration_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_mitigation-a3680efca235a5e3.d: crates/core/../../tests/integration_mitigation.rs
+
+/root/repo/target/debug/deps/integration_mitigation-a3680efca235a5e3: crates/core/../../tests/integration_mitigation.rs
+
+crates/core/../../tests/integration_mitigation.rs:

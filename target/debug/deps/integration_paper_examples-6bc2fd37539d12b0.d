@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_examples-6bc2fd37539d12b0.d: crates/core/../../tests/integration_paper_examples.rs
+
+/root/repo/target/debug/deps/integration_paper_examples-6bc2fd37539d12b0: crates/core/../../tests/integration_paper_examples.rs
+
+crates/core/../../tests/integration_paper_examples.rs:

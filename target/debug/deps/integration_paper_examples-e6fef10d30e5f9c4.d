@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_paper_examples-e6fef10d30e5f9c4.d: crates/core/../../tests/integration_paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_paper_examples-e6fef10d30e5f9c4.rmeta: crates/core/../../tests/integration_paper_examples.rs Cargo.toml
+
+crates/core/../../tests/integration_paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

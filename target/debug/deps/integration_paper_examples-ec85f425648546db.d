@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_paper_examples-ec85f425648546db.d: crates/core/../../tests/integration_paper_examples.rs
+
+/root/repo/target/debug/deps/integration_paper_examples-ec85f425648546db: crates/core/../../tests/integration_paper_examples.rs
+
+crates/core/../../tests/integration_paper_examples.rs:

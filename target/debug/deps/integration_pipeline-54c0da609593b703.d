@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-54c0da609593b703.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-54c0da609593b703: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

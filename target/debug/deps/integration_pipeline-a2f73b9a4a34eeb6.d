@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-a2f73b9a4a34eeb6.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-a2f73b9a4a34eeb6: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_telemetry-26476f7534e4d369.d: crates/core/../../tests/integration_telemetry.rs
+
+/root/repo/target/debug/deps/integration_telemetry-26476f7534e4d369: crates/core/../../tests/integration_telemetry.rs
+
+crates/core/../../tests/integration_telemetry.rs:

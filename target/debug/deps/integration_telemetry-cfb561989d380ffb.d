@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_telemetry-cfb561989d380ffb.d: crates/core/../../tests/integration_telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_telemetry-cfb561989d380ffb.rmeta: crates/core/../../tests/integration_telemetry.rs Cargo.toml
+
+crates/core/../../tests/integration_telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

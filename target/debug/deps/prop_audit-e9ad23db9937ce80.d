@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_audit-e9ad23db9937ce80.d: crates/audit/tests/prop_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_audit-e9ad23db9937ce80.rmeta: crates/audit/tests/prop_audit.rs Cargo.toml
+
+crates/audit/tests/prop_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

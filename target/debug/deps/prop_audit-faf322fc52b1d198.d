@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_audit-faf322fc52b1d198.d: crates/audit/tests/prop_audit.rs
+
+/root/repo/target/debug/deps/prop_audit-faf322fc52b1d198: crates/audit/tests/prop_audit.rs
+
+crates/audit/tests/prop_audit.rs:

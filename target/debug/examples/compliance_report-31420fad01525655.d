@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compliance_report-31420fad01525655.d: crates/core/../../examples/compliance_report.rs
+
+/root/repo/target/debug/examples/compliance_report-31420fad01525655: crates/core/../../examples/compliance_report.rs
+
+crates/core/../../examples/compliance_report.rs:

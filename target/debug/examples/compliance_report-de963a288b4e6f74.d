@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compliance_report-de963a288b4e6f74.d: crates/core/../../examples/compliance_report.rs
+
+/root/repo/target/debug/examples/compliance_report-de963a288b4e6f74: crates/core/../../examples/compliance_report.rs
+
+crates/core/../../examples/compliance_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compliance_report-e554b0eec4de14a7.d: crates/core/../../examples/compliance_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompliance_report-e554b0eec4de14a7.rmeta: crates/core/../../examples/compliance_report.rs Cargo.toml
+
+crates/core/../../examples/compliance_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

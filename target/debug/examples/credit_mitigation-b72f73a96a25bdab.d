@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/credit_mitigation-b72f73a96a25bdab.d: crates/core/../../examples/credit_mitigation.rs
+
+/root/repo/target/debug/examples/credit_mitigation-b72f73a96a25bdab: crates/core/../../examples/credit_mitigation.rs
+
+crates/core/../../examples/credit_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/credit_mitigation-c3975f18856007f8.d: crates/core/../../examples/credit_mitigation.rs
+
+/root/repo/target/debug/examples/credit_mitigation-c3975f18856007f8: crates/core/../../examples/credit_mitigation.rs
+
+crates/core/../../examples/credit_mitigation.rs:

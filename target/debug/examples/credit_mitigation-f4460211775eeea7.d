@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/credit_mitigation-f4460211775eeea7.d: crates/core/../../examples/credit_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcredit_mitigation-f4460211775eeea7.rmeta: crates/core/../../examples/credit_mitigation.rs Cargo.toml
+
+crates/core/../../examples/credit_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_monitor-10c229f3819acad7.d: crates/core/../../examples/engine_monitor.rs
+
+/root/repo/target/debug/examples/engine_monitor-10c229f3819acad7: crates/core/../../examples/engine_monitor.rs
+
+crates/core/../../examples/engine_monitor.rs:

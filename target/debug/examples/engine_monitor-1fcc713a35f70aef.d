@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_monitor-1fcc713a35f70aef.d: crates/core/../../examples/engine_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_monitor-1fcc713a35f70aef.rmeta: crates/core/../../examples/engine_monitor.rs Cargo.toml
+
+crates/core/../../examples/engine_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

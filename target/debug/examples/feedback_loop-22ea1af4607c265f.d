@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feedback_loop-22ea1af4607c265f.d: crates/core/../../examples/feedback_loop.rs
+
+/root/repo/target/debug/examples/feedback_loop-22ea1af4607c265f: crates/core/../../examples/feedback_loop.rs
+
+crates/core/../../examples/feedback_loop.rs:

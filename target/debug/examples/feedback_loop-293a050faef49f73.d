@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/feedback_loop-293a050faef49f73.d: crates/core/../../examples/feedback_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfeedback_loop-293a050faef49f73.rmeta: crates/core/../../examples/feedback_loop.rs Cargo.toml
+
+crates/core/../../examples/feedback_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

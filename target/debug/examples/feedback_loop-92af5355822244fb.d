@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feedback_loop-92af5355822244fb.d: crates/core/../../examples/feedback_loop.rs
+
+/root/repo/target/debug/examples/feedback_loop-92af5355822244fb: crates/core/../../examples/feedback_loop.rs
+
+crates/core/../../examples/feedback_loop.rs:

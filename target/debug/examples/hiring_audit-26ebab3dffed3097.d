@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hiring_audit-26ebab3dffed3097.d: crates/core/../../examples/hiring_audit.rs
+
+/root/repo/target/debug/examples/hiring_audit-26ebab3dffed3097: crates/core/../../examples/hiring_audit.rs
+
+crates/core/../../examples/hiring_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hiring_audit-8a1ff9d1418623d4.d: crates/core/../../examples/hiring_audit.rs
+
+/root/repo/target/debug/examples/hiring_audit-8a1ff9d1418623d4: crates/core/../../examples/hiring_audit.rs
+
+crates/core/../../examples/hiring_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hiring_audit-e4ceac87c4d85ef1.d: crates/core/../../examples/hiring_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhiring_audit-e4ceac87c4d85ef1.rmeta: crates/core/../../examples/hiring_audit.rs Cargo.toml
+
+crates/core/../../examples/hiring_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intersectional_audit-0c2d7295091fbc1c.d: crates/core/../../examples/intersectional_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintersectional_audit-0c2d7295091fbc1c.rmeta: crates/core/../../examples/intersectional_audit.rs Cargo.toml
+
+crates/core/../../examples/intersectional_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intersectional_audit-3d9420f84ebdedfc.d: crates/core/../../examples/intersectional_audit.rs
+
+/root/repo/target/debug/examples/intersectional_audit-3d9420f84ebdedfc: crates/core/../../examples/intersectional_audit.rs
+
+crates/core/../../examples/intersectional_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intersectional_audit-611cb88767e94ee2.d: crates/core/../../examples/intersectional_audit.rs
+
+/root/repo/target/debug/examples/intersectional_audit-611cb88767e94ee2: crates/core/../../examples/intersectional_audit.rs
+
+crates/core/../../examples/intersectional_audit.rs:

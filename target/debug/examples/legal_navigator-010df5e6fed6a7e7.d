@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/legal_navigator-010df5e6fed6a7e7.d: crates/core/../../examples/legal_navigator.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblegal_navigator-010df5e6fed6a7e7.rmeta: crates/core/../../examples/legal_navigator.rs Cargo.toml
+
+crates/core/../../examples/legal_navigator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/legal_navigator-9bec0de82ca77b31.d: crates/core/../../examples/legal_navigator.rs
+
+/root/repo/target/debug/examples/legal_navigator-9bec0de82ca77b31: crates/core/../../examples/legal_navigator.rs
+
+crates/core/../../examples/legal_navigator.rs:

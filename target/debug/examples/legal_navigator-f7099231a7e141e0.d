@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/legal_navigator-f7099231a7e141e0.d: crates/core/../../examples/legal_navigator.rs
+
+/root/repo/target/debug/examples/legal_navigator-f7099231a7e141e0: crates/core/../../examples/legal_navigator.rs
+
+crates/core/../../examples/legal_navigator.rs:

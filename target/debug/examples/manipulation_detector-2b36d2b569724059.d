@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/manipulation_detector-2b36d2b569724059.d: crates/core/../../examples/manipulation_detector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmanipulation_detector-2b36d2b569724059.rmeta: crates/core/../../examples/manipulation_detector.rs Cargo.toml
+
+crates/core/../../examples/manipulation_detector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/manipulation_detector-75a7ddd8f20d93d1.d: crates/core/../../examples/manipulation_detector.rs
+
+/root/repo/target/debug/examples/manipulation_detector-75a7ddd8f20d93d1: crates/core/../../examples/manipulation_detector.rs
+
+crates/core/../../examples/manipulation_detector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/manipulation_detector-9eb3df30bdc9ab0b.d: crates/core/../../examples/manipulation_detector.rs
+
+/root/repo/target/debug/examples/manipulation_detector-9eb3df30bdc9ab0b: crates/core/../../examples/manipulation_detector.rs
+
+crates/core/../../examples/manipulation_detector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/measurement_bias-3a9844a530047107.d: crates/core/../../examples/measurement_bias.rs
+
+/root/repo/target/debug/examples/measurement_bias-3a9844a530047107: crates/core/../../examples/measurement_bias.rs
+
+crates/core/../../examples/measurement_bias.rs:

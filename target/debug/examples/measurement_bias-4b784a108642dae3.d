@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/measurement_bias-4b784a108642dae3.d: crates/core/../../examples/measurement_bias.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmeasurement_bias-4b784a108642dae3.rmeta: crates/core/../../examples/measurement_bias.rs Cargo.toml
+
+crates/core/../../examples/measurement_bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

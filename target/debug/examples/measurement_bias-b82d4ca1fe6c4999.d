@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/measurement_bias-b82d4ca1fe6c4999.d: crates/core/../../examples/measurement_bias.rs
+
+/root/repo/target/debug/examples/measurement_bias-b82d4ca1fe6c4999: crates/core/../../examples/measurement_bias.rs
+
+crates/core/../../examples/measurement_bias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-06aca9e9654b9103.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-06aca9e9654b9103: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e6327f1177cc6c8b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e6327f1177cc6c8b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sampling_study-753ecf30fa444878.d: crates/core/../../examples/sampling_study.rs
+
+/root/repo/target/debug/examples/sampling_study-753ecf30fa444878: crates/core/../../examples/sampling_study.rs
+
+crates/core/../../examples/sampling_study.rs:

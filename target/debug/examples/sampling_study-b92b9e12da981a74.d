@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sampling_study-b92b9e12da981a74.d: crates/core/../../examples/sampling_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsampling_study-b92b9e12da981a74.rmeta: crates/core/../../examples/sampling_study.rs Cargo.toml
+
+crates/core/../../examples/sampling_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

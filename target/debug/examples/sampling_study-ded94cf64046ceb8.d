@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sampling_study-ded94cf64046ceb8.d: crates/core/../../examples/sampling_study.rs
+
+/root/repo/target/debug/examples/sampling_study-ded94cf64046ceb8: crates/core/../../examples/sampling_study.rs
+
+crates/core/../../examples/sampling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telemetry_audit-6bbcb9fe6928d088.d: crates/core/../../examples/telemetry_audit.rs
+
+/root/repo/target/debug/examples/telemetry_audit-6bbcb9fe6928d088: crates/core/../../examples/telemetry_audit.rs
+
+crates/core/../../examples/telemetry_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/telemetry_audit-7bebfa7fbe2ce50c.d: crates/core/../../examples/telemetry_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtelemetry_audit-7bebfa7fbe2ce50c.rmeta: crates/core/../../examples/telemetry_audit.rs Cargo.toml
+
+crates/core/../../examples/telemetry_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,9 +1,9 @@
 (function() {
-    const implementors = Object.fromEntries([["fairbridge_tabular",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"fairbridge_tabular/error/enum.Error.html\" title=\"enum fairbridge_tabular::error::Error\">Error</a>",0]]]]);
+    const implementors = Object.fromEntries([["fairbridge_engine",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"fairbridge_engine/error/enum.EngineError.html\" title=\"enum fairbridge_engine::error::EngineError\">EngineError</a>",0]]],["fairbridge_tabular",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"fairbridge_tabular/error/enum.Error.html\" title=\"enum fairbridge_tabular::error::Error\">Error</a>",0]]]]);
     if (window.register_implementors) {
         window.register_implementors(implementors);
     } else {
         window.pending_implementors = implementors;
     }
 })()
-//{"start":59,"fragment_lengths":[299]}
+//{"start":59,"fragment_lengths":[314,300]}

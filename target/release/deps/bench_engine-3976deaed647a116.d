@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_engine-3976deaed647a116.d: crates/bench/benches/bench_engine.rs
+
+/root/repo/target/release/deps/bench_engine-3976deaed647a116: crates/bench/benches/bench_engine.rs
+
+crates/bench/benches/bench_engine.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fairbridge-6e5a953573c6cd4b.d: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libfairbridge-6e5a953573c6cd4b.rlib: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libfairbridge-6e5a953573c6cd4b.rmeta: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/criteria.rs:
+crates/core/src/guidelines.rs:
+crates/core/src/legal.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fairbridge-7ed21f6d0229650f.d: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libfairbridge-7ed21f6d0229650f.rlib: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libfairbridge-7ed21f6d0229650f.rmeta: crates/core/src/lib.rs crates/core/src/criteria.rs crates/core/src/guidelines.rs crates/core/src/legal.rs crates/core/src/prelude.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/criteria.rs:
+crates/core/src/guidelines.rs:
+crates/core/src/legal.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:

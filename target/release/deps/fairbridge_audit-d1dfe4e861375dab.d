@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fairbridge_audit-d1dfe4e861375dab.d: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+/root/repo/target/release/deps/libfairbridge_audit-d1dfe4e861375dab.rlib: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+/root/repo/target/release/deps/libfairbridge_audit-d1dfe4e861375dab.rmeta: crates/audit/src/lib.rs crates/audit/src/association.rs crates/audit/src/feedback.rs crates/audit/src/manipulation.rs crates/audit/src/pipeline.rs crates/audit/src/proxy.rs crates/audit/src/representation.rs crates/audit/src/subgroup.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/association.rs:
+crates/audit/src/feedback.rs:
+crates/audit/src/manipulation.rs:
+crates/audit/src/pipeline.rs:
+crates/audit/src/proxy.rs:
+crates/audit/src/representation.rs:
+crates/audit/src/subgroup.rs:

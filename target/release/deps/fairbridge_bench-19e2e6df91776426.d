@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fairbridge_bench-19e2e6df91776426.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libfairbridge_bench-19e2e6df91776426.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libfairbridge_bench-19e2e6df91776426.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/extended.rs:
+crates/bench/src/experiments/sampling.rs:
+crates/bench/src/experiments/section3.rs:
+crates/bench/src/experiments/section4.rs:
+crates/bench/src/harness.rs:

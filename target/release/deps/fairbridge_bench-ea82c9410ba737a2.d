@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fairbridge_bench-ea82c9410ba737a2.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libfairbridge_bench-ea82c9410ba737a2.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libfairbridge_bench-ea82c9410ba737a2.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/engine.rs crates/bench/src/experiments/extended.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/section3.rs crates/bench/src/experiments/section4.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/engine.rs:
+crates/bench/src/experiments/extended.rs:
+crates/bench/src/experiments/sampling.rs:
+crates/bench/src/experiments/section3.rs:
+crates/bench/src/experiments/section4.rs:
+crates/bench/src/harness.rs:

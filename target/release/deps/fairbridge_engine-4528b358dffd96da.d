@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fairbridge_engine-4528b358dffd96da.d: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/release/deps/libfairbridge_engine-4528b358dffd96da.rlib: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+/root/repo/target/release/deps/libfairbridge_engine-4528b358dffd96da.rmeta: crates/engine/src/lib.rs crates/engine/src/error.rs crates/engine/src/executor.rs crates/engine/src/monitor.rs crates/engine/src/partition.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/error.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/monitor.rs:
+crates/engine/src/partition.rs:

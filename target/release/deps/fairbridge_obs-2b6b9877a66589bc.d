@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fairbridge_obs-2b6b9877a66589bc.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/release/deps/libfairbridge_obs-2b6b9877a66589bc.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs
+
+/root/repo/target/release/deps/libfairbridge_obs-2b6b9877a66589bc.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/telemetry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fb_experiments-0368c5cf9ddff381.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/release/deps/fb_experiments-0368c5cf9ddff381: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fb_experiments-b5613065f7fad25f.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/release/deps/fb_experiments-b5613065f7fad25f: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fb_experiments-d9cef35fdcc921c7.d: crates/bench/src/bin/fb_experiments.rs
+
+/root/repo/target/release/deps/fb_experiments-d9cef35fdcc921c7: crates/bench/src/bin/fb_experiments.rs
+
+crates/bench/src/bin/fb_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_monitor-08a645edacde2204.d: crates/core/../../examples/engine_monitor.rs
+
+/root/repo/target/release/examples/engine_monitor-08a645edacde2204: crates/core/../../examples/engine_monitor.rs
+
+crates/core/../../examples/engine_monitor.rs:

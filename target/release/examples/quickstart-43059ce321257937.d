@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-43059ce321257937.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-43059ce321257937: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

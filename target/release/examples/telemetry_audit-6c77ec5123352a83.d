@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/telemetry_audit-6c77ec5123352a83.d: crates/core/../../examples/telemetry_audit.rs
+
+/root/repo/target/release/examples/telemetry_audit-6c77ec5123352a83: crates/core/../../examples/telemetry_audit.rs
+
+crates/core/../../examples/telemetry_audit.rs:
