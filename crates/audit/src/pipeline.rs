@@ -222,7 +222,7 @@ impl AuditPipeline {
             min_support: self.config.min_group_size,
             alpha: self.config.alpha,
         };
-        let subgroups = auditor.audit(ds, protected, decisions)?;
+        let subgroups = auditor.audit_observed(ds, protected, decisions, 0, &self.telemetry)?;
         drop(subgroup_span);
 
         // Representation audit against configured population marginals

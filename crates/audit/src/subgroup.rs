@@ -9,16 +9,41 @@
 //!   attaches a two-proportion z-test p-value (Section IV.C's warning
 //!   that sparse-subgroup findings need significance checks). Complexity
 //!   grows exponentially in depth — the paper's "computational issues
-//!   arise when trying to drill down" — hence the depth/support bounds.
+//!   arise when trying to drill down" — hence the depth/support bounds,
+//!   and hence the **bitset lattice engine** behind it: per-`(column,
+//!   level)` row masks are precomputed once ([`RowMask::level_masks`]),
+//!   every lattice node is an AND of its parent's mask with one level
+//!   mask, the positive count inside a node is a fused AND+popcount
+//!   against a single decisions mask ([`RowMask::count_and`]), children
+//!   of under-support nodes are never generated (Apriori-style
+//!   anti-monotone pruning — support can only shrink under conjunction),
+//!   and the top level of the lattice fans out over worker threads with
+//!   a deterministic seed-order merge
+//!   ([`fairbridge_tabular::par::ordered_parallel_map`]), so output is
+//!   bitwise-identical for every thread count.
 //! * [`tree_audit`] — **learned**: fits a shallow decision tree to the
 //!   decisions over the audit columns and reads disparate regions off the
 //!   leaves; scales past the exhaustive regime at the cost of
 //!   completeness.
+//!
+//! The pre-bitset row-list implementation is retained as
+//! [`SubgroupAuditor::audit_naive`], the reference oracle the
+//! equivalence suite and `bench_subgroup` compare against.
+//!
+//! With telemetry attached (see [`SubgroupAuditor::audit_observed`]) an
+//! audit leaves an evidential trail: a `subgroup_audit_started` event, a
+//! `subgroup.seed` span per top-level subtree, and the
+//! `subgroup.nodes_visited` / `subgroup.nodes_pruned` /
+//! `subgroup.findings` counters — the record that the lattice really was
+//! searched exhaustively down to the declared support bound, which is
+//! what conditional-disparity evidence across all strata requires.
 
 use fairbridge_learn::tree::TreeTrainer;
 use fairbridge_learn::{EncoderConfig, FeatureEncoder};
+use fairbridge_obs::{FairnessEvent, Telemetry};
 use fairbridge_stats::hypothesis::two_proportion_z;
-use fairbridge_tabular::{Column, Dataset};
+use fairbridge_tabular::par::ordered_parallel_map;
+use fairbridge_tabular::{Column, Dataset, RowMask};
 
 /// One audited subgroup.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +78,8 @@ impl SubgroupFinding {
 pub struct SubgroupAuditor {
     /// Maximum number of conjuncts per subgroup.
     pub max_depth: usize,
-    /// Minimum subgroup size to report.
+    /// Minimum subgroup size to report — also the anti-monotone pruning
+    /// bound: no descendant of an under-support node is ever generated.
     pub min_support: usize,
     /// Significance level for the z-test filter (1.0 disables filtering).
     pub alpha: f64,
@@ -76,11 +102,286 @@ struct ColumnView {
     codes: Vec<u32>,
 }
 
+/// Interned views of the audited columns (shared by the bitset engine
+/// and the naive oracle).
+fn build_views(ds: &Dataset, columns: &[&str]) -> Result<Vec<ColumnView>, String> {
+    columns
+        .iter()
+        .map(|&name| {
+            let col = ds.column(name).map_err(|e| e.to_string())?;
+            match col {
+                Column::Categorical { levels, codes } => Ok(ColumnView {
+                    name: name.to_owned(),
+                    levels: levels.clone(),
+                    codes: codes.clone(),
+                }),
+                Column::Boolean(values) => Ok(ColumnView {
+                    name: name.to_owned(),
+                    levels: vec!["false".to_owned(), "true".to_owned()],
+                    codes: values.iter().map(|&b| u32::from(b)).collect(),
+                }),
+                Column::Numeric(_) => Err(format!(
+                    "column `{name}` is numeric; bin it before subgroup auditing"
+                )),
+            }
+        })
+        .collect()
+}
+
+/// A finding before its conditions are rendered: interned `(column
+/// index, level code)` pairs only — level strings are resolved once per
+/// *reported* finding, never per lattice node.
+struct RawFinding {
+    conds: Vec<(usize, u32)>,
+    size: usize,
+    rate: f64,
+    complement_rate: f64,
+    gap: f64,
+    p_value: f64,
+}
+
+/// Per-seed enumeration statistics, merged into the obs counters.
+#[derive(Default, Clone, Copy)]
+struct SeedStats {
+    /// Lattice nodes whose mask was materialized and evaluated.
+    visited: u64,
+    /// Materialized nodes under `min_support` whose subtree was
+    /// abandoned (the anti-monotone prune).
+    pruned: u64,
+}
+
+/// Shared read-only state of one lattice enumeration.
+struct Lattice<'a> {
+    views: &'a [ColumnView],
+    /// `masks[ci][lv]` selects the rows with `views[ci].codes == lv`.
+    masks: &'a [Vec<RowMask>],
+    decisions: &'a RowMask,
+    n: usize,
+    total_pos: usize,
+    max_depth: usize,
+    min_support: usize,
+    alpha: f64,
+}
+
+impl Lattice<'_> {
+    /// Enumerates the subtree rooted at seed condition `(ci, level)`.
+    fn explore_seed(&self, ci: usize, level: u32) -> (Vec<RawFinding>, SeedStats) {
+        let mut out = Vec::new();
+        let mut stats = SeedStats::default();
+        // One scratch mask per additional conjunct, reused across the
+        // whole subtree: the engine allocates max_depth-1 masks per
+        // seed, not one row list per node.
+        let mut scratch: Vec<RowMask> = (1..self.max_depth)
+            .map(|_| RowMask::zeros(self.n))
+            .collect();
+        let mut conds = vec![(ci, level)];
+        self.dfs(
+            &self.masks[ci][level as usize],
+            ci,
+            &mut conds,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
+        (out, stats)
+    }
+
+    /// Depth-first walk: evaluate the node, then extend it with every
+    /// level of every later column — unless its support already fell
+    /// below the bound, in which case no child is ever materialized.
+    fn dfs(
+        &self,
+        mask: &RowMask,
+        last_ci: usize,
+        conds: &mut Vec<(usize, u32)>,
+        scratch: &mut [RowMask],
+        out: &mut Vec<RawFinding>,
+        stats: &mut SeedStats,
+    ) {
+        stats.visited += 1;
+        let size = mask.count_ones();
+        if size >= self.min_support && size < self.n {
+            let pos = mask.count_and(self.decisions);
+            let comp_n = self.n - size;
+            let comp_pos = self.total_pos - pos;
+            let test = two_proportion_z(pos as u64, size as u64, comp_pos as u64, comp_n as u64);
+            if test.p_value < self.alpha {
+                let rate = pos as f64 / size as f64;
+                let complement_rate = comp_pos as f64 / comp_n as f64;
+                out.push(RawFinding {
+                    conds: conds.clone(),
+                    size,
+                    rate,
+                    complement_rate,
+                    gap: rate - complement_rate,
+                    p_value: test.p_value,
+                });
+            }
+        }
+        if size < self.min_support {
+            // Anti-monotone bound: |A ∧ B| ≤ |A|, so every descendant is
+            // also under support — the subtree is never generated.
+            stats.pruned += 1;
+            return;
+        }
+        if conds.len() >= self.max_depth {
+            return;
+        }
+        let (child_mask, deeper) = scratch
+            .split_first_mut()
+            .expect("scratch depth matches max_depth");
+        for ci in last_ci + 1..self.views.len() {
+            for level in 0..self.views[ci].levels.len() as u32 {
+                mask.and_into(&self.masks[ci][level as usize], child_mask);
+                conds.push((ci, level));
+                self.dfs(child_mask, ci, conds, deeper, out, stats);
+                conds.pop();
+            }
+        }
+    }
+}
+
 impl SubgroupAuditor {
     /// Audits subgroups of the named categorical/boolean columns against
     /// `decisions`, returning significant findings sorted by |gap|
     /// descending.
+    ///
+    /// Runs the bitset lattice engine with automatic parallelism and no
+    /// telemetry — see [`SubgroupAuditor::audit_observed`] for both
+    /// knobs. The result is identical for every thread count.
     pub fn audit(
+        &self,
+        ds: &Dataset,
+        columns: &[&str],
+        decisions: &[bool],
+    ) -> Result<Vec<SubgroupFinding>, String> {
+        self.audit_observed(ds, columns, decisions, 0, &Telemetry::off())
+    }
+
+    /// [`SubgroupAuditor::audit`] with explicit worker-thread count
+    /// (`0` = available parallelism) and a telemetry handle.
+    ///
+    /// Each seed `(column, level)` subtree is an independent work unit
+    /// fanned out over scoped threads; per-seed findings merge in seed
+    /// order, so the output is **bitwise-identical** to the
+    /// single-threaded run. Telemetry records a `subgroup_audit_started`
+    /// event, a `subgroup.seed` span per subtree and the
+    /// `subgroup.nodes_visited` / `subgroup.nodes_pruned` /
+    /// `subgroup.findings` counters.
+    pub fn audit_observed(
+        &self,
+        ds: &Dataset,
+        columns: &[&str],
+        decisions: &[bool],
+        threads: usize,
+        telemetry: &Telemetry,
+    ) -> Result<Vec<SubgroupFinding>, String> {
+        if decisions.len() != ds.n_rows() {
+            return Err("decisions length must match dataset rows".to_owned());
+        }
+        if columns.is_empty() {
+            return Err("subgroup audit requires at least one column".to_owned());
+        }
+        let _span = telemetry.span("subgroup.audit");
+        let views = build_views(ds, columns)?;
+        let n = decisions.len();
+        if telemetry.is_enabled() {
+            telemetry.emit(FairnessEvent::SubgroupAuditStarted {
+                rows: n,
+                columns: columns.iter().map(|&c| c.to_owned()).collect(),
+                max_depth: self.max_depth,
+                min_support: self.min_support,
+            });
+        }
+
+        // Columnar layout, built once: per-(column, level) row masks and
+        // one decisions mask. Every per-node count below is popcount
+        // work over these.
+        let masks: Vec<Vec<RowMask>> = views
+            .iter()
+            .map(|v| RowMask::level_masks(&v.codes, v.levels.len()))
+            .collect();
+        let decisions_mask = RowMask::from_bools(decisions);
+        let total_pos = decisions_mask.count_ones();
+
+        let lattice = Lattice {
+            views: &views,
+            masks: &masks,
+            decisions: &decisions_mask,
+            n,
+            total_pos,
+            max_depth: self.max_depth,
+            min_support: self.min_support,
+            alpha: self.alpha,
+        };
+        let seeds: Vec<(usize, u32)> = views
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, v)| (0..v.levels.len() as u32).map(move |lv| (ci, lv)))
+            .collect();
+        let workers = if threads > 0 {
+            threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+
+        // Deterministic fan-out: workers pull seed indices from a shared
+        // counter, results slot back in seed order (the same sharding
+        // pattern as the engine's metric scan).
+        let results = ordered_parallel_map(seeds.len(), workers.min(seeds.len()), |i| {
+            let (ci, lv) = seeds[i];
+            let _seed_span = telemetry.span("subgroup.seed");
+            lattice.explore_seed(ci, lv)
+        });
+
+        let mut stats = SeedStats::default();
+        let mut findings: Vec<SubgroupFinding> = Vec::new();
+        for (raw, seed_stats) in results {
+            stats.visited += seed_stats.visited;
+            stats.pruned += seed_stats.pruned;
+            // Render conditions only now, for reported findings: one
+            // string clone per reported condition, none per node.
+            findings.extend(raw.into_iter().map(|f| {
+                SubgroupFinding {
+                    conditions: f
+                        .conds
+                        .iter()
+                        .map(|&(ci, lv)| {
+                            (
+                                views[ci].name.clone(),
+                                views[ci].levels[lv as usize].clone(),
+                            )
+                        })
+                        .collect(),
+                    size: f.size,
+                    rate: f.rate,
+                    complement_rate: f.complement_rate,
+                    gap: f.gap,
+                    p_value: f.p_value,
+                }
+            }));
+        }
+        if telemetry.is_enabled() {
+            telemetry
+                .counter("subgroup.nodes_visited")
+                .add(stats.visited);
+            telemetry.counter("subgroup.nodes_pruned").add(stats.pruned);
+            telemetry
+                .counter("subgroup.findings")
+                .add(findings.len() as u64);
+        }
+        sort_findings(&mut findings);
+        Ok(findings)
+    }
+
+    /// The pre-bitset implementation, retained verbatim as the reference
+    /// **oracle** for the equivalence suite and `bench_subgroup`: it
+    /// filters `Vec<usize>` row lists per node on one thread. Use
+    /// [`SubgroupAuditor::audit`] everywhere else — the two return the
+    /// same findings, orders of magnitude apart in cost.
+    pub fn audit_naive(
         &self,
         ds: &Dataset,
         columns: &[&str],
@@ -92,33 +393,12 @@ impl SubgroupAuditor {
         if columns.is_empty() {
             return Err("subgroup audit requires at least one column".to_owned());
         }
-        let views: Vec<ColumnView> = columns
-            .iter()
-            .map(|&name| {
-                let col = ds.column(name).map_err(|e| e.to_string())?;
-                match col {
-                    Column::Categorical { levels, codes } => Ok(ColumnView {
-                        name: name.to_owned(),
-                        levels: levels.clone(),
-                        codes: codes.clone(),
-                    }),
-                    Column::Boolean(values) => Ok(ColumnView {
-                        name: name.to_owned(),
-                        levels: vec!["false".to_owned(), "true".to_owned()],
-                        codes: values.iter().map(|&b| u32::from(b)).collect(),
-                    }),
-                    Column::Numeric(_) => Err(format!(
-                        "column `{name}` is numeric; bin it before subgroup auditing"
-                    )),
-                }
-            })
-            .collect::<Result<_, String>>()?;
-
+        let views = build_views(ds, columns)?;
         let total_pos = decisions.iter().filter(|&&d| d).count();
         let n = decisions.len();
         let mut findings = Vec::new();
         // Depth-first enumeration over column index combinations (strictly
-        // increasing to avoid duplicates), with membership masks.
+        // increasing to avoid duplicates), with membership row lists.
         type Frame = (usize, Vec<(usize, u32)>, Vec<usize>);
         let mut stack: Vec<Frame> = Vec::new();
         // seed: single-column conditions
@@ -178,7 +458,7 @@ impl SubgroupAuditor {
                 }
             }
         }
-        findings.sort_by(|a, b| b.gap.abs().partial_cmp(&a.gap.abs()).expect("NaN gap"));
+        sort_findings(&mut findings);
         Ok(findings)
     }
 
@@ -197,6 +477,23 @@ impl SubgroupAuditor {
         };
         self.audit(ds, columns, &decisions)
     }
+}
+
+/// |gap|-descending order via `total_cmp`, so a degenerate complement
+/// (NaN gap from an empty complement or 0/0 rate) can never panic an
+/// audit — NaN gaps order last instead of first (positive NaN sits
+/// above +∞ in the `total_cmp` order, so it is mapped below every real
+/// magnitude here).
+fn sort_findings(findings: &mut [SubgroupFinding]) {
+    let key = |f: &SubgroupFinding| {
+        let magnitude = f.gap.abs();
+        if magnitude.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            magnitude
+        }
+    };
+    findings.sort_by(|a, b| key(b).total_cmp(&key(a)));
 }
 
 /// Tree-based heuristic subgroup audit: fits a depth-bounded tree to the
@@ -296,7 +593,7 @@ pub fn tree_audit(
             p_value: test.p_value,
         });
     }
-    findings.sort_by(|a, b| b.gap.abs().partial_cmp(&a.gap.abs()).expect("NaN gap"));
+    sort_findings(&mut findings);
     Ok(findings)
 }
 
@@ -406,6 +703,71 @@ mod tests {
     }
 
     #[test]
+    fn bitset_audit_matches_naive_oracle_on_gerrymandered_data() {
+        let ds = gerrymandered();
+        let decisions = ds.labels().unwrap().to_vec();
+        let auditor = SubgroupAuditor {
+            max_depth: 2,
+            min_support: 20,
+            alpha: 1.0, // keep everything: exercise every lattice node
+        };
+        let mut fast = auditor.audit(&ds, &["gender", "race"], &decisions).unwrap();
+        let mut naive = auditor
+            .audit_naive(&ds, &["gender", "race"], &decisions)
+            .unwrap();
+        let by_conditions =
+            |a: &SubgroupFinding, b: &SubgroupFinding| a.conditions.cmp(&b.conditions);
+        fast.sort_by(by_conditions);
+        naive.sort_by(by_conditions);
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn parallel_audit_is_bitwise_identical_to_serial() {
+        let ds = gerrymandered();
+        let decisions = ds.labels().unwrap().to_vec();
+        let auditor = SubgroupAuditor {
+            alpha: 1.0,
+            ..SubgroupAuditor::default()
+        };
+        let telemetry = Telemetry::off();
+        let serial = auditor
+            .audit_observed(&ds, &["gender", "race"], &decisions, 1, &telemetry)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = auditor
+                .audit_observed(&ds, &["gender", "race"], &decisions, threads, &telemetry)
+                .unwrap();
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn nan_gap_findings_cannot_panic_the_sort() {
+        let mut findings = vec![
+            SubgroupFinding {
+                conditions: vec![("g".into(), "a".into())],
+                size: 5,
+                rate: 0.5,
+                complement_rate: 0.1,
+                gap: 0.4,
+                p_value: 0.01,
+            },
+            SubgroupFinding {
+                conditions: vec![("g".into(), "b".into())],
+                size: 5,
+                rate: f64::NAN,
+                complement_rate: f64::NAN,
+                gap: f64::NAN,
+                p_value: 0.01,
+            },
+        ];
+        sort_findings(&mut findings); // must not panic
+        assert_eq!(findings[0].gap, 0.4, "NaN orders last under total_cmp");
+        assert!(findings[1].gap.is_nan());
+    }
+
+    #[test]
     fn tree_audit_finds_disparate_region() {
         let ds = gerrymandered();
         let decisions = ds.labels().unwrap().to_vec();
@@ -421,6 +783,7 @@ mod tests {
         let auditor = SubgroupAuditor::default();
         let decisions = ds.labels().unwrap().to_vec();
         assert!(auditor.audit(&ds, &["score"], &decisions).is_err());
+        assert!(auditor.audit_naive(&ds, &["score"], &decisions).is_err());
     }
 
     #[test]

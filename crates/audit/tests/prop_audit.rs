@@ -1,7 +1,8 @@
 //! Randomized property tests for the audit machinery, driven by the
 //! workspace's deterministic PRNG (no proptest: the build is offline).
 
-use fairbridge_audit::subgroup::SubgroupAuditor;
+use fairbridge_audit::subgroup::{SubgroupAuditor, SubgroupFinding};
+use fairbridge_obs::Telemetry;
 use fairbridge_stats::rng::{Rng, StdRng};
 use fairbridge_tabular::{Dataset, Role};
 
@@ -143,5 +144,211 @@ fn constant_decisions_no_findings() {
         .audit(&ds, &["g1"], &vec![value; n])
         .unwrap();
         assert!(findings.is_empty(), "{findings:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitset-lattice equivalence suite: the fast engine must agree with the
+// retained naive oracle on arbitrary categorical data, at every depth
+// and thread count.
+// ---------------------------------------------------------------------------
+
+/// A random wide dataset: 2–4 categorical columns with 2–4 levels each,
+/// 40–400 rows, arbitrary decisions. Returns the dataset, its audit
+/// column names and the decision vector.
+fn wide_audit_data<R: Rng>(rng: &mut R) -> (Dataset, Vec<String>, Vec<bool>) {
+    let n = rng.gen_range(40..400usize);
+    let n_cols = rng.gen_range(2..5usize);
+    let mut builder = Dataset::builder();
+    let mut names = Vec::new();
+    for c in 0..n_cols {
+        let n_levels = rng.gen_range(2..5usize);
+        let levels: Vec<String> = (0..n_levels).map(|l| format!("l{l}")).collect();
+        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..n_levels) as u32).collect();
+        let name = format!("c{c}");
+        builder = builder.categorical_with_role(&name, levels, codes, Role::Protected);
+        names.push(name);
+    }
+    let decisions: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+    let ds = builder
+        .boolean_with_role("y", decisions.clone(), Role::Label)
+        .build()
+        .unwrap();
+    (ds, names, decisions)
+}
+
+fn sorted_by_conditions(mut findings: Vec<SubgroupFinding>) -> Vec<SubgroupFinding> {
+    findings.sort_by(|a, b| a.conditions.cmp(&b.conditions));
+    findings
+}
+
+/// The bitset engine returns exactly the naive oracle's findings — same
+/// subgroups, bitwise-identical rates/gaps/p-values — on random data at
+/// depths 1–3 and 1/2/8 threads.
+#[test]
+fn bitset_engine_is_equivalent_to_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xB17_5E7);
+    for case in 0..CASES {
+        let (ds, names, decisions) = wide_audit_data(&mut rng);
+        let columns: Vec<&str> = names.iter().map(String::as_str).collect();
+        for max_depth in 1..=3usize {
+            let auditor = SubgroupAuditor {
+                max_depth,
+                min_support: rng.gen_range(1..8usize),
+                alpha: if rng.gen_bool(0.5) { 1.0 } else { 0.2 },
+            };
+            let naive =
+                sorted_by_conditions(auditor.audit_naive(&ds, &columns, &decisions).unwrap());
+            for threads in [1usize, 2, 8] {
+                let fast = sorted_by_conditions(
+                    auditor
+                        .audit_observed(&ds, &columns, &decisions, threads, &Telemetry::off())
+                        .unwrap(),
+                );
+                assert_eq!(
+                    fast, naive,
+                    "case {case}: depth {max_depth}, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Thread count must not perturb even the *order* of the returned
+/// findings: serial and parallel runs are byte-for-byte identical.
+#[test]
+fn parallel_findings_identical_to_serial_in_order() {
+    let mut rng = StdRng::seed_from_u64(0xB17_0DD);
+    for _ in 0..CASES {
+        let (ds, names, decisions) = wide_audit_data(&mut rng);
+        let columns: Vec<&str> = names.iter().map(String::as_str).collect();
+        let auditor = SubgroupAuditor {
+            max_depth: 3,
+            min_support: 2,
+            alpha: 1.0,
+        };
+        let serial = auditor
+            .audit_observed(&ds, &columns, &decisions, 1, &Telemetry::off())
+            .unwrap();
+        for threads in [2usize, 8] {
+            let parallel = auditor
+                .audit_observed(&ds, &columns, &decisions, threads, &Telemetry::off())
+                .unwrap();
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+    }
+}
+
+/// Independent recount of the lattice walk: visit a node, count it; if
+/// it is under support, count the prune and stop; otherwise extend with
+/// every level of every later column while depth remains. Mirrors the
+/// engine's accounting without sharing any of its code.
+fn expected_node_budget(
+    ds: &Dataset,
+    columns: &[&str],
+    max_depth: usize,
+    min_support: usize,
+) -> (u64, u64) {
+    let n = ds.n_rows();
+    let views: Vec<(Vec<u32>, usize)> = columns
+        .iter()
+        .map(|&name| match ds.column(name).unwrap() {
+            fairbridge_tabular::Column::Categorical { levels, codes } => {
+                (codes.clone(), levels.len())
+            }
+            _ => panic!("categorical only"),
+        })
+        .collect();
+    let mut visited = 0u64;
+    let mut pruned = 0u64;
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        views: &[(Vec<u32>, usize)],
+        rows: &[usize],
+        last_ci: usize,
+        depth: usize,
+        max_depth: usize,
+        min_support: usize,
+        visited: &mut u64,
+        pruned: &mut u64,
+    ) {
+        *visited += 1;
+        if rows.len() < min_support {
+            *pruned += 1;
+            return;
+        }
+        if depth >= max_depth {
+            return;
+        }
+        for (ci, (codes, n_levels)) in views.iter().enumerate().skip(last_ci + 1) {
+            for level in 0..*n_levels as u32 {
+                let sub: Vec<usize> = rows
+                    .iter()
+                    .copied()
+                    .filter(|&r| codes[r] == level)
+                    .collect();
+                walk(
+                    views,
+                    &sub,
+                    ci,
+                    depth + 1,
+                    max_depth,
+                    min_support,
+                    visited,
+                    pruned,
+                );
+            }
+        }
+    }
+    let all_rows: Vec<usize> = (0..n).collect();
+    for (ci, (codes, n_levels)) in views.iter().enumerate() {
+        for level in 0..*n_levels as u32 {
+            let seed: Vec<usize> = all_rows
+                .iter()
+                .copied()
+                .filter(|&r| codes[r] == level)
+                .collect();
+            walk(
+                &views,
+                &seed,
+                ci,
+                1,
+                max_depth,
+                min_support,
+                &mut visited,
+                &mut pruned,
+            );
+        }
+    }
+    (visited, pruned)
+}
+
+/// The obs counters published by an observed audit match an
+/// independently computed node budget for the same lattice.
+#[test]
+fn pruning_counters_match_independent_node_budget() {
+    let mut rng = StdRng::seed_from_u64(0xB17_C07);
+    for _ in 0..8 {
+        let (ds, names, decisions) = wide_audit_data(&mut rng);
+        let columns: Vec<&str> = names.iter().map(String::as_str).collect();
+        let auditor = SubgroupAuditor {
+            max_depth: 3,
+            min_support: rng.gen_range(2..20usize),
+            alpha: 0.2,
+        };
+        let (expected_visited, expected_pruned) =
+            expected_node_budget(&ds, &columns, auditor.max_depth, auditor.min_support);
+
+        let sink = std::sync::Arc::new(fairbridge_obs::RingSink::with_capacity(1 << 14));
+        let telemetry = Telemetry::new(sink);
+        let findings = auditor
+            .audit_observed(&ds, &columns, &decisions, 4, &telemetry)
+            .unwrap();
+        let counters: std::collections::BTreeMap<String, u64> =
+            telemetry.counter_values().into_iter().collect();
+        assert_eq!(counters["subgroup.nodes_visited"], expected_visited);
+        assert_eq!(counters["subgroup.nodes_pruned"], expected_pruned);
+        assert_eq!(counters["subgroup.findings"], findings.len() as u64);
+        assert!(expected_visited >= expected_pruned);
     }
 }

@@ -1,9 +1,12 @@
 //! Bench for experiment E10: subgroup auditing — exhaustive
 //! enumeration vs the learned tree auditor, and the exponential cost of
 //! depth (the paper's IV.C "computational issues ... complexity increases
-//! exponentially").
+//! exponentially"). The `subgroup_lattice` group measures the bitset
+//! lattice engine against the retained naive row-list oracle, serial and
+//! parallel, at depths 2 and 3.
 
 use fairbridge::audit::subgroup::{tree_audit, SubgroupAuditor};
+use fairbridge::obs::Telemetry;
 use fairbridge::prelude::*;
 use fairbridge::stats::descriptive::bin_codes;
 use fairbridge::tabular::Column;
@@ -74,5 +77,48 @@ fn bench_subgroup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_subgroup);
+/// Naive row-list oracle vs the bitset lattice engine (serial and
+/// parallel) on the same audit — the PR's headline speedup.
+fn bench_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgroup_lattice");
+    let ds = setup(10_000);
+    let decisions = ds.labels().unwrap().to_vec();
+    let cols = ["gender", "race", "score_bin", "tenure_bin"];
+    let telemetry = Telemetry::off();
+    for depth in [2usize, 3] {
+        let auditor = SubgroupAuditor {
+            max_depth: depth,
+            min_support: 20,
+            alpha: 0.05,
+        };
+        group.bench_with_input(BenchmarkId::new("naive_depth", depth), &depth, |b, _| {
+            b.iter(|| black_box(auditor.audit_naive(&ds, &cols, &decisions).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("bitset_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(
+                    auditor
+                        .audit_observed(&ds, &cols, &decisions, 1, &telemetry)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bitset_parallel_depth", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        auditor
+                            .audit_observed(&ds, &cols, &decisions, 0, &telemetry)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subgroup, bench_lattice);
 criterion_main!(benches);

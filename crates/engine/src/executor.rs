@@ -28,8 +28,8 @@ use crate::partition::{CacheStats, Partition, PartitionCache};
 use fairbridge_audit::{AuditConfig, AuditPipeline, AuditReport};
 use fairbridge_metrics::{from_accumulator, GroupAccumulator};
 use fairbridge_obs::{FairnessEvent, Telemetry};
+use fairbridge_tabular::par::ordered_parallel_map;
 use fairbridge_tabular::Dataset;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -305,41 +305,20 @@ impl Engine {
             return Ok(acc);
         }
 
-        // Workers pull shard indices from a shared counter; each returns
-        // its (shard index, accumulator) pairs and the merge happens on
-        // this thread in ascending shard order.
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<GroupAccumulator>> = vec![None; n_shards];
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut done: Vec<(usize, GroupAccumulator)> = Vec::new();
-                        loop {
-                            let s = next.fetch_add(1, Ordering::Relaxed);
-                            if s >= n_shards {
-                                break;
-                            }
-                            let mut acc = partition.empty_accumulator(has_labels);
-                            scan_shard(s, &mut acc);
-                            done.push((s, acc));
-                        }
-                        done
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (s, acc) in h.join().expect("shard worker panicked") {
-                    slots[s] = Some(acc);
-                }
-            }
+        // Workers pull shard indices from a shared counter and the merge
+        // happens on this thread in ascending shard order — the shared
+        // deterministic fan-out, same as the subgroup lattice.
+        let shard_accs = ordered_parallel_map(n_shards, workers, |s| {
+            let mut acc = partition.empty_accumulator(has_labels);
+            scan_shard(s, &mut acc);
+            acc
         });
         drop(scan_span);
 
         let _merge_span = self.telemetry.span("engine.merge");
         let mut merged = partition.empty_accumulator(has_labels);
-        for slot in slots {
-            merged.merge(&slot.expect("every shard filled"))?;
+        for acc in &shard_accs {
+            merged.merge(acc)?;
         }
         Ok(merged)
     }

@@ -84,6 +84,18 @@ pub enum FairnessEvent {
         /// Whether historical labels (rather than predictions) are audited.
         use_labels: bool,
     },
+    /// An exhaustive subgroup (conjunction-lattice) audit began.
+    SubgroupAuditStarted {
+        /// Rows in the audited dataset.
+        rows: usize,
+        /// Columns whose level conjunctions define the lattice.
+        columns: Vec<String>,
+        /// Maximum conjuncts per subgroup.
+        max_depth: usize,
+        /// Minimum subgroup size enumerated (the anti-monotone pruning
+        /// bound).
+        min_support: usize,
+    },
     /// One shard of the parallel metric scan completed.
     ShardScanned {
         /// Shard index (ascending, merge order).
@@ -149,6 +161,7 @@ impl FairnessEvent {
     pub fn name(&self) -> &'static str {
         match self {
             FairnessEvent::AuditStarted { .. } => "audit_started",
+            FairnessEvent::SubgroupAuditStarted { .. } => "subgroup_audit_started",
             FairnessEvent::ShardScanned { .. } => "shard_scanned",
             FairnessEvent::PartitionCacheHit { .. } => "partition_cache_hit",
             FairnessEvent::PartitionCacheMiss { .. } => "partition_cache_miss",
@@ -255,6 +268,24 @@ impl Event {
                     }
                     let _ = write!(s, "],\"use_labels\":{use_labels}");
                 }
+                FairnessEvent::SubgroupAuditStarted {
+                    rows,
+                    columns,
+                    max_depth,
+                    min_support,
+                } => {
+                    let _ = write!(s, ",\"rows\":{rows},\"columns\":[");
+                    for (i, c) in columns.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        push_str_lit(&mut s, c);
+                    }
+                    let _ = write!(
+                        s,
+                        "],\"max_depth\":{max_depth},\"min_support\":{min_support}"
+                    );
+                }
                 FairnessEvent::ShardScanned {
                     shard,
                     rows,
@@ -355,6 +386,21 @@ mod tests {
         assert!(e
             .to_json()
             .contains("\"fingerprint\":\"0x00000000deadbeef\""));
+    }
+
+    #[test]
+    fn subgroup_audit_started_renders_payload() {
+        let e = envelope(EventKind::Fairness(FairnessEvent::SubgroupAuditStarted {
+            rows: 8000,
+            columns: vec!["gender".into(), "race".into()],
+            max_depth: 3,
+            min_support: 20,
+        }));
+        let json = e.to_json();
+        assert!(json.contains("\"kind\":\"subgroup_audit_started\""));
+        assert!(json.contains("\"rows\":8000"));
+        assert!(json.contains("\"columns\":[\"gender\",\"race\"]"));
+        assert!(json.contains("\"max_depth\":3,\"min_support\":20"));
     }
 
     #[test]

@@ -92,15 +92,46 @@ impl GroupIndex {
                 }
             }
         }
-        let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+        // Bucket rows by interned codes first — the per-row key is a
+        // reused `u32` buffer looked up via `Borrow<[u32]>`, so the scan
+        // allocates only once per *distinct* group, never per row.
+        let mut code_groups: BTreeMap<Vec<u32>, Vec<usize>> = BTreeMap::new();
+        let mut key_buf = vec![0u32; views.len()];
         for row in 0..ds.n_rows() {
+            for (slot, (_, codes)) in key_buf.iter_mut().zip(&views) {
+                *slot = codes[row];
+            }
+            match code_groups.get_mut(key_buf.as_slice()) {
+                Some(rows) => rows.push(row),
+                None => {
+                    code_groups.insert(key_buf.clone(), vec![row]);
+                }
+            }
+        }
+        // Resolve level strings once per distinct group; the string-keyed
+        // map preserves the same key order as before (`GroupKey` orders
+        // lexicographically by level names). Distinct codes can share a
+        // level name if a dictionary repeats one — those groups merge,
+        // re-sorted so rows stay in ascending order as they always were.
+        let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+        for (codes, rows) in code_groups {
             let key = GroupKey(
-                views
+                codes
                     .iter()
-                    .map(|(levels, codes)| levels[codes[row] as usize].clone())
+                    .zip(&views)
+                    .map(|(&c, (levels, _))| levels[c as usize].clone())
                     .collect(),
             );
-            groups.entry(key).or_default().push(row);
+            match groups.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(rows);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = e.get_mut();
+                    merged.extend(rows);
+                    merged.sort_unstable();
+                }
+            }
         }
         Ok(GroupIndex {
             spec: spec.clone(),
@@ -230,6 +261,26 @@ mod tests {
             columns: Vec::new(),
         };
         assert!(GroupIndex::build(&ds, &spec).is_err());
+    }
+
+    #[test]
+    fn duplicate_level_names_merge_with_rows_in_ascending_order() {
+        // A dictionary that repeats a level name: both codes 0 and 2
+        // render as "a" and must land in one group, rows ascending.
+        let ds = Dataset::builder()
+            .categorical_with_role(
+                "g",
+                vec!["a", "b", "a"],
+                vec![2, 1, 0, 2, 0],
+                Role::Protected,
+            )
+            .boolean_with_role("y", vec![true; 5], Role::Label)
+            .build()
+            .unwrap();
+        let gi = GroupIndex::build(&ds, &GroupSpec::single("g")).unwrap();
+        assert_eq!(gi.n_groups(), 2);
+        assert_eq!(gi.rows(&GroupKey(vec!["a".into()])).unwrap(), &[0, 2, 3, 4]);
+        assert_eq!(gi.rows(&GroupKey(vec!["b".into()])).unwrap(), &[1]);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   cheap integer bucketing.
 //! * The dataset is immutable-by-default; transformations produce new
 //!   datasets or row-index views, which keeps audit trails honest.
+//! * [`bitset::RowMask`] packs row sets into `u64` words so subgroup
+//!   enumeration runs on AND + popcount instead of index-vector
+//!   filtering, and [`par`] provides the deterministic order-preserving
+//!   parallel map that the engine's shard scan and the subgroup lattice
+//!   both fan out over.
 //!
 //! ```
 //! use fairbridge_tabular::{Dataset, Role};
@@ -36,15 +41,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitset;
 pub mod column;
 pub mod dataset;
 pub mod error;
 pub mod groups;
 pub mod io;
+pub mod par;
 pub mod profile;
 pub mod schema;
 pub mod value;
 
+pub use bitset::RowMask;
 pub use column::Column;
 pub use dataset::{Dataset, DatasetBuilder};
 pub use error::{Error, Result};

@@ -1,0 +1,107 @@
+//! Deterministic order-preserving parallel execution over indexed tasks.
+//!
+//! Both the sharded metric scan in `fairbridge-engine` and the parallel
+//! subgroup-lattice enumeration in `fairbridge-audit` follow the same
+//! pattern: `n` independent work units identified by index, a pool of
+//! scoped worker threads pulling indices from a shared atomic counter,
+//! and a merge that consumes results **in task-index order** so the
+//! output is bitwise-identical for every worker count. This module is
+//! that pattern, extracted once: determinism is structural (results are
+//! slotted by index), not scheduled.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(0), f(1), …, f(n_tasks - 1)` across up to `workers` scoped
+/// threads and returns the results **in task order**, regardless of
+/// which worker computed what or when.
+///
+/// With `workers <= 1` (or a single task) everything runs inline on the
+/// calling thread with no spawn at all — the sequential path is the
+/// parallel path with one worker, not a separate code path to keep
+/// equivalent.
+///
+/// Panics in `f` propagate: a worker panic aborts the scope and
+/// re-panics on the caller, so no partial result set is ever observed.
+pub fn ordered_parallel_map<T, F>(n_tasks: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n_tasks))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            break;
+                        }
+                        done.push((i, f(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("parallel task worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_task_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8, 64] {
+            let out = ordered_parallel_map(37, workers, |i| i * i);
+            let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(out, expected, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = ordered_parallel_map(100, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_and_single_task_edges() {
+        let empty: Vec<usize> = ordered_parallel_map(0, 8, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(ordered_parallel_map(1, 8, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            ordered_parallel_map(8, 2, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}
