@@ -109,11 +109,17 @@ pub fn representation_audit<R: Rng>(
         })
         .collect();
 
-    // Bootstrap the TV estimate by resampling the training codes.
+    // Bootstrap the TV estimate by resampling the training codes. One
+    // resample buffer is reused across every replicate — the RNG draw
+    // sequence is identical to the allocate-per-replicate version, so
+    // the CI bounds are bitwise-unchanged (asserted by regression test).
     let tv = total_variation(&train, &pop);
     let mut stats = Vec::with_capacity(n_bootstrap.max(2));
+    let mut resample = vec![0u32; n];
     for _ in 0..n_bootstrap.max(2) {
-        let resample: Vec<u32> = (0..n).map(|_| codes[rng.gen_range(0..n)]).collect();
+        for slot in resample.iter_mut() {
+            *slot = codes[rng.gen_range(0..n)];
+        }
         let d = Discrete::from_codes(&resample, levels.len()).map_err(|e| e.to_string())?;
         stats.push(total_variation(&d, &pop));
     }
@@ -191,6 +197,34 @@ mod tests {
         assert!((audit.tv - 0.1).abs() < 1e-9);
         assert!(audit.sampling_bound > audit.tv); // sqrt(2/20) ≈ 0.32
         assert!(!audit.drift_detected());
+    }
+
+    #[test]
+    fn buffer_reuse_preserves_seed_ci_bounds_exactly() {
+        // Regression: the resample buffer is now reused across
+        // replicates. The RNG draw order must be unchanged, so the CI
+        // must match the historical allocate-per-replicate computation
+        // bit for bit (same seed the audit pipeline uses).
+        let ds = dataset(150, 850);
+        let mut rng = StdRng::seed_from_u64(0xFA1B);
+        let audit = representation_audit(&ds, "sex", &[0.5, 0.5], 300, &mut rng).unwrap();
+
+        // The pre-refactor replicate loop, reproduced verbatim.
+        let (levels, codes) = ds.categorical("sex").unwrap();
+        let pop = Discrete::new(vec![0.5, 0.5]).unwrap();
+        let n = codes.len();
+        let mut rng = StdRng::seed_from_u64(0xFA1B);
+        let mut stats = Vec::with_capacity(300);
+        for _ in 0..300 {
+            let resample: Vec<u32> = (0..n).map(|_| codes[rng.gen_range(0..n)]).collect();
+            let d = Discrete::from_codes(&resample, levels.len()).unwrap();
+            stats.push(total_variation(&d, &pop));
+        }
+        stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = fairbridge_stats::descriptive::quantile_sorted(&stats, 0.025);
+        let hi = fairbridge_stats::descriptive::quantile_sorted(&stats, 0.975);
+        assert_eq!(audit.tv_ci.0.to_bits(), lo.to_bits());
+        assert_eq!(audit.tv_ci.1.to_bits(), hi.to_bits());
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Bench for the deterministic numeric kernel layer (DESIGN.md §7):
+//! each fused / buffer-reusing kernel is measured against an inline
+//! reimplementation of the scalar idiom it replaced, so the
+//! `FB_BENCH_JSON` sidecar records the speedup directly.
+//!
+//! Pairs:
+//! - `gemv_scalar` vs `gemv_fused` — allocating per-row scalar dot vs
+//!   the unrolled fused dot writing into a reused buffer.
+//! - `logistic_epoch_scalar` vs `logistic_epoch_fused` — the
+//!   pre-refactor per-element gradient loop with per-epoch allocations
+//!   vs the gemv + axpy trainer with hoisted buffers.
+//! - `bootstrap_scalar_alloc` vs `bootstrap_fused` — allocate-a-resample
+//!   -per-replicate vs the chunked buffer-reusing bootstrap.
+//! - `sinkhorn_scalar_strided` vs `sinkhorn_fused` — column sums strided
+//!   down the Gibbs kernel vs the cached packed transpose + fused dot.
+//!
+//! The `*_par8` rows run the same kernels at 8 workers; on a single-core
+//! container they mainly document fan-out overhead (the determinism
+//! suite, not this bench, is what guarantees thread-count invariance).
+
+use fairbridge::learn::logistic::LogisticTrainer;
+use fairbridge::learn::matrix::Matrix;
+use fairbridge_bench::harness::Criterion;
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_stats::bootstrap::par_bootstrap_ci;
+use fairbridge_stats::descriptive::mean;
+use fairbridge_stats::rng::{Rng, StdRng};
+use fairbridge_stats::sinkhorn::{par_sinkhorn, CONVERGENCE_TOL};
+use fairbridge_stats::Discrete;
+use std::hint::black_box;
+
+fn random_matrix(seed: u64, n: usize, d: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    Matrix::new(data, n, d)
+}
+
+fn random_discrete(seed: u64, k: usize) -> Discrete {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let raw: Vec<f64> = (0..k).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    Discrete::new(raw.iter().map(|x| x / total).collect()).unwrap()
+}
+
+/// Pre-refactor logistic loop: per-row scalar dot, per-element gradient
+/// accumulation, and fresh score/gradient vectors every epoch.
+fn logistic_fit_scalar(
+    x: &Matrix,
+    y: &[bool],
+    sw: &[f64],
+    learning_rate: f64,
+    l2: f64,
+    epochs: usize,
+) -> (Vec<f64>, f64) {
+    let (n, d) = (x.n_rows(), x.n_cols());
+    let mut w = vec![0.0; d];
+    let mut bias = 0.0;
+    for _ in 0..epochs {
+        let mut grad = vec![0.0; d];
+        let mut grad_bias = 0.0;
+        for i in 0..n {
+            let row = x.row(i);
+            let mut score = 0.0;
+            for j in 0..d {
+                score += row[j] * w[j];
+            }
+            let p = 1.0 / (1.0 + (-(score + bias)).exp());
+            let err = (p - f64::from(u8::from(y[i]))) * sw[i];
+            for j in 0..d {
+                grad[j] += err * row[j];
+            }
+            grad_bias += err;
+        }
+        let scale = learning_rate / n as f64;
+        for j in 0..d {
+            w[j] -= scale * grad[j] + learning_rate * l2 * w[j];
+        }
+        bias -= scale * grad_bias;
+    }
+    (w, bias)
+}
+
+/// Pre-refactor bootstrap idiom: a freshly allocated resample vector per
+/// replicate, then sort + percentile.
+fn bootstrap_scalar_alloc(
+    data: &[f64],
+    n_resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = data.len();
+    let mut stats = Vec::with_capacity(n_resamples);
+    for _ in 0..n_resamples {
+        let resample: Vec<f64> = (0..n).map(|_| data[rng.gen_range(0..n)]).collect();
+        stats.push(mean(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = 1.0 - confidence;
+    let lo = ((alpha / 2.0) * n_resamples as f64) as usize;
+    let hi = (((1.0 - alpha / 2.0) * n_resamples as f64) as usize).min(n_resamples - 1);
+    (stats[lo], stats[hi])
+}
+
+/// Pre-refactor Sinkhorn solver, verbatim idiom: no cached transpose —
+/// the `Kᵀu` half-pass walks each column with stride `m`, single
+/// accumulator — then plan, cost and marginal error are materialized
+/// exactly as the seed implementation did.
+fn sinkhorn_scalar_strided(
+    p: &Discrete,
+    q: &Discrete,
+    cost: &[f64],
+    epsilon: f64,
+    max_iters: usize,
+) -> f64 {
+    let (n, m) = (p.k(), q.k());
+    let kernel: Vec<f64> = cost.iter().map(|&c| (-c / epsilon).exp()).collect();
+    let mut u = vec![1.0; n];
+    let mut v = vec![1.0; m];
+    for _ in 0..max_iters {
+        let mut max_delta = 0.0f64;
+        for i in 0..n {
+            let kv: f64 = (0..m).map(|j| kernel[i * m + j] * v[j]).sum();
+            let new = if kv > 0.0 { p.p(i) / kv } else { 0.0 };
+            max_delta = max_delta.max((new - u[i]).abs());
+            u[i] = new;
+        }
+        for j in 0..m {
+            let ku: f64 = (0..n).map(|i| kernel[i * m + j] * u[i]).sum();
+            let new = if ku > 0.0 { q.p(j) / ku } else { 0.0 };
+            max_delta = max_delta.max((new - v[j]).abs());
+            v[j] = new;
+        }
+        if max_delta < CONVERGENCE_TOL {
+            break;
+        }
+    }
+    let mut plan = vec![0.0; n * m];
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..m {
+            let pij = u[i] * kernel[i * m + j] * v[j];
+            plan[i * m + j] = pij;
+            total += pij * cost[i * m + j];
+        }
+    }
+    let mut err = 0.0;
+    for i in 0..n {
+        let row: f64 = (0..m).map(|j| plan[i * m + j]).sum();
+        err += (row - p.p(i)).abs();
+    }
+    for j in 0..m {
+        let col: f64 = (0..n).map(|i| plan[i * m + j]).sum();
+        err += (col - q.p(j)).abs();
+    }
+    total + err
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+
+    // gemv: 512x128 — cache-resident, the shape class the trainers hit
+    // every epoch (streaming-from-DRAM shapes are bandwidth-bound and
+    // would measure the memory bus, not the kernel).
+    let x = random_matrix(0xB1, 512, 128);
+    let w: Vec<f64> = (0..128).map(|j| (j as f64 * 0.37).sin()).collect();
+    group.bench_function("gemv_scalar", |b| b.iter(|| black_box(x.matvec_scalar(&w))));
+    group.bench_function("gemv_fused", |b| {
+        let mut out = vec![0.0; x.n_rows()];
+        b.iter(|| {
+            x.gemv_into(&w, &mut out);
+            black_box(out[0])
+        })
+    });
+
+    // Logistic epochs: fixed 25 epochs (tolerance 0 disables early exit)
+    // so both sides do identical epoch counts.
+    let xl = random_matrix(0xB2, 512, 256);
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    let y: Vec<bool> = (0..512).map(|_| rng.gen_bool(0.4)).collect();
+    let sw = vec![1.0; 512];
+    let trainer = LogisticTrainer {
+        epochs: 25,
+        tolerance: 0.0,
+        ..LogisticTrainer::default()
+    };
+    group.bench_function("logistic_epoch_scalar", |b| {
+        b.iter(|| {
+            black_box(logistic_fit_scalar(
+                &xl,
+                &y,
+                &sw,
+                trainer.learning_rate,
+                trainer.l2,
+                trainer.epochs,
+            ))
+        })
+    });
+    group.bench_function("logistic_epoch_fused", |b| {
+        b.iter(|| black_box(trainer.fit_weighted(&xl, &y, &sw)))
+    });
+
+    // Bootstrap: 400 replicates over 1500 points, mean statistic.
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    let data: Vec<f64> = (0..1500).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    group.bench_function("bootstrap_scalar_alloc", |b| {
+        b.iter(|| black_box(bootstrap_scalar_alloc(&data, 400, 0.95, 7)))
+    });
+    group.bench_function("bootstrap_fused", |b| {
+        b.iter(|| black_box(par_bootstrap_ci(&data, mean, 400, 0.95, 7, 1)))
+    });
+    group.bench_function("bootstrap_par8", |b| {
+        b.iter(|| black_box(par_bootstrap_ci(&data, mean, 400, 0.95, 7, 8)))
+    });
+
+    // Sinkhorn: 1024-point support (a fine score histogram), 20 scaling
+    // iterations (CONVERGENCE_TOL is far below what 20 iterations
+    // reach, so both arms run all 20). At this size the strided `Kᵀu`
+    // half-pass touches a fresh cache line per element across an 8 MB
+    // kernel; the cached packed transpose streams sequentially.
+    group.sample_size(10);
+    const SUPPORT: usize = 1024;
+    let p = random_discrete(0xB5, SUPPORT);
+    let q = random_discrete(0xB6, SUPPORT);
+    let cost: Vec<f64> = (0..SUPPORT * SUPPORT)
+        .map(|ij| {
+            let (i, j) = (ij / SUPPORT, ij % SUPPORT);
+            ((i as f64 - j as f64) / SUPPORT as f64).abs()
+        })
+        .collect();
+    group.bench_function("sinkhorn_scalar_strided", |b| {
+        b.iter(|| black_box(sinkhorn_scalar_strided(&p, &q, &cost, 0.05, 20)))
+    });
+    group.bench_function("sinkhorn_fused", |b| {
+        b.iter(|| black_box(par_sinkhorn(&p, &q, &cost, 0.05, 20, 1).unwrap().cost))
+    });
+    group.bench_function("sinkhorn_par8", |b| {
+        b.iter(|| black_box(par_sinkhorn(&p, &q, &cost, 0.05, 20, 8).unwrap().cost))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

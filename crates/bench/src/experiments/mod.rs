@@ -104,8 +104,8 @@ pub fn run_one_traced(id: &str, seed: u64, telemetry: &Telemetry) -> Option<Expe
         "E10" => section4::e10_intersectional(seed),
         "E11" => section4::e11_feedback_loops(seed),
         "E12" => section4::e12_manipulation(seed),
-        "E13" => sampling::e13_sample_complexity(seed),
-        "E14" => sampling::e14_group_blind_repair(seed),
+        "E13" => sampling::e13_sample_complexity(seed, telemetry),
+        "E14" => sampling::e14_group_blind_repair(seed, telemetry),
         "E15" => sampling::e15_criteria_engine(),
         "E16" => extended::e16_mitigation_matrix(seed),
         "E17" => extended::e17_individual_and_calibration(seed),

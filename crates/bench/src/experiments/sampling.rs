@@ -4,17 +4,20 @@
 use super::{Check, ExperimentResult};
 use fairbridge::mitigate::group_blind::GroupBlindRepairer;
 use fairbridge::prelude::*;
+use fairbridge::stats::bootstrap::par_bootstrap_ci_observed;
 use fairbridge::stats::distribution::Empirical;
 use fairbridge::stats::sampling::{
     continuous_convergence, discrete_convergence, tv_plugin_bound, DistanceKind,
 };
+use fairbridge::stats::sinkhorn::{ordinal_cost, par_sinkhorn_observed};
 use fairbridge::stats::{wasserstein_1d, Discrete};
+use fairbridge_obs::Telemetry;
 use fairbridge_stats::rng::Rng;
 use fairbridge_stats::rng::StdRng;
 
 /// E13 — §IV.F: sample complexity of bias detection for the four named
 /// distances (TV, Hellinger, Wasserstein-1, MMD).
-pub fn e13_sample_complexity(seed: u64) -> ExperimentResult {
+pub fn e13_sample_complexity(seed: u64, telemetry: &Telemetry) -> ExperimentResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let population = Discrete::new(vec![0.5, 0.5]).unwrap();
     let training = Discrete::new(vec![0.65, 0.35]).unwrap();
@@ -68,7 +71,33 @@ pub fn e13_sample_complexity(seed: u64) -> ExperimentResult {
         tv_plugin_bound(2, 10_000)
     );
 
+    // Quantified uncertainty on a single finite-sample estimate: a
+    // deterministic parallel bootstrap CI for an observed 15% positive
+    // rate, run on the numeric kernel layer (bitwise-equal for every
+    // worker count).
+    let sample: Vec<f64> = (0..400)
+        .map(|_| f64::from(rng.gen::<f64>() < 0.15))
+        .collect();
+    let rate = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let ci = par_bootstrap_ci_observed(&sample, rate, 500, 0.95, seed, 8, telemetry);
+    let ci_one_worker = par_bootstrap_ci_observed(&sample, rate, 500, 0.95, seed, 1, telemetry);
+    table += &format!(
+        "parallel bootstrap CI for a 15% rate (n=400, B=500): point {:.4}, 95% CI [{:.4}, {:.4}]\n",
+        ci.point, ci.lower, ci.upper
+    );
+
     let checks = vec![
+        Check::new(
+            "the parallel bootstrap CI brackets the true 15% rate",
+            ci.lower <= 0.15 && 0.15 <= ci.upper,
+            format!("CI [{:.4}, {:.4}]", ci.lower, ci.upper),
+        ),
+        Check::new(
+            "the bootstrap CI is bitwise-identical for 1 and 8 workers",
+            ci_one_worker.lower.to_bits() == ci.lower.to_bits()
+                && ci_one_worker.upper.to_bits() == ci.upper.to_bits(),
+            "fixed-shape chunked resampling".into(),
+        ),
         Check::new(
             "estimation error decreases with n for every distance",
             studies.iter().all(|s| {
@@ -107,7 +136,7 @@ pub fn e13_sample_complexity(seed: u64) -> ExperimentResult {
 }
 
 /// E14 — §IV.F: group-blind repair from population marginals only.
-pub fn e14_group_blind_repair(seed: u64) -> ExperimentResult {
+pub fn e14_group_blind_repair(seed: u64, telemetry: &Telemetry) -> ExperimentResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let marginals = [0.7, 0.3];
     let draw = |g: u32, rng: &mut StdRng| -> f64 {
@@ -185,7 +214,50 @@ pub fn e14_group_blind_repair(seed: u64) -> ExperimentResult {
         rate_gap(&soft)
     );
 
+    // Cross-check the 1-D Wasserstein story with the categorical OT
+    // machinery: bin each group's values into 12 ordinal bins and solve
+    // entropic OT between the group histograms with the deterministic
+    // parallel Sinkhorn kernel, before and after repair.
+    let entropic_group_cost = |values: &[f64]| {
+        const BINS: usize = 12;
+        let (lo, hi) = (-0.5, 2.5); // support of both group densities
+        let mut hists = [vec![1e-9; BINS], vec![1e-9; BINS]]; // tiny floor keeps bins valid
+        for (&v, &g) in values.iter().zip(&dep_g) {
+            let b = (((v - lo) / (hi - lo) * BINS as f64) as usize).min(BINS - 1);
+            hists[g as usize][b] += 1.0;
+        }
+        let normed: Vec<Discrete> = hists
+            .iter()
+            .map(|h| {
+                let total: f64 = h.iter().sum();
+                Discrete::new(h.iter().map(|x| x / total).collect()).unwrap()
+            })
+            .collect();
+        let result = par_sinkhorn_observed(
+            &normed[0],
+            &normed[1],
+            &ordinal_cost(BINS, BINS),
+            0.05,
+            5000,
+            8,
+            telemetry,
+        )
+        .unwrap();
+        // ordinal bin-index cost → rescale to value units
+        result.cost * (hi - lo) / BINS as f64
+    };
+    let ot_before = entropic_group_cost(&dep_v);
+    let ot_after = entropic_group_cost(&soft);
+    table += &format!(
+        "entropic OT between group histograms: {ot_before:.3} before → {ot_after:.3} after repair\n"
+    );
+
     let checks = vec![
+        Check::new(
+            "entropic OT between group histograms collapses with repair",
+            ot_after < ot_before * 0.3 && ot_before > 0.5,
+            format!("Sinkhorn cost {ot_before:.3} → {ot_after:.3}"),
+        ),
         Check::new(
             "the planted group gap is large before repair",
             group_w1(&dep_v) > 0.8 && rate_gap(&dep_v) > 0.5,

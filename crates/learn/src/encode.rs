@@ -243,7 +243,8 @@ mod tests {
         let cfg = EncoderConfig::default();
         let (enc, m) = FeatureEncoder::fit_transform(&ds, cfg).unwrap();
         let exp_col = enc.feature_names().iter().position(|n| n == "exp").unwrap();
-        let col = m.col(exp_col);
+        let mut col = Vec::new();
+        m.col_into(exp_col, &mut col);
         let mean = fairbridge_stats::descriptive::mean(&col);
         let std = fairbridge_stats::descriptive::std_dev(&col);
         assert!(mean.abs() < 1e-12);
@@ -259,7 +260,9 @@ mod tests {
         };
         let (enc, m) = FeatureEncoder::fit_transform(&ds, cfg).unwrap();
         let exp_col = enc.feature_names().iter().position(|n| n == "exp").unwrap();
-        assert_eq!(m.col(exp_col), vec![0.0, 2.0, 4.0, 6.0]);
+        let mut col = Vec::new();
+        m.col_into(exp_col, &mut col);
+        assert_eq!(col, vec![0.0, 2.0, 4.0, 6.0]);
     }
 
     #[test]
@@ -271,8 +274,11 @@ mod tests {
         };
         let (_, m) = FeatureEncoder::fit_transform(&ds, cfg).unwrap();
         // rows: city a,b,c,a → city=b col is [0,1,0,0], city=c col [0,0,1,0]
-        assert_eq!(m.col(0), vec![0.0, 1.0, 0.0, 0.0]);
-        assert_eq!(m.col(1), vec![0.0, 0.0, 1.0, 0.0]);
+        let mut col = Vec::new();
+        m.col_into(0, &mut col);
+        assert_eq!(col, vec![0.0, 1.0, 0.0, 0.0]);
+        m.col_into(1, &mut col);
+        assert_eq!(col, vec![0.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]
@@ -294,7 +300,9 @@ mod tests {
             .build()
             .unwrap();
         let m = enc.transform(&test).unwrap();
-        assert_eq!(m.col(0), vec![0.0, 1.0]); // z → reference, b → 1
+        let mut col = Vec::new();
+        m.col_into(0, &mut col);
+        assert_eq!(col, vec![0.0, 1.0]); // z → reference, b → 1
     }
 
     #[test]

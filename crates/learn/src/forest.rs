@@ -63,11 +63,18 @@ impl ForestTrainer {
         let n_sample = ((x.n_rows() as f64) * self.sample_fraction).ceil() as usize;
 
         let mut trees = Vec::with_capacity(self.n_trees);
+        // Per-tree scratch, hoisted: bootstrap indices, label slice and
+        // the flat projected design storage (recycled through
+        // `Matrix::into_data` after each fit). The RNG call sequence is
+        // exactly the per-tree-allocation version's — same draws, same
+        // trees.
+        let mut rows: Vec<usize> = Vec::with_capacity(n_sample);
+        let mut labels: Vec<bool> = Vec::with_capacity(n_sample);
+        let mut proj_data: Vec<f64> = Vec::with_capacity(n_sample * m);
         for _ in 0..self.n_trees {
             // Bootstrap rows.
-            let rows: Vec<usize> = (0..n_sample)
-                .map(|_| rng.gen_range(0..x.n_rows()))
-                .collect();
+            rows.clear();
+            rows.extend((0..n_sample).map(|_| rng.gen_range(0..x.n_rows())));
             // Feature subset (without replacement).
             let mut features: Vec<usize> = (0..d).collect();
             for i in (1..d).rev() {
@@ -78,14 +85,16 @@ impl ForestTrainer {
             features.sort_unstable();
 
             // Project the bootstrap sample onto the feature subset.
-            let mut proj_rows = Vec::with_capacity(rows.len());
-            let mut labels = Vec::with_capacity(rows.len());
+            proj_data.clear();
+            labels.clear();
             for &r in &rows {
                 let row = x.row(r);
-                proj_rows.push(features.iter().map(|&f| row[f]).collect::<Vec<f64>>());
+                proj_data.extend(features.iter().map(|&f| row[f]));
                 labels.push(y[r]);
             }
-            let tree = self.tree.fit(&Matrix::from_rows(&proj_rows), &labels);
+            let proj = Matrix::new(std::mem::take(&mut proj_data), rows.len(), m);
+            let tree = self.tree.fit(&proj, &labels);
+            proj_data = proj.into_data();
             trees.push((tree, features));
         }
         RandomForest { trees }

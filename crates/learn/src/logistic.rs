@@ -5,9 +5,24 @@
 //! mitigation (Kamiran & Calders, cited as \[8\] in the paper), and the
 //! exposed coefficient vector is what the manipulation experiments of
 //! Section IV.E perturb.
+//!
+//! Each epoch runs on the numeric kernel layer: one fused
+//! [`Matrix::gemv_into`] produces the linear scores into a hoisted
+//! buffer, and the gradient is accumulated with [`axpy`] over
+//! fixed-shape row chunks of [`GRAD_CHUNK`] rows. Chunk partials are
+//! reduced **in chunk order**, and the chunk shape never depends on the
+//! worker count, so a fit with `workers: 8` is bitwise-identical to a
+//! serial fit — the same determinism contract the audit engine upholds.
 
-use crate::matrix::{dot, Matrix};
+use crate::matrix::{axpy, dot, Matrix};
 use crate::model::Scorer;
+use fairbridge_obs::Telemetry;
+use fairbridge_tabular::par::ordered_parallel_map;
+
+/// Rows per gradient chunk. Fixed (never derived from the worker count)
+/// so the chunk reduction — and therefore the fitted model — is
+/// identical for any parallelism degree.
+pub const GRAD_CHUNK: usize = 1024;
 
 /// Numerically stable logistic sigmoid.
 pub fn sigmoid(z: f64) -> f64 {
@@ -52,6 +67,9 @@ pub struct LogisticTrainer {
     pub l2: f64,
     /// Stop early when the gradient max-norm falls below this.
     pub tolerance: f64,
+    /// Worker threads for the chunked gradient reduction; `<= 1` runs
+    /// inline. Any value produces bitwise-identical models.
+    pub workers: usize,
 }
 
 impl Default for LogisticTrainer {
@@ -61,7 +79,21 @@ impl Default for LogisticTrainer {
             epochs: 500,
             l2: 1e-4,
             tolerance: 1e-7,
+            workers: 1,
         }
+    }
+}
+
+/// Accumulates the weighted gradient of one row chunk into `partial`
+/// (`d` weight slots plus the bias slot at index `d`). `partial` must
+/// arrive zeroed; per-coordinate accumulation via [`axpy`] keeps each
+/// slot an independent left-to-right sum, so the result depends only on
+/// the chunk bounds, not on who computes it.
+fn chunk_gradient(x: &Matrix, err: &[f64], start: usize, end: usize, partial: &mut [f64]) {
+    let d = x.n_cols();
+    for (i, &e) in err.iter().enumerate().take(end).skip(start) {
+        axpy(e, x.row(i), &mut partial[..d]);
+        partial[d] += e;
     }
 }
 
@@ -76,6 +108,19 @@ impl LogisticTrainer {
     /// Minimizes the weighted mean log-loss plus (λ/2)·‖w‖²:
     /// L = (Σᵢ wᵢ ℓ(yᵢ, σ(w·xᵢ+b))) / Σᵢ wᵢ + (λ/2)‖w‖².
     pub fn fit_weighted(&self, x: &Matrix, y: &[bool], sample_weights: &[f64]) -> LogisticModel {
+        self.fit_weighted_observed(x, y, sample_weights, &Telemetry::off())
+    }
+
+    /// [`LogisticTrainer::fit_weighted`] recording kernel telemetry: a
+    /// `logistic.fit` span plus the `kernel.gemv_calls` counter (one
+    /// gemv per epoch actually run).
+    pub fn fit_weighted_observed(
+        &self,
+        x: &Matrix,
+        y: &[bool],
+        sample_weights: &[f64],
+        telemetry: &Telemetry,
+    ) -> LogisticModel {
         assert_eq!(x.n_rows(), y.len(), "fit: row/label count mismatch");
         assert_eq!(y.len(), sample_weights.len(), "fit: weight count mismatch");
         assert!(x.n_rows() > 0, "fit: empty training set");
@@ -86,29 +131,68 @@ impl LogisticTrainer {
         let wsum: f64 = sample_weights.iter().sum();
         assert!(wsum > 0.0, "sample weights must not all be zero");
 
-        let d = x.n_cols();
+        let _span = telemetry.span("logistic.fit");
+        let gemv_calls = telemetry.counter("kernel.gemv_calls");
+
+        let (n, d) = (x.n_rows(), x.n_cols());
+        let n_chunks = n.div_ceil(GRAD_CHUNK);
         let mut weights = vec![0.0; d];
         let mut bias = 0.0;
-        let mut grad_w = vec![0.0; d];
+        // Every per-epoch buffer is hoisted here: linear scores, weighted
+        // residuals, the reduced gradient, and (serially) one chunk
+        // partial recycled across chunks.
+        let mut scores = vec![0.0; n];
+        let mut err = vec![0.0; n];
+        let mut grad = vec![0.0; d + 1];
+        let mut serial_partial = vec![0.0; d + 1];
 
         for _ in 0..self.epochs {
-            grad_w.iter_mut().for_each(|g| *g = 0.0);
-            let mut grad_b = 0.0;
-            for (i, row) in x.rows().enumerate() {
-                let p = sigmoid(dot(&weights, row) + bias);
-                let err = (p - if y[i] { 1.0 } else { 0.0 }) * sample_weights[i];
-                for (g, &xij) in grad_w.iter_mut().zip(row) {
-                    *g += err * xij;
-                }
-                grad_b += err;
+            x.gemv_into(&weights, &mut scores);
+            gemv_calls.incr();
+            for i in 0..n {
+                let p = sigmoid(scores[i] + bias);
+                err[i] = (p - if y[i] { 1.0 } else { 0.0 }) * sample_weights[i];
             }
+
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            if self.workers <= 1 || n_chunks <= 1 {
+                // Inline: same chunk shapes, same chunk-order reduction,
+                // one recycled partial buffer instead of one per chunk.
+                for c in 0..n_chunks {
+                    serial_partial.iter_mut().for_each(|g| *g = 0.0);
+                    let start = c * GRAD_CHUNK;
+                    chunk_gradient(
+                        x,
+                        &err,
+                        start,
+                        (start + GRAD_CHUNK).min(n),
+                        &mut serial_partial,
+                    );
+                    for (g, p) in grad.iter_mut().zip(&serial_partial) {
+                        *g += p;
+                    }
+                }
+            } else {
+                let partials = ordered_parallel_map(n_chunks, self.workers, |c| {
+                    let mut partial = vec![0.0; d + 1];
+                    let start = c * GRAD_CHUNK;
+                    chunk_gradient(x, &err, start, (start + GRAD_CHUNK).min(n), &mut partial);
+                    partial
+                });
+                for partial in &partials {
+                    for (g, p) in grad.iter_mut().zip(partial) {
+                        *g += p;
+                    }
+                }
+            }
+
             let mut max_grad = 0.0f64;
-            for (w, g) in weights.iter_mut().zip(grad_w.iter()) {
+            for (w, g) in weights.iter_mut().zip(grad.iter()) {
                 let g = g / wsum + self.l2 * *w;
                 *w -= self.learning_rate * g;
                 max_grad = max_grad.max(g.abs());
             }
-            let gb = grad_b / wsum;
+            let gb = grad[d] / wsum;
             bias -= self.learning_rate * gb;
             max_grad = max_grad.max(gb.abs());
             if max_grad < self.tolerance {
@@ -251,5 +335,55 @@ mod tests {
     fn negative_weights_panic() {
         let x = Matrix::from_rows(&[vec![1.0]]);
         LogisticTrainer::default().fit_weighted(&x, &[true], &[-1.0]);
+    }
+
+    #[test]
+    fn parallel_fit_is_bitwise_identical() {
+        // Enough rows for several GRAD_CHUNK chunks.
+        let rows: Vec<Vec<f64>> = (0..3000)
+            .map(|i| {
+                vec![
+                    ((i * 13) % 97) as f64 * 0.02 - 1.0,
+                    ((i * 7) % 53) as f64 * 0.03 - 0.8,
+                    ((i * 29) % 31) as f64 * 0.05 - 0.7,
+                ]
+            })
+            .collect();
+        let y: Vec<bool> = rows.iter().map(|r| r[0] + 0.5 * r[1] > 0.1).collect();
+        let x = Matrix::from_rows(&rows);
+        let trainer = LogisticTrainer {
+            epochs: 40,
+            ..LogisticTrainer::default()
+        };
+        let serial = trainer.fit(&x, &y);
+        for workers in [2, 8] {
+            let par = LogisticTrainer {
+                workers,
+                ..trainer.clone()
+            }
+            .fit(&x, &y);
+            assert_eq!(serial, par, "{workers} workers drifted");
+            for (a, b) in serial.weights.iter().zip(&par.weights) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(serial.bias.to_bits(), par.bias.to_bits());
+        }
+    }
+
+    #[test]
+    fn observed_fit_counts_gemv_calls() {
+        let (x, y) = separable();
+        let telemetry = Telemetry::new(std::sync::Arc::new(
+            fairbridge_obs::RingSink::with_capacity(64),
+        ));
+        let trainer = LogisticTrainer {
+            epochs: 7,
+            tolerance: 0.0,
+            ..LogisticTrainer::default()
+        };
+        let sw = vec![1.0; y.len()];
+        let observed = trainer.fit_weighted_observed(&x, &y, &sw, &telemetry);
+        assert_eq!(observed, trainer.fit(&x, &y));
+        assert_eq!(telemetry.counter("kernel.gemv_calls").get(), 7);
     }
 }

@@ -73,11 +73,15 @@ impl TreeTrainer {
         assert!(x.n_rows() > 0, "tree fit: empty training set");
         let mut nodes = Vec::new();
         let rows: Vec<usize> = (0..x.n_rows()).collect();
-        self.build(x, y, sw, &rows, 0, &mut nodes);
+        // One (value, row) sort buffer reused by every node and feature
+        // of the recursion — the split scan allocates nothing per node.
+        let mut scratch: Vec<(f64, u32)> = Vec::with_capacity(x.n_rows());
+        self.build(x, y, sw, &rows, 0, &mut nodes, &mut scratch);
         DecisionTree { nodes }
     }
 
     /// Recursively builds the subtree for `rows`; returns its node index.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &self,
         x: &Matrix,
@@ -86,6 +90,7 @@ impl TreeTrainer {
         rows: &[usize],
         depth: usize,
         nodes: &mut Vec<Node>,
+        scratch: &mut Vec<(f64, u32)>,
     ) -> usize {
         let total_w: f64 = rows.iter().map(|&i| sw[i]).sum();
         let pos_w: f64 = rows.iter().filter(|&&i| y[i]).map(|&i| sw[i]).sum();
@@ -107,28 +112,28 @@ impl TreeTrainer {
         let parent_gini = gini(pos_w, total_w);
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
         for feature in 0..x.n_cols() {
-            // Sort row indices by this feature.
-            let mut order: Vec<usize> = rows.to_vec();
-            order.sort_by(|&a, &b| {
-                x.get(a, feature)
-                    .partial_cmp(&x.get(b, feature))
-                    .expect("NaN feature")
-            });
+            // Sort (value, row) pairs by this feature into the shared
+            // scratch buffer. The stable sort keys on the value alone, so
+            // tied rows keep their `rows` order — exactly the permutation
+            // the previous per-feature index sort produced.
+            scratch.clear();
+            scratch.extend(rows.iter().map(|&i| (x.get(i, feature), i as u32)));
+            scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
             let mut left_w = 0.0;
             let mut left_pos = 0.0;
-            for k in 0..order.len() - 1 {
-                let i = order[k];
+            for k in 0..scratch.len() - 1 {
+                let i = scratch[k].1 as usize;
                 left_w += sw[i];
                 if y[i] {
                     left_pos += sw[i];
                 }
-                let a = x.get(order[k], feature);
-                let b = x.get(order[k + 1], feature);
+                let a = scratch[k].0;
+                let b = scratch[k + 1].0;
                 if a == b {
                     continue; // can't split between equal values
                 }
                 let n_left = k + 1;
-                let n_right = order.len() - n_left;
+                let n_right = scratch.len() - n_left;
                 if n_left < self.min_samples_leaf || n_right < self.min_samples_leaf {
                     continue;
                 }
@@ -155,8 +160,8 @@ impl TreeTrainer {
         // Reserve this node's slot before children so the root is index 0.
         nodes.push(Node::Leaf { p_positive: 0.0 });
         let me = nodes.len() - 1;
-        let left = self.build(x, y, sw, &left_rows, depth + 1, nodes);
-        let right = self.build(x, y, sw, &right_rows, depth + 1, nodes);
+        let left = self.build(x, y, sw, &left_rows, depth + 1, nodes, scratch);
+        let right = self.build(x, y, sw, &right_rows, depth + 1, nodes, scratch);
         nodes[me] = Node::Split {
             feature,
             threshold,

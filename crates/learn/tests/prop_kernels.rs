@@ -1,0 +1,158 @@
+//! Randomized determinism properties for the numeric kernel layer
+//! (mirrors the `prop_audit` equivalence style): every parallelized
+//! kernel — logistic epochs, bootstrap CIs, Sinkhorn solves — must be
+//! **bitwise-equal** to its serial run across 1/2/8 workers, and the
+//! fused kernels must agree with their scalar references to rounding.
+
+use fairbridge_learn::logistic::LogisticTrainer;
+use fairbridge_learn::matrix::{dot, dot_scalar, Matrix};
+use fairbridge_stats::bootstrap::{par_bootstrap_ci, par_bootstrap_ci_two_sample};
+use fairbridge_stats::descriptive::mean;
+use fairbridge_stats::rng::{Rng, StdRng};
+use fairbridge_stats::sinkhorn::{ordinal_cost, par_sinkhorn};
+use fairbridge_stats::Discrete;
+
+const CASES: usize = 12;
+const WORKER_GRID: [usize; 3] = [1, 2, 8];
+
+fn random_matrix<R: Rng>(rng: &mut R, n: usize, d: usize) -> Matrix {
+    let data: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    Matrix::new(data, n, d)
+}
+
+fn random_discrete<R: Rng>(rng: &mut R, k: usize) -> Discrete {
+    let raw: Vec<f64> = (0..k).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    Discrete::new(raw.iter().map(|x| x / total).collect()).unwrap()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: slot {i}: {x} vs {y}");
+    }
+}
+
+/// Logistic fits are bitwise-identical for every worker count, on random
+/// shapes crossing the GRAD_CHUNK boundary.
+#[test]
+fn prop_logistic_fit_bitwise_equal_across_workers() {
+    let mut rng = StdRng::seed_from_u64(0xE1_01);
+    for case in 0..CASES {
+        let n = rng.gen_range(500..3000usize);
+        let d = rng.gen_range(1..9usize);
+        let x = random_matrix(&mut rng, n, d);
+        let y: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+        let sw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let trainer = LogisticTrainer {
+            epochs: 15,
+            ..LogisticTrainer::default()
+        };
+        let serial = trainer.fit_weighted(&x, &y, &sw);
+        for workers in WORKER_GRID {
+            let par = LogisticTrainer {
+                workers,
+                ..trainer.clone()
+            }
+            .fit_weighted(&x, &y, &sw);
+            assert_bits_eq(
+                &serial.weights,
+                &par.weights,
+                &format!("case {case}, {workers} workers, weights"),
+            );
+            assert_eq!(
+                serial.bias.to_bits(),
+                par.bias.to_bits(),
+                "case {case}, {workers} workers, bias"
+            );
+        }
+    }
+}
+
+/// Parallel bootstrap CIs (one- and two-sample) are bitwise-identical
+/// for every worker count, including replicate counts that leave a
+/// ragged final chunk.
+#[test]
+fn prop_bootstrap_ci_bitwise_equal_across_workers() {
+    let mut rng = StdRng::seed_from_u64(0xE1_02);
+    for case in 0..CASES {
+        let n = rng.gen_range(30..400usize);
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let resamples = rng.gen_range(100..700usize);
+        let seed = rng.gen_range(0..u64::MAX / 2);
+        let serial = par_bootstrap_ci(&data, mean, resamples, 0.9, seed, 1);
+        for workers in WORKER_GRID {
+            let par = par_bootstrap_ci(&data, mean, resamples, 0.9, seed, workers);
+            assert_eq!(serial, par, "case {case}, {workers} workers");
+            assert_eq!(serial.lower.to_bits(), par.lower.to_bits());
+            assert_eq!(serial.upper.to_bits(), par.upper.to_bits());
+        }
+
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let stat = |x: &[f64], y: &[f64]| mean(y) - mean(x);
+        let serial2 = par_bootstrap_ci_two_sample(&data, &b, stat, resamples, 0.9, seed, 1);
+        for workers in WORKER_GRID {
+            let par2 = par_bootstrap_ci_two_sample(&data, &b, stat, resamples, 0.9, seed, workers);
+            assert_eq!(serial2, par2, "two-sample case {case}, {workers} workers");
+        }
+    }
+}
+
+/// Parallel Sinkhorn solves are bitwise-identical for every worker
+/// count — cost, plan, iteration count and convergence flag.
+#[test]
+fn prop_sinkhorn_bitwise_equal_across_workers() {
+    let mut rng = StdRng::seed_from_u64(0xE1_03);
+    for case in 0..CASES {
+        let n = rng.gen_range(3..150usize);
+        let m = rng.gen_range(3..150usize);
+        let p = random_discrete(&mut rng, n);
+        let q = random_discrete(&mut rng, m);
+        let cost = ordinal_cost(n, m);
+        let eps = rng.gen_range(0.05..1.0);
+        let serial = par_sinkhorn(&p, &q, &cost, eps, 300, 1).unwrap();
+        for workers in WORKER_GRID {
+            let par = par_sinkhorn(&p, &q, &cost, eps, 300, workers).unwrap();
+            assert_eq!(
+                serial.iterations, par.iterations,
+                "case {case}, {workers} workers"
+            );
+            assert_eq!(serial.converged, par.converged);
+            assert_eq!(serial.cost.to_bits(), par.cost.to_bits());
+            assert_bits_eq(
+                &serial.plan,
+                &par.plan,
+                &format!("case {case}, {workers} workers, plan"),
+            );
+        }
+    }
+}
+
+/// The fused dot agrees with the scalar reference to rounding on random
+/// lengths (unrolled body + tail both exercised), and gemv equals
+/// per-row dot bitwise.
+#[test]
+fn prop_fused_kernels_match_scalar_reference() {
+    let mut rng = StdRng::seed_from_u64(0xE1_04);
+    for _ in 0..CASES * 4 {
+        let len = rng.gen_range(1..130usize);
+        let a: Vec<f64> = (0..len).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let b: Vec<f64> = (0..len).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let fused = dot(&a, &b);
+        let scalar = dot_scalar(&a, &b);
+        assert!(
+            (fused - scalar).abs() <= 1e-12 * (1.0 + scalar.abs()) * len as f64,
+            "len {len}: fused {fused} vs scalar {scalar}"
+        );
+    }
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..60usize);
+        let d = rng.gen_range(1..40usize);
+        let x = random_matrix(&mut rng, n, d);
+        let w: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let via_gemv = x.matvec(&w);
+        for (i, out) in via_gemv.iter().enumerate() {
+            assert_eq!(out.to_bits(), dot(x.row(i), &w).to_bits());
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //! (the "partial repair" knob).
 
 use fairbridge_stats::descriptive::quantile_sorted;
+use fairbridge_stats::distribution::Discrete;
+use fairbridge_stats::sinkhorn::par_sinkhorn;
 use fairbridge_tabular::{Column, Dataset, Role};
 
 /// Per-group sorted views used by the repair maps.
@@ -98,6 +100,63 @@ impl QuantileRepairer {
             .map(|(&v, &g)| self.repair_value(g as usize, v, lambda))
             .collect()
     }
+}
+
+/// A categorical repair recipe derived from an entropic transport plan:
+/// for each source level, the conditional distribution over target
+/// levels a repaired value should be drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoricalRepairPlan {
+    /// Row-stochastic transition rows, `source.k() × target.k()`
+    /// row-major. Rows of source levels carrying no mass (or unreachable
+    /// under the cost) are all-zero.
+    pub transitions: Vec<f64>,
+    /// Number of target levels per row.
+    pub n_targets: usize,
+    /// The entropic transport cost of the underlying plan.
+    pub cost: f64,
+    /// Whether the Sinkhorn solve converged.
+    pub converged: bool,
+}
+
+impl CategoricalRepairPlan {
+    /// The repair distribution over target levels for `source_level`.
+    pub fn row(&self, source_level: usize) -> &[f64] {
+        &self.transitions[source_level * self.n_targets..(source_level + 1) * self.n_targets]
+    }
+}
+
+/// Fits a categorical repair plan moving a group's level distribution
+/// onto a target (e.g. barycenter or population) distribution under an
+/// explicit level-to-level cost, via the deterministic parallel Sinkhorn
+/// kernel. The ε knob plays the role `lambda` plays for numeric repair:
+/// larger ε spreads each level across more targets (softer repair),
+/// smaller ε approaches the exact OT rounding.
+pub fn entropic_repair_plan(
+    source: &Discrete,
+    target: &Discrete,
+    cost: &[f64],
+    epsilon: f64,
+    workers: usize,
+) -> Result<CategoricalRepairPlan, String> {
+    let result = par_sinkhorn(source, target, cost, epsilon, 5000, workers)?;
+    let m = target.k();
+    let mut transitions = result.plan;
+    for i in 0..source.k() {
+        let row = &mut transitions[i * m..(i + 1) * m];
+        let mass: f64 = row.iter().sum();
+        if mass > 0.0 {
+            for x in row.iter_mut() {
+                *x /= mass;
+            }
+        }
+    }
+    Ok(CategoricalRepairPlan {
+        transitions,
+        n_targets: m,
+        cost: result.cost,
+        converged: result.converged,
+    })
 }
 
 /// Repairs the named numeric feature columns of a dataset toward the
@@ -232,6 +291,34 @@ mod tests {
             repaired.schema().field("score").unwrap().role,
             Role::Feature
         );
+    }
+
+    #[test]
+    fn entropic_plan_rows_are_distributions() {
+        use fairbridge_stats::sinkhorn::ordinal_cost;
+        let source = Discrete::new(vec![0.6, 0.3, 0.1]).unwrap();
+        let target = Discrete::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let plan = entropic_repair_plan(&source, &target, &ordinal_cost(3, 3), 0.05, 1).unwrap();
+        assert!(plan.converged);
+        for i in 0..3 {
+            let sum: f64 = plan.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            assert!(plan.row(i).iter().all(|&x| x >= 0.0));
+        }
+        // Moving mass rightward: level 0 must send some mass to higher
+        // levels since the target is right-heavy.
+        assert!(plan.row(0)[1] + plan.row(0)[2] > 0.1);
+    }
+
+    #[test]
+    fn entropic_plan_on_identical_distributions_is_near_identity() {
+        use fairbridge_stats::sinkhorn::ordinal_cost;
+        let p = Discrete::new(vec![0.25, 0.5, 0.25]).unwrap();
+        let plan = entropic_repair_plan(&p, &p, &ordinal_cost(3, 3), 0.01, 2).unwrap();
+        for i in 0..3 {
+            assert!(plan.row(i)[i] > 0.95, "row {i}: {:?}", plan.row(i));
+        }
+        assert!(plan.cost < 0.05);
     }
 
     #[test]

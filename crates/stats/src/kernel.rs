@@ -1,0 +1,113 @@
+//! The workspace's scalar numeric kernels: fused, unroll-friendly inner
+//! loops shared by the matrix layer in `fairbridge-learn` (which
+//! re-exports them) and the resampling/OT solvers in this crate.
+//!
+//! Each fused kernel keeps eight independent accumulator lanes over the
+//! aligned body of the slice so the compiler can break the one-add-per-
+//! FPU-latency dependency chain of a naive left-to-right sum (and pack
+//! the lanes into vector ops), then combines the lanes pairwise and
+//! adds the scalar tail. That combination order is **fixed**: the same
+//! slices always produce the same bits, which is the foundation of the
+//! bitwise determinism contract the parallel bootstrap, Sinkhorn and
+//! trainer paths promise. The parallel callers therefore always hand
+//! *whole* logical units (matrix rows, kernel rows) to these functions
+//! and never split one unit across workers.
+//!
+//! The single-accumulator reference implementations ([`dot_scalar`])
+//! stay in-tree as the baseline `bench_kernels` measures against.
+
+/// Fused dot product: eight independent accumulator lanes over the
+/// aligned body, a scalar pass over the tail, lanes combined pairwise
+/// in the fixed order `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let split = a.len() - a.len() % 8;
+    let mut s = [0.0f64; 8];
+    for (ca, cb) in a[..split].chunks_exact(8).zip(b[..split].chunks_exact(8)) {
+        // Fixed-size views let the backend pack the eight independent
+        // lanes into vector ops; per-lane arithmetic (and therefore the
+        // result bits) is unchanged.
+        let ca: &[f64; 8] = ca.try_into().expect("chunks_exact(8)");
+        let cb: &[f64; 8] = cb.try_into().expect("chunks_exact(8)");
+        for k in 0..8 {
+            s[k] += ca[k] * cb[k];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        tail += x * y;
+    }
+    (((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]))) + tail
+}
+
+/// Scalar reference dot product (one accumulator, strict left-to-right
+/// summation). The baseline for `bench_kernels` and tolerance
+/// cross-checks; hot paths use the fused [`dot`].
+#[inline]
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Fused `y += alpha · x`, unrolled eight-wide. Each output slot is an
+/// independent accumulator, so the result is bitwise-identical to the
+/// naive per-element loop.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let split = x.len() - x.len() % 8;
+    for (cx, cy) in x[..split]
+        .chunks_exact(8)
+        .zip(y[..split].chunks_exact_mut(8))
+    {
+        let cx: &[f64; 8] = cx.try_into().expect("chunks_exact(8)");
+        let cy: &mut [f64; 8] = cy.try_into().expect("chunks_exact(8)");
+        for k in 0..8 {
+            cy[k] += alpha * cx[k];
+        }
+    }
+    for (vx, vy) in x[split..].iter().zip(&mut y[split..]) {
+        *vy += alpha * vx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_dot_matches_scalar_within_rounding() {
+        for len in [0, 1, 3, 4, 7, 8, 11, 64, 129] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).cos()).collect();
+            let f = dot(&a, &b);
+            let s = dot_scalar(&a, &b);
+            assert!(
+                (f - s).abs() < 1e-12 * (1.0 + s.abs()),
+                "len {len}: {f} vs {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic_per_call_shape() {
+        let a: Vec<f64> = (0..101).map(|i| (i as f64).sqrt()).collect();
+        let b: Vec<f64> = (0..101).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn axpy_is_bitwise_equal_to_naive_loop() {
+        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.11).tan()).collect();
+        let mut fused = vec![0.25; 37];
+        let mut naive = fused.clone();
+        axpy(1.75, &x, &mut fused);
+        for (n, v) in naive.iter_mut().zip(&x) {
+            *n += 1.75 * v;
+        }
+        for (a, b) in fused.iter().zip(&naive) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -17,7 +17,10 @@
 //!   mutual information (proxy-discrimination detection, Section IV.B);
 //! * [`hypothesis`] — two-proportion z, χ² independence, Fisher exact,
 //!   permutation tests (significance of subgroup findings, Section IV.C);
-//! * [`bootstrap`] — percentile bootstrap confidence intervals;
+//! * [`bootstrap`] — percentile bootstrap confidence intervals, serial
+//!   and deterministically parallel;
+//! * [`kernel`] — fused dot/axpy inner loops shared with the matrix
+//!   layer (the numeric kernel substrate);
 //! * [`sampling`] — empirical sample-complexity studies of bias detection
 //!   (Section IV.F / experiment E13);
 //! * [`sinkhorn`] — entropic optimal transport on discrete supports;
@@ -35,6 +38,7 @@ pub mod descriptive;
 pub mod distance;
 pub mod distribution;
 pub mod hypothesis;
+pub mod kernel;
 pub mod rng;
 pub mod sampling;
 pub mod sinkhorn;

@@ -6,8 +6,40 @@
 //! a linear program; the entropically regularized version is solved by
 //! Sinkhorn matrix scaling, converging to the true cost as ε → 0. Also
 //! provides the exact 1-D-cost special case for cross-checking.
+//!
+//! The solver runs on the numeric kernel layer: both scaling half-passes
+//! are fused [`dot`] products over **rows** of a Gibbs kernel — the
+//! `Kᵀu` pass reads a cached packed transpose built once per solve, so
+//! it streams sequentially instead of striding down columns. Row updates
+//! within a half-pass are independent, which makes the parallel path
+//! ([`par_sinkhorn`]) trivially bitwise-identical to the serial one: the
+//! same `dot` over the same row produces the same bits no matter which
+//! worker computes it, and `max_delta` is an order-insensitive max.
 
 use crate::distribution::Discrete;
+use crate::kernel::dot;
+use fairbridge_obs::Telemetry;
+use fairbridge_tabular::par::ordered_parallel_map;
+
+/// Convergence tolerance on the scaling-vector max-delta: once an
+/// iteration moves no coordinate of `u` or `v` by more than this, the
+/// solve exits before any further (useless) half-passes and before plan
+/// materialization.
+pub const CONVERGENCE_TOL: f64 = 1e-12;
+
+/// Floor below which a row/column mass `(Kv)ᵢ` or `(Kᵀu)ⱼ` is treated as
+/// an **unreachable support point** rather than divided by. The Gibbs
+/// kernel `exp(-c/ε)` underflows to subnormals (and then to zero) for
+/// costs beyond ~`708·ε`; dividing by such a value would manufacture
+/// `inf`/`NaN` scalings out of pure rounding noise. Points whose mass
+/// falls below the floor get a zero scaling — their unmet marginal shows
+/// up honestly in `marginal_error` instead of poisoning the plan.
+pub const KV_EPSILON_FLOOR: f64 = 1e-300;
+
+/// Rows per parallel half-pass chunk. Fixed (independent of the worker
+/// count); since each row update is already independent, the chunk size
+/// only balances fan-out overhead, never results.
+const ROW_CHUNK: usize = 64;
 
 /// The result of a Sinkhorn solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,16 +52,49 @@ pub struct SinkhornResult {
     pub iterations: usize,
     /// Final marginal violation (L1 of row/col sums vs targets).
     pub marginal_error: f64,
+    /// Whether the scaling iteration reached [`CONVERGENCE_TOL`] before
+    /// exhausting `max_iters`.
+    pub converged: bool,
 }
 
 /// Solves entropic OT between discrete distributions `p` (rows) and `q`
 /// (columns) under `cost[i*q.k()+j]`, with regularization `epsilon`.
+/// Serial convenience wrapper over [`par_sinkhorn`] with one worker.
 pub fn sinkhorn(
     p: &Discrete,
     q: &Discrete,
     cost: &[f64],
     epsilon: f64,
     max_iters: usize,
+) -> Result<SinkhornResult, String> {
+    par_sinkhorn(p, q, cost, epsilon, max_iters, 1)
+}
+
+/// [`sinkhorn`] with the scaling half-passes fanned out across up to
+/// `workers` threads. Bitwise-identical to the serial solve for any
+/// worker count: each row's update is an independent fused dot over the
+/// same kernel row.
+pub fn par_sinkhorn(
+    p: &Discrete,
+    q: &Discrete,
+    cost: &[f64],
+    epsilon: f64,
+    max_iters: usize,
+    workers: usize,
+) -> Result<SinkhornResult, String> {
+    par_sinkhorn_observed(p, q, cost, epsilon, max_iters, workers, &Telemetry::off())
+}
+
+/// [`par_sinkhorn`] recording a `sinkhorn.solve` span and the
+/// `sinkhorn.iterations` counter.
+pub fn par_sinkhorn_observed(
+    p: &Discrete,
+    q: &Discrete,
+    cost: &[f64],
+    epsilon: f64,
+    max_iters: usize,
+    workers: usize,
+    telemetry: &Telemetry,
 ) -> Result<SinkhornResult, String> {
     let (n, m) = (p.k(), q.k());
     if cost.len() != n * m {
@@ -41,33 +106,39 @@ pub fn sinkhorn(
     if max_iters == 0 {
         return Err("max_iters must be positive".to_owned());
     }
-    // Gibbs kernel K = exp(-C/eps).
+    let _span = telemetry.span("sinkhorn.solve");
+
+    // Gibbs kernel K = exp(-C/eps), plus its packed transpose so the
+    // `Kᵀu` half-pass streams rows sequentially instead of striding
+    // down columns of `kernel` with stride `m`.
     let kernel: Vec<f64> = cost.iter().map(|&c| (-c / epsilon).exp()).collect();
+    let mut kernel_t = vec![0.0; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            kernel_t[j * n + i] = kernel[i * m + j];
+        }
+    }
+
     let mut u = vec![1.0; n];
     let mut v = vec![1.0; m];
     let mut iterations = 0;
+    let mut converged = false;
     for it in 0..max_iters {
         iterations = it + 1;
         // u = p ./ (K v)
-        let mut max_delta = 0.0f64;
-        for i in 0..n {
-            let kv: f64 = (0..m).map(|j| kernel[i * m + j] * v[j]).sum();
-            let new_u = if kv > 0.0 { p.p(i) / kv } else { 0.0 };
-            max_delta = max_delta.max((new_u - u[i]).abs());
-            u[i] = new_u;
-        }
-        // v = q ./ (K^T u)
-        for j in 0..m {
-            let ku: f64 = (0..n).map(|i| kernel[i * m + j] * u[i]).sum();
-            let new_v = if ku > 0.0 { q.p(j) / ku } else { 0.0 };
-            max_delta = max_delta.max((new_v - v[j]).abs());
-            v[j] = new_v;
-        }
-        if max_delta < 1e-12 {
+        let du = half_pass(&kernel, m, &v, |i| p.p(i), &mut u, workers);
+        // v = q ./ (Kᵀ u)
+        let dv = half_pass(&kernel_t, n, &u, |j| q.p(j), &mut v, workers);
+        if du.max(dv) < CONVERGENCE_TOL {
+            converged = true;
             break;
         }
     }
-    // Plan and cost.
+    telemetry
+        .counter("sinkhorn.iterations")
+        .add(iterations as u64);
+
+    // Plan and cost — materialized once, after the early exit.
     let mut plan = vec![0.0; n * m];
     let mut total_cost = 0.0;
     for i in 0..n {
@@ -92,7 +163,65 @@ pub fn sinkhorn(
         plan,
         iterations,
         marginal_error: err,
+        converged,
     })
+}
+
+/// One scaling half-pass: `scale[i] = target(i) / (kernel.row(i) ·
+/// other)` for every row, returning the max coordinate delta. Rows whose
+/// mass falls below [`KV_EPSILON_FLOOR`] are unreachable and scale to
+/// zero. Each row is one fused dot over the whole row, so any partition
+/// of rows across workers produces identical bits; `workers <= 1` runs
+/// in place with no allocation.
+fn half_pass(
+    kernel: &[f64],
+    row_len: usize,
+    other: &[f64],
+    target: impl Fn(usize) -> f64 + Sync,
+    scale: &mut [f64],
+    workers: usize,
+) -> f64 {
+    let n = scale.len();
+    let update = |i: usize, cur: f64| {
+        let mass = dot(&kernel[i * row_len..(i + 1) * row_len], other);
+        let new = if mass > KV_EPSILON_FLOOR {
+            target(i) / mass
+        } else {
+            0.0
+        };
+        ((new - cur).abs(), new)
+    };
+    if workers <= 1 || n <= ROW_CHUNK {
+        let mut max_delta = 0.0f64;
+        for (i, s) in scale.iter_mut().enumerate() {
+            let (delta, new) = update(i, *s);
+            max_delta = max_delta.max(delta);
+            *s = new;
+        }
+        return max_delta;
+    }
+    let n_chunks = n.div_ceil(ROW_CHUNK);
+    let scale_ref: &[f64] = scale;
+    let chunks = ordered_parallel_map(n_chunks, workers, |c| {
+        let start = c * ROW_CHUNK;
+        let end = (start + ROW_CHUNK).min(n);
+        let mut out = Vec::with_capacity(end - start);
+        let mut max_delta = 0.0f64;
+        for (i, &cur) in scale_ref[start..end].iter().enumerate() {
+            let (delta, new) = update(start + i, cur);
+            max_delta = max_delta.max(delta);
+            out.push(new);
+        }
+        (out, max_delta)
+    });
+    let mut max_delta = 0.0f64;
+    let mut i = 0;
+    for (vals, delta) in chunks {
+        max_delta = max_delta.max(delta);
+        scale[i..i + vals.len()].copy_from_slice(&vals);
+        i += vals.len();
+    }
+    max_delta
 }
 
 /// The |i − j| cost matrix on ordered categorical support — Sinkhorn with
@@ -156,6 +285,8 @@ mod tests {
         let total: f64 = result.plan.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(result.plan.iter().all(|&x| x >= 0.0));
+        assert!(result.converged);
+        assert!(result.iterations < 5000);
     }
 
     #[test]
@@ -191,5 +322,66 @@ mod tests {
         assert!(sinkhorn(&p, &p, &[0.0; 3], 0.1, 100).is_err());
         assert!(sinkhorn(&p, &p, &ordinal_cost(2, 2), 0.0, 100).is_err());
         assert!(sinkhorn(&p, &p, &ordinal_cost(2, 2), 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn unreachable_support_point_stays_finite() {
+        // Row 0's costs are so large that exp(-c/eps) underflows to 0:
+        // support point 0 of p cannot reach any point of q. The epsilon
+        // floor must keep every output finite and report the unmet mass
+        // through marginal_error instead of emitting NaN/inf.
+        let p = d(&[0.4, 0.6]);
+        let q = d(&[0.5, 0.5]);
+        let cost = vec![1e6, 1e6, 0.0, 1.0];
+        let result = sinkhorn(&p, &q, &cost, 0.1, 500).unwrap();
+        assert!(result.cost.is_finite());
+        assert!(result.plan.iter().all(|x| x.is_finite()));
+        // Row 0 of the plan is empty: its mass (0.4) is unmet on the row
+        // side and missing on the column side, so the L1 error sees it
+        // at least once.
+        let row0: f64 = result.plan[..2].iter().sum();
+        assert_eq!(row0, 0.0);
+        assert!(result.marginal_error >= 0.4);
+    }
+
+    #[test]
+    fn par_sinkhorn_is_bitwise_identical_across_worker_counts() {
+        // 130 support points → three ROW_CHUNK chunks in the fan-out.
+        let pk = 130;
+        let raw: Vec<f64> = (0..pk).map(|i| 1.0 + ((i * 7) % 13) as f64).collect();
+        let total: f64 = raw.iter().sum();
+        let p = d(&raw.iter().map(|x| x / total).collect::<Vec<_>>());
+        let qraw: Vec<f64> = (0..pk).map(|i| 1.0 + ((i * 11) % 17) as f64).collect();
+        let qtotal: f64 = qraw.iter().sum();
+        let q = d(&qraw.iter().map(|x| x / qtotal).collect::<Vec<_>>());
+        let cost = ordinal_cost(pk, pk);
+        let serial = par_sinkhorn(&p, &q, &cost, 0.5, 200, 1).unwrap();
+        for workers in [2, 8] {
+            let par = par_sinkhorn(&p, &q, &cost, 0.5, 200, workers).unwrap();
+            assert_eq!(serial.iterations, par.iterations, "{workers} workers");
+            assert_eq!(
+                serial.cost.to_bits(),
+                par.cost.to_bits(),
+                "{workers} workers"
+            );
+            for (a, b) in serial.plan.iter().zip(&par.plan) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_solve_counts_iterations() {
+        let telemetry = Telemetry::new(std::sync::Arc::new(
+            fairbridge_obs::RingSink::with_capacity(16),
+        ));
+        let p = d(&[0.5, 0.5]);
+        let q = d(&[0.25, 0.75]);
+        let result =
+            par_sinkhorn_observed(&p, &q, &ordinal_cost(2, 2), 0.05, 5000, 1, &telemetry).unwrap();
+        assert_eq!(
+            telemetry.counter("sinkhorn.iterations").get(),
+            result.iterations as u64
+        );
     }
 }

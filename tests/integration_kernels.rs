@@ -1,0 +1,131 @@
+//! Integration: the numeric kernel layer driven end-to-end through the
+//! public crate surface — an encoded synthetic cohort trained with the
+//! buffer-reusing logistic trainer at several worker counts (bitwise
+//! equality), the deterministic parallel bootstrap and Sinkhorn kernels
+//! feeding audit-style quantities, kernel telemetry counters, and the
+//! entropic categorical repair plan built on top of the solver.
+
+use fairbridge::learn::encode::{EncoderConfig, FeatureEncoder};
+use fairbridge::learn::logistic::LogisticTrainer;
+use fairbridge::learn::model::Scorer;
+use fairbridge::mitigate::ot::entropic_repair_plan;
+use fairbridge::obs::{RingSink, Telemetry};
+use fairbridge::prelude::*;
+use fairbridge::stats::bootstrap::{par_bootstrap_ci_observed, par_bootstrap_ci_two_sample};
+use fairbridge::stats::descriptive::mean;
+use fairbridge::stats::rng::StdRng;
+use fairbridge::stats::sinkhorn::{ordinal_cost, par_sinkhorn_observed};
+use fairbridge::stats::Discrete;
+use fairbridge::synth::hiring::{self, HiringConfig};
+use std::sync::Arc;
+
+fn hiring_ds(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    hiring::generate(
+        &HiringConfig {
+            n,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    )
+    .dataset
+}
+
+/// Encoded real-cohort training is bitwise-identical across worker
+/// counts and records kernel telemetry.
+#[test]
+fn encoded_training_is_deterministic_and_observed() {
+    let ds = hiring_ds(4000);
+    let (_, x) = FeatureEncoder::fit_transform(&ds, EncoderConfig::default()).unwrap();
+    let y = ds.labels().unwrap();
+    let sw = vec![1.0; y.len()];
+
+    let telemetry = Telemetry::new(Arc::new(RingSink::with_capacity(64)));
+    let trainer = LogisticTrainer {
+        epochs: 60,
+        ..LogisticTrainer::default()
+    };
+    let serial = trainer.fit_weighted_observed(&x, y, &sw, &telemetry);
+    assert!(telemetry.counter("kernel.gemv_calls").get() >= 1);
+
+    for workers in [2, 8] {
+        let par = LogisticTrainer {
+            workers,
+            ..trainer.clone()
+        }
+        .fit_weighted(&x, y, &sw);
+        assert_eq!(serial, par, "{workers}-worker fit drifted");
+    }
+
+    // The model remains a usable classifier on its training cohort.
+    let acc = x
+        .rows()
+        .zip(y)
+        .filter(|(row, &label)| (serial.score(row) >= 0.5) == label)
+        .count() as f64
+        / y.len() as f64;
+    assert!(acc > 0.7, "accuracy {acc}");
+}
+
+/// A fairness-gap CI computed by the parallel bootstrap matches the
+/// 1-worker run exactly and detects the planted hiring gap.
+#[test]
+fn parallel_bootstrap_detects_hiring_gap_deterministically() {
+    let ds = hiring_ds(4000);
+    let (_, codes) = ds.categorical("sex").unwrap();
+    let y = ds.labels().unwrap();
+    let male: Vec<f64> = y
+        .iter()
+        .zip(codes)
+        .filter_map(|(&l, &c)| (c == 0).then_some(f64::from(l)))
+        .collect();
+    let female: Vec<f64> = y
+        .iter()
+        .zip(codes)
+        .filter_map(|(&l, &c)| (c == 1).then_some(f64::from(l)))
+        .collect();
+    let gap = |m: &[f64], f: &[f64]| mean(m) - mean(f);
+
+    let one = par_bootstrap_ci_two_sample(&male, &female, gap, 600, 0.95, 0xCAFE, 1);
+    let eight = par_bootstrap_ci_two_sample(&male, &female, gap, 600, 0.95, 0xCAFE, 8);
+    assert_eq!(one, eight, "worker count changed the CI");
+    assert!(one.point > 0.05, "planted gap missing: {}", one.point);
+    assert!(one.excludes(0.0), "gap CI should exclude zero: {one:?}");
+
+    // Observed single-sample variant records the resample counter.
+    let telemetry = Telemetry::new(Arc::new(RingSink::with_capacity(64)));
+    par_bootstrap_ci_observed(&male, mean, 250, 0.9, 7, 4, &telemetry);
+    assert_eq!(telemetry.counter("bootstrap.resamples").get(), 250);
+}
+
+/// The observed Sinkhorn solver and the categorical repair plan built on
+/// it agree with the exact ordinal OT cost and count iterations.
+#[test]
+fn sinkhorn_kernel_feeds_categorical_repair() {
+    let p = Discrete::new(vec![0.55, 0.25, 0.12, 0.08]).unwrap();
+    let q = Discrete::new(vec![0.25, 0.25, 0.25, 0.25]).unwrap();
+    let cost = ordinal_cost(4, 4);
+
+    let telemetry = Telemetry::new(Arc::new(RingSink::with_capacity(64)));
+    let tight = par_sinkhorn_observed(&p, &q, &cost, 0.01, 8000, 8, &telemetry).unwrap();
+    assert!(tight.converged);
+    assert_eq!(
+        telemetry.counter("sinkhorn.iterations").get(),
+        tight.iterations as u64
+    );
+    let exact = fairbridge::stats::sinkhorn::exact_ordinal_ot(&p, &q);
+    assert!(
+        (tight.cost - exact).abs() < 0.02,
+        "entropic {} vs exact {exact}",
+        tight.cost
+    );
+
+    let plan = entropic_repair_plan(&p, &q, &cost, 0.05, 8).unwrap();
+    assert!(plan.converged);
+    for i in 0..4 {
+        let sum: f64 = plan.row(i).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "row {i} not stochastic: {sum}");
+    }
+    // The over-represented first level must shed mass rightward.
+    assert!(plan.row(0)[0] < 1.0);
+}
