@@ -15,6 +15,10 @@
 //! and fails if it is empty or any line is not valid JSON — the CI
 //! smoke-check for the evidential trail.
 
+// A CLI entry point legitimately exits with a status code; the
+// workspace-wide deny exists to keep `process::exit` out of libraries.
+#![allow(clippy::exit)]
+
 use fairbridge_bench::{run_all_traced, run_one_traced, EXPERIMENT_IDS};
 use fairbridge_obs::{json, JsonlSink, Telemetry};
 use std::sync::Arc;

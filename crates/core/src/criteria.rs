@@ -519,7 +519,10 @@ mod tests {
         // Section V: "Conditional Demographic Disparity, Equal Opportunity,
         // Equalized Odds, Counterfactual Fairness, Calibration can be
         // considered suitable in different application settings".
-        let mut reachable = std::collections::HashSet::new();
+        // (BTreeSet, not HashSet: the criteria engine's outputs are
+        // ordered evidence, and its tests hold themselves to the same
+        // no-unordered-iteration bar as the engine — fb-lint rule D1.)
+        let mut reachable = std::collections::BTreeSet::new();
         let cases = [
             UseCase::eu_hiring_default(),
             UseCase::us_credit_default(),
@@ -585,6 +588,41 @@ mod tests {
             ..UseCase::us_credit_default()
         };
         assert_eq!(us_outcome.doctrine(), Doctrine::DisparateImpact);
+    }
+
+    /// Regression pinning the *order* of every recommendation list for
+    /// the paper's running example: `recommend` builds its output by
+    /// fixed-order criterion traversal (never by iterating an unordered
+    /// container), so the order is part of the contract — a reordered
+    /// report would be evidence of a determinism regression.
+    #[test]
+    fn recommendation_order_is_pinned() {
+        let rec = recommend(&UseCase::eu_hiring_default());
+        let defs: Vec<Definition> = rec.definitions.iter().map(|r| r.definition).collect();
+        assert_eq!(
+            defs,
+            [
+                Definition::CounterfactualFairness,
+                Definition::ConditionalDemographicDisparity,
+            ]
+        );
+        assert_eq!(
+            rec.audits,
+            [
+                AuditKind::ProxyDetection,
+                AuditKind::FeedbackSimulation,
+                AuditKind::CounterfactualProbe,
+            ]
+        );
+        assert_eq!(
+            rec.mitigations,
+            [
+                MitigationKind::Reweighing,
+                MitigationKind::GroupThresholds,
+                MitigationKind::Suppression,
+                MitigationKind::FairRegularization,
+            ]
+        );
     }
 
     #[test]

@@ -301,9 +301,12 @@ impl StreamingMonitor {
                 }
             })
             .collect();
-        let drift = windows.windows(2).any(|pair| {
-            pair[0].parity_gap > self.config.drift_threshold
-                && pair[1].parity_gap > self.config.drift_threshold
+        let drift = windows.windows(2).any(|pair| match pair {
+            [prev, curr] => {
+                prev.parity_gap > self.config.drift_threshold
+                    && curr.parity_gap > self.config.drift_threshold
+            }
+            _ => false,
         });
         MonitorSnapshot {
             windows,

@@ -16,9 +16,9 @@
 use crate::error::EngineError;
 use fairbridge_metrics::GroupAccumulator;
 use fairbridge_tabular::{Column, Dataset, GroupIndex, GroupKey, GroupSpec};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A row-addressable group partition: sorted keys plus a dense
 /// `row → group-id` map (ids index into [`Partition::keys`]).
@@ -66,6 +66,7 @@ impl Partition {
     /// An empty accumulator structurally compatible with this partition.
     pub fn empty_accumulator(&self, has_labels: bool) -> GroupAccumulator {
         GroupAccumulator::with_keys(self.keys.clone(), has_labels)
+            // fb-lint: allow(P1): keys come from GroupIndex — sorted and unique by construction
             .expect("partition keys are sorted and unique")
     }
 }
@@ -166,6 +167,12 @@ struct CacheEntry {
 
 /// A thread-safe, bounded, LRU-evicting memo of [`Partition`]s keyed by
 /// `(dataset fingerprint, protected-attribute set)`.
+///
+/// The entry map is a `BTreeMap`, not a `HashMap`: the cache sits inside
+/// the deterministic audit engine, and an ordered map guarantees that any
+/// iteration over it (today: the LRU eviction scan) visits entries in key
+/// order on every run — there is no hash-seed randomness anywhere in the
+/// audit path (fb-lint rule D1).
 #[derive(Debug)]
 pub struct PartitionCache {
     capacity: usize,
@@ -174,7 +181,7 @@ pub struct PartitionCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
-    entries: Mutex<HashMap<CacheKey, CacheEntry>>,
+    entries: Mutex<BTreeMap<CacheKey, CacheEntry>>,
 }
 
 impl std::fmt::Debug for CacheEntry {
@@ -208,8 +215,15 @@ impl PartitionCache {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Locks the entry map, absorbing poisoning: the map holds only
+    /// memoized partitions, so a panic in another thread cannot leave it
+    /// logically inconsistent — serving from it stays sound.
+    fn entries(&self) -> MutexGuard<'_, BTreeMap<CacheKey, CacheEntry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Looks up (building on miss) the partition for `(ds, protected)`
@@ -224,7 +238,7 @@ impl PartitionCache {
                 .collect::<Vec<_>>(),
         );
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(entry) = self.entries.lock().expect("cache lock").get_mut(&key) {
+        if let Some(entry) = self.entries().get_mut(&key) {
             entry.last_used = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(CacheLookup {
@@ -237,7 +251,7 @@ impl PartitionCache {
         // expensive part and must not serialize other lookups.
         let built = Arc::new(Partition::build(ds, protected)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("cache lock");
+        let mut entries = self.entries();
         // A racing builder may have inserted meanwhile; keep the first.
         if let Some(entry) = entries.get_mut(&key) {
             entry.last_used = stamp;
@@ -248,13 +262,20 @@ impl PartitionCache {
             });
         }
         while entries.len() >= self.capacity {
+            // Stamps are unique (fetch_add), so the LRU minimum is unique
+            // too; iterating the BTreeMap visits keys in sorted order, so
+            // even a hypothetical tie would break deterministically.
             let oldest = entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty map over capacity");
-            entries.remove(&oldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    entries.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
         }
         entries.insert(
             key,
@@ -295,7 +316,7 @@ impl PartitionCache {
 
     /// Number of cached partitions.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.entries().len()
     }
 
     /// Whether the cache is empty.
@@ -422,6 +443,56 @@ mod tests {
         assert!(cache.fetch(&a, &["g"]).unwrap().hit, "a survived");
         assert!(cache.fetch(&c, &["g"]).unwrap().hit, "c survived");
         assert!(!cache.fetch(&b, &["g"]).unwrap().hit, "b was evicted");
+    }
+
+    /// A dataset whose fingerprint is unique per `v` (row count differs).
+    fn sized(v: usize) -> Dataset {
+        let n = 4 + v;
+        Dataset::builder()
+            .categorical_with_role(
+                "g",
+                vec!["a", "b"],
+                (0..n).map(|i| (i % 2) as u32).collect(),
+                Role::Protected,
+            )
+            .boolean_with_role("y", (0..n).map(|i| i % 2 == 0).collect(), Role::Label)
+            .build()
+            .unwrap()
+    }
+
+    /// Regression for the D1 determinism hazard this module used to
+    /// carry: the entry map is ordered (`BTreeMap`), so every observable
+    /// of an identical workload — hit pattern, survivors, stats — is
+    /// identical run to run, with no hash-seed state to diverge.
+    #[test]
+    fn cache_observables_are_iteration_order_independent() {
+        let workload = [0usize, 1, 2, 0, 1, 3, 0, 4, 1];
+        let run = || {
+            let cache = PartitionCache::with_capacity(3);
+            let hits: Vec<bool> = workload
+                .iter()
+                .map(|&v| cache.fetch(&sized(v), &["g"]).unwrap().hit)
+                .collect();
+            let evictions = cache.stats().evictions;
+            let probes: Vec<bool> = (0..5)
+                .map(|v| cache.fetch(&sized(v), &["g"]).unwrap().hit)
+                .collect();
+            (hits, probes, evictions)
+        };
+        let (hits, probes, evictions) = run();
+        // Pinned by hand from the LRU semantics: after the workload the
+        // cache holds {0, 1, 4}. The probe pass is itself a workload —
+        // probe misses insert and evict — so probe 2 evicts the LRU
+        // entry and by probe 4 that key is gone again. All of that is
+        // part of the pinned, order-independent behaviour.
+        assert_eq!(
+            hits,
+            [false, false, false, true, true, false, true, false, false]
+        );
+        assert_eq!(probes, [true, true, false, false, false]);
+        assert_eq!(evictions, 3);
+        // And the whole thing replays bitwise.
+        assert_eq!(run(), (hits, probes, evictions));
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! fb-lint's rules are *lexical*: they match token sequences, never types.
+//! That keeps the pass zero-dependency and fast, but it means the lexer
+//! must be scrupulous about the places where naive text matching lies —
+//! string literals (including raw and byte strings), nested block
+//! comments, char literals vs. lifetimes, and numeric suffixes. Comments
+//! are kept as tokens: the `// SAFETY:` rule (U1) and the
+//! `fb-lint: allow(...)` suppression markers read them.
+//!
+//! The lexer is intentionally forgiving: an unterminated string or
+//! comment consumes to end of input rather than erroring, because lint
+//! input is assumed to be code `rustc` already accepts (fixtures aside).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, ...).
+    Ident,
+    /// Integer literal (`0`, `42u32`, `0xff`).
+    Int,
+    /// Float literal (`0.0`, `1e-3`, `2.5f32`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct,
+    /// `// ...` comment (text includes the slashes).
+    LineComment,
+    /// `/* ... */` comment, possibly nested and multi-line.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// 1-based line of the token's last character (differs from
+    /// [`Token::line`] only for multi-line tokens such as block comments
+    /// and raw strings).
+    pub fn end_line(&self) -> u32 {
+        let newlines = self.text.matches('\n').count() as u32;
+        self.line.saturating_add(newlines)
+    }
+
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: malformed input degrades
+/// to best-effort tokens (see module docs).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text: String = self
+            .chars
+            .get(start..self.pos)
+            .unwrap_or_default()
+            .iter()
+            .collect();
+        self.out.push(Token { kind, text, line });
+    }
+
+    /// Advances one char, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek(0) == Some('\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if self.at_string_start() {
+                self.string();
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident();
+            } else {
+                let (start, line) = (self.pos, self.line);
+                self.bump();
+                self.push(TokKind::Punct, start, line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+        self.push(TokKind::BlockComment, start, line);
+    }
+
+    /// Is the cursor at the start of any string literal? Handles `"…"`,
+    /// `r"…"`, `r#"…"#` (any hash count), `b"…"`, `br#"…"#`.
+    fn at_string_start(&self) -> bool {
+        match self.peek(0) {
+            Some('"') => true,
+            Some('r') => self.raw_hash_count(1).is_some(),
+            Some('b') => match self.peek(1) {
+                Some('"') => true,
+                Some('r') => self.raw_hash_count(2).is_some(),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// If `r`/`br` at `offset` begins a raw string, the number of `#`s.
+    fn raw_hash_count(&self, offset: usize) -> Option<usize> {
+        let mut hashes = 0usize;
+        loop {
+            match self.peek(offset + hashes) {
+                Some('#') => hashes += 1,
+                Some('"') => return Some(hashes),
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        // Skip the prefix (`r`, `b`, `br`) and count raw hashes.
+        let mut raw_hashes: Option<usize> = None;
+        if self.peek(0) == Some('r') {
+            raw_hashes = self.raw_hash_count(1);
+        } else if self.peek(0) == Some('b') {
+            if self.peek(1) == Some('r') {
+                raw_hashes = self.raw_hash_count(2);
+                self.bump();
+            }
+            self.bump();
+        }
+        if let Some(h) = raw_hashes {
+            self.bump(); // `r`
+            for _ in 0..h {
+                self.bump();
+            }
+        }
+        self.bump(); // opening quote
+        match raw_hashes {
+            Some(h) => {
+                // Scan for `"` followed by `h` hashes.
+                while let Some(c) = self.peek(0) {
+                    if c == '"' && (1..=h).all(|k| self.peek(k) == Some('#')) {
+                        self.bump();
+                        for _ in 0..h {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            None => {
+                while let Some(c) = self.peek(0) {
+                    if c == '\\' {
+                        self.bump();
+                        self.bump();
+                    } else if c == '"' {
+                        self.bump();
+                        break;
+                    } else {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            // 'x' is a char only if a closing quote follows the payload;
+            // otherwise it's a lifetime ('a in `&'a str`, 'static, ...).
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        if is_char {
+            self.bump(); // opening quote
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    self.bump();
+                    self.bump();
+                } else if c == '\'' {
+                    self.bump();
+                    break;
+                } else {
+                    self.bump();
+                }
+            }
+            self.push(TokKind::Char, start, line);
+        } else {
+            self.bump(); // quote
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, start, line);
+        }
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c == '_' || c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(0), Some(c) if c == '_' || c.is_ascii_digit()) {
+                self.bump();
+            }
+            // Fractional part: a dot followed by a digit (so `1..n` ranges
+            // and `1.max(2)` method calls stay integers).
+            if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+                float = true;
+                self.bump();
+                while matches!(self.peek(0), Some(c) if c == '_' || c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let sign = usize::from(matches!(self.peek(1), Some('+') | Some('-')));
+                if matches!(self.peek(1 + sign), Some(c) if c.is_ascii_digit()) {
+                    float = true;
+                    self.bump();
+                    if sign == 1 {
+                        self.bump();
+                    }
+                    while matches!(self.peek(0), Some(c) if c.is_ascii_digit()) {
+                        self.bump();
+                    }
+                }
+            }
+            // Suffix (`u32`, `f64`, ...).
+            let suffix_start = self.pos;
+            while matches!(self.peek(0), Some(c) if c == '_' || c.is_ascii_alphanumeric()) {
+                self.bump();
+            }
+            let suffix: String = self
+                .chars
+                .get(suffix_start..self.pos)
+                .unwrap_or_default()
+                .iter()
+                .collect();
+            if suffix.contains("f32") || suffix.contains("f64") {
+                float = true;
+            }
+        }
+        self.push(
+            if float { TokKind::Float } else { TokKind::Int },
+            start,
+            line,
+        );
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            self.bump();
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = a.b[0] + 1.5e3;");
+        assert!(toks.contains(&(TokKind::Ident, "let".into())));
+        assert!(toks.contains(&(TokKind::Int, "0".into())));
+        assert!(toks.contains(&(TokKind::Float, "1.5e3".into())));
+    }
+
+    #[test]
+    fn ranges_and_method_calls_on_ints_stay_ints() {
+        let toks = kinds("for i in 1..10 { 2.max(3); }");
+        assert!(toks.contains(&(TokKind::Int, "1".into())));
+        assert!(toks.contains(&(TokKind::Int, "10".into())));
+        assert!(toks.contains(&(TokKind::Int, "2".into())));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn float_suffixes_are_floats() {
+        let toks = kinds("fold(0f64, 1_0.5, 3f32)");
+        assert!(toks.contains(&(TokKind::Float, "0f64".into())));
+        assert!(toks.contains(&(TokKind::Float, "1_0.5".into())));
+        assert!(toks.contains(&(TokKind::Float, "3f32".into())));
+    }
+
+    #[test]
+    fn strings_swallow_code_lookalikes() {
+        let toks = kinds(r#"let s = "x.unwrap() /* not a comment */";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!toks.contains(&(TokKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks =
+            kinds(r###"let s = r#"panic!("inside")"#; let b = b"bytes"; let br = br#"raw"#;"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+        assert!(!toks.contains(&(TokKind::Ident, "panic".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b // tail .unwrap()\nc");
+        assert!(toks.contains(&(TokKind::Ident, "a".into())));
+        assert!(toks.contains(&(TokKind::Ident, "b".into())));
+        assert!(toks.contains(&(TokKind::Ident, "c".into())));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(!toks.contains(&(TokKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) -> char { '\n' } let q = 'q';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = tokenize("a\n/* two\nlines */\nb\n\"multi\nline\"\nc");
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.text == name)
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 7);
+        let block = toks
+            .iter()
+            .find(|t| t.kind == TokKind::BlockComment)
+            .expect("block comment token");
+        assert_eq!((block.line, block.end_line()), (2, 3));
+    }
+}

@@ -1,0 +1,51 @@
+//! # fairbridge-lint
+//!
+//! In-tree static analysis (`fb-lint`) for the fairbridge workspace: a
+//! zero-dependency pass, built on a small hand-rolled Rust lexer, that
+//! proves repo-specific determinism and panic-safety invariants hold in
+//! *every* source file — not only on the paths the equivalence tests
+//! sample.
+//!
+//! Why a bespoke linter: the properties that make fairbridge audits
+//! *reproducible evidence* (paper §IV.E manipulation-robustness, §IV.F
+//! sampling soundness) are workspace conventions clippy cannot express —
+//! "all fan-out goes through `ordered_parallel_map`", "no wall-clock
+//! reads outside the telemetry layer", "float reductions share the
+//! kernel's fixed order". fb-lint checks exactly those (rules
+//! [`Rule::D1`]–[`Rule::D4`]), plus the panic-site ratchet ([`Rule::P1`])
+//! and `// SAFETY:` discipline ([`Rule::U1`]).
+//!
+//! Existing debt is grandfathered in `lint_baseline.json` and can only
+//! shrink: new violations fail CI, `--update-baseline` refuses to grow
+//! the committed total unless `--allow-growth` is explicit. See
+//! [`baseline`] for the ratchet and [`rules`] for each rule's rationale
+//! (`fb-lint --explain <RULE>` prints it).
+//!
+//! ```
+//! use fairbridge_lint::rules::{check_source, Rule};
+//!
+//! let report = check_source(
+//!     "crates/engine/src/demo.rs",
+//!     "use std::collections::HashMap;\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+//! );
+//! assert_eq!(report.findings.len(), 2);
+//! assert_eq!(report.findings[0].rule, Rule::D1);
+//! assert_eq!(report.findings[1].rule, Rule::P1);
+//! ```
+//!
+//! [`Rule::D1`]: rules::Rule::D1
+//! [`Rule::D4`]: rules::Rule::D4
+//! [`Rule::P1`]: rules::Rule::P1
+//! [`Rule::U1`]: rules::Rule::U1
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod scope;
+
+pub use baseline::{diff, Baseline, Diff};
+pub use rules::{check_source, FileReport, Finding, Rule, ALL_RULES};
+pub use scan::{scan_tree, ScanReport};

@@ -1,0 +1,275 @@
+//! `fb-lint` — the workspace determinism & panic-safety linter.
+//!
+//! Usage:
+//!
+//! ```text
+//! fb-lint [--root DIR] [--baseline FILE] [--json]
+//!         [--update-baseline [--allow-growth]]
+//!         [--explain RULE]
+//! ```
+//!
+//! Exit codes: `0` clean (no violations beyond the baseline), `1` new
+//! violations or a refused ratchet update, `2` usage or I/O error.
+//!
+//! Environment:
+//! * `FB_LINT_TELEMETRY=<path>` — write the pass's own telemetry
+//!   (spans, `lint.*` counters, the `lint_completed` event) as JSONL.
+//! * `FB_BENCH_JSON=<path>` — append one violation-count record to the
+//!   bench sidecar, so lint debt is tracked alongside performance.
+
+use fairbridge_lint::baseline::{diff, report_json, Baseline};
+use fairbridge_lint::rules::{Rule, ALL_RULES};
+use fairbridge_lint::scan::scan_tree;
+use fairbridge_obs::{JsonlSink, Telemetry};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    root: PathBuf,
+    baseline_path: Option<PathBuf>,
+    json: bool,
+    update_baseline: bool,
+    allow_growth: bool,
+    explain: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "fb-lint: fairbridge determinism & panic-safety static analysis\n\
+     \n\
+     USAGE: fb-lint [OPTIONS]\n\
+     \n\
+     OPTIONS:\n\
+       --root DIR           workspace root (default: .)\n\
+       --baseline FILE      baseline path (default: <root>/lint_baseline.json)\n\
+       --json               machine-readable report on stdout\n\
+       --update-baseline    rewrite the baseline from the current tree\n\
+       --allow-growth       permit --update-baseline to raise the total\n\
+       --explain RULE       print one rule's rationale (D1 D2 D3 D4 P1 U1)\n\
+       --help               this text\n"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline_path: None,
+        json: false,
+        update_baseline: false,
+        allow_growth: false,
+        explain: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a value".to_owned())?);
+            }
+            "--baseline" => {
+                opts.baseline_path = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--baseline needs a value".to_owned())?,
+                ));
+            }
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--allow-growth" => opts.allow_growth = true,
+            "--explain" => {
+                opts.explain = Some(
+                    it.next()
+                        .ok_or_else(|| "--explain needs a rule id".to_owned())?
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => return Err("help".to_owned()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn telemetry_from_env() -> Telemetry {
+    match std::env::var("FB_LINT_TELEMETRY") {
+        Ok(path) if !path.is_empty() => match JsonlSink::create(&path) {
+            Ok(sink) => Telemetry::new(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("fb-lint: FB_LINT_TELEMETRY: cannot open {path}: {e}");
+                Telemetry::off()
+            }
+        },
+        _ => Telemetry::off(),
+    }
+}
+
+/// Appends the violation counts to the `FB_BENCH_JSON` sidecar so debt
+/// trajectory rides the same file as performance numbers.
+fn write_bench_sidecar(files_scanned: usize, per_rule: &[(Rule, usize)], total: usize) {
+    let Ok(path) = std::env::var("FB_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut rules = String::new();
+    for (i, (rule, n)) in per_rule.iter().enumerate() {
+        if i > 0 {
+            rules.push(',');
+        }
+        rules.push_str(&format!("\"{}\":{n}", rule.id()));
+    }
+    let line = format!(
+        "{{\"label\":\"fb-lint\",\"mode\":\"lint\",\"files_scanned\":{files_scanned},\"violations\":{{{rules}}},\"total\":{total}}}\n"
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("fb-lint: FB_BENCH_JSON: {path}: {e}");
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if let Some(rule_id) = &opts.explain {
+        let rule = Rule::parse(rule_id)
+            .ok_or_else(|| format!("unknown rule `{rule_id}` (try D1 D2 D3 D4 P1 U1)"))?;
+        println!("{}", rule.explain());
+        return Ok(true);
+    }
+
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint_baseline.json"));
+
+    let telemetry = telemetry_from_env();
+    let report = scan_tree(&opts.root, &telemetry)?;
+    telemetry.flush();
+
+    let current = Baseline::from_findings(&report.findings);
+    let per_rule: Vec<(Rule, usize)> = ALL_RULES
+        .iter()
+        .map(|r| (*r, report.findings.iter().filter(|f| f.rule == *r).count()))
+        .collect();
+    write_bench_sidecar(report.files_scanned, &per_rule, report.findings.len());
+
+    if opts.update_baseline {
+        let old_total = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Some(Baseline::from_json(&text)?.total()),
+            Err(_) => None,
+        };
+        if let Some(old) = old_total {
+            if current.total() > old && !opts.allow_growth {
+                return Err(format!(
+                    "ratchet: refusing to grow the baseline ({} -> {} violations); fix the new \
+                     findings or pass --allow-growth to record the regression deliberately",
+                    old,
+                    current.total()
+                ));
+            }
+        }
+        std::fs::write(&baseline_path, current.to_json())
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        println!(
+            "fb-lint: baseline updated: {} violations across {} files ({})",
+            current.total(),
+            current.counts.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::from_json(&text)?,
+        Err(_) => {
+            eprintln!(
+                "fb-lint: note: no baseline at {} — treating all findings as new \
+                 (run --update-baseline to grandfather current debt)",
+                baseline_path.display()
+            );
+            Baseline::default()
+        }
+    };
+    let d = diff(&report.findings, &baseline);
+
+    if opts.json {
+        println!(
+            "{}",
+            report_json(
+                report.files_scanned,
+                &report.findings,
+                &report.suppressed,
+                &baseline,
+                &d
+            )
+        );
+    } else {
+        println!(
+            "fb-lint: scanned {} files: {} violations ({} baseline, {} new, {} fixed, {} suppressed)",
+            report.files_scanned,
+            report.findings.len(),
+            baseline.total(),
+            d.new_cells
+                .iter()
+                .map(|(_, _, cur, base, _)| cur - base)
+                .sum::<usize>(),
+            d.fixed(),
+            report.suppressed.len()
+        );
+        for (rule, n) in &per_rule {
+            let base = baseline.rule_totals().get(rule).copied().unwrap_or(0);
+            println!(
+                "  {}  {:>4} (baseline {:>4})  {}",
+                rule.id(),
+                n,
+                base,
+                rule.title()
+            );
+        }
+        if !d.new_cells.is_empty() {
+            println!("\nnew violations (cells above their grandfathered count):");
+            for (file, rule, cur, base, findings) in &d.new_cells {
+                println!(
+                    "  {file} [{}]: {cur} found, {base} grandfathered:",
+                    rule.id()
+                );
+                for f in findings {
+                    println!("    {}:{}: {}", f.file, f.line, f.message);
+                }
+            }
+            println!(
+                "\nfix the new findings (see `fb-lint --explain <RULE>`), or suppress a \
+                 deliberate exception with `// fb-lint: allow(<RULE>): reason`"
+            );
+        }
+        if d.clean() && d.fixed() > 0 {
+            println!(
+                "\n{} grandfathered violations fixed — run `fb-lint --update-baseline` to \
+                 ratchet the baseline down",
+                d.fixed()
+            );
+        }
+    }
+    Ok(d.clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) if e == "help" => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fb-lint: error: {e}");
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

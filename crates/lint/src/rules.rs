@@ -1,0 +1,536 @@
+//! The rule set: repo-specific determinism and panic-safety invariants.
+//!
+//! Each rule is a lexical check over the token stream of one file, scoped
+//! by crate (parsed from the `crates/<name>/src/…` path) and by test
+//! flags from [`crate::scope`]. The rules encode invariants the PR 1–4
+//! equivalence tests only *sample*; here they are enforced everywhere:
+//!
+//! * **D1** — no `HashMap`/`HashSet` in determinism-sensitive crates.
+//!   Unordered iteration is the classic source of run-to-run divergence;
+//!   audits must be bitwise-reproducible evidence.
+//! * **D2** — no `std::thread::spawn`/`scope` outside `tabular::par`.
+//!   All fan-out goes through `ordered_parallel_map`, whose seed-order
+//!   merge is what makes parallel audits deterministic.
+//! * **D3** — no `Instant::now`/`SystemTime` outside `fairbridge-obs`
+//!   and the bench harness. Wall-clock reads in audit paths leak
+//!   nondeterminism into results and make replays lie.
+//! * **D4** — no raw `.sum::<f64>()`/`.fold(0.0, …)` float reductions in
+//!   kernel-client crates; route through `stats::kernel::{sum,dot,axpy}`
+//!   so every path shares one fixed reduction order.
+//! * **P1** — no `.unwrap()`/`.expect()`/`panic!`/`unreachable!`/
+//!   slice-indexing-by-literal in non-test library code. A production
+//!   audit service must degrade to typed errors, not crash mid-request.
+//! * **U1** — every `unsafe` block carries a `// SAFETY:` comment.
+//!
+//! A finding on line *L* is suppressed by a comment on *L* or *L−1*
+//! containing `fb-lint: allow(RULE): reason` — the documented escape
+//! hatch (e.g. a sort-wrapped map iteration for D1).
+
+use crate::lexer::{TokKind, Token};
+
+/// Crates whose outputs are audit evidence: any unordered iteration here
+/// can change reported numbers between runs.
+pub const D1_CRATES: &[&str] = &["metrics", "engine", "audit", "stats", "tabular", "mitigate"];
+
+/// Crates that consume `stats::kernel` reductions (D4 scope).
+pub const D4_CRATES: &[&str] = &["metrics", "engine", "audit", "mitigate", "learn"];
+
+/// Crates exempt from D3 (they own the clocks).
+pub const D3_EXEMPT_CRATES: &[&str] = &["obs", "bench"];
+
+/// Crates exempt from P1 (the experiment harness: a failed check panics
+/// by design, and exit-on-panic is its reporting mechanism).
+pub const P1_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// The one file allowed to spawn threads (D2).
+pub const D2_EXEMPT_FILE: &str = "crates/tabular/src/par.rs";
+
+/// Rule identifiers, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered-container use in determinism-sensitive crates.
+    D1,
+    /// Thread spawn/scope outside `tabular::par`.
+    D2,
+    /// Wall-clock reads outside the telemetry/bench layers.
+    D3,
+    /// Raw float accumulation where the fixed-order kernel exists.
+    D4,
+    /// Panic sites in non-test library code.
+    P1,
+    /// `unsafe` without a `// SAFETY:` comment.
+    U1,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::P1, Rule::U1];
+
+impl Rule {
+    /// Stable identifier (used in reports, baselines and allow-markers).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::P1 => "P1",
+            Rule::U1 => "U1",
+        }
+    }
+
+    /// Parses a rule identifier (case-insensitive).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "D4" => Some(Rule::D4),
+            "P1" => Some(Rule::P1),
+            "U1" => Some(Rule::U1),
+            _ => None,
+        }
+    }
+
+    /// One-line summary.
+    pub fn title(self) -> &'static str {
+        match self {
+            Rule::D1 => "no HashMap/HashSet in determinism-sensitive crates",
+            Rule::D2 => "no thread::spawn/scope outside tabular::par",
+            Rule::D3 => "no Instant::now/SystemTime outside obs and bench",
+            Rule::D4 => "no raw f64 sum/fold where stats::kernel exists",
+            Rule::P1 => "no panic sites in non-test library code",
+            Rule::U1 => "every unsafe block needs a // SAFETY: comment",
+        }
+    }
+
+    /// Full `--explain` text: what, why (the evidentiary rationale), how
+    /// to fix, and how to suppress.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "D1: no HashMap/HashSet in determinism-sensitive crates\n\
+                 \n\
+                 Scope: crates/{metrics,engine,audit,stats,tabular,mitigate}/src, non-test code.\n\
+                 \n\
+                 Why: these crates produce audit evidence. Iterating a std HashMap/HashSet\n\
+                 visits entries in a per-process random order (SipHash seeding), so any value\n\
+                 that flows out of such iteration — group orderings, merge orders, float\n\
+                 accumulation orders — can differ between two runs on identical input. A\n\
+                 fairness audit that is not bitwise-reproducible is not evidence (paper §IV.E:\n\
+                 robustness to manipulation; §IV.F: sampling soundness). The rule is\n\
+                 conservative: it flags the *types*, not just iteration, because holding an\n\
+                 unordered map invites iterating it later.\n\
+                 \n\
+                 Fix: use BTreeMap/BTreeSet (ordered), a sorted Vec, or interned u32 keys\n\
+                 with dense indexing (see tabular::groups). If an unordered map is genuinely\n\
+                 required and every iteration is sort-wrapped, document it:\n\
+                 \n\
+                     // fb-lint: allow(D1): iteration is sort-wrapped below; keys are …\n"
+            }
+            Rule::D2 => {
+                "D2: no thread::spawn/scope outside tabular::par\n\
+                 \n\
+                 Scope: all crates/*/src, non-test code, except crates/tabular/src/par.rs.\n\
+                 \n\
+                 Why: fairbridge's parallel results are bitwise-identical to sequential ones\n\
+                 because every fan-out goes through ordered_parallel_map, which merges worker\n\
+                 results in seed order regardless of completion order. Ad-hoc std::thread\n\
+                 usage reintroduces completion-order dependence (and uninstrumented threads\n\
+                 the telemetry layer cannot attribute).\n\
+                 \n\
+                 Fix: express the computation as ordered_parallel_map(items, workers, f),\n\
+                 or extend tabular::par if the shape genuinely does not fit.\n"
+            }
+            Rule::D3 => {
+                "D3: no Instant::now/SystemTime outside obs and bench\n\
+                 \n\
+                 Scope: all crates/*/src, non-test code, except crates/obs and crates/bench.\n\
+                 \n\
+                 Why: audit outputs must be a pure function of (dataset, configuration,\n\
+                 seed). A wall-clock read in an audit path either leaks into results\n\
+                 (nondeterminism) or silently couples behaviour to machine load. Timing\n\
+                 belongs to the telemetry layer: spans measure, events carry elapsed_ns,\n\
+                 and Telemetry::now_ns() is the sanctioned monotonic read (one flag check\n\
+                 when disabled).\n\
+                 \n\
+                 Fix: take time through fairbridge_obs::Telemetry (span() or now_ns()),\n\
+                 or move the measurement into the bench harness.\n"
+            }
+            Rule::D4 => {
+                "D4: no raw f64 sum/fold where stats::kernel exists\n\
+                 \n\
+                 Scope: crates/{metrics,engine,audit,mitigate,learn}/src, non-test code.\n\
+                 Patterns: .sum::<f64>() and .fold(<float literal>, …).\n\
+                 \n\
+                 Why: float addition is not associative; every distinct accumulation order\n\
+                 is a distinct rounding. stats::kernel::{sum,dot,axpy} fix one blocked\n\
+                 8-lane order that the kernels, the parallel bootstrap and the trainers all\n\
+                 share — a raw .sum() beside them silently computes a *different* number\n\
+                 for the same data, which is exactly the cross-path drift the PR 4\n\
+                 equivalence suites exist to prevent.\n\
+                 \n\
+                 Fix: use fairbridge_stats::kernel::sum (or dot/axpy) for hot-path or\n\
+                 cross-path reductions. Existing sites are grandfathered in the baseline;\n\
+                 migrate them when a bitwise change is acceptable and covered by tests.\n"
+            }
+            Rule::P1 => {
+                "P1: no panic sites in non-test library code\n\
+                 \n\
+                 Scope: all crates/*/src except crates/bench, non-test code.\n\
+                 Patterns: .unwrap(), .expect(…), panic!, unreachable!, and slice\n\
+                 indexing by integer literal (x[0]). Indexing is matched lexically and\n\
+                 conservatively: fixed-size array receivers (where x[0] is infallible)\n\
+                 are flagged too, because the linter does no type inference. Such sites\n\
+                 stay grandfathered or carry an allow-marker.\n\
+                 \n\
+                 Why: a production audit service answering a regulator cannot abort\n\
+                 mid-request. Every panic site is a latent 500 and, worse, a truncated\n\
+                 evidential trail: the spans and events up to the crash never flush.\n\
+                 Library code returns typed errors (EngineError, tabular::Error) and lets\n\
+                 the caller decide.\n\
+                 \n\
+                 Fix: return Result with a typed error; use .get(i) over x[i]; for locks,\n\
+                 unwrap_or_else(|e| e.into_inner()) on poisoned mutexes. Where a panic is\n\
+                 provably unreachable, document it:\n\
+                 \n\
+                     // fb-lint: allow(P1): keys are sorted and unique by construction\n"
+            }
+            Rule::U1 => {
+                "U1: every unsafe block needs a // SAFETY: comment\n\
+                 \n\
+                 Scope: all crates/*/src, non-test code.\n\
+                 \n\
+                 Why: unsafe code is where the compiler stops checking and the auditor\n\
+                 starts. A SAFETY comment stating the invariant being relied on is the\n\
+                 minimum evidential standard — and its absence is a review smell. The\n\
+                 workspace currently forbids unsafe entirely ([workspace.lints]\n\
+                 unsafe_code = \"forbid\"); this rule keeps any future, deliberately\n\
+                 carved-out exception honest.\n\
+                 \n\
+                 Fix: precede the unsafe block with // SAFETY: <invariant>, on the same\n\
+                 or previous line.\n"
+            }
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What was matched, for the report.
+    pub message: String,
+}
+
+/// The outcome of linting one file: findings, plus the ones an
+/// `fb-lint: allow` marker suppressed (reported for transparency).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileReport {
+    /// Violations that stand.
+    pub findings: Vec<Finding>,
+    /// Violations covered by an allow-marker.
+    pub suppressed: Vec<Finding>,
+}
+
+/// Lints one file's source. `rel_path` must be the repo-relative path
+/// (e.g. `crates/engine/src/partition.rs`); the crate name is parsed
+/// from it.
+pub fn check_source(rel_path: &str, src: &str) -> FileReport {
+    let tokens = crate::lexer::tokenize(src);
+    let flags = crate::scope::test_flags(&tokens);
+    let crate_name = crate_of(rel_path);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !matches!(tokens.get(i), Some(t) if t.is_comment()))
+        .collect();
+    let mut raw: Vec<Finding> = Vec::new();
+
+    let in_test = |ci: usize| -> bool {
+        code.get(ci)
+            .and_then(|&ti| flags.get(ti))
+            .copied()
+            .unwrap_or(false)
+    };
+    let tok = |ci: usize| -> Option<&Token> { code.get(ci).and_then(|&ti| tokens.get(ti)) };
+    let line_of = |ci: usize| -> u32 { tok(ci).map(|t| t.line).unwrap_or(0) };
+    let is = |ci: usize, kind: TokKind, text: &str| -> bool {
+        matches!(tok(ci), Some(t) if t.kind == kind && t.text == text)
+    };
+    let is_kind =
+        |ci: usize, kind: TokKind| -> bool { matches!(tok(ci), Some(t) if t.kind == kind) };
+
+    for ci in 0..code.len() {
+        if in_test(ci) {
+            continue;
+        }
+
+        // --- D1: unordered containers in determinism-sensitive crates ---
+        if D1_CRATES.contains(&crate_name)
+            && (is(ci, TokKind::Ident, "HashMap") || is(ci, TokKind::Ident, "HashSet"))
+        {
+            if let Some(t) = tok(ci) {
+                raw.push(Finding {
+                    rule: Rule::D1,
+                    file: rel_path.to_owned(),
+                    line: t.line,
+                    message: format!("`{}` in determinism-sensitive crate `{crate_name}`", t.text),
+                });
+            }
+        }
+
+        // --- D2: thread spawn/scope outside tabular::par ---
+        if rel_path != D2_EXEMPT_FILE
+            && is(ci, TokKind::Ident, "thread")
+            && is(ci + 1, TokKind::Punct, ":")
+            && is(ci + 2, TokKind::Punct, ":")
+            && (is(ci + 3, TokKind::Ident, "spawn") || is(ci + 3, TokKind::Ident, "scope"))
+        {
+            let what = tok(ci + 3).map(|t| t.text.clone()).unwrap_or_default();
+            raw.push(Finding {
+                rule: Rule::D2,
+                file: rel_path.to_owned(),
+                line: line_of(ci),
+                message: format!("`thread::{what}` outside tabular::par"),
+            });
+        }
+
+        // --- D3: wall-clock reads outside obs/bench ---
+        if !D3_EXEMPT_CRATES.contains(&crate_name) {
+            if is(ci, TokKind::Ident, "Instant")
+                && is(ci + 1, TokKind::Punct, ":")
+                && is(ci + 2, TokKind::Punct, ":")
+                && is(ci + 3, TokKind::Ident, "now")
+            {
+                raw.push(Finding {
+                    rule: Rule::D3,
+                    file: rel_path.to_owned(),
+                    line: line_of(ci),
+                    message: "`Instant::now` outside the telemetry/bench layers".to_owned(),
+                });
+            }
+            if is(ci, TokKind::Ident, "SystemTime") {
+                raw.push(Finding {
+                    rule: Rule::D3,
+                    file: rel_path.to_owned(),
+                    line: line_of(ci),
+                    message: "`SystemTime` outside the telemetry/bench layers".to_owned(),
+                });
+            }
+        }
+
+        // --- D4: raw float reductions in kernel-client crates ---
+        if D4_CRATES.contains(&crate_name) && is(ci, TokKind::Punct, ".") {
+            if is(ci + 1, TokKind::Ident, "sum")
+                && is(ci + 2, TokKind::Punct, ":")
+                && is(ci + 3, TokKind::Punct, ":")
+                && is(ci + 4, TokKind::Punct, "<")
+                && is(ci + 5, TokKind::Ident, "f64")
+                && is(ci + 6, TokKind::Punct, ">")
+            {
+                raw.push(Finding {
+                    rule: Rule::D4,
+                    file: rel_path.to_owned(),
+                    line: line_of(ci + 1),
+                    message: "raw `.sum::<f64>()` — use stats::kernel::sum".to_owned(),
+                });
+            }
+            if is(ci + 1, TokKind::Ident, "fold")
+                && is(ci + 2, TokKind::Punct, "(")
+                && is_kind(ci + 3, TokKind::Float)
+            {
+                raw.push(Finding {
+                    rule: Rule::D4,
+                    file: rel_path.to_owned(),
+                    line: line_of(ci + 1),
+                    message: "raw float `.fold(…)` — use stats::kernel::{sum,dot,axpy}".to_owned(),
+                });
+            }
+        }
+
+        // --- P1: panic sites in library code ---
+        if !P1_EXEMPT_CRATES.contains(&crate_name) {
+            if is(ci, TokKind::Punct, ".")
+                && is(ci + 1, TokKind::Ident, "unwrap")
+                && is(ci + 2, TokKind::Punct, "(")
+                && is(ci + 3, TokKind::Punct, ")")
+            {
+                raw.push(Finding {
+                    rule: Rule::P1,
+                    file: rel_path.to_owned(),
+                    line: line_of(ci + 1),
+                    message: "`.unwrap()` in library code".to_owned(),
+                });
+            }
+            if is(ci, TokKind::Punct, ".")
+                && is(ci + 1, TokKind::Ident, "expect")
+                && is(ci + 2, TokKind::Punct, "(")
+            {
+                raw.push(Finding {
+                    rule: Rule::P1,
+                    file: rel_path.to_owned(),
+                    line: line_of(ci + 1),
+                    message: "`.expect(…)` in library code".to_owned(),
+                });
+            }
+            for mac in ["panic", "unreachable"] {
+                if is(ci, TokKind::Ident, mac) && is(ci + 1, TokKind::Punct, "!") {
+                    raw.push(Finding {
+                        rule: Rule::P1,
+                        file: rel_path.to_owned(),
+                        line: line_of(ci),
+                        message: format!("`{mac}!` in library code"),
+                    });
+                }
+            }
+            // Slice indexing by integer literal: ident/)/] followed by [LIT].
+            if is(ci, TokKind::Punct, "[")
+                && is_kind(ci + 1, TokKind::Int)
+                && is(ci + 2, TokKind::Punct, "]")
+                && ci > 0
+                && matches!(tok(ci - 1), Some(p)
+                    if p.kind == TokKind::Ident
+                        || (p.kind == TokKind::Punct && (p.text == ")" || p.text == "]")))
+            {
+                let lit = tok(ci + 1).map(|t| t.text.clone()).unwrap_or_default();
+                raw.push(Finding {
+                    rule: Rule::P1,
+                    file: rel_path.to_owned(),
+                    line: line_of(ci),
+                    message: format!("slice indexing by literal `[{lit}]` in library code"),
+                });
+            }
+        }
+
+        // --- U1: unsafe without SAFETY comment ---
+        if is(ci, TokKind::Ident, "unsafe") {
+            let line = line_of(ci);
+            let documented = tokens.iter().any(|t| {
+                t.is_comment()
+                    && t.text.contains("SAFETY:")
+                    && t.line <= line
+                    && t.end_line() + 1 >= line
+            });
+            if !documented {
+                raw.push(Finding {
+                    rule: Rule::U1,
+                    file: rel_path.to_owned(),
+                    line,
+                    message: "`unsafe` without a `// SAFETY:` comment".to_owned(),
+                });
+            }
+        }
+    }
+
+    // Partition into findings vs. allow-marker suppressions.
+    let mut report = FileReport::default();
+    for finding in raw {
+        if allowed(&tokens, finding.rule, finding.line) {
+            report.suppressed.push(finding);
+        } else {
+            report.findings.push(finding);
+        }
+    }
+    report.findings.sort_by_key(|f| (f.line, f.rule));
+    report.suppressed.sort_by_key(|f| (f.line, f.rule));
+    report
+}
+
+/// The crate name inside `crates/<name>/…`, or `""`.
+pub fn crate_of(rel_path: &str) -> &str {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+}
+
+/// Whether a comment on `line` or the line above carries
+/// `fb-lint: allow(<rule>…)` for this rule.
+fn allowed(tokens: &[Token], rule: Rule, line: u32) -> bool {
+    tokens.iter().any(|t| {
+        t.is_comment()
+            && t.line <= line
+            && t.end_line() + 1 >= line
+            && comment_allows(&t.text, rule)
+    })
+}
+
+/// Parses `fb-lint: allow(D1, P1): reason` out of a comment.
+fn comment_allows(comment: &str, rule: Rule) -> bool {
+    let Some(idx) = comment.find("fb-lint: allow(") else {
+        return false;
+    };
+    let after = &comment[idx + "fb-lint: allow(".len()..];
+    let Some(close) = after.find(')') else {
+        return false;
+    };
+    after[..close]
+        .split(',')
+        .any(|part| Rule::parse(part) == Some(rule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_name_parsing() {
+        assert_eq!(crate_of("crates/engine/src/partition.rs"), "engine");
+        assert_eq!(crate_of("crates/lint/src/main.rs"), "lint");
+        assert_eq!(crate_of("tests/integration_engine.rs"), "");
+    }
+
+    #[test]
+    fn allow_marker_parses_rule_lists() {
+        assert!(comment_allows(
+            "// fb-lint: allow(D1): sorted below",
+            Rule::D1
+        ));
+        assert!(comment_allows("// fb-lint: allow(D1, P1): both", Rule::P1));
+        assert!(!comment_allows("// fb-lint: allow(D1): sorted", Rule::P1));
+        assert!(!comment_allows("// plain comment", Rule::D1));
+    }
+
+    #[test]
+    fn d1_fires_only_in_sensitive_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let engine = check_source("crates/engine/src/x.rs", src);
+        assert_eq!(engine.findings.len(), 3);
+        assert!(engine.findings.iter().all(|f| f.rule == Rule::D1));
+        let core = check_source("crates/core/src/x.rs", src);
+        assert!(core.findings.is_empty());
+    }
+
+    #[test]
+    fn p1_patterns_and_test_scoping() {
+        let src = "fn f(x: Option<u32>, v: &[u32]) -> u32 { x.unwrap() + v[0] }\n\
+                   #[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); } }\n";
+        let rep = check_source("crates/core/src/x.rs", src);
+        assert_eq!(rep.findings.len(), 2);
+        assert!(rep.findings.iter().all(|f| f.rule == Rule::P1));
+        assert_eq!(rep.findings.first().map(|f| f.line), Some(1));
+    }
+
+    #[test]
+    fn allow_marker_suppresses_and_is_counted() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // fb-lint: allow(P1): provably Some by construction\n\
+                   x.unwrap()\n}\n";
+        let rep = check_source("crates/core/src/x.rs", src);
+        assert!(rep.findings.is_empty());
+        assert_eq!(rep.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn u1_requires_safety_comment() {
+        let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let good = "fn f() {\n// SAFETY: caller guarantees the branch is dead\nunsafe { core::hint::unreachable_unchecked() } }\n";
+        assert_eq!(check_source("crates/core/src/x.rs", bad).findings.len(), 1);
+        assert!(check_source("crates/core/src/x.rs", good)
+            .findings
+            .is_empty());
+    }
+}

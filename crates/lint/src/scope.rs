@@ -1,0 +1,178 @@
+//! Test-scope resolution: which tokens live in test-only code.
+//!
+//! All rules except the fixture assertions skip test code: `#[cfg(test)]`
+//! items (typically `mod tests { … }`), `#[test]` functions, and bare
+//! `mod tests { … }` blocks. The resolver runs one pass over the token
+//! stream, tracking brace depth and the pending effect of test
+//! attributes, and returns a parallel `Vec<bool>` marking every token
+//! (comments included) inside a test region.
+//!
+//! `#[cfg(not(test))]` and `#[cfg_attr(test, …)]` items are *not* test
+//! regions — the code under them is compiled into the library — and the
+//! resolver deliberately leaves them unmarked so the rules still apply.
+
+use crate::lexer::{TokKind, Token};
+
+/// Marks each token as test-scoped (`true`) or library code (`false`).
+pub fn test_flags(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    // Depth at which each active test region started; tokens are test
+    // code while the stack is non-empty.
+    let mut regions: Vec<i64> = Vec::new();
+    let mut depth: i64 = 0;
+    // A test attribute (or `mod tests` header) was seen and will claim
+    // the next `{ … }` block, unless a `;` ends the item first.
+    let mut pending = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let in_test = !regions.is_empty();
+        if let Some(f) = flags.get_mut(i) {
+            *f = in_test;
+        }
+        let tok = match tokens.get(i) {
+            Some(t) => t,
+            None => break,
+        };
+        if tok.is_comment() {
+            i += 1;
+            continue;
+        }
+        match (tok.kind, tok.text.as_str()) {
+            (TokKind::Punct, "#") => {
+                // Attribute: `#[...]` or `#![...]`. Scan to the matching
+                // bracket, collecting identifiers.
+                let mut j = i + 1;
+                if matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct && t.text == "!") {
+                    j += 1;
+                }
+                if matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct && t.text == "[") {
+                    let mut brackets = 0i64;
+                    let mut idents: Vec<&str> = Vec::new();
+                    while let Some(t) = tokens.get(j) {
+                        if let Some(f) = flags.get_mut(j) {
+                            *f = in_test;
+                        }
+                        match (t.kind, t.text.as_str()) {
+                            (TokKind::Punct, "[") => brackets += 1,
+                            (TokKind::Punct, "]") => {
+                                brackets -= 1;
+                                if brackets == 0 {
+                                    break;
+                                }
+                            }
+                            (TokKind::Ident, name) => idents.push(name),
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if is_test_attr(&idents) {
+                        pending = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                if pending {
+                    regions.push(depth);
+                    pending = false;
+                    if let Some(f) = flags.get_mut(i) {
+                        *f = true;
+                    }
+                }
+            }
+            (TokKind::Punct, "}") => {
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                }
+                depth -= 1;
+            }
+            // `#[cfg(test)] use …;` / `mod tests;` — item ends without a
+            // body, so the pending attribute fizzles.
+            (TokKind::Punct, ";") => pending = false,
+            (TokKind::Ident, "mod") => {
+                if matches!(tokens.get(i + 1), Some(t) if t.kind == TokKind::Ident && t.text == "tests")
+                {
+                    pending = true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Whether an attribute's identifier list denotes test-only compilation:
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` — but not
+/// `#[cfg(not(test))]` or `#[cfg_attr(test, …)]`.
+fn is_test_attr(idents: &[&str]) -> bool {
+    if idents == ["test"] {
+        return true;
+    }
+    idents.contains(&"cfg")
+        && idents.contains(&"test")
+        && !idents.contains(&"not")
+        && !idents.contains(&"cfg_attr")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn flagged_idents(src: &str) -> Vec<(String, bool)> {
+        let toks = tokenize(src);
+        let flags = test_flags(&toks);
+        toks.iter()
+            .zip(flags)
+            .filter(|(t, _)| t.kind == TokKind::Ident)
+            .map(|(t, f)| (t.text.clone(), f))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_scoped() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { inner(); } }\nfn lib2() {}";
+        let idents = flagged_idents(src);
+        assert!(idents.contains(&("lib".into(), false)));
+        assert!(idents.contains(&("inner".into(), true)));
+        assert!(idents.contains(&("lib2".into(), false)));
+    }
+
+    #[test]
+    fn bare_mod_tests_is_scoped() {
+        let idents = flagged_idents("mod tests { fn t() { x(); } }\nfn lib() { y(); }");
+        assert!(idents.contains(&("x".into(), true)));
+        assert!(idents.contains(&("y".into(), false)));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_scoped() {
+        let idents = flagged_idents("#[test]\nfn check() { probe(); }\nfn lib() { keep(); }");
+        assert!(idents.contains(&("probe".into(), true)));
+        assert!(idents.contains(&("keep".into(), false)));
+    }
+
+    #[test]
+    fn cfg_not_test_is_library_code() {
+        let idents = flagged_idents("#[cfg(not(test))]\nfn shipped() { real(); }");
+        assert!(idents.contains(&("real".into(), false)));
+    }
+
+    #[test]
+    fn cfg_test_use_without_body_does_not_leak() {
+        let idents =
+            flagged_idents("#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() { z(); }");
+        assert!(idents.contains(&("z".into(), false)));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_region_stay_scoped() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { if a { b(); } } }\nfn c() {}";
+        let idents = flagged_idents(src);
+        assert!(idents.contains(&("b".into(), true)));
+        assert!(idents.contains(&("c".into(), false)));
+    }
+}

@@ -1,0 +1,200 @@
+//! Fixture suite for fb-lint: every rule class is exercised against a
+//! known-violating snippet (exact finding counts asserted), and every
+//! known false-positive trap — test-scoped code, string literals,
+//! comments, attribute brackets, fixed-array type syntax — is asserted
+//! to produce *zero* findings. This is the linter's own regression
+//! harness: if a rule's matcher drifts, these counts move.
+
+use fairbridge_lint::baseline::{diff, report_json, Baseline};
+use fairbridge_lint::rules::{check_source, Rule};
+
+/// Counts findings of one rule in a report run against `crates/<krate>/src/fixture.rs`.
+fn count(krate: &str, src: &str, rule: Rule) -> usize {
+    check_source(&format!("crates/{krate}/src/fixture.rs"), src)
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .count()
+}
+
+// --- D1: unordered containers in determinism-sensitive crates ---------
+
+#[test]
+fn d1_detects_each_container_mention() {
+    let src = "use std::collections::{HashMap, HashSet};\n\
+               pub struct Cache { inner: HashMap<u64, u64>, seen: HashSet<u64> }\n";
+    // 2 in the use list + 2 in the struct body.
+    assert_eq!(count("engine", src, Rule::D1), 4);
+    assert_eq!(count("metrics", src, Rule::D1), 4);
+}
+
+#[test]
+fn d1_silent_in_insensitive_crates_and_on_btree() {
+    let hash = "use std::collections::HashMap;\n";
+    assert_eq!(count("obs", hash, Rule::D1), 0);
+    assert_eq!(count("core", hash, Rule::D1), 0);
+    let btree = "use std::collections::{BTreeMap, BTreeSet};\n";
+    assert_eq!(count("engine", btree, Rule::D1), 0);
+}
+
+#[test]
+fn d1_string_and_comment_traps_do_not_fire() {
+    let src = "// a HashMap would be wrong here\n\
+               /* HashSet too */\n\
+               pub const DOC: &str = \"uses HashMap internally\";\n";
+    assert_eq!(count("engine", src, Rule::D1), 0);
+}
+
+// --- D2: thread spawn/scope outside tabular::par ----------------------
+
+#[test]
+fn d2_detects_spawn_and_scope() {
+    let src = "pub fn f() { std::thread::spawn(|| {}); }\n\
+               pub fn g() { std::thread::scope(|_| {}); }\n";
+    assert_eq!(count("engine", src, Rule::D2), 2);
+}
+
+#[test]
+fn d2_exempts_the_parallel_map_module() {
+    let src = "pub fn f() { std::thread::scope(|_| {}); }\n";
+    let rep = check_source("crates/tabular/src/par.rs", src);
+    assert!(rep.findings.iter().all(|f| f.rule != Rule::D2));
+    // …but the same code in any other tabular file fires.
+    assert_eq!(count("tabular", src, Rule::D2), 1);
+}
+
+// --- D3: wall-clock reads outside obs/bench ---------------------------
+
+#[test]
+fn d3_detects_instant_and_system_time() {
+    let src = "use std::time::{Instant, SystemTime};\n\
+               pub fn f() -> bool { let t = Instant::now(); t.elapsed().as_nanos() > 0 }\n";
+    // SystemTime in the use list + Instant::now in the body.
+    assert_eq!(count("engine", src, Rule::D3), 2);
+}
+
+#[test]
+fn d3_exempts_obs_and_bench() {
+    let src = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert_eq!(count("obs", src, Rule::D3), 0);
+    assert_eq!(count("bench", src, Rule::D3), 0);
+    assert_eq!(count("stats", src, Rule::D3), 1);
+}
+
+// --- D4: raw float reductions in kernel-client crates -----------------
+
+#[test]
+fn d4_detects_sum_turbofish_and_float_fold() {
+    let src = "pub fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n\
+               pub fn g(v: &[f64]) -> f64 { v.iter().fold(0.0, |a, b| a + b) }\n";
+    assert_eq!(count("metrics", src, Rule::D4), 2);
+}
+
+#[test]
+fn d4_ignores_integer_reductions_and_non_client_crates() {
+    let int = "pub fn f(v: &[u64]) -> u64 { v.iter().sum::<u64>() }\n\
+               pub fn g(v: &[u64]) -> u64 { v.iter().fold(0, |a, b| a + b) }\n";
+    assert_eq!(count("metrics", int, Rule::D4), 0);
+    let float = "pub fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n";
+    // stats owns the kernel; it is not a D4 client.
+    assert_eq!(count("stats", float, Rule::D4), 0);
+}
+
+// --- P1: panic sites in non-test library code -------------------------
+
+#[test]
+fn p1_detects_each_panic_site_class() {
+    let src = "pub fn f(x: Option<u32>, v: &[u32]) -> u32 {\n\
+                   let a = x.unwrap();\n\
+                   let b = x.expect(\"present\");\n\
+                   if a > b { panic!(\"impossible\"); }\n\
+                   if b > a { unreachable!(); }\n\
+                   a + v[0]\n\
+               }\n";
+    assert_eq!(count("core", src, Rule::P1), 5);
+}
+
+#[test]
+fn p1_skips_test_scoped_code() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { None::<u32>.unwrap(); assert!(vec![1][0] == 1); }\n\
+               }\n";
+    assert_eq!(count("core", src, Rule::P1), 0);
+}
+
+#[test]
+fn p1_indexing_traps_do_not_fire() {
+    // Array type syntax, macro brackets and attribute brackets all
+    // contain `[<int>]`-ish shapes that must not match.
+    let src = "#[derive(Debug)]\n\
+               pub struct S { buf: [u8; 4] }\n\
+               pub fn f() -> Vec<u32> { vec![0] }\n";
+    assert_eq!(count("core", src, Rule::P1), 0);
+}
+
+#[test]
+fn p1_allow_marker_suppresses_and_is_reported() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+               // fb-lint: allow(P1): invariant documented here\n\
+               x.unwrap()\n\
+               }\n";
+    let rep = check_source("crates/core/src/fixture.rs", src);
+    assert!(rep.findings.is_empty());
+    assert_eq!(rep.suppressed.len(), 1);
+    assert_eq!(rep.suppressed.first().map(|f| f.rule), Some(Rule::P1));
+}
+
+// --- U1: unsafe needs a SAFETY comment --------------------------------
+
+#[test]
+fn u1_detects_undocumented_unsafe_only() {
+    let bare = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert_eq!(count("core", bare, Rule::U1), 1);
+    let documented = "// SAFETY: caller guarantees p is valid for reads\n\
+                      pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert_eq!(count("core", documented, Rule::U1), 0);
+}
+
+// --- Baseline / JSON stability ----------------------------------------
+
+#[test]
+fn baseline_roundtrip_and_ratchet_semantics() {
+    let noisy = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let rep = check_source("crates/core/src/fixture.rs", noisy);
+    let base = Baseline::from_findings(&rep.findings);
+    let parsed = Baseline::from_json(&base.to_json()).expect("roundtrip");
+    assert_eq!(parsed.total(), base.total());
+
+    // Same findings vs. their own baseline: clean.
+    assert!(diff(&rep.findings, &base).clean());
+    // An extra finding vs. that baseline: not clean.
+    let noisier = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() + x.unwrap() }\n";
+    let rep2 = check_source("crates/core/src/fixture.rs", noisier);
+    assert!(!diff(&rep2.findings, &base).clean());
+    // Fewer findings: clean, and the improvement is counted.
+    let d = diff(&[], &base);
+    assert!(d.clean());
+    assert_eq!(d.fixed(), 1);
+}
+
+#[test]
+fn report_json_is_bytewise_stable() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               pub fn g() { std::thread::spawn(|| {}); }\n";
+    let rep = check_source("crates/engine/src/fixture.rs", src);
+    let base = Baseline::default();
+    let d = diff(&rep.findings, &base);
+    let a = report_json(1, &rep.findings, &rep.suppressed, &base, &d);
+    let b = report_json(1, &rep.findings, &rep.suppressed, &base, &d);
+    assert_eq!(a, b);
+    // Spot-check shape: parseable by the in-tree JSON parser and keyed
+    // in the documented order.
+    let v = fairbridge_obs::json::parse(&a).expect("valid JSON");
+    assert_eq!(
+        v.get("total").and_then(|t| t.as_f64()),
+        Some(rep.findings.len() as f64)
+    );
+    assert!(a.starts_with("{\"files_scanned\":1,"));
+}

@@ -37,7 +37,9 @@ impl fmt::Display for EqualityNotion {
 }
 
 /// The fairness definitions of Section III (A–G) plus the §V additions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// `Ord` follows declaration (paper-section) order, so definition sets
+/// sort and iterate deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Definition {
     /// III.A, Eq. (1).
     DemographicParity,

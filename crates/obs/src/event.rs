@@ -141,6 +141,15 @@ pub enum FairnessEvent {
         /// Free-form description of scope and parameters.
         detail: String,
     },
+    /// A static-analysis pass (`fb-lint`) finished scanning the tree.
+    LintCompleted {
+        /// Source files scanned.
+        files_scanned: usize,
+        /// Standing rule violations found.
+        violations: usize,
+        /// Violations suppressed by documented allow-markers.
+        suppressed: usize,
+    },
 }
 
 impl EventKind {
@@ -168,6 +177,7 @@ impl FairnessEvent {
             FairnessEvent::WindowClosed { .. } => "window_closed",
             FairnessEvent::DriftFlagged { .. } => "drift_flagged",
             FairnessEvent::MitigationApplied { .. } => "mitigation_applied",
+            FairnessEvent::LintCompleted { .. } => "lint_completed",
         }
     }
 }
@@ -323,6 +333,16 @@ impl Event {
                     push_str_lit(&mut s, technique);
                     s.push_str(",\"detail\":");
                     push_str_lit(&mut s, detail);
+                }
+                FairnessEvent::LintCompleted {
+                    files_scanned,
+                    violations,
+                    suppressed,
+                } => {
+                    let _ = write!(
+                        s,
+                        ",\"files_scanned\":{files_scanned},\"violations\":{violations},\"suppressed\":{suppressed}"
+                    );
                 }
             },
         }

@@ -28,7 +28,9 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         // Fixed-size views let the backend pack the eight independent
         // lanes into vector ops; per-lane arithmetic (and therefore the
         // result bits) is unchanged.
+        // fb-lint: allow(P1): chunks_exact(8) yields exactly 8-element slices
         let ca: &[f64; 8] = ca.try_into().expect("chunks_exact(8)");
+        // fb-lint: allow(P1): chunks_exact(8) yields exactly 8-element slices
         let cb: &[f64; 8] = cb.try_into().expect("chunks_exact(8)");
         for k in 0..8 {
             s[k] += ca[k] * cb[k];
@@ -38,7 +40,47 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     for (x, y) in a[split..].iter().zip(&b[split..]) {
         tail += x * y;
     }
-    (((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]))) + tail
+    let [s0, s1, s2, s3, s4, s5, s6, s7] = s;
+    (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail
+}
+
+/// Fused sum: eight independent accumulator lanes over the aligned
+/// body, a scalar pass over the tail, lanes combined pairwise in the
+/// fixed order `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`.
+///
+/// This is the sanctioned reduction primitive the D4 lint points at:
+/// new cross-path float reductions should call `kernel::sum` rather
+/// than `.sum::<f64>()`, so the combination order — and therefore the
+/// result bits — is pinned by one function instead of re-derived at
+/// every call site.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    let split = a.len() - a.len() % 8;
+    let mut s = [0.0f64; 8];
+    for chunk in a[..split].chunks_exact(8) {
+        // fb-lint: allow(P1): chunks_exact(8) yields exactly 8-element slices
+        let chunk: &[f64; 8] = chunk.try_into().expect("chunks_exact(8)");
+        for k in 0..8 {
+            s[k] += chunk[k];
+        }
+    }
+    let mut tail = 0.0;
+    for x in &a[split..] {
+        tail += x;
+    }
+    let [s0, s1, s2, s3, s4, s5, s6, s7] = s;
+    (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail
+}
+
+/// Scalar reference sum (one accumulator, strict left-to-right). The
+/// baseline [`sum`] is tolerance-checked against.
+#[inline]
+pub fn sum_scalar(a: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in a {
+        acc += x;
+    }
+    acc
 }
 
 /// Scalar reference dot product (one accumulator, strict left-to-right
@@ -61,7 +103,9 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
         .chunks_exact(8)
         .zip(y[..split].chunks_exact_mut(8))
     {
+        // fb-lint: allow(P1): chunks_exact(8) yields exactly 8-element slices
         let cx: &[f64; 8] = cx.try_into().expect("chunks_exact(8)");
+        // fb-lint: allow(P1): chunks_exact(8) yields exactly 8-element slices
         let cy: &mut [f64; 8] = cy.try_into().expect("chunks_exact(8)");
         for k in 0..8 {
             cy[k] += alpha * cx[k];
@@ -87,6 +131,20 @@ mod tests {
                 (f - s).abs() < 1e-12 * (1.0 + s.abs()),
                 "len {len}: {f} vs {s}"
             );
+        }
+    }
+
+    #[test]
+    fn fused_sum_matches_scalar_within_rounding_and_is_deterministic() {
+        for len in [0, 1, 3, 7, 8, 9, 16, 64, 129] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+            let f = sum(&a);
+            let s = sum_scalar(&a);
+            assert!(
+                (f - s).abs() < 1e-9 * (1.0 + s.abs()),
+                "len {len}: {f} vs {s}"
+            );
+            assert_eq!(sum(&a).to_bits(), f.to_bits(), "len {len} replays bitwise");
         }
     }
 

@@ -362,7 +362,7 @@ impl DatasetBuilder {
                 "dataset must have at least one column".into(),
             ));
         }
-        let n_rows = self.columns[0].len();
+        let n_rows = self.columns.first().map(Column::len).unwrap_or(0);
         for (meta, col) in self.schema.fields().iter().zip(self.columns.iter()) {
             if col.len() != n_rows {
                 return Err(Error::LengthMismatch {

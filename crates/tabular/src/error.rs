@@ -5,6 +5,10 @@ use std::fmt;
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Qualified alias for downstream crates that already have an `Error` in
+/// scope (e.g. `fairbridge_engine::EngineError` wrapping this one).
+pub type TabularError = Error;
+
 /// Errors produced by dataset construction, access and I/O.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -62,6 +66,15 @@ pub enum Error {
         /// Human-readable description.
         message: String,
     },
+    /// A filesystem operation failed. The OS error is carried as a
+    /// rendered message (not an `io::Error`) so the enum stays `Eq`-
+    /// comparable for tests and deduplication.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// Rendered OS error message.
+        message: String,
+    },
     /// Any other invalid-argument condition.
     Invalid(String),
 }
@@ -106,6 +119,7 @@ impl fmt::Display for Error {
             }
             Error::MissingRole(role) => write!(f, "dataset has no {role} column"),
             Error::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            Error::Io { path, message } => write!(f, "I/O error on `{path}`: {message}"),
             Error::Invalid(message) => write!(f, "invalid argument: {message}"),
         }
     }

@@ -9,6 +9,15 @@
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
 use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Maps an `io::Error` on `path` to the crate's `Eq`-comparable error.
+fn io_err(path: &Path, e: std::io::Error) -> Error {
+    Error::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
 
 /// Parses one CSV record, honouring double quotes.
 fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
@@ -127,6 +136,25 @@ pub fn read_csv_str(text: &str) -> Result<Dataset> {
     read_csv(std::io::BufReader::new(text.as_bytes()))
 }
 
+/// Reads a dataset from a CSV file on disk. Open and read failures are
+/// reported as the typed [`Error::Io`] variant, never a panic, so batch
+/// audit pipelines can skip or report a bad input file and carry on.
+pub fn read_csv_path<P: AsRef<Path>>(path: P) -> Result<Dataset> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+    read_csv(std::io::BufReader::new(file))
+}
+
+/// Writes a dataset as CSV to a file on disk, creating or truncating it.
+/// Failures surface as [`Error::Io`] with the offending path.
+pub fn write_csv_path<P: AsRef<Path>>(ds: &Dataset, path: P) -> Result<()> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|e| io_err(path, e))?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_csv(ds, &mut writer)?;
+    writer.flush().map_err(|e| io_err(path, e))
+}
+
 /// Writes a dataset as CSV.
 pub fn write_csv<W: Write>(ds: &Dataset, mut writer: W) -> Result<()> {
     let header: Vec<String> = ds
@@ -225,5 +253,38 @@ mod tests {
         let csv = "a\n1\nx\n";
         let ds = read_csv_str(csv).unwrap();
         assert!(ds.categorical("a").is_ok());
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let csv = "sex,age,hired\nmale,34,true\nfemale,29,false\n";
+        let ds = read_csv_str(csv).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "fairbridge-io-roundtrip-{}.csv",
+            std::process::id()
+        ));
+        write_csv_path(&ds, &path).unwrap();
+        let ds2 = read_csv_path(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(ds2.n_rows(), ds.n_rows());
+        assert_eq!(ds2.numeric("age").unwrap(), ds.numeric("age").unwrap());
+        assert_eq!(ds2.boolean("hired").unwrap(), ds.boolean("hired").unwrap());
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let path = std::env::temp_dir().join("fairbridge-io-definitely-missing.csv");
+        let err = read_csv_path(&path).unwrap_err();
+        match err {
+            Error::Io { path: p, .. } => assert!(p.contains("fairbridge-io-definitely-missing")),
+            other => panic!("expected Error::Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_to_unwritable_path_is_a_typed_io_error() {
+        let ds = read_csv_str("a\n1\n").unwrap();
+        let err = write_csv_path(&ds, "/nonexistent-dir/out.csv").unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err:?}");
     }
 }

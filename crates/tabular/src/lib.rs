@@ -55,7 +55,7 @@ pub mod value;
 pub use bitset::RowMask;
 pub use column::Column;
 pub use dataset::{Dataset, DatasetBuilder};
-pub use error::{Error, Result};
+pub use error::{Error, Result, TabularError};
 pub use groups::{GroupIndex, GroupKey, GroupSpec};
 pub use schema::{FieldMeta, Role, Schema};
 pub use value::{DType, Value};

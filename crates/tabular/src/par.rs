@@ -49,6 +49,7 @@ where
             })
             .collect();
         for h in handles {
+            // fb-lint: allow(P1): a worker panic is unrecoverable — re-raising it here is the correct propagation
             for (i, v) in h.join().expect("parallel task worker panicked") {
                 slots[i] = Some(v);
             }
@@ -56,6 +57,7 @@ where
     });
     slots
         .into_iter()
+        // fb-lint: allow(P1): the atomic task counter hands out every index in 0..n exactly once
         .map(|s| s.expect("every task index claimed exactly once"))
         .collect()
 }
