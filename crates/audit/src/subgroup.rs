@@ -42,8 +42,16 @@ use fairbridge_learn::tree::TreeTrainer;
 use fairbridge_learn::{EncoderConfig, FeatureEncoder};
 use fairbridge_obs::{FairnessEvent, Telemetry};
 use fairbridge_stats::hypothesis::two_proportion_z;
-use fairbridge_tabular::par::ordered_parallel_map;
+use fairbridge_tabular::par::{ordered_parallel_map, size_aware_workers};
 use fairbridge_tabular::{Column, Dataset, RowMask};
+
+/// Work-unit floor per lattice worker, where one unit is one row touched
+/// by one seed subtree (`rows × seeds` total). Calibrated from
+/// `BENCH_subgroup.json`, where `bitset_parallel` at depths 2–3 lost to
+/// the serial bitset scan at benchmark size: the per-node AND+popcount
+/// is so cheap (word-parallel over `rows / 64` words) that fan-out only
+/// pays once the mask passes themselves are long.
+pub const SEED_MIN_UNITS_PER_WORKER: usize = 1 << 18;
 
 /// One audited subgroup.
 #[derive(Debug, Clone, PartialEq)]
@@ -319,18 +327,29 @@ impl SubgroupAuditor {
             .enumerate()
             .flat_map(|(ci, v)| (0..v.levels.len() as u32).map(move |lv| (ci, lv)))
             .collect();
-        let workers = if threads > 0 {
+        let requested = if threads > 0 {
             threads
         } else {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+            fairbridge_tabular::par::available_workers()
         };
+        // Size-aware dispatch: a seed subtree's work is dominated by
+        // AND+popcount passes over n-row masks, so `rows × seeds` is the
+        // unit count. BENCH_subgroup.json showed the benchmark-size
+        // lattice (a few thousand rows, ~a dozen seeds) losing to the
+        // inline scan at depths 2–3; the clamp keeps those serial while
+        // census-scale datasets still fan out. Merge order is seed order
+        // either way, so results are identical.
+        let workers = size_aware_workers(
+            requested,
+            seeds.len(),
+            n.saturating_mul(seeds.len()),
+            SEED_MIN_UNITS_PER_WORKER,
+        );
 
         // Deterministic fan-out: workers pull seed indices from a shared
         // counter, results slot back in seed order (the same sharding
         // pattern as the engine's metric scan).
-        let results = ordered_parallel_map(seeds.len(), workers.min(seeds.len()), |i| {
+        let results = ordered_parallel_map(seeds.len(), workers, |i| {
             let (ci, lv) = seeds[i];
             let _seed_span = telemetry.span("subgroup.seed");
             lattice.explore_seed(ci, lv)

@@ -28,7 +28,7 @@ use crate::partition::{CacheStats, Partition, PartitionCache};
 use fairbridge_audit::{AuditConfig, AuditPipeline, AuditReport};
 use fairbridge_metrics::{from_accumulator, GroupAccumulator};
 use fairbridge_obs::{FairnessEvent, Telemetry};
-use fairbridge_tabular::par::ordered_parallel_map;
+use fairbridge_tabular::par::{ordered_parallel_map, size_aware_workers};
 use fairbridge_tabular::Dataset;
 use std::sync::Arc;
 
@@ -122,9 +122,7 @@ impl Engine {
         if self.config.num_threads > 0 {
             self.config.num_threads
         } else {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+            fairbridge_tabular::par::available_workers()
         }
     }
 
@@ -253,7 +251,16 @@ impl Engine {
         let has_labels = labels.is_some();
         let shard_size = self.config.shard_size.max(1);
         let n_shards = n.div_ceil(shard_size).max(1);
-        let workers = self.threads().min(n_shards);
+        // Size-aware dispatch: one unit ≈ one row observed. Small
+        // datasets (daemon-sized audit requests included) scan inline;
+        // accumulator shapes and merge order are shard-derived either
+        // way, so the result is identical for any worker count.
+        let workers = size_aware_workers(
+            self.threads(),
+            n_shards,
+            n,
+            fairbridge_tabular::par::MIN_UNITS_PER_WORKER,
+        );
         let recording = self.telemetry.is_enabled();
 
         let scan_span = self.telemetry.span("engine.scan");
@@ -304,6 +311,10 @@ impl Engine {
                 scan_shard(s, &mut acc);
             }
             drop(scan_span);
+            // Serial dispatch accumulates into one partial, so the merge
+            // is trivially done — the span still opens so the evidential
+            // trail keeps the same phase structure at every size.
+            let _merge_span = self.telemetry.span("engine.merge");
             return Ok(acc);
         }
 

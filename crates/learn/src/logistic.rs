@@ -17,12 +17,19 @@
 use crate::matrix::{axpy, dot, Matrix};
 use crate::model::Scorer;
 use fairbridge_obs::Telemetry;
-use fairbridge_tabular::par::ordered_parallel_map;
+use fairbridge_tabular::par::{ordered_parallel_map, size_aware_workers};
 
 /// Rows per gradient chunk. Fixed (never derived from the worker count)
 /// so the chunk reduction — and therefore the fitted model — is
 /// identical for any parallelism degree.
 pub const GRAD_CHUNK: usize = 1024;
+
+/// Work-unit floor per gradient worker, where one unit is one
+/// multiply-add in the chunked gradient (`n × (d + 1)` per epoch). The
+/// fan-out re-spawns every epoch, so — like the Sinkhorn half-pass — a
+/// spawn must be amortized per iteration: below this the epoch runs on
+/// the recycled serial partial buffer. Bitwise-identical either way.
+pub const GRAD_MIN_UNITS_PER_WORKER: usize = 1 << 21;
 
 /// Numerically stable logistic sigmoid.
 pub fn sigmoid(z: f64) -> f64 {
@@ -136,6 +143,12 @@ impl LogisticTrainer {
 
         let (n, d) = (x.n_rows(), x.n_cols());
         let n_chunks = n.div_ceil(GRAD_CHUNK);
+        let grad_workers = size_aware_workers(
+            self.workers,
+            n_chunks,
+            n.saturating_mul(d + 1),
+            GRAD_MIN_UNITS_PER_WORKER,
+        );
         let mut weights = vec![0.0; d];
         let mut bias = 0.0;
         // Every per-epoch buffer is hoisted here: linear scores, weighted
@@ -155,7 +168,7 @@ impl LogisticTrainer {
             }
 
             grad.iter_mut().for_each(|g| *g = 0.0);
-            if self.workers <= 1 || n_chunks <= 1 {
+            if grad_workers <= 1 || n_chunks <= 1 {
                 // Inline: same chunk shapes, same chunk-order reduction,
                 // one recycled partial buffer instead of one per chunk.
                 for c in 0..n_chunks {
@@ -173,7 +186,7 @@ impl LogisticTrainer {
                     }
                 }
             } else {
-                let partials = ordered_parallel_map(n_chunks, self.workers, |c| {
+                let partials = ordered_parallel_map(n_chunks, grad_workers, |c| {
                     let mut partial = vec![0.0; d + 1];
                     let start = c * GRAD_CHUNK;
                     chunk_gradient(x, &err, start, (start + GRAD_CHUNK).min(n), &mut partial);

@@ -102,7 +102,7 @@ impl GroupAccumulator {
         if keys.is_empty() {
             return Err("accumulator needs at least one group key".to_owned());
         }
-        if keys.windows(2).any(|w| w[0] >= w[1]) {
+        if keys.windows(2).any(|w| matches!(w, [a, b] if a >= b)) {
             return Err("group keys must be sorted and unique".to_owned());
         }
         let counts = vec![GroupCounts::default(); keys.len()];
@@ -118,8 +118,14 @@ impl GroupAccumulator {
     pub fn from_outcomes(outcomes: &Outcomes) -> GroupAccumulator {
         let keys: Vec<GroupKey> = outcomes.groups.keys().into_iter().cloned().collect();
         let has_labels = outcomes.labels.is_some();
-        let mut acc =
-            GroupAccumulator::with_keys(keys, has_labels).expect("GroupIndex keys sorted");
+        // GroupIndex keys are sorted and unique by construction; an
+        // empty index degrades to an accumulator with no groups.
+        let counts = vec![GroupCounts::default(); keys.len()];
+        let mut acc = GroupAccumulator {
+            keys,
+            counts,
+            has_labels,
+        };
         for (gid, (_, rows)) in outcomes.iter_groups().enumerate() {
             for &i in rows {
                 let label = outcomes.labels.as_ref().map(|l| l[i]);
@@ -306,8 +312,12 @@ pub fn from_accumulator(
         },
     });
 
-    if acc.has_labels() {
-        let tpr = acc.tpr_rates().expect("labels present");
+    if let (Ok(tpr), Ok(fpr), Ok(ppv), Ok(accuracy)) = (
+        acc.tpr_rates(),
+        acc.fpr_rates(),
+        acc.ppv_rates(),
+        acc.accuracy_rates(),
+    ) {
         let eo_summary = GapSummary::from_rates(&tpr, min_group_size);
         lines.push(MetricLine {
             definition: Definition::EqualOpportunity,
@@ -320,7 +330,6 @@ pub fn from_accumulator(
                 .unwrap_or_default(),
         });
 
-        let fpr = acc.fpr_rates().expect("labels present");
         let fpr_summary = GapSummary::from_rates(&fpr, min_group_size);
         let worst_gap = match (eo_summary.gap.is_nan(), fpr_summary.gap.is_nan()) {
             (true, true) => f64::NAN,
@@ -338,7 +347,6 @@ pub fn from_accumulator(
             ),
         });
 
-        let ppv = acc.ppv_rates().expect("labels present");
         let pp_summary = GapSummary::from_rates(&ppv, min_group_size);
         lines.push(MetricLine {
             definition: Definition::PredictiveParity,
@@ -347,7 +355,6 @@ pub fn from_accumulator(
             detail: String::new(),
         });
 
-        let accuracy = acc.accuracy_rates().expect("labels present");
         let ae_summary = GapSummary::from_rates(&accuracy, min_group_size);
         lines.push(MetricLine {
             definition: Definition::AccuracyEquality,

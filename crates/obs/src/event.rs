@@ -150,6 +150,50 @@ pub enum FairnessEvent {
         /// Violations suppressed by documented allow-markers.
         suppressed: usize,
     },
+    /// The audit daemon admitted a request.
+    RequestReceived {
+        /// Tenant id from the `X-FB-Tenant` header (or `anonymous`).
+        tenant: String,
+        /// Request path (e.g. `/audit`).
+        endpoint: String,
+    },
+    /// A request finished and its response bytes were handed back.
+    RequestCompleted {
+        /// Tenant id the request was attributed to.
+        tenant: String,
+        /// Request path.
+        endpoint: String,
+        /// HTTP status of the response.
+        status: u16,
+        /// Whether this request rode an in-flight identical computation
+        /// instead of scheduling its own.
+        coalesced: bool,
+        /// Nanoseconds from admission to response publication.
+        elapsed_ns: u64,
+    },
+    /// A request was refused at admission (queue full or draining).
+    RequestRejected {
+        /// Tenant id the rejection was attributed to.
+        tenant: String,
+        /// Request path.
+        endpoint: String,
+        /// HTTP status returned (429 when full, 503 when draining).
+        status: u16,
+    },
+    /// A request attached to an identical in-flight computation.
+    RequestCoalesced {
+        /// Tenant id of the attaching (follower) request.
+        tenant: String,
+        /// The request fingerprint both requests hashed to.
+        fingerprint: u64,
+    },
+    /// The daemon drained: every admitted request completed before exit.
+    ServerDrained {
+        /// Requests completed over the daemon's lifetime.
+        completed: u64,
+        /// Requests refused at admission over the daemon's lifetime.
+        rejected: u64,
+    },
 }
 
 impl EventKind {
@@ -178,6 +222,11 @@ impl FairnessEvent {
             FairnessEvent::DriftFlagged { .. } => "drift_flagged",
             FairnessEvent::MitigationApplied { .. } => "mitigation_applied",
             FairnessEvent::LintCompleted { .. } => "lint_completed",
+            FairnessEvent::RequestReceived { .. } => "request_received",
+            FairnessEvent::RequestCompleted { .. } => "request_completed",
+            FairnessEvent::RequestRejected { .. } => "request_rejected",
+            FairnessEvent::RequestCoalesced { .. } => "request_coalesced",
+            FairnessEvent::ServerDrained { .. } => "server_drained",
         }
     }
 }
@@ -344,6 +393,53 @@ impl Event {
                         ",\"files_scanned\":{files_scanned},\"violations\":{violations},\"suppressed\":{suppressed}"
                     );
                 }
+                FairnessEvent::RequestReceived { tenant, endpoint } => {
+                    s.push_str(",\"tenant\":");
+                    push_str_lit(&mut s, tenant);
+                    s.push_str(",\"endpoint\":");
+                    push_str_lit(&mut s, endpoint);
+                }
+                FairnessEvent::RequestCompleted {
+                    tenant,
+                    endpoint,
+                    status,
+                    coalesced,
+                    elapsed_ns,
+                } => {
+                    s.push_str(",\"tenant\":");
+                    push_str_lit(&mut s, tenant);
+                    s.push_str(",\"endpoint\":");
+                    push_str_lit(&mut s, endpoint);
+                    let _ = write!(
+                        s,
+                        ",\"status\":{status},\"coalesced\":{coalesced},\"elapsed_ns\":{elapsed_ns}"
+                    );
+                }
+                FairnessEvent::RequestRejected {
+                    tenant,
+                    endpoint,
+                    status,
+                } => {
+                    s.push_str(",\"tenant\":");
+                    push_str_lit(&mut s, tenant);
+                    s.push_str(",\"endpoint\":");
+                    push_str_lit(&mut s, endpoint);
+                    let _ = write!(s, ",\"status\":{status}");
+                }
+                FairnessEvent::RequestCoalesced {
+                    tenant,
+                    fingerprint,
+                } => {
+                    s.push_str(",\"tenant\":");
+                    push_str_lit(&mut s, tenant);
+                    let _ = write!(s, ",\"fingerprint\":\"{fingerprint:#018x}\"");
+                }
+                FairnessEvent::ServerDrained {
+                    completed,
+                    rejected,
+                } => {
+                    let _ = write!(s, ",\"completed\":{completed},\"rejected\":{rejected}");
+                }
             },
         }
         s.push('}');
@@ -421,6 +517,48 @@ mod tests {
         assert!(json.contains("\"rows\":8000"));
         assert!(json.contains("\"columns\":[\"gender\",\"race\"]"));
         assert!(json.contains("\"max_depth\":3,\"min_support\":20"));
+    }
+
+    #[test]
+    fn serve_events_render_payloads() {
+        let e = envelope(EventKind::Fairness(FairnessEvent::RequestCompleted {
+            tenant: "bank-a".into(),
+            endpoint: "/audit".into(),
+            status: 200,
+            coalesced: true,
+            elapsed_ns: 1234,
+        }));
+        let json = e.to_json();
+        assert!(json.contains("\"kind\":\"request_completed\""));
+        assert!(json.contains("\"tenant\":\"bank-a\",\"endpoint\":\"/audit\""));
+        assert!(json.contains("\"status\":200,\"coalesced\":true,\"elapsed_ns\":1234"));
+
+        let e = envelope(EventKind::Fairness(FairnessEvent::RequestCoalesced {
+            tenant: "bank-b".into(),
+            fingerprint: 0xDEAD_BEEF,
+        }));
+        let json = e.to_json();
+        assert!(json.contains("\"kind\":\"request_coalesced\""));
+        assert!(json.contains("\"fingerprint\":\"0x00000000deadbeef\""));
+
+        let e = envelope(EventKind::Fairness(FairnessEvent::RequestRejected {
+            tenant: "anonymous".into(),
+            endpoint: "/mitigate".into(),
+            status: 429,
+        }));
+        assert!(e.to_json().contains("\"status\":429"));
+
+        let e = envelope(EventKind::Fairness(FairnessEvent::ServerDrained {
+            completed: 7,
+            rejected: 2,
+        }));
+        assert!(e.to_json().contains("\"completed\":7,\"rejected\":2"));
+
+        let e = envelope(EventKind::Fairness(FairnessEvent::RequestReceived {
+            tenant: "bank-a".into(),
+            endpoint: "/audit".into(),
+        }));
+        assert!(e.to_json().contains("\"kind\":\"request_received\""));
     }
 
     #[test]

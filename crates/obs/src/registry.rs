@@ -169,7 +169,7 @@ pub(crate) struct Registry {
 
 impl Registry {
     pub(crate) fn counter(&self, name: &str) -> Counter {
-        let mut map = self.counters.lock().expect("counter registry lock");
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         let cell = map
             .entry(name.to_owned())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)));
@@ -177,7 +177,7 @@ impl Registry {
     }
 
     pub(crate) fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.histograms.lock().expect("histogram registry lock");
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         let cell = map
             .entry(name.to_owned())
             .or_insert_with(|| Arc::new(HistogramCell::default()));
@@ -187,7 +187,7 @@ impl Registry {
     pub(crate) fn counter_values(&self) -> Vec<(String, u64)> {
         self.counters
             .lock()
-            .expect("counter registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
             .collect()
@@ -196,7 +196,7 @@ impl Registry {
     pub(crate) fn histogram_values(&self) -> Vec<(String, HistogramStats)> {
         self.histograms
             .lock()
-            .expect("histogram registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, cell)| (name.clone(), Histogram::live(Arc::clone(cell)).snapshot()))
             .collect()

@@ -62,7 +62,7 @@ impl RingSink {
         let mut tagged: Vec<(u64, Event)> = self
             .slots
             .iter()
-            .filter_map(|slot| slot.lock().expect("ring slot lock").clone())
+            .filter_map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).clone())
             .collect();
         tagged.sort_by_key(|(seq, _)| *seq);
         tagged.into_iter().map(|(_, e)| e).collect()
@@ -82,7 +82,7 @@ impl Sink for RingSink {
     fn emit(&self, event: &Event) {
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
-        *slot.lock().expect("ring slot lock") = Some((seq, event.clone()));
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some((seq, event.clone()));
     }
 }
 
@@ -119,14 +119,14 @@ impl fmt::Debug for JsonlSink {
 
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
-        let mut out = self.out.lock().expect("jsonl writer lock");
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
         // An I/O error here must not poison the audited computation;
         // telemetry is an observer, never a failure source.
         let _ = writeln!(out, "{}", event.to_json());
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl writer lock").flush();
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
     }
 }
 

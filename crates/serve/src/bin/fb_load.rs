@@ -1,0 +1,172 @@
+//! The `fb-load` soak client binary.
+//!
+//! ```text
+//! fb-load --addr HOST:PORT [--connections N] [--requests N]
+//!         [--distinct N] [--tenants N] [--check-telemetry PATH]
+//!         [--shutdown]
+//! ```
+//!
+//! Drives N concurrent keep-alive connections against a running
+//! `fairbridge-serve`, prints the latency/throughput/coalescing report,
+//! and appends it to the JSON file named by `FB_BENCH_JSON` when that
+//! variable is set. `--check-telemetry` then validates the daemon's
+//! JSONL trail: every line must parse and carry a `kind`, and the serve
+//! request events must actually be present. `--shutdown` asks the
+//! daemon to drain afterwards.
+
+use fairbridge_obs::json::{parse, Value};
+use fairbridge_serve::load::{self, LoadConfig};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Args {
+    load: LoadConfig,
+    check_telemetry: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut load = LoadConfig::default();
+    let mut check_telemetry = None;
+    let mut shutdown = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        let parse_usize = |s: String, what: &str| {
+            s.parse::<usize>()
+                .map_err(|_| format!("{what} must be an integer"))
+        };
+        match flag.as_str() {
+            "--addr" => load.addr = value("--addr")?,
+            "--connections" => {
+                load.connections = parse_usize(value("--connections")?, "--connections")?;
+            }
+            "--requests" => {
+                load.requests_per_conn = parse_usize(value("--requests")?, "--requests")?;
+            }
+            "--distinct" => load.distinct_bodies = parse_usize(value("--distinct")?, "--distinct")?,
+            "--tenants" => load.tenants = parse_usize(value("--tenants")?, "--tenants")?,
+            "--check-telemetry" => check_telemetry = Some(value("--check-telemetry")?),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fb-load --addr HOST:PORT [--connections N] [--requests N] \
+                     [--distinct N] [--tenants N] [--check-telemetry PATH] [--shutdown]"
+                        .to_owned(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        load,
+        check_telemetry,
+        shutdown,
+    })
+}
+
+/// Validates the daemon's JSONL telemetry: every line parses, every
+/// line has a `kind`, and the serve request taxonomy is present.
+fn check_telemetry(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}:{}: event without a kind", i + 1))?;
+        *kinds.entry(kind.to_owned()).or_insert(0) += 1;
+    }
+    if kinds.is_empty() {
+        return Err(format!("{path}: no telemetry events"));
+    }
+    for required in ["request_received", "request_completed"] {
+        if !kinds.contains_key(required) {
+            return Err(format!("{path}: missing {required:?} events"));
+        }
+    }
+    print!("telemetry ok:");
+    for (kind, count) in &kinds {
+        print!(" {kind}={count}");
+    }
+    println!();
+    Ok(())
+}
+
+fn append_bench_json(report_json: &str) -> Result<(), String> {
+    let Ok(path) = std::env::var("FB_BENCH_JSON") else {
+        return Ok(());
+    };
+    if path.is_empty() {
+        return Ok(());
+    }
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("open {path}: {e}"))?;
+    let line = format!("{{\"bench\":\"serve_soak\",\"report\":{report_json}}}\n");
+    file.write_all(line.as_bytes())
+        .map_err(|e| format!("append {path}: {e}"))
+}
+
+fn shutdown_daemon(addr: &str) -> Result<(), String> {
+    let (mut stream, mut reader) = load::connect(addr)?;
+    let resp = load::request_on(
+        &mut stream,
+        &mut reader,
+        "POST",
+        "/shutdown",
+        "loadgen",
+        b"",
+    )?;
+    if resp.status != 200 {
+        return Err(format!("/shutdown returned {}", resp.status));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    let report = load::run(&args.load)?;
+    let json = report.to_json();
+    println!("fb-load: {json}");
+    append_bench_json(&json)?;
+
+    if report.ok == 0 {
+        return Err("no request succeeded".to_owned());
+    }
+
+    if args.shutdown {
+        shutdown_daemon(&args.load.addr)?;
+    }
+    if let Some(path) = &args.check_telemetry {
+        // Give the drain a moment to flush the trail when we asked for it.
+        if args.shutdown {
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        }
+        check_telemetry(path)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fb-load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

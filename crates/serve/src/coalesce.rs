@@ -1,0 +1,202 @@
+//! Request coalescing: concurrent identical requests share one
+//! computation.
+//!
+//! Every admitted `POST` claims a slot keyed by the FNV-1a fingerprint
+//! of `(endpoint, body bytes)` — the same hash family the engine's
+//! partition cache keys datasets with, extended to the whole request so
+//! two requests coalesce only when their responses are guaranteed
+//! byte-identical. The first claimant becomes the **leader** and owns
+//! scheduling the computation; later claimants are **followers** that
+//! park on the slot and receive the exact same [`Payload`] `Arc` the
+//! leader's computation publishes. The tenant header is deliberately
+//! *not* part of the key: tenancy is attribution (spans, counters,
+//! events), never computation.
+//!
+//! The slot lifecycle guarantees no follower waits forever: whoever is
+//! leader **always** publishes — a successful result, a 4xx parse
+//! error, or the admission-failure payload (429/503) when the bounded
+//! queue refuses the job. Publication removes the key from the in-flight
+//! map *before* waking waiters, so a request arriving after publication
+//! starts a fresh computation instead of attaching to a finished one —
+//! result reuse across time is the partition cache's job, not the
+//! coalescer's.
+
+use crate::http::Payload;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// FNV-1a over `endpoint`, a zero separator, and the body bytes — the
+/// coalescing key.
+pub fn fingerprint(endpoint: &str, body: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in endpoint.as_bytes().iter().chain([0u8].iter()).chain(body) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One in-flight computation: followers park here until the leader's
+/// result is published.
+pub struct Slot {
+    done: Mutex<Option<Arc<Payload>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the payload and wakes every waiter.
+    fn publish(&self, payload: Arc<Payload>) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = Some(payload);
+        drop(done);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the payload is published.
+    pub fn wait(&self) -> Arc<Payload> {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(p) = done.as_ref() {
+                return Arc::clone(p);
+            }
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// The claim outcome: whoever gets `Leader` must eventually call
+/// [`Coalescer::publish`] for that key.
+pub enum Claim {
+    /// First claimant — owns scheduling and publication.
+    Leader(Arc<Slot>),
+    /// Attached to an in-flight computation — just wait.
+    Follower(Arc<Slot>),
+}
+
+/// The in-flight request table.
+#[derive(Default)]
+pub struct Coalescer {
+    inflight: Mutex<BTreeMap<u64, Arc<Slot>>>,
+}
+
+impl Coalescer {
+    /// Creates an empty table.
+    pub fn new() -> Coalescer {
+        Coalescer::default()
+    }
+
+    /// Claims the slot for `key`: the first claimant leads, the rest
+    /// follow.
+    pub fn claim(&self, key: u64) -> Claim {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = inflight.get(&key) {
+            return Claim::Follower(Arc::clone(slot));
+        }
+        let slot = Arc::new(Slot::new());
+        inflight.insert(key, Arc::clone(&slot));
+        Claim::Leader(slot)
+    }
+
+    /// Publishes the result for `key`, waking every attached request,
+    /// and retires the key so later arrivals recompute. Returns the
+    /// shared payload.
+    pub fn publish(&self, key: u64, payload: Payload) -> Arc<Payload> {
+        let payload = Arc::new(payload);
+        let slot = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            inflight.remove(&key)
+        };
+        if let Some(slot) = slot {
+            slot.publish(Arc::clone(&payload));
+        }
+        payload
+    }
+
+    /// Keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_endpoint_and_body() {
+        assert_ne!(
+            fingerprint("/audit", b"{}"),
+            fingerprint("/mitigate", b"{}")
+        );
+        assert_ne!(fingerprint("/audit", b"a"), fingerprint("/audit", b"b"));
+        assert_eq!(fingerprint("/audit", b"x"), fingerprint("/audit", b"x"));
+        // The separator prevents boundary ambiguity.
+        assert_ne!(fingerprint("/a", b"b"), fingerprint("/ab", b""));
+    }
+
+    #[test]
+    fn leader_then_followers_share_one_payload() {
+        let c = Coalescer::new();
+        let key = fingerprint("/audit", b"{}");
+        let Claim::Leader(leader_slot) = c.claim(key) else {
+            panic!("first claim must lead");
+        };
+        let Claim::Follower(follower_slot) = c.claim(key) else {
+            panic!("second claim must follow");
+        };
+        assert_eq!(c.in_flight(), 1);
+        let published = c.publish(key, Payload::json(200, "{\"ok\":true}".into()));
+        assert!(Arc::ptr_eq(&published, &leader_slot.wait()));
+        assert!(Arc::ptr_eq(&published, &follower_slot.wait()));
+        assert_eq!(c.in_flight(), 0, "publication retires the key");
+    }
+
+    #[test]
+    fn after_publication_a_new_claim_leads_again() {
+        let c = Coalescer::new();
+        let key = fingerprint("/audit", b"{}");
+        let Claim::Leader(_) = c.claim(key) else {
+            panic!("lead");
+        };
+        c.publish(key, Payload::json(200, "{}".into()));
+        assert!(
+            matches!(c.claim(key), Claim::Leader(_)),
+            "retired keys restart, they do not serve stale results"
+        );
+    }
+
+    #[test]
+    fn concurrent_followers_unblock_on_publish() {
+        let c = Arc::new(Coalescer::new());
+        let key = fingerprint("/audit", b"big");
+        let Claim::Leader(_) = c.claim(key) else {
+            panic!("lead");
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || match c.claim(key) {
+                    Claim::Follower(slot) => slot.wait().status,
+                    Claim::Leader(_) => 0,
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.publish(key, Payload::json(200, "{}".into()));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 200);
+        }
+    }
+}

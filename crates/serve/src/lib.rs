@@ -1,0 +1,30 @@
+//! fairbridge-serve — the multi-tenant audit daemon.
+//!
+//! This crate turns the fairbridge audit engine into a long-running
+//! service: a hand-rolled HTTP/1.1 subset ([`http`]) accepts
+//! `POST /audit` and `POST /mitigate` bodies ([`wire`]), admission
+//! control bounds the work in flight ([`queue`]), concurrent identical
+//! requests attach to one computation ([`coalesce`]), and a fixed pool
+//! of compute workers executes against one shared [`fairbridge_engine::Engine`]
+//! ([`server`]) — promoting the engine's partition cache to a
+//! cross-request layer. The [`load`] module is the soak-test client
+//! (`fb-load`).
+//!
+//! Everything here inherits the workspace contracts: zero external
+//! dependencies, no panics in library code, threads only via
+//! `fairbridge_tabular::par`, clocks only via
+//! [`fairbridge_obs::Telemetry`], and byte-identical responses for
+//! identical requests regardless of worker count.
+
+pub mod coalesce;
+pub mod http;
+pub mod load;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use coalesce::{Claim, Coalescer};
+pub use http::{Payload, Request, Response};
+pub use load::{LoadConfig, LoadReport};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{start, DrainSummary, ServerConfig, ServerHandle};

@@ -1,0 +1,103 @@
+//! The `fairbridge-serve` daemon binary.
+//!
+//! ```text
+//! fairbridge-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!                  [--engine-threads N] [--telemetry PATH]
+//! ```
+//!
+//! Prints `fairbridge-serve listening on <addr>` once bound (CI scrapes
+//! the port from this line), then serves until a client sends
+//! `POST /shutdown`, at which point it drains gracefully — finishing
+//! every admitted request — and prints the drain summary.
+
+use fairbridge_obs::{JsonlSink, Telemetry};
+use fairbridge_serve::server::{self, ServerConfig};
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    config: ServerConfig,
+    telemetry_path: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config = ServerConfig::default();
+    let mut telemetry_path = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_owned())?;
+            }
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue must be an integer".to_owned())?;
+            }
+            "--engine-threads" => {
+                config.engine.num_threads = value("--engine-threads")?
+                    .parse()
+                    .map_err(|_| "--engine-threads must be an integer".to_owned())?;
+            }
+            "--telemetry" => telemetry_path = Some(value("--telemetry")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fairbridge-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--engine-threads N] [--telemetry PATH]"
+                        .to_owned(),
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        config,
+        telemetry_path,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    let telemetry = match &args.telemetry_path {
+        Some(path) => {
+            let sink = JsonlSink::create(path).map_err(|e| format!("open {path}: {e}"))?;
+            Telemetry::new(Arc::new(sink))
+        }
+        None => Telemetry::off(),
+    };
+
+    let handle = server::start(args.config, telemetry).map_err(|e| format!("start server: {e}"))?;
+    println!("fairbridge-serve listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+
+    while !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let summary = handle.drain();
+    println!(
+        "fairbridge-serve drained: received={} completed={} rejected={} coalesced_hits={}",
+        summary.received, summary.completed, summary.rejected, summary.coalesced_hits
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fairbridge-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The admission-control primitive: a bounded MPMC job queue.
+//!
+//! Admission is **non-blocking** ([`BoundedQueue::try_push`]): when the
+//! queue is full the caller gets [`PushError::Full`] immediately and
+//! turns it into a `429 Too Many Requests` + `Retry-After` — connection
+//! threads must never stack up behind a slow engine, that is what the
+//! bound is *for*. Consumption is blocking ([`BoundedQueue::pop`]):
+//! workers sleep on a condvar until a job or shutdown arrives.
+//!
+//! [`BoundedQueue::close`] is the graceful-drain half: it refuses new
+//! pushes but lets `pop` drain every job already admitted, so closing
+//! the queue never drops accepted work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — backpressure (HTTP 429).
+    Full,
+    /// The queue is closed for admission — draining (HTTP 503).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue with close-and-drain
+/// semantics.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` (≥ 1) queued jobs.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (admitted, not yet claimed by a worker).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits a job unless the queue is full or closed. Returns the
+    /// queue depth after the push.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available, returning `None` once the queue
+    /// is closed **and** drained. Already-admitted jobs are always
+    /// handed out, even after [`BoundedQueue::close`].
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes admission and wakes every sleeping worker. Queued jobs
+    /// remain poppable; new pushes fail with [`PushError::Closed`].
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether the queue is closed for admission.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "space freed by pop re-admits");
+    }
+
+    #[test]
+    fn close_drains_admitted_jobs_then_stops() {
+        let q = BoundedQueue::new(4);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1), "admitted jobs survive close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained and closed");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+    }
+}

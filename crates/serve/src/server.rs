@@ -1,0 +1,476 @@
+//! The audit daemon: accept loop, bounded compute workers, coalescing,
+//! admission control and graceful drain.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! client ──► conn thread (fb-conn-N) ──► coalescer.claim(key)
+//!                 │ leader                      │ follower
+//!                 ▼                             ▼
+//!          BoundedQueue.try_push          slot.wait() ◄─┐
+//!            │ Ok          │ Full/Closed                │
+//!            ▼             ▼                            │
+//!      fb-worker pool   publish 429/503 ────────────────┤
+//!            │ engine.audit / reweigh                   │
+//!            └── coalescer.publish(key, payload) ───────┘
+//! ```
+//!
+//! I/O threads (one per connection) never compute; compute workers (a
+//! fixed [`WorkerPool`]) never block on sockets. Between them sits the
+//! [`BoundedQueue`]: when it is full the leader publishes the
+//! backpressure payload (`429` + `Retry-After`) to the very slot its
+//! followers are parked on, so every rider of a rejected computation
+//! sees the same answer. All threads come from `tabular::par` — the one
+//! sanctioned spawn point in the workspace.
+//!
+//! Every request is attributed to a tenant (`X-FB-Tenant` header): the
+//! evidential trail records `request_received` / `request_completed` /
+//! `request_rejected` / `request_coalesced` events carrying the tenant
+//! id, and per-tenant request counters, so one client's audit history
+//! can be produced without leaking another's.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::drain`] (or `POST /shutdown`) closes the queue —
+//! refusing new work with `503` — then lets the workers finish every
+//! admitted job, joins them, and joins the connection threads (their
+//! reads time out and observe the drain flag). Nothing admitted is ever
+//! dropped: `received == completed + rejected` holds at drain time.
+
+use crate::coalesce::{Claim, Coalescer};
+use crate::http::{read_request, Payload, ReadOutcome, Request};
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire;
+use fairbridge_engine::{Engine, EngineConfig};
+use fairbridge_obs::{FairnessEvent, Telemetry};
+use fairbridge_tabular::par::{spawn_named, WorkerPool};
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Compute workers executing audits/mitigations.
+    pub workers: usize,
+    /// Bounded queue capacity — the admission-control depth.
+    pub queue_capacity: usize,
+    /// Engine execution parameters (shared across all requests, so its
+    /// partition cache is a cross-request layer).
+    pub engine: EngineConfig,
+    /// Socket read timeout; bounds how fast connection threads observe
+    /// the drain flag.
+    pub read_timeout_ms: u64,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 64,
+            engine: EngineConfig::default(),
+            read_timeout_ms: 100,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Liveness counters, all monotone.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// `POST /audit|/mitigate` requests admitted for routing.
+    pub received: AtomicU64,
+    /// Requests answered with a non-backpressure status.
+    pub completed: AtomicU64,
+    /// Requests answered 429 (queue full) or 503 (draining).
+    pub rejected: AtomicU64,
+    /// Requests that attached to an in-flight identical computation.
+    pub coalesced_hits: AtomicU64,
+    tenants: Mutex<BTreeMap<String, u64>>,
+}
+
+impl ServeStats {
+    fn note_tenant(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        *tenants.entry(tenant.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Per-tenant request counts, sorted by tenant id.
+    pub fn tenant_counts(&self) -> Vec<(String, u64)> {
+        self.tenants
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+/// One queued computation.
+struct Job {
+    key: u64,
+    endpoint: &'static str,
+    body: Vec<u8>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    engine: Engine,
+    telemetry: Telemetry,
+    queue: BoundedQueue<Job>,
+    coalescer: Coalescer,
+    stats: ServeStats,
+    draining: AtomicBool,
+    shutdown_requested: AtomicBool,
+    conn_seq: AtomicU64,
+    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// What the daemon did with its life, reported at drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Requests admitted for routing.
+    pub received: u64,
+    /// Requests answered successfully (any non-backpressure status).
+    pub completed: u64,
+    /// Requests refused with 429/503.
+    pub rejected: u64,
+    /// Requests served by an in-flight identical computation.
+    pub coalesced_hits: u64,
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Option<WorkerPool>,
+}
+
+/// Starts the daemon: binds, spawns the worker pool and the accept
+/// loop, and returns immediately.
+pub fn start(config: ServerConfig, telemetry: Telemetry) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let engine = Engine::with_telemetry(config.engine.clone(), telemetry.clone());
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_capacity),
+        coalescer: Coalescer::new(),
+        stats: ServeStats::default(),
+        draining: AtomicBool::new(false),
+        shutdown_requested: AtomicBool::new(false),
+        conn_seq: AtomicU64::new(0),
+        conns: Mutex::new(Vec::new()),
+        engine,
+        telemetry,
+        config,
+    });
+
+    let pool_shared = Arc::clone(&shared);
+    let workers = WorkerPool::spawn("fb-worker", shared.config.workers.max(1), move |_| {
+        worker_loop(&pool_shared)
+    })?;
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = spawn_named("fb-accept", move || accept_loop(&listener, &accept_shared))?;
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers: Some(workers),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a client asked the daemon to shut down
+    /// (`POST /shutdown`). The owner should then call
+    /// [`ServerHandle::drain`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Liveness counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Graceful drain: refuse new work, finish everything admitted,
+    /// join every thread, emit `server_drained`, and flush telemetry.
+    pub fn drain(mut self) -> DrainSummary {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.queue.close();
+        // Unblock the accept loop with one throwaway connection.
+        drop(TcpStream::connect(self.addr));
+        if let Some(accept) = self.accept.take() {
+            drop(accept.join());
+        }
+        if let Some(workers) = self.workers.take() {
+            let _ = workers.join();
+        }
+        let conns = {
+            let mut conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *conns)
+        };
+        for conn in conns {
+            drop(conn.join());
+        }
+        let summary = DrainSummary {
+            received: self.shared.stats.received.load(Ordering::Relaxed),
+            completed: self.shared.stats.completed.load(Ordering::Relaxed),
+            rejected: self.shared.stats.rejected.load(Ordering::Relaxed),
+            coalesced_hits: self.shared.stats.coalesced_hits.load(Ordering::Relaxed),
+        };
+        if self.shared.telemetry.is_enabled() {
+            self.shared.telemetry.emit(FairnessEvent::ServerDrained {
+                completed: summary.completed,
+                rejected: summary.rejected,
+            });
+        }
+        self.shared.telemetry.flush();
+        summary
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let spawned = spawn_named(&format!("fb-conn-{id}"), move || {
+            conn_loop(stream, &conn_shared);
+        });
+        if let Ok(handle) = spawned {
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let payload = {
+            let _span = shared.telemetry.span("serve.execute");
+            match job.endpoint {
+                "/audit" => wire::handle_audit(&shared.engine, &job.body),
+                "/mitigate" => wire::handle_mitigate(&job.body),
+                other => wire::error_payload(404, &format!("no executor for {other}")),
+            }
+        };
+        shared.coalescer.publish(job.key, payload);
+    }
+}
+
+fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let timeout = Duration::from_millis(shared.config.read_timeout_ms.max(1));
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    loop {
+        let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(ReadOutcome::Request(r)) => r,
+            Ok(ReadOutcome::TimedOut) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+            Ok(ReadOutcome::Closed) => break,
+            Err(e) => {
+                let payload = wire::error_payload(400, &e);
+                drop(write_half.write_all(&payload.render(false)));
+                break;
+            }
+        };
+        let wants_close = request.wants_close();
+        let payload = route(&request, shared);
+        let draining = shared.draining.load(Ordering::Acquire);
+        let keep_alive = !wants_close && !draining;
+        if write_half.write_all(&payload.render(keep_alive)).is_err() {
+            break;
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Arc<Payload> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Arc::new(healthz(shared)),
+        ("GET", "/metrics") => Arc::new(metrics(shared)),
+        ("POST", "/shutdown") => {
+            shared.draining.store(true, Ordering::Release);
+            shared.queue.close();
+            shared.shutdown_requested.store(true, Ordering::Release);
+            Arc::new(Payload::json(200, "{\"status\":\"draining\"}".to_owned()))
+        }
+        ("POST", "/audit") => handle_post(request, "/audit", shared),
+        ("POST", "/mitigate") => handle_post(request, "/mitigate", shared),
+        ("GET", _) | ("POST", _) => Arc::new(wire::error_payload(
+            404,
+            &format!("no route {}", request.path),
+        )),
+        (method, _) => Arc::new(wire::error_payload(405, &format!("method {method}"))),
+    }
+}
+
+/// Admission, coalescing and response delivery for the compute routes.
+fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) -> Arc<Payload> {
+    let telemetry = &shared.telemetry;
+    let t_admit = telemetry.now_ns();
+    let tenant = request.tenant();
+    shared.stats.received.fetch_add(1, Ordering::Relaxed);
+    shared.stats.note_tenant(tenant);
+    if telemetry.is_enabled() {
+        telemetry.counter("serve.requests").incr();
+        telemetry
+            .counter(&format!("serve.tenant.{tenant}.requests"))
+            .incr();
+        telemetry.emit(FairnessEvent::RequestReceived {
+            tenant: tenant.to_owned(),
+            endpoint: endpoint.to_owned(),
+        });
+    }
+
+    let key = crate::coalesce::fingerprint(endpoint, &request.body);
+    let (payload, coalesced) = match shared.coalescer.claim(key) {
+        Claim::Follower(slot) => {
+            shared.stats.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+            if telemetry.is_enabled() {
+                telemetry.counter("serve.coalesced").incr();
+                telemetry.emit(FairnessEvent::RequestCoalesced {
+                    tenant: tenant.to_owned(),
+                    fingerprint: key,
+                });
+            }
+            (slot.wait(), true)
+        }
+        Claim::Leader(slot) => {
+            let push = shared.queue.try_push(Job {
+                key,
+                endpoint,
+                body: request.body.clone(),
+            });
+            let payload = match push {
+                Ok(_) => slot.wait(),
+                Err(PushError::Full) => shared.coalescer.publish(
+                    key,
+                    Payload {
+                        status: 429,
+                        retry_after: Some(1),
+                        body: b"{\"error\":\"queue full, retry later\"}".to_vec(),
+                    },
+                ),
+                Err(PushError::Closed) => shared.coalescer.publish(
+                    key,
+                    Payload {
+                        status: 503,
+                        retry_after: Some(1),
+                        body: b"{\"error\":\"draining, not accepting work\"}".to_vec(),
+                    },
+                ),
+            };
+            (payload, false)
+        }
+    };
+
+    let backpressured = payload.status == 429 || payload.status == 503;
+    if backpressured {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+    }
+    if telemetry.is_enabled() {
+        if backpressured {
+            telemetry.counter("serve.rejected").incr();
+            telemetry.emit(FairnessEvent::RequestRejected {
+                tenant: tenant.to_owned(),
+                endpoint: endpoint.to_owned(),
+                status: payload.status,
+            });
+        } else {
+            telemetry.counter("serve.completed").incr();
+        }
+        telemetry.emit(FairnessEvent::RequestCompleted {
+            tenant: tenant.to_owned(),
+            endpoint: endpoint.to_owned(),
+            status: payload.status,
+            coalesced,
+            elapsed_ns: telemetry.now_ns().saturating_sub(t_admit),
+        });
+    }
+    payload
+}
+
+fn healthz(shared: &Arc<Shared>) -> Payload {
+    let draining = shared.draining.load(Ordering::Acquire);
+    let status = if draining { "draining" } else { "ok" };
+    Payload::json(
+        200,
+        format!("{{\"status\":\"{status}\",\"draining\":{draining}}}"),
+    )
+}
+
+fn metrics(shared: &Arc<Shared>) -> Payload {
+    use std::fmt::Write as _;
+    let stats = &shared.stats;
+    let cache = shared.engine.cache_stats();
+    let mut s = String::with_capacity(256);
+    let _ = write!(
+        s,
+        "{{\"received\":{},\"completed\":{},\"rejected\":{},\"coalesced_hits\":{}",
+        stats.received.load(Ordering::Relaxed),
+        stats.completed.load(Ordering::Relaxed),
+        stats.rejected.load(Ordering::Relaxed),
+        stats.coalesced_hits.load(Ordering::Relaxed),
+    );
+    let _ = write!(
+        s,
+        ",\"queue_depth\":{},\"queue_capacity\":{},\"workers\":{},\"in_flight\":{},\"draining\":{}",
+        shared.queue.len(),
+        shared.queue.capacity(),
+        shared.config.workers.max(1),
+        shared.coalescer.in_flight(),
+        shared.draining.load(Ordering::Acquire),
+    );
+    let _ = write!(
+        s,
+        ",\"partition_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{},\"len\":{}}}",
+        cache.hits, cache.misses, cache.inserts, cache.evictions, cache.len,
+    );
+    s.push_str(",\"tenants\":{");
+    for (i, (tenant, count)) in stats.tenant_counts().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        wire::push_str_lit(&mut s, tenant);
+        let _ = write!(s, ":{count}");
+    }
+    s.push_str("}}");
+    Payload::json(200, s)
+}

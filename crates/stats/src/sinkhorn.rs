@@ -19,7 +19,7 @@
 use crate::distribution::Discrete;
 use crate::kernel::dot;
 use fairbridge_obs::Telemetry;
-use fairbridge_tabular::par::ordered_parallel_map;
+use fairbridge_tabular::par::{ordered_parallel_map, size_aware_workers};
 
 /// Convergence tolerance on the scaling-vector max-delta: once an
 /// iteration moves no coordinate of `u` or `v` by more than this, the
@@ -40,6 +40,15 @@ pub const KV_EPSILON_FLOOR: f64 = 1e-300;
 /// count); since each row update is already independent, the chunk size
 /// only balances fan-out overhead, never results.
 const ROW_CHUNK: usize = 64;
+
+/// Work-unit floor per half-pass worker, where one unit is one kernel
+/// cell (`n × row_len` fused-dot elements per half-pass). Calibrated
+/// from `BENCH_kernels.json`: `sinkhorn_par8` (1024 × 1024 ≈ 1M units
+/// per half-pass) lost ~8% to the fused serial solve because each
+/// half-pass re-spawns the pool, so the fan-out must amortize a spawn
+/// per iteration, not per solve. 2M units/worker keeps the benchmark
+/// size inline while a 4096-point support (16M units) still fans out.
+const HALF_PASS_MIN_UNITS_PER_WORKER: usize = 1 << 21;
 
 /// The result of a Sinkhorn solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -191,6 +200,12 @@ fn half_pass(
         };
         ((new - cur).abs(), new)
     };
+    let workers = size_aware_workers(
+        workers,
+        n.div_ceil(ROW_CHUNK),
+        n.saturating_mul(row_len),
+        HALF_PASS_MIN_UNITS_PER_WORKER,
+    );
     if workers <= 1 || n <= ROW_CHUNK {
         let mut max_delta = 0.0f64;
         for (i, s) in scale.iter_mut().enumerate() {
