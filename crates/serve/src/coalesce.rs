@@ -3,18 +3,25 @@
 //!
 //! Every admitted `POST` claims a slot keyed by the FNV-1a fingerprint
 //! of `(endpoint, body bytes)` — the same hash family the engine's
-//! partition cache keys datasets with, extended to the whole request so
+//! partition cache keys datasets with, extended to the whole request.
+//! The hash alone is **not** trusted for identity: the slot stores the
+//! leader's `(endpoint, body)` and a later claimant attaches as a
+//! follower only after byte-comparing its own request against it, so
 //! two requests coalesce only when their responses are guaranteed
-//! byte-identical. The first claimant becomes the **leader** and owns
-//! scheduling the computation; later claimants are **followers** that
-//! park on the slot and receive the exact same [`Payload`] `Arc` the
-//! leader's computation publishes. The tenant header is deliberately
-//! *not* part of the key: tenancy is attribution (spans, counters,
-//! events), never computation.
+//! byte-identical. A fingerprint *collision* (same key, different
+//! request) hands the claimant a private, unregistered slot and its own
+//! independent computation — never another request's (or tenant's)
+//! response. The first claimant becomes the **leader** and owns
+//! scheduling the computation; followers park on the slot and receive
+//! the exact same [`Payload`] `Arc` the leader's computation publishes.
+//! The tenant header is deliberately *not* part of the key: tenancy is
+//! attribution (spans, counters, events), never computation.
 //!
 //! The slot lifecycle guarantees no follower waits forever: whoever is
 //! leader **always** publishes — a successful result, a 4xx parse
-//! error, or the admission-failure payload (429/503) when the bounded
+//! error, a 500 when the execution panicked (the worker loop catches
+//! unwinds precisely so publication still happens), or the
+//! admission-failure payload (429/503) when the bounded
 //! queue refuses the job. Publication removes the key from the in-flight
 //! map *before* waking waiters, so a request arriving after publication
 //! starts a fresh computation instead of attaching to a finished one —
@@ -39,18 +46,34 @@ pub fn fingerprint(endpoint: &str, body: &[u8]) -> u64 {
 }
 
 /// One in-flight computation: followers park here until the leader's
-/// result is published.
+/// result is published. The slot carries the leader's request so (a)
+/// later claimants can byte-verify identity before attaching and (b)
+/// the worker executes against the exact bytes the slot answers for.
 pub struct Slot {
+    endpoint: &'static str,
+    body: Vec<u8>,
     done: Mutex<Option<Arc<Payload>>>,
     cv: Condvar,
 }
 
 impl Slot {
-    fn new() -> Slot {
+    fn new(endpoint: &'static str, body: Vec<u8>) -> Slot {
         Slot {
+            endpoint,
+            body,
             done: Mutex::new(None),
             cv: Condvar::new(),
         }
+    }
+
+    /// The endpoint this slot's computation answers for.
+    pub fn endpoint(&self) -> &'static str {
+        self.endpoint
+    }
+
+    /// The leader's request body.
+    pub fn body(&self) -> &[u8] {
+        &self.body
     }
 
     /// Publishes the payload and wakes every waiter.
@@ -74,11 +97,12 @@ impl Slot {
 }
 
 /// The claim outcome: whoever gets `Leader` must eventually call
-/// [`Coalescer::publish`] for that key.
+/// [`Coalescer::publish`] with that slot.
 pub enum Claim {
-    /// First claimant — owns scheduling and publication.
+    /// Owns scheduling and publication — either the first claimant for
+    /// the key, or a fingerprint-collision victim on a private slot.
     Leader(Arc<Slot>),
-    /// Attached to an in-flight computation — just wait.
+    /// Attached to an in-flight byte-identical computation — just wait.
     Follower(Arc<Slot>),
 }
 
@@ -94,30 +118,38 @@ impl Coalescer {
         Coalescer::default()
     }
 
-    /// Claims the slot for `key`: the first claimant leads, the rest
-    /// follow.
-    pub fn claim(&self, key: u64) -> Claim {
+    /// Claims the slot for `key`: the first claimant leads, later
+    /// claimants whose `(endpoint, body)` byte-match the leader's
+    /// follow. A claimant whose request *differs* despite the equal key
+    /// (a fingerprint collision) leads on a private slot that is never
+    /// registered, so colliding requests compute independently.
+    pub fn claim(&self, key: u64, endpoint: &'static str, body: &[u8]) -> Claim {
         let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(slot) = inflight.get(&key) {
-            return Claim::Follower(Arc::clone(slot));
+            if slot.endpoint == endpoint && slot.body == body {
+                return Claim::Follower(Arc::clone(slot));
+            }
+            return Claim::Leader(Arc::new(Slot::new(endpoint, body.to_vec())));
         }
-        let slot = Arc::new(Slot::new());
+        let slot = Arc::new(Slot::new(endpoint, body.to_vec()));
         inflight.insert(key, Arc::clone(&slot));
         Claim::Leader(slot)
     }
 
-    /// Publishes the result for `key`, waking every attached request,
-    /// and retires the key so later arrivals recompute. Returns the
-    /// shared payload.
-    pub fn publish(&self, key: u64, payload: Payload) -> Arc<Payload> {
+    /// Publishes the result to `slot`, waking every attached request,
+    /// and — if `key` is still registered to this very slot — retires
+    /// the key so later arrivals recompute. A private collision slot is
+    /// not registered, so publishing it never unhooks the slot that
+    /// legitimately owns the key. Returns the shared payload.
+    pub fn publish(&self, key: u64, slot: &Arc<Slot>, payload: Payload) -> Arc<Payload> {
         let payload = Arc::new(payload);
-        let slot = {
+        {
             let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
-            inflight.remove(&key)
-        };
-        if let Some(slot) = slot {
-            slot.publish(Arc::clone(&payload));
+            if inflight.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, slot)) {
+                inflight.remove(&key);
+            }
         }
+        slot.publish(Arc::clone(&payload));
         payload
     }
 
@@ -150,14 +182,18 @@ mod tests {
     fn leader_then_followers_share_one_payload() {
         let c = Coalescer::new();
         let key = fingerprint("/audit", b"{}");
-        let Claim::Leader(leader_slot) = c.claim(key) else {
+        let Claim::Leader(leader_slot) = c.claim(key, "/audit", b"{}") else {
             panic!("first claim must lead");
         };
-        let Claim::Follower(follower_slot) = c.claim(key) else {
-            panic!("second claim must follow");
+        let Claim::Follower(follower_slot) = c.claim(key, "/audit", b"{}") else {
+            panic!("second identical claim must follow");
         };
         assert_eq!(c.in_flight(), 1);
-        let published = c.publish(key, Payload::json(200, "{\"ok\":true}".into()));
+        let published = c.publish(
+            key,
+            &leader_slot,
+            Payload::json(200, "{\"ok\":true}".into()),
+        );
         assert!(Arc::ptr_eq(&published, &leader_slot.wait()));
         assert!(Arc::ptr_eq(&published, &follower_slot.wait()));
         assert_eq!(c.in_flight(), 0, "publication retires the key");
@@ -167,34 +203,65 @@ mod tests {
     fn after_publication_a_new_claim_leads_again() {
         let c = Coalescer::new();
         let key = fingerprint("/audit", b"{}");
-        let Claim::Leader(_) = c.claim(key) else {
+        let Claim::Leader(slot) = c.claim(key, "/audit", b"{}") else {
             panic!("lead");
         };
-        c.publish(key, Payload::json(200, "{}".into()));
+        c.publish(key, &slot, Payload::json(200, "{}".into()));
         assert!(
-            matches!(c.claim(key), Claim::Leader(_)),
+            matches!(c.claim(key, "/audit", b"{}"), Claim::Leader(_)),
             "retired keys restart, they do not serve stale results"
         );
+    }
+
+    #[test]
+    fn colliding_key_with_different_request_never_follows() {
+        let c = Coalescer::new();
+        // Same key claimed with different requests — the situation a
+        // real FNV-1a collision produces.
+        let key = 42;
+        let Claim::Leader(a) = c.claim(key, "/audit", b"aaa") else {
+            panic!("first claim leads");
+        };
+        let Claim::Leader(b) = c.claim(key, "/audit", b"bbb") else {
+            panic!("a colliding claim must not attach to a different request");
+        };
+        let Claim::Leader(m) = c.claim(key, "/mitigate", b"aaa") else {
+            panic!("an endpoint mismatch must not attach either");
+        };
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(c.in_flight(), 1, "private slots are never registered");
+
+        // Publishing a private slot answers only its own request and
+        // leaves the registered owner in flight.
+        c.publish(key, &b, Payload::json(200, "{\"b\":1}".into()));
+        c.publish(key, &m, Payload::json(200, "{\"m\":1}".into()));
+        assert_eq!(b.wait().body, b"{\"b\":1}");
+        assert_eq!(m.wait().body, b"{\"m\":1}");
+        assert_eq!(c.in_flight(), 1);
+
+        c.publish(key, &a, Payload::json(200, "{\"a\":1}".into()));
+        assert_eq!(a.wait().body, b"{\"a\":1}");
+        assert_eq!(c.in_flight(), 0);
     }
 
     #[test]
     fn concurrent_followers_unblock_on_publish() {
         let c = Arc::new(Coalescer::new());
         let key = fingerprint("/audit", b"big");
-        let Claim::Leader(_) = c.claim(key) else {
+        let Claim::Leader(leader) = c.claim(key, "/audit", b"big") else {
             panic!("lead");
         };
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let c = Arc::clone(&c);
-                std::thread::spawn(move || match c.claim(key) {
+                std::thread::spawn(move || match c.claim(key, "/audit", b"big") {
                     Claim::Follower(slot) => slot.wait().status,
                     Claim::Leader(_) => 0,
                 })
             })
             .collect();
         std::thread::sleep(std::time::Duration::from_millis(20));
-        c.publish(key, Payload::json(200, "{}".into()));
+        c.publish(key, &leader, Payload::json(200, "{}".into()));
         for h in handles {
             assert_eq!(h.join().unwrap(), 200);
         }

@@ -17,6 +17,14 @@ use std::net::TcpStream;
 /// Upper bound on a single header line (request line included).
 const MAX_LINE_BYTES: usize = 16 * 1024;
 
+/// How many read-timeout periods a client that has *started* a request
+/// gets to finish sending it before the daemon gives up. At the 100 ms
+/// default socket timeout this is ~5 s of cumulative stall. Between
+/// requests a connection may idle forever (keep-alive); inside one, the
+/// budget keeps a half-sent request from pinning a connection thread
+/// through drain.
+const MID_REQUEST_TIMEOUT_BUDGET: usize = 50;
+
 /// One parsed request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -63,28 +71,43 @@ pub enum ReadOutcome {
     Request(Request),
     /// The peer closed the connection at a request boundary.
     Closed,
-    /// The read timed out at a request boundary — the caller should
-    /// re-check its shutdown flag and try again.
+    /// The read timed out before a request completed — the caller
+    /// should re-check its shutdown flag and call [`read_request`]
+    /// again with the same `pending` buffer, which retains any
+    /// partially received request-line bytes.
     TimedOut,
 }
 
 /// Reads one request from the connection.
 ///
-/// A timeout or EOF **between** requests is a clean event
-/// ([`ReadOutcome::TimedOut`] / [`ReadOutcome::Closed`]); the same
-/// condition **inside** a request is a protocol error.
+/// `pending` carries a partially received request line across
+/// [`ReadOutcome::TimedOut`] returns: the socket timeout can fire after
+/// some request-line bytes were already consumed, and discarding them
+/// would make the next attempt misparse the remainder of the request as
+/// a fresh request line. The caller keeps one `pending` buffer per
+/// connection and passes it back in until a request parses; it is
+/// drained here once the line is complete.
+///
+/// A timeout or EOF with an empty `pending` is a clean between-requests
+/// event ([`ReadOutcome::TimedOut`] / [`ReadOutcome::Closed`]). Once a
+/// request has started, header and body reads absorb up to
+/// [`MID_REQUEST_TIMEOUT_BUDGET`] timeouts — a slow-but-live client is
+/// not answered with a spurious 400 — and only then fail.
 pub fn read_request(
     reader: &mut BufReader<TcpStream>,
+    pending: &mut String,
     max_body: usize,
 ) -> Result<ReadOutcome, String> {
-    let mut line = String::new();
-    match read_line_bounded(reader, &mut line) {
-        Ok(0) => return Ok(ReadOutcome::Closed),
+    match read_line_bounded(reader, pending) {
+        Ok(0) if pending.is_empty() => return Ok(ReadOutcome::Closed),
+        Ok(0) => return Err("connection closed mid-request-line".to_owned()),
         Ok(_) => {}
+        // Partial bytes (if any) stay in `pending` for the next attempt.
         Err(e) if is_timeout(&e) => return Ok(ReadOutcome::TimedOut),
         Err(e) => return Err(format!("read request line: {e}")),
     }
-    let line = line.trim_end_matches(['\r', '\n']);
+    let request_line = std::mem::take(pending);
+    let line = request_line.trim_end_matches(['\r', '\n']);
     let mut parts = line.split_ascii_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) => (m, p, v),
@@ -95,12 +118,17 @@ pub fn read_request(
     }
 
     let mut headers = BTreeMap::new();
+    let mut timeout_budget = MID_REQUEST_TIMEOUT_BUDGET;
     loop {
         let mut hl = String::new();
-        match read_line_bounded(reader, &mut hl) {
-            Ok(0) => return Err("connection closed mid-headers".to_owned()),
-            Ok(_) => {}
-            Err(e) => return Err(format!("read header: {e}")),
+        loop {
+            match read_line_bounded(reader, &mut hl) {
+                Ok(0) => return Err("connection closed mid-headers".to_owned()),
+                Ok(_) => break,
+                // Partial header bytes stay in `hl`; retry within budget.
+                Err(e) if is_timeout(&e) && timeout_budget > 0 => timeout_budget -= 1,
+                Err(e) => return Err(format!("read header: {e}")),
+            }
         }
         let hl = hl.trim_end_matches(['\r', '\n']);
         if hl.is_empty() {
@@ -123,11 +151,19 @@ pub fn read_request(
             "body of {content_length} bytes exceeds the {max_body}-byte limit"
         ));
     }
+    // Not `read_exact`: it discards already-read bytes on a timeout
+    // error, which would corrupt the body. Track the fill point so a
+    // timeout mid-body resumes where it left off.
     let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| format!("read body: {e}"))?;
+    let mut filled = 0;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err("connection closed mid-body".to_owned()),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) && timeout_budget > 0 => timeout_budget -= 1,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("read body: {e}")),
+        }
     }
 
     Ok(ReadOutcome::Request(Request {
@@ -138,14 +174,23 @@ pub fn read_request(
     }))
 }
 
-/// `read_line` with a hard per-line byte bound.
+/// `read_line` with a hard per-line byte bound. The bound covers the
+/// *total* line, including bytes `out` already holds from a prior
+/// timed-out attempt; a timeout leaves the partial line in `out`.
 fn read_line_bounded(
     reader: &mut BufReader<TcpStream>,
     out: &mut String,
 ) -> std::io::Result<usize> {
-    let mut taken = reader.take(MAX_LINE_BYTES as u64);
+    let remaining = MAX_LINE_BYTES.saturating_sub(out.len());
+    if remaining == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "header line too long",
+        ));
+    }
+    let mut taken = reader.take(remaining as u64);
     let n = taken.read_line(out)?;
-    if n >= MAX_LINE_BYTES {
+    if out.len() >= MAX_LINE_BYTES && !out.ends_with('\n') {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "header line too long",

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fairbridge-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!                  [--engine-threads N] [--telemetry PATH]
+//!                  [--engine-threads N] [--max-conns N] [--telemetry PATH]
 //! ```
 //!
 //! Prints `fairbridge-serve listening on <addr>` once bound (CI scrapes
@@ -49,11 +49,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--engine-threads must be an integer".to_owned())?;
             }
+            "--max-conns" => {
+                config.max_connections = value("--max-conns")?
+                    .parse()
+                    .map_err(|_| "--max-conns must be an integer".to_owned())?;
+            }
             "--telemetry" => telemetry_path = Some(value("--telemetry")?),
             "--help" | "-h" => {
                 return Err(
                     "usage: fairbridge-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--engine-threads N] [--telemetry PATH]"
+                     [--engine-threads N] [--max-conns N] [--telemetry PATH]"
                         .to_owned(),
                 );
             }

@@ -27,7 +27,13 @@
 //! evidential trail records `request_received` / `request_completed` /
 //! `request_rejected` / `request_coalesced` events carrying the tenant
 //! id, and per-tenant request counters, so one client's audit history
-//! can be produced without leaking another's.
+//! can be produced without leaking another's. Tenant ids are
+//! client-supplied, so they are validated (length + charset → `invalid`
+//! otherwise) and only [`MAX_TRACKED_TENANTS`] distinct ids get their
+//! own stats/counter entries — the rest share the `other` bucket,
+//! keeping daemon memory independent of client behavior. Connections
+//! are likewise capped ([`ServerConfig::max_connections`], `503` past
+//! the limit) and finished connection threads are reaped on accept.
 //!
 //! ## Shutdown
 //!
@@ -37,7 +43,7 @@
 //! reads time out and observe the drain flag). Nothing admitted is ever
 //! dropped: `received == completed + rejected` holds at drain time.
 
-use crate::coalesce::{Claim, Coalescer};
+use crate::coalesce::{Claim, Coalescer, Slot};
 use crate::http::{read_request, Payload, ReadOutcome, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::wire;
@@ -68,6 +74,9 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Most concurrently open connections; extras are refused with an
+    /// immediate `503` so one thread per socket stays bounded.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,7 +88,32 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             read_timeout_ms: 100,
             max_body_bytes: 16 * 1024 * 1024,
+            max_connections: 256,
         }
+    }
+}
+
+/// Most distinct tenant ids tracked individually in stats and counters;
+/// later arrivals are charged to the `other` bucket so a client cycling
+/// unique `X-FB-Tenant` values cannot grow the maps without bound.
+const MAX_TRACKED_TENANTS: usize = 64;
+
+/// Longest accepted tenant id, in bytes.
+const MAX_TENANT_LEN: usize = 64;
+
+/// Validates the client-supplied tenant id: bounded length, ASCII
+/// `[A-Za-z0-9._-]` only. Anything else is attributed to `invalid` —
+/// tenancy is attribution, and arbitrary header bytes must not become
+/// counter names or unbounded map keys.
+fn sanitize_tenant(raw: &str) -> &str {
+    let valid = raw.len() <= MAX_TENANT_LEN
+        && raw
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if valid {
+        raw
+    } else {
+        "invalid"
     }
 }
 
@@ -98,9 +132,21 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    fn note_tenant(&self, tenant: &str) {
+    /// Records the request against `tenant`, folding tenants beyond the
+    /// [`MAX_TRACKED_TENANTS`] cap into the `other` bucket. Returns the
+    /// bucket actually charged — also the per-tenant counter key.
+    fn note_tenant<'a>(&self, tenant: &'a str) -> &'a str {
         let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
-        *tenants.entry(tenant.to_owned()).or_insert(0) += 1;
+        if let Some(count) = tenants.get_mut(tenant) {
+            *count += 1;
+            return tenant;
+        }
+        if tenants.len() < MAX_TRACKED_TENANTS {
+            tenants.insert(tenant.to_owned(), 1);
+            return tenant;
+        }
+        *tenants.entry("other".to_owned()).or_insert(0) += 1;
+        "other"
     }
 
     /// Per-tenant request counts, sorted by tenant id.
@@ -114,11 +160,12 @@ impl ServeStats {
     }
 }
 
-/// One queued computation.
+/// One queued computation. The request bytes live in the slot, which
+/// also lets the worker publish directly to the claimants even when the
+/// slot is a private (collision) one the key no longer resolves to.
 struct Job {
     key: u64,
-    endpoint: &'static str,
-    body: Vec<u8>,
+    slot: Arc<Slot>,
 }
 
 struct Shared {
@@ -250,7 +297,20 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.draining.load(Ordering::Acquire) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let Ok(mut stream) = stream else { continue };
+        {
+            // Reap finished connection threads so a long-lived daemon's
+            // handle list tracks live connections, not history, and
+            // refuse connections beyond the concurrency cap — each one
+            // costs a thread.
+            let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            conns.retain(|h| !h.is_finished());
+            if conns.len() >= shared.config.max_connections.max(1) {
+                let payload = wire::error_payload(503, "connection limit reached, retry later");
+                drop(stream.write_all(&payload.render(false)));
+                continue;
+            }
+        }
         let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
         let conn_shared = Arc::clone(shared);
         let spawned = spawn_named(&format!("fb-conn-{id}"), move || {
@@ -268,15 +328,24 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        let payload = {
+        // The unwind guard is load-bearing: the leader connection and
+        // every coalesced follower are parked on this job's slot with
+        // no timeout, and the repo still tracks grandfathered panic
+        // sites. If execution panics, publication must still happen —
+        // otherwise those connections hang forever, the worker dies,
+        // and drain deadlocks joining them.
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _span = shared.telemetry.span("serve.execute");
-            match job.endpoint {
-                "/audit" => wire::handle_audit(&shared.engine, &job.body),
-                "/mitigate" => wire::handle_mitigate(&job.body),
+            match job.slot.endpoint() {
+                "/audit" => wire::handle_audit(&shared.engine, job.slot.body()),
+                "/mitigate" => wire::handle_mitigate(job.slot.body()),
                 other => wire::error_payload(404, &format!("no executor for {other}")),
             }
-        };
-        shared.coalescer.publish(job.key, payload);
+        }));
+        let payload = executed.unwrap_or_else(|_| {
+            wire::error_payload(500, "internal error: request execution panicked")
+        });
+        shared.coalescer.publish(job.key, &job.slot, payload);
     }
 }
 
@@ -290,8 +359,11 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let mut reader = BufReader::new(read_half);
     let mut write_half = stream;
+    // Holds a partially received request line across read timeouts so a
+    // slow sender is resumed mid-line instead of misparsed.
+    let mut pending = String::new();
     loop {
-        let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+        let request = match read_request(&mut reader, &mut pending, shared.config.max_body_bytes) {
             Ok(ReadOutcome::Request(r)) => r,
             Ok(ReadOutcome::TimedOut) => {
                 if shared.draining.load(Ordering::Acquire) {
@@ -343,13 +415,13 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Arc<Payload> {
 fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) -> Arc<Payload> {
     let telemetry = &shared.telemetry;
     let t_admit = telemetry.now_ns();
-    let tenant = request.tenant();
+    let tenant = sanitize_tenant(request.tenant());
     shared.stats.received.fetch_add(1, Ordering::Relaxed);
-    shared.stats.note_tenant(tenant);
+    let bucket = shared.stats.note_tenant(tenant);
     if telemetry.is_enabled() {
         telemetry.counter("serve.requests").incr();
         telemetry
-            .counter(&format!("serve.tenant.{tenant}.requests"))
+            .counter(&format!("serve.tenant.{bucket}.requests"))
             .incr();
         telemetry.emit(FairnessEvent::RequestReceived {
             tenant: tenant.to_owned(),
@@ -358,7 +430,7 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
     }
 
     let key = crate::coalesce::fingerprint(endpoint, &request.body);
-    let (payload, coalesced) = match shared.coalescer.claim(key) {
+    let (payload, coalesced) = match shared.coalescer.claim(key, endpoint, &request.body) {
         Claim::Follower(slot) => {
             shared.stats.coalesced_hits.fetch_add(1, Ordering::Relaxed);
             if telemetry.is_enabled() {
@@ -373,13 +445,13 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
         Claim::Leader(slot) => {
             let push = shared.queue.try_push(Job {
                 key,
-                endpoint,
-                body: request.body.clone(),
+                slot: Arc::clone(&slot),
             });
             let payload = match push {
                 Ok(_) => slot.wait(),
                 Err(PushError::Full) => shared.coalescer.publish(
                     key,
+                    &slot,
                     Payload {
                         status: 429,
                         retry_after: Some(1),
@@ -388,6 +460,7 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
                 ),
                 Err(PushError::Closed) => shared.coalescer.publish(
                     key,
+                    &slot,
                     Payload {
                         status: 503,
                         retry_after: Some(1),

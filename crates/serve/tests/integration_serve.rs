@@ -383,6 +383,138 @@ fn soak_32_connections_with_coalescing_and_clean_drain() {
 }
 
 #[test]
+fn slow_sender_pausing_mid_request_is_not_misparsed() {
+    let (handle, _telemetry) = start_server(1, 4);
+    let addr = handle.addr().to_string();
+
+    // Pause longer than the daemon's 100 ms socket read timeout at the
+    // nastiest spots: mid-request-line, mid-headers, and mid-body. The
+    // daemon must resume each read where it left off — a 200 proves the
+    // request was reassembled intact; discarding partial bytes would
+    // misparse the tail as a garbage request line (400) or hang.
+    let body = synthetic_audit_body(0);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let pause = Duration::from_millis(250);
+    stream.write_all(b"POST /au").expect("write");
+    thread::sleep(pause);
+    stream
+        .write_all(b"dit HTTP/1.1\r\nHost: fair")
+        .expect("write");
+    thread::sleep(pause);
+    let rest = format!(
+        "bridge\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(rest.as_bytes()).expect("write");
+    thread::sleep(pause);
+    stream.write_all(&body.as_bytes()[..40]).expect("write");
+    thread::sleep(pause);
+    stream.write_all(&body.as_bytes()[40..]).expect("write");
+
+    let mut reader = BufReader::new(stream);
+    let resp = fairbridge_serve::http::read_response(&mut reader).expect("response");
+    assert_eq!(
+        resp.status, 200,
+        "a slow-but-live sender must be served, got {}: {}",
+        resp.status,
+        String::from_utf8_lossy(&resp.body)
+    );
+
+    handle.drain();
+}
+
+#[test]
+fn hostile_tenant_ids_are_sanitized_and_bounded() {
+    let (handle, telemetry) = start_server(2, 16);
+    let addr = handle.addr().to_string();
+    let body = synthetic_audit_body(0);
+
+    // An out-of-charset tenant id still gets served, but is attributed
+    // to "invalid" rather than becoming a counter name verbatim.
+    let resp = post_audit(&addr, "../etc/passwd", &body);
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        counter(&telemetry, "serve.tenant.invalid.requests"),
+        1,
+        "malformed tenant ids must collapse into the invalid bucket"
+    );
+
+    // A client cycling unique tenant ids must not grow the stats map or
+    // the counter registry without bound: past the tracking cap, extras
+    // land in "other".
+    for i in 0..70 {
+        let resp = post_audit(&addr, &format!("flood-{i}"), &body);
+        assert_eq!(resp.status, 200);
+    }
+    let tenants = handle.stats().tenant_counts();
+    assert!(
+        tenants.len() <= 65,
+        "tenant stats must be capped, got {} entries",
+        tenants.len()
+    );
+    assert!(
+        tenants.iter().any(|(name, _)| name == "other"),
+        "overflow tenants must be charged to the other bucket"
+    );
+    let total: u64 = tenants.iter().map(|(_, count)| count).sum();
+    assert_eq!(total, 71, "every request is charged to exactly one bucket");
+    let tenant_counters = telemetry
+        .counter_values()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("serve.tenant."))
+        .count();
+    assert!(
+        tenant_counters <= 65,
+        "per-tenant counter registry must be capped, got {tenant_counters}"
+    );
+
+    handle.drain();
+}
+
+#[test]
+fn connections_beyond_the_cap_are_refused_with_503() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        max_connections: 2,
+        ..ServerConfig::default()
+    };
+    let handle = server::start(config, fairbridge_obs::Telemetry::off()).expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // Two live keep-alive connections occupy the cap.
+    let (mut s1, mut r1) = load::connect(&addr).expect("conn 1");
+    let first = load::request_on(&mut s1, &mut r1, "GET", "/healthz", "ops", b"").expect("healthz");
+    assert_eq!(first.status, 200);
+    let (mut s2, mut r2) = load::connect(&addr).expect("conn 2");
+    let second = load::request_on(&mut s2, &mut r2, "GET", "/healthz", "ops", b"").expect("healthz");
+    assert_eq!(second.status, 200);
+
+    // The third is refused at accept time, before any request is sent.
+    let (_s3, mut r3) = load::connect(&addr).expect("conn 3");
+    let refused = fairbridge_serve::http::read_response(&mut r3).expect("refusal");
+    assert_eq!(refused.status, 503);
+
+    // Closing a connection frees capacity once its thread is reaped.
+    drop(s1);
+    drop(r1);
+    wait_until("capacity freed after close", || {
+        let Ok((mut s, mut r)) = load::connect(&addr) else {
+            return false;
+        };
+        matches!(
+            load::request_on(&mut s, &mut r, "GET", "/healthz", "ops", b""),
+            Ok(resp) if resp.status == 200
+        )
+    });
+
+    handle.drain();
+}
+
+#[test]
 fn healthz_and_unknown_routes() {
     let (handle, _telemetry) = start_server(1, 4);
     let addr = handle.addr().to_string();
