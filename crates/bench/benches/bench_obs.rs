@@ -1,0 +1,84 @@
+//! Bench for the observability layer itself: what does the evidential
+//! trail cost when it is on?
+//!
+//! Two tiers. The micro tier times the primitive operations — span
+//! enter/exit, counter increment, histogram record — with telemetry
+//! disabled (`Telemetry::off`, the branch-only fast path) and enabled
+//! against a [`NoopSink`] (full emission cost minus any I/O). The macro
+//! tier runs a real `Engine::audit` both ways: the enabled/disabled
+//! ratio is the number the instrumentation budget is written against
+//! (the trail must cost ≤ 5% of audit wall time).
+
+use fairbridge::prelude::*;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
+use fairbridge_bench::{criterion_group, criterion_main};
+use fairbridge_engine::{AuditSpec, Engine, EngineConfig};
+use fairbridge_obs::{NoopSink, Telemetry};
+use fairbridge_stats::rng::StdRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn telemetry_pair() -> [(&'static str, Telemetry); 2] {
+    [
+        ("disabled", Telemetry::off()),
+        ("enabled_noop", Telemetry::new(Arc::new(NoopSink))),
+    ]
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    for (mode, telemetry) in telemetry_pair() {
+        group.bench_with_input(BenchmarkId::new("span_enter_exit", mode), &(), |b, ()| {
+            b.iter(|| {
+                let _span = telemetry.span("bench.span");
+                black_box(())
+            })
+        });
+        let counter = telemetry.counter("bench.counter");
+        group.bench_with_input(BenchmarkId::new("counter_incr", mode), &(), |b, ()| {
+            b.iter(|| black_box(&counter).incr())
+        });
+        let histogram = telemetry.histogram("bench.histogram_ns");
+        let mut x = 1u64;
+        group.bench_with_input(BenchmarkId::new("histogram_record", mode), &(), |b, ()| {
+            b.iter(|| {
+                // Vary the value so bucket selection is not branch-predicted
+                // into irrelevance.
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                black_box(&histogram).record(x >> 32)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("histogram_quantile", mode),
+            &(),
+            |b, ()| b.iter(|| black_box(histogram.quantile(0.99))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_audit_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_audit_overhead");
+    group.sample_size(10);
+    let n = 100_000usize;
+    let mut rng = StdRng::seed_from_u64(23);
+    let ds = fairbridge::synth::hiring::generate(
+        &HiringConfig {
+            n,
+            ..HiringConfig::biased()
+        },
+        &mut rng,
+    )
+    .dataset;
+    let spec = AuditSpec::new(&["sex"], true);
+    for (mode, telemetry) in telemetry_pair() {
+        let engine = Engine::with_telemetry(EngineConfig::default(), telemetry);
+        group.bench_with_input(BenchmarkId::new("engine_audit", mode), &n, |b, _| {
+            b.iter(|| black_box(engine.audit(&ds, &spec).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_audit_overhead);
+criterion_main!(benches);

@@ -204,7 +204,16 @@ impl Engine {
             )
         };
 
+        let t_scan = self.telemetry.now_ns();
         let acc = self.accumulate(&partition, &decisions, labels.as_deref())?;
+        if self.telemetry.is_enabled() {
+            // The scan-phase duration as a histogram, not just spans:
+            // the serving layer's latency decomposition reads this back
+            // out of `/metrics` without parsing the event stream.
+            self.telemetry
+                .histogram("engine.scan_ns")
+                .record(self.telemetry.now_ns().saturating_sub(t_scan));
+        }
         let metrics = {
             let _span = self.telemetry.span("engine.finalize");
             from_accumulator(&acc, spec.config.tolerance, spec.config.min_group_size)

@@ -194,6 +194,21 @@ pub enum FairnessEvent {
         /// Requests refused at admission over the daemon's lifetime.
         rejected: u64,
     },
+    /// A tenant's rolling error-budget burn rate crossed 1.0: the tenant
+    /// is consuming budget faster than the SLO allows. Emitted once per
+    /// transition into breach, not per bad request.
+    SloBreached {
+        /// Tenant bucket the breach is attributed to.
+        tenant: String,
+        /// The configured latency objective in milliseconds.
+        objective_ms: f64,
+        /// The burn rate at the moment of breach (≥ 1.0).
+        burn_rate: f64,
+        /// Good requests in the rolling window at breach time.
+        good: u64,
+        /// Bad requests (over-objective or rejected) in the window.
+        bad: u64,
+    },
 }
 
 impl EventKind {
@@ -227,6 +242,7 @@ impl FairnessEvent {
             FairnessEvent::RequestRejected { .. } => "request_rejected",
             FairnessEvent::RequestCoalesced { .. } => "request_coalesced",
             FairnessEvent::ServerDrained { .. } => "server_drained",
+            FairnessEvent::SloBreached { .. } => "slo_breached",
         }
     }
 }
@@ -440,6 +456,21 @@ impl Event {
                 } => {
                     let _ = write!(s, ",\"completed\":{completed},\"rejected\":{rejected}");
                 }
+                FairnessEvent::SloBreached {
+                    tenant,
+                    objective_ms,
+                    burn_rate,
+                    good,
+                    bad,
+                } => {
+                    s.push_str(",\"tenant\":");
+                    push_str_lit(&mut s, tenant);
+                    s.push_str(",\"objective_ms\":");
+                    push_f64(&mut s, *objective_ms);
+                    s.push_str(",\"burn_rate\":");
+                    push_f64(&mut s, *burn_rate);
+                    let _ = write!(s, ",\"good\":{good},\"bad\":{bad}");
+                }
             },
         }
         s.push('}');
@@ -559,6 +590,20 @@ mod tests {
             endpoint: "/audit".into(),
         }));
         assert!(e.to_json().contains("\"kind\":\"request_received\""));
+
+        let e = envelope(EventKind::Fairness(FairnessEvent::SloBreached {
+            tenant: "bank-a".into(),
+            objective_ms: 250.0,
+            burn_rate: 2.5,
+            good: 90,
+            bad: 10,
+        }));
+        let json = e.to_json();
+        assert!(json.contains("\"kind\":\"slo_breached\""));
+        assert!(json.contains("\"tenant\":\"bank-a\""));
+        assert!(json.contains("\"objective_ms\":250"));
+        assert!(json.contains("\"burn_rate\":2.5"));
+        assert!(json.contains("\"good\":90,\"bad\":10"));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod span;
 pub mod telemetry;
 
 pub use event::{Event, EventKind, FairnessEvent};
-pub use registry::{Counter, Histogram, HistogramStats};
+pub use registry::{BucketCount, Counter, Histogram, HistogramStats, SUBBUCKETS};
 pub use sink::{JsonlSink, NoopSink, RingSink, Sink};
 pub use span::SpanGuard;
 pub use telemetry::Telemetry;

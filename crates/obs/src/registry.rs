@@ -1,4 +1,4 @@
-//! Monotonic counters and log₂-bucketed histograms behind a cheap
+//! Monotonic counters and log-linear histograms behind a cheap
 //! name-keyed registry.
 //!
 //! Handles ([`Counter`], [`Histogram`]) are `Arc`-backed and can be
@@ -7,6 +7,18 @@
 //! obtained from a *disabled* telemetry carries no cell at all — its
 //! update methods are a branch on `None` and compile down to nothing
 //! observable, which is what keeps the disabled path negligible.
+//!
+//! ## Bucket layout
+//!
+//! Histograms are **log-linear**: each power of two is subdivided into
+//! [`SUBBUCKETS`] = 16 linear sub-buckets, so a recorded value lands in
+//! a bucket whose width is at most 1/16 of its lower bound. That bounds
+//! the relative error of [`Histogram::quantile`] by one sub-bucket
+//! (≤ 1/16; ≤ 1/32 for the midpoint representative actually returned),
+//! where the earlier log₂-only layout could only bracket a p99 within
+//! 2×. Values below 16 get exact unit-width buckets. The legacy log₂
+//! view ([`Histogram::buckets`]) is derived from the same cells, so
+//! pre-existing consumers see identical numbers.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,7 +58,49 @@ impl Counter {
     }
 }
 
-/// Shared histogram storage: power-of-two buckets over `u64` values plus
+/// Linear sub-buckets per power of two. 16 sub-buckets bound the
+/// relative quantile error at 1/16.
+pub const SUBBUCKETS: usize = 16;
+
+/// Total log-linear buckets: 16 exact unit buckets for values `< 16`,
+/// then 16 sub-buckets for each power of two from `2^4` through `2^63`.
+const NUM_BUCKETS: usize = SUBBUCKETS + 60 * SUBBUCKETS;
+
+/// The log-linear bucket index for `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUBBUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize; // value ∈ [2^msb, 2^(msb+1))
+    let sub = ((value >> (msb - 4)) & 0xF) as usize;
+    (msb - 3) * SUBBUCKETS + sub
+}
+
+/// The `[lo, hi)` value range of bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUBBUCKETS {
+        return (index as u64, index as u64 + 1);
+    }
+    let msb = index / SUBBUCKETS + 3;
+    let sub = (index % SUBBUCKETS) as u64;
+    let width = 1u64 << (msb - 4);
+    let lo = (1u64 << msb) + sub * width;
+    (lo, lo.saturating_add(width))
+}
+
+/// The representative value reported for bucket `index`: the exact value
+/// for unit-width buckets, the bucket midpoint otherwise (relative error
+/// to any member ≤ 1/32).
+fn bucket_representative(index: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(index);
+    if hi - lo <= 1 {
+        lo
+    } else {
+        lo + (hi - lo) / 2
+    }
+}
+
+/// Shared histogram storage: log-linear buckets over `u64` values plus
 /// count/sum/min/max.
 #[derive(Debug)]
 pub(crate) struct HistogramCell {
@@ -54,9 +108,7 @@ pub(crate) struct HistogramCell {
     sum: AtomicU64,
     min: AtomicU64, // stores value + 1 so 0 can mean "empty"
     max: AtomicU64,
-    /// `buckets[i]` counts values whose bit length is `i` (i.e. in
-    /// `[2^(i-1), 2^i)`; bucket 0 counts zeros).
-    buckets: [AtomicU64; 65],
+    buckets: Vec<AtomicU64>,
 }
 
 impl Default for HistogramCell {
@@ -66,7 +118,7 @@ impl Default for HistogramCell {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(0),
             max: AtomicU64::new(0),
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -98,6 +150,18 @@ impl HistogramStats {
     }
 }
 
+/// One non-empty log-linear bucket in a [`Histogram::nonzero_buckets`]
+/// snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Smallest value the bucket covers (inclusive).
+    pub lo: u64,
+    /// Smallest value above the bucket (exclusive upper bound).
+    pub hi: u64,
+    /// Observations recorded into the bucket.
+    pub count: u64,
+}
+
 impl Histogram {
     /// A handle that ignores every update (the disabled-telemetry path).
     pub fn disabled() -> Histogram {
@@ -125,8 +189,9 @@ impl Histogram {
                     }
                 })
                 .ok();
-            let bucket = (u64::BITS - value.leading_zeros()) as usize;
-            cell.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            if let Some(bucket) = cell.buckets.get(bucket_index(value)) {
+                bucket.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -148,15 +213,77 @@ impl Histogram {
         }
     }
 
-    /// The log₂ bucket counts: entry `i` counts values with bit length
-    /// `i` (entry 0 counts zeros). Empty for a disabled handle.
+    /// The legacy log₂ bucket counts: entry `i` counts values with bit
+    /// length `i` (entry 0 counts zeros). Empty for a disabled handle.
+    /// Derived exactly from the log-linear cells, so consumers of the
+    /// pre-log-linear API see unchanged numbers.
     pub fn buckets(&self) -> Vec<u64> {
-        self.cell.as_ref().map_or_else(Vec::new, |cell| {
-            cell.buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect()
-        })
+        let Some(cell) = self.cell.as_ref() else {
+            return Vec::new();
+        };
+        let raw: Vec<u64> = cell
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let mut log2 = vec![0u64; 65];
+        for (index, count) in raw.iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            let (lo, _) = bucket_bounds(index);
+            let bit_len = (64 - lo.leading_zeros()) as usize;
+            if let Some(slot) = log2.get_mut(bit_len) {
+                *slot += count;
+            }
+        }
+        log2
+    }
+
+    /// The non-empty log-linear buckets, in ascending value order.
+    pub fn nonzero_buckets(&self) -> Vec<BucketCount> {
+        let Some(cell) = self.cell.as_ref() else {
+            return Vec::new();
+        };
+        cell.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(index, bucket)| {
+                let count = bucket.load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                let (lo, hi) = bucket_bounds(index);
+                Some(BucketCount { lo, hi, count })
+            })
+            .collect()
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) of the recorded values, with
+    /// relative error bounded by one sub-bucket (≤ 1/16; the returned
+    /// midpoint is within 1/32 of any value in the bucket). Uses the
+    /// same nearest-rank convention as sorting the samples and taking
+    /// index `round(q · (n−1))`, so it can be compared directly against
+    /// exact sample quantiles. Returns 0 when empty or disabled.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(cell) = self.cell.as_ref() else {
+            return 0;
+        };
+        let n = cell.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (n - 1) as f64).round() as u64;
+        let mut cumulative = 0u64;
+        for (index, bucket) in cell.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative > rank {
+                return bucket_representative(index);
+            }
+        }
+        // Concurrent recording can leave count ahead of the bucket sums;
+        // the largest observed value is the honest fallback.
+        cell.max.load(Ordering::Relaxed)
     }
 }
 
@@ -199,6 +326,15 @@ impl Registry {
             .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, cell)| (name.clone(), Histogram::live(Arc::clone(cell)).snapshot()))
+            .collect()
+    }
+
+    pub(crate) fn histogram_handles(&self) -> Vec<(String, Histogram)> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, cell)| (name.clone(), Histogram::live(Arc::clone(cell))))
             .collect()
     }
 }
@@ -245,6 +381,8 @@ mod tests {
         h.record(10);
         assert_eq!(h.snapshot().count, 0);
         assert!(h.buckets().is_empty());
+        assert!(h.nonzero_buckets().is_empty());
+        assert_eq!(h.quantile(0.5), 0);
     }
 
     #[test]
@@ -286,5 +424,74 @@ mod tests {
         assert_eq!(snap.min, 0);
         assert_eq!(snap.max, 19_999);
         assert_eq!(snap.sum, (0..20_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_inverse() {
+        // Every bucket's bounds contain exactly the values that map back
+        // to its index.
+        for index in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(index);
+            assert_eq!(bucket_index(lo), index, "lo of bucket {index}");
+            if hi > lo + 1 && hi != u64::MAX {
+                assert_eq!(bucket_index(hi - 1), index, "hi-1 of bucket {index}");
+            }
+            let rep = bucket_representative(index);
+            assert!(rep >= lo && rep < hi.max(lo + 1), "rep of bucket {index}");
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn sub_bucket_width_bounds_relative_error() {
+        for index in SUBBUCKETS..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(index);
+            let width = hi - lo;
+            assert!(
+                width * SUBBUCKETS as u64 <= lo,
+                "bucket {index}: width {width} > lo/{SUBBUCKETS} ({lo})"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_partition_the_count() {
+        let registry = Registry::default();
+        let h = registry.histogram("ns");
+        for v in [0u64, 5, 17, 17, 1_000, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), 7);
+        assert!(buckets.windows(2).all(|w| match w {
+            [a, b] => a.hi <= b.lo,
+            _ => true,
+        }));
+        for b in &buckets {
+            assert!(b.count > 0 && b.lo < b.hi);
+        }
+    }
+
+    #[test]
+    fn quantile_on_a_known_distribution() {
+        let registry = Registry::default();
+        let h = registry.histogram("ns");
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [
+            (0.0, 1u64),
+            (0.5, 500),
+            (0.9, 900),
+            (0.99, 990),
+            (1.0, 1000),
+        ] {
+            let got = h.quantile(q);
+            let err = got.abs_diff(exact) as f64 / exact as f64;
+            assert!(
+                err <= 1.0 / SUBBUCKETS as f64,
+                "q={q}: got {got}, exact {exact}, rel err {err}"
+            );
+        }
     }
 }

@@ -72,7 +72,20 @@ impl SpanGuard {
     }
 
     pub(crate) fn open(telemetry: Telemetry, id: u64, name: String) -> SpanGuard {
-        let parent = current_span();
+        SpanGuard::open_with_parent(telemetry, id, name, current_span())
+    }
+
+    /// Opens a span under an explicit parent instead of the calling
+    /// thread's innermost span — the cross-thread attribution path
+    /// (e.g. a worker executing a job on behalf of a connection
+    /// thread's request span). The span is still pushed onto *this*
+    /// thread's stack so spans opened inside it nest normally.
+    pub(crate) fn open_with_parent(
+        telemetry: Telemetry,
+        id: u64,
+        name: String,
+        parent: Option<u64>,
+    ) -> SpanGuard {
         telemetry.emit_raw(
             Some(id),
             parent,

@@ -107,6 +107,50 @@ impl Telemetry {
         SpanGuard::open(self.clone(), id, name.into())
     }
 
+    /// Opens a span under an explicit parent id instead of the calling
+    /// thread's innermost span — the cross-thread attribution hook for
+    /// worker threads executing on behalf of another thread's request.
+    /// The guard still pushes onto the calling thread's stack, so spans
+    /// opened inside it nest under it normally.
+    pub fn span_in<N: Into<String>>(&self, name: N, parent: Option<u64>) -> SpanGuard {
+        if !self.inner.enabled {
+            return SpanGuard::inert();
+        }
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
+        SpanGuard::open_with_parent(self.clone(), id, name.into(), parent)
+    }
+
+    /// Records an already-elapsed interval as a closed span under
+    /// `parent`: emits a `span_start` stamped at `start_ns` and a
+    /// matching `span_end` stamped at `end_ns`. This is how a worker
+    /// makes *waiting* visible after the fact — queue residency is only
+    /// known once the job is popped, so the span is reconstructed
+    /// retroactively with honest timestamps rather than measured live.
+    pub fn record_span(&self, name: &str, parent: Option<u64>, start_ns: u64, end_ns: u64) {
+        if !self.inner.enabled {
+            return;
+        }
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
+        let end_ns = end_ns.max(start_ns);
+        self.emit_raw_at(
+            start_ns,
+            Some(id),
+            parent,
+            EventKind::SpanStart {
+                name: name.to_owned(),
+            },
+        );
+        self.emit_raw_at(
+            end_ns,
+            Some(id),
+            parent,
+            EventKind::SpanEnd {
+                name: name.to_owned(),
+                elapsed_ns: end_ns - start_ns,
+            },
+        );
+    }
+
     /// Emits a typed fairness event in the calling thread's current span
     /// context.
     pub fn emit(&self, event: FairnessEvent) {
@@ -127,11 +171,17 @@ impl Telemetry {
 
     /// Assembles the envelope and hands the event to the sink.
     pub(crate) fn emit_raw(&self, span: Option<u64>, parent: Option<u64>, kind: EventKind) {
+        self.emit_raw_at(self.now_ns(), span, parent, kind);
+    }
+
+    /// Like [`emit_raw`](Self::emit_raw) but with an explicit timestamp
+    /// (for retroactively recorded spans).
+    fn emit_raw_at(&self, t_ns: u64, span: Option<u64>, parent: Option<u64>, kind: EventKind) {
         if !self.inner.enabled {
             return;
         }
         let event = Event {
-            t_ns: self.now_ns(),
+            t_ns,
             thread: thread_id(),
             span,
             parent,
@@ -166,6 +216,13 @@ impl Telemetry {
     /// The current histogram summaries, name-sorted.
     pub fn histogram_values(&self) -> Vec<(String, HistogramStats)> {
         self.inner.registry.histogram_values()
+    }
+
+    /// Live handles to every registered histogram, name-sorted — the
+    /// exposition path ([`quantile`](Histogram::quantile) and bucket
+    /// dumps need the cells, not just the summaries).
+    pub fn histogram_handles(&self) -> Vec<(String, Histogram)> {
+        self.inner.registry.histogram_handles()
     }
 
     /// Emits one `counter`/`histogram` summary event per registered
@@ -294,6 +351,78 @@ mod tests {
             &e.kind,
             EventKind::Histogram { name, count: 1, sum: 100, .. } if name == "ns"
         )));
+    }
+
+    #[test]
+    fn span_in_parents_across_threads_and_nests_locally() {
+        let (telemetry, ring) = recording();
+        let root = telemetry.span("serve.request");
+        let root_id = root.id();
+        std::thread::scope(|scope| {
+            let t = telemetry.clone();
+            scope.spawn(move || {
+                let exec = t.span_in("serve.execute", root_id);
+                let exec_id = exec.id();
+                let _child = t.span("engine.audit");
+                drop(exec);
+                let _ = exec_id;
+            });
+        });
+        drop(root);
+        let events = ring.events();
+        let starts: Vec<(&str, Option<u64>, Option<u64>)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::SpanStart { name } => Some((name.as_str(), e.span, e.parent)),
+                _ => None,
+            })
+            .collect();
+        let exec = starts.iter().find(|s| s.0 == "serve.execute").unwrap();
+        assert_eq!(exec.2, root_id, "execute parents to the request span");
+        let audit = starts.iter().find(|s| s.0 == "engine.audit").unwrap();
+        assert_eq!(
+            audit.2, exec.1,
+            "a span opened inside span_in nests under it"
+        );
+    }
+
+    #[test]
+    fn record_span_emits_a_closed_span_with_explicit_timestamps() {
+        let (telemetry, ring) = recording();
+        telemetry.record_span("serve.queue_wait", Some(7), 1_000, 5_000);
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t_ns, 1_000);
+        assert_eq!(events[0].parent, Some(7));
+        assert!(matches!(
+            &events[0].kind,
+            EventKind::SpanStart { name } if name == "serve.queue_wait"
+        ));
+        assert_eq!(events[1].t_ns, 5_000);
+        assert_eq!(events[1].span, events[0].span);
+        assert!(matches!(
+            &events[1].kind,
+            EventKind::SpanEnd { name, elapsed_ns: 4_000 } if name == "serve.queue_wait"
+        ));
+        // A clock glitch (end before start) clamps instead of wrapping.
+        telemetry.record_span("glitch", None, 10, 3);
+        let events = ring.events();
+        assert!(matches!(
+            &events[3].kind,
+            EventKind::SpanEnd { elapsed_ns: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn histogram_handles_expose_live_cells() {
+        let (telemetry, _ring) = recording();
+        telemetry.histogram("ns").record(100);
+        let handles = telemetry.histogram_handles();
+        assert_eq!(handles.len(), 1);
+        assert_eq!(handles[0].0, "ns");
+        assert_eq!(handles[0].1.snapshot().count, 1);
+        telemetry.histogram("ns").record(200);
+        assert_eq!(handles[0].1.snapshot().count, 2, "handle shares the cell");
     }
 
     #[test]

@@ -142,6 +142,24 @@ fn run() -> Result<(), String> {
     let report = load::run(&args.load)?;
     let json = report.to_json();
     println!("fb-load: {json}");
+    // Put the daemon's own decomposition next to the client-side
+    // percentiles: a large gap between the two is network/connection
+    // overhead the server never saw.
+    if let Some(server) = &report.server {
+        println!(
+            "fb-load server-side: request p50={:.3}ms p99={:.3}ms | \
+             queue_wait p50={:.3}ms p99={:.3}ms | scan p50={:.3}ms p99={:.3}ms \
+             (client p50={:.3}ms p99={:.3}ms)",
+            server.request_p50_ms,
+            server.request_p99_ms,
+            server.queue_wait_p50_ms,
+            server.queue_wait_p99_ms,
+            server.scan_p50_ms,
+            server.scan_p99_ms,
+            report.p50_ms,
+            report.p99_ms,
+        );
+    }
     append_bench_json(&json)?;
 
     if report.ok == 0 {

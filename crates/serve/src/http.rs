@@ -91,7 +91,7 @@ pub enum ReadOutcome {
 /// A timeout or EOF with an empty `pending` is a clean between-requests
 /// event ([`ReadOutcome::TimedOut`] / [`ReadOutcome::Closed`]). Once a
 /// request has started, header and body reads absorb up to
-/// [`MID_REQUEST_TIMEOUT_BUDGET`] timeouts — a slow-but-live client is
+/// `MID_REQUEST_TIMEOUT_BUDGET` timeouts — a slow-but-live client is
 /// not answered with a spurious 400 — and only then fail.
 pub fn read_request(
     reader: &mut BufReader<TcpStream>,
@@ -217,9 +217,15 @@ pub struct Payload {
     pub status: u16,
     /// `Retry-After` seconds, sent with backpressure statuses.
     pub retry_after: Option<u32>,
-    /// Response body (always `application/json` in this daemon).
+    /// `Content-Type` header value (`application/json` everywhere except
+    /// the Prometheus text exposition).
+    pub content_type: &'static str,
+    /// Response body.
     pub body: Vec<u8>,
 }
+
+/// The Prometheus text exposition content type.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 impl Payload {
     /// A JSON payload with the given status.
@@ -227,6 +233,17 @@ impl Payload {
         Payload {
             status,
             retry_after: None,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A Prometheus text-exposition payload.
+    pub fn prometheus(status: u16, body: String) -> Payload {
+        Payload {
+            status,
+            retry_after: None,
+            content_type: PROMETHEUS_CONTENT_TYPE,
             body: body.into_bytes(),
         }
     }
@@ -239,9 +256,10 @@ impl Payload {
         let mut head = String::with_capacity(128);
         let _ = write!(
             head,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             reason(self.status),
+            self.content_type,
             self.body.len()
         );
         if let Some(secs) = self.retry_after {
@@ -354,12 +372,21 @@ mod tests {
         let p = Payload {
             status: 429,
             retry_after: Some(1),
+            content_type: "application/json",
             body: b"{}".to_vec(),
         };
         let text = String::from_utf8(p.render(false)).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn prometheus_payload_carries_the_text_content_type() {
+        let p = Payload::prometheus(200, "fairbridge_up 1\n".to_owned());
+        let text = String::from_utf8(p.render(true)).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.ends_with("fairbridge_up 1\n"));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod http;
 pub mod load;
 pub mod queue;
 pub mod server;
+pub mod slo;
 pub mod wire;
 
 pub use coalesce::{Claim, Coalescer};
@@ -28,3 +29,4 @@ pub use http::{Payload, Request, Response};
 pub use load::{LoadConfig, LoadReport};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, DrainSummary, ServerConfig, ServerHandle};
+pub use slo::{SloConfig, SloTracker};

@@ -70,6 +70,48 @@ pub struct LoadReport {
     pub coalesce_hit_rate: f64,
     /// Wall-clock duration of the request phase, milliseconds.
     pub wall_ms: f64,
+    /// The daemon's own latency decomposition, scraped from `/metrics`
+    /// after the soak — `None` when the daemon ran without telemetry.
+    pub server: Option<ServerBreakdown>,
+}
+
+/// Server-side latency quantiles (milliseconds), read from the daemon's
+/// `/metrics` histograms after a soak. Putting these next to the
+/// client-side percentiles makes client/server disagreement — network
+/// stalls, connection queuing, slow readers — visible in one report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerBreakdown {
+    /// `serve.request_ns` p50: admission to response, daemon-side.
+    pub request_p50_ms: f64,
+    /// `serve.request_ns` p99.
+    pub request_p99_ms: f64,
+    /// `serve.queue_wait_ns` p50: time jobs sat in the bounded queue.
+    pub queue_wait_p50_ms: f64,
+    /// `serve.queue_wait_ns` p99.
+    pub queue_wait_p99_ms: f64,
+    /// `engine.scan_ns` p50: the engine's partition-and-scan phase.
+    pub scan_p50_ms: f64,
+    /// `engine.scan_ns` p99.
+    pub scan_p99_ms: f64,
+}
+
+impl ServerBreakdown {
+    fn to_json(&self) -> String {
+        let mut s = String::with_capacity(192);
+        let _ = write!(
+            s,
+            "{{\"request_p50_ms\":{:.3},\"request_p99_ms\":{:.3},\
+             \"queue_wait_p50_ms\":{:.3},\"queue_wait_p99_ms\":{:.3},\
+             \"scan_p50_ms\":{:.3},\"scan_p99_ms\":{:.3}}}",
+            self.request_p50_ms,
+            self.request_p99_ms,
+            self.queue_wait_p50_ms,
+            self.queue_wait_p99_ms,
+            self.scan_p50_ms,
+            self.scan_p99_ms,
+        );
+        s
+    }
 }
 
 impl LoadReport {
@@ -90,9 +132,14 @@ impl LoadReport {
         let _ = write!(
             s,
             "}},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"req_per_s\":{:.1},\
-             \"coalesce_hit_rate\":{:.4},\"wall_ms\":{:.1}}}",
+             \"coalesce_hit_rate\":{:.4},\"wall_ms\":{:.1},\"server\":",
             self.p50_ms, self.p99_ms, self.req_per_s, self.coalesce_hit_rate, self.wall_ms
         );
+        match &self.server {
+            Some(server) => s.push_str(&server.to_json()),
+            None => s.push_str("null"),
+        }
+        s.push('}');
         s
     }
 }
@@ -235,6 +282,40 @@ fn counter(metrics: &Value, key: &str) -> u64 {
     metrics.get(key).and_then(Value::as_u64).unwrap_or(0)
 }
 
+/// A histogram quantile from the `/metrics` `histograms` section, in
+/// milliseconds (0.0 when the series is absent).
+fn histogram_quantile_ms(metrics: &Value, name: &str, quantile_key: &str) -> f64 {
+    metrics
+        .get("histograms")
+        .and_then(|h| h.get(name))
+        .and_then(|h| h.get(quantile_key))
+        .and_then(Value::as_f64)
+        .map_or(0.0, |ns| ns / 1e6)
+}
+
+/// Extracts the server-side breakdown from a post-soak `/metrics`
+/// snapshot; `None` when the daemon exposed no request histogram (i.e.
+/// it ran without telemetry).
+fn server_breakdown(metrics: &Value) -> Option<ServerBreakdown> {
+    let count = metrics
+        .get("histograms")
+        .and_then(|h| h.get("serve.request_ns"))
+        .and_then(|h| h.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    if count == 0 {
+        return None;
+    }
+    Some(ServerBreakdown {
+        request_p50_ms: histogram_quantile_ms(metrics, "serve.request_ns", "p50"),
+        request_p99_ms: histogram_quantile_ms(metrics, "serve.request_ns", "p99"),
+        queue_wait_p50_ms: histogram_quantile_ms(metrics, "serve.queue_wait_ns", "p50"),
+        queue_wait_p99_ms: histogram_quantile_ms(metrics, "serve.queue_wait_ns", "p99"),
+        scan_p50_ms: histogram_quantile_ms(metrics, "engine.scan_ns", "p50"),
+        scan_p99_ms: histogram_quantile_ms(metrics, "engine.scan_ns", "p99"),
+    })
+}
+
 /// Runs the load: fans out `connections` concurrent keep-alive clients,
 /// aggregates latencies and statuses, and derives the coalescing hit
 /// rate from the daemon's `/metrics` counters.
@@ -281,6 +362,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
             hits_delta as f64 / sent as f64
         },
         wall_ms: wall_ns as f64 / 1e6,
+        server: server_breakdown(&after),
     })
 }
 
@@ -324,9 +406,32 @@ mod tests {
             req_per_s: 100.0,
             coalesce_hit_rate: 0.5,
             wall_ms: 100.0,
+            server: None,
         };
         let json = report.to_json();
         assert!(json.starts_with("{\"sent\":10,\"ok\":9,\"statuses\":{\"200\":9,\"429\":1}"));
         assert!(json.contains("\"coalesce_hit_rate\":0.5000"));
+        assert!(json.ends_with("\"server\":null}"));
+    }
+
+    #[test]
+    fn server_breakdown_reads_metrics_histograms() {
+        let metrics = parse(concat!(
+            "{\"histograms\":{",
+            "\"engine.scan_ns\":{\"count\":5,\"sum\":10,\"p50\":2000000,\"p99\":4000000,\"max\":9},",
+            "\"serve.queue_wait_ns\":{\"count\":5,\"sum\":10,\"p50\":500000,\"p99\":1500000,\"max\":9},",
+            "\"serve.request_ns\":{\"count\":5,\"sum\":10,\"p50\":3000000,\"p99\":8000000,\"max\":9}",
+            "}}"
+        ))
+        .unwrap();
+        let b = server_breakdown(&metrics).unwrap();
+        assert!((b.request_p50_ms - 3.0).abs() < 1e-9);
+        assert!((b.request_p99_ms - 8.0).abs() < 1e-9);
+        assert!((b.queue_wait_p99_ms - 1.5).abs() < 1e-9);
+        assert!((b.scan_p50_ms - 2.0).abs() < 1e-9);
+
+        // No request histogram (telemetry off) → no server section.
+        let empty = parse("{\"histograms\":{}}").unwrap();
+        assert_eq!(server_breakdown(&empty), None);
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! fairbridge-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!                  [--engine-threads N] [--max-conns N] [--telemetry PATH]
+//!                  [--slo-ms MS] [--slo-budget FRACTION]
 //! ```
 //!
 //! Prints `fairbridge-serve listening on <addr>` once bound (CI scrapes
@@ -55,10 +56,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--max-conns must be an integer".to_owned())?;
             }
             "--telemetry" => telemetry_path = Some(value("--telemetry")?),
+            "--slo-ms" => {
+                config.slo.objective_ms = value("--slo-ms")?
+                    .parse()
+                    .map_err(|_| "--slo-ms must be a number".to_owned())?;
+            }
+            "--slo-budget" => {
+                config.slo.error_budget = value("--slo-budget")?
+                    .parse()
+                    .map_err(|_| "--slo-budget must be a number".to_owned())?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: fairbridge-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--engine-threads N] [--max-conns N] [--telemetry PATH]"
+                     [--engine-threads N] [--max-conns N] [--telemetry PATH] \
+                     [--slo-ms MS] [--slo-budget FRACTION]"
                         .to_owned(),
                 );
             }

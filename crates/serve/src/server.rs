@@ -29,7 +29,7 @@
 //! id, and per-tenant request counters, so one client's audit history
 //! can be produced without leaking another's. Tenant ids are
 //! client-supplied, so they are validated (length + charset → `invalid`
-//! otherwise) and only [`MAX_TRACKED_TENANTS`] distinct ids get their
+//! otherwise) and only `MAX_TRACKED_TENANTS` distinct ids get their
 //! own stats/counter entries — the rest share the `other` bucket,
 //! keeping daemon memory independent of client behavior. Connections
 //! are likewise capped ([`ServerConfig::max_connections`], `503` past
@@ -46,6 +46,7 @@
 use crate::coalesce::{Claim, Coalescer, Slot};
 use crate::http::{read_request, Payload, ReadOutcome, Request};
 use crate::queue::{BoundedQueue, PushError};
+use crate::slo::{SloConfig, SloTracker};
 use crate::wire;
 use fairbridge_engine::{Engine, EngineConfig};
 use fairbridge_obs::{FairnessEvent, Telemetry};
@@ -77,6 +78,9 @@ pub struct ServerConfig {
     /// Most concurrently open connections; extras are refused with an
     /// immediate `503` so one thread per socket stays bounded.
     pub max_connections: usize,
+    /// Per-tenant SLO parameters (latency objective, error budget,
+    /// rolling window).
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
             read_timeout_ms: 100,
             max_body_bytes: 16 * 1024 * 1024,
             max_connections: 256,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -163,9 +168,15 @@ impl ServeStats {
 /// One queued computation. The request bytes live in the slot, which
 /// also lets the worker publish directly to the claimants even when the
 /// slot is a private (collision) one the key no longer resolves to.
+/// `parent_span` carries the leader connection's `serve.request` span id
+/// across the queue so the worker's execution spans attach to the
+/// request that scheduled them; `enqueued_ns` is the push timestamp the
+/// worker turns into a retroactive `serve.queue_wait` span.
 struct Job {
     key: u64,
     slot: Arc<Slot>,
+    parent_span: Option<u64>,
+    enqueued_ns: u64,
 }
 
 struct Shared {
@@ -175,6 +186,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     coalescer: Coalescer,
     stats: ServeStats,
+    slo: SloTracker,
     draining: AtomicBool,
     shutdown_requested: AtomicBool,
     conn_seq: AtomicU64,
@@ -212,6 +224,7 @@ pub fn start(config: ServerConfig, telemetry: Telemetry) -> std::io::Result<Serv
         queue: BoundedQueue::new(config.queue_capacity),
         coalescer: Coalescer::new(),
         stats: ServeStats::default(),
+        slo: SloTracker::new(config.slo),
         draining: AtomicBool::new(false),
         shutdown_requested: AtomicBool::new(false),
         conn_seq: AtomicU64::new(0),
@@ -328,6 +341,20 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        let telemetry = &shared.telemetry;
+        // Queue residency is only known once the job is popped, so the
+        // wait becomes a retroactive span under the request that pushed
+        // it — honest timestamps, reconstructed after the fact.
+        let t_popped = telemetry.now_ns();
+        telemetry.record_span(
+            "serve.queue_wait",
+            job.parent_span,
+            job.enqueued_ns,
+            t_popped,
+        );
+        telemetry
+            .histogram("serve.queue_wait_ns")
+            .record(t_popped.saturating_sub(job.enqueued_ns));
         // The unwind guard is load-bearing: the leader connection and
         // every coalesced follower are parked on this job's slot with
         // no timeout, and the repo still tracks grandfathered panic
@@ -335,13 +362,16 @@ fn worker_loop(shared: &Arc<Shared>) {
         // otherwise those connections hang forever, the worker dies,
         // and drain deadlocks joining them.
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _span = shared.telemetry.span("serve.execute");
+            let _span = telemetry.span_in("serve.execute", job.parent_span);
             match job.slot.endpoint() {
-                "/audit" => wire::handle_audit(&shared.engine, job.slot.body()),
-                "/mitigate" => wire::handle_mitigate(job.slot.body()),
+                "/audit" => wire::handle_audit(&shared.engine, job.slot.body(), telemetry),
+                "/mitigate" => wire::handle_mitigate(job.slot.body(), telemetry),
                 other => wire::error_payload(404, &format!("no executor for {other}")),
             }
         }));
+        telemetry
+            .histogram("serve.execute_ns")
+            .record(telemetry.now_ns().saturating_sub(t_popped));
         let payload = executed.unwrap_or_else(|_| {
             wire::error_payload(500, "internal error: request execution panicked")
         });
@@ -392,9 +422,21 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 fn route(request: &Request, shared: &Arc<Shared>) -> Arc<Payload> {
-    match (request.method.as_str(), request.path.as_str()) {
+    // The daemon's only query parameter is /metrics?format=...; split it
+    // off so routing stays a match on the bare path.
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => Arc::new(healthz(shared)),
-        ("GET", "/metrics") => Arc::new(metrics(shared)),
+        ("GET", "/metrics") => {
+            if query.split('&').any(|kv| kv == "format=text") {
+                Arc::new(metrics_text(shared))
+            } else {
+                Arc::new(metrics(shared))
+            }
+        }
         ("POST", "/shutdown") => {
             shared.draining.store(true, Ordering::Release);
             shared.queue.close();
@@ -403,17 +445,20 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Arc<Payload> {
         }
         ("POST", "/audit") => handle_post(request, "/audit", shared),
         ("POST", "/mitigate") => handle_post(request, "/mitigate", shared),
-        ("GET", _) | ("POST", _) => Arc::new(wire::error_payload(
-            404,
-            &format!("no route {}", request.path),
-        )),
+        ("GET", _) | ("POST", _) => Arc::new(wire::error_payload(404, &format!("no route {path}"))),
         (method, _) => Arc::new(wire::error_payload(405, &format!("method {method}"))),
     }
 }
 
 /// Admission, coalescing and response delivery for the compute routes.
+/// The whole exchange lives under one `serve.request` root span; the
+/// worker's execution and queue-wait spans attach to it via the job's
+/// `parent_span`, so a trace reader can reassemble the request even
+/// though three threads touched it.
 fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) -> Arc<Payload> {
     let telemetry = &shared.telemetry;
+    let request_span = telemetry.span("serve.request");
+    let request_span_id = request_span.id();
     let t_admit = telemetry.now_ns();
     let tenant = sanitize_tenant(request.tenant());
     shared.stats.received.fetch_add(1, Ordering::Relaxed);
@@ -440,12 +485,23 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
                     fingerprint: key,
                 });
             }
-            (slot.wait(), true)
+            let t_wait = telemetry.now_ns();
+            let payload = {
+                // On the conn thread, under serve.request via the stack.
+                let _wait = telemetry.span("serve.coalesce_wait");
+                slot.wait()
+            };
+            telemetry
+                .histogram("serve.coalesce_wait_ns")
+                .record(telemetry.now_ns().saturating_sub(t_wait));
+            (payload, true)
         }
         Claim::Leader(slot) => {
             let push = shared.queue.try_push(Job {
                 key,
                 slot: Arc::clone(&slot),
+                parent_span: request_span_id,
+                enqueued_ns: telemetry.now_ns(),
             });
             let payload = match push {
                 Ok(_) => slot.wait(),
@@ -455,6 +511,7 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
                     Payload {
                         status: 429,
                         retry_after: Some(1),
+                        content_type: "application/json",
                         body: b"{\"error\":\"queue full, retry later\"}".to_vec(),
                     },
                 ),
@@ -464,6 +521,7 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
                     Payload {
                         status: 503,
                         retry_after: Some(1),
+                        content_type: "application/json",
                         body: b"{\"error\":\"draining, not accepting work\"}".to_vec(),
                     },
                 ),
@@ -478,6 +536,7 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
     } else {
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
     }
+    let elapsed_ns = telemetry.now_ns().saturating_sub(t_admit);
     if telemetry.is_enabled() {
         if backpressured {
             telemetry.counter("serve.rejected").incr();
@@ -489,13 +548,38 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
         } else {
             telemetry.counter("serve.completed").incr();
         }
+        telemetry.histogram("serve.request_ns").record(elapsed_ns);
+        telemetry
+            .histogram(&format!("serve.tenant.{bucket}.request_ns"))
+            .record(elapsed_ns);
         telemetry.emit(FairnessEvent::RequestCompleted {
             tenant: tenant.to_owned(),
             endpoint: endpoint.to_owned(),
             status: payload.status,
             coalesced,
-            elapsed_ns: telemetry.now_ns().saturating_sub(t_admit),
+            elapsed_ns,
         });
+    }
+
+    // SLO classification: bad = over-objective or backpressured. This
+    // runs even with telemetry off — the SLO ledger is daemon state, not
+    // trace output — but the breach event and counters need the sink.
+    let good = !backpressured && elapsed_ns <= shared.slo.config().objective_ns();
+    let breach = shared.slo.observe(bucket, good);
+    if telemetry.is_enabled() {
+        let verdict = if good { "slo_good" } else { "slo_bad" };
+        telemetry
+            .counter(&format!("serve.tenant.{bucket}.{verdict}"))
+            .incr();
+        if let Some(b) = breach {
+            telemetry.emit(FairnessEvent::SloBreached {
+                tenant: b.tenant,
+                objective_ms: shared.slo.config().objective_ms,
+                burn_rate: b.burn_rate,
+                good: b.window_good,
+                bad: b.window_bad,
+            });
+        }
     }
     payload
 }
@@ -544,6 +628,195 @@ fn metrics(shared: &Arc<Shared>) -> Payload {
         wire::push_str_lit(&mut s, tenant);
         let _ = write!(s, ":{count}");
     }
-    s.push_str("}}");
+    s.push('}');
+    // Histogram quantiles: the server-side latency decomposition fb-load
+    // prints next to its client-side percentiles.
+    s.push_str(",\"histograms\":{");
+    for (i, (name, h)) in shared.telemetry.histogram_handles().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let snap = h.snapshot();
+        wire::push_str_lit(&mut s, name);
+        let _ = write!(
+            s,
+            ":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+            snap.count,
+            snap.sum,
+            h.quantile(0.5),
+            h.quantile(0.99),
+            snap.max,
+        );
+    }
+    s.push('}');
+    s.push_str(",\"slo\":{\"objective_ms\":");
+    wire::push_f64(&mut s, shared.slo.config().objective_ms);
+    s.push_str(",\"error_budget\":");
+    wire::push_f64(&mut s, shared.slo.config().error_budget);
+    s.push_str(",\"tenants\":{");
+    for (i, t) in shared.slo.snapshot().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        wire::push_str_lit(&mut s, &t.tenant);
+        let _ = write!(s, ":{{\"good\":{},\"bad\":{},\"burn_rate\":", t.good, t.bad);
+        wire::push_f64(&mut s, t.burn_rate);
+        let _ = write!(s, ",\"in_breach\":{}}}", t.in_breach);
+    }
+    s.push_str("}}}");
     Payload::json(200, s)
+}
+
+/// Splits `serve.tenant.<tenant>.<suffix>` into its tenant label and the
+/// remaining metric name; everything else passes through unlabeled.
+fn split_tenant_series(name: &str) -> (String, Option<String>) {
+    if let Some(rest) = name.strip_prefix("serve.tenant.") {
+        if let Some((tenant, suffix)) = rest.rsplit_once('.') {
+            return (format!("serve.{suffix}"), Some(tenant.to_owned()));
+        }
+    }
+    (name.to_owned(), None)
+}
+
+/// `fairbridge_` + the metric name with separators flattened to
+/// underscores — the Prometheus naming convention.
+fn prometheus_name(name: &str) -> String {
+    let flat: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("fairbridge_{flat}")
+}
+
+fn push_prometheus_series(out: &mut String, name: &str, tenant: Option<&str>, value: &str) {
+    out.push_str(name);
+    if let Some(t) = tenant {
+        out.push_str("{tenant=\"");
+        for c in t.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\"}");
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// The Prometheus text exposition (`GET /metrics?format=text`):
+/// counters and gauges as untyped samples, histograms as cumulative
+/// `_bucket{le=...}` series over the non-empty log-linear buckets, and
+/// per-tenant series with a `tenant` label. Output order is
+/// deterministic (BTreeMap-ordered registries, fixed section order).
+fn metrics_text(shared: &Arc<Shared>) -> Payload {
+    use std::fmt::Write as _;
+    let stats = &shared.stats;
+    let mut s = String::with_capacity(2048);
+    for (name, value, help) in [
+        (
+            "fairbridge_serve_received_total",
+            stats.received.load(Ordering::Relaxed),
+            "Requests admitted for routing.",
+        ),
+        (
+            "fairbridge_serve_completed_total",
+            stats.completed.load(Ordering::Relaxed),
+            "Requests answered with a non-backpressure status.",
+        ),
+        (
+            "fairbridge_serve_rejected_total",
+            stats.rejected.load(Ordering::Relaxed),
+            "Requests refused with 429/503.",
+        ),
+        (
+            "fairbridge_serve_coalesced_total",
+            stats.coalesced_hits.load(Ordering::Relaxed),
+            "Requests served by an in-flight identical computation.",
+        ),
+        (
+            "fairbridge_serve_queue_depth",
+            shared.queue.len() as u64,
+            "Jobs waiting in the bounded queue.",
+        ),
+        (
+            "fairbridge_serve_in_flight",
+            shared.coalescer.in_flight() as u64,
+            "Coalescing keys currently in flight.",
+        ),
+    ] {
+        let _ = writeln!(s, "# HELP {name} {help}");
+        let kind = if name.ends_with("_total") {
+            "counter"
+        } else {
+            "gauge"
+        };
+        let _ = writeln!(s, "# TYPE {name} {kind}");
+        let _ = writeln!(s, "{name} {value}");
+    }
+    // Registry counters (tenant series get a label; the untyped global
+    // ones double some of the fixed series above under their raw names,
+    // which keeps the exposition a faithful dump of the registry).
+    for (name, value) in shared.telemetry.counter_values() {
+        let (base, tenant) = split_tenant_series(&name);
+        push_prometheus_series(
+            &mut s,
+            &prometheus_name(&base),
+            tenant.as_deref(),
+            &value.to_string(),
+        );
+    }
+    // Histograms: cumulative buckets over the non-empty log-linear
+    // cells. `le` is the inclusive upper bound of each bucket (hi - 1
+    // for integer-valued observations), then +Inf, _sum, _count.
+    for (name, h) in shared.telemetry.histogram_handles() {
+        let (base, tenant) = split_tenant_series(&name);
+        let prom = prometheus_name(&base);
+        let mut cumulative = 0u64;
+        for bucket in h.nonzero_buckets() {
+            cumulative += bucket.count;
+            let le = bucket.hi - 1;
+            let series = match &tenant {
+                Some(t) => format!("{prom}_bucket{{tenant=\"{t}\",le=\"{le}\"}}"),
+                None => format!("{prom}_bucket{{le=\"{le}\"}}"),
+            };
+            let _ = writeln!(s, "{series} {cumulative}");
+        }
+        let snap = h.snapshot();
+        let inf = match &tenant {
+            Some(t) => format!("{prom}_bucket{{tenant=\"{t}\",le=\"+Inf\"}}"),
+            None => format!("{prom}_bucket{{le=\"+Inf\"}}"),
+        };
+        let _ = writeln!(s, "{inf} {}", snap.count);
+        push_prometheus_series(
+            &mut s,
+            &format!("{prom}_sum"),
+            tenant.as_deref(),
+            &snap.sum.to_string(),
+        );
+        push_prometheus_series(
+            &mut s,
+            &format!("{prom}_count"),
+            tenant.as_deref(),
+            &snap.count.to_string(),
+        );
+    }
+    // SLO standing per tenant.
+    for t in shared.slo.snapshot() {
+        push_prometheus_series(
+            &mut s,
+            "fairbridge_serve_slo_burn_rate",
+            Some(&t.tenant),
+            &format!("{}", t.burn_rate),
+        );
+        push_prometheus_series(
+            &mut s,
+            "fairbridge_serve_slo_in_breach",
+            Some(&t.tenant),
+            if t.in_breach { "1" } else { "0" },
+        );
+    }
+    Payload::prometheus(200, s)
 }

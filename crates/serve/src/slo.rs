@@ -1,0 +1,295 @@
+//! Per-tenant SLO accounting: latency objectives, good/bad counters and
+//! a rolling burn rate.
+//!
+//! The daemon promises each tenant a latency objective (default
+//! [`SloConfig::objective_ms`]). Every finished request is classified:
+//! **good** when it completed within the objective, **bad** when it ran
+//! over *or* was refused with backpressure (a 429/503 consumed the
+//! tenant's patience just the same). Classification happens against the
+//! tenant *bucket* the stats layer charged (so the map stays bounded by
+//! the same `MAX_TRACKED_TENANTS` cap as every other per-tenant
+//! structure).
+//!
+//! The **burn rate** is the standard SRE quantity: the fraction of bad
+//! requests in the rolling window divided by the error budget. Burn 1.0
+//! means the tenant is consuming budget exactly as fast as the SLO
+//! allows; above 1.0 the budget is being exhausted early. Crossing 1.0
+//! emits a typed [`SloBreached`](fairbridge_obs::FairnessEvent) event —
+//! once per transition into breach, not per bad request, so the
+//! evidential trail records breach *episodes* rather than drowning in
+//! repeats.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// SLO parameters, shared by every tenant.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Latency objective in milliseconds: a completed request slower
+    /// than this is a bad request.
+    pub objective_ms: f64,
+    /// Allowed bad fraction (e.g. 0.05 = 5% of requests may be bad
+    /// before the budget is spent).
+    pub error_budget: f64,
+    /// Rolling window length, in requests per tenant.
+    pub window: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            objective_ms: 250.0,
+            error_budget: 0.05,
+            window: 256,
+        }
+    }
+}
+
+impl SloConfig {
+    /// The objective in nanoseconds (saturating, non-negative).
+    pub fn objective_ns(&self) -> u64 {
+        let ms = self.objective_ms.max(0.0);
+        (ms * 1_000_000.0).min(u64::MAX as f64) as u64
+    }
+}
+
+/// Fewest window samples before a burn rate is trusted — a single bad
+/// first request must not count as a breach episode.
+const MIN_SAMPLES: usize = 16;
+
+#[derive(Debug, Default)]
+struct TenantSlo {
+    window: VecDeque<bool>, // true = good
+    good_total: u64,
+    bad_total: u64,
+    in_breach: bool,
+}
+
+/// One tenant's SLO standing, as surfaced in `/metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSnapshot {
+    /// Tenant bucket.
+    pub tenant: String,
+    /// Lifetime good requests.
+    pub good: u64,
+    /// Lifetime bad requests.
+    pub bad: u64,
+    /// Burn rate over the rolling window (0.0 until enough samples).
+    pub burn_rate: f64,
+    /// Whether the tenant is currently in breach.
+    pub in_breach: bool,
+}
+
+/// A transition into breach, ready to become a `SloBreached` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breach {
+    /// Tenant bucket that breached.
+    pub tenant: String,
+    /// The burn rate at breach time (≥ 1.0).
+    pub burn_rate: f64,
+    /// Good requests in the rolling window.
+    pub window_good: u64,
+    /// Bad requests in the rolling window.
+    pub window_bad: u64,
+}
+
+/// The per-tenant SLO ledger.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    tenants: Mutex<BTreeMap<String, TenantSlo>>,
+}
+
+impl SloTracker {
+    /// An empty ledger with the given parameters.
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker {
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared parameters.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one finished request for `tenant` (already bucketed by
+    /// the stats layer). `good` is the caller's classification: completed
+    /// within the objective. Returns `Some(breach)` exactly when this
+    /// observation transitions the tenant *into* breach.
+    pub fn observe(&self, tenant: &str, good: bool) -> Option<Breach> {
+        let window = self.config.window.max(1);
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let slo = tenants.entry(tenant.to_owned()).or_default();
+        slo.window.push_back(good);
+        while slo.window.len() > window {
+            slo.window.pop_front();
+        }
+        if good {
+            slo.good_total += 1;
+        } else {
+            slo.bad_total += 1;
+        }
+        let samples = slo.window.len();
+        let bad_in_window = slo.window.iter().filter(|g| !**g).count();
+        let burn = burn_rate(bad_in_window, samples, self.config.error_budget);
+        if samples < MIN_SAMPLES.min(window) {
+            return None;
+        }
+        let breached = burn >= 1.0;
+        let transition = breached && !slo.in_breach;
+        slo.in_breach = breached;
+        if transition {
+            Some(Breach {
+                tenant: tenant.to_owned(),
+                burn_rate: burn,
+                window_good: (samples - bad_in_window) as u64,
+                window_bad: bad_in_window as u64,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Every tenant's current standing, sorted by tenant id.
+    pub fn snapshot(&self) -> Vec<SloSnapshot> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .iter()
+            .map(|(tenant, slo)| {
+                let samples = slo.window.len();
+                let bad = slo.window.iter().filter(|g| !**g).count();
+                SloSnapshot {
+                    tenant: tenant.clone(),
+                    good: slo.good_total,
+                    bad: slo.bad_total,
+                    burn_rate: burn_rate(bad, samples, self.config.error_budget),
+                    in_breach: slo.in_breach,
+                }
+            })
+            .collect()
+    }
+}
+
+/// bad-fraction ÷ error-budget, 0.0 when the window is empty.
+fn burn_rate(bad: usize, samples: usize, error_budget: f64) -> f64 {
+    if samples == 0 {
+        return 0.0;
+    }
+    let fraction = bad as f64 / samples as f64;
+    let budget = error_budget.max(f64::MIN_POSITIVE);
+    fraction / budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(budget: f64, window: usize) -> SloTracker {
+        SloTracker::new(SloConfig {
+            objective_ms: 100.0,
+            error_budget: budget,
+            window,
+        })
+    }
+
+    #[test]
+    fn all_good_never_breaches() {
+        let t = tracker(0.05, 64);
+        for _ in 0..1_000 {
+            assert_eq!(t.observe("a", true), None);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].good, 1_000);
+        assert_eq!(snap[0].bad, 0);
+        assert_eq!(snap[0].burn_rate, 0.0);
+        assert!(!snap[0].in_breach);
+    }
+
+    #[test]
+    fn breach_fires_once_per_episode() {
+        let t = tracker(0.05, 64);
+        // Warm up with good requests, then go bad: with a 5% budget the
+        // burn crosses 1.0 as soon as >5% of the window is bad.
+        for _ in 0..60 {
+            assert_eq!(t.observe("a", true), None);
+        }
+        let mut breaches = Vec::new();
+        for _ in 0..20 {
+            if let Some(b) = t.observe("a", false) {
+                breaches.push(b);
+            }
+        }
+        assert_eq!(breaches.len(), 1, "one transition, not one per bad request");
+        assert!(breaches[0].burn_rate >= 1.0);
+        assert_eq!(breaches[0].tenant, "a");
+        assert!(t.snapshot()[0].in_breach);
+    }
+
+    #[test]
+    fn recovery_rearms_the_breach_event() {
+        let t = tracker(0.25, 16);
+        for _ in 0..16 {
+            t.observe("a", true);
+        }
+        // Push into breach (≥ 25% bad of a 16-window = 4 bad).
+        let first: Vec<_> = (0..8).filter_map(|_| t.observe("a", false)).collect();
+        assert_eq!(first.len(), 1);
+        // Recover: fill the window with good requests.
+        for _ in 0..16 {
+            t.observe("a", true);
+        }
+        assert!(!t.snapshot()[0].in_breach, "recovered");
+        // Breach again — a fresh episode, a fresh event.
+        let second: Vec<_> = (0..8).filter_map(|_| t.observe("a", false)).collect();
+        assert_eq!(second.len(), 1);
+    }
+
+    #[test]
+    fn too_few_samples_never_breach() {
+        let t = tracker(0.01, 256);
+        // A bad very first request is 100% bad-fraction but must not
+        // count as a breach episode.
+        for _ in 0..MIN_SAMPLES - 1 {
+            assert_eq!(t.observe("a", false), None);
+        }
+        assert!(t.observe("a", false).is_some(), "at MIN_SAMPLES it counts");
+    }
+
+    #[test]
+    fn tenants_are_independent() {
+        let t = tracker(0.05, 32);
+        for _ in 0..32 {
+            t.observe("good-tenant", true);
+            t.observe("bad-tenant", false);
+        }
+        let snap = t.snapshot();
+        let good = snap.iter().find(|s| s.tenant == "good-tenant").unwrap();
+        let bad = snap.iter().find(|s| s.tenant == "bad-tenant").unwrap();
+        assert!(!good.in_breach);
+        assert!(bad.in_breach);
+        assert!(bad.burn_rate > good.burn_rate);
+    }
+
+    #[test]
+    fn objective_ns_converts_and_clamps() {
+        assert_eq!(
+            SloConfig {
+                objective_ms: 250.0,
+                ..SloConfig::default()
+            }
+            .objective_ns(),
+            250_000_000
+        );
+        assert_eq!(
+            SloConfig {
+                objective_ms: -5.0,
+                ..SloConfig::default()
+            }
+            .objective_ns(),
+            0
+        );
+    }
+}

@@ -30,6 +30,7 @@
 
 use fairbridge_engine::{AuditSpec, Engine};
 use fairbridge_obs::json::{parse, Value};
+use fairbridge_obs::Telemetry;
 use fairbridge_tabular::{Dataset, Role};
 use std::fmt::Write as _;
 
@@ -234,16 +235,23 @@ pub fn parse_mitigate_request(body: &[u8]) -> Result<MitigateRequest, String> {
 
 /// Executes a `POST /audit` body against the shared engine and renders
 /// the response payload. Parse failures are 400, execution failures 422.
-pub fn handle_audit(engine: &Engine, body: &[u8]) -> Payload {
-    let req = match parse_audit_request(body) {
-        Ok(r) => r,
-        Err(e) => return error_payload(400, &e),
+/// The parse and render phases run under `serve.parse` / `serve.serialize`
+/// spans so the trace analyzer can separate wire cost from engine cost.
+pub fn handle_audit(engine: &Engine, body: &[u8], telemetry: &Telemetry) -> Payload {
+    let req = {
+        let _parse = telemetry.span("serve.parse");
+        match parse_audit_request(body) {
+            Ok(r) => r,
+            Err(e) => return error_payload(400, &e),
+        }
     };
     let report = match engine.audit(&req.dataset, &req.spec) {
         Ok(r) => r,
         Err(e) => return error_payload(422, &e.to_string()),
     };
 
+    let _serialize = telemetry.span("serve.serialize");
+    let t_render = telemetry.now_ns();
     let mut s = String::with_capacity(512);
     s.push_str("{\"endpoint\":\"/audit\"");
     let _ = write!(s, ",\"rows\":{}", req.dataset.n_rows());
@@ -305,14 +313,20 @@ pub fn handle_audit(engine: &Engine, body: &[u8]) -> Payload {
         s.push('}');
     }
     let _ = write!(s, "],\"has_concerns\":{}}}", report.has_concerns());
+    telemetry
+        .histogram("serve.serialize_ns")
+        .record(telemetry.now_ns().saturating_sub(t_render));
     Payload::json(200, s)
 }
 
 /// Executes a `POST /mitigate` body and renders the response payload.
-pub fn handle_mitigate(body: &[u8]) -> Payload {
-    let req = match parse_mitigate_request(body) {
-        Ok(r) => r,
-        Err(e) => return error_payload(400, &e),
+pub fn handle_mitigate(body: &[u8], telemetry: &Telemetry) -> Payload {
+    let req = {
+        let _parse = telemetry.span("serve.parse");
+        match parse_mitigate_request(body) {
+            Ok(r) => r,
+            Err(e) => return error_payload(400, &e),
+        }
     };
     if req.technique != "reweigh" {
         return error_payload(
@@ -329,6 +343,8 @@ pub fn handle_mitigate(body: &[u8]) -> Payload {
         Err(e) => return error_payload(422, &e),
     };
 
+    let _serialize = telemetry.span("serve.serialize");
+    let t_render = telemetry.now_ns();
     let mut s = String::with_capacity(256);
     s.push_str("{\"endpoint\":\"/mitigate\",\"technique\":\"reweigh\"");
     let _ = write!(s, ",\"rows\":{}", req.dataset.n_rows());
@@ -356,6 +372,9 @@ pub fn handle_mitigate(body: &[u8]) -> Payload {
         push_f64(&mut s, *w);
     }
     s.push_str("]}");
+    telemetry
+        .histogram("serve.serialize_ns")
+        .record(telemetry.now_ns().saturating_sub(t_render));
     Payload::json(200, s)
 }
 
@@ -379,8 +398,8 @@ mod tests {
     #[test]
     fn audit_round_trip_renders_deterministically() {
         let engine = Engine::new(EngineConfig::default());
-        let a = handle_audit(&engine, audit_body().as_bytes());
-        let b = handle_audit(&engine, audit_body().as_bytes());
+        let a = handle_audit(&engine, audit_body().as_bytes(), &Telemetry::off());
+        let b = handle_audit(&engine, audit_body().as_bytes(), &Telemetry::off());
         assert_eq!(a.status, 200);
         assert_eq!(a, b, "identical requests must render identical payloads");
         let text = String::from_utf8(a.body).unwrap();
@@ -392,11 +411,16 @@ mod tests {
     #[test]
     fn audit_response_is_identical_across_engine_thread_counts() {
         let body = audit_body();
-        let base = handle_audit(&Engine::new(EngineConfig::with_threads(1)), body.as_bytes());
+        let base = handle_audit(
+            &Engine::new(EngineConfig::with_threads(1)),
+            body.as_bytes(),
+            &Telemetry::off(),
+        );
         for threads in [2, 8] {
             let other = handle_audit(
                 &Engine::new(EngineConfig::with_threads(threads)),
                 body.as_bytes(),
+                &Telemetry::off(),
             );
             assert_eq!(base, other, "{threads} engine threads drifted");
         }
@@ -412,7 +436,7 @@ mod tests {
             "\"values\":[true,true,true,false,true,false,false,false]}",
             "]},\"protected\":[\"sex\"],\"technique\":\"reweigh\"}"
         );
-        let p = handle_mitigate(body.as_bytes());
+        let p = handle_mitigate(body.as_bytes(), &Telemetry::off());
         assert_eq!(p.status, 200, "{}", String::from_utf8_lossy(&p.body));
         let text = String::from_utf8(p.body).unwrap();
         assert!(text.contains("\"technique\":\"reweigh\""));
@@ -423,13 +447,13 @@ mod tests {
     #[test]
     fn parse_failures_are_400_with_error_body() {
         let engine = Engine::new(EngineConfig::default());
-        let p = handle_audit(&engine, b"not json");
+        let p = handle_audit(&engine, b"not json", &Telemetry::off());
         assert_eq!(p.status, 400);
         assert!(String::from_utf8(p.body)
             .unwrap()
             .starts_with("{\"error\":"));
 
-        let p = handle_audit(&engine, b"{\"protected\":[\"a\"]}");
+        let p = handle_audit(&engine, b"{\"protected\":[\"a\"]}", &Telemetry::off());
         assert_eq!(p.status, 400);
     }
 
@@ -442,6 +466,9 @@ mod tests {
             "{\"name\":\"y\",\"type\":\"boolean\",\"role\":\"label\",\"values\":[true,false]}",
             "]},\"protected\":[\"sex\"],\"technique\":\"wish\"}"
         );
-        assert_eq!(handle_mitigate(body.as_bytes()).status, 422);
+        assert_eq!(
+            handle_mitigate(body.as_bytes(), &Telemetry::off()).status,
+            422
+        );
     }
 }

@@ -417,7 +417,8 @@ fn slow_sender_pausing_mid_request_is_not_misparsed() {
     let mut reader = BufReader::new(stream);
     let resp = fairbridge_serve::http::read_response(&mut reader).expect("response");
     assert_eq!(
-        resp.status, 200,
+        resp.status,
+        200,
         "a slow-but-live sender must be served, got {}: {}",
         resp.status,
         String::from_utf8_lossy(&resp.body)
@@ -461,14 +462,22 @@ fn hostile_tenant_ids_are_sanitized_and_bounded() {
     );
     let total: u64 = tenants.iter().map(|(_, count)| count).sum();
     assert_eq!(total, 71, "every request is charged to exactly one bucket");
-    let tenant_counters = telemetry
+    // Each tracked bucket owns a handful of series (requests, SLO
+    // good/bad, latency histogram) — the boundedness invariant is on
+    // distinct *buckets*, not raw series names.
+    let tenant_buckets: std::collections::BTreeSet<String> = telemetry
         .counter_values()
         .into_iter()
-        .filter(|(name, _)| name.starts_with("serve.tenant."))
-        .count();
+        .filter_map(|(name, _)| {
+            name.strip_prefix("serve.tenant.")
+                .and_then(|rest| rest.rsplit_once('.'))
+                .map(|(bucket, _)| bucket.to_owned())
+        })
+        .collect();
     assert!(
-        tenant_counters <= 65,
-        "per-tenant counter registry must be capped, got {tenant_counters}"
+        tenant_buckets.len() <= 65,
+        "per-tenant counter registry must be capped, got {} buckets",
+        tenant_buckets.len()
     );
 
     handle.drain();
@@ -490,7 +499,8 @@ fn connections_beyond_the_cap_are_refused_with_503() {
     let first = load::request_on(&mut s1, &mut r1, "GET", "/healthz", "ops", b"").expect("healthz");
     assert_eq!(first.status, 200);
     let (mut s2, mut r2) = load::connect(&addr).expect("conn 2");
-    let second = load::request_on(&mut s2, &mut r2, "GET", "/healthz", "ops", b"").expect("healthz");
+    let second =
+        load::request_on(&mut s2, &mut r2, "GET", "/healthz", "ops", b"").expect("healthz");
     assert_eq!(second.status, 200);
 
     // The third is refused at accept time, before any request is sent.
@@ -535,4 +545,166 @@ fn healthz_and_unknown_routes() {
     assert_eq!(bad_method.status, 405);
 
     handle.drain();
+}
+
+#[test]
+fn metrics_json_exposes_histogram_quantiles_and_slo() {
+    let (handle, _telemetry) = start_server(2, 16);
+    let addr = handle.addr().to_string();
+    let body = synthetic_audit_body(0);
+    for _ in 0..4 {
+        assert_eq!(post_audit(&addr, "bank-a", &body).status, 200);
+    }
+
+    let metrics = load::fetch_metrics(&addr).expect("metrics");
+    let request_hist = metrics
+        .get("histograms")
+        .and_then(|h| h.get("serve.request_ns"))
+        .expect("serve.request_ns histogram");
+    let count = request_hist
+        .get("count")
+        .and_then(fairbridge_obs::json::Value::as_u64)
+        .expect("count");
+    assert_eq!(count, 4, "every request lands in the latency histogram");
+    let p99 = request_hist
+        .get("p99")
+        .and_then(fairbridge_obs::json::Value::as_f64)
+        .expect("p99");
+    assert!(p99 > 0.0, "quantiles are populated");
+
+    let slo = metrics.get("slo").expect("slo section");
+    assert!(slo.get("objective_ms").is_some());
+    let bank = slo
+        .get("tenants")
+        .and_then(|t| t.get("bank-a"))
+        .expect("bank-a slo entry");
+    let good = bank
+        .get("good")
+        .and_then(fairbridge_obs::json::Value::as_u64)
+        .expect("good");
+    let bad = bank
+        .get("bad")
+        .and_then(fairbridge_obs::json::Value::as_u64)
+        .expect("bad");
+    assert_eq!(good + bad, 4, "every request is classified");
+
+    handle.drain();
+}
+
+#[test]
+fn metrics_text_renders_prometheus_exposition() {
+    let (handle, _telemetry) = start_server(2, 16);
+    let addr = handle.addr().to_string();
+    let body = synthetic_audit_body(0);
+    for _ in 0..3 {
+        assert_eq!(post_audit(&addr, "bank-b", &body).status, 200);
+    }
+
+    let (mut stream, mut reader) = load::connect(&addr).expect("connect");
+    let resp = load::request_on(
+        &mut stream,
+        &mut reader,
+        "GET",
+        "/metrics?format=text",
+        "ops",
+        b"",
+    )
+    .expect("metrics text");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.headers.get("content-type").map(String::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = String::from_utf8(resp.body).expect("utf8");
+    assert!(text.contains("# TYPE fairbridge_serve_received_total counter"));
+    assert!(text.contains("fairbridge_serve_received_total 3"));
+    // Per-tenant series carry a tenant label instead of a per-tenant
+    // metric name.
+    assert!(
+        text.contains("fairbridge_serve_requests{tenant=\"bank-b\"} 3"),
+        "tenant series missing:\n{text}"
+    );
+    // Histograms render cumulative buckets ending in +Inf, plus sum and
+    // count.
+    assert!(text.contains("fairbridge_serve_request_ns_bucket{le=\""));
+    assert!(text.contains("fairbridge_serve_request_ns_bucket{le=\"+Inf\"} 3"));
+    assert!(text.contains("fairbridge_serve_request_ns_count 3"));
+    assert!(text.contains("fairbridge_serve_slo_burn_rate{tenant=\"bank-b\"}"));
+    // The JSON exposition still answers on the bare path.
+    let json = load::request_on(&mut stream, &mut reader, "GET", "/metrics", "ops", b"")
+        .expect("metrics json");
+    assert_eq!(
+        json.headers.get("content-type").map(String::as_str),
+        Some("application/json")
+    );
+
+    handle.drain();
+}
+
+#[test]
+fn impossible_slo_breaches_once_and_emits_the_event() {
+    use fairbridge_obs::{EventKind, FairnessEvent};
+    let ring = Arc::new(RingSink::with_capacity(4096));
+    let telemetry = Telemetry::new(ring.clone());
+    let ring_telemetry = telemetry.clone();
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        engine: EngineConfig::default(),
+        slo: fairbridge_serve::SloConfig {
+            objective_ms: 0.0, // nothing can meet a zero objective
+            error_budget: 0.05,
+            window: 64,
+        },
+        ..ServerConfig::default()
+    };
+    let handle = server::start(config, telemetry).expect("server starts");
+    let addr = handle.addr().to_string();
+    let body = synthetic_audit_body(0);
+    for _ in 0..20 {
+        assert_eq!(post_audit(&addr, "slow-tenant", &body).status, 200);
+    }
+
+    let metrics = load::fetch_metrics(&addr).expect("metrics");
+    let entry = metrics
+        .get("slo")
+        .and_then(|s| s.get("tenants"))
+        .and_then(|t| t.get("slow-tenant"))
+        .expect("slow-tenant slo entry");
+    assert_eq!(
+        entry
+            .get("in_breach")
+            .and_then(fairbridge_obs::json::Value::as_bool),
+        Some(true)
+    );
+    let burn = entry
+        .get("burn_rate")
+        .and_then(fairbridge_obs::json::Value::as_f64)
+        .expect("burn_rate");
+    assert!(burn >= 1.0, "burn rate {burn} must exceed 1.0 in breach");
+
+    handle.drain();
+
+    let bad = counter(&ring_telemetry, "serve.tenant.slow-tenant.slo_bad");
+    assert_eq!(bad, 20, "every request was classified bad");
+
+    // Exactly one slo_breached event: the transition, not one per bad
+    // request.
+    let breaches: Vec<_> = ring
+        .events()
+        .into_iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Fairness(FairnessEvent::SloBreached {
+                tenant, burn_rate, ..
+            }) => Some((tenant, burn_rate)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        breaches.len(),
+        1,
+        "breach event fires on the transition only"
+    );
+    assert_eq!(breaches[0].0, "slow-tenant");
+    assert!(breaches[0].1 >= 1.0);
 }

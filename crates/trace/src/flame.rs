@@ -1,0 +1,93 @@
+//! Collapsed-stack flamegraph output.
+//!
+//! One line per distinct span stack, `name;name;name <self_ns>`, the
+//! format Brendan Gregg's `flamegraph.pl` and every compatible viewer
+//! ingest directly. Weights are **self** time — each span contributes
+//! its elapsed minus its children — so a frame's width in the rendered
+//! graph is time spent in that frame itself, and totals are never
+//! double-counted across the stack.
+
+use crate::tree::Forest;
+use std::collections::BTreeMap;
+
+/// Aggregates every span into `(stack, self_ns)` lines, stacks sorted
+/// lexicographically so the output is deterministic. Zero-weight
+/// stacks (pure wrappers and unclosed spans) are dropped.
+pub fn collapsed_stacks(forest: &Forest) -> Vec<(String, u64)> {
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    for root in &forest.roots {
+        collect(forest, *root, String::new(), &mut weights, 0);
+    }
+    weights.into_iter().filter(|(_, w)| *w > 0).collect()
+}
+
+fn collect(
+    forest: &Forest,
+    id: u64,
+    prefix: String,
+    weights: &mut BTreeMap<String, u64>,
+    depth: usize,
+) {
+    if depth > forest.spans.len() {
+        return; // cycle in a corrupt trail
+    }
+    let Some(node) = forest.spans.get(&id) else {
+        return;
+    };
+    let stack = if prefix.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{prefix};{}", node.name)
+    };
+    *weights.entry(stack.clone()).or_insert(0) += forest.self_time_ns(id);
+    for child in &node.children {
+        collect(forest, *child, stack.clone(), weights, depth + 1);
+    }
+}
+
+/// Renders the collapsed stacks as the canonical text format.
+pub fn render(stacks: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (stack, weight) in stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_events;
+    use crate::tree::build;
+
+    #[test]
+    fn stacks_carry_self_time_and_merge_identical_paths() {
+        let text = [
+            // Two requests with the same shape; self times must sum.
+            r#"{"t_ns":0,"thread":1,"span":1,"parent":null,"kind":"span_start","name":"serve.request"}"#,
+            r#"{"t_ns":10,"thread":1,"span":2,"parent":1,"kind":"span_start","name":"serve.execute"}"#,
+            r#"{"t_ns":70,"thread":1,"span":2,"parent":1,"kind":"span_end","name":"serve.execute","elapsed_ns":60}"#,
+            r#"{"t_ns":100,"thread":1,"span":1,"parent":null,"kind":"span_end","name":"serve.request","elapsed_ns":100}"#,
+            r#"{"t_ns":200,"thread":1,"span":3,"parent":null,"kind":"span_start","name":"serve.request"}"#,
+            r#"{"t_ns":210,"thread":1,"span":4,"parent":3,"kind":"span_start","name":"serve.execute"}"#,
+            r#"{"t_ns":290,"thread":1,"span":4,"parent":3,"kind":"span_end","name":"serve.execute","elapsed_ns":80}"#,
+            r#"{"t_ns":300,"thread":1,"span":3,"parent":null,"kind":"span_end","name":"serve.request","elapsed_ns":100}"#,
+        ]
+        .join("\n");
+        let (events, _) = read_events(&text);
+        let forest = build(&events);
+        let stacks = collapsed_stacks(&forest);
+        assert_eq!(
+            stacks,
+            vec![
+                ("serve.request".to_owned(), 60),                // (100-60)+(100-80)
+                ("serve.request;serve.execute".to_owned(), 140), // 60+80
+            ]
+        );
+        let text = render(&stacks);
+        assert_eq!(text, "serve.request 60\nserve.request;serve.execute 140\n");
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline analysis of the evidential trail (`fb-trace`).
+//!
+//! The daemon emits a flat JSONL stream (`fairbridge-obs`): spans that
+//! cross threads, counters, histograms, and typed fairness events.
+//! This crate turns that stream back into structure, entirely offline
+//! and with zero dependencies beyond the `obs` JSON parser:
+//!
+//! * [`reader`] — lenient line-by-line ingestion that skips (and
+//!   counts) truncated or malformed lines instead of failing;
+//! * [`tree`] — span-forest reconstruction from explicit parent ids,
+//!   tolerant of unclosed spans, orphan ends, and retroactive spans
+//!   whose lines appear out of timestamp order;
+//! * [`mod@analyze`] — joins `request_completed` events to their span
+//!   trees and decomposes each request's wall time into queue wait,
+//!   coalescing wait, parse, engine scan, serialization, and residual;
+//! * [`flame`] — collapsed-stack output (self-time weighted) for any
+//!   flamegraph renderer;
+//! * [`report`] — per-endpoint / per-tenant aggregation and the
+//!   `--check` invariants CI runs after every soak.
+//!
+//! The analysis never trusts the trail: every tolerated defect is
+//! surfaced as a count in the report, so a damaged trail is visible
+//! rather than silently under-reported.
+
+pub mod analyze;
+pub mod flame;
+pub mod reader;
+pub mod report;
+pub mod tree;
+
+pub use analyze::{analyze, Analysis, Breakdown, RequestTrace};
+pub use flame::collapsed_stacks;
+pub use reader::{read_events, RawEvent, ReadStats};
+pub use report::{build_report, GroupSummary, Report};
+pub use tree::{build, Forest, SpanNode};

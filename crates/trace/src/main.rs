@@ -1,0 +1,130 @@
+//! The `fb-trace` binary.
+//!
+//! ```text
+//! fb-trace report [--check] [--json] [PATH]
+//! fb-trace flame [PATH]
+//! ```
+//!
+//! `PATH` is a JSONL evidential trail (`fairbridge-serve --telemetry`,
+//! `fb-experiments --telemetry`); `-` or no path reads stdin, so the
+//! daemon's trail can be piped straight through. `report` prints the
+//! per-endpoint / per-tenant latency breakdown; `--check` additionally
+//! enforces the trail invariants (every completion has a span tree,
+//! every tree has a critical path) and exits nonzero on violation —
+//! that is the mode CI runs after the soak. `flame` prints collapsed
+//! stacks for flamegraph renderers.
+
+use fairbridge_trace::{analyze, build, build_report, collapsed_stacks, flame, read_events};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+struct Args {
+    command: Command,
+    path: Option<String>,
+    check: bool,
+    json: bool,
+}
+
+enum Command {
+    Report,
+    Flame,
+}
+
+const USAGE: &str = "usage: fb-trace <report [--check] [--json] | flame> [PATH|-]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("report") => Command::Report,
+        Some("flame") => Command::Flame,
+        Some("--help" | "-h") | None => return Err(USAGE.to_owned()),
+        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    let mut path = None;
+    let mut check = false;
+    let mut json = false;
+    for flag in it {
+        match flag.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"));
+            }
+            other => {
+                if path.replace(other.to_owned()).is_some() {
+                    return Err(format!("more than one PATH given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        command,
+        path,
+        check,
+        json,
+    })
+}
+
+/// Writes to stdout, swallowing errors: a downstream `head` closing
+/// the pipe is a request to stop, not a failure (`println!` would
+/// panic on EPIPE).
+fn emit(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn read_input(path: Option<&str>) -> Result<String, String> {
+    match path {
+        Some("-") | None => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("read stdin: {e}"))?;
+            Ok(text)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    let text = read_input(args.path.as_deref())?;
+    let (events, stats) = read_events(&text);
+    let forest = build(&events);
+    match args.command {
+        Command::Report => {
+            let analysis = analyze(&events, &forest);
+            let report = build_report(stats, &forest, &analysis);
+            if args.json {
+                emit(&report.render_json());
+                emit("\n");
+            } else {
+                emit(&report.render_text());
+            }
+            if args.check {
+                report
+                    .check(&forest, &analysis)
+                    .map_err(|e| format!("check failed: {e}"))?;
+                emit("fb-trace check: ok\n");
+            }
+            Ok(())
+        }
+        Command::Flame => {
+            let stacks = collapsed_stacks(&forest);
+            emit(&flame::render(&stacks));
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fb-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Lenient JSONL trail reader.
+//!
+//! Real trails are imperfect: a daemon killed mid-write leaves a
+//! truncated final line, many threads interleave their lines, and
+//! future emitters will add event kinds this reader has never seen.
+//! The reader therefore never fails on a bad line — it parses what it
+//! can and counts what it skipped, so every downstream report can
+//! disclose exactly how much of the trail it actually analyzed. A
+//! truncated trail must not masquerade as a complete one.
+
+use fairbridge_obs::json::{parse, Value};
+
+/// One parsed trail event: the envelope fields every event carries,
+/// lifted out for cheap access, plus the full parsed object for
+/// kind-specific payload fields (`tenant`, `status`, …).
+#[derive(Debug, Clone)]
+pub struct RawEvent {
+    /// Emission timestamp, nanoseconds since telemetry start.
+    pub t_ns: u64,
+    /// Id of the emitting thread.
+    pub thread: u64,
+    /// The span this event belongs to. For `span_start`/`span_end`
+    /// this is the span's own id; for other kinds it is the span that
+    /// was current when the event was emitted.
+    pub span: Option<u64>,
+    /// The enclosing span at emission time (the parent, for
+    /// `span_start`).
+    pub parent: Option<u64>,
+    /// Event kind name (`span_start`, `counter`, `request_completed`, …).
+    pub kind: String,
+    /// The `name` field, when present (span and metric events).
+    pub name: Option<String>,
+    /// The `elapsed_ns` field, when present (`span_end`).
+    pub elapsed_ns: Option<u64>,
+    /// The full parsed line, for kind-specific fields.
+    pub value: Value,
+}
+
+/// What the reader saw, disclosed alongside every analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Non-blank lines seen.
+    pub lines: usize,
+    /// Lines that parsed into a usable event.
+    pub events: usize,
+    /// Lines skipped: truncated, unparseable, or missing the envelope
+    /// fields (`t_ns`, `thread`, `kind`).
+    pub skipped: usize,
+}
+
+/// Parses a JSONL trail, skipping (and counting) malformed lines.
+pub fn read_events(text: &str) -> (Vec<RawEvent>, ReadStats) {
+    let mut events = Vec::new();
+    let mut stats = ReadStats::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        match parse_event(line) {
+            Some(e) => {
+                events.push(e);
+                stats.events += 1;
+            }
+            None => stats.skipped += 1,
+        }
+    }
+    (events, stats)
+}
+
+/// Parses one line; `None` when the line is not a well-formed event.
+fn parse_event(line: &str) -> Option<RawEvent> {
+    let value = parse(line).ok()?;
+    let t_ns = value.get("t_ns").and_then(Value::as_u64)?;
+    let thread = value.get("thread").and_then(Value::as_u64)?;
+    let kind = value.get("kind").and_then(Value::as_str)?.to_owned();
+    let span = value.get("span").and_then(Value::as_u64);
+    let parent = value.get("parent").and_then(Value::as_u64);
+    let name = value.get("name").and_then(Value::as_str).map(str::to_owned);
+    let elapsed_ns = value.get("elapsed_ns").and_then(Value::as_u64);
+    Some(RawEvent {
+        t_ns,
+        thread,
+        span,
+        parent,
+        kind,
+        name,
+        elapsed_ns,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_lines_parse_with_envelope_fields() {
+        let text = concat!(
+            "{\"t_ns\":10,\"thread\":1,\"span\":7,\"parent\":null,",
+            "\"kind\":\"span_start\",\"name\":\"serve.request\"}\n",
+            "{\"t_ns\":90,\"thread\":1,\"span\":7,\"parent\":null,",
+            "\"kind\":\"span_end\",\"name\":\"serve.request\",\"elapsed_ns\":80}\n",
+        );
+        let (events, stats) = read_events(text);
+        assert_eq!(
+            stats,
+            ReadStats {
+                lines: 2,
+                events: 2,
+                skipped: 0
+            }
+        );
+        assert_eq!(events[0].kind, "span_start");
+        assert_eq!(events[0].span, Some(7));
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[0].name.as_deref(), Some("serve.request"));
+        assert_eq!(events[1].elapsed_ns, Some(80));
+    }
+
+    #[test]
+    fn truncated_and_malformed_lines_are_skipped_not_fatal() {
+        let text = concat!(
+            "{\"t_ns\":1,\"thread\":1,\"span\":null,\"parent\":null,\"kind\":\"counter\",",
+            "\"name\":\"serve.requests\",\"value\":1}\n",
+            "{\"t_ns\":2,\"thread\":1,\"span\":null,\"parent\":null,\"ki", // cut mid-write
+        );
+        let (events, stats) = read_events(text);
+        assert_eq!(
+            stats,
+            ReadStats {
+                lines: 2,
+                events: 1,
+                skipped: 1
+            }
+        );
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "counter");
+    }
+
+    #[test]
+    fn lines_missing_envelope_fields_are_skipped() {
+        let text = concat!(
+            "{\"thread\":1,\"kind\":\"counter\"}\n",            // no t_ns
+            "{\"t_ns\":1,\"kind\":\"counter\"}\n",              // no thread
+            "{\"t_ns\":1,\"thread\":1}\n",                      // no kind
+            "[1,2,3]\n",                                        // not an object
+            "{\"t_ns\":1,\"thread\":1,\"kind\":\"mystery\"}\n", // fine: unknown kind
+        );
+        let (events, stats) = read_events(text);
+        assert_eq!(
+            stats,
+            ReadStats {
+                lines: 5,
+                events: 1,
+                skipped: 4
+            }
+        );
+        assert_eq!(events[0].kind, "mystery");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_entirely() {
+        let (events, stats) = read_events("\n  \n\n");
+        assert!(events.is_empty());
+        assert_eq!(stats, ReadStats::default());
+    }
+}

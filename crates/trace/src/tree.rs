@@ -1,0 +1,382 @@
+//! Span-forest reconstruction from a flat event stream.
+//!
+//! Spans cross threads: the connection thread opens `serve.request`, a
+//! worker executes under it via an explicit parent id, and queue
+//! residency is recorded retroactively once the job is popped.
+//! Reconstruction therefore trusts only the ids carried in the events —
+//! never thread locality, and never arrival order (a retroactive span's
+//! `span_start` can appear in the trail long after its timestamp).
+//!
+//! The builder tolerates damage: unclosed spans (daemon killed
+//! mid-request) stay in the forest with `end_ns: None`, `span_end`
+//! lines whose start was lost are counted rather than matched, and
+//! self-referential parent ids (corrupt trail) are treated as roots so
+//! traversals terminate.
+
+use crate::reader::RawEvent;
+use std::collections::BTreeMap;
+
+/// One reconstructed span.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Span name (`serve.request`, `engine.audit`, …).
+    pub name: String,
+    /// Parent span id as emitted; `None` for roots.
+    pub parent: Option<u64>,
+    /// Thread that emitted the `span_start`.
+    pub thread: u64,
+    /// Start timestamp, nanoseconds since telemetry start.
+    pub start_ns: u64,
+    /// Close timestamp; `None` when the trail never closed this span.
+    pub end_ns: Option<u64>,
+    /// Duration from `span_end`; 0 while unclosed.
+    pub elapsed_ns: u64,
+    /// Child span ids, ordered by start time.
+    pub children: Vec<u64>,
+    /// Indices (into the event slice the forest was built from) of
+    /// non-span events attributed to this span.
+    pub events: Vec<usize>,
+}
+
+/// Every span in a trail, wired into trees.
+#[derive(Debug, Default)]
+pub struct Forest {
+    /// All reconstructed spans, keyed by id.
+    pub spans: BTreeMap<u64, SpanNode>,
+    /// Spans whose parent is absent from the trail (or `None`).
+    pub roots: Vec<u64>,
+    /// Spans that started but never ended.
+    pub unclosed: usize,
+    /// `span_end` events whose `span_start` is missing from the trail.
+    pub unmatched_ends: usize,
+}
+
+/// Builds the span forest for `events`.
+pub fn build(events: &[RawEvent]) -> Forest {
+    let mut forest = Forest::default();
+
+    // Pass 1: every span_start creates a node. Duplicated ids (possible
+    // only in a corrupt trail) keep the first occurrence.
+    for e in events {
+        if e.kind != "span_start" {
+            continue;
+        }
+        let (Some(id), Some(name)) = (e.span, e.name.as_deref()) else {
+            continue;
+        };
+        forest.spans.entry(id).or_insert_with(|| SpanNode {
+            id,
+            name: name.to_owned(),
+            parent: e.parent,
+            thread: e.thread,
+            start_ns: e.t_ns,
+            end_ns: None,
+            elapsed_ns: 0,
+            children: Vec::new(),
+            events: Vec::new(),
+        });
+    }
+
+    // Pass 2: ends close their span; all other span-attributed events
+    // attach to it.
+    for (i, e) in events.iter().enumerate() {
+        match e.kind.as_str() {
+            "span_start" => {}
+            "span_end" => match e.span.and_then(|id| forest.spans.get_mut(&id)) {
+                Some(node) => {
+                    node.end_ns = Some(e.t_ns);
+                    node.elapsed_ns = e.elapsed_ns.unwrap_or(e.t_ns.saturating_sub(node.start_ns));
+                }
+                None => forest.unmatched_ends += 1,
+            },
+            _ => {
+                if let Some(node) = e.span.and_then(|id| forest.spans.get_mut(&id)) {
+                    node.events.push(i);
+                }
+            }
+        }
+    }
+
+    // Pass 3: wire children (ordered by start time) and collect roots.
+    // A span whose parent is itself or missing becomes a root.
+    let starts: BTreeMap<u64, u64> = forest.spans.values().map(|n| (n.id, n.start_ns)).collect();
+    let ids: Vec<u64> = forest.spans.keys().copied().collect();
+    for id in &ids {
+        let parent = forest
+            .spans
+            .get(id)
+            .and_then(|n| n.parent)
+            .filter(|p| p != id && forest.spans.contains_key(p));
+        match parent {
+            Some(p) => {
+                if let Some(parent_node) = forest.spans.get_mut(&p) {
+                    parent_node.children.push(*id);
+                }
+            }
+            None => forest.roots.push(*id),
+        }
+    }
+    for node in forest.spans.values_mut() {
+        node.children
+            .sort_by_key(|c| (starts.get(c).copied().unwrap_or(0), *c));
+    }
+    forest.unclosed = forest.spans.values().filter(|n| n.end_ns.is_none()).count();
+    forest
+}
+
+impl Forest {
+    /// Time spent in the span itself: `elapsed − Σ children`, clamped
+    /// at 0 (children measured on other threads can overshoot by clock
+    /// read granularity).
+    pub fn self_time_ns(&self, id: u64) -> u64 {
+        let Some(node) = self.spans.get(&id) else {
+            return 0;
+        };
+        let child_total: u64 = node
+            .children
+            .iter()
+            .filter_map(|c| self.spans.get(c))
+            .map(|c| c.elapsed_ns)
+            .sum();
+        node.elapsed_ns.saturating_sub(child_total)
+    }
+
+    /// The critical path from `root`: at each node, descend into the
+    /// child with the largest elapsed time (ties broken by id so the
+    /// path is deterministic). Returns `(name, elapsed_ns)` pairs from
+    /// the root down; empty when `root` is not in the forest.
+    pub fn critical_path(&self, root: u64) -> Vec<(String, u64)> {
+        let mut path = Vec::new();
+        let mut cursor = Some(root);
+        while let Some(id) = cursor {
+            let Some(node) = self.spans.get(&id) else {
+                break;
+            };
+            path.push((node.name.clone(), node.elapsed_ns));
+            if path.len() > self.spans.len() {
+                break; // cycle in a corrupt trail; refuse to spin
+            }
+            cursor = node
+                .children
+                .iter()
+                .filter_map(|c| self.spans.get(c))
+                .max_by_key(|c| (c.elapsed_ns, c.id))
+                .map(|c| c.id);
+        }
+        path
+    }
+
+    /// Walks the subtree under `root` (root included), calling `visit`
+    /// on each node. `visit` returns whether to descend into the node's
+    /// children. Iterative with a visit cap, so corrupt trails cannot
+    /// recurse or spin the walk.
+    pub fn walk(&self, root: u64, mut visit: impl FnMut(&SpanNode) -> bool) {
+        let mut stack = vec![root];
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            if visited > self.spans.len() {
+                break;
+            }
+            let Some(node) = self.spans.get(&id) else {
+                continue;
+            };
+            if visit(node) {
+                // Reverse so children pop in start order.
+                stack.extend(node.children.iter().rev().copied());
+            }
+        }
+    }
+
+    /// The root ancestor of `id` (follows parent links; stops at cycles).
+    pub fn root_of(&self, id: u64) -> Option<u64> {
+        let mut cursor = self.spans.get(&id)?;
+        let mut hops = 0usize;
+        while let Some(p) = cursor.parent.filter(|p| *p != cursor.id) {
+            let Some(parent) = self.spans.get(&p) else {
+                break;
+            };
+            cursor = parent;
+            hops += 1;
+            if hops > self.spans.len() {
+                return None; // parent cycle in a corrupt trail
+            }
+        }
+        Some(cursor.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_events;
+
+    fn line(
+        t: u64,
+        thread: u64,
+        span: u64,
+        parent: Option<u64>,
+        kind: &str,
+        extra: &str,
+    ) -> String {
+        let parent = parent.map_or("null".to_owned(), |p| p.to_string());
+        format!("{{\"t_ns\":{t},\"thread\":{thread},\"span\":{span},\"parent\":{parent},\"kind\":\"{kind}\"{extra}}}")
+    }
+
+    fn start(t: u64, thread: u64, span: u64, parent: Option<u64>, name: &str) -> String {
+        line(
+            t,
+            thread,
+            span,
+            parent,
+            "span_start",
+            &format!(",\"name\":\"{name}\""),
+        )
+    }
+
+    fn end(t: u64, thread: u64, span: u64, name: &str, elapsed: u64) -> String {
+        line(
+            t,
+            thread,
+            span,
+            None,
+            "span_end",
+            &format!(",\"name\":\"{name}\",\"elapsed_ns\":{elapsed}"),
+        )
+    }
+
+    #[test]
+    fn cross_thread_spans_join_one_tree() {
+        // Conn thread 1 opens the request; worker thread 2 executes
+        // under it via the explicit parent id; the queue wait arrives
+        // retroactively (start line emitted after its own timestamp).
+        let text = [
+            start(100, 1, 1, None, "serve.request"),
+            start(150, 2, 3, Some(1), "serve.execute"),
+            end(140, 2, 2, "serve.queue_wait", 40),
+            start(100, 2, 2, Some(1), "serve.queue_wait"),
+            end(400, 2, 3, "serve.execute", 250),
+            end(450, 1, 1, "serve.request", 350),
+        ]
+        .join("\n");
+        let (events, _) = read_events(&text);
+        let forest = build(&events);
+        assert_eq!(forest.roots, vec![1]);
+        let root = &forest.spans[&1];
+        // Children ordered by start time: queue_wait (t=100) before
+        // execute (t=150), even though their lines interleave.
+        assert_eq!(root.children, vec![2, 3]);
+        assert_eq!(forest.spans[&2].elapsed_ns, 40);
+        assert_eq!(forest.spans[&3].thread, 2);
+        assert_eq!(forest.unclosed, 0);
+        // The queue_wait end line precedes its start line in the trail;
+        // the two-pass build still pairs them.
+        assert_eq!(forest.unmatched_ends, 0);
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let text = [
+            start(0, 1, 1, None, "a"),
+            start(10, 1, 2, Some(1), "b"),
+            end(40, 1, 2, "b", 30),
+            end(100, 1, 1, "a", 100),
+        ]
+        .join("\n");
+        let (events, _) = read_events(&text);
+        let forest = build(&events);
+        assert_eq!(forest.self_time_ns(1), 70);
+        assert_eq!(forest.self_time_ns(2), 30);
+        assert_eq!(forest.self_time_ns(999), 0);
+    }
+
+    #[test]
+    fn critical_path_follows_the_longest_child() {
+        let text = [
+            start(0, 1, 1, None, "root"),
+            start(10, 1, 2, Some(1), "short"),
+            end(20, 1, 2, "short", 10),
+            start(30, 1, 3, Some(1), "long"),
+            start(35, 1, 4, Some(3), "inner"),
+            end(75, 1, 4, "inner", 40),
+            end(90, 1, 3, "long", 60),
+            end(100, 1, 1, "root", 100),
+        ]
+        .join("\n");
+        let (events, _) = read_events(&text);
+        let forest = build(&events);
+        let path = forest.critical_path(1);
+        let names: Vec<&str> = path.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["root", "long", "inner"]);
+        assert_eq!(path[1].1, 60);
+    }
+
+    #[test]
+    fn unclosed_spans_and_orphan_ends_are_counted_not_fatal() {
+        let text = [
+            start(0, 1, 1, None, "serve.request"),
+            end(50, 1, 9, "ghost", 10), // never started
+        ]
+        .join("\n");
+        let (events, _) = read_events(&text);
+        let forest = build(&events);
+        assert_eq!(forest.unclosed, 1);
+        assert_eq!(forest.unmatched_ends, 1);
+        assert_eq!(forest.spans[&1].end_ns, None);
+        // The unclosed root still yields a (zero-elapsed) critical path.
+        assert_eq!(forest.critical_path(1).len(), 1);
+    }
+
+    #[test]
+    fn self_parenting_span_becomes_a_root_and_walks_terminate() {
+        let text = [start(0, 1, 5, Some(5), "loop"), end(10, 1, 5, "loop", 10)].join("\n");
+        let (events, _) = read_events(&text);
+        let forest = build(&events);
+        assert_eq!(forest.roots, vec![5]);
+        assert_eq!(forest.root_of(5), Some(5));
+        assert_eq!(forest.critical_path(5).len(), 1);
+        let mut n = 0;
+        forest.walk(5, |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn attached_events_land_on_their_span() {
+        let text = [
+            start(0, 1, 1, None, "serve.request"),
+            line(
+                5,
+                1,
+                1,
+                None,
+                "request_completed",
+                ",\"tenant\":\"t\",\"endpoint\":\"/audit\",\"status\":200,\"coalesced\":false,\"elapsed_ns\":90",
+            ),
+            end(100, 1, 1, "serve.request", 100),
+        ]
+        .join("\n");
+        let (events, _) = read_events(&text);
+        let forest = build(&events);
+        assert_eq!(forest.spans[&1].events, vec![1]);
+        assert_eq!(events[1].kind, "request_completed");
+    }
+
+    #[test]
+    fn root_of_resolves_through_deep_ancestry() {
+        let text = [
+            start(0, 1, 1, None, "a"),
+            start(1, 1, 2, Some(1), "b"),
+            start(2, 2, 3, Some(2), "c"),
+        ]
+        .join("\n");
+        let (events, _) = read_events(&text);
+        let forest = build(&events);
+        assert_eq!(forest.root_of(3), Some(1));
+        assert_eq!(forest.root_of(42), None);
+    }
+}

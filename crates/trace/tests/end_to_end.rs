@@ -1,0 +1,90 @@
+//! The full loop: run the real daemon in-process with a JSONL trail,
+//! soak it with the real load client, drain, then feed the trail
+//! through the trace pipeline. The reconstructed request count must
+//! match the daemon's own drain accounting exactly, and every request's
+//! stage decomposition must sum back to its measured wall time.
+
+use fairbridge_engine::EngineConfig;
+use fairbridge_obs::{JsonlSink, Telemetry};
+use fairbridge_serve::load::{self, LoadConfig};
+use fairbridge_serve::server::{self, ServerConfig};
+use fairbridge_trace::{analyze, build, build_report, collapsed_stacks, read_events};
+use std::sync::Arc;
+
+#[test]
+fn soak_trail_reproduces_the_drain_accounting() {
+    let path = std::env::temp_dir().join(format!(
+        "fb-trace-e2e-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let sink = JsonlSink::create(&path).expect("create trail");
+    let telemetry = Telemetry::new(Arc::new(sink));
+
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        engine: EngineConfig::default(),
+        ..ServerConfig::default()
+    };
+    let handle = server::start(config, telemetry.clone()).expect("server starts");
+
+    let load_config = LoadConfig {
+        addr: handle.addr().to_string(),
+        connections: 8,
+        requests_per_conn: 4,
+        distinct_bodies: 3,
+        tenants: 3,
+    };
+    let client_report = load::run(&load_config).expect("soak runs");
+    assert_eq!(client_report.ok, 32, "every request must succeed");
+
+    let summary = handle.drain();
+    telemetry.flush();
+    let text = std::fs::read_to_string(&path).expect("read trail");
+    let _ = std::fs::remove_file(&path);
+
+    let (events, stats) = read_events(&text);
+    assert_eq!(stats.skipped, 0, "a clean shutdown leaves no damage");
+
+    let forest = build(&events);
+    assert_eq!(forest.unmatched_ends, 0);
+
+    let analysis = analyze(&events, &forest);
+    // The headline acceptance: the trail reproduces the daemon's own
+    // served-request count exactly.
+    assert_eq!(analysis.requests.len() as u64, summary.completed);
+    assert_eq!(analysis.unmatched_completions, 0);
+
+    for r in &analysis.requests {
+        assert_eq!(
+            r.breakdown.total_ns(),
+            r.wall_ns,
+            "decomposition must sum to the wall time (tenant {})",
+            r.tenant
+        );
+        assert!(r.wall_ns > 0);
+        assert_eq!(r.status, 200);
+        if r.coalesced {
+            assert_eq!(r.breakdown.scan_ns, 0, "followers never scan");
+        } else {
+            assert!(r.breakdown.scan_ns > 0, "leaders spend time in the engine");
+        }
+    }
+
+    let report = build_report(stats, &forest, &analysis);
+    report
+        .check(&forest, &analysis)
+        .expect("soak trail passes --check");
+    assert_eq!(report.overall.n, summary.completed);
+    assert_eq!(report.overall.coalesced, summary.coalesced_hits);
+    let text_report = report.render_text();
+    assert!(
+        text_report.starts_with(&format!("fb-trace report: requests={} ", summary.completed)),
+        "{text_report}"
+    );
+
+    // The flamegraph view of the same trail has the request stack.
+    let stacks = collapsed_stacks(&forest);
+    assert!(stacks.iter().any(|(s, _)| s.starts_with("serve.request")));
+}

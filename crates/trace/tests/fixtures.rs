@@ -1,0 +1,108 @@
+//! Fixture-driven tests for hostile trails: a daemon killed mid-write
+//! (truncated final line, unclosed request) and a heavily interleaved
+//! multi-thread trail with out-of-order retroactive spans and unknown
+//! event kinds. The analyzer must extract everything extractable and
+//! disclose everything it skipped.
+
+use fairbridge_trace::{analyze, build, build_report, collapsed_stacks, read_events};
+
+const TRUNCATED: &str = include_str!("fixtures/truncated.jsonl");
+const INTERLEAVED: &str = include_str!("fixtures/interleaved.jsonl");
+
+#[test]
+fn truncated_trail_yields_the_complete_request_and_discloses_the_damage() {
+    let (events, stats) = read_events(TRUNCATED);
+    // The cut-off line is skipped, not fatal.
+    assert_eq!(stats.skipped, 1);
+    assert_eq!(stats.lines, stats.events + stats.skipped);
+
+    let forest = build(&events);
+    // The second request's span started but the trail died before it
+    // closed.
+    assert_eq!(forest.unclosed, 1);
+
+    let analysis = analyze(&events, &forest);
+    assert_eq!(
+        analysis.requests.len(),
+        1,
+        "only the finished request completes"
+    );
+    let r = &analysis.requests[0];
+    assert_eq!(r.tenant, "bank-a");
+    assert_eq!(r.wall_ns, 1000);
+    assert_eq!(r.breakdown.queue_ns, 200);
+    assert_eq!(r.breakdown.parse_ns, 100);
+    assert_eq!(r.breakdown.scan_ns, 470);
+    assert_eq!(r.breakdown.serialize_ns, 50);
+    assert_eq!(r.breakdown.other_ns, 180);
+    assert_eq!(r.breakdown.total_ns(), r.wall_ns);
+
+    // The report carries the disclosure and still passes --check: the
+    // completed request is fully accounted for.
+    let report = build_report(stats, &forest, &analysis);
+    assert_eq!(report.unclosed, 1);
+    assert!(report.check(&forest, &analysis).is_ok());
+    let text = report.render_text();
+    assert!(text.contains("skipped=1"), "{text}");
+    assert!(text.contains("unclosed=1"), "{text}");
+}
+
+#[test]
+fn interleaved_threads_reconstruct_into_separate_request_trees() {
+    let (events, stats) = read_events(INTERLEAVED);
+    // Unknown kinds (wormhole_detected) still carry the envelope and
+    // parse fine; nothing is skipped here.
+    assert_eq!(stats.skipped, 0);
+
+    let forest = build(&events);
+    assert_eq!(forest.unclosed, 0);
+    assert_eq!(forest.unmatched_ends, 0);
+    // Two roots: one per request, despite four threads interleaving.
+    assert_eq!(forest.roots.len(), 2);
+
+    let analysis = analyze(&events, &forest);
+    assert_eq!(analysis.unmatched_completions, 0);
+    assert_eq!(analysis.requests.len(), 2);
+
+    let leader = analysis
+        .requests
+        .iter()
+        .find(|r| !r.coalesced)
+        .expect("leader");
+    // The retroactive queue_wait (whose start line appears after the
+    // execute line, with an earlier timestamp) lands under the leader.
+    assert_eq!(leader.breakdown.queue_ns, 10);
+    assert_eq!(leader.breakdown.scan_ns, 700);
+    assert_eq!(leader.breakdown.coalesce_ns, 0);
+
+    let follower = analysis
+        .requests
+        .iter()
+        .find(|r| r.coalesced)
+        .expect("follower");
+    assert_eq!(follower.tenant, "bank-b");
+    assert_eq!(follower.breakdown.coalesce_ns, 710);
+    assert_eq!(
+        follower.breakdown.scan_ns, 0,
+        "the scan belongs to the leader"
+    );
+
+    let report = build_report(stats, &forest, &analysis);
+    assert!(report.check(&forest, &analysis).is_ok());
+    assert_eq!(report.overall.coalesced, 1);
+
+    // Child start-order is restored from timestamps, not line order:
+    // queue_wait (t=30) precedes execute (t=40) under the leader root.
+    let leader_root = leader.span_id.expect("leader tree");
+    let children = &forest.spans[&leader_root].children;
+    assert_eq!(children, &vec![11, 12]);
+
+    // Flame stacks keep the two requests' frames merged by path.
+    let stacks = collapsed_stacks(&forest);
+    assert!(stacks
+        .iter()
+        .any(|(s, _)| s == "serve.request;serve.execute;engine.audit"));
+    assert!(stacks
+        .iter()
+        .any(|(s, _)| s == "serve.request;serve.coalesce_wait"));
+}
