@@ -17,13 +17,23 @@
 //! The `*_par8` rows run the same kernels at 8 workers; on a single-core
 //! container they mainly document fan-out overhead (the determinism
 //! suite, not this bench, is what guarantees thread-count invariance).
+//!
+//! The `kernels_simd` group is the SIMD widening sweep: `dot` and `gemv`
+//! at 10⁴ / 10⁵ / 10⁶ elements, three rows per size — `*_scalar`
+//! (single-accumulator reference), `*_fused` (8-lane scalar fusion) and
+//! `*_simd` (the runtime-dispatched kernel: AVX2 when the binary is
+//! built with `--features simd` on a machine that has it, otherwise the
+//! identical-bits fused fallback). The labels are feature-independent so
+//! the stale-baseline guard can compare label sets from any build; the
+//! timings in `BENCH_kernels.json` are recorded with the feature on.
 
 use fairbridge::learn::logistic::LogisticTrainer;
 use fairbridge::learn::matrix::Matrix;
-use fairbridge_bench::harness::Criterion;
+use fairbridge_bench::harness::{BenchmarkId, Criterion};
 use fairbridge_bench::{criterion_group, criterion_main};
 use fairbridge_stats::bootstrap::par_bootstrap_ci;
 use fairbridge_stats::descriptive::mean;
+use fairbridge_stats::kernel;
 use fairbridge_stats::rng::{Rng, StdRng};
 use fairbridge_stats::sinkhorn::{par_sinkhorn, CONVERGENCE_TOL};
 use fairbridge_stats::Discrete;
@@ -242,5 +252,61 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// The SIMD widening sweep: scalar vs fused vs runtime-dispatched SIMD
+/// for `dot` (vector length 10⁴/10⁵/10⁶) and `gemv` (square matrices
+/// with that many elements: 100², 316², 1000²). The `_simd` rows call
+/// the public dispatchers, so they measure whatever path production
+/// code actually takes in this build.
+fn bench_simd_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_simd");
+    group.sample_size(10);
+    println!(
+        "kernels_simd: simd dispatch active = {}",
+        kernel::simd_active()
+    );
+
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let mut rng = StdRng::seed_from_u64(0xD0 + n as u64);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b_vec: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        group.bench_with_input(BenchmarkId::new("dot_scalar", n), &n, |b, _| {
+            b.iter(|| black_box(kernel::dot_scalar(&a, &b_vec)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_fused", n), &n, |b, _| {
+            b.iter(|| black_box(kernel::dot_fused(&a, &b_vec)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot_simd", n), &n, |b, _| {
+            b.iter(|| black_box(kernel::dot(&a, &b_vec)))
+        });
+    }
+
+    // Square gemv shapes with 10⁴/10⁵/10⁶ matrix elements. 1000×1000 is
+    // 8 MB — past L2 on the reference box but L3-resident, so the sweep
+    // measures compute width, not DRAM bandwidth.
+    for side in [100usize, 316, 1000] {
+        let x = random_matrix(0xC0 + side as u64, side, side);
+        let w: Vec<f64> = (0..side).map(|j| (j as f64 * 0.37).sin()).collect();
+        let elements = side * side;
+        group.bench_with_input(BenchmarkId::new("gemv_scalar", elements), &side, |b, _| {
+            b.iter(|| black_box(x.matvec_scalar(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("gemv_fused", elements), &side, |b, _| {
+            let mut out = vec![0.0; x.n_rows()];
+            b.iter(|| {
+                x.gemv_into_fused(&w, &mut out);
+                black_box(out[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gemv_simd", elements), &side, |b, _| {
+            let mut out = vec![0.0; x.n_rows()];
+            b.iter(|| {
+                x.gemv_into(&w, &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_simd_sweep);
 criterion_main!(benches);

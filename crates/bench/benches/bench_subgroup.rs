@@ -120,5 +120,28 @@ fn bench_lattice(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_subgroup, bench_lattice);
+/// The fused popcount primitive under the lattice engine:
+/// single-accumulator reference vs the 4-word batched `count_and` at
+/// 10⁵ and 10⁶ rows.
+fn bench_count_and(c: &mut Criterion) {
+    use fairbridge::tabular::bitset::RowMask;
+    let mut group = c.benchmark_group("subgroup_lattice");
+    for n_bits in [100_000usize, 1_000_000] {
+        let a = RowMask::from_indices(n_bits, (0..n_bits).filter(|i| i % 3 == 0));
+        let b_mask = RowMask::from_indices(n_bits, (0..n_bits).filter(|i| i % 5 != 1));
+        group.bench_with_input(
+            BenchmarkId::new("count_and_unbatched", n_bits),
+            &n_bits,
+            |b, _| b.iter(|| black_box(a.count_and_unbatched(&b_mask))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count_and_batched", n_bits),
+            &n_bits,
+            |b, _| b.iter(|| black_box(a.count_and(&b_mask))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subgroup, bench_lattice, bench_count_and);
 criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! `fb-bench` — the perf ratchet, applied to pre-recorded timing files.
+//!
+//! The bench binaries check themselves when run with `-- --check
+//! <baseline>` (see `fairbridge_bench::harness`); this tool applies the
+//! same median-vs-median comparison to `FB_BENCH_JSON` files that were
+//! already recorded, so CI can run the benches once and then judge the
+//! output against every committed baseline without re-measuring:
+//!
+//! ```text
+//! FB_BENCH_JSON=target/bench.jsonl cargo bench --features simd
+//! fb-bench --check --baseline BENCH_kernels.json \
+//!                  --baseline BENCH_subgroup.json \
+//!                  --baseline BENCH_obs.json \
+//!                  --current target/bench.jsonl --tolerance 0.25
+//! ```
+//!
+//! `--labels-only` drops all timings before comparing, reducing the
+//! check to label-set drift — the stale-baseline guard. A smoke run
+//! (`cargo bench -- --test`, timings null) plus `--labels-only` proves
+//! every baselined label still exists and every new row in a baselined
+//! group was re-recorded, without CI ever trusting shared-runner
+//! timings.
+//!
+//! Exit codes: 0 clean, 1 perf/label drift, 2 usage or I/O error.
+//! With `FB_BENCH_TELEMETRY=<path>` the comparison emits the
+//! `bench.check` span, `bench.check.*` counters and one
+//! `bench_regressed` event per offending label as JSONL.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use fairbridge_bench::harness::{
+    compare_records, emit_check_telemetry, parse_bench_lines, print_outcome, CheckConfig,
+};
+use fairbridge_obs::{JsonlSink, Telemetry};
+
+const USAGE: &str = "usage: fb-bench --check --baseline FILE... --current FILE... \
+ [--tolerance FRACTION] [--tolerance-for LABEL=FRACTION] [--labels-only]";
+
+fn telemetry_from_env() -> Telemetry {
+    match std::env::var("FB_BENCH_TELEMETRY") {
+        Ok(path) if !path.is_empty() => match JsonlSink::create(&path) {
+            Ok(sink) => Telemetry::new(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("fb-bench: FB_BENCH_TELEMETRY: cannot open {path}: {e}");
+                Telemetry::off()
+            }
+        },
+        _ => Telemetry::off(),
+    }
+}
+
+fn read_records(paths: &[String]) -> Result<Vec<(String, Option<f64>)>, String> {
+    let mut out = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let rows = parse_bench_lines(&text).map_err(|e| format!("{path}: {e}"))?;
+        out.extend(rows);
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut labels_only = false;
+    let mut baselines: Vec<String> = Vec::new();
+    let mut currents: Vec<String> = Vec::new();
+    let mut cfg = CheckConfig::new("<multiple>");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = true,
+            "--labels-only" => labels_only = true,
+            // Both flags take one or more paths: every following
+            // argument up to the next `--flag` belongs to them.
+            "--baseline" | "--current" => {
+                let into = if args[i] == "--baseline" {
+                    &mut baselines
+                } else {
+                    &mut currents
+                };
+                let start = into.len();
+                while let Some(path) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
+                    into.push(path.clone());
+                    i += 1;
+                }
+                if into.len() == start {
+                    return Err(format!("{} needs at least one path", args[i]));
+                }
+            }
+            "--tolerance" => {
+                cfg.tolerance = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .ok_or("--tolerance needs a fraction, e.g. 0.25")?;
+                i += 1;
+            }
+            "--tolerance-for" => {
+                let pair = args
+                    .get(i + 1)
+                    .and_then(|v| {
+                        let (label, t) = v.split_once('=')?;
+                        Some((label.to_owned(), t.parse::<f64>().ok()?))
+                    })
+                    .ok_or("--tolerance-for needs LABEL=FRACTION")?;
+                cfg.overrides.push(pair);
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if !check || baselines.is_empty() || currents.is_empty() {
+        return Err(format!(
+            "--check, --baseline and --current are required\n{USAGE}"
+        ));
+    }
+    cfg.baseline_path = baselines.join(",");
+
+    let baseline = read_records(&baselines)?;
+    let mut current = read_records(&currents)?;
+    if labels_only {
+        for row in &mut current {
+            row.1 = None;
+        }
+    }
+    let outcome = compare_records(&baseline, &current, &cfg);
+    print_outcome(&outcome, &cfg);
+    emit_check_telemetry(&telemetry_from_env(), &outcome);
+    Ok(outcome.clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("fb-bench: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -90,7 +90,7 @@ impl IsotonicCalibrator {
             return Err("cannot calibrate on empty data".to_owned());
         }
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).expect("NaN score"));
+        order.sort_by(|&i, &j| scores[i].total_cmp(&scores[j]));
 
         // Pool tied scores first: isotonic regression must assign equal
         // inputs one common value, or the projection property breaks.
@@ -121,11 +121,11 @@ impl IsotonicCalibrator {
         // PAV merge of adjacent violators.
         let mut blocks: Vec<Block> = Vec::with_capacity(pooled.len());
         for mut block in pooled {
-            while let Some(prev) = blocks.last() {
+            while let Some(prev) = blocks.pop() {
                 if prev.mean <= block.mean + 1e-15 {
+                    blocks.push(prev);
                     break;
                 }
-                let prev = blocks.pop().expect("checked non-empty");
                 let w = prev.w + block.w;
                 block = Block {
                     w,

@@ -40,9 +40,7 @@ impl Scorer for KnnModel {
             .zip(&self.y)
             .map(|(row, &label)| (sq_dist(row, features), label))
             .collect();
-        dists.select_nth_unstable_by(self.k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("NaN distance")
-        });
+        dists.select_nth_unstable_by(self.k - 1, |a, b| a.0.total_cmp(&b.0));
         let pos = dists[..self.k].iter().filter(|(_, l)| *l).count();
         pos as f64 / self.k as f64
     }

@@ -11,7 +11,10 @@
 //! are deterministic run-to-run and identical regardless of how callers
 //! chunk the surrounding work; that property is what the parallel
 //! bootstrap/Sinkhorn/trainer paths build their bitwise-equality
-//! contract on. The scalar reference implementations ([`dot_scalar`],
+//! contract on. With the `simd` cargo feature, [`dot`]/[`axpy`] (and
+//! therefore gemv/gemm) dispatch to explicit AVX2 kernels at runtime —
+//! same lanes, same combine order, bitwise-identical results (see
+//! `stats::kernel::simd`). The scalar reference implementations ([`dot_scalar`],
 //! [`Matrix::matvec_scalar`]) stay in-tree as the baseline the
 //! `bench_kernels` group and the equivalence tests compare against.
 
@@ -51,7 +54,7 @@ impl Matrix {
     /// Builds a matrix from row slices.
     pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
         assert!(!rows.is_empty(), "from_rows requires at least one row");
-        let n_cols = rows[0].len();
+        let n_cols = rows.first().map_or(0, Vec::len);
         assert!(
             rows.iter().all(|r| r.len() == n_cols),
             "ragged rows in from_rows"
@@ -138,11 +141,24 @@ impl Matrix {
     }
 
     /// Allocation-free matrix–vector product: `out[i] = X.row(i) · w`.
+    ///
+    /// Routes through the dispatching [`gemv`], so with the `simd`
+    /// feature on AVX2 hardware rows advance four at a time, 256 bits
+    /// wide — bitwise-identical to [`Matrix::gemv_into_fused`].
     pub fn gemv_into(&self, w: &[f64], out: &mut [f64]) {
         assert_eq!(w.len(), self.n_cols, "gemv dimension mismatch");
         assert_eq!(out.len(), self.n_rows, "gemv output length mismatch");
+        gemv(&self.data, self.n_cols, w, out);
+    }
+
+    /// [`Matrix::gemv_into`] pinned to the fused-scalar kernel,
+    /// bypassing SIMD dispatch. The reference arm `bench_kernels` and
+    /// the scalar/fused/SIMD equivalence suites compare against.
+    pub fn gemv_into_fused(&self, w: &[f64], out: &mut [f64]) {
+        assert_eq!(w.len(), self.n_cols, "gemv dimension mismatch");
+        assert_eq!(out.len(), self.n_rows, "gemv output length mismatch");
         for (o, row) in out.iter_mut().zip(self.rows()) {
-            *o = dot(row, w);
+            *o = dot_fused(row, w);
         }
     }
 
@@ -231,7 +247,9 @@ impl Matrix {
 // crate that needs them — Sinkhorn and the parallel bootstrap share the
 // exact same code paths); this module re-exports them so the matrix
 // layer remains the one-stop numeric kernel surface for model code.
-pub use fairbridge_stats::kernel::{axpy, dot, dot_scalar};
+pub use fairbridge_stats::kernel::{
+    axpy, axpy_fused, dot, dot_fused, dot_scalar, gemv, gemv_fused, simd_active,
+};
 
 /// Squared Euclidean distance between two equal-length slices.
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {

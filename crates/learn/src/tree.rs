@@ -118,7 +118,7 @@ impl TreeTrainer {
             // the previous per-feature index sort produced.
             scratch.clear();
             scratch.extend(rows.iter().map(|&i| (x.get(i, feature), i as u32)));
-            scratch.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+            scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut left_w = 0.0;
             let mut left_pos = 0.0;
             for k in 0..scratch.len() - 1 {

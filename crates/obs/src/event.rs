@@ -209,6 +209,24 @@ pub enum FairnessEvent {
         /// Bad requests (over-objective or rejected) in the window.
         bad: u64,
     },
+    /// A benchmark's measured median drifted past the tolerance band of
+    /// its committed baseline (`fb-bench --check`). The evidential
+    /// trail thereby records *performance* regressions the same way it
+    /// records fairness drift — continuous auditability is a latency
+    /// property as much as a correctness one.
+    BenchRegressed {
+        /// The benchmark label (e.g. `kernels/gemv_simd/1000000`).
+        label: String,
+        /// Committed baseline median, nanoseconds per iteration.
+        baseline_ns: f64,
+        /// Measured median, nanoseconds per iteration.
+        current_ns: f64,
+        /// `current_ns / baseline_ns` (> 1 means slower).
+        ratio: f64,
+        /// The tolerance band the ratio exceeded (fractional, e.g.
+        /// 0.25 for ±25%).
+        tolerance: f64,
+    },
 }
 
 impl EventKind {
@@ -243,6 +261,7 @@ impl FairnessEvent {
             FairnessEvent::RequestCoalesced { .. } => "request_coalesced",
             FairnessEvent::ServerDrained { .. } => "server_drained",
             FairnessEvent::SloBreached { .. } => "slo_breached",
+            FairnessEvent::BenchRegressed { .. } => "bench_regressed",
         }
     }
 }
@@ -471,6 +490,24 @@ impl Event {
                     push_f64(&mut s, *burn_rate);
                     let _ = write!(s, ",\"good\":{good},\"bad\":{bad}");
                 }
+                FairnessEvent::BenchRegressed {
+                    label,
+                    baseline_ns,
+                    current_ns,
+                    ratio,
+                    tolerance,
+                } => {
+                    s.push_str(",\"label\":");
+                    push_str_lit(&mut s, label);
+                    s.push_str(",\"baseline_ns\":");
+                    push_f64(&mut s, *baseline_ns);
+                    s.push_str(",\"current_ns\":");
+                    push_f64(&mut s, *current_ns);
+                    s.push_str(",\"ratio\":");
+                    push_f64(&mut s, *ratio);
+                    s.push_str(",\"tolerance\":");
+                    push_f64(&mut s, *tolerance);
+                }
             },
         }
         s.push('}');
@@ -604,6 +641,21 @@ mod tests {
         assert!(json.contains("\"objective_ms\":250"));
         assert!(json.contains("\"burn_rate\":2.5"));
         assert!(json.contains("\"good\":90,\"bad\":10"));
+
+        let e = envelope(EventKind::Fairness(FairnessEvent::BenchRegressed {
+            label: "kernels/gemv_simd/1000000".into(),
+            baseline_ns: 1000.0,
+            current_ns: 1500.0,
+            ratio: 1.5,
+            tolerance: 0.25,
+        }));
+        let json = e.to_json();
+        assert!(json.contains("\"kind\":\"bench_regressed\""));
+        assert!(json.contains("\"label\":\"kernels/gemv_simd/1000000\""));
+        assert!(json.contains("\"baseline_ns\":1000"));
+        assert!(json.contains("\"current_ns\":1500"));
+        assert!(json.contains("\"ratio\":1.5"));
+        assert!(json.contains("\"tolerance\":0.25"));
     }
 
     #[test]

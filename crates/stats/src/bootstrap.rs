@@ -87,7 +87,7 @@ where
         }
         stats.push(statistic(&buf));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    stats.sort_by(f64::total_cmp);
     let alpha = 1.0 - confidence;
     let lower = crate::descriptive::quantile_sorted(&stats, alpha / 2.0);
     let upper = crate::descriptive::quantile_sorted(&stats, 1.0 - alpha / 2.0);
@@ -132,7 +132,7 @@ where
         }
         stats.push(statistic(&ba, &bb));
     }
-    stats.sort_by(|x, y| x.partial_cmp(y).expect("NaN bootstrap statistic"));
+    stats.sort_by(f64::total_cmp);
     let alpha = 1.0 - confidence;
     BootstrapEstimate {
         point,
@@ -149,7 +149,7 @@ fn percentile_interval(
     confidence: f64,
     n_resamples: usize,
 ) -> BootstrapEstimate {
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    stats.sort_by(f64::total_cmp);
     let alpha = 1.0 - confidence;
     BootstrapEstimate {
         point,

@@ -33,7 +33,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
 /// Mid-ranks (average rank for ties), 1-based.
 pub fn ranks(x: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..x.len()).collect();
-    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("NaN in ranks input"));
+    idx.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
     let mut out = vec![0.0; x.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -109,7 +109,7 @@ impl Empirical {
         if samples.iter().any(|x| x.is_nan()) {
             return Err("samples must not contain NaN".to_owned());
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        samples.sort_by(f64::total_cmp);
         Ok(Empirical { sorted: samples })
     }
 

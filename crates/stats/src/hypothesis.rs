@@ -196,8 +196,8 @@ pub fn ks_two_sample(x: &[f64], y: &[f64]) -> TestResult {
     assert!(!x.is_empty() && !y.is_empty(), "ks test: empty sample");
     let mut xs = x.to_vec();
     let mut ys = y.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
-    ys.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
     let (n, m) = (xs.len(), ys.len());
     // Walk the merged order tracking the CDF gap.
     let (mut i, mut j) = (0usize, 0usize);

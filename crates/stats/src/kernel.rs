@@ -1,6 +1,7 @@
-//! The workspace's scalar numeric kernels: fused, unroll-friendly inner
-//! loops shared by the matrix layer in `fairbridge-learn` (which
-//! re-exports them) and the resampling/OT solvers in this crate.
+//! The workspace's numeric kernels: fused, unroll-friendly inner loops
+//! shared by the matrix layer in `fairbridge-learn` (which re-exports
+//! them) and the resampling/OT solvers in this crate, plus the explicit
+//! AVX2 widening of those loops in `simd`.
 //!
 //! Each fused kernel keeps eight independent accumulator lanes over the
 //! aligned body of the slice so the compiler can break the one-add-per-
@@ -13,14 +14,120 @@
 //! *whole* logical units (matrix rows, kernel rows) to these functions
 //! and never split one unit across workers.
 //!
+//! The public [`dot`]/[`sum`]/[`axpy`] entry points are *dispatchers*:
+//! when the `simd` cargo feature is enabled on x86_64 and the CPU
+//! reports AVX2, they route to `simd`, whose two 4×f64 registers hold
+//! the same eight logical lanes and perform the identical
+//! mul-then-add per lane and the identical lane-combine order — so the
+//! result bits never depend on which path ran (asserted by the
+//! `prop_simd` suite, including NaN/∞/subnormal inputs). On every other
+//! build or machine the fused scalar path below is the universal
+//! fallback. The `*_fused` functions stay public as the reference the
+//! equivalence suites and `bench_kernels` pin the SIMD path against.
+//!
 //! The single-accumulator reference implementations ([`dot_scalar`])
 //! stay in-tree as the baseline `bench_kernels` measures against.
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod simd;
+
+/// Whether kernel calls in this process are running on the explicit
+/// AVX2 path (the `simd` feature is compiled in *and* the CPU reports
+/// AVX2). Purely informational: results are bitwise-identical either
+/// way. Benchmarks record it so a baseline says which path it measured.
+#[inline]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        simd::avx2_available()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Dot product: eight logical accumulator lanes, lanes combined
+/// pairwise in the fixed order
+/// `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`. Dispatches to the
+/// AVX2 kernel when available (bitwise-identical), else runs
+/// [`dot_fused`].
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx2_available() {
+        return simd::dot_avx2(a, b);
+    }
+    dot_fused(a, b)
+}
+
+/// Sum reduction with the same fixed eight-lane combine order as
+/// [`dot`]. This is the sanctioned reduction primitive the D4 lint
+/// points at: new cross-path float reductions should call `kernel::sum`
+/// rather than `.sum::<f64>()`, so the combination order — and
+/// therefore the result bits — is pinned by one function instead of
+/// re-derived at every call site. Dispatches to AVX2 when available.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx2_available() {
+        return simd::sum_avx2(a);
+    }
+    sum_fused(a)
+}
+
+/// `y += alpha · x`, eight-wide. Each output slot is an independent
+/// accumulator, so the result is bitwise-identical to the naive
+/// per-element loop on every path. Dispatches to AVX2 when available.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx2_available() {
+        simd::axpy_avx2(alpha, x, y);
+        return;
+    }
+    axpy_fused(alpha, x, y);
+}
+
+/// Matrix–vector product over row-major `data` (`out.len()` rows of
+/// `n_cols` elements each): `out[i] = row_i · w`. Dispatches to the
+/// row-blocked AVX2 kernel when available — four rows advance in
+/// lockstep, which quadruples the independent accumulator chains
+/// without touching any single row's arithmetic — else runs
+/// [`gemv_fused`]. Bitwise-identical either way.
+#[inline]
+pub fn gemv(data: &[f64], n_cols: usize, w: &[f64], out: &mut [f64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx2_available() {
+        simd::gemv_avx2(data, n_cols, w, out);
+        return;
+    }
+    gemv_fused(data, n_cols, w, out);
+}
+
+/// [`gemv`] pinned to the fused-scalar kernel: one [`dot_fused`] per
+/// row. The universal fallback and the bitwise reference for
+/// `simd::gemv_avx2`.
+#[inline]
+pub fn gemv_fused(data: &[f64], n_cols: usize, w: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(data.len(), n_cols * out.len());
+    debug_assert_eq!(w.len(), n_cols);
+    if n_cols == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (o, row) in out.iter_mut().zip(data.chunks_exact(n_cols)) {
+        *o = dot_fused(row, w);
+    }
+}
 
 /// Fused dot product: eight independent accumulator lanes over the
 /// aligned body, a scalar pass over the tail, lanes combined pairwise
 /// in the fixed order `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`.
+/// The universal fallback and the bitwise reference for
+/// `simd::dot_avx2`.
 #[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+pub fn dot_fused(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let split = a.len() - a.len() % 8;
     let mut s = [0.0f64; 8];
@@ -46,15 +153,10 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Fused sum: eight independent accumulator lanes over the aligned
 /// body, a scalar pass over the tail, lanes combined pairwise in the
-/// fixed order `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`.
-///
-/// This is the sanctioned reduction primitive the D4 lint points at:
-/// new cross-path float reductions should call `kernel::sum` rather
-/// than `.sum::<f64>()`, so the combination order — and therefore the
-/// result bits — is pinned by one function instead of re-derived at
-/// every call site.
+/// fixed order `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`. The
+/// universal fallback and the bitwise reference for `simd::sum_avx2`.
 #[inline]
-pub fn sum(a: &[f64]) -> f64 {
+pub fn sum_fused(a: &[f64]) -> f64 {
     let split = a.len() - a.len() % 8;
     let mut s = [0.0f64; 8];
     for chunk in a[..split].chunks_exact(8) {
@@ -85,7 +187,7 @@ pub fn sum_scalar(a: &[f64]) -> f64 {
 
 /// Scalar reference dot product (one accumulator, strict left-to-right
 /// summation). The baseline for `bench_kernels` and tolerance
-/// cross-checks; hot paths use the fused [`dot`].
+/// cross-checks; hot paths use the dispatching [`dot`].
 #[inline]
 pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
@@ -94,9 +196,10 @@ pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
 
 /// Fused `y += alpha · x`, unrolled eight-wide. Each output slot is an
 /// independent accumulator, so the result is bitwise-identical to the
-/// naive per-element loop.
+/// naive per-element loop. The universal fallback and the bitwise
+/// reference for `simd::axpy_avx2`.
 #[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy_fused(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
     let split = x.len() - x.len() % 8;
     for (cx, cy) in x[..split]
@@ -145,6 +248,26 @@ mod tests {
                 "len {len}: {f} vs {s}"
             );
             assert_eq!(sum(&a).to_bits(), f.to_bits(), "len {len} replays bitwise");
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_fused_bitwise() {
+        // Whatever path `dot`/`sum`/`axpy` dispatch to must be
+        // bit-identical to the fused reference (the deeper property
+        // suite with NaN/∞/subnormal inputs lives in tests/prop_simd.rs).
+        for len in [0, 1, 7, 8, 9, 31, 32, 100, 257] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.61).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.23).cos() * 2.0).collect();
+            assert_eq!(dot(&a, &b).to_bits(), dot_fused(&a, &b).to_bits());
+            assert_eq!(sum(&a).to_bits(), sum_fused(&a).to_bits());
+            let mut y1 = b.clone();
+            let mut y2 = b.clone();
+            axpy(1.3, &a, &mut y1);
+            axpy_fused(1.3, &a, &mut y2);
+            for (p, q) in y1.iter().zip(&y2) {
+                assert_eq!(p.to_bits(), q.to_bits(), "axpy len {len}");
+            }
         }
     }
 

@@ -1,0 +1,352 @@
+//! Explicit AVX2 widening of the fused kernels — the one module in the
+//! workspace allowed to contain `unsafe`.
+//!
+//! Every function here reproduces its fused-scalar reference
+//! **bit for bit**. The fused kernels keep eight independent f64
+//! accumulator lanes; here those same eight logical lanes live in two
+//! 256-bit registers (lanes 0–3 and 4–7). Each 8-element chunk performs
+//! the identical per-lane `mul` then `add` (no FMA — a fused
+//! multiply-add rounds once where the scalar path rounds twice, which
+//! would change the bits), and the final horizontal combine extracts
+//! the eight lane values and folds them in the exact order the fused
+//! path uses: `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`. IEEE-754
+//! addition and multiplication are identical between the vector and
+//! scalar execution units on x86_64 (including NaN payload propagation,
+//! signed zeros and subnormals), so per-lane equality plus an equal
+//! combine order gives bitwise-equal results — the property
+//! `tests/prop_simd.rs` hammers with adversarial inputs.
+//!
+//! Unsafe policy (DESIGN.md §14): unsafe is *confined* to this module —
+//! the crate is `deny(unsafe_code)` and only this file opts back in.
+//! Every block is minimal (loads/stores of 4 consecutive f64 through
+//! `chunks_exact`-derived pointers) and carries the `// SAFETY:`
+//! justification the `fb-lint` U1 rule enforces.
+//!
+//! Dispatch: the public wrappers fall back to the fused path when the
+//! CPU lacks AVX2, so callers can use them unconditionally; the
+//! `kernel::{dot,sum,axpy}` dispatchers additionally skip the feature
+//! probe entirely on non-x86_64 builds.
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+    _mm256_storeu_pd,
+};
+
+/// Whether this CPU supports the AVX2 kernels. The detection macro
+/// caches its CPUID probe in an atomic, so calling this per kernel
+/// invocation costs one relaxed load and a predictable branch.
+#[inline]
+pub fn avx2_available() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+/// Reads f64 lanes `[0..4)` of `v` into an array (order-preserving).
+#[inline]
+fn lanes(v: __m256d) -> [f64; 4] {
+    let mut out = [0.0f64; 4];
+    // The unaligned store intrinsic carries no alignment requirement.
+    // SAFETY: `out` is a valid-for-write buffer of exactly 4 f64.
+    unsafe { _mm256_storeu_pd(out.as_mut_ptr(), v) };
+    out
+}
+
+/// AVX2 dot product, bitwise-identical to [`super::dot_fused`]. Falls
+/// back to the fused path when the CPU lacks AVX2.
+#[inline]
+pub fn dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if !avx2_available() {
+        return super::dot_fused(a, b);
+    }
+    // SAFETY: the `avx2` target feature was verified present above.
+    unsafe { dot_avx2_body(a, b) }
+}
+
+/// AVX2 sum, bitwise-identical to [`super::sum_fused`]. Falls back to
+/// the fused path when the CPU lacks AVX2.
+#[inline]
+pub fn sum_avx2(a: &[f64]) -> f64 {
+    if !avx2_available() {
+        return super::sum_fused(a);
+    }
+    // SAFETY: the `avx2` target feature was verified present above.
+    unsafe { sum_avx2_body(a) }
+}
+
+/// AVX2 `y += alpha · x`, bitwise-identical to [`super::axpy_fused`].
+/// Falls back to the fused path when the CPU lacks AVX2.
+#[inline]
+pub fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if !avx2_available() {
+        return super::axpy_fused(alpha, x, y);
+    }
+    // SAFETY: the `avx2` target feature was verified present above.
+    unsafe { axpy_avx2_body(alpha, x, y) }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure the CPU supports AVX2 (`avx2_available`).
+unsafe fn dot_avx2_body(a: &[f64], b: &[f64]) -> f64 {
+    let split = a.len() - a.len() % 8;
+    // Two 4-lane accumulators hold the fused path's lanes 0–3 / 4–7.
+    let mut acc_lo = _mm256_setzero_pd();
+    let mut acc_hi = _mm256_setzero_pd();
+    for (ca, cb) in a[..split].chunks_exact(8).zip(b[..split].chunks_exact(8)) {
+        // `chunks_exact(8)` yields slices of exactly 8 f64, so reading
+        // 4 f64 at offsets 0 and 4 stays in bounds.
+        // SAFETY: in-bounds reads; loadu needs no alignment.
+        unsafe {
+            let va0 = _mm256_loadu_pd(ca.as_ptr());
+            let vb0 = _mm256_loadu_pd(cb.as_ptr());
+            let va1 = _mm256_loadu_pd(ca.as_ptr().add(4));
+            let vb1 = _mm256_loadu_pd(cb.as_ptr().add(4));
+            // mul then add (not FMA): the same two roundings per lane
+            // as `s[k] += a[k] * b[k]` on the scalar path.
+            acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(va0, vb0));
+            acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(va1, vb1));
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        tail += x * y;
+    }
+    let [s0, s1, s2, s3] = lanes(acc_lo);
+    let [s4, s5, s6, s7] = lanes(acc_hi);
+    (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure the CPU supports AVX2 (`avx2_available`).
+unsafe fn sum_avx2_body(a: &[f64]) -> f64 {
+    let split = a.len() - a.len() % 8;
+    let mut acc_lo = _mm256_setzero_pd();
+    let mut acc_hi = _mm256_setzero_pd();
+    for chunk in a[..split].chunks_exact(8) {
+        // `chunks_exact(8)` yields slices of exactly 8 f64, so reading
+        // 4 f64 at offsets 0 and 4 stays in bounds.
+        // SAFETY: in-bounds reads; loadu needs no alignment.
+        unsafe {
+            let v0 = _mm256_loadu_pd(chunk.as_ptr());
+            let v1 = _mm256_loadu_pd(chunk.as_ptr().add(4));
+            acc_lo = _mm256_add_pd(acc_lo, v0);
+            acc_hi = _mm256_add_pd(acc_hi, v1);
+        }
+    }
+    let mut tail = 0.0;
+    for x in &a[split..] {
+        tail += x;
+    }
+    let [s0, s1, s2, s3] = lanes(acc_lo);
+    let [s4, s5, s6, s7] = lanes(acc_hi);
+    (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure the CPU supports AVX2 (`avx2_available`).
+unsafe fn axpy_avx2_body(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let split = x.len() - x.len() % 8;
+    let va = _mm256_set1_pd(alpha);
+    for (cx, cy) in x[..split]
+        .chunks_exact(8)
+        .zip(y[..split].chunks_exact_mut(8))
+    {
+        // Both chunks are exactly 8 f64, so the two 4-wide loads and
+        // stores at offsets 0 and 4 stay in bounds (`cy` exclusively
+        // borrowed, no aliasing).
+        // SAFETY: in-bounds unaligned loads/stores per the above.
+        unsafe {
+            let vy0 = _mm256_loadu_pd(cy.as_ptr());
+            let vy1 = _mm256_loadu_pd(cy.as_ptr().add(4));
+            let vx0 = _mm256_loadu_pd(cx.as_ptr());
+            let vx1 = _mm256_loadu_pd(cx.as_ptr().add(4));
+            // mul then add (not FMA), matching `y[k] += alpha * x[k]`.
+            let r0 = _mm256_add_pd(vy0, _mm256_mul_pd(va, vx0));
+            let r1 = _mm256_add_pd(vy1, _mm256_mul_pd(va, vx1));
+            _mm256_storeu_pd(cy.as_mut_ptr(), r0);
+            _mm256_storeu_pd(cy.as_mut_ptr().add(4), r1);
+        }
+    }
+    for (vx, vy) in x[split..].iter().zip(&mut y[split..]) {
+        *vy += alpha * vx;
+    }
+}
+
+/// AVX2 matrix–vector product over row-major `data` (`out.len()` rows
+/// of `n_cols` each), bitwise-identical to [`super::gemv_fused`].
+///
+/// Rows are processed four at a time. Row blocking changes nothing
+/// about any single row's arithmetic — each row keeps its own two
+/// accumulator registers, the same chunk order and the same combine —
+/// but it breaks the one-row latency wall: a lone 8-lane dot sustains
+/// at most two elements per cycle (two 4-lane `vaddpd` chains of
+/// ~4-cycle latency), while four interleaved rows give eight
+/// independent chains and saturate the FP ports instead. This is where
+/// the gemv speedup at large sizes actually comes from.
+#[inline]
+pub fn gemv_avx2(data: &[f64], n_cols: usize, w: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(data.len(), n_cols * out.len());
+    debug_assert_eq!(w.len(), n_cols);
+    if !avx2_available() {
+        return super::gemv_fused(data, n_cols, w, out);
+    }
+    // SAFETY: the `avx2` target feature was verified present above.
+    unsafe { gemv_avx2_body(data, n_cols, w, out) }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure the CPU supports AVX2 (`avx2_available`).
+unsafe fn gemv_avx2_body(data: &[f64], n_cols: usize, w: &[f64], out: &mut [f64]) {
+    let d = n_cols;
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let split = d - d % 8;
+    let n_rows = out.len();
+    let block_end = n_rows - n_rows % 4;
+    let mut i = 0;
+    while i < block_end {
+        // Four independent row dots advance in lockstep, sharing each
+        // `w` chunk load. Per-row accumulators, chunk order and combine
+        // are exactly `dot_avx2_body`'s.
+        let r0 = &data[i * d..i * d + d];
+        let r1 = &data[(i + 1) * d..(i + 1) * d + d];
+        let r2 = &data[(i + 2) * d..(i + 2) * d + d];
+        let r3 = &data[(i + 3) * d..(i + 3) * d + d];
+        let mut lo0 = _mm256_setzero_pd();
+        let mut hi0 = _mm256_setzero_pd();
+        let mut lo1 = _mm256_setzero_pd();
+        let mut hi1 = _mm256_setzero_pd();
+        let mut lo2 = _mm256_setzero_pd();
+        let mut hi2 = _mm256_setzero_pd();
+        let mut lo3 = _mm256_setzero_pd();
+        let mut hi3 = _mm256_setzero_pd();
+        let mut j = 0;
+        while j < split {
+            // `j + 8 <= split <= d`, so every 4-wide load below (at
+            // offsets j and j+4 of w and of each d-long row) is in
+            // bounds.
+            // SAFETY: in-bounds reads; loadu needs no alignment.
+            unsafe {
+                let vw0 = _mm256_loadu_pd(w.as_ptr().add(j));
+                let vw1 = _mm256_loadu_pd(w.as_ptr().add(j + 4));
+                lo0 = _mm256_add_pd(lo0, _mm256_mul_pd(_mm256_loadu_pd(r0.as_ptr().add(j)), vw0));
+                hi0 = _mm256_add_pd(
+                    hi0,
+                    _mm256_mul_pd(_mm256_loadu_pd(r0.as_ptr().add(j + 4)), vw1),
+                );
+                lo1 = _mm256_add_pd(lo1, _mm256_mul_pd(_mm256_loadu_pd(r1.as_ptr().add(j)), vw0));
+                hi1 = _mm256_add_pd(
+                    hi1,
+                    _mm256_mul_pd(_mm256_loadu_pd(r1.as_ptr().add(j + 4)), vw1),
+                );
+                lo2 = _mm256_add_pd(lo2, _mm256_mul_pd(_mm256_loadu_pd(r2.as_ptr().add(j)), vw0));
+                hi2 = _mm256_add_pd(
+                    hi2,
+                    _mm256_mul_pd(_mm256_loadu_pd(r2.as_ptr().add(j + 4)), vw1),
+                );
+                lo3 = _mm256_add_pd(lo3, _mm256_mul_pd(_mm256_loadu_pd(r3.as_ptr().add(j)), vw0));
+                hi3 = _mm256_add_pd(
+                    hi3,
+                    _mm256_mul_pd(_mm256_loadu_pd(r3.as_ptr().add(j + 4)), vw1),
+                );
+            }
+            j += 8;
+        }
+        for (slot, (row, (lo, hi))) in [
+            (r0, (lo0, hi0)),
+            (r1, (lo1, hi1)),
+            (r2, (lo2, hi2)),
+            (r3, (lo3, hi3)),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut tail = 0.0;
+            for (x, y) in row[split..].iter().zip(&w[split..]) {
+                tail += x * y;
+            }
+            let [s0, s1, s2, s3] = lanes(lo);
+            let [s4, s5, s6, s7] = lanes(hi);
+            out[i + slot] = (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail;
+        }
+        i += 4;
+    }
+    // Remainder rows (< 4): the single-row AVX2 dot, same bits.
+    while i < n_rows {
+        // SAFETY: AVX2 is enabled for this fn (the callee's contract).
+        unsafe {
+            out[i] = dot_avx2_body(&data[i * d..i * d + d], w);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{axpy_fused, dot_fused, gemv_fused, sum_fused};
+
+    #[test]
+    fn avx2_matches_fused_bitwise_on_mixed_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 64, 100, 257] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin() * 1e3).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).cos() * 1e-3).collect();
+            assert_eq!(
+                dot_avx2(&a, &b).to_bits(),
+                dot_fused(&a, &b).to_bits(),
+                "dot len {len}"
+            );
+            assert_eq!(
+                sum_avx2(&a).to_bits(),
+                sum_fused(&a).to_bits(),
+                "sum len {len}"
+            );
+            let mut ys = b.clone();
+            let mut yf = b.clone();
+            axpy_avx2(0.37, &a, &mut ys);
+            axpy_fused(0.37, &a, &mut yf);
+            for (i, (p, q)) in ys.iter().zip(&yf).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "axpy len {len} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_avx2_matches_fused_bitwise_on_mixed_shapes() {
+        // Shapes crossing both the 4-row block boundary and the 8-col
+        // chunk boundary, plus degenerate rows/cols.
+        for (n, d) in [
+            (0usize, 5usize),
+            (1, 0),
+            (1, 1),
+            (3, 7),
+            (4, 8),
+            (5, 9),
+            (7, 16),
+            (8, 17),
+            (13, 33),
+            (100, 100),
+        ] {
+            let data: Vec<f64> = (0..n * d).map(|i| (i as f64 * 0.7).sin() * 1e2).collect();
+            let w: Vec<f64> = (0..d).map(|i| (i as f64 * 1.3).cos()).collect();
+            let mut simd_out = vec![f64::NAN; n];
+            let mut fused_out = vec![f64::NAN; n];
+            gemv_avx2(&data, d, &w, &mut simd_out);
+            gemv_fused(&data, d, &w, &mut fused_out);
+            for (i, (p, q)) in simd_out.iter().zip(&fused_out).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "shape {n}x{d} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn detection_is_consistent() {
+        // Whatever the answer is, it must not flap between calls — the
+        // dispatchers rely on a stable verdict within a process.
+        assert_eq!(avx2_available(), avx2_available());
+    }
+}

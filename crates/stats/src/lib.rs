@@ -30,7 +30,7 @@
 //!   workspace builds offline, so it vendors its own PRNG).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod bootstrap;
 pub mod correlation;

@@ -1,0 +1,168 @@
+//! Property suite for the SIMD dispatch contract (DESIGN.md §14): the
+//! public `kernel::{dot, sum, axpy, gemv}` dispatchers must be
+//! **bitwise-identical** to their pinned `*_fused` references on every
+//! input — including the adversarial corners where "approximately
+//! equal" reductions diverge: NaNs (with payloads), ±∞, subnormals,
+//! signed zeros and magnitude cliffs that force catastrophic
+//! cancellation.
+//!
+//! Run with and without `--features simd`: without the feature the
+//! dispatchers *are* the fused path and the suite is a tautology check;
+//! with it (on AVX2 hardware) it pins the vector kernels to the scalar
+//! bits. CI runs both configurations.
+//!
+//! One deliberate carve-out: when **both** results are NaN they are
+//! accepted regardless of payload bits. Which operand's NaN payload
+//! survives an add/mul is unspecified at every layer — IEEE 754 leaves
+//! it implementation-defined, LLVM freely commutes scalar `fadd`/`fmul`
+//! (so `addsd a, b` vs `addsd b, a` pick different winners between
+//! builds), and SSE/AVX pick the first source operand. The fused scalar
+//! reference is therefore not payload-stable against *itself* across
+//! compiles; the contract pins every representable value and NaN-ness,
+//! not the 51 free payload bits.
+
+use fairbridge_stats::kernel::{
+    axpy, axpy_fused, dot, dot_fused, gemv, gemv_fused, simd_active, sum, sum_fused,
+};
+use fairbridge_stats::rng::{Rng, StdRng};
+
+/// Draws one f64 from a mixture that covers ordinary magnitudes and
+/// every adversarial class: NaN (quiet, with varied payload bits), ±∞,
+/// subnormals, signed zeros, and huge/tiny magnitudes.
+fn adversarial(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..12u64) {
+        0 => f64::NAN,
+        // NaN with a non-default payload: propagation must not
+        // canonicalize differently between scalar and vector units.
+        1 => f64::from_bits(f64::NAN.to_bits() | (rng.gen_range(1..0xFFFFu64))),
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        // subnormal range
+        4 => f64::from_bits(rng.gen_range(1..1u64 << 52)),
+        5 => -f64::from_bits(rng.gen_range(1..1u64 << 52)),
+        6 => 0.0,
+        7 => -0.0,
+        8 => rng.gen_range(-1e300..1e300),
+        9 => rng.gen_range(-1e-300..1e-300),
+        _ => rng.gen_range(-1e3..1e3),
+    }
+}
+
+fn adversarial_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| adversarial(rng)).collect()
+}
+
+/// Bitwise equality with the NaN-payload carve-out described in the
+/// module docs: two NaNs compare equal whatever their payloads.
+fn same_bits_or_both_nan(p: f64, q: f64) -> bool {
+    p.to_bits() == q.to_bits() || (p.is_nan() && q.is_nan())
+}
+
+#[test]
+fn report_dispatch_path() {
+    // Not an assertion — documents in the test log which path this run
+    // actually exercised.
+    eprintln!("prop_simd: simd_active = {}", simd_active());
+}
+
+#[test]
+fn dot_dispatch_is_bitwise_fused_on_adversarial_vectors() {
+    let mut rng = StdRng::seed_from_u64(0x51AD_0001);
+    for case in 0..200 {
+        let len = rng.gen_range(0..300usize);
+        let a = adversarial_vec(&mut rng, len);
+        let b = adversarial_vec(&mut rng, len);
+        let d = dot(&a, &b);
+        let f = dot_fused(&a, &b);
+        assert!(
+            same_bits_or_both_nan(d, f),
+            "case {case} len {len}: dispatch {d:?} vs fused {f:?}"
+        );
+    }
+}
+
+#[test]
+fn sum_dispatch_is_bitwise_fused_on_adversarial_vectors() {
+    let mut rng = StdRng::seed_from_u64(0x51AD_0002);
+    for case in 0..200 {
+        let len = rng.gen_range(0..300usize);
+        let a = adversarial_vec(&mut rng, len);
+        let s = sum(&a);
+        let f = sum_fused(&a);
+        assert!(
+            same_bits_or_both_nan(s, f),
+            "case {case} len {len}: dispatch {s:?} vs fused {f:?}"
+        );
+    }
+}
+
+#[test]
+fn axpy_dispatch_is_bitwise_fused_on_adversarial_vectors() {
+    let mut rng = StdRng::seed_from_u64(0x51AD_0003);
+    for case in 0..200 {
+        let len = rng.gen_range(0..300usize);
+        let alpha = adversarial(&mut rng);
+        let x = adversarial_vec(&mut rng, len);
+        let y0 = adversarial_vec(&mut rng, len);
+        let mut yd = y0.clone();
+        let mut yf = y0.clone();
+        axpy(alpha, &x, &mut yd);
+        axpy_fused(alpha, &x, &mut yf);
+        for (i, (&p, &q)) in yd.iter().zip(&yf).enumerate() {
+            assert!(
+                same_bits_or_both_nan(p, q),
+                "case {case} len {len} slot {i}: {p:?} vs {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gemv_dispatch_is_bitwise_fused_on_adversarial_matrices() {
+    let mut rng = StdRng::seed_from_u64(0x51AD_0004);
+    for case in 0..60 {
+        // Shapes straddling the 4-row block and 8-column chunk edges.
+        let n = rng.gen_range(0..23usize);
+        let d = rng.gen_range(0..41usize);
+        let data = adversarial_vec(&mut rng, n * d);
+        let w = adversarial_vec(&mut rng, d);
+        let mut out_d = vec![0.0; n];
+        let mut out_f = vec![0.0; n];
+        gemv(&data, d, &w, &mut out_d);
+        gemv_fused(&data, d, &w, &mut out_f);
+        for (i, (&p, &q)) in out_d.iter().zip(&out_f).enumerate() {
+            assert!(
+                same_bits_or_both_nan(p, q),
+                "case {case} shape {n}x{d} row {i}: {p:?} vs {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dispatch_replays_bitwise_within_a_process() {
+    // The same input must give the same bits on every call — the
+    // dispatcher must never flap between paths mid-process.
+    let mut rng = StdRng::seed_from_u64(0x51AD_0005);
+    let a = adversarial_vec(&mut rng, 257);
+    let b = adversarial_vec(&mut rng, 257);
+    let first = dot(&a, &b);
+    for _ in 0..10 {
+        assert_eq!(dot(&a, &b).to_bits(), first.to_bits());
+    }
+}
+
+#[test]
+fn cancellation_cliffs_stay_bitwise_equal() {
+    // 1e16 + 1 − 1e16 style sequences: the classic case where any
+    // change in summation order changes the result. The dispatcher must
+    // reproduce the fused order exactly, not merely be "close".
+    let mut v = Vec::new();
+    for k in 0..64 {
+        v.push(1e16 * if k % 2 == 0 { 1.0 } else { -1.0 });
+        v.push(f64::from(k));
+    }
+    assert_eq!(sum(&v).to_bits(), sum_fused(&v).to_bits());
+    let w: Vec<f64> = v.iter().rev().copied().collect();
+    assert_eq!(dot(&v, &w).to_bits(), dot_fused(&v, &w).to_bits());
+}

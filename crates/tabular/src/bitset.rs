@@ -87,9 +87,24 @@ impl RowMask {
         i < self.n_bits && (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
-    /// The number of rows in the set (hardware popcount per word).
+    /// The number of rows in the set (hardware popcount per word,
+    /// batched four words wide — see [`RowMask::count_and`]).
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        let mut quads = self.words.chunks_exact(4);
+        let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+        for quad in quads.by_ref() {
+            if let [w0, w1, w2, w3] = quad {
+                c0 += w0.count_ones() as usize;
+                c1 += w1.count_ones() as usize;
+                c2 += w2.count_ones() as usize;
+                c3 += w3.count_ones() as usize;
+            }
+        }
+        let mut total = (c0 + c1) + (c2 + c3);
+        for w in quads.remainder() {
+            total += w.count_ones() as usize;
+        }
+        total
     }
 
     /// Writes `self ∩ other` into `out` without allocating.
@@ -106,13 +121,52 @@ impl RowMask {
     /// `|self ∩ other|` — AND and popcount fused, no intersection mask
     /// is materialized. This is the subgroup auditor's positive-count
     /// primitive: `subgroup.count_and(&decisions)`.
+    ///
+    /// The loop is batched four words (256 rows) per step with four
+    /// independent integer accumulators, so the `popcnt` units pipeline
+    /// instead of serializing on one add chain — the same
+    /// lane-splitting trick as `stats::kernel`, but in exact integer
+    /// arithmetic where any association order gives the same count.
+    /// The reference single-word loop stays as
+    /// [`RowMask::count_and_unbatched`] for the equivalence tests and
+    /// the `bench_subgroup` before/after rows.
     pub fn count_and(&self, other: &RowMask) -> usize {
+        debug_assert_eq!(self.n_bits, other.n_bits);
+        let mut a_quads = self.words.chunks_exact(4);
+        let mut b_quads = other.words.chunks_exact(4);
+        let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);
+        for (a, b) in a_quads.by_ref().zip(b_quads.by_ref()) {
+            if let ([a0, a1, a2, a3], [b0, b1, b2, b3]) = (a, b) {
+                c0 += (a0 & b0).count_ones() as usize;
+                c1 += (a1 & b1).count_ones() as usize;
+                c2 += (a2 & b2).count_ones() as usize;
+                c3 += (a3 & b3).count_ones() as usize;
+            }
+        }
+        let mut total = (c0 + c1) + (c2 + c3);
+        for (a, b) in a_quads.remainder().iter().zip(b_quads.remainder()) {
+            total += (a & b).count_ones() as usize;
+        }
+        total
+    }
+
+    /// Reference single-accumulator `|self ∩ other|`: one word, one
+    /// popcount, one add per step. Kept as the baseline
+    /// [`RowMask::count_and`] is benchmarked and equivalence-tested
+    /// against.
+    pub fn count_and_unbatched(&self, other: &RowMask) -> usize {
         debug_assert_eq!(self.n_bits, other.n_bits);
         self.words
             .iter()
             .zip(&other.words)
             .map(|(&a, &b)| (a & b).count_ones() as usize)
             .sum()
+    }
+
+    /// Whole mask popcount of `self`, single-accumulator reference for
+    /// [`RowMask::count_ones`].
+    pub fn count_ones_unbatched(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Iterates the set row indices in ascending order.
@@ -195,6 +249,29 @@ mod tests {
         let idx = [3usize, 64, 65, 190];
         let m = RowMask::from_indices(191, idx.iter().copied());
         assert_eq!(m.ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn batched_counts_equal_unbatched_on_awkward_widths() {
+        // Widths crossing the 4-word batch boundary: 0–3 tail words,
+        // partial last words, and the empty mask.
+        for n_bits in [0usize, 1, 63, 64, 65, 255, 256, 257, 300, 511, 512, 1000] {
+            let a = RowMask::from_indices(n_bits, (0..n_bits).filter(|i| i % 3 == 0));
+            let b = RowMask::from_indices(n_bits, (0..n_bits).filter(|i| i % 5 != 1));
+            assert_eq!(a.count_ones(), a.count_ones_unbatched(), "n_bits {n_bits}");
+            assert_eq!(
+                a.count_and(&b),
+                a.count_and_unbatched(&b),
+                "n_bits {n_bits}"
+            );
+            assert_eq!(
+                a.count_and(&b),
+                (0..n_bits)
+                    .filter(|&i| a.contains(i) && b.contains(i))
+                    .count(),
+                "n_bits {n_bits} vs naive membership scan"
+            );
+        }
     }
 
     #[test]
