@@ -3,16 +3,21 @@
 //! reimplementation of the scalar idiom it replaced, so the
 //! `FB_BENCH_JSON` sidecar records the speedup directly.
 //!
-//! Pairs:
+//! Rows:
 //! - `gemv_scalar` vs `gemv_fused` — allocating per-row scalar dot vs
 //!   the unrolled fused dot writing into a reused buffer.
-//! - `logistic_epoch_scalar` vs `logistic_epoch_fused` — the
-//!   pre-refactor per-element gradient loop with per-epoch allocations
-//!   vs the gemv + axpy trainer with hoisted buffers.
+//! - `logistic_epoch_scalar` vs `logistic_epoch_fused` vs
+//!   `logistic_epoch_simd` — the pre-refactor per-element gradient loop
+//!   with per-epoch allocations, the kernel-table trainer pinned to the
+//!   fused-scalar references, and the same trainer under runtime
+//!   dispatch (AVX2 in a `--features simd` build) — the last two are
+//!   bitwise-identical, so their delta is pure instruction width.
 //! - `bootstrap_scalar_alloc` vs `bootstrap_fused` — allocate-a-resample
 //!   -per-replicate vs the chunked buffer-reusing bootstrap.
-//! - `sinkhorn_scalar_strided` vs `sinkhorn_fused` — column sums strided
-//!   down the Gibbs kernel vs the cached packed transpose + fused dot.
+//! - `sinkhorn_scalar_strided` vs `sinkhorn_fused` vs `sinkhorn_simd` —
+//!   column sums strided down the Gibbs kernel; the cached packed
+//!   transpose + kernel-table solver pinned fused; and the same solver
+//!   under runtime dispatch (again bitwise-identical to the fused arm).
 //!
 //! The `*_par8` rows run the same kernels at 8 workers; on a single-core
 //! container they mainly document fan-out overhead (the determinism
@@ -35,7 +40,7 @@ use fairbridge_stats::bootstrap::par_bootstrap_ci;
 use fairbridge_stats::descriptive::mean;
 use fairbridge_stats::kernel;
 use fairbridge_stats::rng::{Rng, StdRng};
-use fairbridge_stats::sinkhorn::{par_sinkhorn, CONVERGENCE_TOL};
+use fairbridge_stats::sinkhorn::{par_sinkhorn, par_sinkhorn_pinned_fused, CONVERGENCE_TOL};
 use fairbridge_stats::Discrete;
 use std::hint::black_box;
 
@@ -208,6 +213,9 @@ fn bench_kernels(c: &mut Criterion) {
         })
     });
     group.bench_function("logistic_epoch_fused", |b| {
+        b.iter(|| black_box(trainer.fit_weighted_pinned_fused(&xl, &y, &sw)))
+    });
+    group.bench_function("logistic_epoch_simd", |b| {
         b.iter(|| black_box(trainer.fit_weighted(&xl, &y, &sw)))
     });
 
@@ -224,13 +232,19 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| black_box(par_bootstrap_ci(&data, mean, 400, 0.95, 7, 8)))
     });
 
-    // Sinkhorn: 1024-point support (a fine score histogram), 20 scaling
-    // iterations (CONVERGENCE_TOL is far below what 20 iterations
-    // reach, so both arms run all 20). At this size the strided `Kᵀu`
-    // half-pass touches a fresh cache line per element across an 8 MB
-    // kernel; the cached packed transpose streams sequentially.
+    // Sinkhorn: 512-point support (a fine score histogram), 150 scaling
+    // iterations (CONVERGENCE_TOL is far below what 150 iterations
+    // reach, so every arm runs all 150). At this size the 2 MB Gibbs
+    // kernel stays cache-resident, so the gemv half-passes are
+    // compute-bound and the AVX2 arm's advantage is visible; at 1024
+    // points the 8 MB kernel is DRAM-bound and every arm converges on
+    // memory bandwidth. 150 iterations (not the previous 20) keep the
+    // scaling loop -- the path this PR widened -- dominant over the
+    // one-time scalar exp kernel build, pinned scalar by design. The
+    // strided `Kᵀu` row still touches a fresh cache line per element;
+    // the cached packed transpose streams sequentially.
     group.sample_size(10);
-    const SUPPORT: usize = 1024;
+    const SUPPORT: usize = 512;
     let p = random_discrete(0xB5, SUPPORT);
     let q = random_discrete(0xB6, SUPPORT);
     let cost: Vec<f64> = (0..SUPPORT * SUPPORT)
@@ -240,13 +254,22 @@ fn bench_kernels(c: &mut Criterion) {
         })
         .collect();
     group.bench_function("sinkhorn_scalar_strided", |b| {
-        b.iter(|| black_box(sinkhorn_scalar_strided(&p, &q, &cost, 0.05, 20)))
+        b.iter(|| black_box(sinkhorn_scalar_strided(&p, &q, &cost, 0.05, 150)))
     });
     group.bench_function("sinkhorn_fused", |b| {
-        b.iter(|| black_box(par_sinkhorn(&p, &q, &cost, 0.05, 20, 1).unwrap().cost))
+        b.iter(|| {
+            black_box(
+                par_sinkhorn_pinned_fused(&p, &q, &cost, 0.05, 150, 1)
+                    .unwrap()
+                    .cost,
+            )
+        })
+    });
+    group.bench_function("sinkhorn_simd", |b| {
+        b.iter(|| black_box(par_sinkhorn(&p, &q, &cost, 0.05, 150, 1).unwrap().cost))
     });
     group.bench_function("sinkhorn_par8", |b| {
-        b.iter(|| black_box(par_sinkhorn(&p, &q, &cost, 0.05, 20, 8).unwrap().cost))
+        b.iter(|| black_box(par_sinkhorn(&p, &q, &cost, 0.05, 150, 8).unwrap().cost))
     });
 
     group.finish();

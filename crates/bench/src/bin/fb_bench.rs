@@ -21,6 +21,21 @@
 //! group was re-recorded, without CI ever trusting shared-runner
 //! timings.
 //!
+//! A second mode compares two recordings side by side without judging:
+//!
+//! ```text
+//! fb-bench --diff old.json new.json
+//! ```
+//!
+//! prints every shared label with both medians, the speedup ratio
+//! (`old / new`, so > 1 means the new recording is faster) and the
+//! signed delta, then summarizes with the **trimmed median** of the
+//! per-label deltas (top and bottom 10% of labels dropped, mirroring
+//! the harness's per-sample trim) — one robust number for "did this
+//! change move the suite". Labels present on only one side are listed
+//! but excluded from the summary. `--diff` is informational: it always
+//! exits 0 unless the files are unreadable.
+//!
 //! Exit codes: 0 clean, 1 perf/label drift, 2 usage or I/O error.
 //! With `FB_BENCH_TELEMETRY=<path>` the comparison emits the
 //! `bench.check` span, `bench.check.*` counters and one
@@ -30,12 +45,14 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use fairbridge_bench::harness::{
-    compare_records, emit_check_telemetry, parse_bench_lines, print_outcome, CheckConfig,
+    compare_records, emit_check_telemetry, format_nanos, parse_bench_lines, print_outcome,
+    CheckConfig,
 };
 use fairbridge_obs::{JsonlSink, Telemetry};
 
 const USAGE: &str = "usage: fb-bench --check --baseline FILE... --current FILE... \
- [--tolerance FRACTION] [--tolerance-for LABEL=FRACTION] [--labels-only]";
+ [--tolerance FRACTION] [--tolerance-for LABEL=FRACTION] [--labels-only]\n\
+       fb-bench --diff OLD NEW";
 
 fn telemetry_from_env() -> Telemetry {
     match std::env::var("FB_BENCH_TELEMETRY") {
@@ -60,8 +77,87 @@ fn read_records(paths: &[String]) -> Result<Vec<(String, Option<f64>)>, String> 
     Ok(out)
 }
 
+/// Median of `values` after dropping the top and bottom 10% (at least
+/// the same trim the harness applies per-sample). Empty input → None.
+fn trimmed_median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    let trim = ((values.len() as f64) * 0.10).floor() as usize;
+    let kept = &values[trim..values.len() - trim];
+    Some(kept[kept.len() / 2])
+}
+
+/// `--diff OLD NEW`: per-label speedup table plus a trimmed-median
+/// delta summary. Purely descriptive — no tolerance band, no failure.
+fn run_diff(old_path: &str, new_path: &str) -> Result<(), String> {
+    let old = read_records(&[old_path.to_owned()])?;
+    let new = read_records(&[new_path.to_owned()])?;
+
+    println!("fb-bench diff: {old_path} -> {new_path}");
+    println!(
+        "{:<60} {:>12} {:>12} {:>8} {:>9}",
+        "label", "old", "new", "speedup", "delta"
+    );
+    let mut deltas: Vec<f64> = Vec::new();
+    let mut only_old: Vec<&str> = Vec::new();
+    for (label, old_median) in &old {
+        let Some((_, new_median)) = new.iter().find(|(l, _)| l == label) else {
+            only_old.push(label);
+            continue;
+        };
+        let (Some(o), Some(n)) = (old_median, new_median) else {
+            // Smoke recordings carry null medians; nothing to compare.
+            continue;
+        };
+        if *n <= 0.0 || *o <= 0.0 {
+            continue;
+        }
+        let speedup = o / n;
+        let delta = (n - o) / o;
+        deltas.push(delta);
+        println!(
+            "{:<60} {:>12} {:>12} {:>7.3}x {:>+8.1}%",
+            label,
+            format_nanos(*o).trim(),
+            format_nanos(*n).trim(),
+            speedup,
+            delta * 100.0
+        );
+    }
+    let only_new: Vec<&str> = new
+        .iter()
+        .filter(|(l, _)| !old.iter().any(|(ol, _)| ol == l))
+        .map(|(l, _)| l.as_str())
+        .collect();
+    for label in &only_old {
+        println!("{label:<60} only in {old_path}");
+    }
+    for label in &only_new {
+        println!("{label:<60} only in {new_path}");
+    }
+    let compared = deltas.len();
+    match trimmed_median(&mut deltas) {
+        Some(d) => println!(
+            "trimmed-median delta over {compared} shared labels: {:+.1}% \
+             ({:.3}x speedup)",
+            d * 100.0,
+            1.0 / (1.0 + d)
+        ),
+        None => println!("no shared measured labels to summarize"),
+    }
+    Ok(())
+}
+
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--diff") {
+        return match (args.get(1), args.get(2), args.len()) {
+            (Some(old), Some(new), 3) => run_diff(old, new).map(|()| true),
+            _ => Err(format!("--diff needs exactly OLD and NEW paths\n{USAGE}")),
+        };
+    }
     let mut check = false;
     let mut labels_only = false;
     let mut baselines: Vec<String> = Vec::new();

@@ -1,0 +1,330 @@
+//! `fb-tune`: calibrate the serial/parallel dispatch thresholds.
+//!
+//! Every size-aware dispatch site in the workspace asks the same
+//! question — how many work units must an extra worker bring before
+//! fan-out beats running inline? — and each site's *unit* is a
+//! different amount of real work (a fused multiply-add, a resampled
+//! element, a bitset row, a scanned row). The compiled-in defaults are
+//! conservative guesses; this binary measures the actual break-even on
+//! the current machine and writes the result as the flat threshold
+//! table `tune_profile.json`, which `fairbridge_tabular::tune` loads at
+//! runtime (falling back to the defaults when the file is absent).
+//!
+//! ## Probe protocol
+//!
+//! For each workload class the probe walks a geometric ladder of total
+//! sizes. At every rung it times the class workload twice — inline, and
+//! fanned out across two workers via the same
+//! [`ordered_parallel_map`] every production call site uses (so the
+//! probe pays the true per-call cost: thread spawn + join, per-chunk
+//! buffers, cache contention) — taking the median of several repeats.
+//! The first rung where the two-worker run beats the inline run by at
+//! least [`WIN_MARGIN`] is the break-even size `S`; since
+//! `size_aware_workers` admits a second worker once `units >=
+//! 2 × min_units_per_worker`, the written threshold is `S / 2`. A class
+//! that never breaks even inside the ladder gets the top rung (still a
+//! valid, maximally conservative threshold). Thresholds are clamped to
+//! `[`[`MIN_THRESHOLD`]`, ladder top]` so a noisy probe can never write
+//! a degenerate always-parallel profile.
+//!
+//! Workload classes and the keys they calibrate:
+//!
+//! | class      | unit                        | keys                                  |
+//! |------------|-----------------------------|----------------------------------------|
+//! | `kernel`   | one fused multiply-add      | `sinkhorn.halfpass.min_units_per_worker`, `logistic.grad.min_units_per_worker` |
+//! | `resample` | one bootstrap-resampled element | `bootstrap.min_units_per_worker`   |
+//! | `mask`     | one bitset row (AND+popcount)   | `subgroup.min_units_per_worker`    |
+//! | `row`      | one scanned row (group-bucketed accumulate) | `par.min_units_per_worker` |
+//!
+//! Usage: `fb-tune [--probe-only] [--out PATH]`. `--probe-only` runs
+//! the probes and prints the table without writing anything (the CI
+//! smoke mode); `--out` overrides the default `tune_profile.json`
+//! output path.
+
+use fairbridge_bench::harness::cpu_model;
+use fairbridge_stats::kernel::dot_fused;
+use fairbridge_stats::rng::{Rng, StdRng};
+use fairbridge_tabular::par::ordered_parallel_map;
+use fairbridge_tabular::tune::TuneProfile;
+use std::hint::black_box;
+use std::ops::Range;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Smallest ladder rung, in units.
+const LADDER_BOTTOM: usize = 1 << 13;
+/// Largest ladder rung, in units — also the conservative threshold
+/// ceiling for classes that never break even.
+const LADDER_TOP: usize = 1 << 23;
+/// Timing repeats per rung and arm; the median is compared.
+const REPEATS: usize = 5;
+/// The two-worker run must beat inline by this fraction to count as the
+/// break-even rung (guards against declaring victory on timer noise).
+const WIN_MARGIN: f64 = 0.10;
+/// Floor on any written threshold: below this, fan-out never pays on
+/// any plausible machine and a probe claiming otherwise is noise.
+const MIN_THRESHOLD: usize = 1 << 12;
+
+/// One calibrated workload class.
+struct ClassResult {
+    name: &'static str,
+    /// Break-even total size in units (ladder top if never reached).
+    breakeven_units: usize,
+    /// Derived `min_units_per_worker` threshold.
+    threshold: usize,
+    /// Inline ns/unit at the break-even rung, for the report.
+    unit_ns: f64,
+}
+
+/// Times `f` once, in nanoseconds.
+fn time_once<F: FnMut()>(f: &mut F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64
+}
+
+/// Median of [`REPEATS`] timings of `f`.
+fn median_time<F: FnMut()>(mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..REPEATS).map(|_| time_once(&mut f)).collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Walks the ladder for one class. `work` must process exactly the
+/// units in `range` and return a value the optimizer cannot discard;
+/// the parallel arm splits the range in half across two workers through
+/// the production fan-out primitive.
+fn probe_class<F>(name: &'static str, work: F) -> ClassResult
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    let mut size = LADDER_BOTTOM;
+    loop {
+        let serial_ns = median_time(|| {
+            black_box(work(0..size));
+        });
+        let par_ns = median_time(|| {
+            let halves = ordered_parallel_map(2, 2, |c| {
+                let mid = size / 2;
+                if c == 0 {
+                    work(0..mid)
+                } else {
+                    work(mid..size)
+                }
+            });
+            black_box(halves);
+        });
+        let breaks_even = par_ns < serial_ns * (1.0 - WIN_MARGIN);
+        if breaks_even || size >= LADDER_TOP {
+            let breakeven_units = size;
+            let threshold = (breakeven_units / 2).clamp(MIN_THRESHOLD, LADDER_TOP);
+            return ClassResult {
+                name,
+                breakeven_units,
+                threshold,
+                unit_ns: serial_ns / size as f64,
+            };
+        }
+        size *= 2;
+    }
+}
+
+/// Spawn + join cost of the production fan-out with trivial tasks, for
+/// the report (the ladder already folds this into the thresholds).
+fn probe_spawn_overhead() -> f64 {
+    median_time(|| {
+        let r = ordered_parallel_map(2, 2, |i| black_box(i + 1));
+        black_box(r);
+    })
+}
+
+/// `kernel` class: fused dot-product multiply-adds, the inner loop of
+/// the Sinkhorn half-pass gemv and the logistic gradient gemv. Rows of
+/// [`ROW_LEN`] so the work shape matches a gemv over a row block.
+const ROW_LEN: usize = 1024;
+
+fn run_probes() -> (f64, Vec<ClassResult>) {
+    let spawn_ns = probe_spawn_overhead();
+
+    // Shared inputs, sized for the ladder top, built once outside the
+    // timed regions.
+    let kernel_a: Vec<f64> = (0..LADDER_TOP)
+        .map(|i| ((i * 13) % 101) as f64 * 0.019 - 0.95)
+        .collect();
+    let kernel_b: Vec<f64> = (0..LADDER_TOP)
+        .map(|i| ((i * 29) % 97) as f64 * 0.021 - 1.01)
+        .collect();
+    let sample: Vec<f64> = (0..4096).map(|i| (i % 83) as f64 * 0.11).collect();
+    let words_a: Vec<u64> = (0..LADDER_TOP / 64 + 1)
+        .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let words_b: Vec<u64> = (0..LADDER_TOP / 64 + 1)
+        .map(|i| (i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .collect();
+    let row_vals: Vec<f64> = (0..LADDER_TOP)
+        .map(|i| ((i * 7) % 89) as f64 * 0.013)
+        .collect();
+    let row_codes: Vec<u32> = (0..LADDER_TOP).map(|i| ((i * 31) % 4) as u32).collect();
+
+    let kernel = probe_class("kernel", |r: Range<usize>| {
+        // Whole rows through the fused dot, exactly like a gemv row
+        // block; the range is in units (madds).
+        let mut acc = 0.0;
+        let mut start = r.start;
+        while start < r.end {
+            let end = (start + ROW_LEN).min(r.end);
+            acc += dot_fused(&kernel_a[start..end], &kernel_b[start..end]);
+            start = end;
+        }
+        acc
+    });
+
+    let resample = probe_class("resample", |r: Range<usize>| {
+        // One unit = one resampled element: RNG draw + gather, the
+        // bootstrap chunk body with the statistic stripped out.
+        let mut rng = StdRng::seed_from_u64(0xF00D ^ r.start as u64);
+        let mut acc = 0.0;
+        for _ in r {
+            acc += sample[rng.gen_range(0..sample.len())];
+        }
+        acc
+    });
+
+    let mask = probe_class("mask", |r: Range<usize>| {
+        // One unit = one bitset row; 64 rows per AND+popcount word, the
+        // subgroup lattice inner loop.
+        let (ws, we) = (r.start / 64, r.end / 64);
+        let mut count = 0u32;
+        for w in ws..we {
+            count += (words_a[w] & words_b[w]).count_ones();
+        }
+        count as f64
+    });
+
+    let row = probe_class("row", |r: Range<usize>| {
+        // One unit = one scanned row: read a value, bucket it by group
+        // code — the engine shard scan's accumulator shape.
+        let mut acc = [0.0f64; 4];
+        for i in r {
+            acc[row_codes[i] as usize] += row_vals[i];
+        }
+        acc.iter().sum()
+    });
+
+    (spawn_ns, vec![kernel, resample, mask, row])
+}
+
+/// Renders the profile JSON. Kept as a pure function of the probe
+/// results so the output shape is testable and greppable.
+fn render_profile(spawn_ns: f64, classes: &[ClassResult]) -> String {
+    let by_name =
+        |n: &str| -> &ClassResult { classes.iter().find(|c| c.name == n).unwrap_or(&classes[0]) };
+    let kernel = by_name("kernel");
+    let resample = by_name("resample");
+    let mask = by_name("mask");
+    let row = by_name("row");
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"cpu\": \"{}\",\n",
+        cpu_model().replace('\\', "\\\\").replace('"', "\\\"")
+    ));
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    out.push_str(&format!("  \"spawn_overhead_ns\": {spawn_ns:.0},\n"));
+    for c in classes {
+        out.push_str(&format!(
+            "  \"breakeven.{}\": {},\n  \"unit_ns.{}\": {:.4},\n",
+            c.name, c.breakeven_units, c.name, c.unit_ns
+        ));
+    }
+    out.push_str(&format!(
+        "  \"par.min_units_per_worker\": {},\n",
+        row.threshold
+    ));
+    out.push_str(&format!(
+        "  \"subgroup.min_units_per_worker\": {},\n",
+        mask.threshold
+    ));
+    out.push_str(&format!(
+        "  \"bootstrap.min_units_per_worker\": {},\n",
+        resample.threshold
+    ));
+    out.push_str(&format!(
+        "  \"sinkhorn.halfpass.min_units_per_worker\": {},\n",
+        kernel.threshold
+    ));
+    out.push_str(&format!(
+        "  \"logistic.grad.min_units_per_worker\": {}\n",
+        kernel.threshold
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut probe_only = false;
+    let mut out_path = "tune_profile.json".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--probe-only" => probe_only = true,
+            "--out" => {
+                if let Some(p) = args.get(i + 1) {
+                    out_path = p.clone();
+                    i += 1;
+                } else {
+                    eprintln!("fb-tune: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("fb-tune [--probe-only] [--out PATH]");
+                println!("Calibrates serial/parallel dispatch thresholds into a tune profile.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fb-tune: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("fb-tune: probing dispatch break-evens on {}", cpu_model());
+    let (spawn_ns, classes) = run_probes();
+    println!("  spawn+join (2 workers, trivial tasks): {spawn_ns:.0} ns");
+    for c in &classes {
+        println!(
+            "  class {:<9} break-even {:>9} units @ {:.3} ns/unit -> min_units_per_worker {}",
+            c.name, c.breakeven_units, c.unit_ns, c.threshold
+        );
+    }
+    let profile = render_profile(spawn_ns, &classes);
+
+    // The writer must produce what the loader accepts — verify before
+    // (possibly) writing, so a rendering bug fails the smoke step
+    // instead of silently de-calibrating every site to defaults.
+    if let Err(e) = TuneProfile::parse(&profile) {
+        eprintln!("fb-tune: rendered profile failed to round-trip: {e}");
+        return ExitCode::from(2);
+    }
+
+    if probe_only {
+        println!("fb-tune: --probe-only, not writing a profile");
+        return ExitCode::SUCCESS;
+    }
+    match std::fs::write(&out_path, &profile) {
+        Ok(()) => {
+            println!("fb-tune: wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fb-tune: cannot write {out_path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

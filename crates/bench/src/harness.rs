@@ -159,8 +159,9 @@ fn thread_count() -> usize {
 
 /// A short CPU model description (`/proc/cpuinfo` on Linux, the target
 /// arch elsewhere), recorded in each JSON record so baselines carry the
-/// machine they were measured on.
-fn cpu_model() -> &'static str {
+/// machine they were measured on. Public because `fb-tune` stamps the
+/// same metadata into `tune_profile.json`.
+pub fn cpu_model() -> &'static str {
     static CPU: OnceLock<String> = OnceLock::new();
     CPU.get_or_init(|| {
         if let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") {
@@ -292,7 +293,9 @@ fn write_json_record(record: &BenchRecord) {
         .write_all(line.as_bytes());
 }
 
-fn format_nanos(ns: f64) -> String {
+/// Renders a nanosecond figure with a human-scale unit (ns/µs/ms/s),
+/// width-stable for table alignment. Shared with `fb-bench --diff`.
+pub fn format_nanos(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:9.2} ns")
     } else if ns < 1_000_000.0 {

@@ -6,29 +6,41 @@
 //! exposed coefficient vector is what the manipulation experiments of
 //! Section IV.E perturb.
 //!
-//! Each epoch runs on the numeric kernel layer: one fused
-//! [`Matrix::gemv_into`] produces the linear scores into a hoisted
-//! buffer, and the gradient is accumulated with [`axpy`] over
-//! fixed-shape row chunks of [`GRAD_CHUNK`] rows. Chunk partials are
-//! reduced **in chunk order**, and the chunk shape never depends on the
-//! worker count, so a fit with `workers: 8` is bitwise-identical to a
-//! serial fit — the same determinism contract the audit engine upholds.
+//! Each epoch runs entirely on the numeric kernel layer through a
+//! [`KernelSet`] table: one gemv produces the linear scores, the
+//! sigmoid stays scalar per element, the residual is weighted by one
+//! elementwise `mul_into`, and the gradient is accumulated with the
+//! table's `axpy` over fixed-shape row chunks of [`GRAD_CHUNK`] rows
+//! (a gemv over a packed transpose was tried and measured *slower* at
+//! trainer shapes: the per-fit transpose costs more than the gradient
+//! itself on 10⁵-element matrices, and row-axpy has no reduction
+//! dependency chain to hide). Chunk partials are reduced **in chunk
+//! order** and the chunk shape never depends on the worker count, so a
+//! fit with `workers: 8` is bitwise-identical to a serial fit, and a
+//! dispatched (SIMD) fit is bitwise-identical to
+//! [`LogisticTrainer::fit_weighted_pinned_fused`]. The serial/parallel
+//! decision runs on the calibrated threshold table (key
+//! `logistic.grad.min_units_per_worker`, falling back to
+//! [`GRAD_MIN_UNITS_PER_WORKER`]).
 
-use crate::matrix::{axpy, dot, Matrix};
+use crate::matrix::{dot, sum, KernelSet, Matrix, DISPATCH_KERNELS, FUSED_KERNELS};
 use crate::model::Scorer;
 use fairbridge_obs::Telemetry;
 use fairbridge_tabular::par::{ordered_parallel_map, size_aware_workers};
+use fairbridge_tabular::tune::tuned_min_units;
 
 /// Rows per gradient chunk. Fixed (never derived from the worker count)
 /// so the chunk reduction — and therefore the fitted model — is
 /// identical for any parallelism degree.
 pub const GRAD_CHUNK: usize = 1024;
 
-/// Work-unit floor per gradient worker, where one unit is one
+/// Fallback work-unit floor per gradient worker, where one unit is one
 /// multiply-add in the chunked gradient (`n × (d + 1)` per epoch). The
-/// fan-out re-spawns every epoch, so — like the Sinkhorn half-pass — a
-/// spawn must be amortized per iteration: below this the epoch runs on
-/// the recycled serial partial buffer. Bitwise-identical either way.
+/// conservative default when no `tune_profile.json` is present (key
+/// `logistic.grad.min_units_per_worker`): the fan-out re-spawns every
+/// epoch, so a spawn must be amortized per iteration; below the floor
+/// the epoch runs on the recycled serial partial buffer.
+/// Bitwise-identical either way.
 pub const GRAD_MIN_UNITS_PER_WORKER: usize = 1 << 21;
 
 /// Numerically stable logistic sigmoid.
@@ -74,7 +86,7 @@ pub struct LogisticTrainer {
     pub l2: f64,
     /// Stop early when the gradient max-norm falls below this.
     pub tolerance: f64,
-    /// Worker threads for the chunked gradient reduction; `<= 1` runs
+    /// Worker threads for the chunked gradient gemv; `<= 1` runs
     /// inline. Any value produces bitwise-identical models.
     pub workers: usize,
 }
@@ -92,14 +104,21 @@ impl Default for LogisticTrainer {
 }
 
 /// Accumulates the weighted gradient of one row chunk into `partial`
-/// (`d` weight slots plus the bias slot at index `d`). `partial` must
-/// arrive zeroed; per-coordinate accumulation via [`axpy`] keeps each
-/// slot an independent left-to-right sum, so the result depends only on
-/// the chunk bounds, not on who computes it.
-fn chunk_gradient(x: &Matrix, err: &[f64], start: usize, end: usize, partial: &mut [f64]) {
+/// (`d` weight slots plus the bias slot at index `d`) through the
+/// kernel table's `axpy`. `partial` must arrive zeroed; per-coordinate
+/// accumulation keeps each slot an independent left-to-right sum, so
+/// the result depends only on the chunk bounds, not on who computes it.
+fn chunk_gradient(
+    x: &Matrix,
+    err: &[f64],
+    start: usize,
+    end: usize,
+    partial: &mut [f64],
+    ops: KernelSet,
+) {
     let d = x.n_cols();
     for (i, &e) in err.iter().enumerate().take(end).skip(start) {
-        axpy(e, x.row(i), &mut partial[..d]);
+        (ops.axpy)(e, x.row(i), &mut partial[..d]);
         partial[d] += e;
     }
 }
@@ -120,13 +139,62 @@ impl LogisticTrainer {
 
     /// [`LogisticTrainer::fit_weighted`] recording kernel telemetry: a
     /// `logistic.fit` span plus the `kernel.gemv_calls` counter (one
-    /// gemv per epoch actually run).
+    /// gemv — the scores pass — per epoch actually run).
     pub fn fit_weighted_observed(
         &self,
         x: &Matrix,
         y: &[bool],
         sample_weights: &[f64],
         telemetry: &Telemetry,
+    ) -> LogisticModel {
+        self.fit_core(
+            x,
+            y,
+            sample_weights,
+            telemetry,
+            DISPATCH_KERNELS,
+            tuned_min_units(
+                "logistic.grad.min_units_per_worker",
+                GRAD_MIN_UNITS_PER_WORKER,
+            ),
+        )
+    }
+
+    /// [`LogisticTrainer::fit_weighted`] pinned to the fused-scalar
+    /// kernel references, bypassing SIMD dispatch entirely. The bitwise
+    /// reference arm: a dispatched fit must reproduce this model bit
+    /// for bit (the `bench_kernels` group measures the dispatched epoch
+    /// against it as `logistic_epoch_simd` vs `logistic_epoch_fused`).
+    pub fn fit_weighted_pinned_fused(
+        &self,
+        x: &Matrix,
+        y: &[bool],
+        sample_weights: &[f64],
+    ) -> LogisticModel {
+        self.fit_core(
+            x,
+            y,
+            sample_weights,
+            &Telemetry::off(),
+            FUSED_KERNELS,
+            tuned_min_units(
+                "logistic.grad.min_units_per_worker",
+                GRAD_MIN_UNITS_PER_WORKER,
+            ),
+        )
+    }
+
+    /// The one fit loop, parameterized over the kernel table and the
+    /// calibrated dispatch floor (threaded explicitly so tests can
+    /// force the fan-out path).
+    fn fit_core(
+        &self,
+        x: &Matrix,
+        y: &[bool],
+        sample_weights: &[f64],
+        telemetry: &Telemetry,
+        ops: KernelSet,
+        min_units: usize,
     ) -> LogisticModel {
         assert_eq!(x.n_rows(), y.len(), "fit: row/label count mismatch");
         assert_eq!(y.len(), sample_weights.len(), "fit: weight count mismatch");
@@ -135,7 +203,7 @@ impl LogisticTrainer {
             sample_weights.iter().all(|&w| w >= 0.0),
             "sample weights must be non-negative"
         );
-        let wsum: f64 = sample_weights.iter().sum();
+        let wsum = (ops.sum)(sample_weights);
         assert!(wsum > 0.0, "sample weights must not all be zero");
 
         let _span = telemetry.span("logistic.fit");
@@ -143,34 +211,34 @@ impl LogisticTrainer {
 
         let (n, d) = (x.n_rows(), x.n_cols());
         let n_chunks = n.div_ceil(GRAD_CHUNK);
-        let grad_workers = size_aware_workers(
-            self.workers,
-            n_chunks,
-            n.saturating_mul(d + 1),
-            GRAD_MIN_UNITS_PER_WORKER,
-        );
+        let grad_workers =
+            size_aware_workers(self.workers, n_chunks, n.saturating_mul(d + 1), min_units);
         let mut weights = vec![0.0; d];
         let mut bias = 0.0;
-        // Every per-epoch buffer is hoisted here: linear scores, weighted
-        // residuals, the reduced gradient, and (serially) one chunk
-        // partial recycled across chunks.
+        // Every per-epoch buffer is hoisted here: linear scores, raw
+        // residuals, weighted residuals, the reduced gradient, and
+        // (serially) one chunk partial recycled across chunks.
         let mut scores = vec![0.0; n];
+        let mut resid = vec![0.0; n];
         let mut err = vec![0.0; n];
         let mut grad = vec![0.0; d + 1];
         let mut serial_partial = vec![0.0; d + 1];
 
         for _ in 0..self.epochs {
-            x.gemv_into(&weights, &mut scores);
+            (ops.gemv)(x.as_slice(), d, &weights, &mut scores);
             gemv_calls.incr();
             for i in 0..n {
                 let p = sigmoid(scores[i] + bias);
-                err[i] = (p - if y[i] { 1.0 } else { 0.0 }) * sample_weights[i];
+                resid[i] = p - if y[i] { 1.0 } else { 0.0 };
             }
+            (ops.mul_into)(&resid, sample_weights, &mut err);
 
+            // Gradient: ∇w = Xᵀ·err accumulated row by row with the
+            // table's axpy over fixed GRAD_CHUNK-row chunks; partials
+            // reduce in chunk order, so the fan-out reproduces the
+            // inline accumulation bit for bit.
             grad.iter_mut().for_each(|g| *g = 0.0);
             if grad_workers <= 1 || n_chunks <= 1 {
-                // Inline: same chunk shapes, same chunk-order reduction,
-                // one recycled partial buffer instead of one per chunk.
                 for c in 0..n_chunks {
                     serial_partial.iter_mut().for_each(|g| *g = 0.0);
                     let start = c * GRAD_CHUNK;
@@ -180,16 +248,25 @@ impl LogisticTrainer {
                         start,
                         (start + GRAD_CHUNK).min(n),
                         &mut serial_partial,
+                        ops,
                     );
                     for (g, p) in grad.iter_mut().zip(&serial_partial) {
                         *g += p;
                     }
                 }
             } else {
+                let err_ref: &[f64] = &err;
                 let partials = ordered_parallel_map(n_chunks, grad_workers, |c| {
                     let mut partial = vec![0.0; d + 1];
                     let start = c * GRAD_CHUNK;
-                    chunk_gradient(x, &err, start, (start + GRAD_CHUNK).min(n), &mut partial);
+                    chunk_gradient(
+                        x,
+                        err_ref,
+                        start,
+                        (start + GRAD_CHUNK).min(n),
+                        &mut partial,
+                        ops,
+                    );
                     partial
                 });
                 for partial in &partials {
@@ -218,14 +295,14 @@ impl LogisticTrainer {
     /// Weighted mean log-loss plus the L2 penalty, for diagnostics and
     /// gradient checking.
     pub fn loss(&self, model: &LogisticModel, x: &Matrix, y: &[bool], sw: &[f64]) -> f64 {
-        let wsum: f64 = sw.iter().sum();
+        let wsum = sum(sw);
         let mut loss = 0.0;
         for (i, row) in x.rows().enumerate() {
             let p = sigmoid(model.linear(row)).clamp(1e-12, 1.0 - 1e-12);
             let l = if y[i] { -p.ln() } else { -(1.0 - p).ln() };
             loss += sw[i] * l;
         }
-        loss / wsum + 0.5 * self.l2 * model.weights.iter().map(|w| w * w).sum::<f64>()
+        loss / wsum + 0.5 * self.l2 * dot(&model.weights, &model.weights)
     }
 }
 
@@ -350,37 +427,62 @@ mod tests {
         LogisticTrainer::default().fit_weighted(&x, &[true], &[-1.0]);
     }
 
-    #[test]
-    fn parallel_fit_is_bitwise_identical() {
-        // Enough rows for several GRAD_CHUNK chunks.
-        let rows: Vec<Vec<f64>> = (0..3000)
+    fn wide_problem(n: usize, d: usize) -> (Matrix, Vec<bool>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
             .map(|i| {
-                vec![
-                    ((i * 13) % 97) as f64 * 0.02 - 1.0,
-                    ((i * 7) % 53) as f64 * 0.03 - 0.8,
-                    ((i * 29) % 31) as f64 * 0.05 - 0.7,
-                ]
+                (0..d)
+                    .map(|j| ((i * 13 + j * 29) % 97) as f64 * 0.02 - 1.0)
+                    .collect()
             })
             .collect();
         let y: Vec<bool> = rows.iter().map(|r| r[0] + 0.5 * r[1] > 0.1).collect();
-        let x = Matrix::from_rows(&rows);
+        let sw: Vec<f64> = (0..n).map(|i| 0.5 + ((i * 7) % 10) as f64 * 0.1).collect();
+        (Matrix::from_rows(&rows), y, sw)
+    }
+
+    #[test]
+    fn parallel_fit_is_bitwise_identical() {
+        // Enough rows for several GRAD_CHUNK chunks; the dispatch
+        // floor is forced to 1 so the fan-out genuinely runs.
+        let (x, y, sw) = wide_problem(2500, 16);
         let trainer = LogisticTrainer {
             epochs: 40,
             ..LogisticTrainer::default()
         };
-        let serial = trainer.fit(&x, &y);
-        for workers in [2, 8] {
-            let par = LogisticTrainer {
-                workers,
-                ..trainer.clone()
+        for ops in [DISPATCH_KERNELS, FUSED_KERNELS] {
+            let serial = trainer.fit_core(&x, &y, &sw, &Telemetry::off(), ops, 1);
+            for workers in [2, 8] {
+                let par = LogisticTrainer {
+                    workers,
+                    ..trainer.clone()
+                }
+                .fit_core(&x, &y, &sw, &Telemetry::off(), ops, 1);
+                assert_eq!(serial, par, "{workers} workers drifted");
+                for (a, b) in serial.weights.iter().zip(&par.weights) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                assert_eq!(serial.bias.to_bits(), par.bias.to_bits());
             }
-            .fit(&x, &y);
-            assert_eq!(serial, par, "{workers} workers drifted");
-            for (a, b) in serial.weights.iter().zip(&par.weights) {
-                assert_eq!(a.to_bits(), b.to_bits());
-            }
-            assert_eq!(serial.bias.to_bits(), par.bias.to_bits());
         }
+    }
+
+    #[test]
+    fn dispatched_fit_matches_pinned_fused_bitwise() {
+        // The cross-kernel-table contract: under the simd feature the
+        // dispatched fit runs AVX2 bodies, and must still reproduce the
+        // pinned fused-scalar model bit for bit.
+        let (x, y, sw) = wide_problem(300, 23);
+        let trainer = LogisticTrainer {
+            epochs: 25,
+            ..LogisticTrainer::default()
+        };
+        let dispatched = trainer.fit_weighted(&x, &y, &sw);
+        let pinned = trainer.fit_weighted_pinned_fused(&x, &y, &sw);
+        assert_eq!(dispatched, pinned);
+        for (a, b) in dispatched.weights.iter().zip(&pinned.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(dispatched.bias.to_bits(), pinned.bias.to_bits());
     }
 
     #[test]
@@ -397,6 +499,7 @@ mod tests {
         let sw = vec![1.0; y.len()];
         let observed = trainer.fit_weighted_observed(&x, &y, &sw, &telemetry);
         assert_eq!(observed, trainer.fit(&x, &y));
+        // One gemv per epoch: the linear-scores pass.
         assert_eq!(telemetry.counter("kernel.gemv_calls").get(), 7);
     }
 }

@@ -236,6 +236,13 @@ impl Matrix {
         self.data.chunks_exact(self.n_cols)
     }
 
+    /// The row-major backing storage as a slice — the handle trainers
+    /// use to run raw [`gemv`]/[`KernelSet`] kernels over row blocks
+    /// without going through per-row accessors.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Consumes the matrix, returning its row-major backing storage —
     /// lets trainers recycle one allocation across repeated fits.
     pub fn into_data(self) -> Vec<f64> {
@@ -248,7 +255,9 @@ impl Matrix {
 // exact same code paths); this module re-exports them so the matrix
 // layer remains the one-stop numeric kernel surface for model code.
 pub use fairbridge_stats::kernel::{
-    axpy, axpy_fused, dot, dot_fused, dot_scalar, gemv, gemv_fused, simd_active,
+    axpy, axpy_fused, div_into, div_into_fused, dot, dot_fused, dot_scalar, gemv, gemv_fused,
+    mul_into, mul_into_fused, scale_into, scale_into_fused, simd_active, sum, sum_fused, KernelSet,
+    DISPATCH_KERNELS, FUSED_KERNELS,
 };
 
 /// Squared Euclidean distance between two equal-length slices.

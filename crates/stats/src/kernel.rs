@@ -14,6 +14,16 @@
 //! *whole* logical units (matrix rows, kernel rows) to these functions
 //! and never split one unit across workers.
 //!
+//! The reductions above are joined by three *elementwise* kernels —
+//! [`mul_into`], [`div_into`], [`scale_into`] — pure IEEE mul/div with
+//! one independent output per slot, so for them lane order is the only
+//! contract and bitwise equality across paths is structural. They are
+//! the building blocks of the Sinkhorn scaling updates and plan
+//! materialization and the trainer's residual weighting. The
+//! [`KernelSet`] table packages all seven entry points so those
+//! algorithms can run either dispatched ([`DISPATCH_KERNELS`]) or
+//! pinned to the references ([`FUSED_KERNELS`]).
+//!
 //! The public [`dot`]/[`sum`]/[`axpy`] entry points are *dispatchers*:
 //! when the `simd` cargo feature is enabled on x86_64 and the CPU
 //! reports AVX2, they route to `simd`, whose two 4×f64 registers hold
@@ -104,6 +114,127 @@ pub fn gemv(data: &[f64], n_cols: usize, w: &[f64], out: &mut [f64]) {
     }
     gemv_fused(data, n_cols, w, out);
 }
+
+/// Elementwise product `out[i] = a[i] · b[i]`. Pure IEEE multiplies —
+/// every output slot is independent, so lane order is the *only*
+/// contract and any vectorization is trivially bitwise-identical to
+/// the scalar loop. Dispatches to AVX2 when available.
+#[inline]
+pub fn mul_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx2_available() {
+        simd::mul_into_avx2(a, b, out);
+        return;
+    }
+    mul_into_fused(a, b, out);
+}
+
+/// Elementwise quotient `out[i] = num[i] / den[i]`. Pure IEEE divides
+/// (slot-independent, same contract as [`mul_into`]); callers that need
+/// a zero-divisor guard apply it to the *output* afterwards so the
+/// kernel itself stays branch-free. Dispatches to AVX2 when available.
+#[inline]
+pub fn div_into(num: &[f64], den: &[f64], out: &mut [f64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx2_available() {
+        simd::div_into_avx2(num, den, out);
+        return;
+    }
+    div_into_fused(num, den, out);
+}
+
+/// In-place scaling `out[i] *= alpha`. Pure IEEE multiplies,
+/// slot-independent. Dispatches to AVX2 when available.
+#[inline]
+pub fn scale_into(alpha: f64, out: &mut [f64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::avx2_available() {
+        simd::scale_into_avx2(alpha, out);
+        return;
+    }
+    scale_into_fused(alpha, out);
+}
+
+/// [`mul_into`] pinned to the scalar loop. The universal fallback and
+/// the bitwise reference for `simd::mul_into_avx2`.
+#[inline]
+pub fn mul_into_fused(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x * y;
+    }
+}
+
+/// [`div_into`] pinned to the scalar loop. The universal fallback and
+/// the bitwise reference for `simd::div_into_avx2`.
+#[inline]
+pub fn div_into_fused(num: &[f64], den: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(num.len(), den.len());
+    debug_assert_eq!(num.len(), out.len());
+    for (o, (x, y)) in out.iter_mut().zip(num.iter().zip(den)) {
+        *o = x / y;
+    }
+}
+
+/// [`scale_into`] pinned to the scalar loop. The universal fallback and
+/// the bitwise reference for `simd::scale_into_avx2`.
+#[inline]
+pub fn scale_into_fused(alpha: f64, out: &mut [f64]) {
+    for o in out.iter_mut() {
+        *o *= alpha;
+    }
+}
+
+/// A table of the seven kernel entry points, so a multi-kernel
+/// algorithm (Sinkhorn, the logistic trainer) can be written once and
+/// run either on the runtime dispatchers ([`DISPATCH_KERNELS`]) or
+/// pinned to the fused-scalar references ([`FUSED_KERNELS`]). The two
+/// tables are bitwise-interchangeable by the kernel contract; the
+/// pinned table exists so benches can measure the gap and the
+/// equivalence suites can assert it is exactly zero bits.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelSet {
+    /// Dot product (eight-lane fixed combine order).
+    pub dot: fn(&[f64], &[f64]) -> f64,
+    /// Sum reduction (same combine order as `dot`).
+    pub sum: fn(&[f64]) -> f64,
+    /// `y += alpha · x` (slot-independent).
+    pub axpy: fn(f64, &[f64], &mut [f64]),
+    /// Row-major matrix–vector product (one `dot` per row).
+    pub gemv: fn(&[f64], usize, &[f64], &mut [f64]),
+    /// Elementwise product (slot-independent).
+    pub mul_into: fn(&[f64], &[f64], &mut [f64]),
+    /// Elementwise quotient (slot-independent).
+    pub div_into: fn(&[f64], &[f64], &mut [f64]),
+    /// In-place scalar multiply (slot-independent).
+    pub scale_into: fn(f64, &mut [f64]),
+}
+
+/// The runtime-dispatching kernel table: AVX2 when the `simd` feature
+/// is compiled in and the CPU reports it, fused-scalar otherwise.
+pub const DISPATCH_KERNELS: KernelSet = KernelSet {
+    dot,
+    sum,
+    axpy,
+    gemv,
+    mul_into,
+    div_into,
+    scale_into,
+};
+
+/// The kernel table pinned to the fused-scalar references — the
+/// bitwise baseline arm for `bench_kernels` and the simd equivalence
+/// suites.
+pub const FUSED_KERNELS: KernelSet = KernelSet {
+    dot: dot_fused,
+    sum: sum_fused,
+    axpy: axpy_fused,
+    gemv: gemv_fused,
+    mul_into: mul_into_fused,
+    div_into: div_into_fused,
+    scale_into: scale_into_fused,
+};
 
 /// [`gemv`] pinned to the fused-scalar kernel: one [`dot_fused`] per
 /// row. The universal fallback and the bitwise reference for
@@ -268,6 +399,62 @@ mod tests {
             for (p, q) in y1.iter().zip(&y2) {
                 assert_eq!(p.to_bits(), q.to_bits(), "axpy len {len}");
             }
+        }
+    }
+
+    #[test]
+    fn elementwise_dispatch_matches_fused_bitwise() {
+        // The elementwise kernels are slot-independent pure IEEE ops;
+        // dispatch must agree with the pinned references bit for bit on
+        // every length class (the adversarial-input suite lives in
+        // tests/prop_simd.rs).
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 31, 32, 100, 257] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.61).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..len)
+                .map(|i| (i as f64 * 0.23).cos() * 2.0 + 0.5)
+                .collect();
+            let mut o1 = vec![0.0; len];
+            let mut o2 = vec![0.0; len];
+            mul_into(&a, &b, &mut o1);
+            mul_into_fused(&a, &b, &mut o2);
+            for (p, q) in o1.iter().zip(&o2) {
+                assert_eq!(p.to_bits(), q.to_bits(), "mul len {len}");
+            }
+            div_into(&a, &b, &mut o1);
+            div_into_fused(&a, &b, &mut o2);
+            for (p, q) in o1.iter().zip(&o2) {
+                assert_eq!(p.to_bits(), q.to_bits(), "div len {len}");
+            }
+            let mut s1 = a.clone();
+            let mut s2 = a.clone();
+            scale_into(1.37, &mut s1);
+            scale_into_fused(1.37, &mut s2);
+            for (p, q) in s1.iter().zip(&s2) {
+                assert_eq!(p.to_bits(), q.to_bits(), "scale len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_sets_agree_bitwise() {
+        // The two tables must be interchangeable: same bits from every
+        // entry point on the same input.
+        let a: Vec<f64> = (0..97).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let b: Vec<f64> = (0..97).map(|i| (i as f64 * 1.1).cos() + 2.0).collect();
+        assert_eq!(
+            (DISPATCH_KERNELS.dot)(&a, &b).to_bits(),
+            (FUSED_KERNELS.dot)(&a, &b).to_bits()
+        );
+        assert_eq!(
+            (DISPATCH_KERNELS.sum)(&a).to_bits(),
+            (FUSED_KERNELS.sum)(&a).to_bits()
+        );
+        let mut o1 = vec![0.0; 97];
+        let mut o2 = vec![0.0; 97];
+        (DISPATCH_KERNELS.div_into)(&a, &b, &mut o1);
+        (FUSED_KERNELS.div_into)(&a, &b, &mut o2);
+        for (p, q) in o1.iter().zip(&o2) {
+            assert_eq!(p.to_bits(), q.to_bits());
         }
     }
 

@@ -30,8 +30,8 @@
 #![allow(unsafe_code)]
 
 use core::arch::x86_64::{
-    __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
-    _mm256_storeu_pd,
+    __m256d, _mm256_add_pd, _mm256_div_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+    _mm256_setzero_pd, _mm256_storeu_pd,
 };
 
 /// Whether this CPU supports the AVX2 kernels. The detection macro
@@ -174,6 +174,129 @@ unsafe fn axpy_avx2_body(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// AVX2 elementwise product `out[i] = a[i] · b[i]`, bitwise-identical
+/// to [`super::mul_into_fused`]. Pure IEEE multiplies, one independent
+/// output per slot — vectorization cannot change any bit. Falls back
+/// to the fused path when the CPU lacks AVX2.
+#[inline]
+pub fn mul_into_avx2(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    if !avx2_available() {
+        return super::mul_into_fused(a, b, out);
+    }
+    // SAFETY: the `avx2` target feature was verified present above.
+    unsafe { mul_into_avx2_body(a, b, out) }
+}
+
+/// AVX2 elementwise quotient `out[i] = num[i] / den[i]`,
+/// bitwise-identical to [`super::div_into_fused`]. Pure IEEE divides,
+/// slot-independent. Falls back to the fused path when the CPU lacks
+/// AVX2.
+#[inline]
+pub fn div_into_avx2(num: &[f64], den: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(num.len(), den.len());
+    debug_assert_eq!(num.len(), out.len());
+    if !avx2_available() {
+        return super::div_into_fused(num, den, out);
+    }
+    // SAFETY: the `avx2` target feature was verified present above.
+    unsafe { div_into_avx2_body(num, den, out) }
+}
+
+/// AVX2 in-place scaling `out[i] *= alpha`, bitwise-identical to
+/// [`super::scale_into_fused`]. Falls back to the fused path when the
+/// CPU lacks AVX2.
+#[inline]
+pub fn scale_into_avx2(alpha: f64, out: &mut [f64]) {
+    if !avx2_available() {
+        return super::scale_into_fused(alpha, out);
+    }
+    // SAFETY: the `avx2` target feature was verified present above.
+    unsafe { scale_into_avx2_body(alpha, out) }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure the CPU supports AVX2 (`avx2_available`).
+unsafe fn mul_into_avx2_body(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let split = a.len() - a.len() % 8;
+    for ((ca, cb), co) in a[..split]
+        .chunks_exact(8)
+        .zip(b[..split].chunks_exact(8))
+        .zip(out[..split].chunks_exact_mut(8))
+    {
+        // All three chunks are exactly 8 f64, so the 4-wide loads and
+        // stores at offsets 0 and 4 stay in bounds (`co` exclusively
+        // borrowed, no aliasing).
+        // SAFETY: in-bounds unaligned loads/stores per the above.
+        unsafe {
+            let r0 = _mm256_mul_pd(_mm256_loadu_pd(ca.as_ptr()), _mm256_loadu_pd(cb.as_ptr()));
+            let r1 = _mm256_mul_pd(
+                _mm256_loadu_pd(ca.as_ptr().add(4)),
+                _mm256_loadu_pd(cb.as_ptr().add(4)),
+            );
+            _mm256_storeu_pd(co.as_mut_ptr(), r0);
+            _mm256_storeu_pd(co.as_mut_ptr().add(4), r1);
+        }
+    }
+    for ((x, y), o) in a[split..].iter().zip(&b[split..]).zip(&mut out[split..]) {
+        *o = x * y;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure the CPU supports AVX2 (`avx2_available`).
+unsafe fn div_into_avx2_body(num: &[f64], den: &[f64], out: &mut [f64]) {
+    let split = num.len() - num.len() % 8;
+    for ((cn, cd), co) in num[..split]
+        .chunks_exact(8)
+        .zip(den[..split].chunks_exact(8))
+        .zip(out[..split].chunks_exact_mut(8))
+    {
+        // All three chunks are exactly 8 f64, so the 4-wide loads and
+        // stores at offsets 0 and 4 stay in bounds (`co` exclusively
+        // borrowed, no aliasing).
+        // SAFETY: in-bounds unaligned loads/stores per the above.
+        unsafe {
+            let r0 = _mm256_div_pd(_mm256_loadu_pd(cn.as_ptr()), _mm256_loadu_pd(cd.as_ptr()));
+            let r1 = _mm256_div_pd(
+                _mm256_loadu_pd(cn.as_ptr().add(4)),
+                _mm256_loadu_pd(cd.as_ptr().add(4)),
+            );
+            _mm256_storeu_pd(co.as_mut_ptr(), r0);
+            _mm256_storeu_pd(co.as_mut_ptr().add(4), r1);
+        }
+    }
+    for ((x, y), o) in num[split..]
+        .iter()
+        .zip(&den[split..])
+        .zip(&mut out[split..])
+    {
+        *o = x / y;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure the CPU supports AVX2 (`avx2_available`).
+unsafe fn scale_into_avx2_body(alpha: f64, out: &mut [f64]) {
+    let split = out.len() - out.len() % 8;
+    let va = _mm256_set1_pd(alpha);
+    for co in out[..split].chunks_exact_mut(8) {
+        // The chunk is exactly 8 f64, so the 4-wide loads and stores at
+        // offsets 0 and 4 stay in bounds (`co` exclusively borrowed).
+        // SAFETY: in-bounds unaligned loads/stores per the above.
+        unsafe {
+            let r0 = _mm256_mul_pd(_mm256_loadu_pd(co.as_ptr()), va);
+            let r1 = _mm256_mul_pd(_mm256_loadu_pd(co.as_ptr().add(4)), va);
+            _mm256_storeu_pd(co.as_mut_ptr(), r0);
+            _mm256_storeu_pd(co.as_mut_ptr().add(4), r1);
+        }
+    }
+    for o in &mut out[split..] {
+        *o *= alpha;
+    }
+}
+
 /// AVX2 matrix–vector product over row-major `data` (`out.len()` rows
 /// of `n_cols` each), bitwise-identical to [`super::gemv_fused`].
 ///
@@ -311,6 +434,36 @@ mod tests {
             axpy_fused(0.37, &a, &mut yf);
             for (i, (p, q)) in ys.iter().zip(&yf).enumerate() {
                 assert_eq!(p.to_bits(), q.to_bits(), "axpy len {len} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_avx2_matches_fused_bitwise_on_mixed_lengths() {
+        use crate::kernel::{div_into_fused, mul_into_fused, scale_into_fused};
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 64, 100, 257] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin() * 1e3).collect();
+            let b: Vec<f64> = (0..len)
+                .map(|i| (i as f64 * 1.3).cos() * 1e-3 + 0.5)
+                .collect();
+            let mut os = vec![0.0; len];
+            let mut of = vec![0.0; len];
+            mul_into_avx2(&a, &b, &mut os);
+            mul_into_fused(&a, &b, &mut of);
+            for (i, (p, q)) in os.iter().zip(&of).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "mul len {len} slot {i}");
+            }
+            div_into_avx2(&a, &b, &mut os);
+            div_into_fused(&a, &b, &mut of);
+            for (i, (p, q)) in os.iter().zip(&of).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "div len {len} slot {i}");
+            }
+            let mut ss = a.clone();
+            let mut sf = a.clone();
+            scale_into_avx2(0.37, &mut ss);
+            scale_into_fused(0.37, &mut sf);
+            for (i, (p, q)) in ss.iter().zip(&sf).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "scale len {len} slot {i}");
             }
         }
     }

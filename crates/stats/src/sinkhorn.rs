@@ -7,19 +7,30 @@
 //! Sinkhorn matrix scaling, converging to the true cost as ε → 0. Also
 //! provides the exact 1-D-cost special case for cross-checking.
 //!
-//! The solver runs on the numeric kernel layer: both scaling half-passes
-//! are fused [`dot`] products over **rows** of a Gibbs kernel — the
-//! `Kᵀu` pass reads a cached packed transpose built once per solve, so
-//! it streams sequentially instead of striding down columns. Row updates
-//! within a half-pass are independent, which makes the parallel path
-//! ([`par_sinkhorn`]) trivially bitwise-identical to the serial one: the
-//! same `dot` over the same row produces the same bits no matter which
-//! worker computes it, and `max_delta` is an order-insensitive max.
+//! The solver runs on the numeric kernel layer: each scaling half-pass
+//! is one [`KernelSet::gemv`] over a block of rows of the Gibbs kernel —
+//! the `Kᵀu` pass reads a cached packed transpose built once per solve,
+//! so it streams sequentially instead of striding down columns, and
+//! under the `simd` feature the gemv advances four rows in lockstep.
+//! The scaling division runs through the elementwise [`KernelSet::
+//! div_into`] kernel (pure IEEE divides; the [`KV_EPSILON_FLOOR`] guard
+//! is applied to the output afterwards), and plan materialization runs
+//! on `mul_into`/`scale_into`/`dot`/`sum`/`axpy`. The scalar
+//! transcendental — the `exp` building the Gibbs kernel — stays scalar,
+//! untouched by dispatch. Row updates within a half-pass are
+//! independent and every float op goes through the bitwise-pinned
+//! kernel table, which makes the parallel path ([`par_sinkhorn`])
+//! trivially bitwise-identical to the serial one *and* the dispatched
+//! solve bitwise-identical to [`par_sinkhorn_pinned_fused`]: the same
+//! kernel over the same row produces the same bits no matter which
+//! worker — or instruction set — computes it, and `max_delta` is an
+//! order-insensitive max.
 
 use crate::distribution::Discrete;
-use crate::kernel::dot;
+use crate::kernel::{KernelSet, DISPATCH_KERNELS, FUSED_KERNELS};
 use fairbridge_obs::Telemetry;
 use fairbridge_tabular::par::{ordered_parallel_map, size_aware_workers};
+use fairbridge_tabular::tune::tuned_min_units;
 
 /// Convergence tolerance on the scaling-vector max-delta: once an
 /// iteration moves no coordinate of `u` or `v` by more than this, the
@@ -41,14 +52,16 @@ pub const KV_EPSILON_FLOOR: f64 = 1e-300;
 /// only balances fan-out overhead, never results.
 const ROW_CHUNK: usize = 64;
 
-/// Work-unit floor per half-pass worker, where one unit is one kernel
-/// cell (`n × row_len` fused-dot elements per half-pass). Calibrated
-/// from `BENCH_kernels.json`: `sinkhorn_par8` (1024 × 1024 ≈ 1M units
-/// per half-pass) lost ~8% to the fused serial solve because each
-/// half-pass re-spawns the pool, so the fan-out must amortize a spawn
-/// per iteration, not per solve. 2M units/worker keeps the benchmark
-/// size inline while a 4096-point support (16M units) still fans out.
-const HALF_PASS_MIN_UNITS_PER_WORKER: usize = 1 << 21;
+/// Fallback work-unit floor per half-pass worker, where one unit is one
+/// kernel cell (`n × row_len` fused-dot elements per half-pass). The
+/// conservative default when no `tune_profile.json` is present (key
+/// `sinkhorn.halfpass.min_units_per_worker`): `sinkhorn_par8`
+/// (1024 × 1024 ≈ 1M units per half-pass) lost ~8% to the fused serial
+/// solve because each half-pass re-spawns the pool, so the fan-out must
+/// amortize a spawn per iteration, not per solve. 2M units/worker keeps
+/// the benchmark size inline while a 4096-point support (16M units)
+/// still fans out.
+pub const HALF_PASS_MIN_UNITS_PER_WORKER: usize = 1 << 21;
 
 /// The result of a Sinkhorn solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +118,55 @@ pub fn par_sinkhorn_observed(
     workers: usize,
     telemetry: &Telemetry,
 ) -> Result<SinkhornResult, String> {
+    solve(
+        p,
+        q,
+        cost,
+        epsilon,
+        max_iters,
+        workers,
+        telemetry,
+        DISPATCH_KERNELS,
+    )
+}
+
+/// [`par_sinkhorn`] pinned to the fused-scalar kernel references,
+/// bypassing SIMD dispatch entirely. The bitwise reference arm: the
+/// dispatched solve must reproduce this result bit for bit (asserted by
+/// `tests/prop_simd.rs` at 1/2/8 workers) and `bench_kernels` measures
+/// the dispatched solve against it as `sinkhorn_simd` vs
+/// `sinkhorn_fused`.
+pub fn par_sinkhorn_pinned_fused(
+    p: &Discrete,
+    q: &Discrete,
+    cost: &[f64],
+    epsilon: f64,
+    max_iters: usize,
+    workers: usize,
+) -> Result<SinkhornResult, String> {
+    solve(
+        p,
+        q,
+        cost,
+        epsilon,
+        max_iters,
+        workers,
+        &Telemetry::off(),
+        FUSED_KERNELS,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve(
+    p: &Discrete,
+    q: &Discrete,
+    cost: &[f64],
+    epsilon: f64,
+    max_iters: usize,
+    workers: usize,
+    telemetry: &Telemetry,
+    ops: KernelSet,
+) -> Result<SinkhornResult, String> {
     let (n, m) = (p.k(), q.k());
     if cost.len() != n * m {
         return Err(format!("cost matrix must be {n}x{m}"));
@@ -116,28 +178,70 @@ pub fn par_sinkhorn_observed(
         return Err("max_iters must be positive".to_owned());
     }
     let _span = telemetry.span("sinkhorn.solve");
+    // Calibrated dispatch floor, resolved once per solve (not per
+    // half-pass): profile lookup off the iteration path.
+    let min_units = tuned_min_units(
+        "sinkhorn.halfpass.min_units_per_worker",
+        HALF_PASS_MIN_UNITS_PER_WORKER,
+    );
 
-    // Gibbs kernel K = exp(-C/eps), plus its packed transpose so the
-    // `Kᵀu` half-pass streams rows sequentially instead of striding
-    // down columns of `kernel` with stride `m`.
+    // Gibbs kernel K = exp(-C/eps) — the one transcendental, kept
+    // scalar on every path — plus its packed transpose so the `Kᵀu`
+    // half-pass streams rows sequentially instead of striding down
+    // columns of `kernel` with stride `m`.
     let kernel: Vec<f64> = cost.iter().map(|&c| (-c / epsilon).exp()).collect();
+    // Tiled transpose: TILE×TILE blocks keep both the source rows and
+    // the destination rows cache-resident while a block is in flight,
+    // instead of paying one cold line per element on the strided side.
+    // Pure data movement — bit-for-bit the same packed transpose.
+    const TILE: usize = 32;
     let mut kernel_t = vec![0.0; n * m];
-    for i in 0..n {
-        for j in 0..m {
-            kernel_t[j * n + i] = kernel[i * m + j];
+    for i0 in (0..n).step_by(TILE) {
+        for j0 in (0..m).step_by(TILE) {
+            for i in i0..(i0 + TILE).min(n) {
+                for j in j0..(j0 + TILE).min(m) {
+                    kernel_t[j * n + i] = kernel[i * m + j];
+                }
+            }
         }
     }
 
     let mut u = vec![1.0; n];
     let mut v = vec![1.0; m];
+    // Hoisted half-pass scratch: row masses (K·other) and the raw
+    // elementwise quotients, sized for the larger side.
+    let mut mass = vec![0.0; n.max(m)];
+    let mut quot = vec![0.0; n.max(m)];
     let mut iterations = 0;
     let mut converged = false;
     for it in 0..max_iters {
         iterations = it + 1;
         // u = p ./ (K v)
-        let du = half_pass(&kernel, m, &v, |i| p.p(i), &mut u, workers);
+        let du = half_pass(
+            &kernel,
+            m,
+            &v,
+            p.probs(),
+            &mut u,
+            &mut mass,
+            &mut quot,
+            workers,
+            min_units,
+            ops,
+        );
         // v = q ./ (Kᵀ u)
-        let dv = half_pass(&kernel_t, n, &u, |j| q.p(j), &mut v, workers);
+        let dv = half_pass(
+            &kernel_t,
+            n,
+            &u,
+            q.probs(),
+            &mut v,
+            &mut mass,
+            &mut quot,
+            workers,
+            min_units,
+            ops,
+        );
         if du.max(dv) < CONVERGENCE_TOL {
             converged = true;
             break;
@@ -147,24 +251,25 @@ pub fn par_sinkhorn_observed(
         .counter("sinkhorn.iterations")
         .add(iterations as u64);
 
-    // Plan and cost — materialized once, after the early exit.
+    // Plan, cost and marginals — materialized once, after the early
+    // exit, one row at a time on the elementwise kernels: the plan row
+    // is (K row ⊙ v) · uᵢ, its transport cost one dot against the cost
+    // row, its row marginal one sum, and the column marginals
+    // accumulate via axpy — per-slot left-to-right in row order, the
+    // same addition order as a scalar column walk.
     let mut plan = vec![0.0; n * m];
     let mut total_cost = 0.0;
-    for i in 0..n {
-        for j in 0..m {
-            let pij = u[i] * kernel[i * m + j] * v[j];
-            plan[i * m + j] = pij;
-            total_cost += pij * cost[i * m + j];
-        }
-    }
-    // Marginal error.
+    let mut col_sums = vec![0.0; m];
     let mut err = 0.0;
     for i in 0..n {
-        let row: f64 = (0..m).map(|j| plan[i * m + j]).sum();
-        err += (row - p.p(i)).abs();
+        let plan_row = &mut plan[i * m..(i + 1) * m];
+        (ops.mul_into)(&kernel[i * m..(i + 1) * m], &v, plan_row);
+        (ops.scale_into)(u[i], plan_row);
+        total_cost += (ops.dot)(plan_row, &cost[i * m..(i + 1) * m]);
+        err += ((ops.sum)(plan_row) - p.p(i)).abs();
+        (ops.axpy)(1.0, plan_row, &mut col_sums);
     }
-    for j in 0..m {
-        let col: f64 = (0..n).map(|i| plan[i * m + j]).sum();
+    for (j, &col) in col_sums.iter().enumerate() {
         err += (col - q.p(j)).abs();
     }
     Ok(SinkhornResult {
@@ -176,41 +281,49 @@ pub fn par_sinkhorn_observed(
     })
 }
 
-/// One scaling half-pass: `scale[i] = target(i) / (kernel.row(i) ·
-/// other)` for every row, returning the max coordinate delta. Rows whose
-/// mass falls below [`KV_EPSILON_FLOOR`] are unreachable and scale to
-/// zero. Each row is one fused dot over the whole row, so any partition
-/// of rows across workers produces identical bits; `workers <= 1` runs
-/// in place with no allocation.
+/// One scaling half-pass: `scale[i] = target[i] / (kernel.row(i) ·
+/// other)` for every row, returning the max coordinate delta. Rows
+/// whose mass falls below [`KV_EPSILON_FLOOR`] are unreachable and
+/// scale to zero.
+///
+/// The row masses for a block of rows are one `gemv` over that block
+/// (under AVX2 dispatch, four rows advance in lockstep — each row's own
+/// arithmetic and bits unchanged), and the scaling division is one
+/// elementwise `div_into` whose output is then floored; the quotient
+/// computed for a floored row is discarded unobserved, so the guard
+/// costs no bitwise difference against a branch-per-row scalar loop.
+/// Any partition of rows across workers produces identical bits;
+/// `workers <= 1` runs on the caller's hoisted scratch with no
+/// allocation.
+#[allow(clippy::too_many_arguments)]
 fn half_pass(
     kernel: &[f64],
     row_len: usize,
     other: &[f64],
-    target: impl Fn(usize) -> f64 + Sync,
+    target: &[f64],
     scale: &mut [f64],
+    mass: &mut [f64],
+    quot: &mut [f64],
     workers: usize,
+    min_units: usize,
+    ops: KernelSet,
 ) -> f64 {
     let n = scale.len();
-    let update = |i: usize, cur: f64| {
-        let mass = dot(&kernel[i * row_len..(i + 1) * row_len], other);
-        let new = if mass > KV_EPSILON_FLOOR {
-            target(i) / mass
-        } else {
-            0.0
-        };
-        ((new - cur).abs(), new)
-    };
     let workers = size_aware_workers(
         workers,
         n.div_ceil(ROW_CHUNK),
         n.saturating_mul(row_len),
-        HALF_PASS_MIN_UNITS_PER_WORKER,
+        min_units,
     );
     if workers <= 1 || n <= ROW_CHUNK {
+        let mass = &mut mass[..n];
+        let quot = &mut quot[..n];
+        (ops.gemv)(kernel, row_len, other, mass);
+        (ops.div_into)(target, mass, quot);
         let mut max_delta = 0.0f64;
-        for (i, s) in scale.iter_mut().enumerate() {
-            let (delta, new) = update(i, *s);
-            max_delta = max_delta.max(delta);
+        for ((s, &m), &q) in scale.iter_mut().zip(mass.iter()).zip(quot.iter()) {
+            let new = if m > KV_EPSILON_FLOOR { q } else { 0.0 };
+            max_delta = max_delta.max((new - *s).abs());
             *s = new;
         }
         return max_delta;
@@ -220,12 +333,25 @@ fn half_pass(
     let chunks = ordered_parallel_map(n_chunks, workers, |c| {
         let start = c * ROW_CHUNK;
         let end = (start + ROW_CHUNK).min(n);
-        let mut out = Vec::with_capacity(end - start);
+        let len = end - start;
+        let mut mass_c = vec![0.0; len];
+        let mut out = vec![0.0; len];
+        (ops.gemv)(
+            &kernel[start * row_len..end * row_len],
+            row_len,
+            other,
+            &mut mass_c,
+        );
+        (ops.div_into)(&target[start..end], &mass_c, &mut out);
         let mut max_delta = 0.0f64;
-        for (i, &cur) in scale_ref[start..end].iter().enumerate() {
-            let (delta, new) = update(start + i, cur);
-            max_delta = max_delta.max(delta);
-            out.push(new);
+        for (k, o) in out.iter_mut().enumerate() {
+            let new = if mass_c[k] > KV_EPSILON_FLOOR {
+                *o
+            } else {
+                0.0
+            };
+            max_delta = max_delta.max((new - scale_ref[start + k]).abs());
+            *o = new;
         }
         (out, max_delta)
     });
@@ -381,6 +507,47 @@ mod tests {
             );
             for (a, b) in serial.plan.iter().zip(&par.plan) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn half_pass_fanout_is_bitwise_identical_to_serial() {
+        // Forces the parallel chunked path (work-unit floor of 1, so
+        // size_aware_workers cannot clamp it away) and pins it bitwise
+        // against the serial hoisted-scratch path, for both kernel
+        // tables. 150 rows → three ROW_CHUNK chunks, ragged tail.
+        let (n, m) = (150, 37);
+        let kernel: Vec<f64> = (0..n * m)
+            .map(|i| (-(((i * 13) % 101) as f64) * 0.07).exp())
+            .collect();
+        let other: Vec<f64> = (0..m).map(|j| 0.2 + ((j * 7) % 11) as f64 * 0.1).collect();
+        let target: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        for ops in [DISPATCH_KERNELS, FUSED_KERNELS] {
+            let mut mass = vec![0.0; n];
+            let mut quot = vec![0.0; n];
+            let mut serial = vec![1.0; n];
+            let d1 = half_pass(
+                &kernel,
+                m,
+                &other,
+                &target,
+                &mut serial,
+                &mut mass,
+                &mut quot,
+                1,
+                1,
+                ops,
+            );
+            for workers in [2, 8] {
+                let mut par = vec![1.0; n];
+                let dw = half_pass(
+                    &kernel, m, &other, &target, &mut par, &mut mass, &mut quot, workers, 1, ops,
+                );
+                assert_eq!(d1.to_bits(), dw.to_bits(), "{workers} workers delta");
+                for (a, b) in serial.iter().zip(&par) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{workers} workers");
+                }
             }
         }
     }

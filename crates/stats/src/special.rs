@@ -95,19 +95,26 @@ pub fn normal_quantile(p: f64) -> f64 {
     ];
     const P_LOW: f64 = 0.024_25;
 
+    // Destructured once so the Horner ladders below are plain named
+    // loads — no indexing, nothing that can panic.
+    let [a0, a1, a2, a3, a4, a5] = A;
+    let [b0, b1, b2, b3, b4] = B;
+    let [c0, c1, c2, c3, c4, c5] = C;
+    let [d0, d1, d2, d3] = D;
+
     let x = if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        (((((c0 * q + c1) * q + c2) * q + c3) * q + c4) * q + c5)
+            / ((((d0 * q + d1) * q + d2) * q + d3) * q + 1.0)
     } else if p <= 1.0 - P_LOW {
         let q = p - 0.5;
         let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        (((((a0 * r + a1) * r + a2) * r + a3) * r + a4) * r + a5) * q
+            / (((((b0 * r + b1) * r + b2) * r + b3) * r + b4) * r + 1.0)
     } else {
         let q = (-2.0 * (1.0 - p).ln()).sqrt();
-        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        -(((((c0 * q + c1) * q + c2) * q + c3) * q + c4) * q + c5)
+            / ((((d0 * q + d1) * q + d2) * q + d3) * q + 1.0)
     };
     // One Newton polish: x -= (Φ(x) − p) / φ(x).
     let e = normal_cdf(x) - p;
@@ -137,7 +144,8 @@ pub fn ln_gamma(x: f64) -> f64 {
         return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
-    let mut a = COEF[0];
+    let [coef0, ..] = COEF;
+    let mut a = coef0;
     let t = x + G + 0.5;
     for (i, &c) in COEF.iter().enumerate().skip(1) {
         a += c / (x + i as f64);

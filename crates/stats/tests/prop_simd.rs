@@ -21,10 +21,13 @@
 //! compiles; the contract pins every representable value and NaN-ness,
 //! not the 51 free payload bits.
 
+use fairbridge_stats::distribution::Discrete;
 use fairbridge_stats::kernel::{
-    axpy, axpy_fused, dot, dot_fused, gemv, gemv_fused, simd_active, sum, sum_fused,
+    axpy, axpy_fused, div_into, div_into_fused, dot, dot_fused, gemv, gemv_fused, mul_into,
+    mul_into_fused, scale_into, scale_into_fused, simd_active, sum, sum_fused,
 };
 use fairbridge_stats::rng::{Rng, StdRng};
+use fairbridge_stats::sinkhorn::{par_sinkhorn, par_sinkhorn_pinned_fused};
 
 /// Draws one f64 from a mixture that covers ordinary magnitudes and
 /// every adversarial class: NaN (quiet, with varied payload bits), ±∞,
@@ -149,6 +152,120 @@ fn dispatch_replays_bitwise_within_a_process() {
     let first = dot(&a, &b);
     for _ in 0..10 {
         assert_eq!(dot(&a, &b).to_bits(), first.to_bits());
+    }
+}
+
+#[test]
+fn mul_into_dispatch_is_bitwise_fused_on_adversarial_vectors() {
+    let mut rng = StdRng::seed_from_u64(0x51AD_0006);
+    for case in 0..200 {
+        let len = rng.gen_range(0..300usize);
+        let a = adversarial_vec(&mut rng, len);
+        let b = adversarial_vec(&mut rng, len);
+        let mut out_d = vec![0.0; len];
+        let mut out_f = vec![0.0; len];
+        mul_into(&a, &b, &mut out_d);
+        mul_into_fused(&a, &b, &mut out_f);
+        for (i, (&p, &q)) in out_d.iter().zip(&out_f).enumerate() {
+            assert!(
+                same_bits_or_both_nan(p, q),
+                "case {case} len {len} slot {i}: {p:?} vs {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn div_into_dispatch_is_bitwise_fused_on_adversarial_vectors() {
+    // Division is the adversarial-corner magnet: 0/0 and ∞/∞ make NaN,
+    // finite/0 makes signed ∞, subnormal/huge underflows to ±0. The
+    // dispatcher must hand back the same bits for all of them — the
+    // epsilon-floor policy lives in the *callers* (sinkhorn), not here.
+    let mut rng = StdRng::seed_from_u64(0x51AD_0007);
+    for case in 0..200 {
+        let len = rng.gen_range(0..300usize);
+        let a = adversarial_vec(&mut rng, len);
+        let b = adversarial_vec(&mut rng, len);
+        let mut out_d = vec![0.0; len];
+        let mut out_f = vec![0.0; len];
+        div_into(&a, &b, &mut out_d);
+        div_into_fused(&a, &b, &mut out_f);
+        for (i, (&p, &q)) in out_d.iter().zip(&out_f).enumerate() {
+            assert!(
+                same_bits_or_both_nan(p, q),
+                "case {case} len {len} slot {i}: {p:?} vs {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scale_into_dispatch_is_bitwise_fused_on_adversarial_vectors() {
+    let mut rng = StdRng::seed_from_u64(0x51AD_0008);
+    for case in 0..200 {
+        let len = rng.gen_range(0..300usize);
+        let alpha = adversarial(&mut rng);
+        let a = adversarial_vec(&mut rng, len);
+        let mut out_d = a.clone();
+        let mut out_f = a.clone();
+        scale_into(alpha, &mut out_d);
+        scale_into_fused(alpha, &mut out_f);
+        for (i, (&p, &q)) in out_d.iter().zip(&out_f).enumerate() {
+            assert!(
+                same_bits_or_both_nan(p, q),
+                "case {case} len {len} slot {i}: {p:?} vs {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_sinkhorn_dispatch_is_bitwise_identical_to_pinned_fused() {
+    // End-to-end pin for the mitigation hot path: the whole Sinkhorn
+    // solve — scalar-exp Gibbs kernel, u/v scaling through
+    // gemv/div_into/mul_into, plan materialization, marginal-error
+    // reduction — must produce bitwise-identical transport plans and
+    // costs whether kernels are dispatched (possibly AVX2) or pinned to
+    // the fused scalar reference, at every worker count.
+    let mut rng = StdRng::seed_from_u64(0x51AD_0009);
+    let n = 67;
+    let m = 41;
+    let p_raw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let q_raw: Vec<f64> = (0..m).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let p_sum: f64 = p_raw.iter().sum();
+    let q_sum: f64 = q_raw.iter().sum();
+    let p = Discrete::new(p_raw.iter().map(|v| v / p_sum).collect()).unwrap();
+    let q = Discrete::new(q_raw.iter().map(|v| v / q_sum).collect()).unwrap();
+    let cost: Vec<f64> = (0..n * m)
+        .map(|ij| {
+            let (i, j) = (ij / m, ij % m);
+            ((i as f64 / n as f64) - (j as f64 / m as f64)).abs()
+        })
+        .collect();
+
+    let reference = par_sinkhorn_pinned_fused(&p, &q, &cost, 0.08, 60, 1).unwrap();
+    for workers in [1usize, 2, 8] {
+        let dispatched = par_sinkhorn(&p, &q, &cost, 0.08, 60, workers).unwrap();
+        let fused = par_sinkhorn_pinned_fused(&p, &q, &cost, 0.08, 60, workers).unwrap();
+        for (label, got) in [("dispatched", &dispatched), ("pinned-fused", &fused)] {
+            assert_eq!(
+                got.cost.to_bits(),
+                reference.cost.to_bits(),
+                "{label} workers={workers}: transport cost bits"
+            );
+            assert_eq!(
+                got.iterations, reference.iterations,
+                "{label} workers={workers}: iteration count"
+            );
+            assert_eq!(got.plan.len(), reference.plan.len());
+            for (k, (a, b)) in got.plan.iter().zip(&reference.plan).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{label} workers={workers}: plan slot {k}"
+                );
+            }
+        }
     }
 }
 

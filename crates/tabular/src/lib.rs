@@ -50,6 +50,7 @@ pub mod io;
 pub mod par;
 pub mod profile;
 pub mod schema;
+pub mod tune;
 pub mod value;
 
 pub use bitset::RowMask;

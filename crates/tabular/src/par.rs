@@ -12,11 +12,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread::JoinHandle;
 
-/// Default work-unit threshold for [`size_aware_workers`]: one extra
+/// Fallback work-unit threshold for [`size_aware_workers`]: one extra
 /// worker must bring at least this many *units* (≈ one cheap arithmetic
 /// pass over one row/element each) before fan-out beats running inline.
+/// The conservative default the engine scan uses when no
+/// `tune_profile.json` is present (key `par.min_units_per_worker`; see
+/// [`crate::tune`]).
 ///
-/// Calibrated against `BENCH_kernels.json` / `BENCH_subgroup.json`: the
+/// Sized against `BENCH_kernels.json` / `BENCH_subgroup.json`: the
 /// `bootstrap_par8` and `bitset_parallel` rows showed 8-worker fan-out
 /// *losing* to fused serial at benchmark sizes (≤ a few thousand rows),
 /// while the ≥10⁵-element gemv/sinkhorn rows showed it winning. Spawn +

@@ -1,0 +1,242 @@
+//! Calibrated dispatch thresholds: the loader side of `fb-tune`.
+//!
+//! The size-aware serial/parallel dispatch in [`crate::par`] needs one
+//! number per call site: how many work units an extra worker must bring
+//! before fan-out beats running inline. Those numbers used to be
+//! hand-guessed constants; they are now a *threshold table* that the
+//! `fb-tune` binary (in `crates/bench`) calibrates by measuring this
+//! machine's actual spawn overhead and per-unit costs, written to
+//! `tune_profile.json`. This module is the read side: a deliberately
+//! minimal parser for the flat JSON object `fb-tune` emits, a
+//! process-wide cached profile, and [`tuned_min_units`] — the lookup
+//! every dispatch site calls with its key and its conservative
+//! compiled-in default.
+//!
+//! Failure posture: a missing, unreadable or malformed profile never
+//! degrades correctness or panics — every call site falls back to its
+//! default, which is the pre-calibration constant. Calibration can only
+//! *move* thresholds, never break dispatch. The profile is resolved
+//! once per process (first from the `FB_TUNE_PROFILE` environment
+//! variable, then by searching for `tune_profile.json` upward from the
+//! working directory, mirroring how the bench harness finds its
+//! baselines) and cached, so lookups on hot paths cost a vector scan of
+//! a handful of entries.
+//!
+//! The parser accepts exactly the shape `fb-tune` writes: one flat JSON
+//! object whose values are numbers (thresholds, probe measurements) or
+//! strings (metadata such as the CPU model — retained but not exposed
+//! as thresholds). It is not a general JSON parser and rejects nesting.
+
+use std::sync::OnceLock;
+
+/// A parsed threshold table: ordered `(key, value)` pairs from one flat
+/// JSON object. Kept as a vector (not a hash map) so iteration order —
+/// and therefore any diagnostic output — matches the file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TuneProfile {
+    entries: Vec<(String, f64)>,
+}
+
+impl TuneProfile {
+    /// Parses the flat JSON object `fb-tune` emits. Numeric values
+    /// become entries; string values (metadata like the CPU model) are
+    /// accepted and skipped; anything nested is an error.
+    pub fn parse(text: &str) -> Result<TuneProfile, String> {
+        let s = text.trim();
+        let body = s
+            .strip_prefix('{')
+            .and_then(|r| r.trim_end().strip_suffix('}'))
+            .ok_or("tune profile: expected one flat JSON object")?;
+        let mut entries = Vec::new();
+        for pair in split_top_level(body) {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let rest = pair
+                .strip_prefix('"')
+                .ok_or_else(|| format!("tune profile: expected a quoted key in `{pair}`"))?;
+            let (key, rest) = rest
+                .split_once('"')
+                .ok_or_else(|| format!("tune profile: unterminated key in `{pair}`"))?;
+            let value = rest
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("tune profile: missing `:` after key `{key}`"))?
+                .trim();
+            if value.starts_with('"') {
+                // String metadata (e.g. "cpu"): retained in the file for
+                // humans, not a threshold.
+                continue;
+            }
+            if value.starts_with('{') || value.starts_with('[') {
+                return Err(format!(
+                    "tune profile: nested value for key `{key}` (the table is flat)"
+                ));
+            }
+            let num: f64 = value
+                .parse()
+                .map_err(|e| format!("tune profile: bad number for key `{key}`: {e}"))?;
+            entries.push((key.to_owned(), num));
+        }
+        Ok(TuneProfile { entries })
+    }
+
+    /// The raw numeric value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// The value for `key` as a work-unit threshold: present, finite
+    /// and at least 1. Anything else is treated as absent so a
+    /// corrupted entry can never produce a degenerate dispatch.
+    pub fn min_units(&self, key: &str) -> Option<usize> {
+        match self.get(key) {
+            Some(v) if v.is_finite() && v >= 1.0 && v < usize::MAX as f64 => {
+                Some(v.round() as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over the numeric entries in file order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Splits the body of a flat JSON object on top-level commas,
+/// respecting string literals (so metadata values may contain commas).
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == ',' {
+            out.push(&body[start..i]);
+            start = i + 1;
+        }
+    }
+    if !body[start..].trim().is_empty() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+/// The process-wide profile: resolved once, `None` when no usable
+/// profile exists (the universal fallback-to-defaults state).
+fn profile() -> Option<&'static TuneProfile> {
+    static PROFILE: OnceLock<Option<TuneProfile>> = OnceLock::new();
+    PROFILE.get_or_init(load_profile).as_ref()
+}
+
+/// Resolves and parses the profile: `FB_TUNE_PROFILE` (explicit path)
+/// first, then `tune_profile.json` searched upward from the working
+/// directory. Any failure — absent file, I/O error, parse error —
+/// yields `None`: calibration is an optimization, never a dependency.
+fn load_profile() -> Option<TuneProfile> {
+    if let Ok(path) = std::env::var("FB_TUNE_PROFILE") {
+        if !path.is_empty() {
+            return std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| TuneProfile::parse(&t).ok());
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join("tune_profile.json");
+        if candidate.is_file() {
+            return std::fs::read_to_string(&candidate)
+                .ok()
+                .and_then(|t| TuneProfile::parse(&t).ok());
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The calibrated work-unit threshold for `key`, or `default` (the
+/// conservative compiled-in constant) when no profile is loaded or the
+/// profile has no usable entry for this key. This is the one function
+/// dispatch call sites use; see [`crate::par::size_aware_workers`] for
+/// how the threshold gates fan-out.
+pub fn tuned_min_units(key: &str, default: usize) -> usize {
+    match profile() {
+        Some(p) => p.min_units(key).unwrap_or(default),
+        None => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_fb_tune_shape() {
+        let text = r#"{
+            "version": 1,
+            "cpu": "Some CPU, with a comma",
+            "spawn_overhead_ns": 61234.5,
+            "par.min_units_per_worker": 65536,
+            "bootstrap.min_units_per_worker": 524288
+        }"#;
+        let p = TuneProfile::parse(text).unwrap();
+        assert_eq!(p.get("version"), Some(1.0));
+        assert_eq!(p.get("cpu"), None, "string metadata is not a threshold");
+        assert_eq!(p.min_units("par.min_units_per_worker"), Some(65536));
+        assert_eq!(p.min_units("bootstrap.min_units_per_worker"), Some(524288));
+        assert_eq!(p.min_units("absent.key"), None);
+        assert_eq!(p.entries().count(), 4);
+    }
+
+    #[test]
+    fn rejects_non_objects_and_nesting() {
+        assert!(TuneProfile::parse("42").is_err());
+        assert!(TuneProfile::parse(r#"{"a": {"b": 1}}"#).is_err());
+        assert!(TuneProfile::parse(r#"{"a": [1, 2]}"#).is_err());
+        assert!(TuneProfile::parse(r#"{"a": nope}"#).is_err());
+        assert!(TuneProfile::parse(r#"{nokey: 1}"#).is_err());
+    }
+
+    #[test]
+    fn degenerate_thresholds_are_treated_as_absent() {
+        let p =
+            TuneProfile::parse(r#"{"zero": 0, "neg": -5, "nan": 1e999, "frac": 1.6, "ok": 1024}"#)
+                .unwrap();
+        assert_eq!(p.min_units("zero"), None);
+        assert_eq!(p.min_units("neg"), None);
+        assert_eq!(p.min_units("nan"), None, "inf overflow literal");
+        assert_eq!(p.min_units("frac"), Some(2), "rounded to nearest unit");
+        assert_eq!(p.min_units("ok"), Some(1024));
+    }
+
+    #[test]
+    fn empty_object_parses_clean() {
+        let p = TuneProfile::parse("{}").unwrap();
+        assert_eq!(p.entries().count(), 0);
+        assert_eq!(p.min_units("anything"), None);
+    }
+
+    #[test]
+    fn unknown_key_lookup_falls_back_to_the_default() {
+        // Whatever profile this process resolved (usually none in the
+        // test environment), a key nothing writes must yield the
+        // caller's conservative default.
+        assert_eq!(
+            tuned_min_units("test.key.that.no.profile.contains", 12345),
+            12345
+        );
+    }
+}
