@@ -289,7 +289,7 @@ fn write_json_record(record: &BenchRecord) {
     // Telemetry must never fail the benchmark: IO errors are dropped.
     let _ = out
         .lock()
-        .expect("bench json lock")
+        .unwrap_or_else(|e| e.into_inner())
         .write_all(line.as_bytes());
 }
 

@@ -237,9 +237,15 @@ impl PartitionCache {
                 .map(|s| (*s).to_owned())
                 .collect::<Vec<_>>(),
         );
+        // Stamps only need to be unique and monotone per-counter;
+        // cross-thread LRU ordering is settled under the entries mutex,
+        // never by the atomic itself.
+        // ORDER: Relaxed — uniqueness only, no memory is published.
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(entry) = self.entries().get_mut(&key) {
             entry.last_used = stamp;
+            // Readers only ever see this via a point-in-time snapshot.
+            // ORDER: Relaxed — monotonic stat counter.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(CacheLookup {
                 partition: Arc::clone(&entry.partition),
@@ -250,6 +256,7 @@ impl PartitionCache {
         // Build outside the lock: partition construction is the
         // expensive part and must not serialize other lookups.
         let built = Arc::new(Partition::build(ds, protected)?);
+        // ORDER: Relaxed — stat counter, no data is published through it.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries();
         // A racing builder may have inserted meanwhile; keep the first.
@@ -272,6 +279,8 @@ impl PartitionCache {
             match oldest {
                 Some(k) => {
                     entries.remove(&k);
+                    // The entries mutex already orders the eviction.
+                    // ORDER: Relaxed — stat counter.
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
@@ -284,6 +293,8 @@ impl PartitionCache {
                 last_used: stamp,
             },
         );
+        // The insert itself was ordered by the entries mutex above.
+        // ORDER: Relaxed — stat counter.
         self.inserts.fetch_add(1, Ordering::Relaxed);
         Ok(CacheLookup {
             partition: built,
@@ -304,11 +315,13 @@ impl PartitionCache {
 
     /// A point-in-time stats snapshot.
     pub fn stats(&self) -> CacheStats {
+        // A stats snapshot is advisory; the four counters need no
+        // mutual consistency, only per-read atomicity.
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed), // ORDER: Relaxed — advisory stat
+            misses: self.misses.load(Ordering::Relaxed), // ORDER: Relaxed — advisory stat
+            inserts: self.inserts.load(Ordering::Relaxed), // ORDER: Relaxed — advisory stat
+            evictions: self.evictions.load(Ordering::Relaxed), // ORDER: Relaxed — advisory stat
             len: self.len(),
             capacity: self.capacity,
         }

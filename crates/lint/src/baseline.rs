@@ -10,6 +10,13 @@
 //!
 //! The file is ordinary JSON with sorted keys, so diffs in review show
 //! exactly which file/rule cell moved.
+//!
+//! Schema v2 (this version) differs from v1 in two enforced ways: the
+//! `version` field is required and must equal 2 (a v1 file is rejected
+//! with a regeneration hint, so a stale or tampered-schema baseline
+//! cannot silently load), and C-family rules (C1/C2/C3) may not appear
+//! in `counts` at all — concurrency hazards carry zero grandfathered
+//! debt by policy ([`Rule::baselineable`]).
 
 use crate::rules::{Finding, Rule, ALL_RULES};
 use fairbridge_obs::json::{self, Value};
@@ -65,7 +72,7 @@ impl Baseline {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"version\": 2,\n");
         out.push_str(&format!("  \"total\": {},\n", self.total()));
         out.push_str("  \"counts\": {");
         let mut first_file = true;
@@ -96,6 +103,16 @@ impl Baseline {
     /// returning an empty baseline.
     pub fn from_json(text: &str) -> Result<Baseline, String> {
         let value = json::parse(text).map_err(|e| format!("baseline: {e}"))?;
+        let version = value
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| "baseline: missing numeric `version`".to_owned())?;
+        if version != 2 {
+            return Err(format!(
+                "baseline: schema version {version} (expected 2) — regenerate with \
+                 `fb-lint --update-baseline`"
+            ));
+        }
         let declared_total = value
             .get("total")
             .and_then(Value::as_u64)
@@ -112,6 +129,12 @@ impl Baseline {
             for (rule_id, n) in rules {
                 let rule = Rule::parse(rule_id)
                     .ok_or_else(|| format!("baseline: unknown rule `{rule_id}`"))?;
+                if !rule.baselineable() {
+                    return Err(format!(
+                        "baseline: rule `{rule_id}` (in `{file}`) cannot be grandfathered — \
+                         C-family debt must be zero; fix the findings instead"
+                    ));
+                }
                 let n = n
                     .as_u64()
                     .ok_or_else(|| format!("baseline: `{file}`/`{rule_id}` is not a count"))?;
@@ -195,7 +218,14 @@ pub fn diff(findings: &[Finding], baseline: &Baseline) -> Diff {
 }
 
 /// Renders a full machine-readable report: findings, per-rule counts,
-/// baseline comparison. Stable ordering throughout.
+/// per-family counts, baseline comparison. Stable (bytewise) ordering
+/// throughout.
+///
+/// Schema v2: a leading `"version":2`, then every v1 field in its v1
+/// order (`files_scanned`, `total`, `baseline_total`, `new`, `fixed`,
+/// `suppressed`, `rules`, `findings` — so v1 consumers that look fields
+/// up by name keep working), with one addition: a `families` object
+/// (per-family totals, keys sorted) between `rules` and `findings`.
 pub fn report_json(
     files_scanned: usize,
     findings: &[Finding],
@@ -207,6 +237,7 @@ pub fn report_json(
     let rule_totals = current.rule_totals();
     let mut out = String::new();
     out.push('{');
+    out.push_str("\"version\":2,");
     out.push_str(&format!("\"files_scanned\":{files_scanned},"));
     out.push_str(&format!("\"total\":{},", findings.len()));
     out.push_str(&format!("\"baseline_total\":{},", baseline.total()));
@@ -228,6 +259,20 @@ pub fn report_json(
         first = false;
         let n = rule_totals.get(rule).copied().unwrap_or(0);
         out.push_str(&format!("\"{}\":{n}", rule.id()));
+    }
+    out.push_str("},\"families\":{");
+    let mut family_totals: BTreeMap<char, usize> = BTreeMap::new();
+    for rule in ALL_RULES {
+        *family_totals.entry(rule.family()).or_insert(0) +=
+            rule_totals.get(rule).copied().unwrap_or(0);
+    }
+    let mut first = true;
+    for (family, n) in &family_totals {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{family}\":{n}"));
     }
     out.push_str("},\"findings\":[");
     let mut sorted: Vec<&Finding> = findings.iter().collect();

@@ -15,11 +15,23 @@
 //! [`Rule::D1`]–[`Rule::D4`]), plus the panic-site ratchet ([`Rule::P1`])
 //! and `// SAFETY:` discipline ([`Rule::U1`]).
 //!
-//! Existing debt is grandfathered in `lint_baseline.json` and can only
-//! shrink: new violations fail CI, `--update-baseline` refuses to grow
-//! the committed total unless `--allow-growth` is explicit. See
-//! [`baseline`] for the ratchet and [`rules`] for each rule's rationale
-//! (`fb-lint --explain <RULE>` prints it).
+//! Since v2 the pass is also *structural*: a lightweight item/brace-tree
+//! parser ([`parse`]) recovers `fn` items, a conservative name-based
+//! call graph, and lock-guard scopes; on top of it [`locks`] computes
+//! the workspace lock-order graph and the concurrency rules —
+//! [`Rule::C1`] (lock-order cycles, re-acquisition, condvar waits with
+//! a second guard), [`Rule::C2`] (guards held across blocking calls)
+//! and the lexical [`Rule::C3`] (poison-absorbing lock access,
+//! `// ORDER:` justifications on weak atomic orderings). `fb-lint
+//! --locks [--dot]` dumps the graph as a reviewable artifact.
+//!
+//! Existing D/P/U debt is grandfathered in `lint_baseline.json` and can
+//! only shrink: new violations fail CI, `--update-baseline` refuses to
+//! grow the committed total unless `--allow-growth` is explicit. The C
+//! family admits **no** grandfathered debt at all — the baseline schema
+//! rejects C entries and `--update-baseline` refuses to run while any C
+//! finding exists. See [`baseline`] for the ratchet and [`rules`] for
+//! each rule's rationale (`fb-lint --explain <RULE>` prints it).
 //!
 //! ```
 //! use fairbridge_lint::rules::{check_source, Rule};
@@ -37,15 +49,22 @@
 //! [`Rule::D4`]: rules::Rule::D4
 //! [`Rule::P1`]: rules::Rule::P1
 //! [`Rule::U1`]: rules::Rule::U1
+//! [`Rule::C1`]: rules::Rule::C1
+//! [`Rule::C2`]: rules::Rule::C2
+//! [`Rule::C3`]: rules::Rule::C3
 
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod lexer;
+pub mod locks;
+pub mod parse;
 pub mod rules;
 pub mod scan;
 pub mod scope;
 
 pub use baseline::{diff, Baseline, Diff};
+pub use locks::{analyze, LockGraph, LocksReport};
+pub use parse::{parse_file, FileModel, FnModel};
 pub use rules::{check_source, FileReport, Finding, Rule, ALL_RULES};
 pub use scan::{scan_tree, ScanReport};

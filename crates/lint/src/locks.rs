@@ -1,0 +1,966 @@
+//! C-rule analysis: the interprocedural lock-order graph (C1) and
+//! blocking-while-locked detection (C2) over [`crate::parse`] models.
+//!
+//! The analysis replays each non-test function's [`Op`] stream against a
+//! guard stack, recording which locks are held at every acquisition and
+//! call site, then propagates *may-acquire* and *may-block* summaries
+//! along the conservative name-based call graph to a fixpoint:
+//!
+//! * **Lock-order edges.** `A → B` whenever some function acquires `B`
+//!   (directly, or transitively through a call) while holding `A`. A
+//!   cycle in this graph is a potential deadlock: two threads taking the
+//!   participating locks in different orders can each hold one and wait
+//!   forever for the other. C1 flags every cycle, every re-acquisition
+//!   of a lock already held (a self-deadlock with `std::sync::Mutex`),
+//!   and every `Condvar::wait` made while a *second* guard is held (the
+//!   wait releases only the guard it is given — the second lock stays
+//!   held across the park, starving every other thread that needs it).
+//! * **Blocking while locked.** C2 flags a named guard held across a
+//!   potentially-indefinite blocking call (socket/file I/O,
+//!   `JoinHandle::join`, condvar-backed queue operations,
+//!   `thread::sleep`) — directly or through a callee that may block.
+//!   Exemptions: same-statement temporary guards (the
+//!   `x.lock().…` accessor chains the workspace favours) and blocking
+//!   *through the guard itself* (writing via a `MutexGuard<BufWriter>`
+//!   is the point of that mutex).
+//!
+//! Name-based call resolution is deliberately humble: callee names that
+//! collide with common std container/iterator/atomic methods
+//! ([`NO_RESOLVE`]) are never resolved, because binding `conns.len()` to
+//! some workspace type's `len` would fabricate edges. Guard-returning
+//! accessors (`fn lock(&self) -> MutexGuard<…>`) are resolved by name
+//! and treated as acquisitions at the call site. DESIGN §16 catalogues
+//! the over- and under-approximations.
+
+use crate::parse::{FnModel, Op};
+use crate::rules::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Callee names never resolved against the workspace: they shadow
+/// ubiquitous std methods (`len`, `push`, io's `flush`, …) or are
+/// defined by several unrelated workspace types (`snapshot`), so a name
+/// match carries no evidence the call lands in the fn the resolver would
+/// pick. (Kept sorted for readability; membership is a linear scan over
+/// ~90 entries.)
+pub const NO_RESOLVE: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "chain",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "compare_exchange",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "drop",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "fetch_add",
+    "fetch_or",
+    "fetch_sub",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "flush",
+    "fmt",
+    "fold",
+    "for_each",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "keys",
+    "last",
+    "len",
+    "load",
+    "map",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "new",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "position",
+    "push",
+    "read",
+    "remove",
+    "replace",
+    "retain",
+    "rev",
+    "skip",
+    "snapshot",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "splice",
+    "split",
+    "store",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "try_from",
+    "try_into",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "with_capacity",
+    "write",
+    "zip",
+];
+
+/// Where a lock-order edge was observed (first sighting wins; the scan
+/// order is deterministic, so so is the provenance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeOrigin {
+    /// File of the acquisition/call that added the edge.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// `Some(callee)` when the edge came through a call rather than a
+    /// direct acquisition.
+    pub via: Option<String>,
+}
+
+/// The workspace lock-order graph: every lock identity seen, and every
+/// held-at-acquisition edge with its provenance.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Every lock identity acquired anywhere (non-test code).
+    pub nodes: BTreeSet<String>,
+    /// `(held, acquired)` → first origin.
+    pub edges: BTreeMap<(String, String), EdgeOrigin>,
+}
+
+impl LockGraph {
+    /// Strongly connected components with more than one node, plus
+    /// single nodes with a self-edge — i.e. every cycle witness. Empty
+    /// iff the graph is acyclic.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = sccs(&self.adjacency())
+            .into_iter()
+            .filter(|c| c.len() > 1)
+            .collect();
+        for node in &self.nodes {
+            if self.edges.contains_key(&(node.clone(), node.clone())) {
+                out.push(vec![node.clone()]);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Whether the graph has no cycles (including self-edges).
+    pub fn is_acyclic(&self) -> bool {
+        self.cycles().is_empty()
+    }
+
+    fn adjacency(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for node in &self.nodes {
+            adj.entry(node.clone()).or_default();
+        }
+        for (from, to) in self.edges.keys() {
+            adj.entry(from.clone()).or_default().insert(to.clone());
+        }
+        adj
+    }
+
+    /// Human-readable listing: nodes, edges with provenance, cycles.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "lock-order graph: {} locks, {} edges\n\nlocks:\n",
+            self.nodes.len(),
+            self.edges.len()
+        ));
+        for node in &self.nodes {
+            out.push_str(&format!("  {node}\n"));
+        }
+        out.push_str("\nedges (held -> acquired):\n");
+        if self.edges.is_empty() {
+            out.push_str("  (none — no lock is ever taken while another is held)\n");
+        }
+        for ((from, to), origin) in &self.edges {
+            let via = origin
+                .via
+                .as_ref()
+                .map(|c| format!(" via {c}()"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  {from} -> {to}  [{}:{}{via}]\n",
+                origin.file, origin.line
+            ));
+        }
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            out.push_str("\nacyclic: yes\n");
+        } else {
+            out.push_str("\nacyclic: NO — cycles:\n");
+            for cycle in &cycles {
+                out.push_str(&format!("  {}\n", cycle.join(" -> ")));
+            }
+        }
+        out
+    }
+
+    /// Graphviz DOT form, byte-stable across runs.
+    pub fn render_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("// fb-lint --locks --dot: the workspace lock-order graph.\n");
+        out.push_str("// An edge A -> B means B is acquired while A is held; any cycle\n");
+        out.push_str("// is a potential deadlock and fails the lint (rule C1).\n");
+        out.push_str("digraph lock_order {\n  rankdir=LR;\n  node [shape=box];\n");
+        for node in &self.nodes {
+            out.push_str(&format!("  \"{node}\";\n"));
+        }
+        for ((from, to), origin) in &self.edges {
+            let via = origin
+                .via
+                .as_ref()
+                .map(|c| format!(" via {c}()"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  \"{from}\" -> \"{to}\" [label=\"{}:{}{via}\"];\n",
+                origin.file, origin.line
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The outcome of the workspace C1/C2 pass.
+#[derive(Debug, Clone, Default)]
+pub struct LocksReport {
+    /// C1/C2 findings, deduplicated by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// The lock-order graph.
+    pub graph: LockGraph,
+}
+
+/// A guard alive during simulation.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Binding name; `None` for anonymous (shadowed) guards.
+    name: Option<String>,
+    /// Locks this guard protects (one for direct acquisitions; an
+    /// accessor's full set for guard-returning calls).
+    locks: Vec<String>,
+    /// Block depth at which the guard's scope ends.
+    depth: i64,
+    /// Same-statement temporary (unbound expression): dies at the next
+    /// `;` at or below its depth, and is exempt from C2.
+    temp: bool,
+}
+
+/// Per-function facts from a first, context-free replay.
+#[derive(Debug, Clone, Default)]
+struct FnFacts {
+    /// Locks this fn acquires directly (incl. via guard-returning
+    /// accessor calls resolved by name).
+    direct_acquires: BTreeSet<String>,
+    /// Whether this fn blocks directly (I/O, join, condvar wait, …).
+    direct_blocks: bool,
+}
+
+/// Runs the whole C1/C2 analysis over every parsed function.
+/// Test-scoped functions are excluded entirely: they neither produce
+/// findings nor participate in call resolution.
+pub fn analyze(fns: &[FnModel]) -> LocksReport {
+    let live: Vec<&FnModel> = fns.iter().filter(|f| !f.is_test).collect();
+
+    // Name index over resolvable functions.
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in live.iter().enumerate() {
+        by_name.entry(f.name.clone()).or_default().push(i);
+    }
+
+    // Guard-returning accessors, by name: calling one acquires its locks.
+    let mut accessor_locks: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in &live {
+        if f.returns_guard {
+            let locks: BTreeSet<String> = f
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Acquire { lock, .. } => Some(lock.clone()),
+                    _ => None,
+                })
+                .collect();
+            if !locks.is_empty() {
+                accessor_locks
+                    .entry(f.name.clone())
+                    .or_default()
+                    .extend(locks);
+            }
+        }
+    }
+
+    // Pass 1: context-free per-fn facts.
+    let mut facts: Vec<FnFacts> = Vec::with_capacity(live.len());
+    for f in &live {
+        let mut ff = FnFacts::default();
+        for op in &f.ops {
+            match op {
+                Op::Acquire { lock, .. } => {
+                    ff.direct_acquires.insert(lock.clone());
+                }
+                Op::Call { callee, .. } => {
+                    if let Some(locks) = accessor(&accessor_locks, callee) {
+                        ff.direct_acquires.extend(locks.iter().cloned());
+                    }
+                }
+                Op::Blocking { .. } | Op::CondvarWait { .. } => ff.direct_blocks = true,
+                _ => {}
+            }
+        }
+        facts.push(ff);
+    }
+
+    // Pass 2: fixpoint of may-acquire / may-block along the call graph.
+    let mut may_acquire: Vec<BTreeSet<String>> =
+        facts.iter().map(|f| f.direct_acquires.clone()).collect();
+    let mut may_block: Vec<bool> = facts.iter().map(|f| f.direct_blocks).collect();
+    loop {
+        let mut changed = false;
+        for (i, f) in live.iter().enumerate() {
+            for op in &f.ops {
+                let Op::Call { callee, .. } = op else {
+                    continue;
+                };
+                for &j in resolve(&by_name, callee) {
+                    if j == i {
+                        continue; // self-recursion adds nothing new
+                    }
+                    let (acq_j, block_j) = (may_acquire.get(j).cloned(), may_block.get(j).copied());
+                    if let (Some(acq_j), Some(acq_i)) = (acq_j, may_acquire.get_mut(i)) {
+                        for lock in acq_j {
+                            changed |= acq_i.insert(lock);
+                        }
+                    }
+                    if block_j == Some(true) {
+                        if let Some(slot) = may_block.get_mut(i) {
+                            if !*slot {
+                                *slot = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 3: guard-stack replay per fn — edges and findings.
+    let mut graph = LockGraph::default();
+    for lock in facts.iter().flat_map(|f| f.direct_acquires.iter()) {
+        graph.nodes.insert(lock.clone());
+    }
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &live {
+        replay(
+            f,
+            &by_name,
+            &accessor_locks,
+            &may_acquire,
+            &may_block,
+            &mut graph,
+            &mut findings,
+        );
+    }
+
+    // Cycle findings (multi-node SCCs; self-edges are already reported
+    // at their acquisition/call sites).
+    for cycle in graph.cycles() {
+        if cycle.len() < 2 {
+            continue;
+        }
+        let origin = graph
+            .edges
+            .iter()
+            .find(|((from, to), _)| cycle.contains(from) && cycle.contains(to))
+            .map(|(_, o)| o.clone());
+        let Some(origin) = origin else { continue };
+        findings.push(Finding {
+            rule: Rule::C1,
+            file: origin.file.clone(),
+            line: origin.line,
+            message: format!(
+                "lock-order cycle (potential deadlock): {}",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    LocksReport { findings, graph }
+}
+
+/// Workspace call resolution by callee name ([`NO_RESOLVE`]-filtered).
+fn resolve<'a>(by_name: &'a BTreeMap<String, Vec<usize>>, callee: &str) -> &'a [usize] {
+    if NO_RESOLVE.contains(&callee) {
+        return &[];
+    }
+    by_name.get(callee).map(Vec::as_slice).unwrap_or(&[])
+}
+
+/// The locks a guard-returning accessor named `callee` would acquire.
+fn accessor<'a>(
+    accessor_locks: &'a BTreeMap<String, BTreeSet<String>>,
+    callee: &str,
+) -> Option<&'a BTreeSet<String>> {
+    if NO_RESOLVE.contains(&callee) {
+        return None;
+    }
+    accessor_locks.get(callee)
+}
+
+/// Replays one fn's ops against a guard stack, adding edges and C1/C2
+/// findings.
+fn replay(
+    f: &FnModel,
+    by_name: &BTreeMap<String, Vec<usize>>,
+    accessor_locks: &BTreeMap<String, BTreeSet<String>>,
+    may_acquire: &[BTreeSet<String>],
+    may_block: &[bool],
+    graph: &mut LockGraph,
+    findings: &mut Vec<Finding>,
+) {
+    let mut depth = 0i64;
+    let mut guards: Vec<Guard> = Vec::new();
+    let held = |guards: &[Guard]| -> Vec<String> {
+        let mut locks: Vec<String> = guards
+            .iter()
+            .flat_map(|g| g.locks.iter().cloned())
+            .collect();
+        locks.sort();
+        locks.dedup();
+        locks
+    };
+
+    for op in &f.ops {
+        match op {
+            Op::OpenBlock => depth += 1,
+            Op::CloseBlock => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            Op::EndStmt => {
+                guards.retain(|g| !(g.temp && g.depth >= depth));
+            }
+            Op::DropGuard { name, .. } => {
+                if let Some(pos) = guards
+                    .iter()
+                    .rposition(|g| g.name.as_deref() == Some(name.as_str()))
+                {
+                    guards.remove(pos);
+                }
+            }
+            Op::Acquire {
+                lock,
+                binding,
+                cond,
+                line,
+            } => {
+                let held_now = held(&guards);
+                if held_now.iter().any(|h| h == lock) {
+                    findings.push(Finding {
+                        rule: Rule::C1,
+                        file: f.file.clone(),
+                        line: *line,
+                        message: format!(
+                            "`{lock}` acquired while already held in `{}` (self-deadlock)",
+                            f.name
+                        ),
+                    });
+                }
+                add_edges(
+                    graph,
+                    &held_now,
+                    std::slice::from_ref(lock),
+                    &f.file,
+                    *line,
+                    None,
+                );
+                push_guard(&mut guards, binding, *cond, depth, vec![lock.clone()]);
+            }
+            Op::CondvarWait { guard_arg, line } => {
+                let released: BTreeSet<&String> = guards
+                    .iter()
+                    .filter(|g| g.name.as_deref() == guard_arg.as_deref())
+                    .flat_map(|g| g.locks.iter())
+                    .collect();
+                let still_held: Vec<String> = held(&guards)
+                    .into_iter()
+                    .filter(|l| !released.contains(l))
+                    .collect();
+                if !still_held.is_empty() {
+                    findings.push(Finding {
+                        rule: Rule::C1,
+                        file: f.file.clone(),
+                        line: *line,
+                        message: format!(
+                            "`Condvar::wait` in `{}` parks while a second guard is held ({})",
+                            f.name,
+                            still_held.join(", ")
+                        ),
+                    });
+                }
+            }
+            Op::Blocking {
+                what,
+                receiver,
+                line,
+            } => {
+                report_blocked(f, &guards, what, receiver.as_deref(), *line, findings);
+            }
+            Op::Call {
+                callee,
+                receiver,
+                binding,
+                cond,
+                line,
+            } => {
+                let held_now = held(&guards);
+                let resolved = resolve(by_name, callee);
+                if !held_now.is_empty() && !resolved.is_empty() {
+                    let callee_acquires: BTreeSet<String> = resolved
+                        .iter()
+                        .flat_map(|&j| may_acquire.get(j).into_iter().flatten().cloned())
+                        .collect();
+                    for lock in &callee_acquires {
+                        if held_now.iter().any(|h| h == lock) {
+                            findings.push(Finding {
+                                rule: Rule::C1,
+                                file: f.file.clone(),
+                                line: *line,
+                                message: format!(
+                                    "call to `{callee}` may re-acquire `{lock}` already held in `{}`",
+                                    f.name
+                                ),
+                            });
+                        }
+                    }
+                    let acq: Vec<String> = callee_acquires.into_iter().collect();
+                    add_edges(graph, &held_now, &acq, &f.file, *line, Some(callee));
+                }
+                if resolved.iter().any(|&j| may_block.get(j) == Some(&true)) {
+                    report_blocked(f, &guards, callee, receiver.as_deref(), *line, findings);
+                }
+                // A guard-returning accessor call acquires at the caller.
+                if let Some(locks) = accessor(accessor_locks, callee) {
+                    let locks: Vec<String> = locks.iter().cloned().collect();
+                    push_guard(&mut guards, binding, *cond, depth, locks);
+                }
+            }
+        }
+    }
+}
+
+/// Pushes a new guard, demoting any same-named guard to anonymous —
+/// shadowing a binding does *not* drop the shadowed value until the
+/// scope ends, so the old lock stays held (the classic rebinding trap).
+fn push_guard(
+    guards: &mut Vec<Guard>,
+    binding: &Option<String>,
+    cond: bool,
+    depth: i64,
+    locks: Vec<String>,
+) {
+    if let Some(name) = binding {
+        for g in guards.iter_mut() {
+            if g.name.as_deref() == Some(name.as_str()) {
+                g.name = None;
+            }
+        }
+    }
+    guards.push(Guard {
+        name: binding.clone(),
+        locks,
+        // An `if let`/`while let` condition binding scopes to the body
+        // block that follows, one level deeper than the condition.
+        depth: depth + i64::from(cond),
+        temp: binding.is_none(),
+    });
+}
+
+/// Emits a C2 finding if a non-temporary guard other than the blocking
+/// call's own receiver is held.
+fn report_blocked(
+    f: &FnModel,
+    guards: &[Guard],
+    what: &str,
+    receiver: Option<&str>,
+    line: u32,
+    findings: &mut Vec<Finding>,
+) {
+    // The "blocking through the guard itself" exemption needs an actual
+    // receiver: a receiver-less call (`std::thread::sleep(..)`) blocks
+    // under *every* live guard, named or shadow-demoted anonymous.
+    let offenders: Vec<String> = guards
+        .iter()
+        .filter(|g| !(g.temp || (receiver.is_some() && g.name.as_deref() == receiver)))
+        .flat_map(|g| g.locks.iter().cloned())
+        .collect();
+    if offenders.is_empty() {
+        return;
+    }
+    let mut locks = offenders;
+    locks.sort();
+    locks.dedup();
+    findings.push(Finding {
+        rule: Rule::C2,
+        file: f.file.clone(),
+        line,
+        message: format!(
+            "blocking call `{what}` in `{}` while holding {}",
+            f.name,
+            locks.join(", ")
+        ),
+    });
+}
+
+/// Adds `held × acquired` edges, keeping the first origin per edge.
+fn add_edges(
+    graph: &mut LockGraph,
+    held: &[String],
+    acquired: &[String],
+    file: &str,
+    line: u32,
+    via: Option<&str>,
+) {
+    for lock in acquired {
+        graph.nodes.insert(lock.clone());
+    }
+    for from in held {
+        for to in acquired {
+            graph
+                .edges
+                .entry((from.clone(), to.clone()))
+                .or_insert_with(|| EdgeOrigin {
+                    file: file.to_owned(),
+                    line,
+                    via: via.map(str::to_owned),
+                });
+        }
+    }
+}
+
+/// Strongly connected components (Kosaraju), smallest-node-first inside
+/// each component and components sorted; deterministic for BTree input.
+fn sccs(adj: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+    // First DFS: post-order over the forward graph.
+    let mut order: Vec<&String> = Vec::new();
+    let mut visited: BTreeSet<&String> = BTreeSet::new();
+    for start in adj.keys() {
+        if visited.contains(start) {
+            continue;
+        }
+        // Iterative DFS with an explicit (node, expanded?) stack.
+        let mut stack: Vec<(&String, bool)> = vec![(start, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                order.push(node);
+                continue;
+            }
+            if !visited.insert(node) {
+                continue;
+            }
+            stack.push((node, true));
+            if let Some(next) = adj.get(node) {
+                for n in next {
+                    if !visited.contains(n) {
+                        stack.push((n, false));
+                    }
+                }
+            }
+        }
+    }
+    // Transpose.
+    let mut rev: BTreeMap<&String, BTreeSet<&String>> = BTreeMap::new();
+    for (from, tos) in adj {
+        rev.entry(from).or_default();
+        for to in tos {
+            rev.entry(to).or_default().insert(from);
+        }
+    }
+    // Second DFS over the transpose, in reverse post-order.
+    let mut component: BTreeMap<&String, usize> = BTreeMap::new();
+    let mut components: Vec<Vec<String>> = Vec::new();
+    for &start in order.iter().rev() {
+        if component.contains_key(start) {
+            continue;
+        }
+        let id = components.len();
+        let mut members: Vec<String> = Vec::new();
+        let mut stack: Vec<&String> = vec![start];
+        while let Some(node) = stack.pop() {
+            if component.contains_key(node) {
+                continue;
+            }
+            component.insert(node, id);
+            members.push(node.clone());
+            if let Some(next) = rev.get(node) {
+                for &n in next {
+                    if !component.contains_key(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        members.sort();
+        components.push(members);
+    }
+    components.sort();
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn analyze_src(path: &str, src: &str) -> LocksReport {
+        analyze(&parse_file(path, src).fns)
+    }
+
+    fn rules_of(r: &LocksReport) -> Vec<Rule> {
+        r.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn nested_acquisition_makes_an_edge_and_stays_acyclic() {
+        let src = "impl S { fn m(&self) {\n\
+            let a = self.a.lock().unwrap_or_else(|e| e.into_inner());\n\
+            let b = self.b.lock().unwrap_or_else(|e| e.into_inner());\n\
+        } }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert!(r
+            .graph
+            .edges
+            .contains_key(&("serve/x.a".to_owned(), "serve/x.b".to_owned())));
+        assert!(r.graph.is_acyclic());
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let src = "impl S {\n\
+            fn m(&self) { let a = self.a.lock().unwrap_or_else(|e| e.into_inner()); let b = self.b.lock().unwrap_or_else(|e| e.into_inner()); }\n\
+            fn n(&self) { let b = self.b.lock().unwrap_or_else(|e| e.into_inner()); let a = self.a.lock().unwrap_or_else(|e| e.into_inner()); }\n\
+        }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert!(!r.graph.is_acyclic());
+        assert!(rules_of(&r).contains(&Rule::C1));
+    }
+
+    #[test]
+    fn interprocedural_edge_via_call() {
+        let src = "impl S {\n\
+            fn inner(&self) { let b = self.b.lock().unwrap_or_else(|e| e.into_inner()); }\n\
+            fn outer(&self) { let a = self.a.lock().unwrap_or_else(|e| e.into_inner()); self.inner(); }\n\
+        }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        let origin = r
+            .graph
+            .edges
+            .get(&("serve/x.a".to_owned(), "serve/x.b".to_owned()))
+            .expect("edge");
+        assert_eq!(origin.via.as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn denylisted_names_are_not_resolved() {
+        // A workspace `len` that takes a lock must not bind to `v.len()`.
+        let src = "impl S {\n\
+            fn len(&self) -> usize { self.state.lock().unwrap_or_else(|e| e.into_inner()).n }\n\
+            fn m(&self, v: &[u32]) { let a = self.a.lock().unwrap_or_else(|e| e.into_inner()); let k = v.len(); }\n\
+        }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert!(!r.graph.edges.keys().any(|(from, _)| from == "serve/x.a"));
+    }
+
+    #[test]
+    fn self_recursion_terminates() {
+        let src = "impl S { fn m(&self, d: u32) { let a = self.a.lock().unwrap_or_else(|e| e.into_inner()); drop(a); if d > 0 { self.m(d - 1); } } }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert!(r.graph.is_acyclic());
+    }
+
+    #[test]
+    fn condvar_wait_with_second_guard_is_c1() {
+        let src = "impl S { fn m(&self) {\n\
+            let extra = self.extra.lock().unwrap_or_else(|e| e.into_inner());\n\
+            let mut g = self.m1.lock().unwrap_or_else(|e| e.into_inner());\n\
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());\n\
+        } }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert_eq!(rules_of(&r), vec![Rule::C1]);
+    }
+
+    #[test]
+    fn condvar_wait_with_only_its_own_guard_is_clean() {
+        let src = "impl S { fn m(&self) {\n\
+            let mut g = self.m1.lock().unwrap_or_else(|e| e.into_inner());\n\
+            while !done { g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner()); }\n\
+        } }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn blocking_with_named_guard_is_c2_and_drop_clears_it() {
+        let flagged = "impl S { fn m(&self, s: &mut T) {\n\
+            let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n\
+            s.write_all(b\"x\");\n\
+        } }";
+        let r = analyze_src("crates/serve/src/x.rs", flagged);
+        assert_eq!(rules_of(&r), vec![Rule::C2]);
+        let dropped = "impl S { fn m(&self, s: &mut T) {\n\
+            let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n\
+            drop(g);\n\
+            s.write_all(b\"x\");\n\
+        } }";
+        assert!(analyze_src("crates/serve/src/x.rs", dropped)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn blocking_through_the_guard_itself_is_exempt() {
+        let src = "impl S { fn m(&self) {\n\
+            let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());\n\
+            out.write_all(b\"x\");\n\
+            out.flush();\n\
+        } }";
+        assert!(analyze_src("crates/serve/src/x.rs", src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn temporary_guards_are_exempt_from_c2() {
+        let src = "impl S { fn m(&self) { let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush(); } }";
+        assert!(analyze_src("crates/serve/src/x.rs", src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn shadowed_guard_stays_held() {
+        // Rebinding g does NOT release the first lock; blocking after
+        // dropping only the second must still flag the first.
+        let src = "impl S { fn m(&self, s: &mut T) {\n\
+            let g = self.a.lock().unwrap_or_else(|e| e.into_inner());\n\
+            let g = self.b.lock().unwrap_or_else(|e| e.into_inner());\n\
+            drop(g);\n\
+            s.write_all(b\"x\");\n\
+        } }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert_eq!(rules_of(&r), vec![Rule::C2]);
+        assert!(r.findings.iter().any(|f| f.message.contains("serve/x.a")));
+    }
+
+    #[test]
+    fn guard_returning_accessor_counts_at_the_caller() {
+        let src = "impl Q {\n\
+            fn lock(&self) -> MutexGuard<'_, State> { self.state.lock().unwrap_or_else(|e| e.into_inner()) }\n\
+            fn m(&self, s: &mut T) { let st = self.lock(); s.write_all(b\"x\"); }\n\
+        }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert_eq!(rules_of(&r), vec![Rule::C2]);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.message.contains("serve/x.state")));
+    }
+
+    #[test]
+    fn interprocedural_blocking_via_callee() {
+        let src = "impl S {\n\
+            fn waits(&self, h: H) { h.join(); }\n\
+            fn m(&self, h: H) { let g = self.a.lock().unwrap_or_else(|e| e.into_inner()); self.waits(h); }\n\
+        }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert!(rules_of(&r).contains(&Rule::C2));
+    }
+
+    #[test]
+    fn test_code_is_excluded() {
+        let src = "#[cfg(test)]\nmod tests { use super::*; #[test] fn t() {\n\
+            let a = s.a.lock().unwrap_or_else(|e| e.into_inner());\n\
+            let b = s.b.lock().unwrap_or_else(|e| e.into_inner());\n\
+            h.join();\n\
+        } }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert!(r.graph.nodes.is_empty());
+    }
+
+    #[test]
+    fn disjoint_locks_have_no_edge() {
+        let src = "impl S {\n\
+            fn m(&self) { let a = self.a.lock().unwrap_or_else(|e| e.into_inner()); }\n\
+            fn n(&self) { let b = self.b.lock().unwrap_or_else(|e| e.into_inner()); }\n\
+        }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert!(r.graph.edges.is_empty());
+        assert_eq!(r.graph.nodes.len(), 2);
+    }
+
+    #[test]
+    fn dot_output_is_stable_and_well_formed() {
+        let src = "impl S { fn m(&self) {\n\
+            let a = self.a.lock().unwrap_or_else(|e| e.into_inner());\n\
+            let b = self.b.lock().unwrap_or_else(|e| e.into_inner());\n\
+        } }";
+        let r = analyze_src("crates/serve/src/x.rs", src);
+        let dot = r.graph.render_dot();
+        assert!(dot.starts_with("// fb-lint --locks --dot"));
+        assert!(dot.contains("digraph lock_order {"));
+        assert!(dot.contains("\"serve/x.a\" -> \"serve/x.b\""));
+        assert_eq!(dot, r.graph.render_dot());
+    }
+}

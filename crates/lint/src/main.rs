@@ -4,12 +4,19 @@
 //!
 //! ```text
 //! fb-lint [--root DIR] [--baseline FILE] [--json]
+//!         [--locks [--dot]]
 //!         [--update-baseline [--allow-growth]]
 //!         [--explain RULE]
 //! ```
 //!
-//! Exit codes: `0` clean (no violations beyond the baseline), `1` new
-//! violations or a refused ratchet update, `2` usage or I/O error.
+//! Exit codes: `0` clean (no violations beyond the baseline; for
+//! `--locks`, an acyclic lock-order graph), `1` new violations, a
+//! refused ratchet update, or a cyclic lock graph, `2` usage or I/O
+//! error.
+//!
+//! C-family rules (C1/C2/C3) carry zero grandfathered debt: the v2
+//! baseline schema refuses to record them and `--update-baseline`
+//! refuses to run while any exist — `--allow-growth` is no escape.
 //!
 //! Environment:
 //! * `FB_LINT_TELEMETRY=<path>` — write the pass's own telemetry
@@ -30,23 +37,28 @@ struct Options {
     root: PathBuf,
     baseline_path: Option<PathBuf>,
     json: bool,
+    locks: bool,
+    dot: bool,
     update_baseline: bool,
     allow_growth: bool,
     explain: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "fb-lint: fairbridge determinism & panic-safety static analysis\n\
+    "fb-lint: fairbridge determinism, panic-safety & concurrency static analysis\n\
      \n\
      USAGE: fb-lint [OPTIONS]\n\
      \n\
      OPTIONS:\n\
        --root DIR           workspace root (default: .)\n\
        --baseline FILE      baseline path (default: <root>/lint_baseline.json)\n\
-       --json               machine-readable report on stdout\n\
+       --json               machine-readable report on stdout (schema v2)\n\
+       --locks              print the workspace lock-order graph; exit 1 on cycles\n\
+       --dot                with --locks: Graphviz DOT instead of text\n\
        --update-baseline    rewrite the baseline from the current tree\n\
        --allow-growth       permit --update-baseline to raise the total\n\
-       --explain RULE       print one rule's rationale (D1 D2 D3 D4 P1 U1)\n\
+                            (D/P/U families only — C debt is never recordable)\n\
+       --explain RULE       print one rule's rationale (D1 D2 D3 D4 P1 U1 C1 C2 C3)\n\
        --help               this text\n"
 }
 
@@ -55,6 +67,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         root: PathBuf::from("."),
         baseline_path: None,
         json: false,
+        locks: false,
+        dot: false,
         update_baseline: false,
         allow_growth: false,
         explain: None,
@@ -73,6 +87,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 ));
             }
             "--json" => opts.json = true,
+            "--locks" => opts.locks = true,
+            "--dot" => opts.dot = true,
             "--update-baseline" => opts.update_baseline = true,
             "--allow-growth" => opts.allow_growth = true,
             "--explain" => {
@@ -137,7 +153,7 @@ fn run() -> Result<bool, String> {
 
     if let Some(rule_id) = &opts.explain {
         let rule = Rule::parse(rule_id)
-            .ok_or_else(|| format!("unknown rule `{rule_id}` (try D1 D2 D3 D4 P1 U1)"))?;
+            .ok_or_else(|| format!("unknown rule `{rule_id}` (try D1 D2 D3 D4 P1 U1 C1 C2 C3)"))?;
         println!("{}", rule.explain());
         return Ok(true);
     }
@@ -151,6 +167,15 @@ fn run() -> Result<bool, String> {
     let report = scan_tree(&opts.root, &telemetry)?;
     telemetry.flush();
 
+    if opts.locks {
+        if opts.dot {
+            print!("{}", report.graph.render_dot());
+        } else {
+            print!("{}", report.graph.render_text());
+        }
+        return Ok(report.graph.is_acyclic());
+    }
+
     let current = Baseline::from_findings(&report.findings);
     let per_rule: Vec<(Rule, usize)> = ALL_RULES
         .iter()
@@ -159,10 +184,44 @@ fn run() -> Result<bool, String> {
     write_bench_sidecar(report.files_scanned, &per_rule, report.findings.len());
 
     if opts.update_baseline {
-        let old_total = match std::fs::read_to_string(&baseline_path) {
-            Ok(text) => Some(Baseline::from_json(&text)?.total()),
-            Err(_) => None,
-        };
+        // C-family findings can never be grandfathered: refuse to write
+        // any baseline while one exists, --allow-growth notwithstanding.
+        let c_findings: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| !f.rule.baselineable())
+            .collect();
+        if !c_findings.is_empty() {
+            let mut msg = format!(
+                "cannot record a baseline while {} C-family finding(s) exist — concurrency \
+                 hazards carry zero grandfathered debt; fix them first:",
+                c_findings.len()
+            );
+            for f in c_findings.iter().take(10) {
+                msg.push_str(&format!(
+                    "\n  {}:{}: [{}] {}",
+                    f.file,
+                    f.line,
+                    f.rule.id(),
+                    f.message
+                ));
+            }
+            return Err(msg);
+        }
+        // An unreadable or prior-schema baseline cannot anchor the
+        // ratchet, but must not block regeneration either (the v1→v2
+        // migration path runs through exactly this branch).
+        let old_total = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|text| match Baseline::from_json(&text) {
+                Ok(b) => Some(b.total()),
+                Err(e) => {
+                    eprintln!(
+                        "fb-lint: note: ignoring existing baseline for the ratchet check ({e})"
+                    );
+                    None
+                }
+            });
         if let Some(old) = old_total {
             if current.total() > old && !opts.allow_growth {
                 return Err(format!(

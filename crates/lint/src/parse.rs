@@ -1,0 +1,772 @@
+//! Structural pass over the token stream: `fn` items, call edges, and
+//! lock-guard scopes.
+//!
+//! fb-lint's original rules are purely lexical — each matches a short
+//! token window. The concurrency rules (C1/C2) need more: *which
+//! function* a token belongs to, *which locks are held* when it
+//! executes, and *who calls whom*. This module recovers exactly that
+//! much structure and no more:
+//!
+//! * **Items** — every `fn name … { body }` at any nesting depth
+//!   becomes a [`FnModel`]; nested fns are split out of their enclosing
+//!   body so guard scopes never leak across an item boundary. Closures
+//!   stay inline (a closure capturing a guard conservatively keeps it
+//!   "held" at the closure's call sites — an over-approximation).
+//! * **Guard scopes** — a `.lock()` / `.read()` / `.write()` call with
+//!   an empty argument list is a lock acquisition. Its guard is bound
+//!   (`let g = …` → named, lives to end of block, `drop(g)`, or
+//!   shadowing) or temporary (expression position → lives to the end of
+//!   the enclosing statement). Shadowing a guard binding does **not**
+//!   release the old guard (Rust keeps the shadowed value alive to end
+//!   of scope) — the analysis models that trap faithfully.
+//! * **Call edges** — method and free calls are recorded by callee
+//!   *name* (a conservative, type-free workspace call graph). Calls
+//!   through std container/iterator method names are recorded but never
+//!   resolved interprocedurally (see [`crate::locks::NO_RESOLVE`]);
+//!   resolving `.len()` to whichever workspace type also defines `len`
+//!   would fabricate edges.
+//! * **Lock identity** — the receiver path of an acquisition, minus a
+//!   leading `self.`, scoped by the file it appears in:
+//!   `crates/serve/src/queue.rs: self.state.lock()` →
+//!   `serve/queue.state`. Two fields with the same name in the same
+//!   file alias (over-approximation); the same lock reached through
+//!   differently-named locals does not (under-approximation). Both are
+//!   documented in DESIGN §16.
+
+use crate::lexer::{TokKind, Token};
+
+/// One operation inside a function body, in source order. The locks
+/// analysis replays these against a guard stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A lock acquisition: `path.lock()` / `.read()` / `.write()`.
+    Acquire {
+        /// Lock identity (`<crate>/<file>.<field path>`).
+        lock: String,
+        /// `Some(name)` when the guard is bound by the enclosing `let`.
+        binding: Option<String>,
+        /// `true` when the `let` is an `if let`/`while let` condition —
+        /// the guard then lives only through the condition's body block.
+        cond: bool,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A call, by callee name (method or free function).
+    Call {
+        /// Last path segment of the callee.
+        callee: String,
+        /// First segment of the receiver path (`self`, a local, …).
+        receiver: Option<String>,
+        /// `Some(name)` when the result is bound by the enclosing `let`
+        /// (a guard-returning accessor binds its lock to this name).
+        binding: Option<String>,
+        /// `true` when the binding `let` is an `if let`/`while let`
+        /// condition (see [`Op::Acquire::cond`]).
+        cond: bool,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `cv.wait(guard)` / `wait_timeout` / `wait_while` — a condvar
+    /// wait that atomically releases `guard_arg` while parked.
+    CondvarWait {
+        /// The guard passed in (first identifier in the argument list).
+        guard_arg: Option<String>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A potentially-indefinite blocking call (socket/file I/O, thread
+    /// join, sleep, parked wait).
+    Blocking {
+        /// The matched method/function name.
+        what: String,
+        /// First segment of the receiver path, for the
+        /// "blocking-on-the-guarded-resource-itself" exemption.
+        receiver: Option<String>,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `drop(g)` — explicit early release of a named guard.
+    DropGuard {
+        /// The dropped binding.
+        name: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `{` — opens a scope level.
+    OpenBlock,
+    /// `}` — closes a scope level, releasing guards bound inside it.
+    CloseBlock,
+    /// `;` — ends a statement, releasing temporary guards born in it.
+    EndStmt,
+}
+
+/// One recovered `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// The function's name.
+    pub name: String,
+    /// Repo-relative path of the defining file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the item lives in test-scoped code.
+    pub is_test: bool,
+    /// Whether the signature's return type names a `MutexGuard` /
+    /// `RwLockReadGuard` / `RwLockWriteGuard` — the accessor pattern
+    /// whose callers receive a live guard.
+    pub returns_guard: bool,
+    /// The body's operations, in source order.
+    pub ops: Vec<Op>,
+}
+
+/// The structural model of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnModel>,
+    /// All comment tokens (for allow-marker resolution on C findings).
+    pub comments: Vec<Token>,
+}
+
+/// Guard types whose appearance in a return type marks an accessor as
+/// guard-returning.
+const GUARD_TYPES: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// Zero-argument methods that block indefinitely: parked waits, thread
+/// joins, channel receives, stream flushes, listener accepts.
+const BLOCKING_NOARG: &[&str] = &["wait", "join", "recv", "flush", "accept", "incoming"];
+
+/// Methods (any arity) that block on I/O or time.
+const BLOCKING_ARG: &[&str] = &[
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "read_until",
+    "write_all",
+    "recv_timeout",
+    "connect",
+    "sleep",
+];
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "let", "in", "as", "move", "ref", "else",
+    "mut", "pub", "use", "where", "impl", "struct", "enum", "trait", "type", "const", "static",
+    "unsafe", "dyn", "break", "continue", "crate", "super", "fn", "await",
+];
+
+/// Parses one file into its structural model. Never fails: malformed
+/// input degrades to fewer recovered items.
+pub fn parse_file(rel_path: &str, src: &str) -> FileModel {
+    let tokens = crate::lexer::tokenize(src);
+    let flags = crate::scope::test_flags(&tokens);
+    let comments: Vec<Token> = tokens.iter().filter(|t| t.is_comment()).cloned().collect();
+    // Work on code tokens only; remember each one's test flag.
+    let mut code: Vec<&Token> = Vec::new();
+    let mut code_test: Vec<bool> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            code.push(t);
+            code_test.push(flags.get(i).copied().unwrap_or(false));
+        }
+    }
+    let scope = file_scope(rel_path);
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if is_fn_keyword(&code, i) {
+            if let Some((model, _)) = parse_fn(&code, &code_test, i, &scope, rel_path) {
+                fns.push(model);
+                // Advance past `fn name` only, so nested fn items inside
+                // this body are discovered and modeled too.
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    FileModel { fns, comments }
+}
+
+/// `<crate>/<file-stem>` for `crates/<crate>/src/**/<file-stem>.rs`,
+/// used to scope lock identities per file.
+fn file_scope(rel_path: &str) -> String {
+    let crate_name = crate::rules::crate_of(rel_path);
+    let stem = rel_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(rel_path)
+        .trim_end_matches(".rs");
+    if crate_name.is_empty() {
+        stem.to_owned()
+    } else {
+        format!("{crate_name}/{stem}")
+    }
+}
+
+fn tok<'a>(code: &[&'a Token], i: usize) -> Option<&'a Token> {
+    code.get(i).copied()
+}
+
+fn is_punct(code: &[&Token], i: usize, text: &str) -> bool {
+    matches!(tok(code, i), Some(t) if t.kind == TokKind::Punct && t.text == text)
+}
+
+fn is_ident(code: &[&Token], i: usize, text: &str) -> bool {
+    matches!(tok(code, i), Some(t) if t.kind == TokKind::Ident && t.text == text)
+}
+
+fn ident_text<'a>(code: &[&'a Token], i: usize) -> Option<&'a str> {
+    match tok(code, i) {
+        Some(t) if t.kind == TokKind::Ident => Some(t.text.as_str()),
+        _ => None,
+    }
+}
+
+/// A `fn` keyword introducing an item (not e.g. the `fn` inside an
+/// `impl Fn(…)` bound, which is `Fn`, a different token).
+fn is_fn_keyword(code: &[&Token], i: usize) -> bool {
+    is_ident(code, i, "fn") && matches!(tok(code, i + 1), Some(t) if t.kind == TokKind::Ident)
+}
+
+/// Parses `fn name …` starting at the `fn` keyword; returns the model
+/// and the code index just past the body's closing brace.
+fn parse_fn(
+    code: &[&Token],
+    code_test: &[bool],
+    fn_idx: usize,
+    scope: &str,
+    rel_path: &str,
+) -> Option<(FnModel, usize)> {
+    let name = ident_text(code, fn_idx + 1)?.to_owned();
+    let line = tok(code, fn_idx)?.line;
+    let is_test = code_test.get(fn_idx).copied().unwrap_or(false);
+    // Scan the signature: from past the name to the body `{` or a
+    // declaration-ending `;`, tracking (), [] and <> nesting. `<` / `>`
+    // appear as comparison-free generics in signature position, but a
+    // `->` arrow's `>` must not decrement, so `-` `>` pairs are skipped.
+    let mut j = fn_idx + 2;
+    let mut parens = 0i64;
+    let mut angles = 0i64;
+    let mut saw_arrow = false;
+    let mut returns_guard = false;
+    let body_open = loop {
+        let t = tok(code, j)?;
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "(") | (TokKind::Punct, "[") => parens += 1,
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") => parens -= 1,
+            (TokKind::Punct, "<") => angles += 1,
+            (TokKind::Punct, ">") => {
+                // Part of `->`?
+                if is_punct(code, j.wrapping_sub(1), "-") {
+                    saw_arrow = true;
+                } else {
+                    angles -= 1;
+                }
+            }
+            (TokKind::Punct, "{") if parens == 0 && angles <= 0 => break j,
+            (TokKind::Punct, ";") if parens == 0 && angles <= 0 => return None,
+            (TokKind::Ident, name) if saw_arrow && GUARD_TYPES.contains(&name) => {
+                returns_guard = true;
+            }
+            _ => {}
+        }
+        j += 1;
+    };
+    // Find the matching close of the body.
+    let mut depth = 0i64;
+    let mut k = body_open;
+    let body_close = loop {
+        let t = tok(code, k)?;
+        if t.kind == TokKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    break k;
+                }
+            }
+        }
+        k += 1;
+    };
+    let ops = extract_ops(code, body_open, body_close, scope, rel_path);
+    Some((
+        FnModel {
+            name,
+            file: rel_path.to_owned(),
+            line,
+            is_test,
+            returns_guard,
+            ops,
+        },
+        body_close + 1,
+    ))
+}
+
+/// The in-flight `let` binding of the statement being read.
+#[derive(Clone)]
+struct PendingLet {
+    name: String,
+    /// `if let` / `while let` condition binding: guards it binds live
+    /// only through the condition's body block.
+    cond: bool,
+}
+
+/// Walks the body tokens in `(open, close)` and emits [`Op`]s. Nested
+/// `fn` items are skipped (modeled separately), and so are `move`
+/// closure bodies: they execute detached (spawned threads, stored
+/// callbacks), so their acquisitions do not happen under the guards
+/// lexically in scope here — a documented under-approximation. Plain
+/// (borrowing) closures stay inline.
+fn extract_ops(code: &[&Token], open: usize, close: usize, scope: &str, rel_path: &str) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut pending_let: Option<PendingLet> = None;
+    let mut i = open;
+    while i <= close {
+        // Skip nested fn items wholesale.
+        if i > open && is_fn_keyword(code, i) {
+            if let Some((_, end)) = parse_fn(code, &[], i, scope, rel_path) {
+                i = end;
+                continue;
+            }
+        }
+        // Skip `move` closure bodies (`move |args| body`).
+        if is_ident(code, i, "move") && (is_punct(code, i + 1, "|") || is_punct(code, i + 2, "|")) {
+            if let Some(end) = skip_closure(code, i + 1, close) {
+                i = end;
+                continue;
+            }
+        }
+        let Some(t) = tok(code, i) else { break };
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                ops.push(Op::OpenBlock);
+                i += 1;
+            }
+            (TokKind::Punct, "}") => {
+                ops.push(Op::CloseBlock);
+                // A binding `let … = match { … }` survives inner blocks;
+                // only the `;` below clears it.
+                i += 1;
+            }
+            (TokKind::Punct, ";") => {
+                ops.push(Op::EndStmt);
+                pending_let = None;
+                i += 1;
+            }
+            (TokKind::Ident, "let") => {
+                let cond = is_ident(code, i.wrapping_sub(1), "if")
+                    || is_ident(code, i.wrapping_sub(1), "while");
+                pending_let = let_binding_name(code, i).map(|name| PendingLet { name, cond });
+                i += 1;
+            }
+            (TokKind::Ident, "drop") if is_punct(code, i + 1, "(") => {
+                // `drop(g)` with a single-identifier argument releases g.
+                if let (Some(name), true) = (ident_text(code, i + 2), is_punct(code, i + 3, ")")) {
+                    ops.push(Op::DropGuard {
+                        name: name.to_owned(),
+                        line: t.line,
+                    });
+                    i += 4;
+                } else {
+                    i += 1;
+                }
+            }
+            (TokKind::Punct, ".") => {
+                let consumed = match_method(code, i, scope, pending_let.as_ref(), &mut ops);
+                i += consumed.max(1);
+            }
+            (TokKind::Ident, name) => {
+                // Free or path-qualified call: `name(` not preceded by
+                // `.`, not a keyword, not a macro (`name!(`).
+                if is_punct(code, i + 1, "(")
+                    && !NON_CALL_KEYWORDS.contains(&name)
+                    && !is_punct(code, i.wrapping_sub(1), ".")
+                    && !is_punct(code, i + 1, "!")
+                {
+                    if BLOCKING_ARG.contains(&name) || BLOCKING_NOARG.contains(&name) {
+                        ops.push(Op::Blocking {
+                            what: name.to_owned(),
+                            receiver: None,
+                            line: t.line,
+                        });
+                    }
+                    ops.push(Op::Call {
+                        callee: name.to_owned(),
+                        receiver: None,
+                        binding: pending_let.as_ref().map(|p| p.name.clone()),
+                        cond: pending_let.as_ref().is_some_and(|p| p.cond),
+                        line: t.line,
+                    });
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    ops
+}
+
+/// Skips a closure starting at its first `|` (code index `bar`): past
+/// the argument list, then past a braced body or a bare expression
+/// (which ends at a `,` / `)` / `;` / `}` at nesting depth 0). Returns
+/// the index just past the body.
+fn skip_closure(code: &[&Token], bar: usize, close: usize) -> Option<usize> {
+    let mut j = if is_punct(code, bar, "|") {
+        bar
+    } else {
+        bar + 1
+    };
+    if !is_punct(code, j, "|") {
+        return None;
+    }
+    // Find the closing `|` of the argument list.
+    j += 1;
+    while j <= close && !is_punct(code, j, "|") {
+        j += 1;
+    }
+    j += 1; // past the closing `|`
+    if is_punct(code, j, "{") {
+        // Braced body: skip the balanced block.
+        let mut depth = 0i64;
+        while j <= close {
+            if is_punct(code, j, "{") {
+                depth += 1;
+            } else if is_punct(code, j, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            j += 1;
+        }
+        return Some(j);
+    }
+    // Expression body: ends at `,` `)` `;` `}` at depth 0.
+    let mut depth = 0i64;
+    while j <= close {
+        let Some(t) = tok(code, j) else { break };
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" if depth > 0 => depth -= 1,
+                ")" | "]" | "}" | "," | ";" => return Some(j),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+/// The binding name of a `let` statement starting at `let_idx`:
+/// `let [mut] name`, `let Some(name)`, `let Ok(name)`, `let (a, …)` →
+/// first useful identifier inside the pattern. `let _ = …` binds
+/// nothing (and, like any unbound value, drops at end of statement).
+fn let_binding_name(code: &[&Token], let_idx: usize) -> Option<String> {
+    let mut j = let_idx + 1;
+    if is_ident(code, j, "mut") {
+        j += 1;
+    }
+    let first = ident_text(code, j)?;
+    if first == "_" {
+        return None;
+    }
+    // Enum-variant destructuring (`Some(g)` / `Ok(g)`): take the inner
+    // identifier. The uppercase-initial heuristic distinguishes a
+    // variant from a plain binding.
+    if first.starts_with(|c: char| c.is_ascii_uppercase()) && is_punct(code, j + 1, "(") {
+        let mut k = j + 2;
+        if is_ident(code, k, "mut") {
+            k += 1;
+        }
+        return ident_text(code, k).map(str::to_owned);
+    }
+    Some(first.to_owned())
+}
+
+/// Handles a `.` token: classifies the method access that follows as an
+/// acquisition, a condvar wait, a blocking call, or a plain call, and
+/// pushes the corresponding ops. Returns how many tokens to advance.
+fn match_method(
+    code: &[&Token],
+    dot: usize,
+    scope: &str,
+    pending_let: Option<&PendingLet>,
+    ops: &mut Vec<Op>,
+) -> usize {
+    let binding = pending_let.map(|p| p.name.clone());
+    let cond = pending_let.is_some_and(|p| p.cond);
+    let Some(name) = ident_text(code, dot + 1) else {
+        return 1;
+    };
+    let Some(line) = tok(code, dot + 1).map(|t| t.line) else {
+        return 1;
+    };
+    let has_parens = is_punct(code, dot + 2, "(");
+    if !has_parens {
+        return 1; // field access, not a call
+    }
+    let empty_args = is_punct(code, dot + 3, ")");
+
+    // Acquisition: `path.lock()` / `.read()` / `.write()` with no args.
+    if empty_args && matches!(name, "lock" | "read" | "write") {
+        let path = receiver_path(code, dot);
+        if let Some(path) = path {
+            if path == "self" {
+                // `self.lock()` — a call to a local accessor method, not
+                // a std Mutex acquisition.
+                ops.push(Op::Call {
+                    callee: name.to_owned(),
+                    receiver: Some("self".to_owned()),
+                    binding,
+                    cond,
+                    line,
+                });
+            } else {
+                let field = path.strip_prefix("self.").unwrap_or(&path);
+                ops.push(Op::Acquire {
+                    lock: format!("{scope}.{field}"),
+                    binding,
+                    cond,
+                    line,
+                });
+            }
+            return 4;
+        }
+        return 1;
+    }
+
+    // Condvar wait: `.wait(guard…)` / `.wait_timeout(guard, …)` /
+    // `.wait_while(guard, …)` — non-empty argument list.
+    if !empty_args && matches!(name, "wait" | "wait_timeout" | "wait_while") {
+        ops.push(Op::CondvarWait {
+            guard_arg: ident_text(code, dot + 3).map(str::to_owned),
+            line,
+        });
+        return 3;
+    }
+
+    let receiver_root = receiver_path(code, dot).map(|p| {
+        p.split('.')
+            .next()
+            .unwrap_or(p.as_str())
+            .trim_end_matches("()")
+            .to_owned()
+    });
+
+    // Blocking calls (the zero-arg parked/join/flush family, and the
+    // any-arity I/O family).
+    if (empty_args && BLOCKING_NOARG.contains(&name))
+        || (!empty_args && BLOCKING_ARG.contains(&name))
+    {
+        ops.push(Op::Blocking {
+            what: name.to_owned(),
+            receiver: receiver_root.clone(),
+            line,
+        });
+    }
+
+    ops.push(Op::Call {
+        callee: name.to_owned(),
+        receiver: receiver_root,
+        binding,
+        cond,
+        line,
+    });
+    2
+}
+
+/// Reconstructs the receiver path ending at the `.` token: walks
+/// backward over `ident`, `ident()` and `::`/`.`-joined segments.
+/// `self.state` for `self.state.lock()`; `self.entries()` for
+/// `self.entries().get_mut(…)`; `slot` for `slot.lock()`.
+fn receiver_path(code: &[&Token], dot: usize) -> Option<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot.checked_sub(1)?;
+    loop {
+        match tok(code, j) {
+            Some(t) if t.kind == TokKind::Ident => {
+                segs.push(t.text.clone());
+            }
+            Some(t) if t.kind == TokKind::Punct && t.text == ")" => {
+                // Skip a balanced call-argument list backward, then take
+                // the function name: `entries()` as one segment.
+                let mut depth = 0i64;
+                loop {
+                    match tok(code, j) {
+                        Some(t) if t.kind == TokKind::Punct && t.text == ")" => depth += 1,
+                        Some(t) if t.kind == TokKind::Punct && t.text == "(" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => return None,
+                    }
+                    j = j.checked_sub(1)?;
+                }
+                j = j.checked_sub(1)?;
+                match tok(code, j) {
+                    Some(t) if t.kind == TokKind::Ident => segs.push(format!("{}()", t.text)),
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+        // Continue over a `.` or `::` separator.
+        let Some(prev) = j.checked_sub(1) else { break };
+        if is_punct(code, prev, ".") {
+            let Some(next) = prev.checked_sub(1) else {
+                break;
+            };
+            j = next;
+        } else if is_punct(code, prev, ":") && is_punct(code, prev.wrapping_sub(1), ":") {
+            let Some(next) = prev.checked_sub(2) else {
+                break;
+            };
+            j = next;
+        } else {
+            break;
+        }
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    segs.reverse();
+    Some(segs.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileModel {
+        parse_file("crates/serve/src/fixture.rs", src)
+    }
+
+    fn ops_of<'a>(m: &'a FileModel, name: &str) -> &'a [Op] {
+        m.fns
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.ops.as_slice())
+            .unwrap_or(&[])
+    }
+
+    #[test]
+    fn recovers_fns_methods_and_nesting() {
+        let src = "fn a() { b(); }\n\
+                   impl S { fn m(&self) { self.x.lock().unwrap_or_else(|e| e.into_inner()); } }\n\
+                   fn outer() { fn inner() { q.lock(); } outer_call(); }\n";
+        let m = parse(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "m", "outer", "inner"]);
+        // outer's ops exclude inner's acquisition but keep its own call.
+        assert!(ops_of(&m, "outer")
+            .iter()
+            .all(|op| !matches!(op, Op::Acquire { .. })));
+        assert!(ops_of(&m, "outer")
+            .iter()
+            .any(|op| matches!(op, Op::Call { callee, .. } if callee == "outer_call")));
+    }
+
+    #[test]
+    fn acquisition_identity_strips_self_and_scopes_by_file() {
+        let src = "impl S { fn m(&self) { let g = self.state.lock().unwrap_or_else(|e| e.into_inner()); } }";
+        let m = parse(src);
+        assert!(ops_of(&m, "m").iter().any(|op| matches!(
+            op,
+            Op::Acquire { lock, binding: Some(b), .. }
+                if lock == "serve/fixture.state" && b == "g"
+        )));
+    }
+
+    #[test]
+    fn unbound_acquisition_is_a_temporary() {
+        let src = "impl S { fn m(&self) { self.state.lock().unwrap_or_else(|e| e.into_inner()).x = 1; } }";
+        let m = parse(src);
+        assert!(ops_of(&m, "m")
+            .iter()
+            .any(|op| matches!(op, Op::Acquire { binding: None, .. })));
+    }
+
+    #[test]
+    fn self_lock_is_an_accessor_call_not_an_acquisition() {
+        let src = "impl S { fn m(&self) { let g = self.lock(); } }";
+        let m = parse(src);
+        let ops = ops_of(&m, "m");
+        assert!(ops.iter().all(|op| !matches!(op, Op::Acquire { .. })));
+        assert!(ops.iter().any(|op| matches!(
+            op,
+            Op::Call { callee, binding: Some(b), .. } if callee == "lock" && b == "g"
+        )));
+    }
+
+    #[test]
+    fn guard_returning_signature_is_detected() {
+        let src = "impl S { fn entries(&self) -> MutexGuard<'_, Vec<u32>> { self.entries.lock().unwrap_or_else(|e| e.into_inner()) } }\n\
+                   fn plain() -> usize { 0 }";
+        let m = parse(src);
+        let by_name = |n: &str| m.fns.iter().find(|f| f.name == n);
+        assert!(by_name("entries").is_some_and(|f| f.returns_guard));
+        assert!(by_name("plain").is_some_and(|f| !f.returns_guard));
+    }
+
+    #[test]
+    fn condvar_wait_and_blocking_calls_classify() {
+        let src = "impl S { fn m(&self) {\n\
+                       let mut g = self.m1.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());\n\
+                       handle.join();\n\
+                       stream.write_all(b\"x\");\n\
+                   } }";
+        let m = parse(src);
+        let ops = ops_of(&m, "m");
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, Op::CondvarWait { guard_arg: Some(g), .. } if g == "g")));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, Op::Blocking { what, .. } if what == "join")));
+        assert!(ops.iter().any(|op| matches!(
+            op,
+            Op::Blocking { what, receiver: Some(r), .. } if what == "write_all" && r == "stream"
+        )));
+    }
+
+    #[test]
+    fn drop_and_let_patterns() {
+        let src = "fn m() { let g = s.lock().unwrap_or_else(|e| e.into_inner()); drop(g); }\n\
+                   fn n() { if let Some(e) = m.lock().unwrap_or_else(|e| e.into_inner()).get(0) { use_it(e); } }";
+        let m = parse(src);
+        assert!(ops_of(&m, "m")
+            .iter()
+            .any(|op| matches!(op, Op::DropGuard { name, .. } if name == "g")));
+        // `if let Some(e) = …` binds e (the variant's payload).
+        assert!(ops_of(&m, "n")
+            .iter()
+            .any(|op| matches!(op, Op::Acquire { binding: Some(b), .. } if b == "e")));
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let src = "trait T { fn decl(&self); fn with_default(&self) { x.lock(); } }";
+        let m = parse(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_default"]);
+    }
+
+    #[test]
+    fn test_scoped_fns_are_flagged() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() {} }";
+        let m = parse(src);
+        let by_name = |n: &str| m.fns.iter().find(|f| f.name == n);
+        assert!(by_name("lib").is_some_and(|f| !f.is_test));
+        assert!(by_name("t").is_some_and(|f| f.is_test));
+    }
+}

@@ -21,6 +21,17 @@
 //!   slice-indexing-by-literal in non-test library code. A production
 //!   audit service must degrade to typed errors, not crash mid-request.
 //! * **U1** — every `unsafe` block carries a `// SAFETY:` comment.
+//! * **C1/C2** — lock-order cycles and guards held across blocking
+//!   calls. These are *structural*, not lexical: the parser in
+//!   [`crate::parse`] and the interprocedural analysis in
+//!   [`crate::locks`] produce them; this module only hosts their
+//!   metadata (`id`/`title`/`explain`). The C family admits no
+//!   grandfathered debt — see [`Rule::baselineable`].
+//! * **C3** — concurrency hygiene, lexical like the rest: lock results
+//!   go through the poison-absorbing
+//!   `unwrap_or_else(|e| e.into_inner())` (never bare `.unwrap()` /
+//!   `.expect`), and every non-SeqCst atomic `Ordering::…` use carries
+//!   an `// ORDER:` justification comment mirroring U1's `// SAFETY:`.
 //!
 //! A finding on line *L* is suppressed by a comment on *L* or *L−1*
 //! containing `fb-lint: allow(RULE): reason` — the documented escape
@@ -60,10 +71,28 @@ pub enum Rule {
     P1,
     /// `unsafe` without a `// SAFETY:` comment.
     U1,
+    /// Lock-order hazards: cycles in the lock-order graph, re-acquiring
+    /// a held lock, `Condvar::wait` with a second guard held.
+    C1,
+    /// A guard held across a potentially-indefinite blocking call.
+    C2,
+    /// Concurrency hygiene: bare `.unwrap()`/`.expect()` on lock
+    /// results; undocumented non-SeqCst atomic orderings.
+    C3,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: &[Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::P1, Rule::U1];
+pub const ALL_RULES: &[Rule] = &[
+    Rule::D1,
+    Rule::D2,
+    Rule::D3,
+    Rule::D4,
+    Rule::P1,
+    Rule::U1,
+    Rule::C1,
+    Rule::C2,
+    Rule::C3,
+];
 
 impl Rule {
     /// Stable identifier (used in reports, baselines and allow-markers).
@@ -75,7 +104,28 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::P1 => "P1",
             Rule::U1 => "U1",
+            Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::C3 => "C3",
         }
+    }
+
+    /// Rule family letter (`D`, `P`, `U`, `C`) — the unit the v2 report
+    /// totals by, and the unit the C-family zero-debt policy applies to.
+    pub fn family(self) -> char {
+        match self {
+            Rule::D1 | Rule::D2 | Rule::D3 | Rule::D4 => 'D',
+            Rule::P1 => 'P',
+            Rule::U1 => 'U',
+            Rule::C1 | Rule::C2 | Rule::C3 => 'C',
+        }
+    }
+
+    /// Whether this rule admits grandfathered (baselined) debt. The
+    /// concurrency family does not: a potential deadlock is not debt to
+    /// ratchet down, it is a hazard to fix before merging.
+    pub fn baselineable(self) -> bool {
+        self.family() != 'C'
     }
 
     /// Parses a rule identifier (case-insensitive).
@@ -87,6 +137,9 @@ impl Rule {
             "D4" => Some(Rule::D4),
             "P1" => Some(Rule::P1),
             "U1" => Some(Rule::U1),
+            "C1" => Some(Rule::C1),
+            "C2" => Some(Rule::C2),
+            "C3" => Some(Rule::C3),
             _ => None,
         }
     }
@@ -100,6 +153,9 @@ impl Rule {
             Rule::D4 => "no raw f64 sum/fold where stats::kernel exists",
             Rule::P1 => "no panic sites in non-test library code",
             Rule::U1 => "every unsafe block needs a // SAFETY: comment",
+            Rule::C1 => "no lock-order cycles, re-acquisition, or waits with a second guard",
+            Rule::C2 => "no guard held across a blocking call",
+            Rule::C3 => "poison-absorbing lock access; // ORDER: on atomic orderings",
         }
     }
 
@@ -209,6 +265,89 @@ impl Rule {
                  \n\
                  Fix: precede the unsafe block with // SAFETY: <invariant>, on the same\n\
                  or previous line.\n"
+            }
+            Rule::C1 => {
+                "C1: no lock-order cycles, re-acquisition, or condvar waits with a second guard\n\
+                 \n\
+                 Scope: all crates/*/src, non-test code. Analysis: fb-lint's structural pass\n\
+                 recovers fn items and guard scopes, keys every lock by identity\n\
+                 (<crate>/<file>.<field path>), records which locks are held at every\n\
+                 acquisition, and propagates may-acquire sets along the name-based workspace\n\
+                 call graph. `fb-lint --locks [--dot]` prints the resulting lock-order graph.\n\
+                 \n\
+                 Why: the audit daemon is the system that produces our evidential trail; a\n\
+                 deadlock is not a slow request but a silent, permanent halt of evidence\n\
+                 production — and no 1/2/8-worker equivalence test can rule one out, because\n\
+                 deadlocks live in interleavings, not outputs. Three hazards are flagged:\n\
+                 (a) a cycle in the lock-order graph (two threads can take the locks in\n\
+                 opposite orders and wait on each other forever); (b) acquiring a lock\n\
+                 already held (std::sync::Mutex is not reentrant: instant self-deadlock or\n\
+                 UB-adjacent poisoning); (c) Condvar::wait while a *second* guard is held\n\
+                 (wait releases only the guard it is given — the second lock stays held\n\
+                 across the park and starves every thread that needs it).\n\
+                 \n\
+                 Fix: impose one global acquisition order (document it in DESIGN §16) and\n\
+                 restructure so nested acquisitions follow it; narrow guard scopes with\n\
+                 blocks or drop(guard) so no second lock is taken under the first; never\n\
+                 wait on a condvar holding anything but its own guard.\n\
+                 \n\
+                 C-family rules carry zero grandfathered debt: the baseline cannot record\n\
+                 them and --update-baseline refuses while any exist. A false positive from\n\
+                 the conservative analysis (see DESIGN §16) may be suppressed with\n\
+                 `// fb-lint: allow(C1): reason`, which is visible in review and counted.\n"
+            }
+            Rule::C2 => {
+                "C2: no guard held across a blocking call\n\
+                 \n\
+                 Scope: all crates/*/src, non-test code. A *named* guard binding held at a\n\
+                 potentially-indefinite blocking call — socket/file reads and writes,\n\
+                 JoinHandle::join, condvar-backed queue push/pop, accept/incoming, connect,\n\
+                 thread::sleep — directly or through a callee that may block (propagated\n\
+                 along the call graph).\n\
+                 \n\
+                 Why: a lock held across I/O couples every thread contending for that lock\n\
+                 to the slowest socket peer. The serve daemon's admission control exists so\n\
+                 a slow client costs one connection thread; a guard held across a write\n\
+                 upgrades that to a convoy on the shared lock (and, combined with C1 edges,\n\
+                 to a distributed deadlock risk). The paper's §V framing: the audit trail\n\
+                 must remain available under adversarial load.\n\
+                 \n\
+                 Exemptions built into the analysis: same-statement temporary guards\n\
+                 (`m.lock().…` chains — released at the statement's end), and blocking\n\
+                 *through the guard itself* (writing via a MutexGuard<BufWriter> is that\n\
+                 mutex's purpose).\n\
+                 \n\
+                 Fix: copy what you need out of the guarded region, drop the guard (scope\n\
+                 block or drop(g)), then do the I/O. See DESIGN §12's accept-loop fix for\n\
+                 the canonical restructuring. False positives: `// fb-lint: allow(C2): …`.\n"
+            }
+            Rule::C3 => {
+                "C3: poison-absorbing lock access; // ORDER: on atomic orderings\n\
+                 \n\
+                 Scope: all crates/*/src, non-test code. Two patterns:\n\
+                 (a) `.lock()`/`.read()`/`.write()` immediately followed by `.unwrap()` or\n\
+                 `.expect(…)`;\n\
+                 (b) `Ordering::Relaxed`/`Acquire`/`Release`/`AcqRel` with no `// ORDER:`\n\
+                 comment on the same or previous line (SeqCst needs no justification —\n\
+                 it is the conservative default).\n\
+                 \n\
+                 Why (a): unwrapping a lock result turns poisoning — some *other* thread\n\
+                 panicked while holding the lock — into a cascading panic here, killing a\n\
+                 second worker because a first one died. The workspace pattern\n\
+                 `unwrap_or_else(|e| e.into_inner())` absorbs the poison and keeps serving:\n\
+                 panic-safety of the daemon's workers (DESIGN §12) depends on every lock\n\
+                 site following it. This subsumes the lock-shaped chunk of P1.\n\
+                 \n\
+                 Why (b): a relaxed/acquire/release ordering is a claim about which\n\
+                 cross-thread reorderings are safe — exactly the kind of claim U1 demands\n\
+                 a // SAFETY: comment for on unsafe blocks. An `// ORDER:` comment stating\n\
+                 why the weaker ordering suffices (e.g. \"independent stat counter; no\n\
+                 reader infers other state from it\") makes the reasoning reviewable.\n\
+                 \n\
+                 Fix (a): `.unwrap_or_else(|e| e.into_inner())`. Fix (b): add\n\
+                 `// ORDER: <why this ordering is sufficient>` beside the use, or switch\n\
+                 to SeqCst if the cost is irrelevant. Suppress only with\n\
+                 `// fb-lint: allow(C3): reason`.\n"
             }
         }
     }
@@ -405,6 +544,56 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
             }
         }
 
+        // --- C3(a): bare unwrap/expect on a lock result ---
+        if is(ci, TokKind::Punct, ".")
+            && (is(ci + 1, TokKind::Ident, "lock")
+                || is(ci + 1, TokKind::Ident, "read")
+                || is(ci + 1, TokKind::Ident, "write"))
+            && is(ci + 2, TokKind::Punct, "(")
+            && is(ci + 3, TokKind::Punct, ")")
+            && is(ci + 4, TokKind::Punct, ".")
+            && (is(ci + 5, TokKind::Ident, "unwrap") || is(ci + 5, TokKind::Ident, "expect"))
+            && is(ci + 6, TokKind::Punct, "(")
+        {
+            let acc = tok(ci + 1).map(|t| t.text.clone()).unwrap_or_default();
+            let panicky = tok(ci + 5).map(|t| t.text.clone()).unwrap_or_default();
+            raw.push(Finding {
+                rule: Rule::C3,
+                file: rel_path.to_owned(),
+                line: line_of(ci + 5),
+                message: format!(
+                    "`.{acc}().{panicky}(…)` on a lock — use `.unwrap_or_else(|e| e.into_inner())`"
+                ),
+            });
+        }
+
+        // --- C3(b): non-SeqCst atomic ordering without // ORDER: ---
+        if is(ci, TokKind::Ident, "Ordering")
+            && is(ci + 1, TokKind::Punct, ":")
+            && is(ci + 2, TokKind::Punct, ":")
+            && matches!(tok(ci + 3), Some(t) if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "Relaxed" | "Acquire" | "Release" | "AcqRel"))
+        {
+            let line = line_of(ci + 3);
+            let variant = tok(ci + 3).map(|t| t.text.clone()).unwrap_or_default();
+            let documented = tokens.iter().any(|t| {
+                t.is_comment()
+                    && t.text.contains("ORDER:")
+                    && t.line <= line
+                    && t.end_line() + 1 >= line
+            });
+            if !documented {
+                raw.push(Finding {
+                    rule: Rule::C3,
+                    file: rel_path.to_owned(),
+                    line,
+                    message: format!(
+                        "`Ordering::{variant}` without an `// ORDER:` justification comment"
+                    ),
+                });
+            }
+        }
+
         // --- U1: unsafe without SAFETY comment ---
         if is(ci, TokKind::Ident, "unsafe") {
             let line = line_of(ci);
@@ -448,8 +637,9 @@ pub fn crate_of(rel_path: &str) -> &str {
 }
 
 /// Whether a comment on `line` or the line above carries
-/// `fb-lint: allow(<rule>…)` for this rule.
-fn allowed(tokens: &[Token], rule: Rule, line: u32) -> bool {
+/// `fb-lint: allow(<rule>…)` for this rule. `tokens` may be a full
+/// token stream or a pre-filtered comment list.
+pub fn allowed(tokens: &[Token], rule: Rule, line: u32) -> bool {
     tokens.iter().any(|t| {
         t.is_comment()
             && t.line <= line

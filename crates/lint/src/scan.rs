@@ -1,12 +1,25 @@
 //! Workspace traversal: find every `crates/*/src/**/*.rs`, lint it,
-//! aggregate, and telemeter the pass itself.
+//! run the workspace-wide lock analysis, aggregate, and telemeter the
+//! pass itself.
 //!
 //! Traversal order is sorted at every directory level, so reports,
-//! counters and JSON output are byte-stable across runs and machines —
-//! the linter holds itself to the determinism bar it enforces.
+//! counters, the lock graph and JSON output are byte-stable across runs
+//! and machines — the linter holds itself to the determinism bar it
+//! enforces.
+//!
+//! Two layers run over each file: the lexical rules
+//! ([`crate::rules::check_source`], per-file) and the structural parse
+//! ([`crate::parse`]), whose models are pooled across the whole
+//! workspace and fed to [`crate::locks::analyze`] — lock-order edges
+//! cross file and crate boundaries, so C1/C2 can only be computed once
+//! every file has been read. C1/C2 findings honour the same
+//! `fb-lint: allow(...)` markers as the lexical rules.
 
+use crate::locks::{self, LockGraph};
+use crate::parse::{self, FileModel};
 use crate::rules::{check_source, Finding};
 use fairbridge_obs::{FairnessEvent, Telemetry};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Aggregated result of linting the whole workspace.
@@ -18,6 +31,8 @@ pub struct ScanReport {
     pub findings: Vec<Finding>,
     /// All allow-marker suppressions, same order.
     pub suppressed: Vec<Finding>,
+    /// The workspace lock-order graph (rule C1's artifact).
+    pub graph: LockGraph,
 }
 
 /// Lints every `crates/*/src/**/*.rs` under `root` (the workspace
@@ -32,6 +47,7 @@ pub fn scan_tree(root: &Path, telemetry: &Telemetry) -> Result<ScanReport, Strin
         ));
     }
     let mut report = ScanReport::default();
+    let mut models: BTreeMap<String, FileModel> = BTreeMap::new();
     for crate_dir in sorted_entries(&crates_dir)? {
         let src = crate_dir.join("src");
         if !src.is_dir() {
@@ -47,8 +63,30 @@ pub fn scan_tree(root: &Path, telemetry: &Telemetry) -> Result<ScanReport, Strin
             report.files_scanned += 1;
             report.findings.extend(file_report.findings);
             report.suppressed.extend(file_report.suppressed);
+            models.insert(rel.clone(), parse::parse_file(&rel, &text));
         }
     }
+
+    // Workspace-wide structural pass: the call graph and lock-order
+    // analysis see every crate's functions at once.
+    let all_fns: Vec<_> = models
+        .values()
+        .flat_map(|m| m.fns.iter().cloned())
+        .collect();
+    let locks_report = locks::analyze(&all_fns);
+    report.graph = locks_report.graph;
+    for finding in locks_report.findings {
+        let comments = models
+            .get(&finding.file)
+            .map(|m| m.comments.as_slice())
+            .unwrap_or(&[]);
+        if crate::rules::allowed(comments, finding.rule, finding.line) {
+            report.suppressed.push(finding);
+        } else {
+            report.findings.push(finding);
+        }
+    }
+
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -71,6 +109,12 @@ pub fn scan_tree(root: &Path, telemetry: &Telemetry) -> Result<ScanReport, Strin
             .counter(&format!("lint.violations.{}", rule.id()))
             .add(n as u64);
     }
+    telemetry
+        .counter("lint.lock_graph.nodes")
+        .add(report.graph.nodes.len() as u64);
+    telemetry
+        .counter("lint.lock_graph.edges")
+        .add(report.graph.edges.len() as u64);
     telemetry.emit(FairnessEvent::LintCompleted {
         files_scanned: report.files_scanned,
         violations: report.findings.len(),
@@ -127,6 +171,7 @@ mod tests {
         // Determinism: a second scan reports the same thing.
         let again = scan_tree(&root, &telemetry).expect("rescan");
         assert_eq!(report.findings, again.findings);
+        assert_eq!(report.graph.render_dot(), again.graph.render_dot());
     }
 
     #[test]

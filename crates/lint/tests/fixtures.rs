@@ -7,10 +7,26 @@
 
 use fairbridge_lint::baseline::{diff, report_json, Baseline};
 use fairbridge_lint::rules::{check_source, Rule};
+use fairbridge_lint::{analyze, parse_file, LocksReport};
 
 /// Counts findings of one rule in a report run against `crates/<krate>/src/fixture.rs`.
 fn count(krate: &str, src: &str, rule: Rule) -> usize {
     check_source(&format!("crates/{krate}/src/fixture.rs"), src)
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .count()
+}
+
+/// Runs the structural lock analysis over one fixture file.
+fn locks(krate: &str, src: &str) -> LocksReport {
+    let model = parse_file(&format!("crates/{krate}/src/fixture.rs"), src);
+    analyze(&model.fns)
+}
+
+/// Counts C1/C2 findings of one rule from the lock analysis.
+fn lock_count(krate: &str, src: &str, rule: Rule) -> usize {
+    locks(krate, src)
         .findings
         .iter()
         .filter(|f| f.rule == rule)
@@ -157,6 +173,260 @@ fn u1_detects_undocumented_unsafe_only() {
     assert_eq!(count("core", documented, Rule::U1), 0);
 }
 
+// --- C1: lock-order cycles, re-acquisition, condvar discipline --------
+
+#[test]
+fn c1_detects_an_opposite_order_cycle() {
+    let src = "impl S {\n\
+               fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+               fn ba(&self) { let h = self.b.lock(); let g = self.a.lock(); }\n\
+               }\n";
+    let r = locks("engine", src);
+    assert!(!r.graph.is_acyclic());
+    assert_eq!(lock_count("engine", src, Rule::C1), 1);
+}
+
+#[test]
+fn c1_detects_direct_self_reacquisition() {
+    let src = "impl S { fn f(&self) { let g = self.a.lock(); let h = self.a.lock(); } }\n";
+    assert_eq!(lock_count("engine", src, Rule::C1), 1);
+}
+
+#[test]
+fn c1_detects_reacquisition_through_a_self_recursive_call() {
+    // Recursing while the guard is live re-enters `f`, which acquires
+    // `a` again: a genuine self-deadlock, found interprocedurally.
+    let src = "impl S { fn f(&self) { let g = self.a.lock(); self.f(); } }\n";
+    assert_eq!(lock_count("engine", src, Rule::C1), 1);
+}
+
+#[test]
+fn c1_trap_self_recursion_after_drop_is_clean() {
+    // The same recursion with the guard released first must not fire,
+    // and the interprocedural fixpoint must terminate on the cycle.
+    let src = "impl S { fn f(&self, d: u32) {\n\
+               let g = self.a.lock();\n\
+               drop(g);\n\
+               if d > 0 { self.f(d - 1); }\n\
+               } }\n";
+    assert_eq!(lock_count("engine", src, Rule::C1), 0);
+}
+
+#[test]
+fn c1_detects_condvar_wait_with_a_second_guard() {
+    let src = "impl S { fn f(&self) {\n\
+               let extra = self.extra.lock();\n\
+               let mut g = self.state.lock();\n\
+               g = self.cv.wait(g);\n\
+               } }\n";
+    assert_eq!(lock_count("engine", src, Rule::C1), 1);
+}
+
+#[test]
+fn c1_trap_condvar_wait_with_only_its_own_guard_is_clean() {
+    let src = "impl S { fn f(&self) {\n\
+               let mut g = self.state.lock();\n\
+               g = self.cv.wait(g);\n\
+               } }\n";
+    assert_eq!(lock_count("engine", src, Rule::C1), 0);
+}
+
+#[test]
+fn c1_trap_drop_breaks_the_nesting_edge() {
+    // `ab` releases `a` before taking `b`, so only `ba`'s b->a edge
+    // exists and the graph stays acyclic.
+    let src = "impl S {\n\
+               fn ab(&self) { let g = self.a.lock(); drop(g); let h = self.b.lock(); }\n\
+               fn ba(&self) { let h = self.b.lock(); let g = self.a.lock(); }\n\
+               }\n";
+    let r = locks("engine", src);
+    assert!(r.graph.is_acyclic());
+    assert_eq!(r.graph.edges.len(), 1);
+    assert_eq!(lock_count("engine", src, Rule::C1), 0);
+}
+
+#[test]
+fn c1_trap_two_disjoint_scopes_produce_no_edge() {
+    let src = "impl S { fn f(&self) {\n\
+               { let g = self.a.lock(); }\n\
+               { let h = self.b.lock(); }\n\
+               } }\n";
+    let r = locks("engine", src);
+    assert_eq!(r.graph.nodes.len(), 2);
+    assert!(r.graph.edges.is_empty());
+    assert!(r.findings.is_empty());
+}
+
+// --- C2: blocking while a guard is held -------------------------------
+
+#[test]
+fn c2_detects_blocking_io_and_joins_under_a_guard() {
+    let src = "impl S {\n\
+               fn f(&self, s: &mut TcpStream, buf: &mut [u8]) {\n\
+               let g = self.conns.lock();\n\
+               s.read_exact(buf);\n\
+               }\n\
+               fn j(&self, h: JoinHandle<()>) {\n\
+               let g = self.conns.lock();\n\
+               h.join();\n\
+               }\n\
+               }\n";
+    assert_eq!(lock_count("serve", src, Rule::C2), 2);
+}
+
+#[test]
+fn c2_detects_blocking_through_an_interprocedural_callee() {
+    let src = "impl S {\n\
+               fn slow(&self, s: &mut TcpStream, buf: &mut [u8]) { s.read_exact(buf); }\n\
+               fn f(&self, s: &mut TcpStream, buf: &mut [u8]) {\n\
+               let g = self.conns.lock();\n\
+               self.slow(s, buf);\n\
+               }\n\
+               }\n";
+    assert_eq!(lock_count("serve", src, Rule::C2), 1);
+}
+
+#[test]
+fn c2_shadowed_rebinding_keeps_the_first_guard_held() {
+    // Rebinding `g` does NOT release the first guard — it lives,
+    // anonymous, to end of scope. Sleeping still blocks under both.
+    let src = "impl S { fn f(&self, d: Duration) {\n\
+               let g = self.a.lock();\n\
+               let g = self.b.lock();\n\
+               std::thread::sleep(d);\n\
+               } }\n";
+    let r = locks("engine", src);
+    let c2: Vec<_> = r.findings.iter().filter(|f| f.rule == Rule::C2).collect();
+    assert_eq!(c2.len(), 1);
+    let msg = &c2.first().expect("one C2").message;
+    assert!(msg.contains("engine/fixture.a"), "both locks named: {msg}");
+    assert!(msg.contains("engine/fixture.b"), "both locks named: {msg}");
+}
+
+#[test]
+fn c2_trap_drop_before_blocking_is_clean() {
+    let src = "impl S { fn f(&self, s: &mut TcpStream, buf: &mut [u8]) {\n\
+               let g = self.conns.lock();\n\
+               drop(g);\n\
+               s.read_exact(buf);\n\
+               } }\n";
+    assert_eq!(lock_count("serve", src, Rule::C2), 0);
+}
+
+#[test]
+fn c2_trap_same_statement_temporary_guard_is_exempt() {
+    // The accessor-chain idiom: the guard dies at the semicolon, so the
+    // flush through it is not "holding a lock across blocking I/O".
+    let src = "impl S { fn f(&self) { let _ = self.out.lock().flush(); } }\n";
+    assert_eq!(lock_count("obs", src, Rule::C2), 0);
+}
+
+#[test]
+fn c2_trap_blocking_through_the_guard_itself_is_exempt() {
+    // Writing via the MutexGuard<BufWriter> is the point of that mutex.
+    let src = "impl S { fn f(&self, line: &[u8]) {\n\
+               let mut g = self.out.lock();\n\
+               g.write_all(line);\n\
+               } }\n";
+    assert_eq!(lock_count("obs", src, Rule::C2), 0);
+}
+
+#[test]
+fn c_rules_skip_test_scoped_guards() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn f(a: &Mutex<u32>, b: &Mutex<u32>, d: Duration) {\n\
+               let g = a.lock();\n\
+               let h = b.lock();\n\
+               std::thread::sleep(d);\n\
+               }\n\
+               }\n";
+    let r = locks("engine", src);
+    assert!(r.findings.is_empty());
+    assert!(r.graph.nodes.is_empty());
+}
+
+// --- C3: lock hygiene and ordering justifications ---------------------
+
+#[test]
+fn c3_detects_panicky_lock_access() {
+    let src = "pub fn f(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {\n\
+               *m.lock().unwrap() + *rw.read().expect(\"poisoned\")\n\
+               }\n";
+    // Two findings for the lock accesses; the unwrap/expect themselves
+    // also fire P1 separately.
+    assert_eq!(count("core", src, Rule::C3), 2);
+}
+
+#[test]
+fn c3_trap_poison_absorbing_access_is_clean() {
+    let src = "pub fn f(m: &Mutex<u32>) -> u32 {\n\
+               *m.lock().unwrap_or_else(|e| e.into_inner())\n\
+               }\n";
+    assert_eq!(count("core", src, Rule::C3), 0);
+}
+
+#[test]
+fn c3_detects_unjustified_weak_orderings() {
+    let src = "pub fn f(x: &AtomicU64) -> u64 {\n\
+               x.fetch_add(1, Ordering::Relaxed);\n\
+               x.load(Ordering::Acquire)\n\
+               }\n";
+    assert_eq!(count("core", src, Rule::C3), 2);
+}
+
+#[test]
+fn c3_trap_order_comment_and_seqcst_are_clean() {
+    let src = "pub fn f(x: &AtomicU64) -> u64 {\n\
+               // ORDER: Relaxed — pure tally.\n\
+               x.fetch_add(1, Ordering::Relaxed);\n\
+               x.load(Ordering::SeqCst) // strongest ordering needs no note\n\
+               }\n";
+    assert_eq!(count("core", src, Rule::C3), 0);
+}
+
+#[test]
+fn c3_skips_test_scoped_code() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn f(m: &Mutex<u32>, x: &AtomicU64) {\n\
+               m.lock().unwrap();\n\
+               x.load(Ordering::Relaxed);\n\
+               }\n\
+               }\n";
+    assert_eq!(count("core", src, Rule::C3), 0);
+}
+
+// --- The real workspace's lock discipline ------------------------------
+
+#[test]
+fn real_workspace_lock_graph_is_acyclic_and_matches_the_committed_dot() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let telemetry = fairbridge_obs::Telemetry::off();
+    let report = fairbridge_lint::scan_tree(&root, &telemetry).expect("scan");
+    assert!(
+        report.graph.is_acyclic(),
+        "workspace lock-order graph has a cycle:\n{}",
+        report.graph.render_text()
+    );
+    // serve, obs and engine locks must all be modeled.
+    for prefix in ["serve/", "obs/", "engine/"] {
+        assert!(
+            report.graph.nodes.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix} locks recovered — parser regression?"
+        );
+    }
+    let committed = std::fs::read_to_string(root.join("LOCK_ORDER.dot"))
+        .expect("LOCK_ORDER.dot is committed at the repo root");
+    assert_eq!(
+        report.graph.render_dot(),
+        committed,
+        "LOCK_ORDER.dot is stale — regenerate with `fb-lint --locks --dot > LOCK_ORDER.dot`"
+    );
+}
+
 // --- Baseline / JSON stability ----------------------------------------
 
 #[test]
@@ -196,5 +466,69 @@ fn report_json_is_bytewise_stable() {
         v.get("total").and_then(|t| t.as_f64()),
         Some(rep.findings.len() as f64)
     );
-    assert!(a.starts_with("{\"files_scanned\":1,"));
+    assert!(a.starts_with("{\"version\":2,\"files_scanned\":1,"));
+}
+
+#[test]
+fn report_json_v2_keeps_v1_field_order_and_adds_families() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let rep = check_source("crates/engine/src/fixture.rs", src);
+    let base = Baseline::default();
+    let d = diff(&rep.findings, &base);
+    let a = report_json(1, &rep.findings, &rep.suppressed, &base, &d);
+    // Every v1 key is still present, in its v1 relative order — a v1
+    // consumer walking fields by name keeps working.
+    let v1_keys = [
+        "\"files_scanned\":",
+        "\"total\":",
+        "\"baseline_total\":",
+        "\"new\":",
+        "\"fixed\":",
+        "\"suppressed\":",
+        "\"rules\":",
+        "\"findings\":",
+    ];
+    let positions: Vec<usize> = v1_keys
+        .iter()
+        .map(|k| a.find(k).unwrap_or_else(|| panic!("missing v1 key {k}")))
+        .collect();
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "v1 keys out of their v1 order: {a}"
+    );
+    // v2 additions: leading version, per-family totals with all four
+    // families present even when zero.
+    let v = fairbridge_obs::json::parse(&a).expect("valid JSON");
+    assert_eq!(v.get("version").and_then(|x| x.as_f64()), Some(2.0));
+    let families = v.get("families").expect("families object");
+    for fam in ["C", "D", "P", "U"] {
+        assert!(families.get(fam).is_some(), "family {fam} missing");
+    }
+    assert_eq!(families.get("P").and_then(|x| x.as_f64()), Some(1.0));
+    assert_eq!(families.get("C").and_then(|x| x.as_f64()), Some(0.0));
+}
+
+#[test]
+fn baseline_rejects_v1_schema() {
+    // A v1 baseline has no version field; a tampered one says version 1.
+    let v1 = "{\n  \"total\": 1,\n  \"counts\": {\n    \"crates/a/src/x.rs\": {\"P1\": 1}}\n}\n";
+    let err = Baseline::from_json(v1).expect_err("v1 must be rejected");
+    assert!(err.contains("version"), "unexpected error: {err}");
+    let pinned = "{\n  \"version\": 1,\n  \"total\": 1,\n  \"counts\": {\n    \"crates/a/src/x.rs\": {\"P1\": 1}}\n}\n";
+    let err = Baseline::from_json(pinned).expect_err("version 1 must be rejected");
+    assert!(err.contains("regenerate"), "unexpected error: {err}");
+}
+
+#[test]
+fn baseline_rejects_grandfathered_c_debt() {
+    for rule in ["C1", "C2", "C3"] {
+        let text = format!(
+            "{{\n  \"version\": 2,\n  \"total\": 1,\n  \"counts\": {{\n    \"crates/a/src/x.rs\": {{\"{rule}\": 1}}}}\n}}\n"
+        );
+        let err = Baseline::from_json(&text).expect_err("C debt must be rejected");
+        assert!(
+            err.contains("cannot be grandfathered"),
+            "unexpected error for {rule}: {err}"
+        );
+    }
 }

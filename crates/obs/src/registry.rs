@@ -43,6 +43,9 @@ impl Counter {
     /// Adds `n` to the counter.
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.cell {
+            // Counters are pure tallies: no other memory is published
+            // through them.
+            // ORDER: Relaxed — independent tally.
             cell.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -54,6 +57,7 @@ impl Counter {
 
     /// The current value (0 for a disabled handle).
     pub fn get(&self) -> u64 {
+        // ORDER: Relaxed — an advisory read of a tally; staleness is fine.
         self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
 }
@@ -175,12 +179,15 @@ impl Histogram {
     /// Records one observation.
     pub fn record(&self, value: u64) {
         if let Some(cell) = &self.cell {
-            cell.count.fetch_add(1, Ordering::Relaxed);
-            cell.sum.fetch_add(value, Ordering::Relaxed);
-            cell.max.fetch_max(value, Ordering::Relaxed);
+            // Histogram cells are independent tallies: snapshots tolerate
+            // torn reads across fields (count may run ahead of buckets),
+            // so no update needs to publish or observe other memory.
+            cell.count.fetch_add(1, Ordering::Relaxed); // ORDER: Relaxed — independent tally
+            cell.sum.fetch_add(value, Ordering::Relaxed); // ORDER: Relaxed — independent tally
+            cell.max.fetch_max(value, Ordering::Relaxed); // ORDER: Relaxed — independent tally
             let shifted = value.saturating_add(1);
             // min stores value+1; 0 means "no observation yet"
-            cell.min
+            cell.min // ORDER: Relaxed (success & failure) — single-cell CAS, no cross-cell ordering
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
                     if cur == 0 || shifted < cur {
                         Some(shifted)
@@ -190,6 +197,7 @@ impl Histogram {
                 })
                 .ok();
             if let Some(bucket) = cell.buckets.get(bucket_index(value)) {
+                // ORDER: Relaxed — independent tally (see above).
                 bucket.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -204,11 +212,13 @@ impl Histogram {
                 min: 0,
                 max: 0,
             },
+            // A snapshot is advisory: the four reads need no mutual
+            // consistency, only per-read atomicity.
             Some(cell) => HistogramStats {
-                count: cell.count.load(Ordering::Relaxed),
-                sum: cell.sum.load(Ordering::Relaxed),
-                min: cell.min.load(Ordering::Relaxed).saturating_sub(1),
-                max: cell.max.load(Ordering::Relaxed),
+                count: cell.count.load(Ordering::Relaxed), // ORDER: Relaxed — advisory read
+                sum: cell.sum.load(Ordering::Relaxed),     // ORDER: Relaxed — advisory read
+                min: cell.min.load(Ordering::Relaxed).saturating_sub(1), // ORDER: Relaxed — advisory read
+                max: cell.max.load(Ordering::Relaxed), // ORDER: Relaxed — advisory read
             },
         }
     }
@@ -224,6 +234,7 @@ impl Histogram {
         let raw: Vec<u64> = cell
             .buckets
             .iter()
+            // ORDER: Relaxed — advisory read of independent tallies.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let mut log2 = vec![0u64; 65];
@@ -249,6 +260,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter_map(|(index, bucket)| {
+                // ORDER: Relaxed — advisory read of independent tallies.
                 let count = bucket.load(Ordering::Relaxed);
                 if count == 0 {
                     return None;
@@ -269,6 +281,9 @@ impl Histogram {
         let Some(cell) = self.cell.as_ref() else {
             return 0;
         };
+        // Quantiles over a live histogram are approximate by design;
+        // see the count-vs-buckets fallback below.
+        // ORDER: Relaxed — advisory read.
         let n = cell.count.load(Ordering::Relaxed);
         if n == 0 {
             return 0;
@@ -276,6 +291,7 @@ impl Histogram {
         let rank = (q.clamp(0.0, 1.0) * (n - 1) as f64).round() as u64;
         let mut cumulative = 0u64;
         for (index, bucket) in cell.buckets.iter().enumerate() {
+            // ORDER: Relaxed — advisory read of independent tallies.
             cumulative += bucket.load(Ordering::Relaxed);
             if cumulative > rank {
                 return bucket_representative(index);
@@ -283,6 +299,7 @@ impl Histogram {
         }
         // Concurrent recording can leave count ahead of the bucket sums;
         // the largest observed value is the honest fallback.
+        // ORDER: Relaxed — advisory read.
         cell.max.load(Ordering::Relaxed)
     }
 }
@@ -316,6 +333,7 @@ impl Registry {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
+            // ORDER: Relaxed — advisory read for reporting.
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
             .collect()
     }

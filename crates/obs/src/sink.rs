@@ -54,6 +54,9 @@ impl RingSink {
 
     /// How many events were ever emitted (including overwritten ones).
     pub fn emitted(&self) -> u64 {
+        // Slot contents are published by the per-slot mutexes, not by
+        // this cursor.
+        // ORDER: Relaxed — advisory tally.
         self.head.load(Ordering::Relaxed)
     }
 
@@ -80,6 +83,9 @@ impl fmt::Debug for RingSink {
 
 impl Sink for RingSink {
     fn emit(&self, event: &Event) {
+        // The fetch_add only claims a unique sequence number; the
+        // event itself is published under the slot mutex.
+        // ORDER: Relaxed — uniqueness only.
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
         *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some((seq, event.clone()));

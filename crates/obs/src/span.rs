@@ -16,6 +16,7 @@ use std::time::Instant;
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
+    // ORDER: Relaxed — only uniqueness of the handed-out id matters.
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }

@@ -85,6 +85,8 @@ impl Telemetry {
 
     /// How many events this handle has emitted to its sink.
     pub fn events_emitted(&self) -> u64 {
+        // Events are published through the sink, not this counter.
+        // ORDER: Relaxed — advisory tally.
         self.inner.emitted.load(Ordering::Relaxed)
     }
 
@@ -103,6 +105,7 @@ impl Telemetry {
         if !self.inner.enabled {
             return SpanGuard::inert();
         }
+        // ORDER: Relaxed — span ids only need to be unique.
         let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
         SpanGuard::open(self.clone(), id, name.into())
     }
@@ -116,6 +119,7 @@ impl Telemetry {
         if !self.inner.enabled {
             return SpanGuard::inert();
         }
+        // ORDER: Relaxed — span ids only need to be unique.
         let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
         SpanGuard::open_with_parent(self.clone(), id, name.into(), parent)
     }
@@ -130,6 +134,7 @@ impl Telemetry {
         if !self.inner.enabled {
             return;
         }
+        // ORDER: Relaxed — span ids only need to be unique.
         let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
         let end_ns = end_ns.max(start_ns);
         self.emit_raw_at(
@@ -187,6 +192,8 @@ impl Telemetry {
             parent,
             kind,
         };
+        // The sink does its own synchronization when publishing.
+        // ORDER: Relaxed — advisory tally.
         self.inner.emitted.fetch_add(1, Ordering::Relaxed);
         self.inner.sink.emit(&event);
     }

@@ -260,6 +260,9 @@ impl ServerHandle {
     /// (`POST /shutdown`). The owner should then call
     /// [`ServerHandle::drain`].
     pub fn shutdown_requested(&self) -> bool {
+        // Pairs with the Release store in the /shutdown route, so an
+        // owner that sees the flag also sees the queue already closed.
+        // ORDER: Acquire — see above.
         self.shared.shutdown_requested.load(Ordering::Acquire)
     }
 
@@ -271,6 +274,10 @@ impl ServerHandle {
     /// Graceful drain: refuse new work, finish everything admitted,
     /// join every thread, emit `server_drained`, and flush telemetry.
     pub fn drain(mut self) -> DrainSummary {
+        // Pairs with the Acquire loads in the accept, conn and worker
+        // loops: a thread that observes `draining` also observes
+        // everything the drain initiator wrote before it.
+        // ORDER: Release — publishes all pre-drain writes.
         self.shared.draining.store(true, Ordering::Release);
         self.shared.queue.close();
         // Unblock the accept loop with one throwaway connection.
@@ -288,11 +295,13 @@ impl ServerHandle {
         for conn in conns {
             drop(conn.join());
         }
+        // Every thread has been joined above, so these reads are quiescent;
+        // Relaxed is enough because the joins already order the memory.
         let summary = DrainSummary {
-            received: self.shared.stats.received.load(Ordering::Relaxed),
-            completed: self.shared.stats.completed.load(Ordering::Relaxed),
-            rejected: self.shared.stats.rejected.load(Ordering::Relaxed),
-            coalesced_hits: self.shared.stats.coalesced_hits.load(Ordering::Relaxed),
+            received: self.shared.stats.received.load(Ordering::Relaxed), // ORDER: Relaxed — post-join read
+            completed: self.shared.stats.completed.load(Ordering::Relaxed), // ORDER: Relaxed — post-join read
+            rejected: self.shared.stats.rejected.load(Ordering::Relaxed), // ORDER: Relaxed — post-join read
+            coalesced_hits: self.shared.stats.coalesced_hits.load(Ordering::Relaxed), // ORDER: Relaxed — post-join read
         };
         if self.shared.telemetry.is_enabled() {
             self.shared.telemetry.emit(FairnessEvent::ServerDrained {
@@ -307,23 +316,30 @@ impl ServerHandle {
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     for stream in listener.incoming() {
+        // Pairs with the Release store in drain()/the /shutdown route;
+        // seeing the flag implies the queue is closed.
+        // ORDER: Acquire — see above.
         if shared.draining.load(Ordering::Acquire) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
-        {
-            // Reap finished connection threads so a long-lived daemon's
-            // handle list tracks live connections, not history, and
-            // refuse connections beyond the concurrency cap — each one
-            // costs a thread.
+        // Reap finished connection threads so a long-lived daemon's
+        // handle list tracks live connections, not history, and decide
+        // whether this connection exceeds the concurrency cap — each
+        // one costs a thread.
+        let over_capacity = {
             let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
             conns.retain(|h| !h.is_finished());
-            if conns.len() >= shared.config.max_connections.max(1) {
-                let payload = wire::error_payload(503, "connection limit reached, retry later");
-                drop(stream.write_all(&payload.render(false)));
-                continue;
-            }
+            conns.len() >= shared.config.max_connections.max(1)
+        };
+        if over_capacity {
+            // The 503 goes out only after the guard is released: a slow
+            // client must not stall admission of everyone else (C2).
+            let payload = wire::error_payload(503, "connection limit reached, retry later");
+            drop(stream.write_all(&payload.render(false)));
+            continue;
         }
+        // ORDER: Relaxed — connection ids only need to be unique.
         let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
         let conn_shared = Arc::clone(shared);
         let spawned = spawn_named(&format!("fb-conn-{id}"), move || {
@@ -396,6 +412,7 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
         let request = match read_request(&mut reader, &mut pending, shared.config.max_body_bytes) {
             Ok(ReadOutcome::Request(r)) => r,
             Ok(ReadOutcome::TimedOut) => {
+                // ORDER: Acquire — pairs with the drain Release store.
                 if shared.draining.load(Ordering::Acquire) {
                     break;
                 }
@@ -410,6 +427,7 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
         };
         let wants_close = request.wants_close();
         let payload = route(&request, shared);
+        // ORDER: Acquire — pairs with the drain Release store.
         let draining = shared.draining.load(Ordering::Acquire);
         let keep_alive = !wants_close && !draining;
         if write_half.write_all(&payload.render(keep_alive)).is_err() {
@@ -438,8 +456,15 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Arc<Payload> {
             }
         }
         ("POST", "/shutdown") => {
+            // Both stores pair with the Acquire loads in the
+            // accept/conn/worker loops and ServerHandle: whoever sees a
+            // flag also sees the queue closed between the stores.
+            // ORDER: Release — publishes the drain decision.
             shared.draining.store(true, Ordering::Release);
             shared.queue.close();
+            // Stored after the queue closes so the owner polling
+            // shutdown_requested always drains a closed queue.
+            // ORDER: Release — see above.
             shared.shutdown_requested.store(true, Ordering::Release);
             Arc::new(Payload::json(200, "{\"status\":\"draining\"}".to_owned()))
         }
@@ -461,6 +486,7 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
     let request_span_id = request_span.id();
     let t_admit = telemetry.now_ns();
     let tenant = sanitize_tenant(request.tenant());
+    // ORDER: Relaxed — liveness tally; nothing is published through it.
     shared.stats.received.fetch_add(1, Ordering::Relaxed);
     let bucket = shared.stats.note_tenant(tenant);
     if telemetry.is_enabled() {
@@ -477,6 +503,7 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
     let key = crate::coalesce::fingerprint(endpoint, &request.body);
     let (payload, coalesced) = match shared.coalescer.claim(key, endpoint, &request.body) {
         Claim::Follower(slot) => {
+            // ORDER: Relaxed — liveness tally.
             shared.stats.coalesced_hits.fetch_add(1, Ordering::Relaxed);
             if telemetry.is_enabled() {
                 telemetry.counter("serve.coalesced").incr();
@@ -532,8 +559,10 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
 
     let backpressured = payload.status == 429 || payload.status == 503;
     if backpressured {
+        // ORDER: Relaxed — liveness tally.
         shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
     } else {
+        // ORDER: Relaxed — liveness tally.
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
     }
     let elapsed_ns = telemetry.now_ns().saturating_sub(t_admit);
@@ -585,6 +614,7 @@ fn handle_post(request: &Request, endpoint: &'static str, shared: &Arc<Shared>) 
 }
 
 fn healthz(shared: &Arc<Shared>) -> Payload {
+    // ORDER: Acquire — pairs with the drain Release store.
     let draining = shared.draining.load(Ordering::Acquire);
     let status = if draining { "draining" } else { "ok" };
     Payload::json(
@@ -601,10 +631,10 @@ fn metrics(shared: &Arc<Shared>) -> Payload {
     let _ = write!(
         s,
         "{{\"received\":{},\"completed\":{},\"rejected\":{},\"coalesced_hits\":{}",
-        stats.received.load(Ordering::Relaxed),
-        stats.completed.load(Ordering::Relaxed),
-        stats.rejected.load(Ordering::Relaxed),
-        stats.coalesced_hits.load(Ordering::Relaxed),
+        stats.received.load(Ordering::Relaxed), // ORDER: Relaxed — advisory metric read
+        stats.completed.load(Ordering::Relaxed), // ORDER: Relaxed — advisory metric read
+        stats.rejected.load(Ordering::Relaxed), // ORDER: Relaxed — advisory metric read
+        stats.coalesced_hits.load(Ordering::Relaxed), // ORDER: Relaxed — advisory metric read
     );
     let _ = write!(
         s,
@@ -613,7 +643,7 @@ fn metrics(shared: &Arc<Shared>) -> Payload {
         shared.queue.capacity(),
         shared.config.workers.max(1),
         shared.coalescer.in_flight(),
-        shared.draining.load(Ordering::Acquire),
+        shared.draining.load(Ordering::Acquire), // ORDER: Acquire — pairs with the drain Release store
     );
     let _ = write!(
         s,
@@ -718,22 +748,22 @@ fn metrics_text(shared: &Arc<Shared>) -> Payload {
     for (name, value, help) in [
         (
             "fairbridge_serve_received_total",
-            stats.received.load(Ordering::Relaxed),
+            stats.received.load(Ordering::Relaxed), // ORDER: Relaxed — advisory metric read
             "Requests admitted for routing.",
         ),
         (
             "fairbridge_serve_completed_total",
-            stats.completed.load(Ordering::Relaxed),
+            stats.completed.load(Ordering::Relaxed), // ORDER: Relaxed — advisory metric read
             "Requests answered with a non-backpressure status.",
         ),
         (
             "fairbridge_serve_rejected_total",
-            stats.rejected.load(Ordering::Relaxed),
+            stats.rejected.load(Ordering::Relaxed), // ORDER: Relaxed — advisory metric read
             "Requests refused with 429/503.",
         ),
         (
             "fairbridge_serve_coalesced_total",
-            stats.coalesced_hits.load(Ordering::Relaxed),
+            stats.coalesced_hits.load(Ordering::Relaxed), // ORDER: Relaxed — advisory metric read
             "Requests served by an in-flight identical computation.",
         ),
         (

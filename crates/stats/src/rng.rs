@@ -76,17 +76,15 @@ impl Xoshiro256PlusPlus {
 
     /// Next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+        let [s0, s1, s2, s3] = &mut self.s;
+        let result = s0.wrapping_add(*s3).rotate_left(23).wrapping_add(*s0);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         result
     }
 
@@ -104,10 +102,9 @@ impl Xoshiro256PlusPlus {
         for jump in LONG_JUMP {
             for bit in 0..64 {
                 if (jump >> bit) & 1 == 1 {
-                    s[0] ^= self.s[0];
-                    s[1] ^= self.s[1];
-                    s[2] ^= self.s[2];
-                    s[3] ^= self.s[3];
+                    for (acc, cur) in s.iter_mut().zip(self.s.iter()) {
+                        *acc ^= *cur;
+                    }
                 }
                 self.next_u64();
             }

@@ -119,6 +119,7 @@ pub fn discrete_convergence<R: Rng>(
     let dist_fn = |a: &Discrete, b: &Discrete| match kind {
         DistanceKind::TotalVariation => total_variation(a, b),
         DistanceKind::Hellinger => hellinger(a, b),
+        // fb-lint: allow(P1): documented API contract, pinned by a should_panic test
         _ => panic!("discrete_convergence supports only TV/Hellinger"),
     };
     let true_value = dist_fn(q, p);
@@ -128,9 +129,12 @@ pub fn discrete_convergence<R: Rng>(
             let errs: Vec<f64> = (0..trials)
                 .map(|_| {
                     let codes = sample_discrete(q, n, rng);
-                    let q_hat =
-                        Discrete::from_codes(&codes, q.k()).expect("sampled codes within support");
-                    (dist_fn(&q_hat, p) - true_value).abs()
+                    // A degenerate draw (e.g. n = 0) yields no empirical
+                    // distribution; NaN flows into the row honestly and
+                    // loglog_slope's `> 0` filter drops it.
+                    Discrete::from_codes(&codes, q.k())
+                        .map(|q_hat| (dist_fn(&q_hat, p) - true_value).abs())
+                        .unwrap_or(f64::NAN)
                 })
                 .collect();
             ConvergenceRow {
@@ -169,11 +173,16 @@ where
     assert!(trials > 0 && reference_n > 1, "invalid study parameters");
     let dist_fn = |xs: &[f64], ys: &[f64]| match kind {
         DistanceKind::Wasserstein1 => {
-            let ex = Empirical::new(xs.to_vec()).expect("non-empty");
-            let ey = Empirical::new(ys.to_vec()).expect("non-empty");
-            wasserstein_1d(&ex, &ey)
+            // An empty sample (n = 0 in `sample_sizes`) has no empirical
+            // CDF; NaN propagates into the row instead of panicking and
+            // is dropped by loglog_slope's `> 0` filter.
+            match (Empirical::new(xs.to_vec()), Empirical::new(ys.to_vec())) {
+                (Ok(ex), Ok(ey)) => wasserstein_1d(&ex, &ey),
+                _ => f64::NAN,
+            }
         }
         DistanceKind::MmdRbf => mmd_rbf(xs, ys, 1.0),
+        // fb-lint: allow(P1): documented API contract mirroring discrete_convergence
         _ => panic!("continuous_convergence supports only W1/MMD"),
     };
     let ref_x: Vec<f64> = (0..reference_n).map(|_| sample_x(rng)).collect();

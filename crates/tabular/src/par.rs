@@ -88,6 +88,9 @@ where
                 scope.spawn(|| {
                     let mut done: Vec<(usize, T)> = Vec::new();
                     loop {
+                        // The cursor only claims a unique index; results
+                        // flow back through join(), which synchronizes.
+                        // ORDER: Relaxed — uniqueness only.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n_tasks {
                             break;
